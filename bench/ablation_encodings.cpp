@@ -1,0 +1,91 @@
+/// Ablation: segment encoding choice (paper §2.3 motivates the encoding
+/// framework with "(i) compress data, (ii) better utilize memory bandwidth,
+/// (iii) operate on encoded data"). Runs representative TPC-H queries with
+/// each encoding applied to all segments and reports runtime + footprint —
+/// the trade-off a self-driving encoding selector (paper §3.2) navigates.
+///
+/// Usage: ablation_encodings [scale_factor=0.01] [runs=3]
+
+#include <iostream>
+
+#include "benchmarklib/benchmark_runner.hpp"
+#include "benchmarklib/tpch/tpch_queries.hpp"
+#include "benchmarklib/tpch/tpch_table_generator.hpp"
+#include "hyrise.hpp"
+#include "storage/table.hpp"
+
+namespace hyrise {
+
+int Main(int argc, char** argv) {
+  const auto scale_factor = argc > 1 ? std::stod(argv[1]) : 0.01;
+  const auto runs = argc > 2 ? static_cast<size_t>(std::stoul(argv[2])) : size_t{3};
+  const auto queries = std::vector<size_t>{1, 3, 6, 14};
+
+  struct EncodingResult {
+    std::string name;
+    double footprint_mb;
+    std::vector<double> medians_ms;
+  };
+  auto results = std::vector<EncodingResult>{};
+
+  const auto specs = std::vector<std::pair<std::string, SegmentEncodingSpec>>{
+      {"Unencoded", SegmentEncodingSpec{EncodingType::kUnencoded}},
+      {"Dictionary/FixedWidth",
+       SegmentEncodingSpec{EncodingType::kDictionary, VectorCompressionType::kFixedWidthInteger}},
+      {"Dictionary/BitPacking128",
+       SegmentEncodingSpec{EncodingType::kDictionary, VectorCompressionType::kBitPacking128}},
+      {"RunLength", SegmentEncodingSpec{EncodingType::kRunLength}},
+      {"FrameOfReference", SegmentEncodingSpec{EncodingType::kFrameOfReference}},
+  };
+
+  for (const auto& [name, spec] : specs) {
+    Hyrise::Reset();
+    auto data_config = TpchConfig{};
+    data_config.scale_factor = scale_factor;
+    data_config.encoding = spec;
+    std::cout << "Loading TPC-H (SF " << scale_factor << ") with encoding " << name << "...\n";
+    GenerateTpchTables(data_config);
+
+    auto footprint = size_t{0};
+    for (const auto& table_name : Hyrise::Get().storage_manager.TableNames()) {
+      footprint += Hyrise::Get().storage_manager.GetTable(table_name)->MemoryUsage();
+    }
+
+    auto benchmark_config = BenchmarkConfig{};
+    benchmark_config.name = "encoding ablation: " + name;
+    benchmark_config.measured_runs = runs;
+    auto runner = BenchmarkRunner{benchmark_config};
+    for (const auto query : queries) {
+      runner.AddQuery("TPC-H " + std::to_string(query), TpchQuery(query));
+    }
+    const auto query_results = runner.Run(std::cout);
+
+    auto result = EncodingResult{name, static_cast<double>(footprint) / 1e6, {}};
+    for (const auto& query_result : query_results) {
+      result.medians_ms.push_back(static_cast<double>(query_result.median_ns) / 1e6);
+    }
+    results.push_back(std::move(result));
+  }
+
+  std::cout << "\n=== Encoding ablation summary (median ms; footprint of all tables) ===\n";
+  std::cout << "encoding                      footprint";
+  for (const auto query : queries) {
+    std::cout << "     Q" << query;
+  }
+  std::cout << "\n";
+  for (const auto& result : results) {
+    char line[160];
+    auto offset = std::snprintf(line, sizeof(line), "%-28s %7.1f MB", result.name.c_str(), result.footprint_mb);
+    for (const auto median : result.medians_ms) {
+      offset += std::snprintf(line + offset, sizeof(line) - offset, " %6.2f", median);
+    }
+    std::cout << line << "\n";
+  }
+  return 0;
+}
+
+}  // namespace hyrise
+
+int main(int argc, char** argv) {
+  return hyrise::Main(argc, argv);
+}

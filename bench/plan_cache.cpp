@@ -1,0 +1,81 @@
+/// Section 2.6 of the paper: the query plan cache stores physical plans so
+/// that translation and optimization "can be skipped to avoid doing these
+/// steps repeatedly for the same queries". This harness measures the latency
+/// of a repeated query with and without the GDFS plan cache, and reports the
+/// per-stage planning costs the cache saves.
+///
+/// Usage: plan_cache [scale_factor=0.01] [repetitions=100]
+
+#include <iostream>
+
+#include "benchmarklib/tpch/tpch_table_generator.hpp"
+#include "hyrise.hpp"
+#include "sql/sql_pipeline.hpp"
+#include "utils/timer.hpp"
+
+namespace hyrise {
+
+int Main(int argc, char** argv) {
+  const auto scale_factor = argc > 1 ? std::stod(argv[1]) : 0.01;
+  const auto repetitions = argc > 2 ? static_cast<size_t>(std::stoul(argv[2])) : size_t{100};
+
+  Hyrise::Reset();
+  auto data_config = TpchConfig{};
+  data_config.scale_factor = scale_factor;
+  std::cout << "Loading TPC-H (SF " << scale_factor << ")...\n";
+  GenerateTpchTables(data_config);
+
+  // A cheap, selective point-ish query: planning cost dominates execution.
+  const auto* query =
+      "SELECT o_orderkey, o_totalprice FROM orders WHERE o_orderdate = '1995-01-02' AND o_orderpriority = "
+      "'1-URGENT'";
+
+  const auto measure = [&](const std::shared_ptr<PqpCache>& cache) {
+    auto total_ns = int64_t{0};
+    auto metrics = SqlPipelineMetrics{};
+    for (auto repetition = size_t{0}; repetition < repetitions; ++repetition) {
+      auto timer = Timer{};
+      auto builder = SqlPipeline::Builder{query};
+      builder.WithMvcc(UseMvcc::kNo);
+      if (cache) {
+        builder.WithPqpCache(cache);
+      }
+      auto pipeline = builder.Build();
+      const auto status = pipeline.Execute();
+      Assert(status == SqlPipelineStatus::kSuccess, pipeline.error_message());
+      total_ns += timer.Elapsed();
+      metrics = pipeline.metrics();
+    }
+    return std::pair{total_ns / static_cast<int64_t>(repetitions), metrics};
+  };
+
+  const auto [cold_ns, cold_metrics] = measure(nullptr);
+  const auto cache = std::make_shared<PqpCache>(64);
+  const auto [warm_ns, warm_metrics] = measure(cache);
+
+  std::cout << "\n=== Plan cache (avg over " << repetitions << " executions) ===\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "without cache: %9.1f us/query (parse %5.1f + translate %5.1f + optimize %5.1f "
+                                    "+ lqp-translate %5.1f + execute %5.1f on the last run)\n",
+                static_cast<double>(cold_ns) / 1e3, static_cast<double>(cold_metrics.parse_ns) / 1e3,
+                static_cast<double>(cold_metrics.translate_ns) / 1e3,
+                static_cast<double>(cold_metrics.optimize_ns) / 1e3,
+                static_cast<double>(cold_metrics.lqp_translate_ns) / 1e3,
+                static_cast<double>(cold_metrics.execute_ns) / 1e3);
+  std::cout << line;
+  std::snprintf(line, sizeof(line), "with cache:    %9.1f us/query (last run was a cache %s)\n",
+                static_cast<double>(warm_ns) / 1e3, warm_metrics.pqp_cache_hit ? "hit" : "miss");
+  std::cout << line;
+  std::snprintf(line, sizeof(line), "speedup:       %9.2fx   cache stats: %llu hits / %llu misses\n",
+                static_cast<double>(cold_ns) / static_cast<double>(warm_ns),
+                static_cast<unsigned long long>(cache->hit_count()),
+                static_cast<unsigned long long>(cache->miss_count()));
+  std::cout << line;
+  return 0;
+}
+
+}  // namespace hyrise
+
+int main(int argc, char** argv) {
+  return hyrise::Main(argc, argv);
+}

@@ -1,0 +1,70 @@
+/// Section 2.9 of the paper: "when measuring the multi-threaded scalability
+/// of our system, there are differences between the measurements for one
+/// core with and without scheduler. This allows us to inspect the cost of
+/// the scheduler." This harness measures exactly that: the same TPC-H
+/// queries executed inline (scheduler off) vs. as an operator-task DAG
+/// through the NodeQueueScheduler with one worker.
+///
+/// Usage: scheduler_overhead [scale_factor=0.01] [runs=3]
+
+#include <iostream>
+
+#include "benchmarklib/benchmark_runner.hpp"
+#include "benchmarklib/tpch/tpch_queries.hpp"
+#include "benchmarklib/tpch/tpch_table_generator.hpp"
+#include "hyrise.hpp"
+#include "scheduler/node_queue_scheduler.hpp"
+
+namespace hyrise {
+
+int Main(int argc, char** argv) {
+  const auto scale_factor = argc > 1 ? std::stod(argv[1]) : 0.01;
+  const auto runs = argc > 2 ? static_cast<size_t>(std::stoul(argv[2])) : size_t{3};
+
+  Hyrise::Reset();
+  auto data_config = TpchConfig{};
+  data_config.scale_factor = scale_factor;
+  std::cout << "Loading TPC-H (SF " << scale_factor << ")...\n";
+  GenerateTpchTables(data_config);
+
+  const auto queries = std::vector<size_t>{1, 3, 5, 6, 10, 12};
+
+  auto inline_config = BenchmarkConfig{};
+  inline_config.name = "scheduler off (immediate execution)";
+  inline_config.measured_runs = runs;
+  auto inline_runner = BenchmarkRunner{inline_config};
+  for (const auto query : queries) {
+    inline_runner.AddQuery("TPC-H " + std::to_string(query), TpchQuery(query));
+  }
+  const auto inline_results = inline_runner.Run(std::cout);
+
+  Hyrise::Get().SetScheduler(std::make_shared<NodeQueueScheduler>(/*node_count=*/1, /*workers_per_node=*/1));
+  auto scheduled_config = BenchmarkConfig{};
+  scheduled_config.name = "scheduler on (1 node, 1 worker)";
+  scheduled_config.measured_runs = runs;
+  scheduled_config.use_scheduler = true;
+  auto scheduled_runner = BenchmarkRunner{scheduled_config};
+  for (const auto query : queries) {
+    scheduled_runner.AddQuery("TPC-H " + std::to_string(query), TpchQuery(query));
+  }
+  const auto scheduled_results = scheduled_runner.Run(std::cout);
+  Hyrise::Get().SetScheduler(std::make_shared<ImmediateExecutionScheduler>());
+
+  std::cout << "\n=== Scheduler overhead (median, 1 worker) ===\n";
+  for (auto index = size_t{0}; index < queries.size(); ++index) {
+    const auto inline_ms = static_cast<double>(inline_results[index].median_ns) / 1e6;
+    const auto scheduled_ms = static_cast<double>(scheduled_results[index].median_ns) / 1e6;
+    char line[128];
+    std::snprintf(line, sizeof(line), "TPC-H %-3zu inline %9.3f ms   scheduled %9.3f ms   overhead %6.1f%%\n",
+                  queries[index], inline_ms, scheduled_ms, 100.0 * (scheduled_ms / inline_ms - 1.0));
+    std::cout << line;
+  }
+  std::cout << "(This container exposes one core; multi-worker scaling is structural only.)\n";
+  return 0;
+}
+
+}  // namespace hyrise
+
+int main(int argc, char** argv) {
+  return hyrise::Main(argc, argv);
+}

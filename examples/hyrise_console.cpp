@@ -1,0 +1,106 @@
+/// The command-line interface (paper §2.1: "a command line interface, which
+/// can not only be used to submit queries, but also offers convenience
+/// functions for generating TPC-H benchmark tables, visualizing query plans,
+/// and toggling optional Hyrise components").
+///
+/// Commands:
+///   \help                this text
+///   \tables              list registered tables
+///   \tpch <sf>           generate TPC-H tables at the given scale factor
+///   \visualize <sql>     print the optimized logical plan of a query
+///   \optimizer on|off    toggle the optimizer
+///   \mvcc on|off         toggle MVCC / validation
+///   \quit                exit
+/// Anything else is executed as SQL.
+
+#include <iostream>
+#include <string>
+
+#include "benchmarklib/tpch/tpch_table_generator.hpp"
+#include "hyrise.hpp"
+#include "sql/sql_pipeline.hpp"
+#include "storage/table.hpp"
+#include "utils/table_printer.hpp"
+
+namespace {
+
+void VisualizePlan(const hyrise::LqpNodePtr& node, const std::string& indent = "") {
+  if (!node) {
+    return;
+  }
+  std::cout << indent << node->Description() << "\n";
+  VisualizePlan(node->left_input, indent + "  ");
+  VisualizePlan(node->right_input, indent + "  ");
+}
+
+}  // namespace
+
+int main() {
+  using namespace hyrise;
+  auto use_optimizer = true;
+  auto use_mvcc = UseMvcc::kYes;
+  auto session_transaction = std::shared_ptr<TransactionContext>{};
+
+  std::cout << "hyrise-repro console — \\help for commands\n";
+  auto line = std::string{};
+  while (std::cout << "> " << std::flush, std::getline(std::cin, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (line == "\\quit" || line == "\\q") {
+      break;
+    }
+    if (line == "\\help") {
+      std::cout << "\\tables, \\tpch <sf>, \\visualize <sql>, \\optimizer on|off, \\mvcc on|off, \\quit\n";
+      continue;
+    }
+    if (line == "\\tables") {
+      for (const auto& name : Hyrise::Get().storage_manager.TableNames()) {
+        const auto table = Hyrise::Get().storage_manager.GetTable(name);
+        std::cout << "  " << name << " (" << table->row_count() << " rows, "
+                  << static_cast<uint32_t>(table->chunk_count()) << " chunks)\n";
+      }
+      continue;
+    }
+    if (line.rfind("\\tpch", 0) == 0) {
+      auto config = TpchConfig{};
+      config.scale_factor = line.size() > 6 ? std::stod(line.substr(6)) : 0.01;
+      config.use_mvcc = use_mvcc;
+      std::cout << "generating TPC-H at SF " << config.scale_factor << "...\n";
+      GenerateTpchTables(config);
+      continue;
+    }
+    if (line.rfind("\\optimizer", 0) == 0) {
+      use_optimizer = line.find("on") != std::string::npos;
+      std::cout << "optimizer " << (use_optimizer ? "on" : "off") << "\n";
+      continue;
+    }
+    if (line.rfind("\\mvcc", 0) == 0) {
+      use_mvcc = line.find("on") != std::string::npos ? UseMvcc::kYes : UseMvcc::kNo;
+      std::cout << "mvcc " << (use_mvcc == UseMvcc::kYes ? "on" : "off") << "\n";
+      continue;
+    }
+    const auto visualize = line.rfind("\\visualize", 0) == 0;
+    const auto sql = visualize ? line.substr(11) : line;
+
+    auto builder = SqlPipeline::Builder{sql};
+    builder.WithMvcc(use_mvcc).WithTransactionContext(session_transaction);
+    if (!use_optimizer) {
+      builder.DisableOptimizer();
+    }
+    auto pipeline = builder.Build();
+    const auto status = pipeline.Execute();
+    session_transaction = pipeline.transaction_context();
+    if (status != SqlPipelineStatus::kSuccess) {
+      std::cout << "error: " << pipeline.error_message() << "\n";
+      continue;
+    }
+    if (visualize) {
+      VisualizePlan(pipeline.optimized_lqp());
+      continue;
+    }
+    PrintTable(pipeline.result_table(), std::cout);
+    std::cout << "(" << pipeline.metrics().execute_ns / 1000 << " us execution)\n";
+  }
+  return 0;
+}

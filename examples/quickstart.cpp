@@ -1,0 +1,39 @@
+/// Quickstart: create a table, load rows, and run SQL — the "first steps"
+/// flow the paper's wiki advertises (§6), against the public API.
+
+#include <iostream>
+
+#include "hyrise.hpp"
+#include "sql/sql_pipeline.hpp"
+#include "utils/table_printer.hpp"
+
+int main() {
+  using namespace hyrise;
+
+  // Schema and data via plain SQL.
+  ExecuteSql("CREATE TABLE cities (name VARCHAR(30) NOT NULL, country VARCHAR(20) NOT NULL, population INT)");
+  ExecuteSql(
+      "INSERT INTO cities VALUES "
+      "('Berlin', 'Germany', 3700000), ('Hamburg', 'Germany', 1900000), ('Munich', 'Germany', 1500000),"
+      "('Paris', 'France', 2100000), ('Lyon', 'France', 520000), ('Potsdam', 'Germany', 180000)");
+
+  // Query through the SQL pipeline; inspect the optimized plan on the way
+  // (paper §2.6: every intermediary artifact is inspectable).
+  auto pipeline = SqlPipeline::Builder{
+      "SELECT country, COUNT(*) AS city_count, SUM(population) AS people "
+      "FROM cities WHERE population > 500000 GROUP BY country ORDER BY people DESC"}
+                      .Build();
+  const auto status = pipeline.Execute();
+  if (status != SqlPipelineStatus::kSuccess) {
+    std::cerr << "Query failed: " << pipeline.error_message() << "\n";
+    return 1;
+  }
+
+  std::cout << "Optimized logical plan root: " << pipeline.optimized_lqp()->Description() << "\n\n";
+  PrintTable(pipeline.result_table(), std::cout);
+
+  // Updates run transactionally (auto-commit) — MVCC is on by default.
+  ExecuteSql("UPDATE cities SET population = population + 1 WHERE name = 'Potsdam'");
+  PrintTable(ExecuteSql("SELECT name, population FROM cities WHERE name = 'Potsdam'"), std::cout);
+  return 0;
+}

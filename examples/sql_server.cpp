@@ -1,0 +1,39 @@
+/// Network-server example (paper §2.5): starts the PostgreSQL-wire-protocol
+/// server so psql or any PostgreSQL driver can connect:
+///
+///   ./sql_server [port=54321] [tpch_scale_factor]
+///   psql -h 127.0.0.1 -p 54321
+///
+/// Runs until EOF on stdin.
+
+#include <iostream>
+
+#include "benchmarklib/tpch/tpch_table_generator.hpp"
+#include "hyrise.hpp"
+#include "server/server.hpp"
+#include "sql/sql_pipeline.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hyrise;
+  const auto port = argc > 1 ? static_cast<uint16_t>(std::stoi(argv[1])) : uint16_t{54321};
+
+  if (argc > 2) {
+    auto config = TpchConfig{};
+    config.scale_factor = std::stod(argv[2]);
+    std::cout << "Generating TPC-H at SF " << config.scale_factor << "...\n";
+    GenerateTpchTables(config);
+  } else {
+    ExecuteSql("CREATE TABLE demo (id INT NOT NULL, message VARCHAR(40))");
+    ExecuteSql("INSERT INTO demo VALUES (1, 'hello from hyrise-repro')");
+  }
+
+  auto server = Server{port};
+  server.Start();
+  std::cout << "Listening on 127.0.0.1:" << server.port() << " — connect with:\n"
+            << "  psql -h 127.0.0.1 -p " << server.port() << "\nPress Ctrl-D to stop.\n";
+  auto line = std::string{};
+  while (std::getline(std::cin, line)) {
+  }
+  server.Stop();
+  return 0;
+}

@@ -1,0 +1,54 @@
+/// Analytics example: generates a TPC-H data set in-process (the one-binary
+/// benchmark philosophy of paper §2.10), runs a few analytical queries, and
+/// shows plan inspection plus per-stage timing.
+///
+/// Usage: tpch_analytics [scale_factor=0.01]
+
+#include <iostream>
+
+#include "benchmarklib/tpch/tpch_queries.hpp"
+#include "benchmarklib/tpch/tpch_table_generator.hpp"
+#include "hyrise.hpp"
+#include "logical_query_plan/abstract_lqp_node.hpp"
+#include "sql/sql_pipeline.hpp"
+#include "utils/table_printer.hpp"
+
+namespace {
+
+void VisualizePlan(const hyrise::LqpNodePtr& node, const std::string& indent = "") {
+  if (!node) {
+    return;
+  }
+  std::cout << indent << node->Description() << "\n";
+  VisualizePlan(node->left_input, indent + "  ");
+  VisualizePlan(node->right_input, indent + "  ");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hyrise;
+  const auto scale_factor = argc > 1 ? std::stod(argv[1]) : 0.01;
+
+  std::cout << "Generating TPC-H tables at scale factor " << scale_factor << "...\n";
+  auto config = TpchConfig{};
+  config.scale_factor = scale_factor;
+  GenerateTpchTables(config);
+
+  for (const auto query_id : {size_t{1}, size_t{5}, size_t{6}}) {
+    std::cout << "\n################ TPC-H Query " << query_id << " ################\n";
+    auto pipeline = SqlPipeline::Builder{TpchQuery(query_id)}.WithMvcc(UseMvcc::kNo).Build();
+    if (pipeline.Execute() != SqlPipelineStatus::kSuccess) {
+      std::cerr << "failed: " << pipeline.error_message() << "\n";
+      return 1;
+    }
+    std::cout << "Optimized plan:\n";
+    VisualizePlan(pipeline.optimized_lqp());
+    std::cout << "\nStage timings: parse " << pipeline.metrics().parse_ns / 1000 << " us, translate "
+              << pipeline.metrics().translate_ns / 1000 << " us, optimize "
+              << pipeline.metrics().optimize_ns / 1000 << " us, execute "
+              << pipeline.metrics().execute_ns / 1000 << " us\n\n";
+    PrintTable(pipeline.result_table(), std::cout, 10);
+  }
+  return 0;
+}

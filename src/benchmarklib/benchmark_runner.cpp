@@ -1,0 +1,123 @@
+#include "benchmarklib/benchmark_runner.hpp"
+
+#include <algorithm>
+
+#include "optimizer/optimizer.hpp"
+#include "sql/sql_pipeline.hpp"
+#include "storage/table.hpp"
+#include "utils/timer.hpp"
+
+namespace hyrise {
+
+BenchmarkRunner::BenchmarkRunner(BenchmarkConfig config) : config_(std::move(config)) {}
+
+void BenchmarkRunner::AddQuery(std::string name, std::string sql) {
+  queries_.emplace_back(std::move(name), std::move(sql));
+}
+
+namespace {
+
+SqlPipeline BuildPipeline(const std::string& sql, const BenchmarkConfig& config,
+                          const std::shared_ptr<PqpCache>& cache) {
+  auto builder = SqlPipeline::Builder{sql};
+  builder.WithMvcc(config.use_mvcc).UseScheduler(config.use_scheduler);
+  if (!config.use_default_optimizer) {
+    if (config.optimizer) {
+      builder.WithOptimizer(config.optimizer);
+    } else {
+      builder.DisableOptimizer();
+    }
+  }
+  if (cache) {
+    builder.WithPqpCache(cache);
+  }
+  return builder.Build();
+}
+
+std::shared_ptr<const Table> LastNonNullResult(const SqlPipeline& pipeline) {
+  const auto& tables = pipeline.result_tables();
+  for (auto iter = tables.rbegin(); iter != tables.rend(); ++iter) {
+    if (*iter) {
+      return *iter;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int64_t BenchmarkRunner::TimeQuery(const std::string& sql, const BenchmarkConfig& config) {
+  auto timer = Timer{};
+  auto pipeline = BuildPipeline(sql, config, nullptr);
+  const auto status = pipeline.Execute();
+  const auto elapsed = timer.Elapsed();
+  Assert(status == SqlPipelineStatus::kSuccess, "Benchmark query failed: " + pipeline.error_message());
+  return elapsed;
+}
+
+std::vector<BenchmarkQueryResult> BenchmarkRunner::Run(std::ostream& stream) {
+  // Reproducibility banner (paper §2.10).
+  stream << "=== " << config_.name << " ===\n"
+         << "  build:      " <<
+#ifdef HYRISE_DEBUG
+      "Debug"
+#else
+      "Release"
+#endif
+         << "\n  mvcc:       " << (config_.use_mvcc == UseMvcc::kYes ? "on" : "off")
+         << "\n  scheduler:  " << (config_.use_scheduler ? "on" : "off") << "\n  optimizer:  "
+         << (config_.use_default_optimizer ? "default" : (config_.optimizer ? "custom" : "off"))
+         << "\n  plan cache: " << (config_.cache_plans ? "on" : "off") << "\n  runs:       "
+         << config_.measured_runs << " (+" << config_.warmup_runs << " warmup)\n\n";
+
+  auto results = std::vector<BenchmarkQueryResult>{};
+  for (const auto& [name, sql] : queries_) {
+    auto result = BenchmarkQueryResult{};
+    result.name = name;
+
+    auto cache = config_.cache_plans ? std::make_shared<PqpCache>(256) : nullptr;
+    auto runtimes = std::vector<int64_t>{};
+    for (auto run = size_t{0}; run < config_.warmup_runs + config_.measured_runs; ++run) {
+      auto timer = Timer{};
+      auto pipeline = BuildPipeline(sql, config_, cache);
+      const auto status = pipeline.Execute();
+      const auto elapsed = timer.Elapsed();
+      if (status != SqlPipelineStatus::kSuccess) {
+        result.failed = true;
+        result.error = pipeline.error_message();
+        break;
+      }
+      const auto table = LastNonNullResult(pipeline);
+      result.result_rows = table ? table->row_count() : 0;
+      if (run >= config_.warmup_runs) {
+        runtimes.push_back(elapsed);
+      }
+    }
+    if (!result.failed && !runtimes.empty()) {
+      std::sort(runtimes.begin(), runtimes.end());
+      result.runs = runtimes.size();
+      result.min_ns = runtimes.front();
+      result.median_ns = runtimes[runtimes.size() / 2];
+      auto total = int64_t{0};
+      for (const auto runtime : runtimes) {
+        total += runtime;
+      }
+      result.mean_ns = total / static_cast<int64_t>(runtimes.size());
+    }
+    results.push_back(result);
+
+    char line[160];
+    if (result.failed) {
+      std::snprintf(line, sizeof(line), "  %-12s FAILED: %s", result.name.c_str(), result.error.c_str());
+    } else {
+      std::snprintf(line, sizeof(line), "  %-12s median %10.3f ms   mean %10.3f ms   min %10.3f ms   (%llu rows)",
+                    result.name.c_str(), static_cast<double>(result.median_ns) / 1e6,
+                    static_cast<double>(result.mean_ns) / 1e6, static_cast<double>(result.min_ns) / 1e6,
+                    static_cast<unsigned long long>(result.result_rows));
+    }
+    stream << line << "\n" << std::flush;
+  }
+  return results;
+}
+
+}  // namespace hyrise

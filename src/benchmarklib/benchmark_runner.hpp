@@ -1,0 +1,68 @@
+#ifndef HYRISE_SRC_BENCHMARKLIB_BENCHMARK_RUNNER_HPP_
+#define HYRISE_SRC_BENCHMARKLIB_BENCHMARK_RUNNER_HPP_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "types/types.hpp"
+
+namespace hyrise {
+
+class Optimizer;
+template <typename Key, typename Value>
+class GdfsCache;
+class AbstractOperator;
+
+/// One benchmark execution configuration (paper §2.10: chunk size, encoding,
+/// scheduler use etc. are part of the result for reproducibility).
+struct BenchmarkConfig {
+  std::string name{"benchmark"};
+  size_t warmup_runs{1};
+  size_t measured_runs{3};
+  UseMvcc use_mvcc{UseMvcc::kNo};
+  bool use_scheduler{false};
+  bool cache_plans{false};
+  /// Null = optimizer disabled; BenchmarkRunner defaults to the full default
+  /// rule set unless a custom one is installed.
+  std::shared_ptr<Optimizer> optimizer;
+  bool use_default_optimizer{true};
+};
+
+struct BenchmarkQueryResult {
+  std::string name;
+  int64_t median_ns{0};
+  int64_t mean_ns{0};
+  int64_t min_ns{0};
+  uint64_t result_rows{0};
+  size_t runs{0};
+  bool failed{false};
+  std::string error;
+};
+
+/// A one-stop benchmark driver (paper §2.10: "benchmarks are single binaries
+/// that generate their data, run the queries, and print the results"). Users
+/// register named queries; Run() executes them with warmup, reports latency
+/// statistics, and prints a metadata banner with every knob that influenced
+/// the run.
+class BenchmarkRunner {
+ public:
+  explicit BenchmarkRunner(BenchmarkConfig config);
+
+  void AddQuery(std::string name, std::string sql);
+
+  /// Runs everything, printing progress and a result table to `stream`.
+  std::vector<BenchmarkQueryResult> Run(std::ostream& stream);
+
+  /// Executes one query once and returns its wall time (helper for sweeps).
+  static int64_t TimeQuery(const std::string& sql, const BenchmarkConfig& config);
+
+ private:
+  BenchmarkConfig config_;
+  std::vector<std::pair<std::string, std::string>> queries_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_BENCHMARKLIB_BENCHMARK_RUNNER_HPP_

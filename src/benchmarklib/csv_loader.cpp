@@ -1,0 +1,126 @@
+#include "benchmarklib/csv_loader.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "hyrise.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+namespace {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  auto fields = std::vector<std::string>{};
+  auto field = std::string{};
+  auto in_quotes = false;
+  for (auto index = size_t{0}; index < line.size(); ++index) {
+    const auto character = line[index];
+    if (character == '"') {
+      if (in_quotes && index + 1 < line.size() && line[index + 1] == '"') {
+        field.push_back('"');
+        ++index;
+      } else {
+        in_quotes = !in_quotes;
+      }
+      continue;
+    }
+    if (character == ',' && !in_quotes) {
+      fields.push_back(std::move(field));
+      field.clear();
+      continue;
+    }
+    field.push_back(character);
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+std::string Trim(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  const auto end = text.find_last_not_of(" \t\r");
+  return text.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+std::shared_ptr<Table> LoadCsvTable(const std::string& path, ChunkOffset chunk_size) {
+  auto file = std::ifstream{path};
+  Assert(file.is_open(), "Cannot open CSV file: " + path);
+
+  auto line = std::string{};
+  Assert(static_cast<bool>(std::getline(file, line)), "CSV missing header line: " + path);
+  const auto names = SplitCsvLine(line);
+  Assert(static_cast<bool>(std::getline(file, line)), "CSV missing type line: " + path);
+  const auto types = SplitCsvLine(line);
+  Assert(names.size() == types.size(), "CSV header/type count mismatch: " + path);
+
+  auto definitions = TableColumnDefinitions{};
+  for (auto column = size_t{0}; column < names.size(); ++column) {
+    auto type_name = Trim(types[column]);
+    auto nullable = false;
+    if (!type_name.empty() && type_name.back() == '?') {
+      nullable = true;
+      type_name.pop_back();
+    }
+    definitions.emplace_back(Trim(names[column]), DataTypeFromString(type_name), nullable);
+  }
+
+  auto table = std::make_shared<Table>(definitions, TableType::kData, chunk_size);
+  while (std::getline(file, line)) {
+    if (Trim(line).empty()) {
+      continue;
+    }
+    const auto fields = SplitCsvLine(line);
+    Assert(fields.size() == definitions.size(), "CSV row width mismatch in " + path + ": " + line);
+    auto row = std::vector<AllTypeVariant>{};
+    row.reserve(fields.size());
+    for (auto column = size_t{0}; column < fields.size(); ++column) {
+      const auto field = Trim(fields[column]);
+      if (field.empty() && definitions[column].nullable) {
+        row.push_back(kNullVariant);
+        continue;
+      }
+      switch (definitions[column].data_type) {
+        case DataType::kInt:
+          row.push_back(AllTypeVariant{static_cast<int32_t>(std::stol(field))});
+          break;
+        case DataType::kLong:
+          row.push_back(AllTypeVariant{static_cast<int64_t>(std::stoll(field))});
+          break;
+        case DataType::kFloat:
+          row.push_back(AllTypeVariant{std::stof(field)});
+          break;
+        case DataType::kDouble:
+          row.push_back(AllTypeVariant{std::stod(field)});
+          break;
+        default:
+          row.push_back(AllTypeVariant{field});
+          break;
+      }
+    }
+    table->AppendRow(row);
+  }
+  return table;
+}
+
+void LoadCsvTableInto(const std::string& path, const std::string& table_name, ChunkOffset chunk_size) {
+  auto& storage_manager = Hyrise::Get().storage_manager;
+  if (storage_manager.HasTable(table_name)) {
+    storage_manager.DropTable(table_name);
+  }
+  storage_manager.AddTable(table_name, LoadCsvTable(path, chunk_size));
+}
+
+std::string ReadSqlFile(const std::string& path) {
+  auto file = std::ifstream{path};
+  Assert(file.is_open(), "Cannot open SQL file: " + path);
+  auto buffer = std::stringstream{};
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace hyrise

@@ -1,0 +1,31 @@
+#ifndef HYRISE_SRC_BENCHMARKLIB_CSV_LOADER_HPP_
+#define HYRISE_SRC_BENCHMARKLIB_CSV_LOADER_HPP_
+
+#include <memory>
+#include <string>
+
+#include "storage/table.hpp"
+
+namespace hyrise {
+
+/// Loads a CSV file into a table (paper §2.10: "users can provide their own
+/// table and queries in .csv and .sql files, which are then automatically
+/// executed"). Format:
+///   line 1: column names, comma-separated
+///   line 2: column types (int | long | float | double | string),
+///           optionally suffixed with "?" for nullable
+///   data lines: comma-separated values; empty cell = NULL for nullable
+///               columns; quotes around strings are optional.
+std::shared_ptr<Table> LoadCsvTable(const std::string& path, ChunkOffset chunk_size = kDefaultChunkSize);
+
+/// Registers the table under `table_name` (replacing an existing one).
+void LoadCsvTableInto(const std::string& path, const std::string& table_name,
+                      ChunkOffset chunk_size = kDefaultChunkSize);
+
+/// Reads a .sql file and returns its statements as one string (the pipeline
+/// executes them in order).
+std::string ReadSqlFile(const std::string& path);
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_BENCHMARKLIB_CSV_LOADER_HPP_

@@ -1,0 +1,23 @@
+#ifndef HYRISE_SRC_BENCHMARKLIB_TPCH_TPCH_QUERIES_HPP_
+#define HYRISE_SRC_BENCHMARKLIB_TPCH_TPCH_QUERIES_HPP_
+
+#include <string>
+#include <vector>
+
+namespace hyrise {
+
+/// The 22 TPC-H queries with the standard validation substitution parameters.
+/// Two textual deviations, both matching the paper's own evaluation setup
+/// (§5.1: "DATE has been replaced by CHAR(10) ... slight modifications have
+/// been made to compensate for the lack of date functions"):
+///   - date arithmetic (d + interval) is pre-folded into literals,
+///   - Q13 uses inline AS aliases instead of a derived-column list, and Q15
+///     uses CREATE VIEW / DROP VIEW statements in one pipeline.
+const std::vector<std::string>& TpchQueries();
+
+/// 1-based access (query_id in [1, 22]).
+const std::string& TpchQuery(size_t query_id);
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_BENCHMARKLIB_TPCH_TPCH_QUERIES_HPP_

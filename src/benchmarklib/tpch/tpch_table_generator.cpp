@@ -1,0 +1,426 @@
+#include "benchmarklib/tpch/tpch_table_generator.hpp"
+
+#include <array>
+#include <cmath>
+#include <random>
+
+#include "hyrise.hpp"
+#include "statistics/table_statistics.hpp"
+#include "storage/chunk_encoder.hpp"
+#include "storage/value_segment.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+namespace {
+
+// --- Deterministic RNG -------------------------------------------------------
+
+/// Per-table deterministic generator so tables are reproducible independent of
+/// generation order.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed * 2654435761u + 1) {}
+
+  uint64_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+
+  /// Uniform integer in [low, high].
+  int64_t Uniform(int64_t low, int64_t high) {
+    return low + static_cast<int64_t>(Next() % static_cast<uint64_t>(high - low + 1));
+  }
+
+  /// Uniform "decimal" with two digits, in [low, high].
+  double Money(double low, double high) {
+    const auto cents = Uniform(static_cast<int64_t>(low * 100), static_cast<int64_t>(high * 100));
+    return static_cast<double>(cents) / 100.0;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// --- Dates -------------------------------------------------------------------
+
+/// Days since civil epoch for an ISO date (Howard Hinnant's algorithm).
+int64_t DaysFromCivil(int year, int month, int day) {
+  year -= month <= 2;
+  const auto era = (year >= 0 ? year : year - 399) / 400;
+  const auto yoe = year - era * 400;
+  const auto doy = (153 * (month + (month > 2 ? -3 : 9)) + 2) / 5 + day - 1;
+  const auto doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097LL + doe - 719468;
+}
+
+std::string CivilFromDays(int64_t days) {
+  auto z = days + 719468;
+  const auto era = (z >= 0 ? z : z - 146096) / 146097;
+  const auto doe = z - era * 146097;
+  const auto yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  auto year = static_cast<int>(yoe + era * 400);
+  const auto doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const auto mp = (5 * doy + 2) / 153;
+  const auto day = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  const auto month = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  year += month <= 2;
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%04d-%02d-%02d", year, month, day);
+  return buffer;
+}
+
+const int64_t kStartDate = DaysFromCivil(1992, 1, 1);
+const int64_t kEndDate = DaysFromCivil(1998, 12, 31);
+const int64_t kCurrentDate = DaysFromCivil(1995, 6, 17);
+
+// --- Text pools ----------------------------------------------------------------
+
+const std::array<const char*, 92> kNameWords = {
+    "almond",     "antique",   "aquamarine", "azure",     "beige",     "bisque",    "black",     "blanched",
+    "blue",       "blush",     "brown",      "burlywood", "burnished", "chartreuse", "chiffon",  "chocolate",
+    "coral",      "cornflower", "cornsilk",  "cream",     "cyan",      "dark",      "deep",      "dim",
+    "dodger",     "drab",      "firebrick",  "floral",    "forest",    "frosted",   "gainsboro", "ghost",
+    "goldenrod",  "green",     "grey",       "honeydew",  "hot",       "indian",    "ivory",     "khaki",
+    "lace",       "lavender",  "lawn",       "lemon",     "light",     "lime",      "linen",     "magenta",
+    "maroon",     "medium",    "metallic",   "midnight",  "mint",      "misty",     "moccasin",  "navajo",
+    "navy",       "olive",     "orange",     "orchid",    "pale",      "papaya",    "peach",     "peru",
+    "pink",       "plum",      "powder",     "puff",      "purple",    "red",       "rose",      "rosy",
+    "royal",      "saddle",    "salmon",     "sandy",     "seashell",  "sienna",    "sky",       "slate",
+    "smoke",      "snow",      "spring",     "steel",     "tan",       "thistle",   "tomato",    "turquoise",
+    "violet",     "wheat",     "white",      "yellow"};
+
+const std::array<const char*, 40> kCommentWords = {
+    "carefully", "quickly", "furiously", "slyly",    "blithely", "ironic",   "final",   "bold",
+    "express",   "regular", "special",   "pending",  "even",     "silent",   "quiet",   "daring",
+    "accounts",  "deposits", "packages", "requests", "theodolites", "instructions", "foxes", "pinto",
+    "beans",     "dependencies", "excuses", "platelets", "asymptotes", "somas", "dolphins", "sheaves",
+    "sauternes", "warthogs", "frets",    "dugouts",  "sleep",    "wake",     "nag",      "haggle"};
+
+const std::array<const char*, 6> kTypeSyllable1 = {"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"};
+const std::array<const char*, 5> kTypeSyllable2 = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"};
+const std::array<const char*, 5> kTypeSyllable3 = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const std::array<const char*, 5> kContainerSyllable1 = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+const std::array<const char*, 8> kContainerSyllable2 = {"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"};
+const std::array<const char*, 5> kSegments = {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"};
+const std::array<const char*, 5> kPriorities = {"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"};
+const std::array<const char*, 4> kInstructions = {"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"};
+const std::array<const char*, 7> kModes = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"};
+
+struct NationSpec {
+  const char* name;
+  int region;
+};
+
+const std::array<NationSpec, 25> kNations = {{{"ALGERIA", 0},    {"ARGENTINA", 1}, {"BRAZIL", 1},
+                                              {"CANADA", 1},     {"EGYPT", 4},     {"ETHIOPIA", 0},
+                                              {"FRANCE", 3},     {"GERMANY", 3},   {"INDIA", 2},
+                                              {"INDONESIA", 2},  {"IRAN", 4},      {"IRAQ", 4},
+                                              {"JAPAN", 2},      {"JORDAN", 4},    {"KENYA", 0},
+                                              {"MOROCCO", 0},    {"MOZAMBIQUE", 0}, {"PERU", 1},
+                                              {"CHINA", 2},      {"ROMANIA", 3},   {"RUSSIA", 3},
+                                              {"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"UNITED KINGDOM", 3},
+                                              {"UNITED STATES", 1}}};
+
+const std::array<const char*, 5> kRegions = {"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+
+std::string RandomComment(Random& rng, int min_words, int max_words) {
+  const auto words = rng.Uniform(min_words, max_words);
+  auto comment = std::string{};
+  for (auto word = int64_t{0}; word < words; ++word) {
+    if (word > 0) {
+      comment += ' ';
+    }
+    comment += kCommentWords[rng.Next() % kCommentWords.size()];
+  }
+  return comment;
+}
+
+std::string Pad9(int64_t value) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%09lld", static_cast<long long>(value));
+  return buffer;
+}
+
+std::string Phone(int64_t nation_key, Random& rng) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%02lld-%03lld-%03lld-%04lld", static_cast<long long>(10 + nation_key),
+                static_cast<long long>(rng.Uniform(100, 999)), static_cast<long long>(rng.Uniform(100, 999)),
+                static_cast<long long>(rng.Uniform(1000, 9999)));
+  return buffer;
+}
+
+std::string RandomAddress(Random& rng) {
+  const auto length = rng.Uniform(10, 30);
+  auto address = std::string{};
+  address.reserve(length);
+  for (auto index = int64_t{0}; index < length; ++index) {
+    address += static_cast<char>('a' + rng.Next() % 26);
+  }
+  return address;
+}
+
+double PartRetailPrice(int64_t part_key) {
+  return (90000.0 + ((part_key / 10) % 20001) + 100.0 * (part_key % 1000)) / 100.0;
+}
+
+/// The i-th (0..3) supplier of a part (TPC-H spec formula).
+int64_t PartSupplier(int64_t part_key, int64_t supplier_index, int64_t supplier_count) {
+  return (part_key + supplier_index * (supplier_count / 4 + (part_key - 1) / supplier_count)) % supplier_count + 1;
+}
+
+void Register(const std::string& name, std::shared_ptr<Table> table, const TpchConfig& config) {
+  ChunkEncoder::EncodeAllChunks(table, config.encoding);
+  auto& storage_manager = Hyrise::Get().storage_manager;
+  if (storage_manager.HasTable(name)) {
+    storage_manager.DropTable(name);
+  }
+  storage_manager.AddTable(name, table);
+  if (config.generate_statistics) {
+    GenerateChunkPruningStatistics(table);
+    table->SetTableStatistics(GenerateTableStatistics(*table));
+  }
+}
+
+}  // namespace
+
+uint64_t TpchTableRowCount(const std::string& table_name, double scale_factor) {
+  if (table_name == "region") {
+    return 5;
+  }
+  if (table_name == "nation") {
+    return 25;
+  }
+  if (table_name == "supplier") {
+    return static_cast<uint64_t>(10'000 * scale_factor);
+  }
+  if (table_name == "part") {
+    return static_cast<uint64_t>(200'000 * scale_factor);
+  }
+  if (table_name == "partsupp") {
+    return static_cast<uint64_t>(200'000 * scale_factor) * 4;
+  }
+  if (table_name == "customer") {
+    return static_cast<uint64_t>(150'000 * scale_factor);
+  }
+  if (table_name == "orders") {
+    return static_cast<uint64_t>(1'500'000 * scale_factor);
+  }
+  Assert(table_name == "lineitem", "Unknown TPC-H table: " + table_name);
+  return 0;  // Data-dependent (~4 lines per order).
+}
+
+void GenerateTpchTables(const TpchConfig& config) {
+  const auto scale = config.scale_factor;
+  const auto supplier_count = std::max<int64_t>(10, static_cast<int64_t>(10'000 * scale));
+  const auto part_count = std::max<int64_t>(200, static_cast<int64_t>(200'000 * scale));
+  const auto customer_count = std::max<int64_t>(150, static_cast<int64_t>(150'000 * scale));
+  const auto order_count = std::max<int64_t>(1'500, static_cast<int64_t>(1'500'000 * scale));
+
+  const auto make_table = [&](TableColumnDefinitions definitions) {
+    return std::make_shared<Table>(std::move(definitions), TableType::kData, config.chunk_size, config.use_mvcc);
+  };
+
+  // --- region / nation --------------------------------------------------------
+  {
+    auto rng = Random{1};
+    auto table = make_table({{"r_regionkey", DataType::kInt},
+                             {"r_name", DataType::kString},
+                             {"r_comment", DataType::kString}});
+    for (auto key = int64_t{0}; key < 5; ++key) {
+      table->AppendRow({static_cast<int32_t>(key), std::string{kRegions[key]}, RandomComment(rng, 4, 10)});
+    }
+    Register("region", table, config);
+  }
+  {
+    auto rng = Random{2};
+    auto table = make_table({{"n_nationkey", DataType::kInt},
+                             {"n_name", DataType::kString},
+                             {"n_regionkey", DataType::kInt},
+                             {"n_comment", DataType::kString}});
+    for (auto key = int64_t{0}; key < 25; ++key) {
+      table->AppendRow({static_cast<int32_t>(key), std::string{kNations[key].name},
+                        static_cast<int32_t>(kNations[key].region), RandomComment(rng, 4, 10)});
+    }
+    Register("nation", table, config);
+  }
+
+  // --- supplier -----------------------------------------------------------------
+  {
+    auto rng = Random{3};
+    auto table = make_table({{"s_suppkey", DataType::kInt},
+                             {"s_name", DataType::kString},
+                             {"s_address", DataType::kString},
+                             {"s_nationkey", DataType::kInt},
+                             {"s_phone", DataType::kString},
+                             {"s_acctbal", DataType::kDouble},
+                             {"s_comment", DataType::kString}});
+    for (auto key = int64_t{1}; key <= supplier_count; ++key) {
+      const auto nation = rng.Uniform(0, 24);
+      auto comment = RandomComment(rng, 6, 15);
+      // Q16: a small fraction of suppliers has complaint markers.
+      if (rng.Next() % 2000 < 1) {
+        comment += " Customer unhappy Complaints";
+      }
+      table->AppendRow({static_cast<int32_t>(key), "Supplier#" + Pad9(key), RandomAddress(rng),
+                        static_cast<int32_t>(nation), Phone(nation, rng), rng.Money(-999.99, 9999.99),
+                        std::move(comment)});
+    }
+    Register("supplier", table, config);
+  }
+
+  // --- part ------------------------------------------------------------------------
+  {
+    auto rng = Random{4};
+    auto table = make_table({{"p_partkey", DataType::kInt},
+                             {"p_name", DataType::kString},
+                             {"p_mfgr", DataType::kString},
+                             {"p_brand", DataType::kString},
+                             {"p_type", DataType::kString},
+                             {"p_size", DataType::kInt},
+                             {"p_container", DataType::kString},
+                             {"p_retailprice", DataType::kDouble},
+                             {"p_comment", DataType::kString}});
+    for (auto key = int64_t{1}; key <= part_count; ++key) {
+      auto name = std::string{};
+      for (auto word = 0; word < 5; ++word) {
+        if (word > 0) {
+          name += ' ';
+        }
+        name += kNameWords[rng.Next() % kNameWords.size()];
+      }
+      const auto manufacturer = rng.Uniform(1, 5);
+      const auto brand = manufacturer * 10 + rng.Uniform(1, 5);
+      const auto type = std::string{kTypeSyllable1[rng.Next() % 6]} + " " + kTypeSyllable2[rng.Next() % 5] + " " +
+                        kTypeSyllable3[rng.Next() % 5];
+      const auto container =
+          std::string{kContainerSyllable1[rng.Next() % 5]} + " " + kContainerSyllable2[rng.Next() % 8];
+      table->AppendRow({static_cast<int32_t>(key), std::move(name),
+                        "Manufacturer#" + std::to_string(manufacturer), "Brand#" + std::to_string(brand), type,
+                        static_cast<int32_t>(rng.Uniform(1, 50)), container, PartRetailPrice(key),
+                        RandomComment(rng, 3, 8)});
+    }
+    Register("part", table, config);
+  }
+
+  // --- partsupp -----------------------------------------------------------------------
+  {
+    auto rng = Random{5};
+    auto table = make_table({{"ps_partkey", DataType::kInt},
+                             {"ps_suppkey", DataType::kInt},
+                             {"ps_availqty", DataType::kInt},
+                             {"ps_supplycost", DataType::kDouble},
+                             {"ps_comment", DataType::kString}});
+    for (auto part = int64_t{1}; part <= part_count; ++part) {
+      for (auto index = int64_t{0}; index < 4; ++index) {
+        table->AppendRow({static_cast<int32_t>(part),
+                          static_cast<int32_t>(PartSupplier(part, index, supplier_count)),
+                          static_cast<int32_t>(rng.Uniform(1, 9999)), rng.Money(1.00, 1000.00),
+                          RandomComment(rng, 8, 20)});
+      }
+    }
+    Register("partsupp", table, config);
+  }
+
+  // --- customer ------------------------------------------------------------------------
+  {
+    auto rng = Random{6};
+    auto table = make_table({{"c_custkey", DataType::kInt},
+                             {"c_name", DataType::kString},
+                             {"c_address", DataType::kString},
+                             {"c_nationkey", DataType::kInt},
+                             {"c_phone", DataType::kString},
+                             {"c_acctbal", DataType::kDouble},
+                             {"c_mktsegment", DataType::kString},
+                             {"c_comment", DataType::kString}});
+    for (auto key = int64_t{1}; key <= customer_count; ++key) {
+      const auto nation = rng.Uniform(0, 24);
+      table->AppendRow({static_cast<int32_t>(key), "Customer#" + Pad9(key), RandomAddress(rng),
+                        static_cast<int32_t>(nation), Phone(nation, rng), rng.Money(-999.99, 9999.99),
+                        std::string{kSegments[rng.Next() % 5]}, RandomComment(rng, 6, 15)});
+    }
+    Register("customer", table, config);
+  }
+
+  // --- orders + lineitem -----------------------------------------------------------------
+  {
+    auto rng = Random{7};
+    auto orders = make_table({{"o_orderkey", DataType::kInt},
+                              {"o_custkey", DataType::kInt},
+                              {"o_orderstatus", DataType::kString},
+                              {"o_totalprice", DataType::kDouble},
+                              {"o_orderdate", DataType::kString},
+                              {"o_orderpriority", DataType::kString},
+                              {"o_clerk", DataType::kString},
+                              {"o_shippriority", DataType::kInt},
+                              {"o_comment", DataType::kString}});
+    auto lineitem = make_table({{"l_orderkey", DataType::kInt},
+                                {"l_partkey", DataType::kInt},
+                                {"l_suppkey", DataType::kInt},
+                                {"l_linenumber", DataType::kInt},
+                                {"l_quantity", DataType::kDouble},
+                                {"l_extendedprice", DataType::kDouble},
+                                {"l_discount", DataType::kDouble},
+                                {"l_tax", DataType::kDouble},
+                                {"l_returnflag", DataType::kString},
+                                {"l_linestatus", DataType::kString},
+                                {"l_shipdate", DataType::kString},
+                                {"l_commitdate", DataType::kString},
+                                {"l_receiptdate", DataType::kString},
+                                {"l_shipinstruct", DataType::kString},
+                                {"l_shipmode", DataType::kString},
+                                {"l_comment", DataType::kString}});
+
+    const auto clerk_count = std::max<int64_t>(10, static_cast<int64_t>(1000 * scale));
+    for (auto index = int64_t{0}; index < order_count; ++index) {
+      // Sparse order keys: 8 used out of every 32 (spec 4.2.3).
+      const auto order_key = (index / 8) * 32 + index % 8 + 1;
+      // Customers with key % 3 == 0 have no orders (spec).
+      auto customer = rng.Uniform(1, customer_count);
+      while (customer % 3 == 0) {
+        customer = rng.Uniform(1, customer_count);
+      }
+      const auto order_date = rng.Uniform(kStartDate, kEndDate - 151);
+
+      const auto line_count = rng.Uniform(1, 7);
+      auto total_price = 0.0;
+      auto f_count = 0;
+      for (auto line = int64_t{1}; line <= line_count; ++line) {
+        const auto part = rng.Uniform(1, part_count);
+        const auto supplier = PartSupplier(part, rng.Uniform(0, 3), supplier_count);
+        const auto quantity = static_cast<double>(rng.Uniform(1, 50));
+        const auto extended = quantity * PartRetailPrice(part);
+        const auto discount = static_cast<double>(rng.Uniform(0, 10)) / 100.0;
+        const auto tax = static_cast<double>(rng.Uniform(0, 8)) / 100.0;
+        const auto ship_date = order_date + rng.Uniform(1, 121);
+        const auto commit_date = order_date + rng.Uniform(30, 90);
+        const auto receipt_date = ship_date + rng.Uniform(1, 30);
+        const auto return_flag =
+            receipt_date <= kCurrentDate ? (rng.Next() % 2 == 0 ? "R" : "A") : "N";
+        const auto line_status = ship_date > kCurrentDate ? "O" : "F";
+        f_count += line_status[0] == 'F';
+        total_price += extended * (1.0 + tax) * (1.0 - discount);
+        lineitem->AppendRow({static_cast<int32_t>(order_key), static_cast<int32_t>(part),
+                             static_cast<int32_t>(supplier), static_cast<int32_t>(line), quantity, extended,
+                             discount, tax, std::string{return_flag}, std::string{line_status},
+                             CivilFromDays(ship_date), CivilFromDays(commit_date), CivilFromDays(receipt_date),
+                             std::string{kInstructions[rng.Next() % 4]}, std::string{kModes[rng.Next() % 7]},
+                             RandomComment(rng, 4, 10)});
+      }
+      const auto status = f_count == line_count ? "F" : (f_count == 0 ? "O" : "P");
+      auto comment = RandomComment(rng, 6, 18);
+      if (rng.Next() % 100 < 1) {
+        comment += " special packages requests";  // Q13 filter target.
+      }
+      orders->AppendRow({static_cast<int32_t>(order_key), static_cast<int32_t>(customer), std::string{status},
+                         total_price, CivilFromDays(order_date), std::string{kPriorities[rng.Next() % 5]},
+                         "Clerk#" + Pad9(rng.Uniform(1, clerk_count)), 0, std::move(comment)});
+    }
+    Register("orders", orders, config);
+    Register("lineitem", lineitem, config);
+  }
+}
+
+}  // namespace hyrise

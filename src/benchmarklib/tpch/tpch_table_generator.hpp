@@ -1,0 +1,36 @@
+#ifndef HYRISE_SRC_BENCHMARKLIB_TPCH_TPCH_TABLE_GENERATOR_HPP_
+#define HYRISE_SRC_BENCHMARKLIB_TPCH_TPCH_TABLE_GENERATOR_HPP_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/table.hpp"
+#include "types/types.hpp"
+
+namespace hyrise {
+
+/// Configuration of a TPC-H data set (paper §2.10: benchmark binaries
+/// generate their own data; configuration parameters like chunk size and
+/// encoding are first-class).
+struct TpchConfig {
+  double scale_factor{0.01};
+  ChunkOffset chunk_size{kDefaultChunkSize};
+  SegmentEncodingSpec encoding{EncodingType::kDictionary};
+  UseMvcc use_mvcc{UseMvcc::kNo};
+  /// Build table statistics and per-chunk pruning filters after loading.
+  bool generate_statistics{true};
+};
+
+/// From-scratch deterministic TPC-H generator (see DESIGN.md §4 for the
+/// dbgen substitution note): spec-accurate schemas, key structure, and value
+/// distributions; DATE columns are CHAR(10) ISO strings exactly as in the
+/// paper's own evaluation setup. Registers the eight tables with the storage
+/// manager (replacing existing ones).
+void GenerateTpchTables(const TpchConfig& config);
+
+/// Row counts at a scale factor (for tests and the benchmark banner).
+uint64_t TpchTableRowCount(const std::string& table_name, double scale_factor);
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_BENCHMARKLIB_TPCH_TPCH_TABLE_GENERATOR_HPP_

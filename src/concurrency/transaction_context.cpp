@@ -1,0 +1,37 @@
+#include "concurrency/transaction_context.hpp"
+
+#include <mutex>
+
+#include "operators/abstract_operator.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+bool TransactionContext::Commit() {
+  if (phase() == TransactionPhase::kConflicted) {
+    Rollback();
+    return false;
+  }
+  Assert(phase() == TransactionPhase::kActive, "Commit() on finished transaction");
+
+  // Commit IDs must become visible in order; serializing commits with a
+  // mutex guarantees that (see class comment in the header).
+  const auto lock = std::lock_guard{manager_.commit_mutex_};
+  const auto commit_id = manager_.last_commit_id_.load(std::memory_order_acquire) + 1;
+  for (const auto& read_write_operator : read_write_operators_) {
+    read_write_operator->CommitRecords(commit_id);
+  }
+  manager_.last_commit_id_.store(commit_id, std::memory_order_release);
+  phase_.store(TransactionPhase::kCommitted, std::memory_order_release);
+  return true;
+}
+
+void TransactionContext::Rollback() {
+  Assert(phase() != TransactionPhase::kCommitted, "Rollback() after commit");
+  for (const auto& read_write_operator : read_write_operators_) {
+    read_write_operator->RollbackRecords();
+  }
+  phase_.store(TransactionPhase::kRolledBack, std::memory_order_release);
+}
+
+}  // namespace hyrise

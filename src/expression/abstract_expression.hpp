@@ -1,0 +1,85 @@
+#ifndef HYRISE_SRC_EXPRESSION_ABSTRACT_EXPRESSION_HPP_
+#define HYRISE_SRC_EXPRESSION_ABSTRACT_EXPRESSION_HPP_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "types/all_type_variant.hpp"
+#include "types/types.hpp"
+
+namespace hyrise {
+
+enum class ExpressionType {
+  kValue,
+  kLqpColumn,
+  kPqpColumn,
+  kArithmetic,
+  kPredicate,
+  kLogical,
+  kAggregate,
+  kFunction,
+  kCase,
+  kCast,
+  kParameter,
+  kList,
+  kLqpSubquery,
+  kPqpSubquery,
+  kExists,
+};
+
+/// Base of the expression trees used in both logical and physical plans
+/// (paper Figure 5 shows expressions attached to plan nodes). Expressions are
+/// immutable once built; plans copy them via DeepCopy.
+class AbstractExpression : public std::enable_shared_from_this<AbstractExpression> {
+ public:
+  AbstractExpression(ExpressionType init_type, std::vector<std::shared_ptr<AbstractExpression>> init_arguments)
+      : type(init_type), arguments(std::move(init_arguments)) {}
+
+  virtual ~AbstractExpression() = default;
+
+  virtual DataType data_type() const = 0;
+
+  /// Human-readable form, used for plan visualization and column naming.
+  virtual std::string Description() const = 0;
+
+  virtual std::shared_ptr<AbstractExpression> DeepCopy() const = 0;
+
+  /// Structural equality (same shape, same leaves).
+  bool operator==(const AbstractExpression& other) const;
+
+  size_t Hash() const;
+
+  const ExpressionType type;
+  std::vector<std::shared_ptr<AbstractExpression>> arguments;
+
+ protected:
+  /// Equality/hash of this node's own fields (arguments handled by the base).
+  virtual bool ShallowEquals(const AbstractExpression& other) const = 0;
+  virtual size_t ShallowHash() const = 0;
+};
+
+using ExpressionPtr = std::shared_ptr<AbstractExpression>;
+using Expressions = std::vector<ExpressionPtr>;
+
+bool ExpressionsEqual(const Expressions& lhs, const Expressions& rhs);
+
+/// Combines hashes (Boost-style).
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+/// Pre-order visit; `visitor(expr)` returns false to skip the subtree.
+template <typename Visitor>
+void VisitExpression(const ExpressionPtr& expression, const Visitor& visitor) {
+  if (!visitor(expression)) {
+    return;
+  }
+  for (const auto& argument : expression->arguments) {
+    VisitExpression(argument, visitor);
+  }
+}
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_EXPRESSION_ABSTRACT_EXPRESSION_HPP_

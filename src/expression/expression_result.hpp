@@ -1,0 +1,59 @@
+#ifndef HYRISE_SRC_EXPRESSION_EXPRESSION_RESULT_HPP_
+#define HYRISE_SRC_EXPRESSION_EXPRESSION_RESULT_HPP_
+
+#include <memory>
+#include <vector>
+
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+/// A column of evaluated expression values. Three shapes:
+///   - series: values.size() == chunk size (nulls empty = all non-null)
+///   - literal: values.size() == 1, broadcast to every row
+///   - nulls parallel values, or a single broadcast null flag
+template <typename T>
+class ExpressionResult {
+ public:
+  ExpressionResult() = default;
+
+  ExpressionResult(std::vector<T> init_values, std::vector<bool> init_nulls = {})
+      : values(std::move(init_values)), nulls(std::move(init_nulls)) {
+    DebugAssert(nulls.empty() || nulls.size() == 1 || nulls.size() == values.size(),
+                "Null vector must be empty, scalar, or parallel to values");
+  }
+
+  static std::shared_ptr<ExpressionResult<T>> MakeLiteral(T value) {
+    return std::make_shared<ExpressionResult<T>>(std::vector<T>{std::move(value)});
+  }
+
+  static std::shared_ptr<ExpressionResult<T>> MakeNullLiteral() {
+    return std::make_shared<ExpressionResult<T>>(std::vector<T>{T{}}, std::vector<bool>{true});
+  }
+
+  bool IsLiteral() const {
+    return values.size() == 1;
+  }
+
+  size_t Size() const {
+    return values.size();
+  }
+
+  const T& Value(size_t row) const {
+    return values[IsLiteral() ? 0 : row];
+  }
+
+  bool IsNull(size_t row) const {
+    if (nulls.empty()) {
+      return false;
+    }
+    return nulls[nulls.size() == 1 ? 0 : row];
+  }
+
+  std::vector<T> values;
+  std::vector<bool> nulls;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_EXPRESSION_EXPRESSION_RESULT_HPP_

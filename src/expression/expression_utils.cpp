@@ -1,0 +1,124 @@
+#include "expression/expression_utils.hpp"
+
+#include "logical_query_plan/abstract_lqp_node.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+Expressions FlattenConjunction(const ExpressionPtr& expression) {
+  if (expression->type == ExpressionType::kLogical) {
+    const auto& logical = static_cast<const LogicalExpression&>(*expression);
+    if (logical.logical_operator == LogicalOperator::kAnd) {
+      auto result = FlattenConjunction(expression->arguments[0]);
+      auto rhs = FlattenConjunction(expression->arguments[1]);
+      result.insert(result.end(), rhs.begin(), rhs.end());
+      return result;
+    }
+  }
+  return {expression};
+}
+
+ExpressionPtr InflateConjunction(const Expressions& expressions) {
+  Assert(!expressions.empty(), "Cannot inflate empty conjunction");
+  auto result = expressions.front();
+  for (auto index = size_t{1}; index < expressions.size(); ++index) {
+    result = std::make_shared<LogicalExpression>(LogicalOperator::kAnd, result, expressions[index]);
+  }
+  return result;
+}
+
+ExpressionPtr ReplaceParameters(const ExpressionPtr& expression,
+                                const std::unordered_map<ParameterID, AllTypeVariant>& parameters) {
+  if (expression->type == ExpressionType::kParameter) {
+    const auto& parameter = static_cast<const ParameterExpression&>(*expression);
+    const auto iter = parameters.find(parameter.parameter_id);
+    if (iter != parameters.end()) {
+      return std::make_shared<ValueExpression>(iter->second);
+    }
+    return expression;
+  }
+  // PqpSubqueries keep their own parameter mapping; only the outer
+  // correlation expressions (evaluated in the outer context) are rewritten.
+  if (expression->type == ExpressionType::kPqpSubquery) {
+    auto& subquery = static_cast<PqpSubqueryExpression&>(*expression);
+    for (auto& [parameter_id, parameter_expression] : subquery.parameters) {
+      parameter_expression = ReplaceParameters(parameter_expression, parameters);
+    }
+    return expression;
+  }
+  auto replaced_any = false;
+  auto new_arguments = Expressions{};
+  new_arguments.reserve(expression->arguments.size());
+  for (const auto& argument : expression->arguments) {
+    auto replaced = ReplaceParameters(argument, parameters);
+    replaced_any |= replaced != argument;
+    new_arguments.push_back(std::move(replaced));
+  }
+  if (!replaced_any) {
+    return expression;
+  }
+  auto copy = expression->DeepCopy();
+  copy->arguments = std::move(new_arguments);
+  return copy;
+}
+
+void ReplaceParametersInPlace(Expressions& expressions,
+                              const std::unordered_map<ParameterID, AllTypeVariant>& parameters) {
+  for (auto& expression : expressions) {
+    expression = ReplaceParameters(expression, parameters);
+  }
+}
+
+bool ContainsAggregate(const ExpressionPtr& expression) {
+  auto found = false;
+  VisitExpression(expression, [&](const auto& sub_expression) {
+    if (sub_expression->type == ExpressionType::kAggregate) {
+      found = true;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+bool ExpressionEvaluableOnLqp(const ExpressionPtr& expression, const AbstractLqpNode& node) {
+  const auto outputs = node.output_expressions();
+  auto evaluable = true;
+  VisitExpression(expression, [&](const ExpressionPtr& sub_expression) {
+    if (!evaluable) {
+      return false;
+    }
+    // Whole expressions available from the input (e.g. aggregates after an
+    // AggregateNode) count as evaluable.
+    for (const auto& output : outputs) {
+      if (*output == *sub_expression) {
+        return false;  // Found; no need to descend.
+      }
+    }
+    if (sub_expression->type == ExpressionType::kLqpColumn) {
+      evaluable = false;
+      return false;
+    }
+    // Subquery correlation parameters are bound at runtime, not columns.
+    return true;
+  });
+  return evaluable;
+}
+
+void CollectLqpColumns(const ExpressionPtr& expression, Expressions& columns) {
+  VisitExpression(expression, [&](const ExpressionPtr& sub_expression) {
+    if (sub_expression->type == ExpressionType::kLqpColumn) {
+      columns.push_back(sub_expression);
+    }
+    if (sub_expression->type == ExpressionType::kLqpSubquery) {
+      // Correlated parameters reference outer columns.
+      const auto& subquery = static_cast<const LqpSubqueryExpression&>(*sub_expression);
+      for (const auto& [parameter_id, parameter_expression] : subquery.parameters) {
+        CollectLqpColumns(parameter_expression, columns);
+      }
+    }
+    return true;
+  });
+}
+
+}  // namespace hyrise

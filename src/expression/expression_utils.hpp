@@ -1,0 +1,40 @@
+#ifndef HYRISE_SRC_EXPRESSION_EXPRESSION_UTILS_HPP_
+#define HYRISE_SRC_EXPRESSION_EXPRESSION_UTILS_HPP_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "expression/expressions.hpp"
+
+namespace hyrise {
+
+/// Splits nested ANDs into a flat conjunction list.
+Expressions FlattenConjunction(const ExpressionPtr& expression);
+
+/// Rebuilds a (left-deep) AND chain from a conjunction list.
+ExpressionPtr InflateConjunction(const Expressions& expressions);
+
+/// Replaces every ParameterExpression whose ID appears in `parameters` with a
+/// ValueExpression. Returns the (possibly new) root.
+ExpressionPtr ReplaceParameters(const ExpressionPtr& expression,
+                                const std::unordered_map<ParameterID, AllTypeVariant>& parameters);
+
+/// Applies `ReplaceParameters` to every expression in the vector, in place.
+void ReplaceParametersInPlace(Expressions& expressions,
+                              const std::unordered_map<ParameterID, AllTypeVariant>& parameters);
+
+/// True if `expression` contains any aggregate function call.
+bool ContainsAggregate(const ExpressionPtr& expression);
+
+/// True if every column referenced by `expression` is available from `node`'s
+/// output (i.e., the expression could be evaluated on top of `node`).
+class AbstractLqpNode;
+bool ExpressionEvaluableOnLqp(const ExpressionPtr& expression, const AbstractLqpNode& node);
+
+/// Collects all LqpColumnExpressions referenced inside `expression`.
+void CollectLqpColumns(const ExpressionPtr& expression, Expressions& columns);
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_EXPRESSION_EXPRESSION_UTILS_HPP_

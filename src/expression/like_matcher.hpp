@@ -1,0 +1,55 @@
+#ifndef HYRISE_SRC_EXPRESSION_LIKE_MATCHER_HPP_
+#define HYRISE_SRC_EXPRESSION_LIKE_MATCHER_HPP_
+
+#include <string>
+#include <string_view>
+
+namespace hyrise {
+
+/// SQL LIKE pattern matcher: '%' matches any sequence, '_' any single
+/// character. Uses the classic two-pointer algorithm with backtracking at the
+/// last '%' — linear in practice, no regex machinery.
+class LikeMatcher {
+ public:
+  explicit LikeMatcher(std::string pattern) : pattern_(std::move(pattern)) {}
+
+  bool Matches(std::string_view input) const {
+    const auto pattern_size = pattern_.size();
+    const auto input_size = input.size();
+    auto pattern_index = size_t{0};
+    auto input_index = size_t{0};
+    auto star_pattern = std::string::npos;  // Position after the last '%'.
+    auto star_input = size_t{0};
+
+    while (input_index < input_size) {
+      if (pattern_index < pattern_size &&
+          (pattern_[pattern_index] == '_' || pattern_[pattern_index] == input[input_index])) {
+        ++pattern_index;
+        ++input_index;
+      } else if (pattern_index < pattern_size && pattern_[pattern_index] == '%') {
+        star_pattern = ++pattern_index;
+        star_input = input_index;
+      } else if (star_pattern != std::string::npos) {
+        pattern_index = star_pattern;
+        input_index = ++star_input;
+      } else {
+        return false;
+      }
+    }
+    while (pattern_index < pattern_size && pattern_[pattern_index] == '%') {
+      ++pattern_index;
+    }
+    return pattern_index == pattern_size;
+  }
+
+  const std::string& pattern() const {
+    return pattern_;
+  }
+
+ private:
+  std::string pattern_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_EXPRESSION_LIKE_MATCHER_HPP_

@@ -1,0 +1,64 @@
+#ifndef HYRISE_SRC_HYRISE_HPP_
+#define HYRISE_SRC_HYRISE_HPP_
+
+#include <memory>
+
+#include "concurrency/transaction_context.hpp"
+#include "storage/storage_manager.hpp"
+
+namespace hyrise {
+
+class AbstractScheduler;
+class PluginManager;
+template <typename Key, typename Value>
+class GdfsCache;
+class AbstractOperator;
+class AbstractLqpNode;
+
+using PqpCache = GdfsCache<std::string, std::shared_ptr<AbstractOperator>>;
+using LqpCache = GdfsCache<std::string, std::shared_ptr<AbstractLqpNode>>;
+
+/// Process-wide singleton wiring the DBMS components together (storage
+/// manager, transaction manager, scheduler, plugin manager, plan caches).
+/// Reset() restores a pristine instance — used between tests and benchmark
+/// configurations, reflecting the paper's goal of selectively enabling or
+/// disabling components (§2).
+class Hyrise {
+ public:
+  static Hyrise& Get();
+
+  /// Drops all tables, caches, plugins, and replaces the scheduler with the
+  /// immediate-execution one.
+  static void Reset();
+
+  Hyrise(const Hyrise&) = delete;
+  Hyrise& operator=(const Hyrise&) = delete;
+  ~Hyrise();
+
+  /// Never null; defaults to the ImmediateExecutionScheduler ("scheduler
+  /// turned off").
+  const std::shared_ptr<AbstractScheduler>& scheduler() const {
+    return scheduler_;
+  }
+
+  /// Installs a scheduler (finishing the previous one first).
+  void SetScheduler(std::shared_ptr<AbstractScheduler> scheduler);
+
+  StorageManager storage_manager;
+  TransactionManager transaction_manager;
+  std::unique_ptr<PluginManager> plugin_manager;
+
+  /// Query plan caches (paper §2.6). Null = caching disabled (the default for
+  /// tests; the benchmark runner enables them).
+  std::shared_ptr<PqpCache> default_pqp_cache;
+  std::shared_ptr<LqpCache> default_lqp_cache;
+
+ private:
+  Hyrise();
+
+  std::shared_ptr<AbstractScheduler> scheduler_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_HYRISE_HPP_

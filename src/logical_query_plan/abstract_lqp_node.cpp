@@ -1,0 +1,82 @@
+#include "logical_query_plan/abstract_lqp_node.hpp"
+
+#include "expression/expressions.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+Expressions AbstractLqpNode::output_expressions() const {
+  Assert(left_input, "Node without input must override output_expressions()");
+  return left_input->output_expressions();
+}
+
+std::optional<ColumnID> AbstractLqpNode::FindColumnIdOf(const AbstractExpression& expression) const {
+  const auto expressions = output_expressions();
+  for (auto column_id = size_t{0}; column_id < expressions.size(); ++column_id) {
+    if (*expressions[column_id] == expression) {
+      return ColumnID{static_cast<uint16_t>(column_id)};
+    }
+  }
+  return std::nullopt;
+}
+
+ColumnID AbstractLqpNode::GetColumnIdOf(const AbstractExpression& expression) const {
+  const auto column_id = FindColumnIdOf(expression);
+  Assert(column_id.has_value(), "Expression not found in node outputs: " + expression.Description());
+  return *column_id;
+}
+
+LqpNodePtr AbstractLqpNode::DeepCopy(LqpNodeMapping& mapping) const {
+  const auto self = shared_from_this();
+  const auto existing = mapping.find(self);
+  if (existing != mapping.end()) {
+    return existing->second;
+  }
+
+  auto left_copy = left_input ? left_input->DeepCopy(mapping) : nullptr;
+  auto right_copy = right_input ? right_input->DeepCopy(mapping) : nullptr;
+
+  auto copy = ShallowCopy();
+  copy->left_input = std::move(left_copy);
+  copy->right_input = std::move(right_copy);
+  for (auto& expression : copy->node_expressions) {
+    expression = AdaptExpressionToCopiedLqp(expression, mapping);
+  }
+  mapping.emplace(self, copy);
+  return copy;
+}
+
+ExpressionPtr AdaptExpressionToCopiedLqp(const ExpressionPtr& expression, const LqpNodeMapping& mapping) {
+  if (expression->type == ExpressionType::kLqpColumn) {
+    const auto& column = static_cast<const LqpColumnExpression&>(*expression);
+    const auto original = column.original_node.lock();
+    const auto mapped = original ? mapping.find(original) : mapping.end();
+    if (mapped != mapping.end()) {
+      return std::make_shared<LqpColumnExpression>(mapped->second, column.original_column_id,
+                                                   column.column_data_type, column.nullable, column.name);
+    }
+    return expression;
+  }
+  if (expression->type == ExpressionType::kLqpSubquery) {
+    auto& subquery = static_cast<LqpSubqueryExpression&>(*expression);
+    // Copy the subquery plan as well so rewrites on the copy stay local.
+    auto submapping = LqpNodeMapping{mapping};
+    auto copied_lqp = subquery.lqp->DeepCopy(submapping);
+    auto copied_parameters = std::vector<std::pair<ParameterID, ExpressionPtr>>{};
+    copied_parameters.reserve(subquery.parameters.size());
+    for (const auto& [parameter_id, parameter_expression] : subquery.parameters) {
+      copied_parameters.emplace_back(parameter_id, AdaptExpressionToCopiedLqp(parameter_expression, mapping));
+    }
+    return std::make_shared<LqpSubqueryExpression>(std::move(copied_lqp), std::move(copied_parameters));
+  }
+
+  auto copy = expression->DeepCopy();
+  // DeepCopy of inner nodes recreated LqpColumnExpressions pointing at the
+  // original nodes; rewrite them in place.
+  for (auto& argument : copy->arguments) {
+    argument = AdaptExpressionToCopiedLqp(argument, mapping);
+  }
+  return copy;
+}
+
+}  // namespace hyrise

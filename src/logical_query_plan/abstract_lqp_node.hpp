@@ -1,0 +1,123 @@
+#ifndef HYRISE_SRC_LOGICAL_QUERY_PLAN_ABSTRACT_LQP_NODE_HPP_
+#define HYRISE_SRC_LOGICAL_QUERY_PLAN_ABSTRACT_LQP_NODE_HPP_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "expression/abstract_expression.hpp"
+#include "types/types.hpp"
+
+namespace hyrise {
+
+enum class LqpNodeType {
+  kStoredTable,
+  kStaticTable,
+  kPredicate,
+  kJoin,
+  kProjection,
+  kAggregate,
+  kSort,
+  kLimit,
+  kUnion,
+  kValidate,
+  kAlias,
+  kInsert,
+  kDelete,
+  kUpdate,
+  kCreateTable,
+  kDropTable,
+  kCreateView,
+  kDropView,
+};
+
+class AbstractLqpNode;
+using LqpNodePtr = std::shared_ptr<AbstractLqpNode>;
+
+/// Mapping from original nodes to their copies, filled during LQP deep copy
+/// and used to re-anchor LqpColumnExpressions.
+using LqpNodeMapping = std::unordered_map<std::shared_ptr<const AbstractLqpNode>, LqpNodePtr>;
+
+/// A node of the logical query plan — a DAG whose nodes loosely resemble
+/// relational-algebra operations (paper §2.1). Nodes are not executable; the
+/// LQP translator turns them into physical operators after optimization.
+class AbstractLqpNode : public std::enable_shared_from_this<AbstractLqpNode> {
+ public:
+  AbstractLqpNode(LqpNodeType init_type, Expressions init_node_expressions = {})
+      : type(init_type), node_expressions(std::move(init_node_expressions)) {}
+
+  AbstractLqpNode(const AbstractLqpNode&) = delete;
+  AbstractLqpNode& operator=(const AbstractLqpNode&) = delete;
+  virtual ~AbstractLqpNode() = default;
+
+  /// The expressions this node makes available to its parents. For most nodes
+  /// this forwards the left input; Projection/Aggregate/Join/StoredTable
+  /// override.
+  virtual Expressions output_expressions() const;
+
+  /// Whether the column produced by `expression` may contain NULLs.
+  virtual std::string Description() const = 0;
+
+  /// Index of `expression` within output_expressions() (structural equality).
+  std::optional<ColumnID> FindColumnIdOf(const AbstractExpression& expression) const;
+
+  ColumnID GetColumnIdOf(const AbstractExpression& expression) const;
+
+  /// Deep-copies the plan below (and including) this node. `mapping` collects
+  /// original→copy pairs; column expressions inside the copy are re-anchored
+  /// to the copied nodes.
+  LqpNodePtr DeepCopy(LqpNodeMapping& mapping) const;
+
+  LqpNodePtr DeepCopy() const {
+    auto mapping = LqpNodeMapping{};
+    return DeepCopy(mapping);
+  }
+
+  const LqpNodeType type;
+
+  LqpNodePtr left_input;
+  LqpNodePtr right_input;
+
+  /// The node's own expressions (predicates, projections, join predicates,
+  /// sort expressions, ...semantics defined by the concrete node).
+  Expressions node_expressions;
+
+ protected:
+  /// Copies the node itself (without inputs; expressions deep-copied).
+  virtual LqpNodePtr ShallowCopy() const = 0;
+};
+
+/// Re-anchors every LqpColumnExpression in `expression` (in place, returning
+/// possibly-new root) whose original node appears in `mapping`.
+ExpressionPtr AdaptExpressionToCopiedLqp(const ExpressionPtr& expression, const LqpNodeMapping& mapping);
+
+/// Pre-order LQP visit; `visitor(node)` returns false to skip inputs.
+/// Diamond-safe (visits shared subplans once).
+template <typename Visitor>
+void VisitLqp(const LqpNodePtr& node, const Visitor& visitor) {
+  auto visited = std::unordered_map<const AbstractLqpNode*, bool>{};
+  auto stack = std::vector<LqpNodePtr>{node};
+  while (!stack.empty()) {
+    const auto current = stack.back();
+    stack.pop_back();
+    if (!current || visited[current.get()]) {
+      continue;
+    }
+    visited[current.get()] = true;
+    if (!visitor(current)) {
+      continue;
+    }
+    if (current->left_input) {
+      stack.push_back(current->left_input);
+    }
+    if (current->right_input) {
+      stack.push_back(current->right_input);
+    }
+  }
+}
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_LOGICAL_QUERY_PLAN_ABSTRACT_LQP_NODE_HPP_

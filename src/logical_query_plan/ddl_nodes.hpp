@@ -1,0 +1,126 @@
+#ifndef HYRISE_SRC_LOGICAL_QUERY_PLAN_DDL_NODES_HPP_
+#define HYRISE_SRC_LOGICAL_QUERY_PLAN_DDL_NODES_HPP_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "logical_query_plan/abstract_lqp_node.hpp"
+#include "storage/table_column_definition.hpp"
+
+namespace hyrise {
+
+/// A stored SQL view: its definition LQP plus the output column names
+/// (paper §2.6: views are "stored as their LQP" and embedded on use).
+class LqpView {
+ public:
+  LqpView(LqpNodePtr init_lqp, std::vector<std::string> init_column_names)
+      : lqp(std::move(init_lqp)), column_names(std::move(init_column_names)) {}
+
+  LqpNodePtr lqp;
+  std::vector<std::string> column_names;
+};
+
+class CreateTableNode final : public AbstractLqpNode {
+ public:
+  static std::shared_ptr<CreateTableNode> Make(std::string table_name, TableColumnDefinitions definitions,
+                                               bool if_not_exists);
+
+  CreateTableNode(std::string init_table_name, TableColumnDefinitions init_definitions, bool init_if_not_exists)
+      : AbstractLqpNode(LqpNodeType::kCreateTable),
+        table_name(std::move(init_table_name)),
+        column_definitions(std::move(init_definitions)),
+        if_not_exists(init_if_not_exists) {}
+
+  Expressions output_expressions() const final {
+    return {};
+  }
+
+  std::string Description() const final {
+    return "[CreateTable] " + table_name;
+  }
+
+  const std::string table_name;
+  const TableColumnDefinitions column_definitions;
+  const bool if_not_exists;
+
+ protected:
+  LqpNodePtr ShallowCopy() const final {
+    return std::make_shared<CreateTableNode>(table_name, column_definitions, if_not_exists);
+  }
+};
+
+class DropTableNode final : public AbstractLqpNode {
+ public:
+  static std::shared_ptr<DropTableNode> Make(std::string table_name, bool if_exists);
+
+  DropTableNode(std::string init_table_name, bool init_if_exists)
+      : AbstractLqpNode(LqpNodeType::kDropTable), table_name(std::move(init_table_name)), if_exists(init_if_exists) {}
+
+  Expressions output_expressions() const final {
+    return {};
+  }
+
+  std::string Description() const final {
+    return "[DropTable] " + table_name;
+  }
+
+  const std::string table_name;
+  const bool if_exists;
+
+ protected:
+  LqpNodePtr ShallowCopy() const final {
+    return std::make_shared<DropTableNode>(table_name, if_exists);
+  }
+};
+
+class CreateViewNode final : public AbstractLqpNode {
+ public:
+  static std::shared_ptr<CreateViewNode> Make(std::string view_name, std::shared_ptr<LqpView> view);
+
+  CreateViewNode(std::string init_view_name, std::shared_ptr<LqpView> init_view)
+      : AbstractLqpNode(LqpNodeType::kCreateView), view_name(std::move(init_view_name)), view(std::move(init_view)) {}
+
+  Expressions output_expressions() const final {
+    return {};
+  }
+
+  std::string Description() const final {
+    return "[CreateView] " + view_name;
+  }
+
+  const std::string view_name;
+  const std::shared_ptr<LqpView> view;
+
+ protected:
+  LqpNodePtr ShallowCopy() const final {
+    return std::make_shared<CreateViewNode>(view_name, view);
+  }
+};
+
+class DropViewNode final : public AbstractLqpNode {
+ public:
+  static std::shared_ptr<DropViewNode> Make(std::string view_name);
+
+  explicit DropViewNode(std::string init_view_name)
+      : AbstractLqpNode(LqpNodeType::kDropView), view_name(std::move(init_view_name)) {}
+
+  Expressions output_expressions() const final {
+    return {};
+  }
+
+  std::string Description() const final {
+    return "[DropView] " + view_name;
+  }
+
+  const std::string view_name;
+
+ protected:
+  LqpNodePtr ShallowCopy() const final {
+    return std::make_shared<DropViewNode>(view_name);
+  }
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_LOGICAL_QUERY_PLAN_DDL_NODES_HPP_

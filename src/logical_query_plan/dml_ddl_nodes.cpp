@@ -1,0 +1,42 @@
+#include "logical_query_plan/ddl_nodes.hpp"
+#include "logical_query_plan/dml_nodes.hpp"
+
+namespace hyrise {
+
+std::shared_ptr<InsertNode> InsertNode::Make(std::string table_name, LqpNodePtr input) {
+  auto node = std::make_shared<InsertNode>(std::move(table_name));
+  node->left_input = std::move(input);
+  return node;
+}
+
+std::shared_ptr<DeleteNode> DeleteNode::Make(LqpNodePtr input) {
+  auto node = std::make_shared<DeleteNode>();
+  node->left_input = std::move(input);
+  return node;
+}
+
+std::shared_ptr<UpdateNode> UpdateNode::Make(std::string table_name, Expressions new_row_expressions,
+                                             LqpNodePtr input) {
+  auto node = std::make_shared<UpdateNode>(std::move(table_name), std::move(new_row_expressions));
+  node->left_input = std::move(input);
+  return node;
+}
+
+std::shared_ptr<CreateTableNode> CreateTableNode::Make(std::string table_name, TableColumnDefinitions definitions,
+                                                       bool if_not_exists) {
+  return std::make_shared<CreateTableNode>(std::move(table_name), std::move(definitions), if_not_exists);
+}
+
+std::shared_ptr<DropTableNode> DropTableNode::Make(std::string table_name, bool if_exists) {
+  return std::make_shared<DropTableNode>(std::move(table_name), if_exists);
+}
+
+std::shared_ptr<CreateViewNode> CreateViewNode::Make(std::string view_name, std::shared_ptr<LqpView> view) {
+  return std::make_shared<CreateViewNode>(std::move(view_name), std::move(view));
+}
+
+std::shared_ptr<DropViewNode> DropViewNode::Make(std::string view_name) {
+  return std::make_shared<DropViewNode>(std::move(view_name));
+}
+
+}  // namespace hyrise

@@ -1,0 +1,87 @@
+#ifndef HYRISE_SRC_LOGICAL_QUERY_PLAN_DML_NODES_HPP_
+#define HYRISE_SRC_LOGICAL_QUERY_PLAN_DML_NODES_HPP_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "logical_query_plan/abstract_lqp_node.hpp"
+
+namespace hyrise {
+
+/// INSERT INTO table_name: appends the rows produced by the input plan.
+class InsertNode final : public AbstractLqpNode {
+ public:
+  static std::shared_ptr<InsertNode> Make(std::string table_name, LqpNodePtr input);
+
+  explicit InsertNode(std::string init_table_name)
+      : AbstractLqpNode(LqpNodeType::kInsert), table_name(std::move(init_table_name)) {}
+
+  Expressions output_expressions() const final {
+    return {};
+  }
+
+  std::string Description() const final {
+    return "[Insert] into " + table_name;
+  }
+
+  const std::string table_name;
+
+ protected:
+  LqpNodePtr ShallowCopy() const final {
+    return std::make_shared<InsertNode>(table_name);
+  }
+};
+
+/// DELETE: invalidates the rows selected by the input plan (which must
+/// produce references into the target table).
+class DeleteNode final : public AbstractLqpNode {
+ public:
+  static std::shared_ptr<DeleteNode> Make(LqpNodePtr input);
+
+  DeleteNode() : AbstractLqpNode(LqpNodeType::kDelete) {}
+
+  Expressions output_expressions() const final {
+    return {};
+  }
+
+  std::string Description() const final {
+    return "[Delete]";
+  }
+
+ protected:
+  LqpNodePtr ShallowCopy() const final {
+    return std::make_shared<DeleteNode>();
+  }
+};
+
+/// UPDATE = delete + reinsert (paper §2.8: updates are invalidations and
+/// reinsertions). The input plan selects the rows; node_expressions compute
+/// the full new row (one expression per target-table column).
+class UpdateNode final : public AbstractLqpNode {
+ public:
+  static std::shared_ptr<UpdateNode> Make(std::string table_name, Expressions new_row_expressions, LqpNodePtr input);
+
+  UpdateNode(std::string init_table_name, Expressions new_row_expressions)
+      : AbstractLqpNode(LqpNodeType::kUpdate, std::move(new_row_expressions)),
+        table_name(std::move(init_table_name)) {}
+
+  Expressions output_expressions() const final {
+    return {};
+  }
+
+  std::string Description() const final {
+    return "[Update] " + table_name;
+  }
+
+  const std::string table_name;
+
+ protected:
+  LqpNodePtr ShallowCopy() const final {
+    return std::make_shared<UpdateNode>(table_name, Expressions{node_expressions});
+  }
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_LOGICAL_QUERY_PLAN_DML_NODES_HPP_

@@ -1,0 +1,495 @@
+#include "logical_query_plan/lqp_translator.hpp"
+
+#include "logical_query_plan/ddl_nodes.hpp"
+#include "logical_query_plan/dml_nodes.hpp"
+#include "logical_query_plan/operator_nodes.hpp"
+#include "logical_query_plan/static_table_node.hpp"
+#include "logical_query_plan/stored_table_node.hpp"
+#include "operators/aggregate.hpp"
+#include "operators/alias_operator.hpp"
+#include "operators/delete.hpp"
+#include "operators/get_table.hpp"
+#include "operators/index_scan.hpp"
+#include "operators/insert.hpp"
+#include "operators/join_hash.hpp"
+#include "operators/join_nested_loop.hpp"
+#include "operators/join_sort_merge.hpp"
+#include "operators/limit.hpp"
+#include "operators/maintenance_operators.hpp"
+#include "operators/product.hpp"
+#include "operators/projection.hpp"
+#include "operators/sort.hpp"
+#include "operators/table_scan.hpp"
+#include "operators/table_wrapper.hpp"
+#include "operators/union_all.hpp"
+#include "operators/update.hpp"
+#include "operators/validate.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+namespace {
+
+std::string ExpressionName(const ExpressionPtr& expression) {
+  if (expression->type == ExpressionType::kLqpColumn) {
+    return static_cast<const LqpColumnExpression&>(*expression).name;
+  }
+  return expression->Description();
+}
+
+bool ExpressionNullable(const ExpressionPtr& expression) {
+  if (expression->type == ExpressionType::kLqpColumn) {
+    return static_cast<const LqpColumnExpression&>(*expression).nullable;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<AbstractOperator>> LqpTranslator::Translate(const LqpNodePtr& lqp) {
+  error_.clear();
+  auto root = TranslateNode(lqp);
+  if (!root) {
+    return Result<std::shared_ptr<AbstractOperator>>::Error(error_.empty() ? "LQP translation failed" : error_);
+  }
+  return root;
+}
+
+ExpressionPtr LqpTranslator::TranslateExpression(const ExpressionPtr& expression, const LqpNodePtr& input_node) {
+  const auto outputs = input_node->output_expressions();
+  for (auto index = size_t{0}; index < outputs.size(); ++index) {
+    if (*outputs[index] == *expression) {
+      auto data_type = expression->data_type();
+      if (data_type == DataType::kNull) {
+        data_type = DataType::kInt;
+      }
+      return std::make_shared<PqpColumnExpression>(ColumnID{static_cast<uint16_t>(index)}, data_type,
+                                                   ExpressionNullable(expression), ExpressionName(expression));
+    }
+  }
+  if (expression->type == ExpressionType::kLqpColumn) {
+    error_ = "Column not available from the input: " + expression->Description();
+    return nullptr;
+  }
+  if (expression->type == ExpressionType::kLqpSubquery) {
+    const auto& subquery = static_cast<const LqpSubqueryExpression&>(*expression);
+    auto subplan = TranslateNode(subquery.lqp);
+    if (!subplan) {
+      return nullptr;
+    }
+    auto parameters = std::vector<std::pair<ParameterID, ExpressionPtr>>{};
+    parameters.reserve(subquery.parameters.size());
+    for (const auto& [parameter_id, outer_expression] : subquery.parameters) {
+      auto translated = TranslateExpression(outer_expression, input_node);
+      if (!translated) {
+        return nullptr;
+      }
+      parameters.emplace_back(parameter_id, std::move(translated));
+    }
+    auto data_type = subquery.data_type();
+    if (data_type == DataType::kNull) {
+      data_type = DataType::kInt;
+    }
+    return std::make_shared<PqpSubqueryExpression>(std::move(subplan), data_type, std::move(parameters));
+  }
+
+  auto copy = expression->DeepCopy();
+  for (auto& argument : copy->arguments) {
+    // DeepCopy duplicated the arguments; re-translate from the originals so
+    // structural matches against the input are found.
+    argument = nullptr;
+  }
+  for (auto index = size_t{0}; index < expression->arguments.size(); ++index) {
+    auto translated = TranslateExpression(expression->arguments[index], input_node);
+    if (!translated) {
+      return nullptr;
+    }
+    copy->arguments[index] = std::move(translated);
+  }
+  return copy;
+}
+
+std::shared_ptr<AbstractOperator> LqpTranslator::TranslatePredicateNode(const LqpNodePtr& node) {
+  const auto& predicate_node = static_cast<const PredicateNode&>(*node);
+
+  // Index hint (paper §2.6: "a logical predicate node contains the
+  // information that a secondary index can and should be used").
+  if (predicate_node.prefer_index && node->left_input->type == LqpNodeType::kStoredTable) {
+    const auto& stored = static_cast<const StoredTableNode&>(*node->left_input);
+    const auto pqp_predicate = TranslateExpression(predicate_node.predicate(), node->left_input);
+    if (!pqp_predicate) {
+      return nullptr;
+    }
+    if (pqp_predicate->type == ExpressionType::kPredicate) {
+      const auto& typed = static_cast<const PredicateExpression&>(*pqp_predicate);
+      if (typed.arguments.size() >= 2 && typed.arguments[0]->type == ExpressionType::kPqpColumn &&
+          typed.arguments[1]->type == ExpressionType::kValue) {
+        const auto column_id = static_cast<const PqpColumnExpression&>(*typed.arguments[0]).column_id;
+        const auto& value = static_cast<const ValueExpression&>(*typed.arguments[1]).value;
+        auto value2 = std::optional<AllTypeVariant>{};
+        if (typed.condition == PredicateCondition::kBetweenInclusive && typed.arguments.size() == 3 &&
+            typed.arguments[2]->type == ExpressionType::kValue) {
+          value2 = static_cast<const ValueExpression&>(*typed.arguments[2]).value;
+        }
+        return std::make_shared<IndexScan>(stored.table_name, stored.pruned_chunk_ids, column_id, typed.condition,
+                                           value, value2);
+      }
+    }
+  }
+
+  auto input = TranslateNode(node->left_input);
+  if (!input) {
+    return nullptr;
+  }
+  auto pqp_predicate = TranslateExpression(predicate_node.predicate(), node->left_input);
+  if (!pqp_predicate) {
+    return nullptr;
+  }
+  return std::make_shared<TableScan>(std::move(input), std::move(pqp_predicate));
+}
+
+std::shared_ptr<AbstractOperator> LqpTranslator::TranslateJoinNode(const LqpNodePtr& node) {
+  const auto& join_node = static_cast<const JoinNode&>(*node);
+  auto left = TranslateNode(node->left_input);
+  auto right = left ? TranslateNode(node->right_input) : nullptr;
+  if (!right) {
+    return nullptr;
+  }
+
+  if (join_node.join_mode == JoinMode::kCross) {
+    return std::make_shared<Product>(std::move(left), std::move(right));
+  }
+
+  const auto left_outputs = node->left_input->output_expressions();
+  const auto right_outputs = node->right_input->output_expressions();
+  const auto find_in = [](const ExpressionPtr& expression, const Expressions& outputs) -> std::optional<ColumnID> {
+    for (auto index = size_t{0}; index < outputs.size(); ++index) {
+      if (*outputs[index] == *expression) {
+        return ColumnID{static_cast<uint16_t>(index)};
+      }
+    }
+    return std::nullopt;
+  };
+
+  /// Decomposes `col_a <op> col_b` into an operator predicate with sides
+  /// assigned; returns false if the expression has another shape.
+  const auto to_operator_predicate = [&](const ExpressionPtr& expression, JoinOperatorPredicate& out) {
+    if (expression->type != ExpressionType::kPredicate) {
+      return false;
+    }
+    const auto& predicate = static_cast<const PredicateExpression&>(*expression);
+    if (predicate.arguments.size() != 2) {
+      return false;
+    }
+    const auto left_as_left = find_in(predicate.arguments[0], left_outputs);
+    const auto right_as_right = find_in(predicate.arguments[1], right_outputs);
+    if (left_as_left.has_value() && right_as_right.has_value()) {
+      out = {*left_as_left, *right_as_right, predicate.condition};
+      return true;
+    }
+    const auto left_as_right = find_in(predicate.arguments[0], right_outputs);
+    const auto right_as_left = find_in(predicate.arguments[1], left_outputs);
+    if (left_as_right.has_value() && right_as_left.has_value()) {
+      out = {*right_as_left, *left_as_right, FlipPredicateCondition(predicate.condition)};
+      return true;
+    }
+    return false;
+  };
+
+  auto primary = JoinOperatorPredicate{};
+  if (!to_operator_predicate(join_node.node_expressions[0], primary)) {
+    if (join_node.join_mode != JoinMode::kInner) {
+      error_ = "Join primary predicate must compare one column per side: " +
+               join_node.node_expressions[0]->Description();
+      return nullptr;
+    }
+    // Inner join with only complex predicates (e.g. an OR spanning both
+    // sides): cartesian product followed by scans is the general fallback.
+    auto plan = std::shared_ptr<AbstractOperator>{std::make_shared<Product>(std::move(left), std::move(right))};
+    for (const auto& expression : join_node.node_expressions) {
+      auto pqp_predicate = TranslateExpression(expression, node);
+      if (!pqp_predicate) {
+        return nullptr;
+      }
+      plan = std::make_shared<TableScan>(std::move(plan), std::move(pqp_predicate));
+    }
+    return plan;
+  }
+
+  auto secondary = std::vector<JoinOperatorPredicate>{};
+  auto residual = Expressions{};  // Complex predicates applied after the join.
+  for (auto index = size_t{1}; index < join_node.node_expressions.size(); ++index) {
+    auto operator_predicate = JoinOperatorPredicate{};
+    if (to_operator_predicate(join_node.node_expressions[index], operator_predicate)) {
+      secondary.push_back(operator_predicate);
+    } else if (join_node.join_mode == JoinMode::kInner) {
+      residual.push_back(join_node.node_expressions[index]);
+    } else {
+      error_ = "Complex secondary predicate unsupported for this join mode: " +
+               join_node.node_expressions[index]->Description();
+      return nullptr;
+    }
+  }
+
+  auto join = std::shared_ptr<AbstractOperator>{};
+  const auto equi_capable = primary.condition == PredicateCondition::kEquals &&
+                            (join_node.join_mode == JoinMode::kInner || join_node.join_mode == JoinMode::kLeft ||
+                             join_node.join_mode == JoinMode::kSemi || join_node.join_mode == JoinMode::kAnti);
+  switch (join_node.preferred_implementation) {
+    case JoinImplementation::kSortMerge:
+      if (equi_capable) {
+        join = std::make_shared<JoinSortMerge>(std::move(left), std::move(right), join_node.join_mode, primary,
+                                               std::move(secondary));
+      }
+      break;
+    case JoinImplementation::kNestedLoop:
+      join = std::make_shared<JoinNestedLoop>(std::move(left), std::move(right), join_node.join_mode, primary,
+                                              std::move(secondary));
+      break;
+    case JoinImplementation::kHash:
+    case JoinImplementation::kAuto:
+      break;  // Resolved below.
+  }
+  if (!join) {
+    if (equi_capable) {
+      join = std::make_shared<JoinHash>(std::move(left), std::move(right), join_node.join_mode, primary,
+                                        std::move(secondary));
+    } else {
+      join = std::make_shared<JoinNestedLoop>(std::move(left), std::move(right), join_node.join_mode, primary,
+                                              std::move(secondary));
+    }
+  }
+
+  // Residual complex predicates (inner joins only; equivalent to scanning the
+  // join result).
+  for (const auto& expression : residual) {
+    auto pqp_predicate = TranslateExpression(expression, node);
+    if (!pqp_predicate) {
+      return nullptr;
+    }
+    join = std::make_shared<TableScan>(std::move(join), std::move(pqp_predicate));
+  }
+  return join;
+}
+
+std::shared_ptr<AbstractOperator> LqpTranslator::TranslateNode(const LqpNodePtr& node) {
+  const auto cached = operator_cache_.find(node.get());
+  if (cached != operator_cache_.end()) {
+    return cached->second;
+  }
+
+  auto result = std::shared_ptr<AbstractOperator>{};
+  switch (node->type) {
+    case LqpNodeType::kStoredTable: {
+      const auto& stored = static_cast<const StoredTableNode&>(*node);
+      result = std::make_shared<GetTable>(stored.table_name, stored.pruned_chunk_ids);
+      break;
+    }
+    case LqpNodeType::kStaticTable: {
+      const auto& static_table = static_cast<const StaticTableNode&>(*node);
+      result = std::make_shared<TableWrapper>(static_table.table);
+      break;
+    }
+    case LqpNodeType::kPredicate:
+      result = TranslatePredicateNode(node);
+      break;
+    case LqpNodeType::kJoin:
+      result = TranslateJoinNode(node);
+      break;
+    case LqpNodeType::kProjection: {
+      auto input = TranslateNode(node->left_input);
+      if (!input) {
+        return nullptr;
+      }
+      auto expressions = Expressions{};
+      expressions.reserve(node->node_expressions.size());
+      for (const auto& expression : node->node_expressions) {
+        auto translated = TranslateExpression(expression, node->left_input);
+        if (!translated) {
+          return nullptr;
+        }
+        expressions.push_back(std::move(translated));
+      }
+      result = std::make_shared<Projection>(std::move(input), std::move(expressions));
+      break;
+    }
+    case LqpNodeType::kAggregate: {
+      const auto& aggregate_node = static_cast<const AggregateNode&>(*node);
+      auto input = TranslateNode(node->left_input);
+      if (!input) {
+        return nullptr;
+      }
+      const auto input_outputs = node->left_input->output_expressions();
+      const auto column_id_of = [&](const ExpressionPtr& expression) -> std::optional<ColumnID> {
+        for (auto index = size_t{0}; index < input_outputs.size(); ++index) {
+          if (*input_outputs[index] == *expression) {
+            return ColumnID{static_cast<uint16_t>(index)};
+          }
+        }
+        return std::nullopt;
+      };
+
+      auto group_by = std::vector<ColumnID>{};
+      for (auto index = size_t{0}; index < aggregate_node.group_by_count; ++index) {
+        const auto column_id = column_id_of(node->node_expressions[index]);
+        if (!column_id.has_value()) {
+          error_ = "Group-by expression not available from input: " +
+                   node->node_expressions[index]->Description();
+          return nullptr;
+        }
+        group_by.push_back(*column_id);
+      }
+      auto aggregates = std::vector<AggregateColumnDefinition>{};
+      for (auto index = aggregate_node.group_by_count; index < node->node_expressions.size(); ++index) {
+        const auto& expression = node->node_expressions[index];
+        Assert(expression->type == ExpressionType::kAggregate, "Expected AggregateExpression");
+        const auto& aggregate = static_cast<const AggregateExpression&>(*expression);
+        auto definition = AggregateColumnDefinition{aggregate.function, std::nullopt};
+        if (!aggregate.is_count_star()) {
+          const auto column_id = column_id_of(aggregate.arguments[0]);
+          if (!column_id.has_value()) {
+            error_ = "Aggregate argument not available from input: " + aggregate.arguments[0]->Description();
+            return nullptr;
+          }
+          definition.column = column_id;
+        }
+        aggregates.push_back(definition);
+      }
+      result = std::make_shared<Aggregate>(std::move(input), std::move(group_by), std::move(aggregates));
+      break;
+    }
+    case LqpNodeType::kSort: {
+      const auto& sort_node = static_cast<const SortNode&>(*node);
+      auto input = TranslateNode(node->left_input);
+      if (!input) {
+        return nullptr;
+      }
+      const auto input_outputs = node->left_input->output_expressions();
+      auto definitions = std::vector<SortColumnDefinition>{};
+      for (auto index = size_t{0}; index < node->node_expressions.size(); ++index) {
+        auto found = false;
+        for (auto output = size_t{0}; output < input_outputs.size(); ++output) {
+          if (*input_outputs[output] == *node->node_expressions[index]) {
+            definitions.push_back({ColumnID{static_cast<uint16_t>(output)}, sort_node.sort_modes[index]});
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          error_ = "Sort expression not available from input: " + node->node_expressions[index]->Description();
+          return nullptr;
+        }
+      }
+      result = std::make_shared<Sort>(std::move(input), std::move(definitions));
+      break;
+    }
+    case LqpNodeType::kLimit: {
+      auto input = TranslateNode(node->left_input);
+      if (!input) {
+        return nullptr;
+      }
+      result = std::make_shared<Limit>(std::move(input), static_cast<const LimitNode&>(*node).row_count);
+      break;
+    }
+    case LqpNodeType::kUnion: {
+      auto left = TranslateNode(node->left_input);
+      auto right = left ? TranslateNode(node->right_input) : nullptr;
+      if (!right) {
+        return nullptr;
+      }
+      result = std::make_shared<UnionAll>(std::move(left), std::move(right));
+      break;
+    }
+    case LqpNodeType::kValidate: {
+      auto input = TranslateNode(node->left_input);
+      if (!input) {
+        return nullptr;
+      }
+      result = std::make_shared<Validate>(std::move(input));
+      break;
+    }
+    case LqpNodeType::kAlias: {
+      const auto& alias_node = static_cast<const AliasNode&>(*node);
+      auto input = TranslateNode(node->left_input);
+      if (!input) {
+        return nullptr;
+      }
+      const auto input_outputs = node->left_input->output_expressions();
+      auto column_ids = std::vector<ColumnID>{};
+      for (const auto& expression : node->node_expressions) {
+        auto found = false;
+        for (auto output = size_t{0}; output < input_outputs.size(); ++output) {
+          if (*input_outputs[output] == *expression) {
+            column_ids.push_back(ColumnID{static_cast<uint16_t>(output)});
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          error_ = "Alias expression not available from input: " + expression->Description();
+          return nullptr;
+        }
+      }
+      result = std::make_shared<AliasOperator>(std::move(input), std::move(column_ids), alias_node.aliases);
+      break;
+    }
+    case LqpNodeType::kInsert: {
+      auto input = TranslateNode(node->left_input);
+      if (!input) {
+        return nullptr;
+      }
+      result = std::make_shared<Insert>(static_cast<const InsertNode&>(*node).table_name, std::move(input));
+      break;
+    }
+    case LqpNodeType::kDelete: {
+      auto input = TranslateNode(node->left_input);
+      if (!input) {
+        return nullptr;
+      }
+      result = std::make_shared<Delete>(std::move(input));
+      break;
+    }
+    case LqpNodeType::kUpdate: {
+      const auto& update_node = static_cast<const UpdateNode&>(*node);
+      auto input = TranslateNode(node->left_input);
+      if (!input) {
+        return nullptr;
+      }
+      auto expressions = Expressions{};
+      for (const auto& expression : node->node_expressions) {
+        auto translated = TranslateExpression(expression, node->left_input);
+        if (!translated) {
+          return nullptr;
+        }
+        expressions.push_back(std::move(translated));
+      }
+      result = std::make_shared<Update>(update_node.table_name, std::move(input), std::move(expressions));
+      break;
+    }
+    case LqpNodeType::kCreateTable: {
+      const auto& create = static_cast<const CreateTableNode&>(*node);
+      result = std::make_shared<CreateTable>(create.table_name, create.column_definitions, create.if_not_exists);
+      break;
+    }
+    case LqpNodeType::kDropTable: {
+      const auto& drop = static_cast<const DropTableNode&>(*node);
+      result = std::make_shared<DropTable>(drop.table_name, drop.if_exists);
+      break;
+    }
+    case LqpNodeType::kCreateView: {
+      const auto& create = static_cast<const CreateViewNode&>(*node);
+      result = std::make_shared<CreateView>(create.view_name, create.view);
+      break;
+    }
+    case LqpNodeType::kDropView: {
+      result = std::make_shared<DropView>(static_cast<const DropViewNode&>(*node).view_name);
+      break;
+    }
+  }
+  if (result) {
+    operator_cache_.emplace(node.get(), result);
+  }
+  return result;
+}
+
+}  // namespace hyrise

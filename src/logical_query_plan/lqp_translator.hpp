@@ -1,0 +1,40 @@
+#ifndef HYRISE_SRC_LOGICAL_QUERY_PLAN_LQP_TRANSLATOR_HPP_
+#define HYRISE_SRC_LOGICAL_QUERY_PLAN_LQP_TRANSLATOR_HPP_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "expression/expressions.hpp"
+#include "logical_query_plan/abstract_lqp_node.hpp"
+#include "utils/result.hpp"
+
+namespace hyrise {
+
+class AbstractOperator;
+
+/// Translates optimized logical plans into physical operator plans (paper
+/// §2.6, "LQP-to-PQP Translation"): picks the physical join implementation,
+/// converts logical column references into input-relative PqpColumns, turns
+/// subquery LQPs into subquery PQPs, and honors the optimizer's index hints.
+class LqpTranslator {
+ public:
+  Result<std::shared_ptr<AbstractOperator>> Translate(const LqpNodePtr& lqp);
+
+ private:
+  std::shared_ptr<AbstractOperator> TranslateNode(const LqpNodePtr& node);
+
+  /// Rewrites an LQP expression into a PQP expression: subtrees structurally
+  /// equal to an output of `input_node` become PqpColumnExpressions.
+  ExpressionPtr TranslateExpression(const ExpressionPtr& expression, const LqpNodePtr& input_node);
+
+  std::shared_ptr<AbstractOperator> TranslatePredicateNode(const LqpNodePtr& node);
+  std::shared_ptr<AbstractOperator> TranslateJoinNode(const LqpNodePtr& node);
+
+  std::unordered_map<const AbstractLqpNode*, std::shared_ptr<AbstractOperator>> operator_cache_;
+  std::string error_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_LOGICAL_QUERY_PLAN_LQP_TRANSLATOR_HPP_

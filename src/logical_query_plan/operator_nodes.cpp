@@ -1,0 +1,162 @@
+#include "logical_query_plan/operator_nodes.hpp"
+
+#include "expression/expressions.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+// --- PredicateNode --------------------------------------------------------------
+
+std::shared_ptr<PredicateNode> PredicateNode::Make(ExpressionPtr predicate, LqpNodePtr input) {
+  auto node = std::make_shared<PredicateNode>(std::move(predicate));
+  node->left_input = std::move(input);
+  return node;
+}
+
+// --- JoinNode -------------------------------------------------------------------
+
+std::shared_ptr<JoinNode> JoinNode::Make(JoinMode mode, Expressions predicates, LqpNodePtr left, LqpNodePtr right) {
+  Assert(mode == JoinMode::kCross || !predicates.empty(), "Non-cross join requires predicates");
+  auto node = std::make_shared<JoinNode>(mode, std::move(predicates));
+  node->left_input = std::move(left);
+  node->right_input = std::move(right);
+  return node;
+}
+
+std::shared_ptr<JoinNode> JoinNode::MakeCross(LqpNodePtr left, LqpNodePtr right) {
+  return Make(JoinMode::kCross, {}, std::move(left), std::move(right));
+}
+
+Expressions JoinNode::output_expressions() const {
+  auto expressions = left_input->output_expressions();
+  if (join_mode != JoinMode::kSemi && join_mode != JoinMode::kAnti) {
+    const auto right_expressions = right_input->output_expressions();
+    expressions.insert(expressions.end(), right_expressions.begin(), right_expressions.end());
+  }
+  return expressions;
+}
+
+std::string JoinNode::Description() const {
+  auto description = std::string{"[Join] "} + JoinModeToString(join_mode);
+  for (const auto& predicate : node_expressions) {
+    description += " " + predicate->Description();
+  }
+  return description;
+}
+
+LqpNodePtr JoinNode::ShallowCopy() const {
+  auto copy = std::make_shared<JoinNode>(join_mode, Expressions{node_expressions});
+  copy->preferred_implementation = preferred_implementation;
+  return copy;
+}
+
+// --- ProjectionNode -------------------------------------------------------------
+
+std::shared_ptr<ProjectionNode> ProjectionNode::Make(Expressions expressions, LqpNodePtr input) {
+  auto node = std::make_shared<ProjectionNode>(std::move(expressions));
+  node->left_input = std::move(input);
+  return node;
+}
+
+std::string ProjectionNode::Description() const {
+  auto description = std::string{"[Projection]"};
+  for (const auto& expression : node_expressions) {
+    description += " " + expression->Description();
+  }
+  return description;
+}
+
+LqpNodePtr ProjectionNode::ShallowCopy() const {
+  return std::make_shared<ProjectionNode>(Expressions{node_expressions});
+}
+
+// --- AggregateNode --------------------------------------------------------------
+
+std::shared_ptr<AggregateNode> AggregateNode::Make(Expressions group_by, Expressions aggregates, LqpNodePtr input) {
+  const auto group_by_count = group_by.size();
+  auto expressions = std::move(group_by);
+  expressions.insert(expressions.end(), aggregates.begin(), aggregates.end());
+  auto node = std::make_shared<AggregateNode>(std::move(expressions), group_by_count);
+  node->left_input = std::move(input);
+  return node;
+}
+
+std::string AggregateNode::Description() const {
+  auto description = std::string{"[Aggregate] group by ["};
+  for (auto index = size_t{0}; index < group_by_count; ++index) {
+    description += (index == 0 ? "" : ", ") + node_expressions[index]->Description();
+  }
+  description += "] aggregates [";
+  for (auto index = group_by_count; index < node_expressions.size(); ++index) {
+    description += (index == group_by_count ? "" : ", ") + node_expressions[index]->Description();
+  }
+  return description + "]";
+}
+
+LqpNodePtr AggregateNode::ShallowCopy() const {
+  return std::make_shared<AggregateNode>(Expressions{node_expressions}, group_by_count);
+}
+
+// --- SortNode -------------------------------------------------------------------
+
+std::shared_ptr<SortNode> SortNode::Make(Expressions expressions, std::vector<SortMode> sort_modes,
+                                         LqpNodePtr input) {
+  Assert(expressions.size() == sort_modes.size(), "One sort mode per expression");
+  auto node = std::make_shared<SortNode>(std::move(expressions), std::move(sort_modes));
+  node->left_input = std::move(input);
+  return node;
+}
+
+std::string SortNode::Description() const {
+  auto description = std::string{"[Sort]"};
+  for (auto index = size_t{0}; index < node_expressions.size(); ++index) {
+    description += " " + node_expressions[index]->Description() +
+                   (sort_modes[index] == SortMode::kAscending ? " ASC" : " DESC");
+  }
+  return description;
+}
+
+LqpNodePtr SortNode::ShallowCopy() const {
+  return std::make_shared<SortNode>(Expressions{node_expressions}, std::vector<SortMode>{sort_modes});
+}
+
+// --- LimitNode / UnionNode / ValidateNode ----------------------------------------
+
+std::shared_ptr<LimitNode> LimitNode::Make(uint64_t row_count, LqpNodePtr input) {
+  auto node = std::make_shared<LimitNode>(row_count);
+  node->left_input = std::move(input);
+  return node;
+}
+
+std::shared_ptr<UnionNode> UnionNode::Make(LqpNodePtr left, LqpNodePtr right) {
+  auto node = std::make_shared<UnionNode>();
+  node->left_input = std::move(left);
+  node->right_input = std::move(right);
+  return node;
+}
+
+std::shared_ptr<ValidateNode> ValidateNode::Make(LqpNodePtr input) {
+  auto node = std::make_shared<ValidateNode>();
+  node->left_input = std::move(input);
+  return node;
+}
+
+// --- AliasNode ------------------------------------------------------------------
+
+std::shared_ptr<AliasNode> AliasNode::Make(Expressions expressions, std::vector<std::string> aliases,
+                                           LqpNodePtr input) {
+  Assert(expressions.size() == aliases.size(), "One alias per expression");
+  auto node = std::make_shared<AliasNode>(std::move(expressions), std::move(aliases));
+  node->left_input = std::move(input);
+  return node;
+}
+
+std::string AliasNode::Description() const {
+  auto description = std::string{"[Alias]"};
+  for (const auto& alias : aliases) {
+    description += " " + alias;
+  }
+  return description;
+}
+
+}  // namespace hyrise

@@ -1,0 +1,207 @@
+#ifndef HYRISE_SRC_LOGICAL_QUERY_PLAN_OPERATOR_NODES_HPP_
+#define HYRISE_SRC_LOGICAL_QUERY_PLAN_OPERATOR_NODES_HPP_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "logical_query_plan/abstract_lqp_node.hpp"
+
+namespace hyrise {
+
+/// Filters rows by node_expressions[0]. Chains of PredicateNodes form
+/// conjunctions (the PredicateSplitUpRule separates ANDs).
+class PredicateNode final : public AbstractLqpNode {
+ public:
+  static std::shared_ptr<PredicateNode> Make(ExpressionPtr predicate, LqpNodePtr input);
+
+  explicit PredicateNode(ExpressionPtr predicate)
+      : AbstractLqpNode(LqpNodeType::kPredicate, {std::move(predicate)}) {}
+
+  const ExpressionPtr& predicate() const {
+    return node_expressions[0];
+  }
+
+  std::string Description() const final {
+    return "[Predicate] " + predicate()->Description();
+  }
+
+  /// Set by the optimizer's IndexScanRule: translate into an IndexScan when
+  /// the predicate sits directly on a stored table with a matching index.
+  bool prefer_index{false};
+
+ protected:
+  LqpNodePtr ShallowCopy() const final {
+    auto copy = std::make_shared<PredicateNode>(predicate()->DeepCopy());
+    copy->prefer_index = prefer_index;
+    return copy;
+  }
+};
+
+/// Which physical join the LQP translator should pick (paper §2.6: "the
+/// optimizer has already left hints in the LQP nodes"). kAuto = hash join
+/// for equality predicates, nested-loop otherwise.
+enum class JoinImplementation { kAuto, kHash, kSortMerge, kNestedLoop };
+
+/// Joins its two inputs. node_expressions holds the join predicates; the
+/// first must be an equality for hash/sort-merge translation (others become
+/// secondary predicates). Cross joins have no predicates.
+class JoinNode final : public AbstractLqpNode {
+ public:
+  static std::shared_ptr<JoinNode> Make(JoinMode mode, Expressions predicates, LqpNodePtr left, LqpNodePtr right);
+
+  static std::shared_ptr<JoinNode> MakeCross(LqpNodePtr left, LqpNodePtr right);
+
+  JoinNode(JoinMode init_mode, Expressions predicates)
+      : AbstractLqpNode(LqpNodeType::kJoin, std::move(predicates)), join_mode(init_mode) {}
+
+  Expressions output_expressions() const final;
+
+  std::string Description() const final;
+
+  const JoinMode join_mode;
+
+  /// Optimizer hint consumed by the LQP translator.
+  JoinImplementation preferred_implementation{JoinImplementation::kAuto};
+
+ protected:
+  LqpNodePtr ShallowCopy() const final;
+};
+
+/// Computes node_expressions — "our workhorse for most non-trivial column
+/// operations" (paper §2.6), including arithmetic, CASE, and subselects.
+class ProjectionNode final : public AbstractLqpNode {
+ public:
+  static std::shared_ptr<ProjectionNode> Make(Expressions expressions, LqpNodePtr input);
+
+  explicit ProjectionNode(Expressions expressions)
+      : AbstractLqpNode(LqpNodeType::kProjection, std::move(expressions)) {}
+
+  Expressions output_expressions() const final {
+    return node_expressions;
+  }
+
+  std::string Description() const final;
+
+ protected:
+  LqpNodePtr ShallowCopy() const final;
+};
+
+/// Grouping + aggregation. node_expressions = group-by expressions followed
+/// by AggregateExpressions; `group_by_count` separates them.
+class AggregateNode final : public AbstractLqpNode {
+ public:
+  static std::shared_ptr<AggregateNode> Make(Expressions group_by, Expressions aggregates, LqpNodePtr input);
+
+  AggregateNode(Expressions expressions, size_t init_group_by_count)
+      : AbstractLqpNode(LqpNodeType::kAggregate, std::move(expressions)), group_by_count(init_group_by_count) {}
+
+  Expressions output_expressions() const final {
+    return node_expressions;
+  }
+
+  std::string Description() const final;
+
+  const size_t group_by_count;
+
+ protected:
+  LqpNodePtr ShallowCopy() const final;
+};
+
+/// ORDER BY. node_expressions are the sort expressions, `sort_modes` runs
+/// parallel to them.
+class SortNode final : public AbstractLqpNode {
+ public:
+  static std::shared_ptr<SortNode> Make(Expressions expressions, std::vector<SortMode> sort_modes, LqpNodePtr input);
+
+  SortNode(Expressions expressions, std::vector<SortMode> init_sort_modes)
+      : AbstractLqpNode(LqpNodeType::kSort, std::move(expressions)), sort_modes(std::move(init_sort_modes)) {}
+
+  std::string Description() const final;
+
+  const std::vector<SortMode> sort_modes;
+
+ protected:
+  LqpNodePtr ShallowCopy() const final;
+};
+
+/// LIMIT n.
+class LimitNode final : public AbstractLqpNode {
+ public:
+  static std::shared_ptr<LimitNode> Make(uint64_t row_count, LqpNodePtr input);
+
+  explicit LimitNode(uint64_t init_row_count) : AbstractLqpNode(LqpNodeType::kLimit), row_count(init_row_count) {}
+
+  std::string Description() const final {
+    return "[Limit] " + std::to_string(row_count);
+  }
+
+  const uint64_t row_count;
+
+ protected:
+  LqpNodePtr ShallowCopy() const final {
+    return std::make_shared<LimitNode>(row_count);
+  }
+};
+
+/// UNION ALL of two inputs with identical schemas.
+class UnionNode final : public AbstractLqpNode {
+ public:
+  static std::shared_ptr<UnionNode> Make(LqpNodePtr left, LqpNodePtr right);
+
+  UnionNode() : AbstractLqpNode(LqpNodeType::kUnion) {}
+
+  std::string Description() const final {
+    return "[UnionAll]";
+  }
+
+ protected:
+  LqpNodePtr ShallowCopy() const final {
+    return std::make_shared<UnionNode>();
+  }
+};
+
+/// Filters rows by MVCC visibility (paper §2.8); inserted above every stored
+/// table when the pipeline runs with MVCC enabled.
+class ValidateNode final : public AbstractLqpNode {
+ public:
+  static std::shared_ptr<ValidateNode> Make(LqpNodePtr input);
+
+  ValidateNode() : AbstractLqpNode(LqpNodeType::kValidate) {}
+
+  std::string Description() const final {
+    return "[Validate]";
+  }
+
+ protected:
+  LqpNodePtr ShallowCopy() const final {
+    return std::make_shared<ValidateNode>();
+  }
+};
+
+/// Renames/reorders the input's columns (SELECT aliases). node_expressions
+/// select the columns; `aliases` provides the output names.
+class AliasNode final : public AbstractLqpNode {
+ public:
+  static std::shared_ptr<AliasNode> Make(Expressions expressions, std::vector<std::string> aliases, LqpNodePtr input);
+
+  AliasNode(Expressions expressions, std::vector<std::string> init_aliases)
+      : AbstractLqpNode(LqpNodeType::kAlias, std::move(expressions)), aliases(std::move(init_aliases)) {}
+
+  Expressions output_expressions() const final {
+    return node_expressions;
+  }
+
+  std::string Description() const final;
+
+  const std::vector<std::string> aliases;
+
+ protected:
+  LqpNodePtr ShallowCopy() const final {
+    return std::make_shared<AliasNode>(Expressions{node_expressions}, std::vector<std::string>{aliases});
+  }
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_LOGICAL_QUERY_PLAN_OPERATOR_NODES_HPP_

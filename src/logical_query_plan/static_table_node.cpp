@@ -1,0 +1,38 @@
+#include "logical_query_plan/static_table_node.hpp"
+
+#include "expression/expressions.hpp"
+#include "storage/table.hpp"
+
+namespace hyrise {
+
+std::shared_ptr<StaticTableNode> StaticTableNode::Make(std::shared_ptr<Table> table) {
+  return std::make_shared<StaticTableNode>(std::move(table));
+}
+
+std::shared_ptr<StaticTableNode> StaticTableNode::MakeDummy() {
+  auto table = std::make_shared<Table>(TableColumnDefinitions{{"", DataType::kInt}}, TableType::kData, 2);
+  table->AppendRow({AllTypeVariant{0}});
+  return Make(std::move(table));
+}
+
+StaticTableNode::StaticTableNode(std::shared_ptr<Table> init_table)
+    : AbstractLqpNode(LqpNodeType::kStaticTable), table(std::move(init_table)) {}
+
+Expressions StaticTableNode::output_expressions() const {
+  auto expressions = Expressions{};
+  const auto column_count = table->column_count();
+  expressions.reserve(column_count);
+  const auto self = shared_from_this();
+  for (auto column_id = ColumnID{0}; column_id < column_count; ++column_id) {
+    expressions.push_back(std::make_shared<LqpColumnExpression>(
+        self, column_id, table->column_data_type(column_id), table->column_is_nullable(column_id),
+        table->column_name(column_id)));
+  }
+  return expressions;
+}
+
+LqpNodePtr StaticTableNode::ShallowCopy() const {
+  return std::make_shared<StaticTableNode>(table);
+}
+
+}  // namespace hyrise

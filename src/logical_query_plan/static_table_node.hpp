@@ -1,0 +1,40 @@
+#ifndef HYRISE_SRC_LOGICAL_QUERY_PLAN_STATIC_TABLE_NODE_HPP_
+#define HYRISE_SRC_LOGICAL_QUERY_PLAN_STATIC_TABLE_NODE_HPP_
+
+#include <memory>
+#include <string>
+
+#include "logical_query_plan/abstract_lqp_node.hpp"
+
+namespace hyrise {
+
+class Table;
+
+/// Leaf node over an in-memory table that is not registered in the storage
+/// manager: VALUES lists of INSERT statements and the one-row dummy table of
+/// FROM-less SELECTs.
+class StaticTableNode final : public AbstractLqpNode {
+ public:
+  static std::shared_ptr<StaticTableNode> Make(std::shared_ptr<Table> table);
+
+  /// A table with a single row and a single int column; SELECT without FROM
+  /// projects literals over it.
+  static std::shared_ptr<StaticTableNode> MakeDummy();
+
+  explicit StaticTableNode(std::shared_ptr<Table> init_table);
+
+  Expressions output_expressions() const final;
+
+  std::string Description() const final {
+    return "[StaticTable]";
+  }
+
+  const std::shared_ptr<Table> table;
+
+ protected:
+  LqpNodePtr ShallowCopy() const final;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_LOGICAL_QUERY_PLAN_STATIC_TABLE_NODE_HPP_

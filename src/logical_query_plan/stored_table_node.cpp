@@ -1,0 +1,46 @@
+#include "logical_query_plan/stored_table_node.hpp"
+
+#include "expression/expressions.hpp"
+#include "hyrise.hpp"
+#include "storage/table.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+std::shared_ptr<StoredTableNode> StoredTableNode::Make(const std::string& table_name) {
+  return std::make_shared<StoredTableNode>(table_name);
+}
+
+StoredTableNode::StoredTableNode(std::string init_table_name)
+    : AbstractLqpNode(LqpNodeType::kStoredTable), table_name(std::move(init_table_name)) {
+  table_ = Hyrise::Get().storage_manager.GetTable(table_name);
+}
+
+Expressions StoredTableNode::output_expressions() const {
+  auto expressions = Expressions{};
+  const auto column_count = table_->column_count();
+  expressions.reserve(column_count);
+  const auto self = shared_from_this();
+  for (auto column_id = ColumnID{0}; column_id < column_count; ++column_id) {
+    expressions.push_back(std::make_shared<LqpColumnExpression>(
+        self, column_id, table_->column_data_type(column_id), table_->column_is_nullable(column_id),
+        table_->column_name(column_id)));
+  }
+  return expressions;
+}
+
+std::string StoredTableNode::Description() const {
+  auto description = "[StoredTable] " + table_name;
+  if (!pruned_chunk_ids.empty()) {
+    description += " (" + std::to_string(pruned_chunk_ids.size()) + " chunks pruned)";
+  }
+  return description;
+}
+
+LqpNodePtr StoredTableNode::ShallowCopy() const {
+  auto copy = std::make_shared<StoredTableNode>(table_name);
+  copy->pruned_chunk_ids = pruned_chunk_ids;
+  return copy;
+}
+
+}  // namespace hyrise

@@ -1,0 +1,41 @@
+#ifndef HYRISE_SRC_LOGICAL_QUERY_PLAN_STORED_TABLE_NODE_HPP_
+#define HYRISE_SRC_LOGICAL_QUERY_PLAN_STORED_TABLE_NODE_HPP_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "logical_query_plan/abstract_lqp_node.hpp"
+
+namespace hyrise {
+
+class Table;
+
+/// Leaf node representing a user table from the storage manager. Carries the
+/// set of chunks the ChunkPruningRule excluded — "the plan node that initially
+/// represents the input table is configured to skip chunks" (paper §2.4).
+class StoredTableNode final : public AbstractLqpNode {
+ public:
+  static std::shared_ptr<StoredTableNode> Make(const std::string& table_name);
+
+  explicit StoredTableNode(std::string init_table_name);
+
+  Expressions output_expressions() const final;
+
+  std::string Description() const final;
+
+  const std::string table_name;
+
+  /// Chunks proven irrelevant at optimization time; GetTable skips them.
+  std::vector<ChunkID> pruned_chunk_ids;
+
+ protected:
+  LqpNodePtr ShallowCopy() const final;
+
+ private:
+  std::shared_ptr<Table> table_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_LOGICAL_QUERY_PLAN_STORED_TABLE_NODE_HPP_

@@ -1,0 +1,99 @@
+#include "operators/abstract_join_operator.hpp"
+
+#include "operators/column_materializer.hpp"
+#include "operators/pos_list_utils.hpp"
+#include "storage/table.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+AbstractJoinOperator::AbstractJoinOperator(OperatorType type, std::shared_ptr<AbstractOperator> left,
+                                           std::shared_ptr<AbstractOperator> right, JoinMode mode,
+                                           JoinOperatorPredicate primary,
+                                           std::vector<JoinOperatorPredicate> secondary)
+    : AbstractOperator(type, std::move(left), std::move(right)),
+      mode_(mode),
+      primary_(primary),
+      secondary_(std::move(secondary)) {}
+
+std::string AbstractJoinOperator::Description() const {
+  return name() + std::string{" ("} + JoinModeToString(mode_) + ") #" + std::to_string(primary_.left_column) + " " +
+         PredicateConditionToString(primary_.condition) + " #" + std::to_string(primary_.right_column) +
+         (secondary_.empty() ? "" : " +" + std::to_string(secondary_.size()) + " secondary");
+}
+
+AbstractJoinOperator::SecondaryPredicateChecker::SecondaryPredicateChecker(
+    const std::vector<JoinOperatorPredicate>& predicates, const Table& left, const Table& right)
+    : predicates_(predicates) {
+  left_columns_.reserve(predicates.size());
+  right_columns_.reserve(predicates.size());
+  for (const auto& predicate : predicates_) {
+    left_columns_.push_back(MaterializeColumnAsVariants(left, predicate.left_column));
+    right_columns_.push_back(MaterializeColumnAsVariants(right, predicate.right_column));
+  }
+}
+
+bool AbstractJoinOperator::SecondaryPredicateChecker::Passes(size_t left_row, size_t right_row) const {
+  for (auto index = size_t{0}; index < predicates_.size(); ++index) {
+    if (!CompareVariants(predicates_[index].condition, left_columns_[index][left_row],
+                         right_columns_[index][right_row])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::shared_ptr<Table> AbstractJoinOperator::BuildOutput(const std::shared_ptr<const Table>& left,
+                                                         const std::shared_ptr<const Table>& right,
+                                                         const std::vector<size_t>& left_rows,
+                                                         const std::vector<size_t>& right_rows) {
+  auto definitions = left->column_definitions();
+  const auto semi_or_anti = mode_ == JoinMode::kSemi || mode_ == JoinMode::kAnti;
+  if (mode_ == JoinMode::kRight || mode_ == JoinMode::kFullOuter) {
+    for (auto& definition : definitions) {
+      definition.nullable = true;
+    }
+  }
+  if (!semi_or_anti) {
+    const auto pad_right = mode_ == JoinMode::kLeft || mode_ == JoinMode::kFullOuter;
+    for (auto definition : right->column_definitions()) {
+      definition.nullable = definition.nullable || pad_right;
+      definitions.push_back(std::move(definition));
+    }
+  }
+  auto output = std::make_shared<Table>(definitions, TableType::kReferences);
+  if (left_rows.empty()) {
+    return output;
+  }
+  auto segments = ComposeOutputSegments(left, left_rows);
+  if (!semi_or_anti) {
+    auto right_segments = ComposeOutputSegments(right, right_rows);
+    segments.insert(segments.end(), right_segments.begin(), right_segments.end());
+  }
+  output->AppendChunk(std::move(segments));
+  return output;
+}
+
+bool CompareVariants(PredicateCondition condition, const AllTypeVariant& lhs, const AllTypeVariant& rhs) {
+  if (VariantIsNull(lhs) || VariantIsNull(rhs)) {
+    return false;
+  }
+  switch (condition) {
+    case PredicateCondition::kEquals:
+      return VariantEquals(lhs, rhs);
+    case PredicateCondition::kNotEquals:
+      return !VariantEquals(lhs, rhs);
+    case PredicateCondition::kLessThan:
+      return VariantLessThan(lhs, rhs);
+    case PredicateCondition::kLessThanEquals:
+      return !VariantLessThan(rhs, lhs);
+    case PredicateCondition::kGreaterThan:
+      return VariantLessThan(rhs, lhs);
+    case PredicateCondition::kGreaterThanEquals:
+      return !VariantLessThan(lhs, rhs);
+    default:
+      Fail("Unsupported secondary join predicate condition");
+  }
+}
+
+}  // namespace hyrise

@@ -1,0 +1,81 @@
+#ifndef HYRISE_SRC_OPERATORS_ABSTRACT_JOIN_OPERATOR_HPP_
+#define HYRISE_SRC_OPERATORS_ABSTRACT_JOIN_OPERATOR_HPP_
+
+#include <memory>
+#include <vector>
+
+#include "operators/abstract_operator.hpp"
+#include "types/all_type_variant.hpp"
+
+namespace hyrise {
+
+/// One join predicate in operator terms: left column <condition> right column.
+struct JoinOperatorPredicate {
+  ColumnID left_column{kInvalidColumnId};
+  ColumnID right_column{kInvalidColumnId};
+  PredicateCondition condition{PredicateCondition::kEquals};
+};
+
+/// Shared machinery of the three join implementations (paper §2.1: "we
+/// implement joins as either sort-merge joins, hash joins, or nested-loop
+/// joins"): the primary predicate drives the algorithm, secondary predicates
+/// are evaluated on candidate pairs, and outputs are reference tables.
+class AbstractJoinOperator : public AbstractOperator {
+ public:
+  AbstractJoinOperator(OperatorType type, std::shared_ptr<AbstractOperator> left,
+                       std::shared_ptr<AbstractOperator> right, JoinMode mode, JoinOperatorPredicate primary,
+                       std::vector<JoinOperatorPredicate> secondary = {});
+
+  JoinMode mode() const {
+    return mode_;
+  }
+
+  const JoinOperatorPredicate& primary_predicate() const {
+    return primary_;
+  }
+
+  const std::vector<JoinOperatorPredicate>& secondary_predicates() const {
+    return secondary_;
+  }
+
+  std::string Description() const final;
+
+ protected:
+  /// Checks all secondary predicates for the pair (left_row, right_row) using
+  /// pre-materialized columns. Untyped comparison — secondary predicates are
+  /// rare and never the inner loop's common case.
+  class SecondaryPredicateChecker {
+   public:
+    SecondaryPredicateChecker(const std::vector<JoinOperatorPredicate>& predicates, const Table& left,
+                              const Table& right);
+
+    bool Passes(size_t left_row, size_t right_row) const;
+
+    bool AlwaysTrue() const {
+      return predicates_.empty();
+    }
+
+   private:
+    const std::vector<JoinOperatorPredicate>& predicates_;
+    std::vector<std::vector<AllTypeVariant>> left_columns_;
+    std::vector<std::vector<AllTypeVariant>> right_columns_;
+  };
+
+  /// Assembles the output reference table from matched row indices
+  /// (kPaddingRow = NULL-padded outer row). For semi/anti joins only the left
+  /// side is emitted.
+  std::shared_ptr<Table> BuildOutput(const std::shared_ptr<const Table>& left,
+                                     const std::shared_ptr<const Table>& right,
+                                     const std::vector<size_t>& left_rows, const std::vector<size_t>& right_rows);
+
+  JoinMode mode_;
+  JoinOperatorPredicate primary_;
+  std::vector<JoinOperatorPredicate> secondary_;
+};
+
+/// Compares two variants under a condition (NULL never matches).
+bool CompareVariants(PredicateCondition condition, const AllTypeVariant& lhs, const AllTypeVariant& rhs);
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPERATORS_ABSTRACT_JOIN_OPERATOR_HPP_

@@ -1,0 +1,72 @@
+#include "operators/abstract_operator.hpp"
+
+#include "concurrency/transaction_context.hpp"
+#include "storage/table.hpp"
+#include "utils/assert.hpp"
+#include "utils/timer.hpp"
+
+namespace hyrise {
+
+void AbstractOperator::Execute() {
+  Assert(!performance_data.executed, "Operator executed twice: " + Description());
+  if (left_input_ && !left_input_->executed()) {
+    left_input_->Execute();
+  }
+  if (right_input_ && !right_input_->executed()) {
+    right_input_->Execute();
+  }
+
+  auto timer = Timer{};
+  output_ = OnExecute(transaction_context_.lock());
+  performance_data.walltime_ns = timer.Elapsed();
+  performance_data.output_row_count = output_ ? output_->row_count() : 0;
+  performance_data.executed = true;
+}
+
+std::shared_ptr<const Table> AbstractOperator::get_output() const {
+  Assert(performance_data.executed, "get_output() before Execute()");
+  return output_;
+}
+
+void AbstractOperator::SetTransactionContextRecursively(const std::shared_ptr<TransactionContext>& context) {
+  transaction_context_ = context;
+  OnSetTransactionContext(context);
+  if (left_input_) {
+    left_input_->SetTransactionContextRecursively(context);
+  }
+  if (right_input_) {
+    right_input_->SetTransactionContextRecursively(context);
+  }
+}
+
+void AbstractOperator::SetParameters(const std::unordered_map<ParameterID, AllTypeVariant>& parameters) {
+  if (parameters.empty()) {
+    return;
+  }
+  OnSetParameters(parameters);
+  if (left_input_) {
+    left_input_->SetParameters(parameters);
+  }
+  if (right_input_) {
+    right_input_->SetParameters(parameters);
+  }
+}
+
+std::shared_ptr<AbstractOperator> AbstractOperator::DeepCopy() const {
+  auto map = DeepCopyMap{};
+  return DeepCopy(map);
+}
+
+std::shared_ptr<AbstractOperator> AbstractOperator::DeepCopy(DeepCopyMap& map) const {
+  const auto existing = map.find(this);
+  if (existing != map.end()) {
+    return existing->second;
+  }
+  auto left_copy = left_input_ ? left_input_->DeepCopy(map) : nullptr;
+  auto right_copy = right_input_ ? right_input_->DeepCopy(map) : nullptr;
+  auto copy = OnDeepCopy(std::move(left_copy), std::move(right_copy), map);
+  map.emplace(this, copy);
+  return copy;
+}
+
+}  // namespace hyrise

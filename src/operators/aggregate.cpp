@@ -1,0 +1,270 @@
+#include "operators/aggregate.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "operators/column_materializer.hpp"
+#include "storage/table.hpp"
+#include "storage/value_segment.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+Aggregate::Aggregate(std::shared_ptr<AbstractOperator> input, std::vector<ColumnID> group_by_columns,
+                     std::vector<AggregateColumnDefinition> aggregates)
+    : AbstractOperator(OperatorType::kAggregate, std::move(input)),
+      group_by_columns_(std::move(group_by_columns)),
+      aggregates_(std::move(aggregates)) {}
+
+std::string Aggregate::Description() const {
+  return "Aggregate (" + std::to_string(group_by_columns_.size()) + " group columns, " +
+         std::to_string(aggregates_.size()) + " aggregates)";
+}
+
+namespace {
+
+/// Serializes one group value into the key buffer (length-prefixed to keep
+/// keys unambiguous across columns).
+template <typename T>
+void AppendKeyPart(std::string& key, const T& value, bool is_null) {
+  if (is_null) {
+    key.push_back('\x01');
+    return;
+  }
+  key.push_back('\x02');
+  if constexpr (std::is_same_v<T, std::string>) {
+    const auto size = static_cast<uint32_t>(value.size());
+    key.append(reinterpret_cast<const char*>(&size), sizeof(size));
+    key.append(value);
+  } else {
+    key.append(reinterpret_cast<const char*>(&value), sizeof(value));
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const Table> Aggregate::OnExecute(const std::shared_ptr<TransactionContext>& /*context*/) {
+  const auto input = left_input_->get_output();
+  const auto row_count = input->row_count();
+
+  // --- Phase 1: assign a dense group index to every row. --------------------
+  auto group_of_row = std::vector<size_t>(row_count);
+  auto representative_rows = std::vector<size_t>{};  // First row of each group.
+  if (group_by_columns_.empty()) {
+    // No GROUP BY: one group, no keys to build.
+    if (row_count > 0) {
+      representative_rows.push_back(0);
+    }
+  } else {
+    auto keys = std::vector<std::string>(row_count);
+    for (const auto column_id : group_by_columns_) {
+      ResolveDataType(input->column_data_type(column_id), [&](auto type_tag) {
+        using T = decltype(type_tag);
+        const auto column = MaterializeColumn<T>(*input, column_id);
+        for (auto row = size_t{0}; row < row_count; ++row) {
+          AppendKeyPart(keys[row], column.values[row], column.IsNull(row));
+        }
+      });
+    }
+    auto group_ids = std::unordered_map<std::string, size_t>{};
+    group_ids.reserve(row_count / 4 + 16);
+    for (auto row = size_t{0}; row < row_count; ++row) {
+      const auto [iter, inserted] = group_ids.emplace(std::move(keys[row]), representative_rows.size());
+      if (inserted) {
+        representative_rows.push_back(row);
+      }
+      group_of_row[row] = iter->second;
+    }
+  }
+  // No GROUP BY: a single group, even over empty input.
+  if (group_by_columns_.empty() && representative_rows.empty()) {
+    representative_rows.push_back(size_t{0});  // No valid row; only COUNT uses it.
+  }
+  const auto group_count = representative_rows.size();
+  const auto has_rows = row_count > 0;
+
+  // --- Phase 2: output schema. ----------------------------------------------
+  auto definitions = TableColumnDefinitions{};
+  for (const auto column_id : group_by_columns_) {
+    definitions.push_back(input->column_definitions()[column_id]);
+  }
+  for (const auto& aggregate : aggregates_) {
+    auto name = std::string{AggregateFunctionToString(aggregate.function)};
+    auto data_type = DataType::kLong;
+    if (aggregate.column.has_value()) {
+      const auto input_type = input->column_data_type(*aggregate.column);
+      name += "(" + input->column_name(*aggregate.column) + ")";
+      switch (aggregate.function) {
+        case AggregateFunction::kMin:
+        case AggregateFunction::kMax:
+          data_type = input_type;
+          break;
+        case AggregateFunction::kSum:
+          Assert(input_type != DataType::kString, "SUM over string column");
+          data_type = (input_type == DataType::kInt || input_type == DataType::kLong) ? DataType::kLong
+                                                                                      : DataType::kDouble;
+          break;
+        case AggregateFunction::kAvg:
+          data_type = DataType::kDouble;
+          break;
+        case AggregateFunction::kCount:
+        case AggregateFunction::kCountDistinct:
+          data_type = DataType::kLong;
+          break;
+      }
+    } else {
+      name += "(*)";
+    }
+    definitions.emplace_back(name, data_type, /*nullable=*/true);
+  }
+
+  auto output = std::make_shared<Table>(definitions, TableType::kData);
+  auto segments = Segments{};
+
+  // --- Phase 3: group columns (values of the representative rows). ----------
+  for (const auto column_id : group_by_columns_) {
+    ResolveDataType(input->column_data_type(column_id), [&](auto type_tag) {
+      using T = decltype(type_tag);
+      const auto column = MaterializeColumn<T>(*input, column_id);
+      auto values = std::vector<T>(group_count);
+      auto nulls = std::vector<bool>(group_count, false);
+      auto any_null = false;
+      for (auto group = size_t{0}; group < group_count; ++group) {
+        const auto row = representative_rows[group];
+        if (column.IsNull(row)) {
+          nulls[group] = true;
+          any_null = true;
+        } else {
+          values[group] = column.values[row];
+        }
+      }
+      segments.push_back(std::make_shared<ValueSegment<T>>(std::move(values),
+                                                           any_null ? std::move(nulls) : std::vector<bool>{}));
+    });
+  }
+
+  // --- Phase 4: aggregates. --------------------------------------------------
+  for (const auto& aggregate : aggregates_) {
+    if (!aggregate.column.has_value()) {
+      // COUNT(*).
+      auto counts = std::vector<int64_t>(group_count, 0);
+      if (has_rows) {
+        for (auto row = size_t{0}; row < row_count; ++row) {
+          ++counts[group_of_row[row]];
+        }
+      }
+      segments.push_back(std::make_shared<ValueSegment<int64_t>>(std::move(counts)));
+      continue;
+    }
+
+    ResolveDataType(input->column_data_type(*aggregate.column), [&](auto type_tag) {
+      using T = decltype(type_tag);
+      const auto column = MaterializeColumn<T>(*input, *aggregate.column);
+
+      switch (aggregate.function) {
+        case AggregateFunction::kMin:
+        case AggregateFunction::kMax: {
+          const auto is_min = aggregate.function == AggregateFunction::kMin;
+          auto values = std::vector<T>(group_count);
+          auto seen = std::vector<bool>(group_count, false);
+          for (auto row = size_t{0}; row < row_count; ++row) {
+            if (column.IsNull(row)) {
+              continue;
+            }
+            const auto group = group_of_row[row];
+            if (!seen[group] || (is_min ? column.values[row] < values[group] : values[group] < column.values[row])) {
+              values[group] = column.values[row];
+              seen[group] = true;
+            }
+          }
+          auto nulls = std::vector<bool>(group_count);
+          auto any_null = false;
+          for (auto group = size_t{0}; group < group_count; ++group) {
+            nulls[group] = !seen[group];
+            any_null |= !seen[group];
+          }
+          segments.push_back(std::make_shared<ValueSegment<T>>(std::move(values),
+                                                               any_null ? std::move(nulls) : std::vector<bool>{}));
+          return;
+        }
+        case AggregateFunction::kSum:
+        case AggregateFunction::kAvg: {
+          if constexpr (std::is_same_v<T, std::string>) {
+            Fail("SUM/AVG over string column");
+          } else {
+            using SumType = std::conditional_t<std::is_integral_v<T>, int64_t, double>;
+            auto sums = std::vector<SumType>(group_count, SumType{0});
+            auto counts = std::vector<int64_t>(group_count, 0);
+            for (auto row = size_t{0}; row < row_count; ++row) {
+              if (column.IsNull(row)) {
+                continue;
+              }
+              const auto group = group_of_row[row];
+              sums[group] += static_cast<SumType>(column.values[row]);
+              ++counts[group];
+            }
+            auto nulls = std::vector<bool>(group_count);
+            auto any_null = false;
+            for (auto group = size_t{0}; group < group_count; ++group) {
+              nulls[group] = counts[group] == 0;
+              any_null |= nulls[group];
+            }
+            if (aggregate.function == AggregateFunction::kSum) {
+              if constexpr (std::is_integral_v<T>) {
+                segments.push_back(std::make_shared<ValueSegment<int64_t>>(
+                    std::move(sums), any_null ? std::move(nulls) : std::vector<bool>{}));
+              } else {
+                auto doubles = std::vector<double>(group_count);
+                for (auto group = size_t{0}; group < group_count; ++group) {
+                  doubles[group] = static_cast<double>(sums[group]);
+                }
+                segments.push_back(std::make_shared<ValueSegment<double>>(
+                    std::move(doubles), any_null ? std::move(nulls) : std::vector<bool>{}));
+              }
+            } else {
+              auto averages = std::vector<double>(group_count, 0.0);
+              for (auto group = size_t{0}; group < group_count; ++group) {
+                if (counts[group] > 0) {
+                  averages[group] = static_cast<double>(sums[group]) / static_cast<double>(counts[group]);
+                }
+              }
+              segments.push_back(std::make_shared<ValueSegment<double>>(
+                  std::move(averages), any_null ? std::move(nulls) : std::vector<bool>{}));
+            }
+          }
+          return;
+        }
+        case AggregateFunction::kCount: {
+          auto counts = std::vector<int64_t>(group_count, 0);
+          for (auto row = size_t{0}; row < row_count; ++row) {
+            if (!column.IsNull(row)) {
+              ++counts[group_of_row[row]];
+            }
+          }
+          segments.push_back(std::make_shared<ValueSegment<int64_t>>(std::move(counts)));
+          return;
+        }
+        case AggregateFunction::kCountDistinct: {
+          auto sets = std::vector<std::unordered_set<T>>(group_count);
+          for (auto row = size_t{0}; row < row_count; ++row) {
+            if (!column.IsNull(row)) {
+              sets[group_of_row[row]].insert(column.values[row]);
+            }
+          }
+          auto counts = std::vector<int64_t>(group_count);
+          for (auto group = size_t{0}; group < group_count; ++group) {
+            counts[group] = static_cast<int64_t>(sets[group].size());
+          }
+          segments.push_back(std::make_shared<ValueSegment<int64_t>>(std::move(counts)));
+          return;
+        }
+      }
+      Fail("Unhandled AggregateFunction");
+    });
+  }
+
+  output->AppendChunk(std::move(segments));
+  return output;
+}
+
+}  // namespace hyrise

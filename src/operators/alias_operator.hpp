@@ -1,0 +1,67 @@
+#ifndef HYRISE_SRC_OPERATORS_ALIAS_OPERATOR_HPP_
+#define HYRISE_SRC_OPERATORS_ALIAS_OPERATOR_HPP_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "operators/abstract_operator.hpp"
+#include "storage/table.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+/// Reorders and renames columns without touching data (SELECT-list aliases).
+class AliasOperator final : public AbstractOperator {
+ public:
+  AliasOperator(std::shared_ptr<AbstractOperator> input, std::vector<ColumnID> column_ids,
+                std::vector<std::string> aliases)
+      : AbstractOperator(OperatorType::kAlias, std::move(input)),
+        column_ids_(std::move(column_ids)),
+        aliases_(std::move(aliases)) {
+    Assert(column_ids_.size() == aliases_.size(), "One alias per column");
+  }
+
+  const std::string& name() const final {
+    static const auto kName = std::string{"Alias"};
+    return kName;
+  }
+
+ protected:
+  std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& /*context*/) final {
+    const auto input = left_input_->get_output();
+    auto definitions = TableColumnDefinitions{};
+    definitions.reserve(column_ids_.size());
+    for (auto index = size_t{0}; index < column_ids_.size(); ++index) {
+      auto definition = input->column_definitions()[column_ids_[index]];
+      definition.name = aliases_[index];
+      definitions.push_back(std::move(definition));
+    }
+    auto output = std::make_shared<Table>(definitions, input->type());
+    const auto chunk_count = input->chunk_count();
+    for (auto chunk_id = ChunkID{0}; chunk_id < chunk_count; ++chunk_id) {
+      const auto chunk = input->GetChunk(chunk_id);
+      auto segments = Segments{};
+      segments.reserve(column_ids_.size());
+      for (const auto column_id : column_ids_) {
+        segments.push_back(chunk->GetSegment(column_id));
+      }
+      output->AppendChunk(std::move(segments));
+    }
+    return output;
+  }
+
+  std::shared_ptr<AbstractOperator> OnDeepCopy(std::shared_ptr<AbstractOperator> left,
+                                               std::shared_ptr<AbstractOperator> /*right*/,
+                                               DeepCopyMap& /*map*/) const final {
+    return std::make_shared<AliasOperator>(std::move(left), column_ids_, aliases_);
+  }
+
+ private:
+  std::vector<ColumnID> column_ids_;
+  std::vector<std::string> aliases_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPERATORS_ALIAS_OPERATOR_HPP_

@@ -1,0 +1,19 @@
+#include "operators/column_materializer.hpp"
+
+namespace hyrise {
+
+std::vector<AllTypeVariant> MaterializeColumnAsVariants(const Table& table, ColumnID column_id) {
+  auto result = std::vector<AllTypeVariant>(table.row_count());
+  ResolveDataType(table.column_data_type(column_id), [&](auto type_tag) {
+    using T = decltype(type_tag);
+    const auto materialized = MaterializeColumn<T>(table, column_id);
+    for (auto row = size_t{0}; row < materialized.values.size(); ++row) {
+      if (!materialized.IsNull(row)) {
+        result[row] = AllTypeVariant{materialized.values[row]};
+      }
+    }
+  });
+  return result;
+}
+
+}  // namespace hyrise

@@ -1,0 +1,56 @@
+#ifndef HYRISE_SRC_OPERATORS_COLUMN_MATERIALIZER_HPP_
+#define HYRISE_SRC_OPERATORS_COLUMN_MATERIALIZER_HPP_
+
+#include <memory>
+#include <vector>
+
+#include "storage/segment_iterables/segment_iterate.hpp"
+#include "storage/table.hpp"
+
+namespace hyrise {
+
+/// A fully materialized column: values plus null flags, indexed by global
+/// row index (counting across chunks). Sort, joins, and the aggregate
+/// materialize their key columns once and then work on flat vectors.
+template <typename T>
+struct MaterializedColumn {
+  std::vector<T> values;
+  std::vector<bool> nulls;
+
+  bool IsNull(size_t row) const {
+    return !nulls.empty() && nulls[row];
+  }
+};
+
+template <typename T>
+MaterializedColumn<T> MaterializeColumn(const Table& table, ColumnID column_id) {
+  auto materialized = MaterializedColumn<T>{};
+  const auto row_count = table.row_count();
+  materialized.values.resize(row_count);
+  auto base = size_t{0};
+  const auto chunk_count = table.chunk_count();
+  for (auto chunk_id = ChunkID{0}; chunk_id < chunk_count; ++chunk_id) {
+    const auto chunk = table.GetChunk(chunk_id);
+    const auto segment = chunk->GetSegment(column_id);
+    SegmentIterate<T>(*segment, [&](const auto& position) {
+      if (position.is_null()) {
+        if (materialized.nulls.empty()) {
+          materialized.nulls.assign(row_count, false);
+        }
+        materialized.nulls[base + position.chunk_offset()] = true;
+      } else {
+        materialized.values[base + position.chunk_offset()] = position.value();
+      }
+    });
+    base += chunk->size();
+  }
+  return materialized;
+}
+
+/// Untyped materialization for code paths where per-row type dispatch is
+/// acceptable (nested-loop join, secondary join predicates).
+std::vector<AllTypeVariant> MaterializeColumnAsVariants(const Table& table, ColumnID column_id);
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPERATORS_COLUMN_MATERIALIZER_HPP_

@@ -1,0 +1,57 @@
+#include "operators/delete.hpp"
+
+#include "concurrency/transaction_context.hpp"
+#include "storage/reference_segment.hpp"
+#include "storage/table.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+std::shared_ptr<const Table> Delete::OnExecute(const std::shared_ptr<TransactionContext>& context) {
+  Assert(context != nullptr, "Delete requires a transaction context");
+  const auto input = left_input_->get_output();
+  Assert(input->type() == TableType::kReferences, "Delete expects a reference table (validated rows)");
+
+  context->RegisterReadWriteOperator(std::static_pointer_cast<AbstractReadWriteOperator>(shared_from_this()));
+
+  const auto our_tid = context->transaction_id();
+  const auto chunk_count = input->chunk_count();
+  for (auto chunk_id = ChunkID{0}; chunk_id < chunk_count; ++chunk_id) {
+    const auto chunk = input->GetChunk(chunk_id);
+    const auto* reference_segment = dynamic_cast<const ReferenceSegment*>(chunk->GetSegment(ColumnID{0}).get());
+    Assert(reference_segment != nullptr, "Delete input must consist of reference segments");
+    if (!referenced_table_) {
+      referenced_table_ = reference_segment->referenced_table();
+      Assert(referenced_table_->uses_mvcc() == UseMvcc::kYes, "Delete requires an MVCC table");
+    }
+    for (const auto row_id : *reference_segment->pos_list()) {
+      const auto& mvcc = referenced_table_->GetChunk(row_id.chunk_id)->mvcc_data();
+      if (!mvcc->TryLockRow(row_id.chunk_offset, our_tid)) {
+        // Write-write conflict (paper §2.8): only one transaction can own a
+        // row; we lose and must abort.
+        MarkAsFailed();
+        context->MarkAsConflicted();
+        return nullptr;
+      }
+      locked_rows_.push_back(row_id);
+    }
+  }
+  return nullptr;
+}
+
+void Delete::CommitRecords(CommitID commit_id) {
+  for (const auto row_id : locked_rows_) {
+    const auto chunk = referenced_table_->GetChunk(row_id.chunk_id);
+    chunk->mvcc_data()->SetEndCid(row_id.chunk_offset, commit_id);
+    chunk->IncreaseInvalidRowCount(1);
+  }
+}
+
+void Delete::RollbackRecords() {
+  for (const auto row_id : locked_rows_) {
+    const auto chunk = referenced_table_->GetChunk(row_id.chunk_id);
+    chunk->mvcc_data()->SetTid(row_id.chunk_offset, kInvalidTransactionId);
+  }
+}
+
+}  // namespace hyrise

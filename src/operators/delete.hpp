@@ -1,0 +1,50 @@
+#ifndef HYRISE_SRC_OPERATORS_DELETE_HPP_
+#define HYRISE_SRC_OPERATORS_DELETE_HPP_
+
+#include <memory>
+#include <vector>
+
+#include "operators/abstract_operator.hpp"
+
+namespace hyrise {
+
+class Table;
+
+/// Invalidates the rows its input references (paper §2.8: updates/deletes are
+/// insert-only invalidations). Acquires each row's write lock via
+/// compare-and-swap on the MVCC TID; a failed swap is a write-write conflict
+/// that dooms the transaction.
+class Delete final : public AbstractReadWriteOperator {
+ public:
+  explicit Delete(std::shared_ptr<AbstractOperator> input)
+      : AbstractReadWriteOperator(OperatorType::kDelete, std::move(input)) {}
+
+  const std::string& name() const final {
+    static const auto kName = std::string{"Delete"};
+    return kName;
+  }
+
+  void CommitRecords(CommitID commit_id) final;
+  void RollbackRecords() final;
+
+  uint64_t deleted_row_count() const {
+    return locked_rows_.size();
+  }
+
+ protected:
+  std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& context) final;
+
+  std::shared_ptr<AbstractOperator> OnDeepCopy(std::shared_ptr<AbstractOperator> left,
+                                               std::shared_ptr<AbstractOperator> /*right*/,
+                                               DeepCopyMap& /*map*/) const final {
+    return std::make_shared<Delete>(std::move(left));
+  }
+
+ private:
+  std::shared_ptr<const Table> referenced_table_;
+  std::vector<RowID> locked_rows_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPERATORS_DELETE_HPP_

@@ -1,0 +1,65 @@
+#include "operators/get_table.hpp"
+
+#include <algorithm>
+
+#include "hyrise.hpp"
+#include "storage/table.hpp"
+
+namespace hyrise {
+
+GetTable::GetTable(std::string table_name, std::vector<ChunkID> pruned_chunk_ids)
+    : AbstractOperator(OperatorType::kGetTable),
+      table_name_(std::move(table_name)),
+      pruned_chunk_ids_(std::move(pruned_chunk_ids)) {
+  std::sort(pruned_chunk_ids_.begin(), pruned_chunk_ids_.end());
+}
+
+const std::string& GetTable::name() const {
+  static const auto kName = std::string{"GetTable"};
+  return kName;
+}
+
+std::string GetTable::Description() const {
+  return "GetTable " + table_name_ + " (" + std::to_string(pruned_chunk_ids_.size()) + " pruned)";
+}
+
+std::shared_ptr<const Table> GetTable::OnExecute(const std::shared_ptr<TransactionContext>& /*context*/) {
+  const auto stored_table = Hyrise::Get().storage_manager.GetTable(table_name_);
+  if (pruned_chunk_ids_.empty()) {
+    // Still rebuild the chunk list so fully-deleted chunks are skipped.
+    auto all_alive = true;
+    const auto chunk_count = stored_table->chunk_count();
+    for (auto chunk_id = ChunkID{0}; chunk_id < chunk_count && all_alive; ++chunk_id) {
+      const auto chunk = stored_table->GetChunk(chunk_id);
+      all_alive = chunk->invalid_row_count() < chunk->size() || chunk->size() == 0;
+    }
+    if (all_alive) {
+      return stored_table;
+    }
+  }
+
+  auto output = std::make_shared<Table>(stored_table->column_definitions(), TableType::kData,
+                                        stored_table->target_chunk_size(), stored_table->uses_mvcc());
+  const auto chunk_count = stored_table->chunk_count();
+  auto pruned_iter = pruned_chunk_ids_.begin();
+  for (auto chunk_id = ChunkID{0}; chunk_id < chunk_count; ++chunk_id) {
+    if (pruned_iter != pruned_chunk_ids_.end() && *pruned_iter == chunk_id) {
+      ++pruned_iter;
+      continue;
+    }
+    const auto chunk = stored_table->GetChunk(chunk_id);
+    if (chunk->size() > 0 && chunk->invalid_row_count() >= chunk->size()) {
+      continue;  // Every row deleted and committed; no visibility left to offer.
+    }
+    output->AppendSharedChunk(chunk);
+  }
+  return output;
+}
+
+std::shared_ptr<AbstractOperator> GetTable::OnDeepCopy(std::shared_ptr<AbstractOperator> /*left*/,
+                                                       std::shared_ptr<AbstractOperator> /*right*/,
+                                                       DeepCopyMap& /*map*/) const {
+  return std::make_shared<GetTable>(table_name_, pruned_chunk_ids_);
+}
+
+}  // namespace hyrise

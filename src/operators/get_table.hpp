@@ -1,0 +1,45 @@
+#ifndef HYRISE_SRC_OPERATORS_GET_TABLE_HPP_
+#define HYRISE_SRC_OPERATORS_GET_TABLE_HPP_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "operators/abstract_operator.hpp"
+
+namespace hyrise {
+
+/// Emits a stored table, skipping the chunks the optimizer pruned (paper
+/// §2.4: the scan over the base table "is configured to skip chunks that
+/// would later be excluded by one of the predicates") as well as chunks whose
+/// rows were all deleted.
+class GetTable final : public AbstractOperator {
+ public:
+  explicit GetTable(std::string table_name, std::vector<ChunkID> pruned_chunk_ids = {});
+
+  const std::string& name() const final;
+
+  std::string Description() const final;
+
+  const std::string& table_name() const {
+    return table_name_;
+  }
+
+  const std::vector<ChunkID>& pruned_chunk_ids() const {
+    return pruned_chunk_ids_;
+  }
+
+ protected:
+  std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& context) final;
+
+  std::shared_ptr<AbstractOperator> OnDeepCopy(std::shared_ptr<AbstractOperator> left,
+                                               std::shared_ptr<AbstractOperator> right, DeepCopyMap& map) const final;
+
+ private:
+  std::string table_name_;
+  std::vector<ChunkID> pruned_chunk_ids_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPERATORS_GET_TABLE_HPP_

@@ -1,0 +1,128 @@
+#include "operators/index_scan.hpp"
+
+#include <algorithm>
+
+#include "hyrise.hpp"
+#include "operators/pos_list_utils.hpp"
+#include "storage/segment_iterables/segment_iterate.hpp"
+#include "storage/table.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+IndexScan::IndexScan(std::string table_name, std::vector<ChunkID> pruned_chunk_ids, ColumnID column_id,
+                     PredicateCondition condition, AllTypeVariant value, std::optional<AllTypeVariant> value2)
+    : AbstractOperator(OperatorType::kIndexScan),
+      table_name_(std::move(table_name)),
+      pruned_chunk_ids_(std::move(pruned_chunk_ids)),
+      column_id_(column_id),
+      condition_(condition),
+      value_(std::move(value)),
+      value2_(std::move(value2)) {
+  std::sort(pruned_chunk_ids_.begin(), pruned_chunk_ids_.end());
+}
+
+std::string IndexScan::Description() const {
+  return "IndexScan #" + std::to_string(column_id_) + " " + PredicateConditionToString(condition_) + " " +
+         VariantToString(value_);
+}
+
+void IndexScan::QueryIndex(const AbstractChunkIndex& index, std::vector<ChunkOffset>& matches) const {
+  switch (condition_) {
+    case PredicateCondition::kEquals:
+      index.Equals(value_, matches);
+      return;
+    case PredicateCondition::kLessThan:
+      index.Range(std::nullopt, true, value_, false, matches);
+      return;
+    case PredicateCondition::kLessThanEquals:
+      index.Range(std::nullopt, true, value_, true, matches);
+      return;
+    case PredicateCondition::kGreaterThan:
+      index.Range(value_, false, std::nullopt, true, matches);
+      return;
+    case PredicateCondition::kGreaterThanEquals:
+      index.Range(value_, true, std::nullopt, true, matches);
+      return;
+    case PredicateCondition::kBetweenInclusive:
+      Assert(value2_.has_value(), "BETWEEN requires a second value");
+      index.Range(value_, true, *value2_, true, matches);
+      return;
+    default:
+      Fail("IndexScan does not support this condition");
+  }
+}
+
+std::shared_ptr<const Table> IndexScan::OnExecute(const std::shared_ptr<TransactionContext>& /*context*/) {
+  const auto table = Hyrise::Get().storage_manager.GetTable(table_name_);
+  const auto output = MakeReferenceTable(table);
+
+  const auto chunk_count = table->chunk_count();
+  auto pruned_iter = pruned_chunk_ids_.begin();
+  for (auto chunk_id = ChunkID{0}; chunk_id < chunk_count; ++chunk_id) {
+    if (pruned_iter != pruned_chunk_ids_.end() && *pruned_iter == chunk_id) {
+      ++pruned_iter;
+      continue;
+    }
+    const auto chunk = table->GetChunk(chunk_id);
+    auto matches = std::vector<ChunkOffset>{};
+
+    const auto indexes = chunk->GetIndexes({column_id_});
+    if (!indexes.empty()) {
+      QueryIndex(*indexes.front(), matches);
+      std::sort(matches.begin(), matches.end());
+    } else {
+      // Fallback: plain scan of this chunk with identical semantics.
+      const auto segment = chunk->GetSegment(column_id_);
+      ResolveDataType(segment->data_type(), [&](auto type_tag) {
+        using T = decltype(type_tag);
+        if ((DataTypeOfVariant(value_) == DataType::kString) != std::is_same_v<T, std::string>) {
+          Fail("IndexScan value type mismatch");
+        }
+        const auto typed_value = VariantCast<T>(value_);
+        auto typed_value2 = std::optional<T>{};
+        if (value2_.has_value()) {
+          typed_value2 = VariantCast<T>(*value2_);
+        }
+        SegmentIterate<T>(*segment, [&](const auto& position) {
+          if (position.is_null()) {
+            return;
+          }
+          auto match = false;
+          switch (condition_) {
+            case PredicateCondition::kEquals:
+              match = position.value() == typed_value;
+              break;
+            case PredicateCondition::kLessThan:
+              match = position.value() < typed_value;
+              break;
+            case PredicateCondition::kLessThanEquals:
+              match = position.value() <= typed_value;
+              break;
+            case PredicateCondition::kGreaterThan:
+              match = position.value() > typed_value;
+              break;
+            case PredicateCondition::kGreaterThanEquals:
+              match = position.value() >= typed_value;
+              break;
+            case PredicateCondition::kBetweenInclusive:
+              match = position.value() >= typed_value && position.value() <= *typed_value2;
+              break;
+            default:
+              Fail("IndexScan does not support this condition");
+          }
+          if (match) {
+            matches.push_back(position.chunk_offset());
+          }
+        });
+      });
+    }
+
+    if (!matches.empty()) {
+      output->AppendChunk(ComposeFilteredSegments(table, chunk_id, matches));
+    }
+  }
+  return output;
+}
+
+}  // namespace hyrise

@@ -1,0 +1,70 @@
+#include "operators/insert.hpp"
+
+#include "concurrency/transaction_context.hpp"
+#include "hyrise.hpp"
+#include "storage/table.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+Insert::Insert(std::string table_name, std::shared_ptr<AbstractOperator> input)
+    : AbstractReadWriteOperator(OperatorType::kInsert, std::move(input)), table_name_(std::move(table_name)) {}
+
+std::shared_ptr<const Table> Insert::OnExecute(const std::shared_ptr<TransactionContext>& context) {
+  target_table_ = Hyrise::Get().storage_manager.GetTable(table_name_);
+  const auto input = left_input_->get_output();
+  Assert(input->column_count() == target_table_->column_count(), "INSERT: column count mismatch");
+
+  const auto rows = input->GetRows();
+  const auto use_mvcc = target_table_->uses_mvcc() == UseMvcc::kYes;
+  Assert(!use_mvcc || context, "Insert into MVCC table requires a transaction context");
+
+  {
+    const auto lock = std::lock_guard{target_table_->append_mutex()};
+    for (const auto& row : rows) {
+      // Locate / create the mutable tail chunk.
+      auto chunk = std::shared_ptr<Chunk>{};
+      if (target_table_->chunk_count() > 0) {
+        chunk = target_table_->GetChunk(ChunkID{target_table_->chunk_count() - 1});
+      }
+      if (!chunk || !chunk->IsMutable() || chunk->size() >= target_table_->target_chunk_size()) {
+        target_table_->AppendMutableChunk();
+        chunk = target_table_->GetChunk(ChunkID{target_table_->chunk_count() - 1});
+      }
+      const auto chunk_id = ChunkID{target_table_->chunk_count() - 1};
+      const auto offset = chunk->size();
+
+      if (use_mvcc) {
+        // Claim the row slot before the values become readable.
+        chunk->mvcc_data()->SetTid(offset, context->transaction_id());
+      }
+      chunk->Append(row);
+      inserted_row_ids_.push_back(RowID{chunk_id, offset});
+    }
+  }
+
+  if (use_mvcc) {
+    context->RegisterReadWriteOperator(std::static_pointer_cast<AbstractReadWriteOperator>(shared_from_this()));
+  }
+  return nullptr;
+}
+
+void Insert::CommitRecords(CommitID commit_id) {
+  for (const auto row_id : inserted_row_ids_) {
+    const auto chunk = target_table_->GetChunk(row_id.chunk_id);
+    chunk->mvcc_data()->SetBeginCid(row_id.chunk_offset, commit_id);
+    chunk->mvcc_data()->SetTid(row_id.chunk_offset, kInvalidTransactionId);
+  }
+}
+
+void Insert::RollbackRecords() {
+  for (const auto row_id : inserted_row_ids_) {
+    const auto chunk = target_table_->GetChunk(row_id.chunk_id);
+    // Begin CID stays unset: the row is invisible to every snapshot forever.
+    chunk->mvcc_data()->SetEndCid(row_id.chunk_offset, CommitID{0});
+    chunk->mvcc_data()->SetTid(row_id.chunk_offset, kInvalidTransactionId);
+    chunk->IncreaseInvalidRowCount(1);
+  }
+}
+
+}  // namespace hyrise

@@ -1,0 +1,48 @@
+#ifndef HYRISE_SRC_OPERATORS_INSERT_HPP_
+#define HYRISE_SRC_OPERATORS_INSERT_HPP_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "operators/abstract_operator.hpp"
+
+namespace hyrise {
+
+/// Appends the input plan's rows to a stored table (paper §2.8: data is
+/// always added to the mutable tail chunk). Under MVCC the rows stay
+/// invisible (begin CID unset, TID = ours) until the transaction commits.
+class Insert final : public AbstractReadWriteOperator {
+ public:
+  Insert(std::string table_name, std::shared_ptr<AbstractOperator> input);
+
+  const std::string& name() const final {
+    static const auto kName = std::string{"Insert"};
+    return kName;
+  }
+
+  void CommitRecords(CommitID commit_id) final;
+  void RollbackRecords() final;
+
+  const std::vector<RowID>& inserted_row_ids() const {
+    return inserted_row_ids_;
+  }
+
+ protected:
+  std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& context) final;
+
+  std::shared_ptr<AbstractOperator> OnDeepCopy(std::shared_ptr<AbstractOperator> left,
+                                               std::shared_ptr<AbstractOperator> /*right*/,
+                                               DeepCopyMap& /*map*/) const final {
+    return std::make_shared<Insert>(table_name_, std::move(left));
+  }
+
+ private:
+  std::string table_name_;
+  std::shared_ptr<Table> target_table_;
+  std::vector<RowID> inserted_row_ids_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPERATORS_INSERT_HPP_

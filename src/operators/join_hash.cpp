@@ -1,0 +1,123 @@
+#include "operators/join_hash.hpp"
+
+#include <unordered_map>
+
+#include "expression/expressions.hpp"
+#include "operators/column_materializer.hpp"
+#include "operators/pos_list_utils.hpp"
+#include "storage/table.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+JoinHash::JoinHash(std::shared_ptr<AbstractOperator> left, std::shared_ptr<AbstractOperator> right, JoinMode mode,
+                   JoinOperatorPredicate primary, std::vector<JoinOperatorPredicate> secondary)
+    : AbstractJoinOperator(OperatorType::kJoinHash, std::move(left), std::move(right), mode, primary,
+                           std::move(secondary)) {
+  Assert(primary.condition == PredicateCondition::kEquals, "JoinHash requires an equality primary predicate");
+  Assert(mode == JoinMode::kInner || mode == JoinMode::kLeft || mode == JoinMode::kSemi || mode == JoinMode::kAnti,
+         "JoinHash supports Inner, Left, Semi, Anti");
+}
+
+std::shared_ptr<const Table> JoinHash::OnExecute(const std::shared_ptr<TransactionContext>& /*context*/) {
+  const auto left = left_input_->get_output();
+  const auto right = right_input_->get_output();
+
+  const auto key_type = PromoteDataTypes(left->column_data_type(primary_.left_column),
+                                         right->column_data_type(primary_.right_column));
+
+  auto left_rows = std::vector<size_t>{};
+  auto right_rows = std::vector<size_t>{};
+
+  const auto checker = SecondaryPredicateChecker{secondary_, *left, *right};
+
+  ResolveDataType(key_type, [&](auto type_tag) {
+    using K = decltype(type_tag);
+
+    const auto materialize_keys = [](const Table& table, ColumnID column_id) {
+      auto keys = MaterializedColumn<K>{};
+      ResolveDataType(table.column_data_type(column_id), [&](auto column_tag) {
+        using T = decltype(column_tag);
+        if constexpr (std::is_same_v<T, K>) {
+          keys = MaterializeColumn<K>(table, column_id);
+        } else if constexpr (std::is_arithmetic_v<T> && std::is_arithmetic_v<K>) {
+          const auto typed = MaterializeColumn<T>(table, column_id);
+          keys.nulls = typed.nulls;
+          keys.values.resize(typed.values.size());
+          for (auto row = size_t{0}; row < typed.values.size(); ++row) {
+            keys.values[row] = static_cast<K>(typed.values[row]);
+          }
+        } else {
+          Fail("Join key type mismatch");
+        }
+      });
+      return keys;
+    };
+
+    // Build phase over the right input.
+    const auto build_keys = materialize_keys(*right, primary_.right_column);
+    auto hash_table = std::unordered_map<K, std::vector<size_t>>{};
+    hash_table.reserve(build_keys.values.size());
+    for (auto row = size_t{0}; row < build_keys.values.size(); ++row) {
+      if (!build_keys.IsNull(row)) {
+        hash_table[build_keys.values[row]].push_back(row);
+      }
+    }
+
+    // Probe phase over the left input.
+    const auto probe_keys = materialize_keys(*left, primary_.left_column);
+    const auto probe_count = probe_keys.values.size();
+    for (auto row = size_t{0}; row < probe_count; ++row) {
+      const auto* candidates = static_cast<const std::vector<size_t>*>(nullptr);
+      if (!probe_keys.IsNull(row)) {
+        const auto iter = hash_table.find(probe_keys.values[row]);
+        if (iter != hash_table.end()) {
+          candidates = &iter->second;
+        }
+      }
+
+      switch (mode_) {
+        case JoinMode::kInner:
+        case JoinMode::kLeft: {
+          auto matched = false;
+          if (candidates) {
+            for (const auto candidate : *candidates) {
+              if (checker.AlwaysTrue() || checker.Passes(row, candidate)) {
+                left_rows.push_back(row);
+                right_rows.push_back(candidate);
+                matched = true;
+              }
+            }
+          }
+          if (!matched && mode_ == JoinMode::kLeft) {
+            left_rows.push_back(row);
+            right_rows.push_back(kPaddingRow);
+          }
+          break;
+        }
+        case JoinMode::kSemi:
+        case JoinMode::kAnti: {
+          auto matched = false;
+          if (candidates) {
+            for (const auto candidate : *candidates) {
+              if (checker.AlwaysTrue() || checker.Passes(row, candidate)) {
+                matched = true;
+                break;
+              }
+            }
+          }
+          if (matched == (mode_ == JoinMode::kSemi)) {
+            left_rows.push_back(row);
+          }
+          break;
+        }
+        default:
+          Fail("Unsupported JoinHash mode");
+      }
+    }
+  });
+
+  return BuildOutput(left, right, left_rows, right_rows);
+}
+
+}  // namespace hyrise

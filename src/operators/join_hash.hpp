@@ -1,0 +1,35 @@
+#ifndef HYRISE_SRC_OPERATORS_JOIN_HASH_HPP_
+#define HYRISE_SRC_OPERATORS_JOIN_HASH_HPP_
+
+#include <memory>
+#include <vector>
+
+#include "operators/abstract_join_operator.hpp"
+
+namespace hyrise {
+
+/// Hash join (build on the right input, probe with the left). Supports
+/// Inner, Left outer, Semi, and Anti with an equality primary predicate plus
+/// arbitrary secondary predicates. NULL keys never match.
+class JoinHash final : public AbstractJoinOperator {
+ public:
+  JoinHash(std::shared_ptr<AbstractOperator> left, std::shared_ptr<AbstractOperator> right, JoinMode mode,
+           JoinOperatorPredicate primary, std::vector<JoinOperatorPredicate> secondary = {});
+
+  const std::string& name() const final {
+    static const auto kName = std::string{"JoinHash"};
+    return kName;
+  }
+
+ protected:
+  std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& context) final;
+
+  std::shared_ptr<AbstractOperator> OnDeepCopy(std::shared_ptr<AbstractOperator> left,
+                                               std::shared_ptr<AbstractOperator> right, DeepCopyMap& /*map*/) const final {
+    return std::make_shared<JoinHash>(std::move(left), std::move(right), mode_, primary_, secondary_);
+  }
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPERATORS_JOIN_HASH_HPP_

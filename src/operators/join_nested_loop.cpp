@@ -1,0 +1,74 @@
+#include "operators/join_nested_loop.hpp"
+
+#include "operators/column_materializer.hpp"
+#include "operators/pos_list_utils.hpp"
+#include "storage/table.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+JoinNestedLoop::JoinNestedLoop(std::shared_ptr<AbstractOperator> left, std::shared_ptr<AbstractOperator> right,
+                               JoinMode mode, JoinOperatorPredicate primary,
+                               std::vector<JoinOperatorPredicate> secondary)
+    : AbstractJoinOperator(OperatorType::kJoinNestedLoop, std::move(left), std::move(right), mode, primary,
+                           std::move(secondary)) {
+  Assert(mode != JoinMode::kCross, "Use the Product operator for cross joins");
+}
+
+std::shared_ptr<const Table> JoinNestedLoop::OnExecute(const std::shared_ptr<TransactionContext>& /*context*/) {
+  const auto left = left_input_->get_output();
+  const auto right = right_input_->get_output();
+
+  const auto left_keys = MaterializeColumnAsVariants(*left, primary_.left_column);
+  const auto right_keys = MaterializeColumnAsVariants(*right, primary_.right_column);
+  const auto checker = SecondaryPredicateChecker{secondary_, *left, *right};
+
+  auto left_rows = std::vector<size_t>{};
+  auto right_rows = std::vector<size_t>{};
+  auto right_matched = std::vector<bool>(right_keys.size(), false);
+
+  for (auto left_row = size_t{0}; left_row < left_keys.size(); ++left_row) {
+    auto matched = false;
+    for (auto right_row = size_t{0}; right_row < right_keys.size(); ++right_row) {
+      if (!CompareVariants(primary_.condition, left_keys[left_row], right_keys[right_row])) {
+        continue;
+      }
+      if (!checker.AlwaysTrue() && !checker.Passes(left_row, right_row)) {
+        continue;
+      }
+      matched = true;
+      right_matched[right_row] = true;
+      if (mode_ == JoinMode::kInner || mode_ == JoinMode::kLeft || mode_ == JoinMode::kRight ||
+          mode_ == JoinMode::kFullOuter) {
+        left_rows.push_back(left_row);
+        right_rows.push_back(right_row);
+      } else {
+        break;  // Semi/Anti only need existence.
+      }
+    }
+    if (matched && mode_ == JoinMode::kSemi) {
+      left_rows.push_back(left_row);
+    }
+    if (!matched) {
+      if (mode_ == JoinMode::kAnti) {
+        left_rows.push_back(left_row);
+      } else if (mode_ == JoinMode::kLeft || mode_ == JoinMode::kFullOuter) {
+        left_rows.push_back(left_row);
+        right_rows.push_back(kPaddingRow);
+      }
+    }
+  }
+
+  if (mode_ == JoinMode::kRight || mode_ == JoinMode::kFullOuter) {
+    for (auto right_row = size_t{0}; right_row < right_matched.size(); ++right_row) {
+      if (!right_matched[right_row]) {
+        left_rows.push_back(kPaddingRow);
+        right_rows.push_back(right_row);
+      }
+    }
+  }
+
+  return BuildOutput(left, right, left_rows, right_rows);
+}
+
+}  // namespace hyrise

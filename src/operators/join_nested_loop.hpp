@@ -1,0 +1,36 @@
+#ifndef HYRISE_SRC_OPERATORS_JOIN_NESTED_LOOP_HPP_
+#define HYRISE_SRC_OPERATORS_JOIN_NESTED_LOOP_HPP_
+
+#include <memory>
+#include <vector>
+
+#include "operators/abstract_join_operator.hpp"
+
+namespace hyrise {
+
+/// Nested-loop join: the reference implementation. Supports every join mode
+/// and arbitrary primary predicate conditions (the only join that handles
+/// non-equality primaries). Used by tests as ground truth and by the
+/// translator when no equality predicate exists.
+class JoinNestedLoop final : public AbstractJoinOperator {
+ public:
+  JoinNestedLoop(std::shared_ptr<AbstractOperator> left, std::shared_ptr<AbstractOperator> right, JoinMode mode,
+                 JoinOperatorPredicate primary, std::vector<JoinOperatorPredicate> secondary = {});
+
+  const std::string& name() const final {
+    static const auto kName = std::string{"JoinNestedLoop"};
+    return kName;
+  }
+
+ protected:
+  std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& context) final;
+
+  std::shared_ptr<AbstractOperator> OnDeepCopy(std::shared_ptr<AbstractOperator> left,
+                                               std::shared_ptr<AbstractOperator> right, DeepCopyMap& /*map*/) const final {
+    return std::make_shared<JoinNestedLoop>(std::move(left), std::move(right), mode_, primary_, secondary_);
+  }
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPERATORS_JOIN_NESTED_LOOP_HPP_

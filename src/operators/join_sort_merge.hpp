@@ -1,0 +1,35 @@
+#ifndef HYRISE_SRC_OPERATORS_JOIN_SORT_MERGE_HPP_
+#define HYRISE_SRC_OPERATORS_JOIN_SORT_MERGE_HPP_
+
+#include <memory>
+#include <vector>
+
+#include "operators/abstract_join_operator.hpp"
+
+namespace hyrise {
+
+/// Sort-merge join: both inputs' keys are materialized and sorted, equal-key
+/// groups are merged. Supports Inner, Left outer, Semi, and Anti with an
+/// equality primary predicate plus secondary predicates.
+class JoinSortMerge final : public AbstractJoinOperator {
+ public:
+  JoinSortMerge(std::shared_ptr<AbstractOperator> left, std::shared_ptr<AbstractOperator> right, JoinMode mode,
+                JoinOperatorPredicate primary, std::vector<JoinOperatorPredicate> secondary = {});
+
+  const std::string& name() const final {
+    static const auto kName = std::string{"JoinSortMerge"};
+    return kName;
+  }
+
+ protected:
+  std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& context) final;
+
+  std::shared_ptr<AbstractOperator> OnDeepCopy(std::shared_ptr<AbstractOperator> left,
+                                               std::shared_ptr<AbstractOperator> right, DeepCopyMap& /*map*/) const final {
+    return std::make_shared<JoinSortMerge>(std::move(left), std::move(right), mode_, primary_, secondary_);
+  }
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPERATORS_JOIN_SORT_MERGE_HPP_

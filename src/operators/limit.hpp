@@ -1,0 +1,58 @@
+#ifndef HYRISE_SRC_OPERATORS_LIMIT_HPP_
+#define HYRISE_SRC_OPERATORS_LIMIT_HPP_
+
+#include <memory>
+
+#include "operators/abstract_operator.hpp"
+#include "operators/pos_list_utils.hpp"
+#include "storage/table.hpp"
+
+namespace hyrise {
+
+/// Emits the first `row_count` rows of the input as references.
+class Limit final : public AbstractOperator {
+ public:
+  Limit(std::shared_ptr<AbstractOperator> input, uint64_t row_count)
+      : AbstractOperator(OperatorType::kLimit, std::move(input)), row_count_(row_count) {}
+
+  const std::string& name() const final {
+    static const auto kName = std::string{"Limit"};
+    return kName;
+  }
+
+  uint64_t row_count() const {
+    return row_count_;
+  }
+
+ protected:
+  std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& /*context*/) final {
+    const auto input = left_input_->get_output();
+    const auto output = MakeReferenceTable(input);
+    auto remaining = row_count_;
+    const auto chunk_count = input->chunk_count();
+    for (auto chunk_id = ChunkID{0}; chunk_id < chunk_count && remaining > 0; ++chunk_id) {
+      const auto chunk_size = input->GetChunk(chunk_id)->size();
+      const auto take = static_cast<ChunkOffset>(std::min<uint64_t>(remaining, chunk_size));
+      auto matches = std::vector<ChunkOffset>(take);
+      for (auto offset = ChunkOffset{0}; offset < take; ++offset) {
+        matches[offset] = offset;
+      }
+      output->AppendChunk(ComposeFilteredSegments(input, chunk_id, matches));
+      remaining -= take;
+    }
+    return output;
+  }
+
+  std::shared_ptr<AbstractOperator> OnDeepCopy(std::shared_ptr<AbstractOperator> left,
+                                               std::shared_ptr<AbstractOperator> /*right*/,
+                                               DeepCopyMap& /*map*/) const final {
+    return std::make_shared<Limit>(std::move(left), row_count_);
+  }
+
+ private:
+  uint64_t row_count_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPERATORS_LIMIT_HPP_

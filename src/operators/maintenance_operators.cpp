@@ -1,0 +1,53 @@
+#include "operators/maintenance_operators.hpp"
+
+#include "hyrise.hpp"
+#include "logical_query_plan/ddl_nodes.hpp"
+#include "storage/table.hpp"
+
+namespace hyrise {
+
+CreateTable::CreateTable(std::string table_name, TableColumnDefinitions definitions, bool if_not_exists)
+    : AbstractOperator(OperatorType::kCreateTable),
+      table_name_(std::move(table_name)),
+      definitions_(std::move(definitions)),
+      if_not_exists_(if_not_exists) {}
+
+std::shared_ptr<const Table> CreateTable::OnExecute(const std::shared_ptr<TransactionContext>& /*context*/) {
+  auto& storage_manager = Hyrise::Get().storage_manager;
+  if (if_not_exists_ && storage_manager.HasTable(table_name_)) {
+    return nullptr;
+  }
+  storage_manager.AddTable(table_name_,
+                           std::make_shared<Table>(definitions_, TableType::kData, kDefaultChunkSize, UseMvcc::kYes));
+  return nullptr;
+}
+
+DropTable::DropTable(std::string table_name, bool if_exists)
+    : AbstractOperator(OperatorType::kDropTable), table_name_(std::move(table_name)), if_exists_(if_exists) {}
+
+std::shared_ptr<const Table> DropTable::OnExecute(const std::shared_ptr<TransactionContext>& /*context*/) {
+  auto& storage_manager = Hyrise::Get().storage_manager;
+  if (if_exists_ && !storage_manager.HasTable(table_name_)) {
+    return nullptr;
+  }
+  storage_manager.DropTable(table_name_);
+  return nullptr;
+}
+
+CreateView::CreateView(std::string view_name, std::shared_ptr<LqpView> view)
+    : AbstractOperator(OperatorType::kCreateView), view_name_(std::move(view_name)), view_(std::move(view)) {}
+
+std::shared_ptr<const Table> CreateView::OnExecute(const std::shared_ptr<TransactionContext>& /*context*/) {
+  Hyrise::Get().storage_manager.AddView(view_name_, view_);
+  return nullptr;
+}
+
+DropView::DropView(std::string view_name)
+    : AbstractOperator(OperatorType::kDropView), view_name_(std::move(view_name)) {}
+
+std::shared_ptr<const Table> DropView::OnExecute(const std::shared_ptr<TransactionContext>& /*context*/) {
+  Hyrise::Get().storage_manager.DropView(view_name_);
+  return nullptr;
+}
+
+}  // namespace hyrise

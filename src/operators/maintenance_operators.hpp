@@ -1,0 +1,109 @@
+#ifndef HYRISE_SRC_OPERATORS_MAINTENANCE_OPERATORS_HPP_
+#define HYRISE_SRC_OPERATORS_MAINTENANCE_OPERATORS_HPP_
+
+#include <memory>
+#include <string>
+
+#include "operators/abstract_operator.hpp"
+#include "storage/table_column_definition.hpp"
+
+namespace hyrise {
+
+class LqpView;
+
+/// CREATE TABLE: registers a new (MVCC) table with the storage manager.
+class CreateTable final : public AbstractOperator {
+ public:
+  CreateTable(std::string table_name, TableColumnDefinitions definitions, bool if_not_exists);
+
+  const std::string& name() const final {
+    static const auto kName = std::string{"CreateTable"};
+    return kName;
+  }
+
+ protected:
+  std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& context) final;
+
+  std::shared_ptr<AbstractOperator> OnDeepCopy(std::shared_ptr<AbstractOperator> /*left*/,
+                                               std::shared_ptr<AbstractOperator> /*right*/,
+                                               DeepCopyMap& /*map*/) const final {
+    return std::make_shared<CreateTable>(table_name_, definitions_, if_not_exists_);
+  }
+
+ private:
+  std::string table_name_;
+  TableColumnDefinitions definitions_;
+  bool if_not_exists_;
+};
+
+class DropTable final : public AbstractOperator {
+ public:
+  DropTable(std::string table_name, bool if_exists);
+
+  const std::string& name() const final {
+    static const auto kName = std::string{"DropTable"};
+    return kName;
+  }
+
+ protected:
+  std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& context) final;
+
+  std::shared_ptr<AbstractOperator> OnDeepCopy(std::shared_ptr<AbstractOperator> /*left*/,
+                                               std::shared_ptr<AbstractOperator> /*right*/,
+                                               DeepCopyMap& /*map*/) const final {
+    return std::make_shared<DropTable>(table_name_, if_exists_);
+  }
+
+ private:
+  std::string table_name_;
+  bool if_exists_;
+};
+
+class CreateView final : public AbstractOperator {
+ public:
+  CreateView(std::string view_name, std::shared_ptr<LqpView> view);
+
+  const std::string& name() const final {
+    static const auto kName = std::string{"CreateView"};
+    return kName;
+  }
+
+ protected:
+  std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& context) final;
+
+  std::shared_ptr<AbstractOperator> OnDeepCopy(std::shared_ptr<AbstractOperator> /*left*/,
+                                               std::shared_ptr<AbstractOperator> /*right*/,
+                                               DeepCopyMap& /*map*/) const final {
+    return std::make_shared<CreateView>(view_name_, view_);
+  }
+
+ private:
+  std::string view_name_;
+  std::shared_ptr<LqpView> view_;
+};
+
+class DropView final : public AbstractOperator {
+ public:
+  explicit DropView(std::string view_name);
+
+  const std::string& name() const final {
+    static const auto kName = std::string{"DropView"};
+    return kName;
+  }
+
+ protected:
+  std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& context) final;
+
+  std::shared_ptr<AbstractOperator> OnDeepCopy(std::shared_ptr<AbstractOperator> /*left*/,
+                                               std::shared_ptr<AbstractOperator> /*right*/,
+                                               DeepCopyMap& /*map*/) const final {
+    return std::make_shared<DropView>(view_name_);
+  }
+
+ private:
+  std::string view_name_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPERATORS_MAINTENANCE_OPERATORS_HPP_

@@ -1,0 +1,70 @@
+#ifndef HYRISE_SRC_OPERATORS_PIPELINE_FUSION_HPP_
+#define HYRISE_SRC_OPERATORS_PIPELINE_FUSION_HPP_
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "storage/segment_iterables/segment_iterate.hpp"
+#include "storage/table.hpp"
+#include "storage/value_segment.hpp"
+
+namespace hyrise {
+
+/// Stand-in for the JIT specialization engine (paper §2.7; DESIGN.md §4).
+///
+/// The original system keeps generalized operator code in LLVM IR and, at
+/// runtime, inlines virtual calls, removes type switches, and fuses all
+/// operators between two pipeline breakers into one loop. This header
+/// provides the same *effect* through compile-time specialization: filter
+/// and consume functors and the column arity are template parameters, so the
+/// whole scan→filter→project→aggregate pipeline compiles into one loop with
+/// no virtual calls, no type switches, and no per-expression-node
+/// intermediate materializations. The generic interpreting counterpart is
+/// the ExpressionEvaluator (see bench/jit_specialization.cpp).
+///
+/// `filter` and `consume` receive a std::array<T, N> with the row's column
+/// values (NULLs read as T{}; like the paper's JIT, null checks are removed
+/// when columns are known non-null).
+template <typename T, size_t N, typename FilterFn, typename ConsumeFn>
+void FusedScanAggregate(const Table& table, const std::array<ColumnID, N>& columns, const FilterFn& filter,
+                        const ConsumeFn& consume) {
+  const auto chunk_count = table.chunk_count();
+  for (auto chunk_id = ChunkID{0}; chunk_id < chunk_count; ++chunk_id) {
+    const auto chunk = table.GetChunk(chunk_id);
+    const auto chunk_size = chunk->size();
+
+    // Column access: zero-copy for unencoded segments, one decode per chunk
+    // otherwise (mirrors the JIT operating on the storage layer directly).
+    std::array<const T*, N> column_data{};
+    std::array<std::vector<T>, N> decoded;
+    for (auto index = size_t{0}; index < N; ++index) {
+      const auto segment = chunk->GetSegment(columns[index]);
+      if (const auto* value_segment = dynamic_cast<const ValueSegment<T>*>(segment.get());
+          value_segment && !value_segment->is_nullable()) {
+        column_data[index] = value_segment->values().data();
+        continue;
+      }
+      decoded[index].resize(chunk_size);
+      auto* out = decoded[index].data();
+      SegmentIterate<T>(*segment, [&](const auto& position) {
+        out[position.chunk_offset()] = position.is_null() ? T{} : position.value();
+      });
+      column_data[index] = out;
+    }
+
+    for (auto offset = ChunkOffset{0}; offset < chunk_size; ++offset) {
+      auto row = std::array<T, N>{};
+      for (auto index = size_t{0}; index < N; ++index) {
+        row[index] = column_data[index][offset];
+      }
+      if (filter(row)) {
+        consume(row);
+      }
+    }
+  }
+}
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPERATORS_PIPELINE_FUSION_HPP_

@@ -1,0 +1,45 @@
+#ifndef HYRISE_SRC_OPERATORS_POS_LIST_UTILS_HPP_
+#define HYRISE_SRC_OPERATORS_POS_LIST_UTILS_HPP_
+
+#include <memory>
+#include <vector>
+
+#include "storage/pos_list.hpp"
+#include "storage/table.hpp"
+
+namespace hyrise {
+
+/// Index of a row within a table, counting across chunks. `kPaddingRow`
+/// marks outer-join padding.
+inline constexpr size_t kPaddingRow = std::numeric_limits<size_t>::max();
+
+/// The data table a column ultimately references (identity for data tables).
+std::shared_ptr<const Table> ReferencedTable(const std::shared_ptr<const Table>& table, ColumnID column_id);
+
+/// Flattens, for one column, the RowIDs into the referenced data table across
+/// all chunks. For data tables these are the rows' own positions.
+std::shared_ptr<const std::vector<RowID>> FlattenRowIds(const std::shared_ptr<const Table>& table,
+                                                        ColumnID column_id);
+
+/// Builds the ReferenceSegments of an operator output whose rows are
+/// `row_indices` (global row indices into `input`, or kPaddingRow for NULL
+/// rows). Columns of `input` that share position lists share the composed
+/// lists in the output — operators pass references, never materialize
+/// (paper §2.6).
+Segments ComposeOutputSegments(const std::shared_ptr<const Table>& input, const std::vector<size_t>& row_indices);
+
+/// Same, but for the rows `matches` of a single chunk (the shape scans and
+/// Validate produce). The fast path for data tables emits one shared
+/// single-chunk position list.
+Segments ComposeFilteredSegments(const std::shared_ptr<const Table>& input, ChunkID chunk_id,
+                                 const std::vector<ChunkOffset>& matches);
+
+/// The column in the referenced data table that `column_id` resolves to.
+ColumnID ResolveReferencedColumn(const std::shared_ptr<const Table>& input, ColumnID column_id);
+
+/// Creates an (empty) reference-table shell with `input`'s schema.
+std::shared_ptr<Table> MakeReferenceTable(const std::shared_ptr<const Table>& input);
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPERATORS_POS_LIST_UTILS_HPP_

@@ -1,0 +1,67 @@
+#ifndef HYRISE_SRC_OPERATORS_PRODUCT_HPP_
+#define HYRISE_SRC_OPERATORS_PRODUCT_HPP_
+
+#include <memory>
+
+#include "operators/abstract_operator.hpp"
+#include "operators/pos_list_utils.hpp"
+#include "storage/table.hpp"
+
+namespace hyrise {
+
+/// Cartesian product (CROSS JOIN). In optimized plans this only survives when
+/// no join predicate exists; the join-ordering rule otherwise replaces
+/// cross products with predicated joins.
+class Product final : public AbstractOperator {
+ public:
+  Product(std::shared_ptr<AbstractOperator> left, std::shared_ptr<AbstractOperator> right)
+      : AbstractOperator(OperatorType::kProduct, std::move(left), std::move(right)) {}
+
+  const std::string& name() const final {
+    static const auto kName = std::string{"Product"};
+    return kName;
+  }
+
+ protected:
+  std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& /*context*/) final {
+    const auto left = left_input_->get_output();
+    const auto right = right_input_->get_output();
+    const auto left_count = left->row_count();
+    const auto right_count = right->row_count();
+
+    auto definitions = left->column_definitions();
+    for (const auto& definition : right->column_definitions()) {
+      definitions.push_back(definition);
+    }
+    auto output = std::make_shared<Table>(definitions, TableType::kReferences);
+    if (left_count == 0 || right_count == 0) {
+      return output;
+    }
+
+    auto left_rows = std::vector<size_t>{};
+    auto right_rows = std::vector<size_t>{};
+    left_rows.reserve(left_count * right_count);
+    right_rows.reserve(left_count * right_count);
+    for (auto left_row = size_t{0}; left_row < left_count; ++left_row) {
+      for (auto right_row = size_t{0}; right_row < right_count; ++right_row) {
+        left_rows.push_back(left_row);
+        right_rows.push_back(right_row);
+      }
+    }
+    auto segments = ComposeOutputSegments(left, left_rows);
+    auto right_segments = ComposeOutputSegments(right, right_rows);
+    segments.insert(segments.end(), right_segments.begin(), right_segments.end());
+    output->AppendChunk(std::move(segments));
+    return output;
+  }
+
+  std::shared_ptr<AbstractOperator> OnDeepCopy(std::shared_ptr<AbstractOperator> left,
+                                               std::shared_ptr<AbstractOperator> right,
+                                               DeepCopyMap& /*map*/) const final {
+    return std::make_shared<Product>(std::move(left), std::move(right));
+  }
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPERATORS_PRODUCT_HPP_

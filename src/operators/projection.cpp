@@ -1,0 +1,95 @@
+#include "operators/projection.hpp"
+
+#include "expression/expression_evaluator.hpp"
+#include "expression/expression_utils.hpp"
+#include "storage/table.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+Projection::Projection(std::shared_ptr<AbstractOperator> input, Expressions expressions)
+    : AbstractOperator(OperatorType::kProjection, std::move(input)), expressions_(std::move(expressions)) {
+  Assert(!expressions_.empty(), "Projection without expressions");
+}
+
+std::string Projection::Description() const {
+  auto description = std::string{"Projection"};
+  for (const auto& expression : expressions_) {
+    description += " " + expression->Description();
+  }
+  return description;
+}
+
+std::shared_ptr<const Table> Projection::OnExecute(const std::shared_ptr<TransactionContext>& context) {
+  const auto input = left_input_->get_output();
+
+  auto all_forwarded = true;
+  for (const auto& expression : expressions_) {
+    all_forwarded &= expression->type == ExpressionType::kPqpColumn;
+  }
+
+  auto definitions = TableColumnDefinitions{};
+  definitions.reserve(expressions_.size());
+  for (const auto& expression : expressions_) {
+    auto data_type = expression->data_type();
+    if (data_type == DataType::kNull) {
+      data_type = DataType::kInt;
+    }
+    if (expression->type == ExpressionType::kPqpColumn) {
+      const auto& column = static_cast<const PqpColumnExpression&>(*expression);
+      definitions.emplace_back(column.name, data_type, column.nullable);
+    } else {
+      definitions.emplace_back(expression->Description(), data_type, true);
+    }
+  }
+
+  const auto chunk_count = input->chunk_count();
+
+  if (all_forwarded) {
+    // Pure column selection: share segments, keep the input's table type.
+    auto output = std::make_shared<Table>(definitions, input->type());
+    for (auto chunk_id = ChunkID{0}; chunk_id < chunk_count; ++chunk_id) {
+      const auto chunk = input->GetChunk(chunk_id);
+      auto segments = Segments{};
+      segments.reserve(expressions_.size());
+      for (const auto& expression : expressions_) {
+        const auto& column = static_cast<const PqpColumnExpression&>(*expression);
+        segments.push_back(chunk->GetSegment(column.column_id));
+      }
+      output->AppendChunk(std::move(segments));
+    }
+    return output;
+  }
+
+  // Computed columns: materialize everything chunk by chunk.
+  auto output = std::make_shared<Table>(definitions, TableType::kData);
+  for (auto chunk_id = ChunkID{0}; chunk_id < chunk_count; ++chunk_id) {
+    auto evaluator = ExpressionEvaluator{input, chunk_id, context};
+    auto segments = Segments{};
+    segments.reserve(expressions_.size());
+    for (const auto& expression : expressions_) {
+      segments.push_back(evaluator.EvaluateToSegment(expression));
+    }
+    output->AppendChunk(std::move(segments));
+  }
+  // A projection over an empty input still produces the schema; for literal
+  // SELECTs without FROM the input has one chunk, handled above.
+  return output;
+}
+
+void Projection::OnSetParameters(const std::unordered_map<ParameterID, AllTypeVariant>& parameters) {
+  ReplaceParametersInPlace(expressions_, parameters);
+}
+
+std::shared_ptr<AbstractOperator> Projection::OnDeepCopy(std::shared_ptr<AbstractOperator> left,
+                                                         std::shared_ptr<AbstractOperator> /*right*/,
+                                                         DeepCopyMap& /*map*/) const {
+  auto copied_expressions = Expressions{};
+  copied_expressions.reserve(expressions_.size());
+  for (const auto& expression : expressions_) {
+    copied_expressions.push_back(expression->DeepCopy());
+  }
+  return std::make_shared<Projection>(std::move(left), std::move(copied_expressions));
+}
+
+}  // namespace hyrise

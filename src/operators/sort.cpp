@@ -1,0 +1,48 @@
+#include "operators/sort.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "operators/column_materializer.hpp"
+#include "operators/pos_list_utils.hpp"
+#include "storage/table.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+std::shared_ptr<const Table> Sort::OnExecute(const std::shared_ptr<TransactionContext>& /*context*/) {
+  const auto input = left_input_->get_output();
+  const auto row_count = input->row_count();
+
+  auto indices = std::vector<size_t>(row_count);
+  std::iota(indices.begin(), indices.end(), size_t{0});
+
+  // Stable sort per key, last key first: the classic way to get
+  // lexicographic multi-key order.
+  for (auto definition_iter = sort_definitions_.rbegin(); definition_iter != sort_definitions_.rend();
+       ++definition_iter) {
+    const auto column_id = definition_iter->column;
+    const auto ascending = definition_iter->sort_mode == SortMode::kAscending;
+    ResolveDataType(input->column_data_type(column_id), [&](auto type_tag) {
+      using T = decltype(type_tag);
+      const auto column = MaterializeColumn<T>(*input, column_id);
+      std::stable_sort(indices.begin(), indices.end(), [&](size_t lhs, size_t rhs) {
+        const auto lhs_null = column.IsNull(lhs);
+        const auto rhs_null = column.IsNull(rhs);
+        if (lhs_null || rhs_null) {
+          // NULLs first in ascending order, last in descending.
+          return ascending ? (lhs_null && !rhs_null) : (!lhs_null && rhs_null);
+        }
+        return ascending ? column.values[lhs] < column.values[rhs] : column.values[rhs] < column.values[lhs];
+      });
+    });
+  }
+
+  const auto output = MakeReferenceTable(input);
+  if (row_count > 0) {
+    output->AppendChunk(ComposeOutputSegments(input, indices));
+  }
+  return output;
+}
+
+}  // namespace hyrise

@@ -1,0 +1,44 @@
+#ifndef HYRISE_SRC_OPERATORS_SORT_HPP_
+#define HYRISE_SRC_OPERATORS_SORT_HPP_
+
+#include <memory>
+#include <vector>
+
+#include "operators/abstract_operator.hpp"
+
+namespace hyrise {
+
+/// ORDER BY over an arbitrary number of columns. Sort keys are materialized
+/// once; a stable sort per key (applied last-to-first) yields the standard
+/// multi-key order. NULLs sort first in ascending order. The output
+/// references the input rows in sorted order.
+class Sort final : public AbstractOperator {
+ public:
+  Sort(std::shared_ptr<AbstractOperator> input, std::vector<SortColumnDefinition> sort_definitions)
+      : AbstractOperator(OperatorType::kSort, std::move(input)), sort_definitions_(std::move(sort_definitions)) {}
+
+  const std::string& name() const final {
+    static const auto kName = std::string{"Sort"};
+    return kName;
+  }
+
+  const std::vector<SortColumnDefinition>& sort_definitions() const {
+    return sort_definitions_;
+  }
+
+ protected:
+  std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& context) final;
+
+  std::shared_ptr<AbstractOperator> OnDeepCopy(std::shared_ptr<AbstractOperator> left,
+                                               std::shared_ptr<AbstractOperator> /*right*/,
+                                               DeepCopyMap& /*map*/) const final {
+    return std::make_shared<Sort>(std::move(left), sort_definitions_);
+  }
+
+ private:
+  std::vector<SortColumnDefinition> sort_definitions_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPERATORS_SORT_HPP_

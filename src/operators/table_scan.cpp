@@ -1,0 +1,430 @@
+#include "operators/table_scan.hpp"
+
+#include "expression/expression_evaluator.hpp"
+#include "expression/expression_utils.hpp"
+#include "expression/like_matcher.hpp"
+#include "operators/pos_list_utils.hpp"
+#include "storage/segment_iterables/segment_iterate.hpp"
+#include "storage/table.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+namespace {
+
+/// Statically resolves a comparison condition to a comparator functor, so the
+/// hot loop compiles without a switch (paper §2.3: "not only the iterators,
+/// but also the functors are resolved at compile time").
+template <typename Functor>
+void WithComparator(PredicateCondition condition, const Functor& functor) {
+  switch (condition) {
+    case PredicateCondition::kEquals:
+      functor([](const auto& lhs, const auto& rhs) {
+        return lhs == rhs;
+      });
+      return;
+    case PredicateCondition::kNotEquals:
+      functor([](const auto& lhs, const auto& rhs) {
+        return lhs != rhs;
+      });
+      return;
+    case PredicateCondition::kLessThan:
+      functor([](const auto& lhs, const auto& rhs) {
+        return lhs < rhs;
+      });
+      return;
+    case PredicateCondition::kLessThanEquals:
+      functor([](const auto& lhs, const auto& rhs) {
+        return lhs <= rhs;
+      });
+      return;
+    case PredicateCondition::kGreaterThan:
+      functor([](const auto& lhs, const auto& rhs) {
+        return lhs > rhs;
+      });
+      return;
+    case PredicateCondition::kGreaterThanEquals:
+      functor([](const auto& lhs, const auto& rhs) {
+        return lhs >= rhs;
+      });
+      return;
+    default:
+      Fail("No comparator for this condition");
+  }
+}
+
+/// Iterates a segment of any numeric type, presenting values as C (the
+/// promoted comparison type). Same-type iteration has no conversion cost.
+template <typename C, typename Functor>
+void IterateAs(const AbstractSegment& segment, const Functor& functor) {
+  ResolveDataType(segment.data_type(), [&](auto type_tag) {
+    using T = decltype(type_tag);
+    if constexpr (std::is_same_v<T, C>) {
+      SegmentIterate<T>(segment, functor);
+    } else if constexpr (std::is_arithmetic_v<T> && std::is_arithmetic_v<C>) {
+      SegmentIterate<T>(segment, [&](const auto& position) {
+        functor(SegmentPosition<C>{static_cast<C>(position.value()), position.is_null(), position.chunk_offset()});
+      });
+    } else {
+      Fail("Cannot compare string and numeric columns");
+    }
+  });
+}
+
+/// The recognized fast-path predicate shapes.
+enum class ScanKind {
+  kColumnVsValue,
+  kColumnBetween,
+  kColumnIsNull,
+  kColumnLike,
+  kColumnVsColumn,
+  kExpression,  // Fallback: expression evaluator.
+};
+
+struct ScanSpec {
+  ScanKind kind{ScanKind::kExpression};
+  PredicateCondition condition{PredicateCondition::kEquals};
+  ColumnID column_id{kInvalidColumnId};
+  ColumnID column2_id{kInvalidColumnId};
+  AllTypeVariant value;
+  AllTypeVariant value2;
+};
+
+ScanSpec ClassifyPredicate(const AbstractExpression& predicate) {
+  auto spec = ScanSpec{};
+  if (predicate.type != ExpressionType::kPredicate) {
+    return spec;
+  }
+  const auto& typed = static_cast<const PredicateExpression&>(predicate);
+  const auto& arguments = typed.arguments;
+  const auto is_column = [](const ExpressionPtr& expression) {
+    return expression->type == ExpressionType::kPqpColumn;
+  };
+  const auto is_value = [](const ExpressionPtr& expression) {
+    return expression->type == ExpressionType::kValue;
+  };
+  const auto column_id_of = [](const ExpressionPtr& expression) {
+    return static_cast<const PqpColumnExpression&>(*expression).column_id;
+  };
+  const auto value_of = [](const ExpressionPtr& expression) {
+    return static_cast<const ValueExpression&>(*expression).value;
+  };
+
+  switch (typed.condition) {
+    case PredicateCondition::kEquals:
+    case PredicateCondition::kNotEquals:
+    case PredicateCondition::kLessThan:
+    case PredicateCondition::kLessThanEquals:
+    case PredicateCondition::kGreaterThan:
+    case PredicateCondition::kGreaterThanEquals: {
+      if (is_column(arguments[0]) && is_value(arguments[1])) {
+        spec.kind = ScanKind::kColumnVsValue;
+        spec.condition = typed.condition;
+        spec.column_id = column_id_of(arguments[0]);
+        spec.value = value_of(arguments[1]);
+      } else if (is_value(arguments[0]) && is_column(arguments[1])) {
+        spec.kind = ScanKind::kColumnVsValue;
+        spec.condition = FlipPredicateCondition(typed.condition);
+        spec.column_id = column_id_of(arguments[1]);
+        spec.value = value_of(arguments[0]);
+      } else if (is_column(arguments[0]) && is_column(arguments[1])) {
+        spec.kind = ScanKind::kColumnVsColumn;
+        spec.condition = typed.condition;
+        spec.column_id = column_id_of(arguments[0]);
+        spec.column2_id = column_id_of(arguments[1]);
+      }
+      return spec;
+    }
+    case PredicateCondition::kBetweenInclusive:
+      if (is_column(arguments[0]) && is_value(arguments[1]) && is_value(arguments[2])) {
+        spec.kind = ScanKind::kColumnBetween;
+        spec.condition = typed.condition;
+        spec.column_id = column_id_of(arguments[0]);
+        spec.value = value_of(arguments[1]);
+        spec.value2 = value_of(arguments[2]);
+      }
+      return spec;
+    case PredicateCondition::kIsNull:
+    case PredicateCondition::kIsNotNull:
+      if (is_column(arguments[0])) {
+        spec.kind = ScanKind::kColumnIsNull;
+        spec.condition = typed.condition;
+        spec.column_id = column_id_of(arguments[0]);
+      }
+      return spec;
+    case PredicateCondition::kLike:
+    case PredicateCondition::kNotLike:
+      if (is_column(arguments[0]) && is_value(arguments[1]) && !VariantIsNull(value_of(arguments[1]))) {
+        spec.kind = ScanKind::kColumnLike;
+        spec.condition = typed.condition;
+        spec.column_id = column_id_of(arguments[0]);
+        spec.value = value_of(arguments[1]);
+      }
+      return spec;
+    default:
+      return spec;
+  }
+}
+
+/// Dictionary fast path: compare compressed value IDs against the bounds of
+/// the search value — no decoding (paper §2.3).
+template <typename T>
+bool ScanDictionarySegment(const AbstractSegment& segment, PredicateCondition condition, const T& value,
+                           const std::optional<T>& value2, std::vector<ChunkOffset>& matches) {
+  const auto* dictionary_segment = dynamic_cast<const DictionarySegment<T>*>(&segment);
+  if (!dictionary_segment) {
+    return false;
+  }
+  const auto null_id = dictionary_segment->null_value_id();
+  const auto total = static_cast<uint32_t>(dictionary_segment->dictionary().size());
+
+  // Express the predicate as [lower_id, upper_id) over value IDs.
+  auto lower = uint32_t{0};
+  auto upper = total;
+  const auto resolve = [&](ValueID bound) {
+    return bound == kInvalidValueId ? total : static_cast<uint32_t>(bound);
+  };
+  switch (condition) {
+    case PredicateCondition::kEquals: {
+      lower = resolve(dictionary_segment->LowerBound(value));
+      upper = resolve(dictionary_segment->UpperBound(value));
+      break;
+    }
+    case PredicateCondition::kNotEquals: {
+      // Two ranges; handled with an exclusion scan below.
+      const auto equals_lower = resolve(dictionary_segment->LowerBound(value));
+      const auto equals_upper = resolve(dictionary_segment->UpperBound(value));
+      ResolveCompressedVector(dictionary_segment->attribute_vector(), [&](const auto& vector) {
+        const auto decompressor = vector.CreateDecompressor();
+        const auto size = vector.size();
+        for (auto offset = size_t{0}; offset < size; ++offset) {
+          const auto code = decompressor.Get(offset);
+          if (code != null_id && (code < equals_lower || code >= equals_upper)) {
+            matches.push_back(static_cast<ChunkOffset>(offset));
+          }
+        }
+      });
+      return true;
+    }
+    case PredicateCondition::kLessThan:
+      upper = resolve(dictionary_segment->LowerBound(value));
+      break;
+    case PredicateCondition::kLessThanEquals:
+      upper = resolve(dictionary_segment->UpperBound(value));
+      break;
+    case PredicateCondition::kGreaterThan:
+      lower = resolve(dictionary_segment->UpperBound(value));
+      break;
+    case PredicateCondition::kGreaterThanEquals:
+      lower = resolve(dictionary_segment->LowerBound(value));
+      break;
+    case PredicateCondition::kBetweenInclusive:
+      lower = resolve(dictionary_segment->LowerBound(value));
+      upper = resolve(dictionary_segment->UpperBound(*value2));
+      break;
+    default:
+      return false;
+  }
+
+  if (lower >= upper) {
+    return true;  // Provably empty.
+  }
+  ResolveCompressedVector(dictionary_segment->attribute_vector(), [&](const auto& vector) {
+    const auto decompressor = vector.CreateDecompressor();
+    const auto size = vector.size();
+    for (auto offset = size_t{0}; offset < size; ++offset) {
+      const auto code = decompressor.Get(offset);
+      if (code >= lower && code < upper) {
+        matches.push_back(static_cast<ChunkOffset>(offset));
+      }
+    }
+  });
+  return true;
+}
+
+/// LIKE fast path on dictionary segments: match every dictionary entry once,
+/// then scan codes against the bitmap.
+template <typename T>
+bool ScanDictionaryLike(const AbstractSegment& segment, const LikeMatcher& matcher, bool invert,
+                        std::vector<ChunkOffset>& matches) {
+  if constexpr (!std::is_same_v<T, std::string>) {
+    return false;
+  } else {
+    const auto* dictionary_segment = dynamic_cast<const DictionarySegment<std::string>*>(&segment);
+    if (!dictionary_segment) {
+      return false;
+    }
+    const auto& dictionary = dictionary_segment->dictionary();
+    auto code_matches = std::vector<bool>(dictionary.size() + 1, false);  // +1: null id never matches.
+    for (auto value_id = size_t{0}; value_id < dictionary.size(); ++value_id) {
+      code_matches[value_id] = matcher.Matches(dictionary[value_id]) != invert;
+    }
+    ResolveCompressedVector(dictionary_segment->attribute_vector(), [&](const auto& vector) {
+      const auto decompressor = vector.CreateDecompressor();
+      const auto size = vector.size();
+      for (auto offset = size_t{0}; offset < size; ++offset) {
+        if (code_matches[decompressor.Get(offset)]) {
+          matches.push_back(static_cast<ChunkOffset>(offset));
+        }
+      }
+    });
+    return true;
+  }
+}
+
+}  // namespace
+
+TableScan::TableScan(std::shared_ptr<AbstractOperator> input, ExpressionPtr predicate)
+    : AbstractOperator(OperatorType::kTableScan, std::move(input)), predicate_(std::move(predicate)) {}
+
+std::string TableScan::Description() const {
+  return "TableScan " + predicate_->Description();
+}
+
+std::vector<ChunkOffset> TableScan::ScanChunk(const std::shared_ptr<const Table>& table, ChunkID chunk_id,
+                                              const std::shared_ptr<TransactionContext>& context) const {
+  auto matches = std::vector<ChunkOffset>{};
+  const auto chunk = table->GetChunk(chunk_id);
+  const auto spec = ClassifyPredicate(*predicate_);
+
+  switch (spec.kind) {
+    case ScanKind::kColumnVsValue:
+    case ScanKind::kColumnBetween: {
+      if (VariantIsNull(spec.value) || (spec.kind == ScanKind::kColumnBetween && VariantIsNull(spec.value2))) {
+        return matches;  // Comparison with NULL matches nothing.
+      }
+      const auto segment = chunk->GetSegment(spec.column_id);
+      const auto column_type = segment->data_type();
+      const auto value_type = DataTypeOfVariant(spec.value);
+      Assert((column_type == DataType::kString) == (value_type == DataType::kString),
+             "Cannot compare string column against numeric value");
+
+      // Exact-type dictionary fast path.
+      if (column_type == value_type &&
+          (spec.kind != ScanKind::kColumnBetween || DataTypeOfVariant(spec.value2) == column_type)) {
+        auto handled = false;
+        ResolveDataType(column_type, [&](auto type_tag) {
+          using T = decltype(type_tag);
+          auto value2 = std::optional<T>{};
+          if (spec.kind == ScanKind::kColumnBetween) {
+            value2 = std::get<T>(spec.value2);
+          }
+          handled = ScanDictionarySegment<T>(*segment, spec.condition, std::get<T>(spec.value), value2, matches);
+        });
+        if (handled) {
+          return matches;
+        }
+      }
+
+      // Generic iterator scan in the promoted comparison type.
+      const auto compare_type = PromoteDataTypes(column_type, value_type);
+      ResolveDataType(compare_type, [&](auto type_tag) {
+        using C = decltype(type_tag);
+        const auto typed_value = VariantCast<C>(spec.value);
+        if (spec.kind == ScanKind::kColumnBetween) {
+          const auto typed_value2 = VariantCast<C>(spec.value2);
+          IterateAs<C>(*segment, [&](const auto& position) {
+            if (!position.is_null() && position.value() >= typed_value && position.value() <= typed_value2) {
+              matches.push_back(position.chunk_offset());
+            }
+          });
+          return;
+        }
+        WithComparator(spec.condition, [&](const auto comparator) {
+          IterateAs<C>(*segment, [&](const auto& position) {
+            if (!position.is_null() && comparator(position.value(), typed_value)) {
+              matches.push_back(position.chunk_offset());
+            }
+          });
+        });
+      });
+      return matches;
+    }
+    case ScanKind::kColumnIsNull: {
+      const auto want_null = spec.condition == PredicateCondition::kIsNull;
+      const auto segment = chunk->GetSegment(spec.column_id);
+      ResolveDataType(segment->data_type(), [&](auto type_tag) {
+        using T = decltype(type_tag);
+        SegmentIterate<T>(*segment, [&](const auto& position) {
+          if (position.is_null() == want_null) {
+            matches.push_back(position.chunk_offset());
+          }
+        });
+      });
+      return matches;
+    }
+    case ScanKind::kColumnLike: {
+      const auto segment = chunk->GetSegment(spec.column_id);
+      Assert(segment->data_type() == DataType::kString, "LIKE requires a string column");
+      const auto matcher = LikeMatcher{std::get<std::string>(spec.value)};
+      const auto invert = spec.condition == PredicateCondition::kNotLike;
+      if (ScanDictionaryLike<std::string>(*segment, matcher, invert, matches)) {
+        return matches;
+      }
+      SegmentIterate<std::string>(*segment, [&](const auto& position) {
+        if (!position.is_null() && matcher.Matches(position.value()) != invert) {
+          matches.push_back(position.chunk_offset());
+        }
+      });
+      return matches;
+    }
+    case ScanKind::kColumnVsColumn: {
+      const auto left_segment = chunk->GetSegment(spec.column_id);
+      const auto right_segment = chunk->GetSegment(spec.column2_id);
+      const auto compare_type = PromoteDataTypes(left_segment->data_type(), right_segment->data_type());
+      ResolveDataType(compare_type, [&](auto type_tag) {
+        using C = decltype(type_tag);
+        // Materialize the right side once, then stream the left.
+        const auto size = right_segment->size();
+        auto right_values = std::vector<C>(size);
+        auto right_nulls = std::vector<bool>(size, false);
+        IterateAs<C>(*right_segment, [&](const auto& position) {
+          if (position.is_null()) {
+            right_nulls[position.chunk_offset()] = true;
+          } else {
+            right_values[position.chunk_offset()] = position.value();
+          }
+        });
+        WithComparator(spec.condition, [&](const auto comparator) {
+          IterateAs<C>(*left_segment, [&](const auto& position) {
+            const auto offset = position.chunk_offset();
+            if (!position.is_null() && !right_nulls[offset] && comparator(position.value(), right_values[offset])) {
+              matches.push_back(offset);
+            }
+          });
+        });
+      });
+      return matches;
+    }
+    case ScanKind::kExpression: {
+      auto evaluator = ExpressionEvaluator{table, chunk_id, context};
+      return evaluator.EvaluateToPositions(predicate_);
+    }
+  }
+  Fail("Unhandled ScanKind");
+}
+
+std::shared_ptr<const Table> TableScan::OnExecute(const std::shared_ptr<TransactionContext>& context) {
+  const auto input = left_input_->get_output();
+  const auto output = MakeReferenceTable(input);
+  const auto chunk_count = input->chunk_count();
+  for (auto chunk_id = ChunkID{0}; chunk_id < chunk_count; ++chunk_id) {
+    const auto matches = ScanChunk(input, chunk_id, context);
+    if (!matches.empty()) {
+      output->AppendChunk(ComposeFilteredSegments(input, chunk_id, matches));
+    }
+  }
+  return output;
+}
+
+void TableScan::OnSetParameters(const std::unordered_map<ParameterID, AllTypeVariant>& parameters) {
+  predicate_ = ReplaceParameters(predicate_, parameters);
+}
+
+std::shared_ptr<AbstractOperator> TableScan::OnDeepCopy(std::shared_ptr<AbstractOperator> left,
+                                                        std::shared_ptr<AbstractOperator> /*right*/,
+                                                        DeepCopyMap& /*map*/) const {
+  return std::make_shared<TableScan>(std::move(left), predicate_->DeepCopy());
+}
+
+}  // namespace hyrise

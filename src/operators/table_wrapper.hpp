@@ -1,0 +1,41 @@
+#ifndef HYRISE_SRC_OPERATORS_TABLE_WRAPPER_HPP_
+#define HYRISE_SRC_OPERATORS_TABLE_WRAPPER_HPP_
+
+#include <memory>
+
+#include "operators/abstract_operator.hpp"
+#include "storage/table.hpp"
+
+namespace hyrise {
+
+/// Wraps an existing table as an operator, so plans can start from
+/// already-materialized data (tests, INSERT ... VALUES, the SQL-C++
+/// interface).
+class TableWrapper final : public AbstractOperator {
+ public:
+  explicit TableWrapper(std::shared_ptr<const Table> table)
+      : AbstractOperator(OperatorType::kTableWrapper), table_(std::move(table)) {}
+
+  const std::string& name() const final {
+    static const auto kName = std::string{"TableWrapper"};
+    return kName;
+  }
+
+ protected:
+  std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& /*context*/) final {
+    return table_;
+  }
+
+  std::shared_ptr<AbstractOperator> OnDeepCopy(std::shared_ptr<AbstractOperator> /*left*/,
+                                               std::shared_ptr<AbstractOperator> /*right*/,
+                                               DeepCopyMap& /*map*/) const final {
+    return std::make_shared<TableWrapper>(table_);
+  }
+
+ private:
+  std::shared_ptr<const Table> table_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPERATORS_TABLE_WRAPPER_HPP_

@@ -1,0 +1,52 @@
+#ifndef HYRISE_SRC_OPERATORS_UNION_ALL_HPP_
+#define HYRISE_SRC_OPERATORS_UNION_ALL_HPP_
+
+#include <memory>
+
+#include "operators/abstract_operator.hpp"
+#include "storage/table.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+/// Concatenates two inputs with identical schemas (UNION ALL), sharing their
+/// chunks.
+class UnionAll final : public AbstractOperator {
+ public:
+  UnionAll(std::shared_ptr<AbstractOperator> left, std::shared_ptr<AbstractOperator> right)
+      : AbstractOperator(OperatorType::kUnionAll, std::move(left), std::move(right)) {}
+
+  const std::string& name() const final {
+    static const auto kName = std::string{"UnionAll"};
+    return kName;
+  }
+
+ protected:
+  std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& /*context*/) final {
+    const auto left = left_input_->get_output();
+    const auto right = right_input_->get_output();
+    Assert(left->column_count() == right->column_count(), "UNION ALL inputs differ in column count");
+    Assert(left->type() == right->type(), "UNION ALL inputs must both be data or both reference tables");
+
+    auto output = std::make_shared<Table>(left->column_definitions(), left->type());
+    for (const auto& input : {left, right}) {
+      const auto chunk_count = input->chunk_count();
+      for (auto chunk_id = ChunkID{0}; chunk_id < chunk_count; ++chunk_id) {
+        const auto chunk = input->GetChunk(chunk_id);
+        auto segments = chunk->segments();
+        output->AppendChunk(std::move(segments));
+      }
+    }
+    return output;
+  }
+
+  std::shared_ptr<AbstractOperator> OnDeepCopy(std::shared_ptr<AbstractOperator> left,
+                                               std::shared_ptr<AbstractOperator> right,
+                                               DeepCopyMap& /*map*/) const final {
+    return std::make_shared<UnionAll>(std::move(left), std::move(right));
+  }
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPERATORS_UNION_ALL_HPP_

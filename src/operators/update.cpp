@@ -1,0 +1,62 @@
+#include "operators/update.hpp"
+
+#include "concurrency/transaction_context.hpp"
+#include "expression/expression_utils.hpp"
+#include "operators/delete.hpp"
+#include "operators/insert.hpp"
+#include "operators/projection.hpp"
+#include "operators/table_wrapper.hpp"
+#include "storage/table.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+Update::Update(std::string table_name, std::shared_ptr<AbstractOperator> input, Expressions new_row_expressions)
+    : AbstractOperator(OperatorType::kUpdate, std::move(input)),
+      table_name_(std::move(table_name)),
+      new_row_expressions_(std::move(new_row_expressions)) {}
+
+std::shared_ptr<const Table> Update::OnExecute(const std::shared_ptr<TransactionContext>& context) {
+  Assert(context != nullptr, "Update requires a transaction context");
+  const auto selected = left_input_->get_output();
+
+  // 1. Compute the replacement rows from the selected originals.
+  auto wrapper = std::make_shared<TableWrapper>(selected);
+  auto projection = std::make_shared<Projection>(wrapper, new_row_expressions_);
+  projection->SetTransactionContextRecursively(context);
+  projection->Execute();
+
+  // 2. Invalidate the originals.
+  auto delete_operator = std::make_shared<Delete>(left_input_);
+  delete_operator->SetTransactionContextRecursively(context);
+  // The input is shared and already executed; Delete skips re-execution.
+  delete_operator->Execute();
+  if (delete_operator->ExecutionFailed()) {
+    return nullptr;  // Context already marked as conflicted.
+  }
+
+  // 3. Reinsert the new versions.
+  auto insert_wrapper = std::make_shared<TableWrapper>(projection->get_output());
+  auto insert_operator = std::make_shared<Insert>(table_name_, insert_wrapper);
+  insert_operator->SetTransactionContextRecursively(context);
+  insert_operator->Execute();
+
+  return nullptr;
+}
+
+void Update::OnSetParameters(const std::unordered_map<ParameterID, AllTypeVariant>& parameters) {
+  ReplaceParametersInPlace(new_row_expressions_, parameters);
+}
+
+std::shared_ptr<AbstractOperator> Update::OnDeepCopy(std::shared_ptr<AbstractOperator> left,
+                                                     std::shared_ptr<AbstractOperator> /*right*/,
+                                                     DeepCopyMap& /*map*/) const {
+  auto copied_expressions = Expressions{};
+  copied_expressions.reserve(new_row_expressions_.size());
+  for (const auto& expression : new_row_expressions_) {
+    copied_expressions.push_back(expression->DeepCopy());
+  }
+  return std::make_shared<Update>(table_name_, std::move(left), std::move(copied_expressions));
+}
+
+}  // namespace hyrise

@@ -1,0 +1,42 @@
+#ifndef HYRISE_SRC_OPERATORS_UPDATE_HPP_
+#define HYRISE_SRC_OPERATORS_UPDATE_HPP_
+
+#include <memory>
+#include <string>
+
+#include "expression/expressions.hpp"
+#include "operators/abstract_operator.hpp"
+
+namespace hyrise {
+
+/// UPDATE as invalidation + reinsertion (paper §2.8). The input plan selects
+/// the rows (as references into the target table); `new_row_expressions`
+/// compute the full replacement rows. Internally runs a Delete on the
+/// selection and an Insert of the computed rows; both register with the
+/// transaction for commit/rollback.
+class Update final : public AbstractOperator {
+ public:
+  Update(std::string table_name, std::shared_ptr<AbstractOperator> input, Expressions new_row_expressions);
+
+  const std::string& name() const final {
+    static const auto kName = std::string{"Update"};
+    return kName;
+  }
+
+ protected:
+  std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& context) final;
+
+  void OnSetParameters(const std::unordered_map<ParameterID, AllTypeVariant>& parameters) final;
+
+  std::shared_ptr<AbstractOperator> OnDeepCopy(std::shared_ptr<AbstractOperator> left,
+                                               std::shared_ptr<AbstractOperator> /*right*/,
+                                               DeepCopyMap& /*map*/) const final;
+
+ private:
+  std::string table_name_;
+  Expressions new_row_expressions_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPERATORS_UPDATE_HPP_

@@ -1,0 +1,67 @@
+#include "operators/validate.hpp"
+
+#include "concurrency/transaction_context.hpp"
+#include "operators/pos_list_utils.hpp"
+#include "storage/reference_segment.hpp"
+#include "storage/table.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+std::shared_ptr<const Table> Validate::OnExecute(const std::shared_ptr<TransactionContext>& context) {
+  Assert(context != nullptr, "Validate requires a transaction context");
+  const auto input = left_input_->get_output();
+  const auto our_tid = context->transaction_id();
+  const auto snapshot_cid = context->snapshot_commit_id();
+
+  const auto output = MakeReferenceTable(input);
+  const auto chunk_count = input->chunk_count();
+
+  const auto visible = [&](const Chunk& data_chunk, ChunkOffset offset) {
+    const auto& mvcc = data_chunk.mvcc_data();
+    if (!mvcc) {
+      return true;  // Table without MVCC columns: everything visible.
+    }
+    return IsRowVisible(our_tid, snapshot_cid, mvcc->GetTid(offset), mvcc->GetBeginCid(offset),
+                        mvcc->GetEndCid(offset));
+  };
+
+  for (auto chunk_id = ChunkID{0}; chunk_id < chunk_count; ++chunk_id) {
+    const auto chunk = input->GetChunk(chunk_id);
+    const auto chunk_size = chunk->size();
+    auto matches = std::vector<ChunkOffset>{};
+    matches.reserve(chunk_size);
+
+    if (input->type() == TableType::kData) {
+      for (auto offset = ChunkOffset{0}; offset < chunk_size; ++offset) {
+        if (visible(*chunk, offset)) {
+          matches.push_back(offset);
+        }
+      }
+    } else {
+      // Reference input: check visibility of the referenced rows.
+      const auto* reference_segment =
+          dynamic_cast<const ReferenceSegment*>(chunk->GetSegment(ColumnID{0}).get());
+      Assert(reference_segment != nullptr, "Reference table contains non-reference segment");
+      const auto referenced_table = reference_segment->referenced_table();
+      const auto& pos_list = *reference_segment->pos_list();
+      for (auto offset = ChunkOffset{0}; offset < chunk_size; ++offset) {
+        const auto row_id = pos_list[offset];
+        if (row_id == kNullRowId) {
+          matches.push_back(offset);
+          continue;
+        }
+        if (visible(*referenced_table->GetChunk(row_id.chunk_id), row_id.chunk_offset)) {
+          matches.push_back(offset);
+        }
+      }
+    }
+
+    if (!matches.empty()) {
+      output->AppendChunk(ComposeFilteredSegments(input, chunk_id, matches));
+    }
+  }
+  return output;
+}
+
+}  // namespace hyrise

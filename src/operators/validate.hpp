@@ -1,0 +1,48 @@
+#ifndef HYRISE_SRC_OPERATORS_VALIDATE_HPP_
+#define HYRISE_SRC_OPERATORS_VALIDATE_HPP_
+
+#include <memory>
+
+#include "operators/abstract_operator.hpp"
+
+namespace hyrise {
+
+/// Filters rows by MVCC visibility for the executing transaction (paper
+/// §2.8): a row is visible if this transaction inserted it and has not yet
+/// committed, or if its begin CID is visible in the snapshot and its end CID
+/// is not.
+class Validate final : public AbstractOperator {
+ public:
+  explicit Validate(std::shared_ptr<AbstractOperator> input)
+      : AbstractOperator(OperatorType::kValidate, std::move(input)) {}
+
+  const std::string& name() const final {
+    static const auto kName = std::string{"Validate"};
+    return kName;
+  }
+
+  /// Visibility predicate, exposed for tests. Mirrors the original system:
+  /// if we own the row's write lock, only our own fresh insert (begin CID
+  /// unset) is visible — a row we deleted is already invisible to us.
+  /// Otherwise the snapshot decides: begin <= snapshot < end.
+  static bool IsRowVisible(TransactionID our_tid, CommitID snapshot_cid, TransactionID row_tid, CommitID begin_cid,
+                           CommitID end_cid) {
+    if (row_tid == our_tid && our_tid != kInvalidTransactionId) {
+      return begin_cid == kMaxCommitId && end_cid == kMaxCommitId;
+    }
+    return begin_cid <= snapshot_cid && end_cid > snapshot_cid;
+  }
+
+ protected:
+  std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& context) final;
+
+  std::shared_ptr<AbstractOperator> OnDeepCopy(std::shared_ptr<AbstractOperator> left,
+                                               std::shared_ptr<AbstractOperator> /*right*/,
+                                               DeepCopyMap& /*map*/) const final {
+    return std::make_shared<Validate>(std::move(left));
+  }
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPERATORS_VALIDATE_HPP_

@@ -1,0 +1,29 @@
+#ifndef HYRISE_SRC_OPTIMIZER_ABSTRACT_RULE_HPP_
+#define HYRISE_SRC_OPTIMIZER_ABSTRACT_RULE_HPP_
+
+#include <memory>
+#include <string>
+
+#include "logical_query_plan/abstract_lqp_node.hpp"
+
+namespace hyrise {
+
+/// An optimization rule (paper §2.6: "all optimizations are achieved by rules
+/// that are executed on the LQP ... a rule takes an LQP as a modifiable input
+/// and returns whether it has modified that LQP"). At the end of every rule
+/// stands a valid LQP, so optimization can stop after any rule.
+class AbstractRule {
+ public:
+  virtual ~AbstractRule() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Applies the rule to the plan rooted at `root` (which may be replaced).
+  /// Returns true if the plan was modified — the optimizer uses this to decide
+  /// whether iterative rules run again.
+  virtual bool Apply(LqpNodePtr& root) const = 0;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPTIMIZER_ABSTRACT_RULE_HPP_

@@ -1,0 +1,59 @@
+#include "optimizer/optimizer.hpp"
+
+#include "expression/expressions.hpp"
+#include "optimizer/rules/chunk_pruning_rule.hpp"
+#include "optimizer/rules/expression_reduction_rule.hpp"
+#include "optimizer/rules/index_scan_rule.hpp"
+#include "optimizer/rules/join_ordering_rule.hpp"
+#include "optimizer/rules/predicate_pushdown_rule.hpp"
+#include "optimizer/rules/predicate_reordering_rule.hpp"
+#include "optimizer/rules/predicate_split_up_rule.hpp"
+#include "optimizer/rules/subquery_to_join_rule.hpp"
+
+namespace hyrise {
+
+std::shared_ptr<Optimizer> Optimizer::CreateDefault() {
+  auto optimizer = std::make_shared<Optimizer>();
+  // Order matters: simplify expressions first, decorrelate subqueries before
+  // predicates move, push predicates down before join ordering sees the
+  // graph, prune chunks once predicates reached the base tables, and pick
+  // index scans last.
+  optimizer->AddRule(std::make_shared<ExpressionReductionRule>());
+  optimizer->AddRule(std::make_shared<PredicateSplitUpRule>());
+  optimizer->AddRule(std::make_shared<SubqueryToJoinRule>());
+  optimizer->AddRule(std::make_shared<PredicatePushdownRule>());
+  optimizer->AddRule(std::make_shared<JoinOrderingRule>());
+  optimizer->AddRule(std::make_shared<PredicatePushdownRule>());  // Re-push after reordering.
+  optimizer->AddRule(std::make_shared<PredicateReorderingRule>());
+  optimizer->AddRule(std::make_shared<ChunkPruningRule>());
+  optimizer->AddRule(std::make_shared<IndexScanRule>());
+  return optimizer;
+}
+
+LqpNodePtr Optimizer::Optimize(LqpNodePtr lqp) const {
+  for (const auto& rule : rules_) {
+    ApplyRuleRecursively(*rule, lqp);
+  }
+  return lqp;
+}
+
+bool ApplyRuleRecursively(const AbstractRule& rule, LqpNodePtr& root) {
+  auto changed = false;
+  // Optimize subquery plans first (bottom-up in the nesting hierarchy).
+  VisitLqp(root, [&](const LqpNodePtr& node) {
+    for (auto& expression : node->node_expressions) {
+      VisitExpression(expression, [&](const ExpressionPtr& sub_expression) {
+        if (sub_expression->type == ExpressionType::kLqpSubquery) {
+          auto& subquery = static_cast<LqpSubqueryExpression&>(*sub_expression);
+          changed |= ApplyRuleRecursively(rule, subquery.lqp);
+        }
+        return true;
+      });
+    }
+    return true;
+  });
+  changed |= rule.Apply(root);
+  return changed;
+}
+
+}  // namespace hyrise

@@ -1,0 +1,42 @@
+#ifndef HYRISE_SRC_OPTIMIZER_OPTIMIZER_HPP_
+#define HYRISE_SRC_OPTIMIZER_OPTIMIZER_HPP_
+
+#include <memory>
+#include <vector>
+
+#include "optimizer/abstract_rule.hpp"
+
+namespace hyrise {
+
+/// Rule-based optimizer (paper §2.6): maintains a pipeline of single-pass and
+/// iterative rules. Rules are also applied to the plans of subquery
+/// expressions embedded in the LQP.
+class Optimizer {
+ public:
+  /// The default rule pipeline (see optimizer/rules/).
+  static std::shared_ptr<Optimizer> CreateDefault();
+
+  void AddRule(std::shared_ptr<AbstractRule> rule) {
+    rules_.push_back(std::move(rule));
+  }
+
+  const std::vector<std::shared_ptr<AbstractRule>>& rules() const {
+    return rules_;
+  }
+
+  /// Returns the optimized plan. The input plan is modified in place and must
+  /// not be reused afterwards (callers deep-copy if they cache).
+  LqpNodePtr Optimize(LqpNodePtr lqp) const;
+
+ private:
+  std::vector<std::shared_ptr<AbstractRule>> rules_;
+};
+
+/// Applies `rule` to every subquery plan referenced from `root`'s expressions
+/// (recursively), then to `root` itself. Shared helper for Optimizer and
+/// tests of individual rules.
+bool ApplyRuleRecursively(const AbstractRule& rule, LqpNodePtr& root);
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPTIMIZER_OPTIMIZER_HPP_

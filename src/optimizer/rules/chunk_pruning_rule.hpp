@@ -1,0 +1,27 @@
+#ifndef HYRISE_SRC_OPTIMIZER_RULES_CHUNK_PRUNING_RULE_HPP_
+#define HYRISE_SRC_OPTIMIZER_RULES_CHUNK_PRUNING_RULE_HPP_
+
+#include <string>
+
+#include "optimizer/abstract_rule.hpp"
+
+namespace hyrise {
+
+/// Uses the per-chunk filters (min-max, histogram, counting quotient filter;
+/// paper §2.4) to exclude chunks at *planning time*: pruning information is
+/// propagated through conjunctive predicate chains down to the
+/// StoredTableNode, which is configured to skip those chunks — "the number of
+/// accessed rows is reduced from the start and not only at the location of
+/// the respective predicate".
+class ChunkPruningRule final : public AbstractRule {
+ public:
+  std::string Name() const final {
+    return "ChunkPruning";
+  }
+
+  bool Apply(LqpNodePtr& root) const final;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPTIMIZER_RULES_CHUNK_PRUNING_RULE_HPP_

@@ -1,0 +1,143 @@
+#include "optimizer/rules/expression_reduction_rule.hpp"
+
+#include "expression/expression_evaluator.hpp"
+#include "expression/expression_utils.hpp"
+#include "expression/expressions.hpp"
+
+namespace hyrise {
+
+namespace {
+
+bool IsFoldable(const ExpressionPtr& expression) {
+  switch (expression->type) {
+    case ExpressionType::kArithmetic:
+    case ExpressionType::kPredicate:
+    case ExpressionType::kLogical:
+    case ExpressionType::kFunction:
+    case ExpressionType::kCase:
+    case ExpressionType::kCast:
+      break;
+    default:
+      return false;
+  }
+  for (const auto& argument : expression->arguments) {
+    if (argument->type != ExpressionType::kValue) {
+      return false;
+    }
+  }
+  return !expression->arguments.empty();
+}
+
+ExpressionPtr Reduce(const ExpressionPtr& expression, bool& changed);
+
+/// (a AND b) OR (a AND c) => a AND (b OR c).
+ExpressionPtr FactorCommonConjuncts(const ExpressionPtr& expression, bool& changed) {
+  const auto& logical = static_cast<const LogicalExpression&>(*expression);
+  if (logical.logical_operator != LogicalOperator::kOr) {
+    return expression;
+  }
+  // Flatten the OR into branches.
+  auto branches = Expressions{};
+  auto stack = Expressions{expression};
+  while (!stack.empty()) {
+    auto current = stack.back();
+    stack.pop_back();
+    if (current->type == ExpressionType::kLogical &&
+        static_cast<const LogicalExpression&>(*current).logical_operator == LogicalOperator::kOr) {
+      stack.push_back(current->arguments[0]);
+      stack.push_back(current->arguments[1]);
+    } else {
+      branches.push_back(current);
+    }
+  }
+  if (branches.size() < 2) {
+    return expression;
+  }
+
+  auto common = FlattenConjunction(branches[0]);
+  for (auto index = size_t{1}; index < branches.size() && !common.empty(); ++index) {
+    const auto conjuncts = FlattenConjunction(branches[index]);
+    auto still_common = Expressions{};
+    for (const auto& candidate : common) {
+      for (const auto& conjunct : conjuncts) {
+        if (*candidate == *conjunct) {
+          still_common.push_back(candidate);
+          break;
+        }
+      }
+    }
+    common = std::move(still_common);
+  }
+  if (common.empty()) {
+    return expression;
+  }
+
+  // Rebuild every branch without the common conjuncts.
+  auto residual_branches = Expressions{};
+  auto all_covered = true;  // Some branch might be exactly the common part.
+  for (const auto& branch : branches) {
+    auto residual = Expressions{};
+    for (const auto& conjunct : FlattenConjunction(branch)) {
+      auto is_common = false;
+      for (const auto& candidate : common) {
+        if (*candidate == *conjunct) {
+          is_common = true;
+          break;
+        }
+      }
+      if (!is_common) {
+        residual.push_back(conjunct);
+      }
+    }
+    if (residual.empty()) {
+      all_covered = false;  // Branch == common: OR(...) is implied true given common.
+      break;
+    }
+    residual_branches.push_back(InflateConjunction(residual));
+  }
+
+  changed = true;
+  auto result = InflateConjunction(common);
+  if (all_covered) {
+    auto residual_or = residual_branches[0];
+    for (auto index = size_t{1}; index < residual_branches.size(); ++index) {
+      residual_or = std::make_shared<LogicalExpression>(LogicalOperator::kOr, residual_or, residual_branches[index]);
+    }
+    result = std::make_shared<LogicalExpression>(LogicalOperator::kAnd, result, residual_or);
+  }
+  return result;
+}
+
+ExpressionPtr Reduce(const ExpressionPtr& expression, bool& changed) {
+  // Bottom-up: reduce arguments first.
+  for (auto& argument : expression->arguments) {
+    auto reduced = Reduce(argument, changed);
+    if (reduced != argument) {
+      argument = std::move(reduced);
+    }
+  }
+  if (IsFoldable(expression)) {
+    auto evaluator = ExpressionEvaluator{};
+    changed = true;
+    return std::make_shared<ValueExpression>(evaluator.EvaluateToScalar(expression));
+  }
+  if (expression->type == ExpressionType::kLogical) {
+    return FactorCommonConjuncts(expression, changed);
+  }
+  return expression;
+}
+
+}  // namespace
+
+bool ExpressionReductionRule::Apply(LqpNodePtr& root) const {
+  auto changed = false;
+  VisitLqp(root, [&](const LqpNodePtr& node) {
+    for (auto& expression : node->node_expressions) {
+      expression = Reduce(expression, changed);
+    }
+    return true;
+  });
+  return changed;
+}
+
+}  // namespace hyrise

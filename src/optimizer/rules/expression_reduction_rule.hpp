@@ -1,0 +1,27 @@
+#ifndef HYRISE_SRC_OPTIMIZER_RULES_EXPRESSION_REDUCTION_RULE_HPP_
+#define HYRISE_SRC_OPTIMIZER_RULES_EXPRESSION_REDUCTION_RULE_HPP_
+
+#include <string>
+
+#include "optimizer/abstract_rule.hpp"
+
+namespace hyrise {
+
+/// Simplifies expressions in place (paper §2.6 names "substitution of
+/// constant expressions" as a single-pass rule):
+///   - folds constant subtrees into literals,
+///   - factors conjuncts common to all branches out of disjunctions:
+///     (a AND b) OR (a AND c) => a AND (b OR c). This is what makes TPC-H
+///     Q19's OR-of-conjunctions join-able instead of a cross product.
+class ExpressionReductionRule final : public AbstractRule {
+ public:
+  std::string Name() const final {
+    return "ExpressionReduction";
+  }
+
+  bool Apply(LqpNodePtr& root) const final;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPTIMIZER_RULES_EXPRESSION_REDUCTION_RULE_HPP_

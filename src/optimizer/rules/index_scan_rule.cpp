@@ -1,0 +1,68 @@
+#include "optimizer/rules/index_scan_rule.hpp"
+
+#include "expression/expressions.hpp"
+#include "hyrise.hpp"
+#include "logical_query_plan/operator_nodes.hpp"
+#include "logical_query_plan/stored_table_node.hpp"
+#include "statistics/cardinality_estimator.hpp"
+#include "storage/table.hpp"
+
+namespace hyrise {
+
+bool IndexScanRule::Apply(LqpNodePtr& root) const {
+  const auto estimator = CardinalityEstimator{};
+  auto changed = false;
+  VisitLqp(root, [&](const LqpNodePtr& node) {
+    if (node->type != LqpNodeType::kPredicate || node->left_input->type != LqpNodeType::kStoredTable) {
+      return true;
+    }
+    auto& predicate_node = static_cast<PredicateNode&>(*node);
+    const auto& predicate = predicate_node.predicate();
+    if (predicate->type != ExpressionType::kPredicate) {
+      return true;
+    }
+    const auto& typed = static_cast<const PredicateExpression&>(*predicate);
+    if (typed.arguments.size() < 2 || typed.arguments[0]->type != ExpressionType::kLqpColumn ||
+        typed.arguments[1]->type != ExpressionType::kValue) {
+      return true;
+    }
+    switch (typed.condition) {
+      case PredicateCondition::kEquals:
+      case PredicateCondition::kLessThan:
+      case PredicateCondition::kLessThanEquals:
+      case PredicateCondition::kGreaterThan:
+      case PredicateCondition::kGreaterThanEquals:
+      case PredicateCondition::kBetweenInclusive:
+        break;
+      default:
+        return true;
+    }
+    const auto& stored = static_cast<const StoredTableNode&>(*node->left_input);
+    const auto& column = static_cast<const LqpColumnExpression&>(*typed.arguments[0]);
+    if (column.original_node.lock().get() != node->left_input.get()) {
+      return true;
+    }
+    // Any chunk with an index on this column qualifies (per-chunk indexes,
+    // paper §2.4; IndexScan falls back to scanning for uncovered chunks).
+    const auto table = Hyrise::Get().storage_manager.GetTable(stored.table_name);
+    auto has_index = false;
+    const auto chunk_count = table->chunk_count();
+    for (auto chunk_id = ChunkID{0}; chunk_id < chunk_count && !has_index; ++chunk_id) {
+      has_index = !table->GetChunk(chunk_id)->GetIndexes({column.original_column_id}).empty();
+    }
+    if (!has_index) {
+      return true;
+    }
+    if (estimator.EstimateSelectivity(predicate, node->left_input) > kSelectivityThreshold) {
+      return true;
+    }
+    if (!predicate_node.prefer_index) {
+      predicate_node.prefer_index = true;
+      changed = true;
+    }
+    return true;
+  });
+  return changed;
+}
+
+}  // namespace hyrise

@@ -1,0 +1,28 @@
+#ifndef HYRISE_SRC_OPTIMIZER_RULES_INDEX_SCAN_RULE_HPP_
+#define HYRISE_SRC_OPTIMIZER_RULES_INDEX_SCAN_RULE_HPP_
+
+#include <string>
+
+#include "optimizer/abstract_rule.hpp"
+
+namespace hyrise {
+
+/// Marks predicates directly over a stored table to use a chunk index when
+/// one exists and the predicate is selective (paper §2.6: "the optimizer has
+/// already left hints in the LQP ... a logical predicate node contains the
+/// information that a secondary index can and should be used").
+class IndexScanRule final : public AbstractRule {
+ public:
+  /// Estimated selectivity above which a full scan beats the index.
+  static constexpr double kSelectivityThreshold = 0.02;
+
+  std::string Name() const final {
+    return "IndexScan";
+  }
+
+  bool Apply(LqpNodePtr& root) const final;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPTIMIZER_RULES_INDEX_SCAN_RULE_HPP_

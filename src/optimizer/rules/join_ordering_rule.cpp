@@ -1,0 +1,315 @@
+#include "optimizer/rules/join_ordering_rule.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+
+#include "expression/expression_utils.hpp"
+#include "expression/expressions.hpp"
+#include "logical_query_plan/operator_nodes.hpp"
+#include "statistics/cardinality_estimator.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+namespace {
+
+constexpr auto kNonEquiSelectivity = 0.3;
+
+struct RegionPredicate {
+  ExpressionPtr expression;
+  uint32_t vertex_mask{0};
+  bool is_equi{false};
+  double selectivity{1.0};  // Fallback for non-equi predicates.
+  // For equi predicates: per-argument base distinct counts and vertex masks,
+  // so the DP can cap the distinct count at the (filtered) side cardinality.
+  double ndv_left{0.0};
+  double ndv_right{0.0};
+  uint32_t mask_left{0};
+  uint32_t mask_right{0};
+};
+
+struct DpEntry {
+  LqpNodePtr plan;
+  double cost{0.0};
+  double rows{0.0};
+  bool valid{false};
+};
+
+bool IsReorderableJoin(const LqpNodePtr& node) {
+  if (node->type != LqpNodeType::kJoin) {
+    return false;
+  }
+  const auto mode = static_cast<const JoinNode&>(*node).join_mode;
+  return mode == JoinMode::kInner || mode == JoinMode::kCross;
+}
+
+void CollectRegion(const LqpNodePtr& node, std::vector<LqpNodePtr>& vertices, Expressions& predicates) {
+  if (IsReorderableJoin(node)) {
+    for (const auto& predicate : node->node_expressions) {
+      predicates.push_back(predicate);
+    }
+    CollectRegion(node->left_input, vertices, predicates);
+    CollectRegion(node->right_input, vertices, predicates);
+    return;
+  }
+  vertices.push_back(node);
+}
+
+/// Builds the inner join of two partial plans with the given predicates
+/// (equality first, smaller side as the hash join's build side on the right).
+LqpNodePtr MakeJoin(const DpEntry& left, const DpEntry& right, std::vector<const RegionPredicate*> connecting) {
+  const auto& build_side = right.rows <= left.rows ? right : left;
+  const auto& probe_side = right.rows <= left.rows ? left : right;
+  if (connecting.empty()) {
+    return JoinNode::MakeCross(probe_side.plan, build_side.plan);
+  }
+  // Equalities first, and among them the highest-distinct-count one leads:
+  // the hash join keys on the first predicate, so the leading equality should
+  // produce the fewest candidates per probe.
+  std::stable_sort(connecting.begin(), connecting.end(), [](const auto* lhs, const auto* rhs) {
+    if (lhs->is_equi != rhs->is_equi) {
+      return lhs->is_equi > rhs->is_equi;
+    }
+    return std::max(lhs->ndv_left, lhs->ndv_right) > std::max(rhs->ndv_left, rhs->ndv_right);
+  });
+  auto expressions = Expressions{};
+  expressions.reserve(connecting.size());
+  for (const auto* predicate : connecting) {
+    expressions.push_back(predicate->expression);
+  }
+  return JoinNode::Make(JoinMode::kInner, std::move(expressions), probe_side.plan, build_side.plan);
+}
+
+/// Selectivity of the connecting predicates for a split with the given side
+/// cardinalities. For equi predicates, 1/max(ndv) with each distinct count
+/// capped at its side's (already filtered) row count — a cheap remedy for
+/// the classic independence-assumption blowup.
+double JoinSelectivity(const std::vector<const RegionPredicate*>& connecting, uint32_t s1, double rows_s1,
+                       double rows_s2) {
+  auto selectivity = 1.0;
+  for (const auto* predicate : connecting) {
+    if (!predicate->is_equi || predicate->ndv_left <= 0.0) {
+      selectivity *= predicate->selectivity;
+      continue;
+    }
+    const auto left_in_s1 = (predicate->mask_left & s1) != 0;
+    const auto rows_of_left = left_in_s1 ? rows_s1 : rows_s2;
+    const auto rows_of_right = left_in_s1 ? rows_s2 : rows_s1;
+    const auto distinct = std::max({std::min(predicate->ndv_left, rows_of_left),
+                                    std::min(predicate->ndv_right, rows_of_right), 1.0});
+    selectivity *= 1.0 / distinct;
+  }
+  return selectivity;
+}
+
+LqpNodePtr OrderRegion(const std::vector<LqpNodePtr>& vertices, std::vector<RegionPredicate>& predicates,
+                       const CardinalityEstimator& estimator) {
+  const auto vertex_count = vertices.size();
+  const auto full_mask = vertex_count >= 32 ? 0u : (uint32_t{1} << vertex_count) - 1;
+
+  if (vertex_count <= JoinOrderingRule::kExhaustiveLimit) {
+    // Exhaustive DP over subsets; only connected splits unless the subset has
+    // no connecting predicate at all.
+    auto dp = std::vector<DpEntry>(size_t{1} << vertex_count);
+    for (auto index = size_t{0}; index < vertex_count; ++index) {
+      auto& entry = dp[size_t{1} << index];
+      entry.plan = vertices[index];
+      entry.rows = std::max(1.0, estimator.EstimateRowCount(vertices[index]));
+      entry.cost = 0.0;
+      entry.valid = true;
+    }
+    for (auto mask = uint32_t{1}; mask <= full_mask; ++mask) {
+      if (std::popcount(mask) < 2) {
+        continue;
+      }
+      auto& best = dp[mask];
+      for (const auto allow_cross : {false, true}) {
+        if (best.valid && allow_cross) {
+          break;  // Found a connected plan; never force cross products.
+        }
+        for (auto s1 = (mask - 1) & mask; s1 != 0; s1 = (s1 - 1) & mask) {
+          const auto s2 = mask ^ s1;
+          if (s1 < s2) {
+            continue;  // Each unordered split once; MakeJoin picks sides.
+          }
+          const auto& left = dp[s1];
+          const auto& right = dp[s2];
+          if (!left.valid || !right.valid) {
+            continue;
+          }
+          auto connecting = std::vector<const RegionPredicate*>{};
+          for (const auto& predicate : predicates) {
+            if ((predicate.vertex_mask & ~mask) == 0 && (predicate.vertex_mask & s1) != 0 &&
+                (predicate.vertex_mask & s2) != 0) {
+              connecting.push_back(&predicate);
+            }
+          }
+          if (connecting.empty() && !allow_cross) {
+            continue;
+          }
+          const auto rows =
+              std::max(1.0, left.rows * right.rows * JoinSelectivity(connecting, s1, left.rows, right.rows));
+          const auto cost = left.cost + right.cost + rows;
+          if (!best.valid || cost < best.cost) {
+            best.plan = MakeJoin(left, right, std::move(connecting));
+            best.cost = cost;
+            best.rows = rows;
+            best.valid = true;
+          }
+        }
+      }
+      Assert(best.valid, "DP failed to build a plan for a subset");
+    }
+    return dp[full_mask].plan;
+  }
+
+  // Greedy left-deep fallback for very large regions.
+  auto remaining = std::vector<DpEntry>{};
+  auto remaining_masks = std::vector<uint32_t>{};
+  for (auto index = size_t{0}; index < vertex_count; ++index) {
+    remaining.push_back({vertices[index], 0.0, std::max(1.0, estimator.EstimateRowCount(vertices[index])), true});
+    remaining_masks.push_back(uint32_t{1} << index);
+  }
+  while (remaining.size() > 1) {
+    auto best_rows = std::numeric_limits<double>::max();
+    auto best_i = size_t{0};
+    auto best_j = size_t{1};
+    auto best_connecting = std::vector<const RegionPredicate*>{};
+    for (auto i = size_t{0}; i < remaining.size(); ++i) {
+      for (auto j = i + 1; j < remaining.size(); ++j) {
+        const auto mask = remaining_masks[i] | remaining_masks[j];
+        auto connecting = std::vector<const RegionPredicate*>{};
+        for (const auto& predicate : predicates) {
+          if ((predicate.vertex_mask & ~mask) == 0 && (predicate.vertex_mask & remaining_masks[i]) != 0 &&
+              (predicate.vertex_mask & remaining_masks[j]) != 0) {
+            connecting.push_back(&predicate);
+          }
+        }
+        const auto penalty = connecting.empty() ? 1e6 : 1.0;  // Crosses only as a last resort.
+        const auto rows = remaining[i].rows * remaining[j].rows *
+                          JoinSelectivity(connecting, remaining_masks[i], remaining[i].rows, remaining[j].rows) *
+                          penalty;
+        if (rows < best_rows) {
+          best_rows = rows;
+          best_i = i;
+          best_j = j;
+          best_connecting = std::move(connecting);
+        }
+      }
+    }
+    auto joined = DpEntry{};
+    joined.rows = std::max(1.0, best_rows);
+    joined.plan = MakeJoin(remaining[best_i], remaining[best_j], best_connecting);
+    joined.valid = true;
+    remaining_masks[best_i] |= remaining_masks[best_j];
+    remaining[best_i] = std::move(joined);
+    remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(best_j));
+    remaining_masks.erase(remaining_masks.begin() + static_cast<ptrdiff_t>(best_j));
+  }
+  return remaining.front().plan;
+}
+
+bool ReorderRecursively(LqpNodePtr& edge, const CardinalityEstimator& estimator) {
+  auto changed = false;
+  if (IsReorderableJoin(edge)) {
+    auto vertices = std::vector<LqpNodePtr>{};
+    auto raw_predicates = Expressions{};
+    CollectRegion(edge, vertices, raw_predicates);
+
+    // Optimize below the region first.
+    for (const auto& vertex : vertices) {
+      if (vertex->left_input) {
+        changed |= ReorderRecursively(vertex->left_input, estimator);
+      }
+      if (vertex->right_input) {
+        changed |= ReorderRecursively(vertex->right_input, estimator);
+      }
+    }
+
+    if (vertices.size() > 2 && vertices.size() <= 31) {
+      // Assign predicates to the vertices they reference.
+      auto predicates = std::vector<RegionPredicate>{};
+      auto deferred = Expressions{};  // Reference columns outside the region.
+      for (const auto& expression : raw_predicates) {
+        auto columns = Expressions{};
+        CollectLqpColumns(expression, columns);
+        auto mask = uint32_t{0};
+        auto resolvable = true;
+        for (const auto& column : columns) {
+          auto found = false;
+          for (auto index = size_t{0}; index < vertices.size(); ++index) {
+            if (ExpressionEvaluableOnLqp(column, *vertices[index])) {
+              mask |= uint32_t{1} << index;
+              found = true;
+              break;
+            }
+          }
+          resolvable &= found;
+        }
+        if (!resolvable || std::popcount(mask) < 2) {
+          deferred.push_back(expression);
+          continue;
+        }
+        auto predicate = RegionPredicate{};
+        predicate.expression = expression;
+        predicate.vertex_mask = mask;
+        predicate.selectivity = kNonEquiSelectivity;
+        if (expression->type == ExpressionType::kPredicate) {
+          const auto& typed = static_cast<const PredicateExpression&>(*expression);
+          if (typed.condition == PredicateCondition::kEquals && typed.arguments.size() == 2) {
+            predicate.is_equi = true;
+            predicate.ndv_left = CardinalityEstimator::DistinctCountOf(typed.arguments[0], 100.0);
+            predicate.ndv_right = CardinalityEstimator::DistinctCountOf(typed.arguments[1], 100.0);
+            const auto mask_of = [&](const ExpressionPtr& argument) {
+              auto argument_columns = Expressions{};
+              CollectLqpColumns(argument, argument_columns);
+              auto argument_mask = uint32_t{0};
+              for (const auto& column : argument_columns) {
+                for (auto index = size_t{0}; index < vertices.size(); ++index) {
+                  if (ExpressionEvaluableOnLqp(column, *vertices[index])) {
+                    argument_mask |= uint32_t{1} << index;
+                    break;
+                  }
+                }
+              }
+              return argument_mask;
+            };
+            predicate.mask_left = mask_of(typed.arguments[0]);
+            predicate.mask_right = mask_of(typed.arguments[1]);
+            predicate.selectivity = 1.0 / std::max({predicate.ndv_left, predicate.ndv_right, 1.0});
+          }
+        }
+        predicates.push_back(std::move(predicate));
+      }
+
+      auto plan = OrderRegion(vertices, predicates, estimator);
+      // Predicates referencing outer context (single-vertex leftovers or
+      // correlated columns) go back on top.
+      for (const auto& expression : deferred) {
+        plan = PredicateNode::Make(expression, plan);
+      }
+      edge = std::move(plan);
+      changed = true;
+      return changed;
+    }
+    return changed;
+  }
+
+  if (edge->left_input) {
+    changed |= ReorderRecursively(edge->left_input, estimator);
+  }
+  if (edge->right_input) {
+    changed |= ReorderRecursively(edge->right_input, estimator);
+  }
+  return changed;
+}
+
+}  // namespace
+
+bool JoinOrderingRule::Apply(LqpNodePtr& root) const {
+  const auto estimator = CardinalityEstimator{};
+  return ReorderRecursively(root, estimator);
+}
+
+}  // namespace hyrise

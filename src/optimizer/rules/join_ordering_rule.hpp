@@ -1,0 +1,30 @@
+#ifndef HYRISE_SRC_OPTIMIZER_RULES_JOIN_ORDERING_RULE_HPP_
+#define HYRISE_SRC_OPTIMIZER_RULES_JOIN_ORDERING_RULE_HPP_
+
+#include <string>
+
+#include "optimizer/abstract_rule.hpp"
+
+namespace hyrise {
+
+/// Orders the joins of each inner-join region by estimated cost (paper §2.6:
+/// "these joins are then ordered ... in what is considered to be the most
+/// effective order"). Regions of up to kExhaustiveLimit relations are solved
+/// exactly by dynamic programming over connected subgraphs (cost = sum of
+/// intermediate cardinalities, the classic C_out objective — the same optimum
+/// DpCcp finds); larger regions fall back to a greedy left-deep heuristic.
+/// Cross products are only considered where no predicate connects the parts.
+class JoinOrderingRule final : public AbstractRule {
+ public:
+  static constexpr size_t kExhaustiveLimit = 12;
+
+  std::string Name() const final {
+    return "JoinOrdering";
+  }
+
+  bool Apply(LqpNodePtr& root) const final;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPTIMIZER_RULES_JOIN_ORDERING_RULE_HPP_

@@ -1,0 +1,143 @@
+#include "optimizer/rules/predicate_pushdown_rule.hpp"
+
+#include "expression/expression_utils.hpp"
+#include "expression/expressions.hpp"
+#include "logical_query_plan/operator_nodes.hpp"
+
+namespace hyrise {
+
+namespace {
+
+bool ContainsSubquery(const ExpressionPtr& expression) {
+  auto found = false;
+  VisitExpression(expression, [&](const ExpressionPtr& sub_expression) {
+    if (sub_expression->type == ExpressionType::kLqpSubquery || sub_expression->type == ExpressionType::kExists) {
+      found = true;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+/// Tries to move the PredicateNode at `edge` one step down. Returns true on
+/// a move (the caller loops to fixpoint).
+bool PushOneStep(LqpNodePtr& edge) {
+  if (edge->type != LqpNodeType::kPredicate) {
+    return false;
+  }
+  auto predicate_node = std::static_pointer_cast<PredicateNode>(edge);
+  const auto& predicate = predicate_node->predicate();
+  const auto input = edge->left_input;
+
+  // Subquery predicates stay put: pushing them below joins would change the
+  // rows they are evaluated for (and SubqueryToJoinRule wants them high).
+  if (ContainsSubquery(predicate)) {
+    return false;
+  }
+
+  switch (input->type) {
+    case LqpNodeType::kValidate: {
+      // Predicates commute with visibility filtering.
+      predicate_node->left_input = input->left_input;
+      input->left_input = predicate_node;
+      edge = input;
+      return true;
+    }
+    case LqpNodeType::kProjection:
+    case LqpNodeType::kAlias: {
+      if (!ExpressionEvaluableOnLqp(predicate, *input->left_input)) {
+        return false;
+      }
+      predicate_node->left_input = input->left_input;
+      input->left_input = predicate_node;
+      edge = input;
+      return true;
+    }
+    case LqpNodeType::kPredicate: {
+      // Push through a sibling predicate only if we can continue below it —
+      // otherwise order is left to the PredicateReorderingRule.
+      return false;
+    }
+    case LqpNodeType::kJoin: {
+      auto& join = static_cast<JoinNode&>(*input);
+      const auto evaluable_left = ExpressionEvaluableOnLqp(predicate, *input->left_input);
+      const auto evaluable_right = ExpressionEvaluableOnLqp(predicate, *input->right_input);
+      const auto preserves_left = join.join_mode == JoinMode::kLeft || join.join_mode == JoinMode::kFullOuter;
+      const auto preserves_right = join.join_mode == JoinMode::kRight || join.join_mode == JoinMode::kFullOuter;
+
+      if (evaluable_left && !preserves_right) {
+        predicate_node->left_input = input->left_input;
+        input->left_input = predicate_node;
+        edge = input;
+        return true;
+      }
+      if (evaluable_right && !preserves_left &&
+          (join.join_mode == JoinMode::kInner || join.join_mode == JoinMode::kCross ||
+           join.join_mode == JoinMode::kRight)) {
+        predicate_node->left_input = input->right_input;
+        input->right_input = predicate_node;
+        edge = input;
+        return true;
+      }
+      // Cross-side predicate into an inner/cross join: merge into the join.
+      if (!evaluable_left && !evaluable_right &&
+          (join.join_mode == JoinMode::kInner || join.join_mode == JoinMode::kCross)) {
+        if (!ExpressionEvaluableOnLqp(predicate, *input)) {
+          return false;  // References columns from even further out.
+        }
+        const auto is_equi = [&]() {
+          if (predicate->type != ExpressionType::kPredicate) {
+            return false;
+          }
+          return static_cast<const PredicateExpression&>(*predicate).condition == PredicateCondition::kEquals;
+        }();
+        if (join.join_mode == JoinMode::kCross) {
+          edge = JoinNode::Make(JoinMode::kInner, {predicate}, input->left_input, input->right_input);
+        } else {
+          // Keep an equality first so the hash join stays applicable.
+          if (is_equi && (join.node_expressions.empty() ||
+                          join.node_expressions[0]->type != ExpressionType::kPredicate ||
+                          static_cast<const PredicateExpression&>(*join.node_expressions[0]).condition !=
+                              PredicateCondition::kEquals)) {
+            join.node_expressions.insert(join.node_expressions.begin(), predicate);
+          } else {
+            join.node_expressions.push_back(predicate);
+          }
+          edge = input;
+        }
+        return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+bool PushdownRecursively(LqpNodePtr& edge) {
+  auto changed = false;
+  while (PushOneStep(edge)) {
+    changed = true;
+  }
+  if (edge->left_input) {
+    changed |= PushdownRecursively(edge->left_input);
+  }
+  if (edge->right_input) {
+    changed |= PushdownRecursively(edge->right_input);
+  }
+  return changed;
+}
+
+}  // namespace
+
+bool PredicatePushdownRule::Apply(LqpNodePtr& root) const {
+  auto changed = false;
+  // Run to fixpoint: a moved predicate can unblock another.
+  while (PushdownRecursively(root)) {
+    changed = true;
+  }
+  return changed;
+}
+
+}  // namespace hyrise

@@ -1,0 +1,27 @@
+#ifndef HYRISE_SRC_OPTIMIZER_RULES_PREDICATE_PUSHDOWN_RULE_HPP_
+#define HYRISE_SRC_OPTIMIZER_RULES_PREDICATE_PUSHDOWN_RULE_HPP_
+
+#include <string>
+
+#include "optimizer/abstract_rule.hpp"
+
+namespace hyrise {
+
+/// Pushes PredicateNodes towards the base tables (paper §2.6: "for every LQP,
+/// it makes sense to execute cheap filtering predicates as early as
+/// possible"). Single-side predicates sink below joins; predicates connecting
+/// both sides of a cross join turn it into an inner join (how comma-syntax
+/// FROM clauses become join graphs); other cross-side predicates merge into
+/// existing inner joins.
+class PredicatePushdownRule final : public AbstractRule {
+ public:
+  std::string Name() const final {
+    return "PredicatePushdown";
+  }
+
+  bool Apply(LqpNodePtr& root) const final;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPTIMIZER_RULES_PREDICATE_PUSHDOWN_RULE_HPP_

@@ -1,0 +1,71 @@
+#include "optimizer/rules/predicate_reordering_rule.hpp"
+
+#include <algorithm>
+
+#include "logical_query_plan/operator_nodes.hpp"
+#include "statistics/cardinality_estimator.hpp"
+
+namespace hyrise {
+
+namespace {
+
+bool ReorderChains(LqpNodePtr& edge, const CardinalityEstimator& estimator) {
+  auto changed = false;
+  if (edge->type == LqpNodeType::kPredicate) {
+    // Collect the chain of consecutive predicates.
+    auto chain = std::vector<std::shared_ptr<PredicateNode>>{};
+    auto current = edge;
+    while (current->type == LqpNodeType::kPredicate) {
+      chain.push_back(std::static_pointer_cast<PredicateNode>(current));
+      current = current->left_input;
+    }
+    if (chain.size() > 1) {
+      const auto bottom_input = current;
+      auto with_selectivity = std::vector<std::pair<double, std::shared_ptr<PredicateNode>>>{};
+      with_selectivity.reserve(chain.size());
+      for (const auto& node : chain) {
+        with_selectivity.emplace_back(estimator.EstimateSelectivity(node->predicate(), bottom_input), node);
+      }
+      // Most selective predicate executes first = sits lowest.
+      std::stable_sort(with_selectivity.begin(), with_selectivity.end(), [](const auto& lhs, const auto& rhs) {
+        return lhs.first > rhs.first;
+      });
+      auto already_ordered = true;
+      for (auto index = size_t{0}; index < chain.size(); ++index) {
+        already_ordered &= with_selectivity[index].second == chain[index];
+      }
+      if (!already_ordered) {
+        changed = true;
+        auto below = bottom_input;
+        for (auto iter = with_selectivity.rbegin(); iter != with_selectivity.rend(); ++iter) {
+          iter->second->left_input = below;
+          below = iter->second;
+        }
+        edge = below;
+      }
+    }
+    // Continue below the chain.
+    auto* below_chain = &edge;
+    while ((*below_chain)->type == LqpNodeType::kPredicate) {
+      below_chain = &(*below_chain)->left_input;
+    }
+    changed |= ReorderChains(*below_chain, estimator);
+    return changed;
+  }
+  if (edge->left_input) {
+    changed |= ReorderChains(edge->left_input, estimator);
+  }
+  if (edge->right_input) {
+    changed |= ReorderChains(edge->right_input, estimator);
+  }
+  return changed;
+}
+
+}  // namespace
+
+bool PredicateReorderingRule::Apply(LqpNodePtr& root) const {
+  const auto estimator = CardinalityEstimator{};
+  return ReorderChains(root, estimator);
+}
+
+}  // namespace hyrise

@@ -1,0 +1,25 @@
+#ifndef HYRISE_SRC_OPTIMIZER_RULES_PREDICATE_REORDERING_RULE_HPP_
+#define HYRISE_SRC_OPTIMIZER_RULES_PREDICATE_REORDERING_RULE_HPP_
+
+#include <string>
+
+#include "optimizer/abstract_rule.hpp"
+
+namespace hyrise {
+
+/// Orders chains of consecutive PredicateNodes so the most selective
+/// predicate executes first (paper §2.4: pruning-aware selectivities enable
+/// "operator-reordering"; §2.6 lists the rule relying on the statistics
+/// component).
+class PredicateReorderingRule final : public AbstractRule {
+ public:
+  std::string Name() const final {
+    return "PredicateReordering";
+  }
+
+  bool Apply(LqpNodePtr& root) const final;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPTIMIZER_RULES_PREDICATE_REORDERING_RULE_HPP_

@@ -1,0 +1,39 @@
+#include "optimizer/rules/predicate_split_up_rule.hpp"
+
+#include "expression/expression_utils.hpp"
+#include "logical_query_plan/operator_nodes.hpp"
+
+namespace hyrise {
+
+namespace {
+
+bool SplitRecursively(LqpNodePtr& edge) {
+  auto changed = false;
+  if (edge->type == LqpNodeType::kPredicate) {
+    const auto predicate = static_cast<const PredicateNode&>(*edge).predicate();
+    const auto conjuncts = FlattenConjunction(predicate);
+    if (conjuncts.size() > 1) {
+      auto below = edge->left_input;
+      for (auto iter = conjuncts.rbegin(); iter != conjuncts.rend(); ++iter) {
+        below = PredicateNode::Make(*iter, below);
+      }
+      edge = below;
+      changed = true;
+    }
+  }
+  if (edge->left_input) {
+    changed |= SplitRecursively(edge->left_input);
+  }
+  if (edge->right_input) {
+    changed |= SplitRecursively(edge->right_input);
+  }
+  return changed;
+}
+
+}  // namespace
+
+bool PredicateSplitUpRule::Apply(LqpNodePtr& root) const {
+  return SplitRecursively(root);
+}
+
+}  // namespace hyrise

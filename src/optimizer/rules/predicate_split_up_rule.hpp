@@ -1,0 +1,25 @@
+#ifndef HYRISE_SRC_OPTIMIZER_RULES_PREDICATE_SPLIT_UP_RULE_HPP_
+#define HYRISE_SRC_OPTIMIZER_RULES_PREDICATE_SPLIT_UP_RULE_HPP_
+
+#include <string>
+
+#include "optimizer/abstract_rule.hpp"
+
+namespace hyrise {
+
+/// Splits PredicateNodes holding conjunctions into chains of single-conjunct
+/// nodes so each conjunct can be pushed, reordered, and pruned independently.
+/// The SQL translator already splits WHERE clauses; this rule catches
+/// conjunctions created later (e.g. by OR-factoring in ExpressionReduction).
+class PredicateSplitUpRule final : public AbstractRule {
+ public:
+  std::string Name() const final {
+    return "PredicateSplitUp";
+  }
+
+  bool Apply(LqpNodePtr& root) const final;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPTIMIZER_RULES_PREDICATE_SPLIT_UP_RULE_HPP_

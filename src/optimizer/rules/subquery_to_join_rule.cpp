@@ -1,0 +1,380 @@
+#include "optimizer/rules/subquery_to_join_rule.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "expression/expressions.hpp"
+#include "logical_query_plan/operator_nodes.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+namespace {
+
+/// Does `expression` reference any of the given parameter IDs (descending
+/// into nested subqueries' correlation expressions and plans)?
+bool ContainsParameter(const ExpressionPtr& expression, const std::unordered_set<uint16_t>& ids);
+
+bool PlanContainsParameter(const LqpNodePtr& plan, const std::unordered_set<uint16_t>& ids) {
+  auto found = false;
+  VisitLqp(plan, [&](const LqpNodePtr& node) {
+    for (const auto& expression : node->node_expressions) {
+      if (ContainsParameter(expression, ids)) {
+        found = true;
+        return false;
+      }
+    }
+    return !found;
+  });
+  return found;
+}
+
+bool ContainsParameter(const ExpressionPtr& expression, const std::unordered_set<uint16_t>& ids) {
+  auto found = false;
+  VisitExpression(expression, [&](const ExpressionPtr& sub_expression) {
+    if (found) {
+      return false;
+    }
+    if (sub_expression->type == ExpressionType::kParameter) {
+      if (ids.contains(static_cast<const ParameterExpression&>(*sub_expression).parameter_id)) {
+        found = true;
+      }
+      return false;
+    }
+    if (sub_expression->type == ExpressionType::kLqpSubquery) {
+      const auto& subquery = static_cast<const LqpSubqueryExpression&>(*sub_expression);
+      for (const auto& [parameter_id, parameter_expression] : subquery.parameters) {
+        found |= ContainsParameter(parameter_expression, ids);
+      }
+      found |= PlanContainsParameter(subquery.lqp, ids);
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+/// A correlation predicate lifted out of the subquery: `inner <op> outer`
+/// with the parameter already resolved to the outer expression.
+struct CorrelationPredicate {
+  ExpressionPtr outer;
+  ExpressionPtr inner;
+  PredicateCondition condition{PredicateCondition::kEquals};  // outer <op> inner.
+};
+
+struct ExtractionResult {
+  std::vector<CorrelationPredicate> predicates;
+  bool failed{false};
+};
+
+/// Removes correlation predicates of the shape `column <op> parameter` (or
+/// flipped) from the predicate/validate/projection/inner-join spine of
+/// `edge`, collecting them. Parameters under anything else fail extraction.
+void ExtractCorrelated(LqpNodePtr& edge, const std::unordered_set<uint16_t>& ids,
+                       const std::unordered_map<uint16_t, ExpressionPtr>& outer_by_id, ExtractionResult& out) {
+  if (out.failed) {
+    return;
+  }
+  switch (edge->type) {
+    case LqpNodeType::kPredicate: {
+      const auto predicate = static_cast<const PredicateNode&>(*edge).predicate();
+      if (!ContainsParameter(predicate, ids)) {
+        ExtractCorrelated(edge->left_input, ids, outer_by_id, out);
+        return;
+      }
+      if (predicate->type != ExpressionType::kPredicate || predicate->arguments.size() != 2) {
+        out.failed = true;
+        return;
+      }
+      const auto& typed = static_cast<const PredicateExpression&>(*predicate);
+      const auto extract_side = [&](const ExpressionPtr& parameter_side, const ExpressionPtr& inner_side,
+                                    PredicateCondition outer_op_inner) {
+        if (parameter_side->type != ExpressionType::kParameter || ContainsParameter(inner_side, ids)) {
+          return false;
+        }
+        const auto parameter_id =
+            static_cast<uint16_t>(static_cast<const ParameterExpression&>(*parameter_side).parameter_id);
+        const auto outer = outer_by_id.find(parameter_id);
+        if (outer == outer_by_id.end()) {
+          return false;
+        }
+        out.predicates.push_back({outer->second, inner_side, outer_op_inner});
+        return true;
+      };
+      // inner <op> param  ≡  param flip(op) inner  ≡  outer flip(op) inner.
+      auto extracted = false;
+      switch (typed.condition) {
+        case PredicateCondition::kEquals:
+        case PredicateCondition::kNotEquals:
+        case PredicateCondition::kLessThan:
+        case PredicateCondition::kLessThanEquals:
+        case PredicateCondition::kGreaterThan:
+        case PredicateCondition::kGreaterThanEquals:
+          extracted = extract_side(typed.arguments[1], typed.arguments[0],
+                                   FlipPredicateCondition(typed.condition)) ||
+                      extract_side(typed.arguments[0], typed.arguments[1], typed.condition);
+          break;
+        default:
+          break;
+      }
+      if (!extracted) {
+        out.failed = true;
+        return;
+      }
+      edge = edge->left_input;  // Remove the predicate node.
+      ExtractCorrelated(edge, ids, outer_by_id, out);
+      return;
+    }
+    case LqpNodeType::kValidate:
+    case LqpNodeType::kAlias:
+    case LqpNodeType::kProjection:
+    case LqpNodeType::kSort:
+      ExtractCorrelated(edge->left_input, ids, outer_by_id, out);
+      return;
+    case LqpNodeType::kJoin: {
+      const auto mode = static_cast<const JoinNode&>(*edge).join_mode;
+      for (const auto& expression : edge->node_expressions) {
+        if (ContainsParameter(expression, ids)) {
+          out.failed = true;  // Correlated join predicates: too subtle.
+          return;
+        }
+      }
+      if (mode == JoinMode::kInner || mode == JoinMode::kCross) {
+        ExtractCorrelated(edge->left_input, ids, outer_by_id, out);
+        ExtractCorrelated(edge->right_input, ids, outer_by_id, out);
+        return;
+      }
+      out.failed |= PlanContainsParameter(edge, ids);
+      return;
+    }
+    default:
+      // Aggregates, unions, leaves: parameters below here cannot be lifted.
+      out.failed |= PlanContainsParameter(edge, ids);
+      return;
+  }
+}
+
+std::unordered_set<uint16_t> ParameterIds(const LqpSubqueryExpression& subquery) {
+  auto ids = std::unordered_set<uint16_t>{};
+  for (const auto& [parameter_id, expression] : subquery.parameters) {
+    ids.insert(static_cast<uint16_t>(parameter_id));
+  }
+  return ids;
+}
+
+std::unordered_map<uint16_t, ExpressionPtr> OuterExpressionsById(const LqpSubqueryExpression& subquery) {
+  auto map = std::unordered_map<uint16_t, ExpressionPtr>{};
+  for (const auto& [parameter_id, expression] : subquery.parameters) {
+    map.emplace(static_cast<uint16_t>(parameter_id), expression);
+  }
+  return map;
+}
+
+/// Ensures every `inner` expression is among the plan's outputs; extends with
+/// a projection if needed (safe under semi/anti joins, whose output is the
+/// left side only).
+LqpNodePtr EnsureAvailable(LqpNodePtr plan, const std::vector<CorrelationPredicate>& predicates) {
+  auto outputs = plan->output_expressions();
+  auto missing = Expressions{};
+  for (const auto& predicate : predicates) {
+    auto found = false;
+    for (const auto& output : outputs) {
+      if (*output == *predicate.inner) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      missing.push_back(predicate.inner);
+    }
+  }
+  if (missing.empty()) {
+    return plan;
+  }
+  auto extended = outputs;
+  extended.insert(extended.end(), missing.begin(), missing.end());
+  return ProjectionNode::Make(std::move(extended), std::move(plan));
+}
+
+/// Join predicates (equality first) from correlation predicates plus an
+/// optional extra equality.
+Expressions BuildJoinPredicates(const std::vector<CorrelationPredicate>& predicates,
+                                const ExpressionPtr& extra_equality_lhs, const ExpressionPtr& extra_equality_rhs) {
+  auto equalities = Expressions{};
+  auto others = Expressions{};
+  if (extra_equality_lhs) {
+    equalities.push_back(std::make_shared<PredicateExpression>(
+        PredicateCondition::kEquals, Expressions{extra_equality_lhs, extra_equality_rhs}));
+  }
+  for (const auto& predicate : predicates) {
+    auto expression = std::make_shared<PredicateExpression>(predicate.condition,
+                                                            Expressions{predicate.outer, predicate.inner});
+    if (predicate.condition == PredicateCondition::kEquals) {
+      equalities.push_back(std::move(expression));
+    } else {
+      others.push_back(std::move(expression));
+    }
+  }
+  equalities.insert(equalities.end(), others.begin(), others.end());
+  return equalities;
+}
+
+/// Strips nodes irrelevant to row existence.
+LqpNodePtr StripForExists(LqpNodePtr plan) {
+  while (plan->type == LqpNodeType::kAlias || plan->type == LqpNodeType::kProjection ||
+         plan->type == LqpNodeType::kSort) {
+    plan = plan->left_input;
+  }
+  return plan;
+}
+
+bool TryRewriteExists(LqpNodePtr& edge, const ExistsExpression& exists) {
+  const auto& subquery = static_cast<const LqpSubqueryExpression&>(*exists.arguments[0]);
+  if (!subquery.IsCorrelated()) {
+    return false;  // Executed once by the evaluator; nothing to gain.
+  }
+  const auto ids = ParameterIds(subquery);
+  auto plan = StripForExists(subquery.lqp);
+  auto extraction = ExtractionResult{};
+  ExtractCorrelated(plan, ids, OuterExpressionsById(subquery), extraction);
+  if (extraction.failed || extraction.predicates.empty() || PlanContainsParameter(plan, ids)) {
+    return false;
+  }
+  plan = StripForExists(plan);
+  plan = EnsureAvailable(plan, extraction.predicates);
+  const auto mode = exists.mode == ExistsExpression::Mode::kExists ? JoinMode::kSemi : JoinMode::kAnti;
+  edge = JoinNode::Make(mode, BuildJoinPredicates(extraction.predicates, nullptr, nullptr), edge->left_input, plan);
+  return true;
+}
+
+bool TryRewriteIn(LqpNodePtr& edge, const PredicateExpression& in_predicate) {
+  const auto& subquery = static_cast<const LqpSubqueryExpression&>(*in_predicate.arguments[1]);
+  const auto ids = ParameterIds(subquery);
+  auto plan = subquery.lqp;
+  while (plan->type == LqpNodeType::kAlias) {
+    plan = plan->left_input;  // Keep projections: output[0] is the IN column.
+  }
+  auto extraction = ExtractionResult{};
+  ExtractCorrelated(plan, ids, OuterExpressionsById(subquery), extraction);
+  if (extraction.failed || PlanContainsParameter(plan, ids)) {
+    return false;
+  }
+  const auto outputs = plan->output_expressions();
+  if (outputs.empty()) {
+    return false;
+  }
+  plan = EnsureAvailable(plan, extraction.predicates);
+  const auto mode = in_predicate.condition == PredicateCondition::kIn ? JoinMode::kSemi : JoinMode::kAnti;
+  edge = JoinNode::Make(mode, BuildJoinPredicates(extraction.predicates, in_predicate.arguments[0], outputs[0]),
+                        edge->left_input, plan);
+  return true;
+}
+
+bool TryRewriteScalar(LqpNodePtr& edge, const PredicateExpression& comparison) {
+  // Exactly one side a correlated scalar subquery.
+  auto subquery_index = size_t{2};
+  for (auto index = size_t{0}; index < 2; ++index) {
+    if (comparison.arguments[index]->type == ExpressionType::kLqpSubquery &&
+        static_cast<const LqpSubqueryExpression&>(*comparison.arguments[index]).IsCorrelated()) {
+      if (subquery_index != 2) {
+        return false;
+      }
+      subquery_index = index;
+    }
+  }
+  if (subquery_index == 2) {
+    return false;
+  }
+  const auto& subquery = static_cast<const LqpSubqueryExpression&>(*comparison.arguments[subquery_index]);
+  const auto ids = ParameterIds(subquery);
+
+  // Find the groupless aggregate under (possibly) projections.
+  auto plan = subquery.lqp;
+  while (plan->type == LqpNodeType::kAlias || plan->type == LqpNodeType::kProjection) {
+    plan = plan->left_input;
+  }
+  if (plan->type != LqpNodeType::kAggregate) {
+    return false;
+  }
+  const auto aggregate = std::static_pointer_cast<AggregateNode>(plan);
+  if (aggregate->group_by_count != 0) {
+    return false;
+  }
+  // The scalar the outer query compares against (may wrap the aggregate in
+  // arithmetic via a projection).
+  auto stripped_for_output = subquery.lqp;
+  while (stripped_for_output->type == LqpNodeType::kAlias) {
+    stripped_for_output = stripped_for_output->left_input;
+  }
+  const auto root_outputs = stripped_for_output->output_expressions();
+  if (root_outputs.empty()) {
+    return false;
+  }
+  const auto scalar_expression = root_outputs[0];
+
+  auto subplan = aggregate->left_input;
+  auto extraction = ExtractionResult{};
+  ExtractCorrelated(subplan, ids, OuterExpressionsById(subquery), extraction);
+  if (extraction.failed || extraction.predicates.empty() || PlanContainsParameter(subplan, ids)) {
+    return false;
+  }
+  // Group keys must be equality correlations on plain inner columns.
+  auto group_by = Expressions{};
+  for (const auto& predicate : extraction.predicates) {
+    if (predicate.condition != PredicateCondition::kEquals ||
+        predicate.inner->type != ExpressionType::kLqpColumn) {
+      return false;
+    }
+    group_by.push_back(predicate.inner);
+  }
+  auto aggregates = Expressions{aggregate->node_expressions.begin() + aggregate->group_by_count,
+                                aggregate->node_expressions.end()};
+  auto regrouped = AggregateNode::Make(std::move(group_by), std::move(aggregates), subplan);
+
+  auto join = JoinNode::Make(JoinMode::kInner, BuildJoinPredicates(extraction.predicates, nullptr, nullptr),
+                             edge->left_input, regrouped);
+  auto arguments = Expressions{comparison.arguments};
+  arguments[subquery_index] = scalar_expression;
+  edge = PredicateNode::Make(std::make_shared<PredicateExpression>(comparison.condition, std::move(arguments)),
+                             join);
+  return true;
+}
+
+bool RewriteRecursively(LqpNodePtr& edge) {
+  auto changed = false;
+  if (edge->type == LqpNodeType::kPredicate) {
+    const auto predicate = static_cast<const PredicateNode&>(*edge).predicate();
+    if (predicate->type == ExpressionType::kExists &&
+        predicate->arguments[0]->type == ExpressionType::kLqpSubquery) {
+      changed |= TryRewriteExists(edge, static_cast<const ExistsExpression&>(*predicate));
+    } else if (predicate->type == ExpressionType::kPredicate) {
+      const auto& typed = static_cast<const PredicateExpression&>(*predicate);
+      if ((typed.condition == PredicateCondition::kIn || typed.condition == PredicateCondition::kNotIn) &&
+          typed.arguments[1]->type == ExpressionType::kLqpSubquery) {
+        changed |= TryRewriteIn(edge, typed);
+      } else if (typed.arguments.size() == 2) {
+        changed |= TryRewriteScalar(edge, typed);
+      }
+    }
+  }
+  if (edge->left_input) {
+    changed |= RewriteRecursively(edge->left_input);
+  }
+  if (edge->right_input) {
+    changed |= RewriteRecursively(edge->right_input);
+  }
+  return changed;
+}
+
+}  // namespace
+
+bool SubqueryToJoinRule::Apply(LqpNodePtr& root) const {
+  auto changed = false;
+  // A rewrite can expose another (nested subqueries); iterate to fixpoint.
+  while (RewriteRecursively(root)) {
+    changed = true;
+  }
+  return changed;
+}
+
+}  // namespace hyrise

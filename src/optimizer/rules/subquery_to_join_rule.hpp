@@ -1,0 +1,35 @@
+#ifndef HYRISE_SRC_OPTIMIZER_RULES_SUBQUERY_TO_JOIN_RULE_HPP_
+#define HYRISE_SRC_OPTIMIZER_RULES_SUBQUERY_TO_JOIN_RULE_HPP_
+
+#include <string>
+
+#include "optimizer/abstract_rule.hpp"
+
+namespace hyrise {
+
+/// Rewrites subquery predicates into joins (paper §2.6: correlated subselects
+/// are initially executed via placeholder substitution, "obviously ... quite
+/// inefficient, which is why the optimizer later rewrites the LQP into a more
+/// efficient, join-based version"). Three patterns:
+///
+///   1. (NOT) EXISTS (correlated)          => Semi/Anti join; the correlation
+///      predicates become join predicates.
+///   2. x (NOT) IN (SELECT ...)            => Semi/Anti join on x = output.
+///      (NOT IN assumes a NULL-free subquery column.)
+///   3. x <op> (correlated scalar aggregate) => the aggregate is re-grouped by
+///      its correlation columns, inner-joined, and compared per group.
+///
+/// Rewrites that cannot be proven safe keep the (correct but slow)
+/// evaluator-based execution.
+class SubqueryToJoinRule final : public AbstractRule {
+ public:
+  std::string Name() const final {
+    return "SubqueryToJoin";
+  }
+
+  bool Apply(LqpNodePtr& root) const final;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPTIMIZER_RULES_SUBQUERY_TO_JOIN_RULE_HPP_

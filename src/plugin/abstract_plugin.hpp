@@ -1,0 +1,31 @@
+#ifndef HYRISE_SRC_PLUGIN_ABSTRACT_PLUGIN_HPP_
+#define HYRISE_SRC_PLUGIN_ABSTRACT_PLUGIN_HPP_
+
+#include <string>
+
+namespace hyrise {
+
+/// Base class of plugins (paper §3.1): dynamic libraries loaded and unloaded
+/// at runtime that access the DBMS exclusively through its public interfaces.
+/// A plugin shared object exports a factory with C linkage:
+///
+///   extern "C" hyrise::AbstractPlugin* hyrise_plugin_create();
+///
+/// The PluginManager owns the instance and calls Start()/Stop().
+class AbstractPlugin {
+ public:
+  virtual ~AbstractPlugin() = default;
+
+  virtual std::string Name() const = 0;
+
+  virtual void Start() = 0;
+
+  virtual void Stop() = 0;
+};
+
+}  // namespace hyrise
+
+/// Signature of the exported factory symbol.
+using HyrisePluginCreateFunction = hyrise::AbstractPlugin* (*)();
+
+#endif  // HYRISE_SRC_PLUGIN_ABSTRACT_PLUGIN_HPP_

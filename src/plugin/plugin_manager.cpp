@@ -1,0 +1,67 @@
+#include "plugin/plugin_manager.hpp"
+
+#include <dlfcn.h>
+
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+PluginManager::~PluginManager() {
+  UnloadAll();
+}
+
+void PluginManager::LoadPlugin(const std::string& path) {
+  auto* handle = dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!handle) {
+    const auto* reason = dlerror();
+    Fail("Cannot load plugin: " + (reason ? std::string{reason} : path));
+  }
+
+  // reinterpret_cast is the sanctioned way to read a function pointer from
+  // dlsym.
+  auto create = reinterpret_cast<HyrisePluginCreateFunction>(dlsym(handle, "hyrise_plugin_create"));
+  if (!create) {
+    dlclose(handle);
+    Fail("Plugin does not export hyrise_plugin_create: " + path);
+  }
+
+  auto plugin = std::unique_ptr<AbstractPlugin>{create()};
+  const auto name = plugin->Name();
+  if (plugins_.contains(name)) {
+    dlclose(handle);
+    Fail("Plugin already loaded: " + name);
+  }
+
+  plugin->Start();
+  plugins_.emplace(name, LoadedPlugin{handle, std::move(plugin)});
+}
+
+void PluginManager::UnloadPlugin(const std::string& name) {
+  const auto iter = plugins_.find(name);
+  Assert(iter != plugins_.end(), "Plugin not loaded: " + name);
+  iter->second.plugin->Stop();
+  iter->second.plugin.reset();
+  dlclose(iter->second.handle);
+  plugins_.erase(iter);
+}
+
+bool PluginManager::IsLoaded(const std::string& name) const {
+  return plugins_.contains(name);
+}
+
+std::vector<std::string> PluginManager::LoadedPlugins() const {
+  auto names = std::vector<std::string>{};
+  names.reserve(plugins_.size());
+  for (const auto& [name, plugin] : plugins_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+void PluginManager::UnloadAll() {
+  while (!plugins_.empty()) {
+    UnloadPlugin(plugins_.begin()->first);
+  }
+}
+
+}  // namespace hyrise

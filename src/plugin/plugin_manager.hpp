@@ -1,0 +1,47 @@
+#ifndef HYRISE_SRC_PLUGIN_PLUGIN_MANAGER_HPP_
+#define HYRISE_SRC_PLUGIN_PLUGIN_MANAGER_HPP_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plugin/abstract_plugin.hpp"
+
+namespace hyrise {
+
+/// Loads and unloads plugin shared objects at database runtime (paper §3.1).
+/// Plugins are singletons per manager: loading the same name twice fails.
+class PluginManager {
+ public:
+  PluginManager() = default;
+  PluginManager(const PluginManager&) = delete;
+  PluginManager& operator=(const PluginManager&) = delete;
+  ~PluginManager();
+
+  /// dlopen()s `path`, instantiates the plugin via hyrise_plugin_create, and
+  /// calls Start().
+  void LoadPlugin(const std::string& path);
+
+  /// Calls Stop(), destroys the instance, and dlclose()s the library.
+  void UnloadPlugin(const std::string& name);
+
+  bool IsLoaded(const std::string& name) const;
+
+  std::vector<std::string> LoadedPlugins() const;
+
+  /// Unloads everything (called on shutdown/reset).
+  void UnloadAll();
+
+ private:
+  struct LoadedPlugin {
+    void* handle{nullptr};
+    std::unique_ptr<AbstractPlugin> plugin;
+  };
+
+  std::map<std::string, LoadedPlugin> plugins_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_PLUGIN_PLUGIN_MANAGER_HPP_

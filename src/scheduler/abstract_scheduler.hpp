@@ -1,0 +1,60 @@
+#ifndef HYRISE_SRC_SCHEDULER_ABSTRACT_SCHEDULER_HPP_
+#define HYRISE_SRC_SCHEDULER_ABSTRACT_SCHEDULER_HPP_
+
+#include <memory>
+#include <vector>
+
+#include "scheduler/abstract_task.hpp"
+
+namespace hyrise {
+
+/// Scheduling policy interface. The system always runs with *some* scheduler;
+/// "disabling" scheduling (paper §2) means installing the
+/// ImmediateExecutionScheduler, which executes tasks inline in the calling
+/// thread.
+class AbstractScheduler {
+ public:
+  virtual ~AbstractScheduler() = default;
+
+  /// Accepts a ready task for execution. Called by AbstractTask::Schedule and
+  /// when a task becomes ready after its last predecessor finished.
+  virtual void ScheduleTask(const std::shared_ptr<AbstractTask>& task) = 0;
+
+  /// Waits for all currently scheduled tasks and stops workers.
+  virtual void Finish() = 0;
+
+  virtual uint32_t worker_count() const = 0;
+
+  /// Convenience: schedule all tasks (which must be topologically closed —
+  /// every predecessor included) and block until each is done.
+  void ScheduleAndWaitForTasks(const std::vector<std::shared_ptr<AbstractTask>>& tasks) {
+    for (const auto& task : tasks) {
+      task->Schedule();
+    }
+    for (const auto& task : tasks) {
+      task->Join();
+    }
+  }
+};
+
+/// Executes every task immediately on the calling thread (paper §2: "if the
+/// scheduler is turned off, tasks are immediately executed in the same thread
+/// (while still guaranteeing progress)"). Tasks with unfinished predecessors
+/// run as soon as the last predecessor finishes — which, inline, happens
+/// within the predecessor's Execute().
+class ImmediateExecutionScheduler final : public AbstractScheduler {
+ public:
+  void ScheduleTask(const std::shared_ptr<AbstractTask>& task) final {
+    task->Execute();
+  }
+
+  void Finish() final {}
+
+  uint32_t worker_count() const final {
+    return 0;
+  }
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_SCHEDULER_ABSTRACT_SCHEDULER_HPP_

@@ -1,0 +1,55 @@
+#include "scheduler/abstract_task.hpp"
+
+#include "hyrise.hpp"
+#include "scheduler/abstract_scheduler.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+void AbstractTask::SetAsPredecessorOf(const std::shared_ptr<AbstractTask>& successor) {
+  Assert(!IsDone(), "Cannot add successors to a finished task");
+  successors_.push_back(successor);
+  successor->pending_predecessors_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void AbstractTask::Schedule(NodeID node_id) {
+  preferred_node_id = node_id;
+  scheduled_.store(true, std::memory_order_release);
+  if (IsReady()) {
+    Hyrise::Get().scheduler()->ScheduleTask(shared_from_this());
+  }
+}
+
+void AbstractTask::Join() {
+  auto lock = std::unique_lock{done_mutex_};
+  done_condition_.wait(lock, [&] {
+    return done_.load(std::memory_order_acquire);
+  });
+}
+
+void AbstractTask::Execute() {
+  const auto already_started = started_.exchange(true, std::memory_order_acq_rel);
+  Assert(!already_started, "Task executed twice");
+  DebugAssert(IsReady(), "Task executed before its predecessors finished");
+
+  OnExecute();
+
+  {
+    const auto lock = std::lock_guard{done_mutex_};
+    done_.store(true, std::memory_order_release);
+  }
+  done_condition_.notify_all();
+
+  for (const auto& successor : successors_) {
+    successor->NotifyPredecessorDone();
+  }
+}
+
+void AbstractTask::NotifyPredecessorDone() {
+  const auto remaining = pending_predecessors_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  if (remaining == 0 && scheduled_.load(std::memory_order_acquire)) {
+    Hyrise::Get().scheduler()->ScheduleTask(shared_from_this());
+  }
+}
+
+}  // namespace hyrise

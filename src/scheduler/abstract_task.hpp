@@ -1,0 +1,82 @@
+#ifndef HYRISE_SRC_SCHEDULER_ABSTRACT_TASK_HPP_
+#define HYRISE_SRC_SCHEDULER_ABSTRACT_TASK_HPP_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "types/types.hpp"
+
+namespace hyrise {
+
+/// The scheduler's unit of work (paper §2.9): an operator, a subroutine of an
+/// operator, or any other job. Tasks may depend on other tasks; a task only
+/// enters a queue when all predecessors finished. Once a worker starts a task
+/// it runs to completion (cooperative, non-preemptive).
+class AbstractTask : public std::enable_shared_from_this<AbstractTask> {
+ public:
+  AbstractTask() = default;
+  AbstractTask(const AbstractTask&) = delete;
+  AbstractTask& operator=(const AbstractTask&) = delete;
+  virtual ~AbstractTask() = default;
+
+  /// Declares that `successor` must not start before this task finished.
+  void SetAsPredecessorOf(const std::shared_ptr<AbstractTask>& successor);
+
+  bool IsReady() const {
+    return pending_predecessors_.load(std::memory_order_acquire) == 0;
+  }
+
+  bool IsDone() const {
+    return done_.load(std::memory_order_acquire);
+  }
+
+  /// Hands the task to the current scheduler (it runs once all predecessors
+  /// finished). `preferred_node_id` hints data locality on NUMA systems.
+  void Schedule(NodeID preferred_node_id = kCurrentNodeId);
+
+  /// Blocks until the task finished executing.
+  void Join();
+
+  /// Runs the task body and wakes up ready successors. Called by workers (or
+  /// directly by the immediate-execution scheduler).
+  void Execute();
+
+  NodeID preferred_node_id{kCurrentNodeId};
+
+ protected:
+  virtual void OnExecute() = 0;
+
+ private:
+  void NotifyPredecessorDone();
+
+  std::vector<std::shared_ptr<AbstractTask>> successors_;
+  std::atomic<uint32_t> pending_predecessors_{0};
+  std::atomic<bool> scheduled_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> done_{false};
+  std::mutex done_mutex_;
+  std::condition_variable done_condition_;
+};
+
+/// A task wrapping a function object — "the easiest type of task has been
+/// modeled after std::thread" (paper §2.9).
+class JobTask final : public AbstractTask {
+ public:
+  explicit JobTask(std::function<void()> job) : job_(std::move(job)) {}
+
+ protected:
+  void OnExecute() final {
+    job_();
+  }
+
+ private:
+  std::function<void()> job_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_SCHEDULER_ABSTRACT_TASK_HPP_

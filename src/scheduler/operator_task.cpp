@@ -1,0 +1,41 @@
+#include "scheduler/operator_task.hpp"
+
+namespace hyrise {
+
+std::vector<std::shared_ptr<AbstractTask>> OperatorTask::MakeTasksFromOperator(
+    const std::shared_ptr<AbstractOperator>& root) {
+  auto task_by_operator = std::unordered_map<const AbstractOperator*, std::shared_ptr<OperatorTask>>{};
+  auto tasks = std::vector<std::shared_ptr<AbstractTask>>{};
+  MakeTaskImpl(root, task_by_operator, tasks);
+  return tasks;
+}
+
+std::shared_ptr<OperatorTask> OperatorTask::MakeTaskImpl(
+    const std::shared_ptr<AbstractOperator>& op,
+    std::unordered_map<const AbstractOperator*, std::shared_ptr<OperatorTask>>& task_by_operator,
+    std::vector<std::shared_ptr<AbstractTask>>& tasks) {
+  const auto existing = task_by_operator.find(op.get());
+  if (existing != task_by_operator.end()) {
+    return existing->second;
+  }
+  auto left_task = std::shared_ptr<OperatorTask>{};
+  auto right_task = std::shared_ptr<OperatorTask>{};
+  if (op->left_input()) {
+    left_task = MakeTaskImpl(op->left_input(), task_by_operator, tasks);
+  }
+  if (op->right_input()) {
+    right_task = MakeTaskImpl(op->right_input(), task_by_operator, tasks);
+  }
+  auto task = std::make_shared<OperatorTask>(op);
+  if (left_task) {
+    left_task->SetAsPredecessorOf(task);
+  }
+  if (right_task) {
+    right_task->SetAsPredecessorOf(task);
+  }
+  task_by_operator.emplace(op.get(), task);
+  tasks.push_back(task);
+  return task;
+}
+
+}  // namespace hyrise

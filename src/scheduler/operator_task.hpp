@@ -1,0 +1,47 @@
+#ifndef HYRISE_SRC_SCHEDULER_OPERATOR_TASK_HPP_
+#define HYRISE_SRC_SCHEDULER_OPERATOR_TASK_HPP_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "operators/abstract_operator.hpp"
+#include "scheduler/abstract_task.hpp"
+
+namespace hyrise {
+
+/// Wraps one operator as a schedulable task. MakeTasksFromOperator builds the
+/// task DAG mirroring the PQP: an operator's task depends on its inputs'
+/// tasks (paper §2.1: "the resulting PQP is handed to the scheduler").
+class OperatorTask final : public AbstractTask {
+ public:
+  explicit OperatorTask(std::shared_ptr<AbstractOperator> op) : operator_(std::move(op)) {}
+
+  /// Tasks in topological order (every predecessor precedes its successors;
+  /// the root operator's task is last). Shared sub-plans yield one task.
+  static std::vector<std::shared_ptr<AbstractTask>> MakeTasksFromOperator(
+      const std::shared_ptr<AbstractOperator>& root);
+
+  const std::shared_ptr<AbstractOperator>& GetOperator() const {
+    return operator_;
+  }
+
+ protected:
+  void OnExecute() final {
+    if (!operator_->executed()) {
+      operator_->Execute();
+    }
+  }
+
+ private:
+  static std::shared_ptr<OperatorTask> MakeTaskImpl(
+      const std::shared_ptr<AbstractOperator>& op,
+      std::unordered_map<const AbstractOperator*, std::shared_ptr<OperatorTask>>& task_by_operator,
+      std::vector<std::shared_ptr<AbstractTask>>& tasks);
+
+  std::shared_ptr<AbstractOperator> operator_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_SCHEDULER_OPERATOR_TASK_HPP_

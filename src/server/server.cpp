@@ -1,0 +1,298 @@
+#include "server/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "concurrency/transaction_context.hpp"
+#include "sql/sql_pipeline.hpp"
+#include "storage/table.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+namespace {
+
+// --- Wire helpers (PostgreSQL protocol v3: big-endian framing) ---------------
+
+void AppendInt32(std::string& buffer, int32_t value) {
+  const auto network = htonl(static_cast<uint32_t>(value));
+  buffer.append(reinterpret_cast<const char*>(&network), 4);
+}
+
+void AppendInt16(std::string& buffer, int16_t value) {
+  const auto network = htons(static_cast<uint16_t>(value));
+  buffer.append(reinterpret_cast<const char*>(&network), 2);
+}
+
+/// Frames a message: type byte + length (including itself) + payload.
+std::string Message(char type, const std::string& payload) {
+  auto message = std::string(1, type);
+  AppendInt32(message, static_cast<int32_t>(payload.size() + 4));
+  message += payload;
+  return message;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  auto sent = size_t{0};
+  while (sent < data.size()) {
+    const auto result = send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (result <= 0) {
+      return false;
+    }
+    sent += static_cast<size_t>(result);
+  }
+  return true;
+}
+
+bool ReceiveExactly(int fd, char* buffer, size_t size) {
+  auto received = size_t{0};
+  while (received < size) {
+    const auto result = recv(fd, buffer + received, size - received, 0);
+    if (result <= 0) {
+      return false;
+    }
+    received += static_cast<size_t>(result);
+  }
+  return true;
+}
+
+int32_t ReadInt32(const char* buffer) {
+  uint32_t network;
+  std::memcpy(&network, buffer, 4);
+  return static_cast<int32_t>(ntohl(network));
+}
+
+/// PostgreSQL type OIDs for RowDescription.
+int32_t TypeOid(DataType data_type) {
+  switch (data_type) {
+    case DataType::kInt:
+      return 23;  // int4
+    case DataType::kLong:
+      return 20;  // int8
+    case DataType::kFloat:
+      return 700;  // float4
+    case DataType::kDouble:
+      return 701;  // float8
+    default:
+      return 25;  // text
+  }
+}
+
+std::string RowDescription(const Table& table) {
+  auto payload = std::string{};
+  AppendInt16(payload, static_cast<int16_t>(static_cast<uint16_t>(table.column_count())));
+  for (auto column = ColumnID{0}; column < table.column_count(); ++column) {
+    payload += table.column_name(column);
+    payload.push_back('\0');
+    AppendInt32(payload, 0);   // Table OID.
+    AppendInt16(payload, 0);   // Attribute number.
+    AppendInt32(payload, TypeOid(table.column_data_type(column)));
+    AppendInt16(payload, -1);  // Type size (variable).
+    AppendInt32(payload, -1);  // Type modifier.
+    AppendInt16(payload, 0);   // Text format.
+  }
+  return Message('T', payload);
+}
+
+std::string ErrorResponse(const std::string& message) {
+  auto payload = std::string{};
+  payload += "SERROR";
+  payload.push_back('\0');
+  payload += "C42601";  // Syntax-error class; close enough for a research DB.
+  payload.push_back('\0');
+  payload += "M" + message;
+  payload.push_back('\0');
+  payload.push_back('\0');
+  return Message('E', payload);
+}
+
+std::string ReadyForQuery() {
+  return Message('Z', "I");
+}
+
+}  // namespace
+
+Server::Server(uint16_t port) {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  Assert(listen_fd_ >= 0, "Cannot create server socket");
+  const auto reuse = int{1};
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  auto address = sockaddr_in{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  Assert(bind(listen_fd_, reinterpret_cast<sockaddr*>(&address), sizeof(address)) == 0,
+         "Cannot bind server port " + std::to_string(port));
+  Assert(listen(listen_fd_, 16) == 0, "Cannot listen");
+
+  auto bound = sockaddr_in{};
+  auto bound_size = socklen_t{sizeof(bound)};
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_size);
+  port_ = ntohs(bound.sin_port);
+}
+
+Server::~Server() {
+  Stop();
+}
+
+void Server::Start() {
+  running_.store(true);
+  accept_thread_ = std::thread([this] {
+    AcceptLoop();
+  });
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  shutdown(listen_fd_, SHUT_RDWR);
+  close(listen_fd_);
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  for (auto& session : sessions_) {
+    if (session.joinable()) {
+      session.join();
+    }
+  }
+  sessions_.clear();
+}
+
+void Server::AcceptLoop() {
+  while (running_.load()) {
+    const auto connection_fd = accept(listen_fd_, nullptr, nullptr);
+    if (connection_fd < 0) {
+      break;  // Socket closed by Stop().
+    }
+    sessions_.emplace_back([this, connection_fd] {
+      HandleConnection(connection_fd);
+    });
+  }
+}
+
+void Server::HandleConnection(int connection_fd) {
+  // Startup: length + protocol version + parameters. SSLRequest (80877103)
+  // is answered with 'N' (not supported), after which the client retries the
+  // plain startup.
+  while (true) {
+    char header[8];
+    if (!ReceiveExactly(connection_fd, header, 8)) {
+      close(connection_fd);
+      return;
+    }
+    const auto length = ReadInt32(header);
+    const auto protocol = ReadInt32(header + 4);
+    auto rest = std::vector<char>(static_cast<size_t>(length) - 8);
+    if (!rest.empty() && !ReceiveExactly(connection_fd, rest.data(), rest.size())) {
+      close(connection_fd);
+      return;
+    }
+    if (protocol == 80877103) {  // SSLRequest.
+      SendAll(connection_fd, "N");
+      continue;
+    }
+    break;  // StartupMessage consumed (parameters ignored; no authentication, paper §2.5).
+  }
+
+  auto greeting = Message('R', [] {
+    auto payload = std::string{};
+    AppendInt32(payload, 0);  // AuthenticationOk.
+    return payload;
+  }());
+  {
+    auto status = std::string{"server_version"};
+    status.push_back('\0');
+    status += "14.0 (hyrise-repro)";
+    status.push_back('\0');
+    greeting += Message('S', status);
+  }
+  greeting += ReadyForQuery();
+  if (!SendAll(connection_fd, greeting)) {
+    close(connection_fd);
+    return;
+  }
+
+  // Per-session transaction context (BEGIN/COMMIT across messages).
+  auto session_transaction = std::shared_ptr<TransactionContext>{};
+
+  while (running_.load()) {
+    char header[5];
+    if (!ReceiveExactly(connection_fd, header, 5)) {
+      break;
+    }
+    const auto type = header[0];
+    const auto length = ReadInt32(header + 1);
+    auto payload = std::vector<char>(static_cast<size_t>(length) - 4);
+    if (!payload.empty() && !ReceiveExactly(connection_fd, payload.data(), payload.size())) {
+      break;
+    }
+    if (type == 'X') {  // Terminate.
+      break;
+    }
+    if (type != 'Q') {  // Only the simple-query protocol is supported.
+      SendAll(connection_fd, ErrorResponse("Unsupported message type") + ReadyForQuery());
+      continue;
+    }
+
+    const auto query = std::string{payload.data(), payload.size() > 0 ? payload.size() - 1 : 0};
+    auto pipeline = SqlPipeline::Builder{query}.WithTransactionContext(session_transaction).Build();
+    const auto status = pipeline.Execute();
+    session_transaction = pipeline.transaction_context();
+
+    if (status == SqlPipelineStatus::kFailure) {
+      SendAll(connection_fd, ErrorResponse(pipeline.error_message()) + ReadyForQuery());
+      continue;
+    }
+    if (status == SqlPipelineStatus::kRolledBack) {
+      SendAll(connection_fd, ErrorResponse("transaction conflict, rolled back") + ReadyForQuery());
+      continue;
+    }
+
+    auto response = std::string{};
+    const auto table = pipeline.result_table();
+    if (table) {
+      response += RowDescription(*table);
+      const auto rows = table->GetRows();
+      for (const auto& row : rows) {
+        auto payload_row = std::string{};
+        AppendInt16(payload_row, static_cast<int16_t>(row.size()));
+        for (const auto& cell : row) {
+          if (VariantIsNull(cell)) {
+            AppendInt32(payload_row, -1);
+            continue;
+          }
+          const auto text = VariantToString(cell);
+          AppendInt32(payload_row, static_cast<int32_t>(text.size()));
+          payload_row += text;
+        }
+        response += Message('D', payload_row);
+      }
+      response += Message('C', [&] {
+        auto complete = "SELECT " + std::to_string(rows.size());
+        complete.push_back('\0');
+        return complete;
+      }());
+    } else {
+      response += Message('C', [] {
+        auto complete = std::string{"OK"};
+        complete.push_back('\0');
+        return complete;
+      }());
+    }
+    response += ReadyForQuery();
+    if (!SendAll(connection_fd, response)) {
+      break;
+    }
+  }
+  close(connection_fd);
+}
+
+}  // namespace hyrise

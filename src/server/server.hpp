@@ -1,0 +1,50 @@
+#ifndef HYRISE_SRC_SERVER_SERVER_HPP_
+#define HYRISE_SRC_SERVER_SERVER_HPP_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace hyrise {
+
+/// TCP/IP server implementing the subset of the PostgreSQL v3 wire protocol
+/// needed to receive SQL queries and return results (paper §2.5: existing
+/// psql clients and drivers can connect; authentication/SSL are deliberately
+/// not implemented to keep the server lean). Implemented on plain POSIX
+/// sockets (the original uses Boost.Asio; see DESIGN.md §4).
+class Server {
+ public:
+  /// Binds and listens on 127.0.0.1:`port`; port 0 picks a free port.
+  explicit Server(uint16_t port);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+  ~Server();
+
+  /// The actually bound port (relevant with port 0).
+  uint16_t port() const {
+    return port_;
+  }
+
+  /// Starts accepting connections (one thread per connection).
+  void Start();
+
+  /// Stops accepting and closes the listen socket; running sessions finish
+  /// their current query, then terminate.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int connection_fd);
+
+  int listen_fd_{-1};
+  uint16_t port_{0};
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> sessions_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_SERVER_SERVER_HPP_

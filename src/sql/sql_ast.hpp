@@ -1,0 +1,131 @@
+#ifndef HYRISE_SRC_SQL_SQL_AST_HPP_
+#define HYRISE_SRC_SQL_SQL_AST_HPP_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/table_column_definition.hpp"
+#include "types/all_type_variant.hpp"
+#include "types/types.hpp"
+
+/// The abstract syntax tree produced by the SQL parser: plain C++ structs that
+/// still resemble the SQL text (paper §2.6 — the original project released its
+/// standalone parser with the same philosophy). The SQL translator turns this
+/// into a logical query plan.
+namespace hyrise::sql {
+
+struct SelectStatement;
+
+enum class AstExprType {
+  kLiteral,
+  kColumnRef,  // table (optional) + column; column == "*" for stars
+  kBinaryOp,   // op in {=, <>, <, <=, >, >=, AND, OR, +, -, *, /, %, LIKE}
+  kUnaryNot,
+  kUnaryMinus,
+  kFunctionCall,  // function_name + children (COUNT(*) = star child)
+  kCase,          // children: [when1, then1, ..., else?]; has_else flag
+  kSubquery,
+  kExists,
+  kInList,
+  kInSubquery,
+  kBetween,  // children: [value, lower, upper]
+  kIsNull,
+  kCast,
+  kParameter,  // '?' placeholder, 0-based ordinal
+};
+
+struct AstExpr {
+  AstExprType type{AstExprType::kLiteral};
+
+  AllTypeVariant literal;
+  std::string table_name;
+  std::string column_name;
+  std::string op;
+  std::string function_name;
+  std::vector<std::unique_ptr<AstExpr>> children;
+  std::unique_ptr<SelectStatement> subquery;
+  bool negated{false};   // NOT IN / NOT LIKE / NOT EXISTS / IS NOT NULL / NOT BETWEEN
+  bool distinct{false};  // COUNT(DISTINCT x)
+  bool has_else{false};
+  DataType cast_type{DataType::kNull};
+  int parameter_ordinal{-1};
+  std::string alias;  // Select-list alias.
+};
+
+using AstExprPtr = std::unique_ptr<AstExpr>;
+
+struct TableRef {
+  enum class Kind { kTable, kSubquery, kJoin };
+
+  Kind kind{Kind::kTable};
+  std::string name;
+  std::string alias;
+  std::unique_ptr<SelectStatement> subquery;
+
+  // Joins (kJoin): left JOIN right ON condition.
+  std::unique_ptr<TableRef> left;
+  std::unique_ptr<TableRef> right;
+  JoinMode join_mode{JoinMode::kInner};
+  AstExprPtr join_condition;  // Null for CROSS JOIN.
+};
+
+struct OrderByItem {
+  AstExprPtr expression;
+  bool ascending{true};
+};
+
+struct SelectStatement {
+  bool distinct{false};
+  std::vector<AstExprPtr> select_list;
+  std::vector<std::unique_ptr<TableRef>> from;  // Comma-separated = cross joins.
+  AstExprPtr where;
+  std::vector<AstExprPtr> group_by;
+  AstExprPtr having;
+  std::vector<OrderByItem> order_by;
+  std::optional<uint64_t> limit;
+};
+
+enum class StatementKind {
+  kSelect,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kCreateTable,
+  kDropTable,
+  kCreateView,
+  kDropView,
+  kBegin,
+  kCommit,
+  kRollback,
+};
+
+struct Statement {
+  StatementKind kind{StatementKind::kSelect};
+
+  std::unique_ptr<SelectStatement> select;
+
+  // INSERT
+  std::string table_name;
+  std::vector<std::string> column_names;                     // Optional column list.
+  std::vector<std::vector<AstExprPtr>> insert_values;        // VALUES rows...
+  std::unique_ptr<SelectStatement> insert_select;            // ...or INSERT INTO t SELECT.
+
+  // UPDATE
+  std::vector<std::pair<std::string, AstExprPtr>> assignments;
+  AstExprPtr where;  // UPDATE / DELETE filter.
+
+  // CREATE TABLE / VIEW, DROP
+  TableColumnDefinitions column_definitions;
+  bool if_not_exists{false};
+  bool if_exists{false};
+  std::unique_ptr<SelectStatement> view_select;
+  std::vector<std::string> view_column_names;
+};
+
+using StatementPtr = std::unique_ptr<Statement>;
+
+}  // namespace hyrise::sql
+
+#endif  // HYRISE_SRC_SQL_SQL_AST_HPP_

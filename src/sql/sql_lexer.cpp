@@ -1,0 +1,153 @@
+#include "sql/sql_lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+namespace hyrise::sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto kKeywords = std::unordered_set<std::string>{
+      "SELECT", "FROM",   "WHERE",  "GROUP",   "BY",       "HAVING", "ORDER",  "LIMIT",  "AS",     "AND",
+      "OR",     "NOT",    "IN",     "BETWEEN", "LIKE",     "IS",     "NULL",   "EXISTS", "CASE",   "WHEN",
+      "THEN",   "ELSE",   "END",    "CAST",    "JOIN",     "INNER",  "LEFT",   "RIGHT",  "FULL",   "OUTER",
+      "CROSS",  "ON",     "ASC",    "DESC",    "DISTINCT", "INSERT", "INTO",   "VALUES", "UPDATE", "SET",
+      "DELETE", "CREATE", "TABLE",  "DROP",    "VIEW",     "IF",     "BEGIN",  "COMMIT", "ROLLBACK",
+      "TRUE",   "FALSE",  "SUBSTRING", "EXTRACT", "FOR",   "UNION",  "ALL",    "YEAR",   "MONTH",  "DAY",
+  };
+  return kKeywords;
+}
+
+}  // namespace
+
+bool Tokenize(const std::string& query, std::vector<Token>& tokens, std::string& error) {
+  auto position = size_t{0};
+  const auto size = query.size();
+
+  while (position < size) {
+    const auto character = query[position];
+    if (std::isspace(static_cast<unsigned char>(character))) {
+      ++position;
+      continue;
+    }
+    // -- comments to end of line.
+    if (character == '-' && position + 1 < size && query[position + 1] == '-') {
+      while (position < size && query[position] != '\n') {
+        ++position;
+      }
+      continue;
+    }
+    // String literal (with '' escaping).
+    if (character == '\'') {
+      auto value = std::string{};
+      auto cursor = position + 1;
+      auto closed = false;
+      while (cursor < size) {
+        if (query[cursor] == '\'') {
+          if (cursor + 1 < size && query[cursor + 1] == '\'') {
+            value.push_back('\'');
+            cursor += 2;
+            continue;
+          }
+          closed = true;
+          break;
+        }
+        value.push_back(query[cursor]);
+        ++cursor;
+      }
+      if (!closed) {
+        error = "Unterminated string literal at offset " + std::to_string(position);
+        return false;
+      }
+      tokens.push_back({TokenType::kString, std::move(value), position});
+      position = cursor + 1;
+      continue;
+    }
+    // Quoted identifier.
+    if (character == '"') {
+      const auto end = query.find('"', position + 1);
+      if (end == std::string::npos) {
+        error = "Unterminated quoted identifier at offset " + std::to_string(position);
+        return false;
+      }
+      tokens.push_back({TokenType::kIdentifier, query.substr(position + 1, end - position - 1), position});
+      position = end + 1;
+      continue;
+    }
+    // Number.
+    if (std::isdigit(static_cast<unsigned char>(character)) ||
+        (character == '.' && position + 1 < size && std::isdigit(static_cast<unsigned char>(query[position + 1])))) {
+      auto cursor = position;
+      auto is_float = false;
+      while (cursor < size && (std::isdigit(static_cast<unsigned char>(query[cursor])) || query[cursor] == '.')) {
+        is_float |= query[cursor] == '.';
+        ++cursor;
+      }
+      // Exponent part.
+      if (cursor < size && (query[cursor] == 'e' || query[cursor] == 'E')) {
+        auto exponent = cursor + 1;
+        if (exponent < size && (query[exponent] == '+' || query[exponent] == '-')) {
+          ++exponent;
+        }
+        if (exponent < size && std::isdigit(static_cast<unsigned char>(query[exponent]))) {
+          is_float = true;
+          cursor = exponent;
+          while (cursor < size && std::isdigit(static_cast<unsigned char>(query[cursor]))) {
+            ++cursor;
+          }
+        }
+      }
+      tokens.push_back({is_float ? TokenType::kFloat : TokenType::kInteger, query.substr(position, cursor - position),
+                        position});
+      position = cursor;
+      continue;
+    }
+    // Identifier or keyword.
+    if (std::isalpha(static_cast<unsigned char>(character)) || character == '_') {
+      auto cursor = position;
+      while (cursor < size &&
+             (std::isalnum(static_cast<unsigned char>(query[cursor])) || query[cursor] == '_')) {
+        ++cursor;
+      }
+      auto word = query.substr(position, cursor - position);
+      auto upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(), [](unsigned char c) {
+        return static_cast<char>(std::toupper(c));
+      });
+      if (Keywords().contains(upper)) {
+        tokens.push_back({TokenType::kKeyword, std::move(upper), position});
+      } else {
+        std::transform(word.begin(), word.end(), word.begin(), [](unsigned char c) {
+          return static_cast<char>(std::tolower(c));
+        });
+        tokens.push_back({TokenType::kIdentifier, std::move(word), position});
+      }
+      position = cursor;
+      continue;
+    }
+    // Multi-character operators.
+    if (position + 1 < size) {
+      const auto pair = query.substr(position, 2);
+      if (pair == "<>" || pair == "<=" || pair == ">=" || pair == "!=") {
+        tokens.push_back({TokenType::kOperator, pair == "!=" ? "<>" : pair, position});
+        position += 2;
+        continue;
+      }
+    }
+    // Single-character operators.
+    if (std::string{"=<>+-*/%(),.;?"}.find(character) != std::string::npos) {
+      tokens.push_back({TokenType::kOperator, std::string(1, character), position});
+      ++position;
+      continue;
+    }
+    error = std::string{"Unexpected character '"} + character + "' at offset " + std::to_string(position);
+    return false;
+  }
+
+  tokens.push_back({TokenType::kEnd, "", size});
+  return true;
+}
+
+}  // namespace hyrise::sql

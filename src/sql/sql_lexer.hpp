@@ -1,0 +1,32 @@
+#ifndef HYRISE_SRC_SQL_SQL_LEXER_HPP_
+#define HYRISE_SRC_SQL_SQL_LEXER_HPP_
+
+#include <string>
+#include <vector>
+
+namespace hyrise::sql {
+
+enum class TokenType {
+  kIdentifier,   // foo, "foo" (normalized: unquoted lower-cased)
+  kKeyword,      // SELECT, FROM, ... (upper-cased value)
+  kString,       // 'text' (value without quotes)
+  kInteger,      // 123
+  kFloat,        // 1.5
+  kOperator,     // = <> < <= > >= + - * / % ( ) , . ; ?
+  kEnd,
+};
+
+struct Token {
+  TokenType type{TokenType::kEnd};
+  std::string value;
+  size_t offset{0};  // Byte offset in the query string, for error messages.
+};
+
+/// Splits a query string into tokens. Keywords are recognized case-
+/// insensitively; identifiers are lower-cased (SQL folding). Returns an error
+/// message via `error` for unterminated strings and unknown characters.
+bool Tokenize(const std::string& query, std::vector<Token>& tokens, std::string& error);
+
+}  // namespace hyrise::sql
+
+#endif  // HYRISE_SRC_SQL_SQL_LEXER_HPP_

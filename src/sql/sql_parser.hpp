@@ -1,0 +1,20 @@
+#ifndef HYRISE_SRC_SQL_SQL_PARSER_HPP_
+#define HYRISE_SRC_SQL_SQL_PARSER_HPP_
+
+#include <string>
+#include <vector>
+
+#include "sql/sql_ast.hpp"
+#include "utils/result.hpp"
+
+namespace hyrise::sql {
+
+/// Hand-written recursive-descent SQL parser (the original project built a
+/// standalone Flex/Bison parser, paper §2.6/footnote 3; this one covers the
+/// dialect needed for TPC-H plus DML/DDL). Parses a semicolon-separated list
+/// of statements.
+Result<std::vector<StatementPtr>> ParseSql(const std::string& query);
+
+}  // namespace hyrise::sql
+
+#endif  // HYRISE_SRC_SQL_SQL_PARSER_HPP_

@@ -1,0 +1,184 @@
+#include "sql/sql_pipeline.hpp"
+
+#include "concurrency/transaction_context.hpp"
+#include "hyrise.hpp"
+#include "logical_query_plan/lqp_translator.hpp"
+#include "operators/abstract_operator.hpp"
+#include "optimizer/optimizer.hpp"
+#include "scheduler/abstract_scheduler.hpp"
+#include "scheduler/operator_task.hpp"
+#include "sql/sql_parser.hpp"
+#include "sql/sql_translator.hpp"
+#include "storage/table.hpp"
+#include "utils/assert.hpp"
+#include "utils/timer.hpp"
+
+namespace hyrise {
+
+SqlPipeline::SqlPipeline(std::string sql, std::shared_ptr<Optimizer> optimizer, UseMvcc use_mvcc,
+                         bool use_scheduler, std::shared_ptr<TransactionContext> transaction_context,
+                         std::shared_ptr<PqpCache> pqp_cache, std::vector<AllTypeVariant> parameters)
+    : sql_(std::move(sql)),
+      optimizer_(std::move(optimizer)),
+      use_mvcc_(use_mvcc),
+      use_scheduler_(use_scheduler),
+      transaction_context_(std::move(transaction_context)),
+      pqp_cache_(std::move(pqp_cache)),
+      parameters_(std::move(parameters)) {}
+
+const std::shared_ptr<const Table>& SqlPipeline::result_table() const {
+  static const auto kNoTable = std::shared_ptr<const Table>{};
+  return result_tables_.empty() ? kNoTable : result_tables_.back();
+}
+
+SqlPipelineStatus SqlPipeline::Execute() {
+  auto timer = Timer{};
+  auto parsed = sql::ParseSql(sql_);
+  metrics_.parse_ns += timer.Lap();
+  if (!parsed.ok()) {
+    error_message_ = parsed.error();
+    return SqlPipelineStatus::kFailure;
+  }
+  const auto& statements = parsed.value();
+
+  // Explicit transaction control: BEGIN opens a context that statements in
+  // this pipeline (and, via transaction_context(), the session) share.
+  auto auto_commit = transaction_context_ == nullptr;
+
+  for (const auto& statement : statements) {
+    if (statement->kind == sql::StatementKind::kBegin) {
+      transaction_context_ = Hyrise::Get().transaction_manager.NewTransactionContext();
+      auto_commit = false;
+      result_tables_.push_back(nullptr);
+      continue;
+    }
+    if (statement->kind == sql::StatementKind::kCommit || statement->kind == sql::StatementKind::kRollback) {
+      if (transaction_context_ && transaction_context_->IsActive()) {
+        if (statement->kind == sql::StatementKind::kCommit) {
+          if (!transaction_context_->Commit()) {
+            transaction_context_ = nullptr;
+            error_message_ = "Transaction conflict: rolled back";
+            return SqlPipelineStatus::kRolledBack;
+          }
+        } else {
+          transaction_context_->Rollback();
+        }
+      }
+      transaction_context_ = nullptr;
+      auto_commit = true;
+      result_tables_.push_back(nullptr);
+      continue;
+    }
+
+    // Per-statement transaction when none is open.
+    auto statement_context = transaction_context_;
+    if (!statement_context && use_mvcc_ == UseMvcc::kYes) {
+      statement_context = Hyrise::Get().transaction_manager.NewTransactionContext();
+    }
+
+    auto pqp = std::shared_ptr<AbstractOperator>{};
+    metrics_.pqp_cache_hit = false;
+
+    // Plan cache lookup (only sensible for single-statement strings; plans
+    // are stored uninstantiated and deep-copied per execution, paper §2.6).
+    if (pqp_cache_ && statements.size() == 1) {
+      if (const auto cached = pqp_cache_->TryGet(sql_)) {
+        pqp = (*cached)->DeepCopy();
+        metrics_.pqp_cache_hit = true;
+      }
+    }
+
+    if (!pqp) {
+      timer.Lap();
+      auto translator = SqlTranslator{use_mvcc_};
+      auto lqp_result = translator.Translate(*statement);
+      metrics_.translate_ns += timer.Lap();
+      if (!lqp_result.ok()) {
+        error_message_ = lqp_result.error();
+        return SqlPipelineStatus::kFailure;
+      }
+      unoptimized_lqp_ = lqp_result.value();
+
+      auto lqp = unoptimized_lqp_;
+      if (optimizer_) {
+        // The optimizer consumes the plan; keep the unoptimized one for
+        // inspection via a copy.
+        unoptimized_lqp_ = lqp->DeepCopy();
+        lqp = optimizer_->Optimize(std::move(lqp));
+      }
+      optimized_lqp_ = lqp;
+      metrics_.optimize_ns += timer.Lap();
+
+      auto lqp_translator = LqpTranslator{};
+      auto pqp_result = lqp_translator.Translate(lqp);
+      metrics_.lqp_translate_ns += timer.Lap();
+      if (!pqp_result.ok()) {
+        error_message_ = pqp_result.error();
+        return SqlPipelineStatus::kFailure;
+      }
+      pqp = pqp_result.value();
+
+      if (pqp_cache_ && statements.size() == 1) {
+        pqp_cache_->Set(sql_, pqp->DeepCopy());
+      }
+    }
+
+    pqp_ = pqp;
+    if (!parameters_.empty()) {
+      auto bindings = std::unordered_map<ParameterID, AllTypeVariant>{};
+      for (auto ordinal = size_t{0}; ordinal < parameters_.size(); ++ordinal) {
+        bindings.emplace(ParameterID{static_cast<uint16_t>(ordinal)}, parameters_[ordinal]);
+      }
+      pqp->SetParameters(bindings);
+    }
+    if (statement_context) {
+      pqp->SetTransactionContextRecursively(statement_context);
+    }
+
+    timer.Lap();
+    if (use_scheduler_) {
+      const auto tasks = OperatorTask::MakeTasksFromOperator(pqp);
+      Hyrise::Get().scheduler()->ScheduleAndWaitForTasks(tasks);
+    } else {
+      pqp->Execute();
+    }
+    metrics_.execute_ns += timer.Lap();
+
+    // Transaction outcome.
+    if (statement_context && statement_context->phase() == TransactionPhase::kConflicted) {
+      statement_context->Rollback();
+      if (!auto_commit) {
+        transaction_context_ = nullptr;
+      }
+      error_message_ = "Transaction conflict: rolled back";
+      return SqlPipelineStatus::kRolledBack;
+    }
+    if (statement_context && auto_commit) {
+      if (!statement_context->Commit()) {
+        error_message_ = "Transaction conflict: rolled back";
+        return SqlPipelineStatus::kRolledBack;
+      }
+    }
+
+    result_tables_.push_back(pqp->get_output());
+  }
+  return SqlPipelineStatus::kSuccess;
+}
+
+SqlPipeline SqlPipeline::Builder::Build() {
+  auto optimizer = optimizer_;
+  if (use_default_optimizer_) {
+    optimizer = Optimizer::CreateDefault();
+  }
+  return SqlPipeline{sql_,      std::move(optimizer),  use_mvcc_, use_scheduler_,
+                     transaction_context_, pqp_cache_, parameters_};
+}
+
+std::shared_ptr<const Table> ExecuteSql(const std::string& sql, UseMvcc use_mvcc) {
+  auto pipeline = SqlPipeline::Builder{sql}.WithMvcc(use_mvcc).Build();
+  const auto status = pipeline.Execute();
+  Assert(status == SqlPipelineStatus::kSuccess, "SQL failed: " + pipeline.error_message() + "\n  " + sql);
+  return pipeline.result_table();
+}
+
+}  // namespace hyrise

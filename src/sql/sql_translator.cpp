@@ -1,0 +1,978 @@
+#include "sql/sql_translator.hpp"
+
+#include <algorithm>
+
+#include "expression/expression_evaluator.hpp"
+#include "expression/expression_utils.hpp"
+#include "hyrise.hpp"
+#include "logical_query_plan/ddl_nodes.hpp"
+#include "logical_query_plan/dml_nodes.hpp"
+#include "logical_query_plan/operator_nodes.hpp"
+#include "logical_query_plan/static_table_node.hpp"
+#include "logical_query_plan/stored_table_node.hpp"
+#include "storage/table.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+namespace {
+
+bool ExpressionInListImpl(const AbstractExpression& expression, const Expressions& list) {
+  for (const auto& candidate : list) {
+    if (*candidate == expression) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Collects every AggregateExpression inside `expression` that is not already
+/// provided by the input (`available`) — aggregates coming from a derived
+/// table or view are plain columns to this query level, not new aggregates.
+void CollectAggregates(const ExpressionPtr& expression, const Expressions& available, Expressions& aggregates) {
+  if (ExpressionInListImpl(*expression, available)) {
+    return;
+  }
+  if (expression->type == ExpressionType::kAggregate) {
+    if (!ExpressionInListImpl(*expression, aggregates)) {
+      aggregates.push_back(expression);
+    }
+    return;
+  }
+  for (const auto& argument : expression->arguments) {
+    CollectAggregates(argument, available, aggregates);
+  }
+}
+
+bool ExpressionInList(const AbstractExpression& expression, const Expressions& list) {
+  for (const auto& candidate : list) {
+    if (*candidate == expression) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Output name for a select-list expression without alias.
+std::string DeriveColumnName(const ExpressionPtr& expression) {
+  if (expression->type == ExpressionType::kLqpColumn) {
+    return static_cast<const LqpColumnExpression&>(*expression).name;
+  }
+  return expression->Description();
+}
+
+}  // namespace
+
+Result<LqpNodePtr> SqlTranslator::Translate(const sql::Statement& statement) {
+  error_.clear();
+  auto lqp = LqpNodePtr{};
+  switch (statement.kind) {
+    case sql::StatementKind::kSelect: {
+      auto translated = TranslatedSelect{};
+      if (!TranslateSelect(*statement.select, nullptr, translated)) {
+        return Result<LqpNodePtr>::Error(error_);
+      }
+      lqp = translated.lqp;
+      break;
+    }
+    case sql::StatementKind::kInsert:
+      lqp = TranslateInsert(statement);
+      break;
+    case sql::StatementKind::kDelete:
+      lqp = TranslateDelete(statement);
+      break;
+    case sql::StatementKind::kUpdate:
+      lqp = TranslateUpdate(statement);
+      break;
+    case sql::StatementKind::kCreateTable:
+      lqp = CreateTableNode::Make(statement.table_name, statement.column_definitions, statement.if_not_exists);
+      break;
+    case sql::StatementKind::kDropTable:
+      lqp = DropTableNode::Make(statement.table_name, statement.if_exists);
+      break;
+    case sql::StatementKind::kCreateView: {
+      auto translated = TranslatedSelect{};
+      if (!TranslateSelect(*statement.view_select, nullptr, translated)) {
+        return Result<LqpNodePtr>::Error(error_);
+      }
+      auto names = statement.view_column_names.empty() ? translated.column_names : statement.view_column_names;
+      if (names.size() != translated.column_names.size()) {
+        return Result<LqpNodePtr>::Error("View column list does not match the SELECT list");
+      }
+      lqp = CreateViewNode::Make(statement.table_name,
+                                 std::make_shared<LqpView>(translated.lqp, std::move(names)));
+      break;
+    }
+    case sql::StatementKind::kDropView:
+      lqp = DropViewNode::Make(statement.table_name);
+      break;
+    default:
+      return Result<LqpNodePtr>::Error("Statement kind handled by the pipeline, not the translator");
+  }
+  if (!lqp) {
+    return Result<LqpNodePtr>::Error(error_.empty() ? "Translation failed" : error_);
+  }
+  return lqp;
+}
+
+// --- FROM clause -----------------------------------------------------------------
+
+LqpNodePtr SqlTranslator::StoredTableWithValidate(const std::string& table_name, Scope& scope) {
+  if (!Hyrise::Get().storage_manager.HasTable(table_name)) {
+    error_ = "Unknown table: " + table_name;
+    return nullptr;
+  }
+  auto node = LqpNodePtr{StoredTableNode::Make(table_name)};
+  const auto outputs = node->output_expressions();
+  if (use_mvcc_ == UseMvcc::kYes &&
+      Hyrise::Get().storage_manager.GetTable(table_name)->uses_mvcc() == UseMvcc::kYes) {
+    node = ValidateNode::Make(node);
+  }
+  for (const auto& output : outputs) {
+    const auto& column = static_cast<const LqpColumnExpression&>(*output);
+    scope.entries.push_back({table_name, column.name, output});
+  }
+  return node;
+}
+
+LqpNodePtr SqlTranslator::TranslateTableRef(const sql::TableRef& table_ref, Scope* outer, Scope& scope) {
+  switch (table_ref.kind) {
+    case sql::TableRef::Kind::kTable: {
+      const auto alias = table_ref.alias.empty() ? table_ref.name : table_ref.alias;
+      auto& storage_manager = Hyrise::Get().storage_manager;
+      if (storage_manager.HasView(table_ref.name)) {
+        // Embed the view's plan (paper §2.6: views are stored LQPs).
+        const auto view = storage_manager.GetView(table_ref.name);
+        auto lqp = view->lqp->DeepCopy();
+        const auto outputs = lqp->output_expressions();
+        Assert(outputs.size() == view->column_names.size(), "View column count mismatch");
+        for (auto index = size_t{0}; index < outputs.size(); ++index) {
+          scope.entries.push_back({alias, view->column_names[index], outputs[index]});
+        }
+        return lqp;
+      }
+      auto before = scope.entries.size();
+      auto node = StoredTableWithValidate(table_ref.name, scope);
+      if (!node) {
+        return nullptr;
+      }
+      for (auto index = before; index < scope.entries.size(); ++index) {
+        scope.entries[index].table = alias;
+      }
+      return node;
+    }
+    case sql::TableRef::Kind::kSubquery: {
+      auto translated = TranslatedSelect{};
+      if (!TranslateSelect(*table_ref.subquery, outer, translated)) {
+        return nullptr;
+      }
+      const auto outputs = translated.lqp->output_expressions();
+      for (auto index = size_t{0}; index < outputs.size(); ++index) {
+        scope.entries.push_back({table_ref.alias, translated.column_names[index], outputs[index]});
+      }
+      return translated.lqp;
+    }
+    case sql::TableRef::Kind::kJoin: {
+      auto left_scope = Scope{};
+      left_scope.outer = outer;
+      left_scope.correlated = scope.correlated;
+      auto left = TranslateTableRef(*table_ref.left, outer, left_scope);
+      if (!left) {
+        return nullptr;
+      }
+      auto right_scope = Scope{};
+      right_scope.outer = outer;
+      right_scope.correlated = scope.correlated;
+      auto right = TranslateTableRef(*table_ref.right, outer, right_scope);
+      if (!right) {
+        return nullptr;
+      }
+
+      // Scope for the ON condition: both sides (plus outer for correlation).
+      auto join_scope = Scope{};
+      join_scope.outer = outer;
+      join_scope.correlated = scope.correlated;
+      join_scope.entries = left_scope.entries;
+      join_scope.entries.insert(join_scope.entries.end(), right_scope.entries.begin(), right_scope.entries.end());
+
+      auto result = LqpNodePtr{};
+      if (table_ref.join_mode == JoinMode::kCross || !table_ref.join_condition) {
+        result = JoinNode::MakeCross(left, right);
+      } else {
+        auto condition = TranslateExpression(*table_ref.join_condition, join_scope);
+        if (!condition) {
+          return nullptr;
+        }
+        auto conjuncts = FlattenConjunction(condition);
+
+        // Classify conjuncts: cross-side predicates become join predicates;
+        // single-side predicates are pushed into the inner side of outer
+        // joins or below inner joins.
+        const auto references_only = [](const ExpressionPtr& expression, const std::vector<Scope::Entry>& entries) {
+          auto columns = Expressions{};
+          CollectLqpColumns(expression, columns);
+          for (const auto& column : columns) {
+            auto found = false;
+            for (const auto& entry : entries) {
+              if (*entry.expression == *column) {
+                found = true;
+                break;
+              }
+            }
+            if (!found) {
+              return false;
+            }
+          }
+          return true;
+        };
+
+        auto join_predicates = Expressions{};
+        for (auto& conjunct : conjuncts) {
+          const auto left_only = references_only(conjunct, left_scope.entries);
+          const auto right_only = references_only(conjunct, right_scope.entries);
+          if (table_ref.join_mode == JoinMode::kInner) {
+            if (left_only) {
+              left = PredicateNode::Make(conjunct, left);
+              continue;
+            }
+            if (right_only) {
+              right = PredicateNode::Make(conjunct, right);
+              continue;
+            }
+          } else if (table_ref.join_mode == JoinMode::kLeft && right_only && !left_only) {
+            right = PredicateNode::Make(conjunct, right);
+            continue;
+          } else if (table_ref.join_mode == JoinMode::kRight && left_only && !right_only) {
+            left = PredicateNode::Make(conjunct, left);
+            continue;
+          } else if ((left_only || right_only) && table_ref.join_mode != JoinMode::kInner) {
+            error_ = "Unsupported single-side predicate on the preserved side of an outer join: " +
+                     conjunct->Description();
+            return nullptr;
+          }
+          join_predicates.push_back(conjunct);
+        }
+
+        // Put an equality between the two sides first (the "primary"
+        // predicate the physical joins key on).
+        const auto is_equi_between_sides = [&](const ExpressionPtr& expression) {
+          if (expression->type != ExpressionType::kPredicate) {
+            return false;
+          }
+          const auto& predicate = static_cast<const PredicateExpression&>(*expression);
+          if (predicate.condition != PredicateCondition::kEquals) {
+            return false;
+          }
+          const auto& lhs = predicate.arguments[0];
+          const auto& rhs = predicate.arguments[1];
+          return (references_only(lhs, left_scope.entries) && references_only(rhs, right_scope.entries)) ||
+                 (references_only(lhs, right_scope.entries) && references_only(rhs, left_scope.entries));
+        };
+        const auto equi = std::find_if(join_predicates.begin(), join_predicates.end(), is_equi_between_sides);
+        if (equi != join_predicates.end()) {
+          std::iter_swap(join_predicates.begin(), equi);
+        }
+
+        if (join_predicates.empty()) {
+          if (table_ref.join_mode != JoinMode::kInner) {
+            error_ = "Outer join without join predicate";
+            return nullptr;
+          }
+          result = JoinNode::MakeCross(left, right);
+        } else {
+          result = JoinNode::Make(table_ref.join_mode, std::move(join_predicates), left, right);
+        }
+      }
+      if (!result) {
+        result = JoinNode::MakeCross(left, right);
+      }
+      scope.entries.insert(scope.entries.end(), join_scope.entries.begin(), join_scope.entries.end());
+      return result;
+    }
+  }
+  Fail("Unhandled TableRef kind");
+}
+
+// --- Name resolution ----------------------------------------------------------------
+
+ExpressionPtr SqlTranslator::ResolveColumn(const std::string& table, const std::string& column, Scope& scope) {
+  auto match = ExpressionPtr{};
+  for (const auto& entry : scope.entries) {
+    if (entry.column == column && (table.empty() || entry.table == table)) {
+      if (match && !(*match == *entry.expression)) {
+        error_ = "Ambiguous column reference: " + column;
+        return nullptr;
+      }
+      match = entry.expression;
+    }
+  }
+  if (match) {
+    return match;
+  }
+  // Select aliases (GROUP BY / HAVING / ORDER BY may reference them).
+  if (table.empty()) {
+    for (const auto& [alias, expression] : scope.select_aliases) {
+      if (alias == column) {
+        return expression;
+      }
+    }
+  }
+  // Outer scopes: correlated access through a parameter.
+  if (scope.outer) {
+    auto outer_expression = ResolveColumn(table, column, *scope.outer);
+    if (!outer_expression) {
+      return nullptr;
+    }
+    if (!scope.correlated) {
+      return outer_expression;  // Same query level (e.g. join scopes).
+    }
+    const auto parameter_id = ParameterID{next_parameter_id_++};
+    scope.correlated->emplace_back(parameter_id, outer_expression);
+    return std::make_shared<ParameterExpression>(parameter_id, outer_expression->data_type());
+  }
+  error_ = "Unknown column: " + (table.empty() ? column : table + "." + column);
+  return nullptr;
+}
+
+// --- Expressions ----------------------------------------------------------------------
+
+ExpressionPtr SqlTranslator::NegateExpression(const ExpressionPtr& expression) {
+  switch (expression->type) {
+    case ExpressionType::kPredicate: {
+      const auto& predicate = static_cast<const PredicateExpression&>(*expression);
+      return std::make_shared<PredicateExpression>(InversePredicateCondition(predicate.condition),
+                                                   Expressions{predicate.arguments});
+    }
+    case ExpressionType::kLogical: {
+      const auto& logical = static_cast<const LogicalExpression&>(*expression);
+      // De Morgan.
+      return std::make_shared<LogicalExpression>(
+          logical.logical_operator == LogicalOperator::kAnd ? LogicalOperator::kOr : LogicalOperator::kAnd,
+          NegateExpression(logical.arguments[0]), NegateExpression(logical.arguments[1]));
+    }
+    case ExpressionType::kExists: {
+      const auto& exists = static_cast<const ExistsExpression&>(*expression);
+      return std::make_shared<ExistsExpression>(exists.arguments[0],
+                                                exists.mode == ExistsExpression::Mode::kExists
+                                                    ? ExistsExpression::Mode::kNotExists
+                                                    : ExistsExpression::Mode::kExists);
+    }
+    default:
+      // expr = 0 (covers boolean-ish int expressions).
+      return std::make_shared<PredicateExpression>(
+          PredicateCondition::kEquals,
+          Expressions{expression, std::make_shared<ValueExpression>(AllTypeVariant{int32_t{0}})});
+  }
+}
+
+ExpressionPtr SqlTranslator::TranslateSubquery(const sql::SelectStatement& select, Scope& scope) {
+  auto correlated = std::vector<std::pair<ParameterID, ExpressionPtr>>{};
+  auto subquery_scope = Scope{};
+  subquery_scope.outer = &scope;
+  subquery_scope.correlated = &correlated;
+  // The subquery's own FROM entries land in a fresh scope created inside
+  // TranslateSelect; `subquery_scope` only carries the outer linkage.
+  auto translated = TranslatedSelect{};
+  if (!TranslateSelectWithScopes(select, subquery_scope, translated)) {
+    return nullptr;
+  }
+  return std::make_shared<LqpSubqueryExpression>(translated.lqp, std::move(correlated));
+}
+
+ExpressionPtr SqlTranslator::TranslateExpression(const sql::AstExpr& expr, Scope& scope) {
+  switch (expr.type) {
+    case sql::AstExprType::kLiteral:
+      return std::make_shared<ValueExpression>(expr.literal);
+    case sql::AstExprType::kParameter:
+      // Prepared-statement parameter; its type is unknown until binding. Use
+      // String as a neutral carrier type? No: resolve lazily — use kNull.
+      return std::make_shared<ParameterExpression>(ParameterID{static_cast<uint16_t>(expr.parameter_ordinal)},
+                                                   DataType::kNull);
+    case sql::AstExprType::kColumnRef:
+      if (expr.column_name == "*") {
+        error_ = "'*' is only valid in the select list or COUNT(*)";
+        return nullptr;
+      }
+      return ResolveColumn(expr.table_name, expr.column_name, scope);
+    case sql::AstExprType::kUnaryMinus: {
+      auto operand = TranslateExpression(*expr.children[0], scope);
+      if (!operand) {
+        return nullptr;
+      }
+      // Fold literal negation for clean plans.
+      if (operand->type == ExpressionType::kValue) {
+        const auto& value = static_cast<const ValueExpression&>(*operand).value;
+        if (!VariantIsNull(value)) {
+          auto negated = value;
+          std::visit(
+              [&](auto& typed) {
+                using T = std::decay_t<decltype(typed)>;
+                if constexpr (std::is_arithmetic_v<T>) {
+                  negated = AllTypeVariant{static_cast<T>(-typed)};
+                }
+              },
+              value);
+          return std::make_shared<ValueExpression>(negated);
+        }
+      }
+      return std::make_shared<ArithmeticExpression>(
+          ArithmeticOperator::kSubtraction, std::make_shared<ValueExpression>(AllTypeVariant{int32_t{0}}), operand);
+    }
+    case sql::AstExprType::kUnaryNot: {
+      auto operand = TranslateExpression(*expr.children[0], scope);
+      return operand ? NegateExpression(operand) : nullptr;
+    }
+    case sql::AstExprType::kBinaryOp: {
+      auto left = TranslateExpression(*expr.children[0], scope);
+      auto right = left ? TranslateExpression(*expr.children[1], scope) : nullptr;
+      if (!right) {
+        return nullptr;
+      }
+      if (expr.op == "AND" || expr.op == "OR") {
+        return std::make_shared<LogicalExpression>(
+            expr.op == "AND" ? LogicalOperator::kAnd : LogicalOperator::kOr, left, right);
+      }
+      if (expr.op == "+" || expr.op == "-" || expr.op == "*" || expr.op == "/" || expr.op == "%") {
+        auto arithmetic_operator = ArithmeticOperator::kAddition;
+        if (expr.op == "-") {
+          arithmetic_operator = ArithmeticOperator::kSubtraction;
+        } else if (expr.op == "*") {
+          arithmetic_operator = ArithmeticOperator::kMultiplication;
+        } else if (expr.op == "/") {
+          arithmetic_operator = ArithmeticOperator::kDivision;
+        } else if (expr.op == "%") {
+          arithmetic_operator = ArithmeticOperator::kModulo;
+        }
+        return std::make_shared<ArithmeticExpression>(arithmetic_operator, left, right);
+      }
+      if (expr.op == "LIKE") {
+        auto like = std::make_shared<PredicateExpression>(
+            expr.negated ? PredicateCondition::kNotLike : PredicateCondition::kLike, Expressions{left, right});
+        return like;
+      }
+      auto condition = PredicateCondition::kEquals;
+      if (expr.op == "<>") {
+        condition = PredicateCondition::kNotEquals;
+      } else if (expr.op == "<") {
+        condition = PredicateCondition::kLessThan;
+      } else if (expr.op == "<=") {
+        condition = PredicateCondition::kLessThanEquals;
+      } else if (expr.op == ">") {
+        condition = PredicateCondition::kGreaterThan;
+      } else if (expr.op == ">=") {
+        condition = PredicateCondition::kGreaterThanEquals;
+      } else if (expr.op != "=") {
+        error_ = "Unknown operator: " + expr.op;
+        return nullptr;
+      }
+      return std::make_shared<PredicateExpression>(condition, Expressions{left, right});
+    }
+    case sql::AstExprType::kBetween: {
+      auto value = TranslateExpression(*expr.children[0], scope);
+      auto lower = value ? TranslateExpression(*expr.children[1], scope) : nullptr;
+      auto upper = lower ? TranslateExpression(*expr.children[2], scope) : nullptr;
+      if (!upper) {
+        return nullptr;
+      }
+      if (expr.negated) {
+        return std::make_shared<LogicalExpression>(
+            LogicalOperator::kOr,
+            std::make_shared<PredicateExpression>(PredicateCondition::kLessThan, Expressions{value, lower}),
+            std::make_shared<PredicateExpression>(PredicateCondition::kGreaterThan, Expressions{value, upper}));
+      }
+      return std::make_shared<PredicateExpression>(PredicateCondition::kBetweenInclusive,
+                                                   Expressions{value, lower, upper});
+    }
+    case sql::AstExprType::kIsNull: {
+      auto operand = TranslateExpression(*expr.children[0], scope);
+      if (!operand) {
+        return nullptr;
+      }
+      return std::make_shared<PredicateExpression>(
+          expr.negated ? PredicateCondition::kIsNotNull : PredicateCondition::kIsNull, Expressions{operand});
+    }
+    case sql::AstExprType::kInList: {
+      auto value = TranslateExpression(*expr.children[0], scope);
+      if (!value) {
+        return nullptr;
+      }
+      auto elements = Expressions{};
+      for (auto index = size_t{1}; index < expr.children.size(); ++index) {
+        auto element = TranslateExpression(*expr.children[index], scope);
+        if (!element) {
+          return nullptr;
+        }
+        elements.push_back(std::move(element));
+      }
+      return std::make_shared<PredicateExpression>(
+          expr.negated ? PredicateCondition::kNotIn : PredicateCondition::kIn,
+          Expressions{value, std::make_shared<ListExpression>(std::move(elements))});
+    }
+    case sql::AstExprType::kInSubquery: {
+      auto value = TranslateExpression(*expr.children[0], scope);
+      auto subquery = value ? TranslateSubquery(*expr.subquery, scope) : nullptr;
+      if (!subquery) {
+        return nullptr;
+      }
+      return std::make_shared<PredicateExpression>(
+          expr.negated ? PredicateCondition::kNotIn : PredicateCondition::kIn, Expressions{value, subquery});
+    }
+    case sql::AstExprType::kSubquery:
+      return TranslateSubquery(*expr.subquery, scope);
+    case sql::AstExprType::kExists: {
+      auto subquery = TranslateSubquery(*expr.subquery, scope);
+      if (!subquery) {
+        return nullptr;
+      }
+      return std::make_shared<ExistsExpression>(
+          subquery, expr.negated ? ExistsExpression::Mode::kNotExists : ExistsExpression::Mode::kExists);
+    }
+    case sql::AstExprType::kCase: {
+      auto arguments = Expressions{};
+      const auto pair_count = expr.children.size() - (expr.has_else ? 1 : 0);
+      for (auto index = size_t{0}; index < pair_count; ++index) {
+        auto child = TranslateExpression(*expr.children[index], scope);
+        if (!child) {
+          return nullptr;
+        }
+        arguments.push_back(std::move(child));
+      }
+      if (expr.has_else) {
+        auto else_value = TranslateExpression(*expr.children.back(), scope);
+        if (!else_value) {
+          return nullptr;
+        }
+        arguments.push_back(std::move(else_value));
+      } else {
+        arguments.push_back(std::make_shared<ValueExpression>(kNullVariant));
+      }
+      return std::make_shared<CaseExpression>(std::move(arguments));
+    }
+    case sql::AstExprType::kCast: {
+      auto operand = TranslateExpression(*expr.children[0], scope);
+      if (!operand) {
+        return nullptr;
+      }
+      return std::make_shared<CastExpression>(operand, expr.cast_type);
+    }
+    case sql::AstExprType::kFunctionCall: {
+      const auto& name = expr.function_name;
+      const auto aggregate_function = [&]() -> std::optional<AggregateFunction> {
+        if (name == "min") {
+          return AggregateFunction::kMin;
+        }
+        if (name == "max") {
+          return AggregateFunction::kMax;
+        }
+        if (name == "sum") {
+          return AggregateFunction::kSum;
+        }
+        if (name == "avg") {
+          return AggregateFunction::kAvg;
+        }
+        if (name == "count") {
+          return expr.distinct ? AggregateFunction::kCountDistinct : AggregateFunction::kCount;
+        }
+        return std::nullopt;
+      }();
+      if (aggregate_function.has_value()) {
+        if (expr.children.size() == 1 && expr.children[0]->type == sql::AstExprType::kColumnRef &&
+            expr.children[0]->column_name == "*") {
+          return AggregateExpression::CountStar();
+        }
+        if (expr.children.size() != 1) {
+          error_ = "Aggregate functions take exactly one argument";
+          return nullptr;
+        }
+        auto argument = TranslateExpression(*expr.children[0], scope);
+        if (!argument) {
+          return nullptr;
+        }
+        return std::make_shared<AggregateExpression>(*aggregate_function, std::move(argument));
+      }
+      auto arguments = Expressions{};
+      for (const auto& child : expr.children) {
+        auto argument = TranslateExpression(*child, scope);
+        if (!argument) {
+          return nullptr;
+        }
+        arguments.push_back(std::move(argument));
+      }
+      if (name == "substring" || name == "substr") {
+        if (arguments.size() != 3) {
+          error_ = "SUBSTRING takes three arguments";
+          return nullptr;
+        }
+        return std::make_shared<FunctionExpression>(FunctionType::kSubstring, std::move(arguments));
+      }
+      if (name == "concat") {
+        return std::make_shared<FunctionExpression>(FunctionType::kConcat, std::move(arguments));
+      }
+      if (name == "extract_year") {
+        return std::make_shared<FunctionExpression>(FunctionType::kExtractYear, std::move(arguments));
+      }
+      if (name == "extract_month") {
+        return std::make_shared<FunctionExpression>(FunctionType::kExtractMonth, std::move(arguments));
+      }
+      if (name == "extract_day") {
+        return std::make_shared<FunctionExpression>(FunctionType::kExtractDay, std::move(arguments));
+      }
+      error_ = "Unknown function: " + name;
+      return nullptr;
+    }
+  }
+  Fail("Unhandled AstExprType");
+}
+
+// --- SELECT ----------------------------------------------------------------------------
+
+bool SqlTranslator::TranslateSelect(const sql::SelectStatement& select, Scope* outer, TranslatedSelect& out) {
+  auto scope = Scope{};
+  scope.outer = outer;
+  return TranslateSelectWithScopes(select, scope, out);
+}
+
+bool SqlTranslator::TranslateSelectWithScopes(const sql::SelectStatement& select, Scope& scope,
+                                              TranslatedSelect& out) {
+  // 1. FROM.
+  auto lqp = LqpNodePtr{};
+  if (select.from.empty()) {
+    lqp = StaticTableNode::MakeDummy();
+  } else {
+    for (const auto& table_ref : select.from) {
+      auto item_scope = Scope{};
+      item_scope.outer = scope.outer;
+      item_scope.correlated = scope.correlated;
+      auto node = TranslateTableRef(*table_ref, scope.outer, item_scope);
+      if (!node) {
+        return false;
+      }
+      scope.entries.insert(scope.entries.end(), item_scope.entries.begin(), item_scope.entries.end());
+      lqp = lqp ? LqpNodePtr{JoinNode::MakeCross(lqp, node)} : node;
+    }
+  }
+
+  // 2. WHERE (one PredicateNode per conjunct; the paper's PredicateSplitUp).
+  if (select.where) {
+    auto predicate = TranslateExpression(*select.where, scope);
+    if (!predicate) {
+      return false;
+    }
+    const auto from_outputs = lqp->output_expressions();
+    for (const auto& conjunct : FlattenConjunction(predicate)) {
+      auto illegal_aggregates = Expressions{};
+      CollectAggregates(conjunct, from_outputs, illegal_aggregates);
+      if (!illegal_aggregates.empty()) {
+        error_ = "Aggregates are not allowed in WHERE";
+        return false;
+      }
+      lqp = PredicateNode::Make(conjunct, lqp);
+    }
+  }
+
+  // 3. Select list (star expansion + translation).
+  auto select_expressions = Expressions{};
+  auto output_names = std::vector<std::string>{};
+  for (const auto& item : select.select_list) {
+    if (item->type == sql::AstExprType::kColumnRef && item->column_name == "*") {
+      for (const auto& entry : scope.entries) {
+        if (!item->table_name.empty() && entry.table != item->table_name) {
+          continue;
+        }
+        select_expressions.push_back(entry.expression);
+        output_names.push_back(entry.column);
+      }
+      continue;
+    }
+    auto expression = TranslateExpression(*item, scope);
+    if (!expression) {
+      return false;
+    }
+    output_names.push_back(item->alias.empty() ? DeriveColumnName(expression) : item->alias);
+    if (!item->alias.empty()) {
+      scope.select_aliases.emplace_back(item->alias, expression);
+    }
+    select_expressions.push_back(std::move(expression));
+  }
+
+  // 4. GROUP BY expressions and HAVING (translated now so their aggregates are
+  //    collected before the AggregateNode is built).
+  auto group_by_expressions = Expressions{};
+  for (const auto& item : select.group_by) {
+    auto expression = TranslateExpression(*item, scope);
+    if (!expression) {
+      return false;
+    }
+    group_by_expressions.push_back(std::move(expression));
+  }
+  auto having_expression = ExpressionPtr{};
+  if (select.having) {
+    having_expression = TranslateExpression(*select.having, scope);
+    if (!having_expression) {
+      return false;
+    }
+  }
+  auto order_by_expressions = Expressions{};
+  for (const auto& item : select.order_by) {
+    auto expression = TranslateExpression(*item.expression, scope);
+    if (!expression) {
+      return false;
+    }
+    order_by_expressions.push_back(std::move(expression));
+  }
+
+  // 5. Aggregation.
+  auto aggregate_expressions = Expressions{};
+  const auto pre_aggregate_outputs = lqp->output_expressions();
+  for (const auto& expression : select_expressions) {
+    CollectAggregates(expression, pre_aggregate_outputs, aggregate_expressions);
+  }
+  if (having_expression) {
+    CollectAggregates(having_expression, pre_aggregate_outputs, aggregate_expressions);
+  }
+  for (const auto& expression : order_by_expressions) {
+    CollectAggregates(expression, pre_aggregate_outputs, aggregate_expressions);
+  }
+
+  if (!aggregate_expressions.empty() || !group_by_expressions.empty()) {
+    // Pre-aggregate projection for computed group keys / aggregate arguments.
+    auto required = Expressions{};
+    auto needs_projection = false;
+    const auto add_required = [&](const ExpressionPtr& expression) {
+      if (!ExpressionInList(*expression, required)) {
+        required.push_back(expression);
+        needs_projection |= expression->type != ExpressionType::kLqpColumn;
+      }
+    };
+    for (const auto& expression : group_by_expressions) {
+      add_required(expression);
+    }
+    for (const auto& aggregate : aggregate_expressions) {
+      if (!aggregate->arguments.empty()) {
+        add_required(aggregate->arguments[0]);
+      }
+    }
+    if (needs_projection) {
+      lqp = ProjectionNode::Make(required, lqp);
+    }
+    lqp = AggregateNode::Make(group_by_expressions, aggregate_expressions, lqp);
+    if (having_expression) {
+      for (const auto& conjunct : FlattenConjunction(having_expression)) {
+        lqp = PredicateNode::Make(conjunct, lqp);
+      }
+    }
+  } else if (having_expression) {
+    error_ = "HAVING without aggregation";
+    return false;
+  }
+
+  // 6.-8. Projection, DISTINCT, and ORDER BY. Sort expressions missing from
+  //    the select list are computed by a wider pre-sort projection (evaluated
+  //    against the plan *before* the narrowing projection) and trimmed after
+  //    the sort.
+  const auto needs_projection = [&](const Expressions& desired) {
+    const auto current_outputs = lqp->output_expressions();
+    if (desired.size() != current_outputs.size()) {
+      return true;
+    }
+    for (auto index = size_t{0}; index < desired.size(); ++index) {
+      if (!(*desired[index] == *current_outputs[index])) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  auto missing_sort_expressions = Expressions{};
+  for (const auto& expression : order_by_expressions) {
+    if (!ExpressionInList(*expression, select_expressions)) {
+      missing_sort_expressions.push_back(expression);
+    }
+  }
+
+  auto sort_modes = std::vector<SortMode>{};
+  sort_modes.reserve(order_by_expressions.size());
+  for (const auto& item : select.order_by) {
+    sort_modes.push_back(item.ascending ? SortMode::kAscending : SortMode::kDescending);
+  }
+
+  if (!missing_sort_expressions.empty() && !select.distinct) {
+    auto extended = select_expressions;
+    extended.insert(extended.end(), missing_sort_expressions.begin(), missing_sort_expressions.end());
+    if (needs_projection(extended)) {
+      lqp = ProjectionNode::Make(extended, lqp);
+    }
+    lqp = SortNode::Make(order_by_expressions, std::move(sort_modes), lqp);
+    lqp = ProjectionNode::Make(select_expressions, lqp);
+  } else {
+    if (needs_projection(select_expressions)) {
+      lqp = ProjectionNode::Make(select_expressions, lqp);
+    }
+    if (select.distinct) {
+      lqp = AggregateNode::Make(select_expressions, {}, lqp);
+    }
+    if (!order_by_expressions.empty()) {
+      if (!missing_sort_expressions.empty()) {
+        error_ = "ORDER BY expressions of a DISTINCT query must appear in the select list";
+        return false;
+      }
+      lqp = SortNode::Make(order_by_expressions, std::move(sort_modes), lqp);
+    }
+  }
+
+  // 9. LIMIT.
+  if (select.limit.has_value()) {
+    lqp = LimitNode::Make(*select.limit, lqp);
+  }
+
+  // 10. Final column names.
+  lqp = AliasNode::Make(lqp->output_expressions(), output_names, lqp);
+
+  out.lqp = std::move(lqp);
+  out.column_names = std::move(output_names);
+  return true;
+}
+
+// --- DML -------------------------------------------------------------------------------
+
+LqpNodePtr SqlTranslator::TranslateInsert(const sql::Statement& statement) {
+  if (!Hyrise::Get().storage_manager.HasTable(statement.table_name)) {
+    error_ = "Unknown table: " + statement.table_name;
+    return nullptr;
+  }
+  const auto target = Hyrise::Get().storage_manager.GetTable(statement.table_name);
+
+  // Map provided columns to target positions.
+  auto column_positions = std::vector<ColumnID>{};
+  if (statement.column_names.empty()) {
+    for (auto column_id = ColumnID{0}; column_id < target->column_count(); ++column_id) {
+      column_positions.push_back(column_id);
+    }
+  } else {
+    for (const auto& name : statement.column_names) {
+      const auto column_id = target->FindColumnIdByName(name);
+      if (!column_id.has_value()) {
+        error_ = "Unknown column in INSERT: " + name;
+        return nullptr;
+      }
+      column_positions.push_back(*column_id);
+    }
+  }
+
+  auto source = LqpNodePtr{};
+  if (statement.insert_select) {
+    auto translated = TranslatedSelect{};
+    if (!TranslateSelect(*statement.insert_select, nullptr, translated)) {
+      return nullptr;
+    }
+    if (translated.lqp->output_expressions().size() != column_positions.size()) {
+      error_ = "INSERT ... SELECT column count mismatch";
+      return nullptr;
+    }
+    source = translated.lqp;
+  } else {
+    // VALUES rows: one projection over the dummy table per row, unioned.
+    auto scope = Scope{};
+    for (const auto& row : statement.insert_values) {
+      if (row.size() != column_positions.size()) {
+        error_ = "INSERT value count does not match column count";
+        return nullptr;
+      }
+      auto expressions = Expressions{};
+      for (const auto& value : row) {
+        auto expression = TranslateExpression(*value, scope);
+        if (!expression) {
+          return nullptr;
+        }
+        expressions.push_back(std::move(expression));
+      }
+      auto row_node = LqpNodePtr{ProjectionNode::Make(std::move(expressions), StaticTableNode::MakeDummy())};
+      source = source ? LqpNodePtr{UnionNode::Make(source, row_node)} : row_node;
+    }
+    if (!source) {
+      error_ = "INSERT without rows";
+      return nullptr;
+    }
+  }
+
+  // Reorder / pad to the full target schema (missing columns become NULL).
+  if (statement.column_names.empty()) {
+    if (source->output_expressions().size() != target->column_count()) {
+      error_ = "INSERT column count mismatch";
+      return nullptr;
+    }
+  } else {
+    const auto source_outputs = source->output_expressions();
+    auto full_row = Expressions{};
+    for (auto column_id = ColumnID{0}; column_id < target->column_count(); ++column_id) {
+      auto expression = ExpressionPtr{};
+      for (auto index = size_t{0}; index < column_positions.size(); ++index) {
+        if (column_positions[index] == column_id) {
+          expression = source_outputs[index];
+          break;
+        }
+      }
+      if (!expression) {
+        expression = std::make_shared<ValueExpression>(kNullVariant);
+      }
+      full_row.push_back(std::move(expression));
+    }
+    source = ProjectionNode::Make(std::move(full_row), source);
+  }
+
+  return InsertNode::Make(statement.table_name, source);
+}
+
+LqpNodePtr SqlTranslator::TranslateDelete(const sql::Statement& statement) {
+  auto scope = Scope{};
+  auto lqp = StoredTableWithValidate(statement.table_name, scope);
+  if (!lqp) {
+    return nullptr;
+  }
+  if (statement.where) {
+    auto predicate = TranslateExpression(*statement.where, scope);
+    if (!predicate) {
+      return nullptr;
+    }
+    for (const auto& conjunct : FlattenConjunction(predicate)) {
+      lqp = PredicateNode::Make(conjunct, lqp);
+    }
+  }
+  return DeleteNode::Make(lqp);
+}
+
+LqpNodePtr SqlTranslator::TranslateUpdate(const sql::Statement& statement) {
+  auto scope = Scope{};
+  auto lqp = StoredTableWithValidate(statement.table_name, scope);
+  if (!lqp) {
+    return nullptr;
+  }
+  if (statement.where) {
+    auto predicate = TranslateExpression(*statement.where, scope);
+    if (!predicate) {
+      return nullptr;
+    }
+    for (const auto& conjunct : FlattenConjunction(predicate)) {
+      lqp = PredicateNode::Make(conjunct, lqp);
+    }
+  }
+  // Full replacement row: assigned columns use their expressions, the rest
+  // keep their current values.
+  auto new_row = Expressions{};
+  for (const auto& entry : scope.entries) {
+    auto expression = entry.expression;
+    for (const auto& [column, value] : statement.assignments) {
+      if (column == entry.column) {
+        expression = TranslateExpression(*value, scope);
+        if (!expression) {
+          return nullptr;
+        }
+        break;
+      }
+    }
+    new_row.push_back(std::move(expression));
+  }
+  return UpdateNode::Make(statement.table_name, std::move(new_row), lqp);
+}
+
+}  // namespace hyrise

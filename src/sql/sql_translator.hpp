@@ -1,0 +1,70 @@
+#ifndef HYRISE_SRC_SQL_SQL_TRANSLATOR_HPP_
+#define HYRISE_SRC_SQL_SQL_TRANSLATOR_HPP_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expression/expressions.hpp"
+#include "logical_query_plan/abstract_lqp_node.hpp"
+#include "sql/sql_ast.hpp"
+#include "utils/result.hpp"
+
+namespace hyrise {
+
+/// Translates parsed SQL statements into logical query plans (paper §2.6,
+/// "SQL-to-LQP Translation"): resolves names against scopes, expands stars,
+/// separates aggregates, attaches subselects as subquery expressions with
+/// correlated parameters, and inserts Validate nodes when MVCC is on.
+class SqlTranslator {
+ public:
+  explicit SqlTranslator(UseMvcc use_mvcc) : use_mvcc_(use_mvcc) {}
+
+  Result<LqpNodePtr> Translate(const sql::Statement& statement);
+
+ private:
+  struct Scope {
+    struct Entry {
+      std::string table;  // Table alias the column belongs to.
+      std::string column;
+      ExpressionPtr expression;
+    };
+
+    Scope* outer{nullptr};
+    std::vector<Entry> entries;
+    std::vector<std::pair<std::string, ExpressionPtr>> select_aliases;
+    /// Sink for correlated parameters when this scope belongs to a subquery.
+    std::vector<std::pair<ParameterID, ExpressionPtr>>* correlated{nullptr};
+  };
+
+  struct TranslatedSelect {
+    LqpNodePtr lqp;
+    std::vector<std::string> column_names;
+  };
+
+  // All methods return null / empty on error, with the message in error_.
+  bool TranslateSelect(const sql::SelectStatement& select, Scope* outer, TranslatedSelect& out);
+  bool TranslateSelectWithScopes(const sql::SelectStatement& select, Scope& scope, TranslatedSelect& out);
+  LqpNodePtr TranslateTableRef(const sql::TableRef& table_ref, Scope* outer, Scope& scope);
+  ExpressionPtr TranslateExpression(const sql::AstExpr& expr, Scope& scope);
+  ExpressionPtr TranslateSubquery(const sql::SelectStatement& select, Scope& scope);
+  ExpressionPtr ResolveColumn(const std::string& table, const std::string& column, Scope& scope);
+  ExpressionPtr NegateExpression(const ExpressionPtr& expression);
+
+  LqpNodePtr TranslateInsert(const sql::Statement& statement);
+  LqpNodePtr TranslateDelete(const sql::Statement& statement);
+  LqpNodePtr TranslateUpdate(const sql::Statement& statement);
+
+  /// StoredTable (+ Validate if MVCC is on) for DML target resolution.
+  LqpNodePtr StoredTableWithValidate(const std::string& table_name, Scope& scope);
+
+  std::string error_;
+  UseMvcc use_mvcc_;
+  /// Correlated-subquery parameters live in a separate ID range so they never
+  /// collide with prepared-statement '?' ordinals (which start at 0).
+  uint16_t next_parameter_id_{10'000};
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_SQL_SQL_TRANSLATOR_HPP_

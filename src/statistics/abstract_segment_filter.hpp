@@ -1,0 +1,28 @@
+#ifndef HYRISE_SRC_STATISTICS_ABSTRACT_SEGMENT_FILTER_HPP_
+#define HYRISE_SRC_STATISTICS_ABSTRACT_SEGMENT_FILTER_HPP_
+
+#include <optional>
+
+#include "types/all_type_variant.hpp"
+#include "types/types.hpp"
+
+namespace hyrise {
+
+/// A lightweight, probabilistic per-segment structure answering "can any row
+/// of this segment satisfy this predicate?" (paper §2.4). Filters are created
+/// on immutable chunks only and consumed by the optimizer's ChunkPruningRule,
+/// which propagates them to the table's scan node — pruning happens at
+/// planning time, not during execution.
+class AbstractSegmentFilter {
+ public:
+  virtual ~AbstractSegmentFilter() = default;
+
+  /// True if provably no row matches (false negatives are forbidden; "false"
+  /// just means "cannot rule out").
+  virtual bool CanPrune(PredicateCondition condition, const AllTypeVariant& value,
+                        const std::optional<AllTypeVariant>& value2 = std::nullopt) const = 0;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_STATISTICS_ABSTRACT_SEGMENT_FILTER_HPP_

@@ -1,0 +1,226 @@
+#include "statistics/cardinality_estimator.hpp"
+
+#include <algorithm>
+
+#include "hyrise.hpp"
+#include "logical_query_plan/operator_nodes.hpp"
+#include "logical_query_plan/static_table_node.hpp"
+#include "logical_query_plan/stored_table_node.hpp"
+#include "statistics/table_statistics.hpp"
+#include "storage/table.hpp"
+
+namespace hyrise {
+
+namespace {
+
+// Fallback selectivities for predicate shapes the histograms cannot judge.
+constexpr auto kDefaultSelectivity = 0.3;
+constexpr auto kEqualsFallback = 0.05;
+constexpr auto kLikeSelectivity = 0.1;
+
+std::shared_ptr<TableStatistics> StatisticsOfTable(const std::string& table_name) {
+  const auto table = Hyrise::Get().storage_manager.GetTable(table_name);
+  if (!table->table_statistics()) {
+    table->SetTableStatistics(GenerateTableStatistics(*table));
+  }
+  return table->table_statistics();
+}
+
+}  // namespace
+
+std::shared_ptr<const BaseAttributeStatistics> CardinalityEstimator::ResolveBaseColumnStatistics(
+    const ExpressionPtr& expression) {
+  if (expression->type != ExpressionType::kLqpColumn) {
+    return nullptr;
+  }
+  const auto& column = static_cast<const LqpColumnExpression&>(*expression);
+  const auto node = column.original_node.lock();
+  if (!node || node->type != LqpNodeType::kStoredTable) {
+    return nullptr;
+  }
+  const auto& stored = static_cast<const StoredTableNode&>(*node);
+  const auto statistics = StatisticsOfTable(stored.table_name);
+  if (column.original_column_id >= statistics->column_statistics.size()) {
+    return nullptr;
+  }
+  return statistics->column_statistics[column.original_column_id];
+}
+
+double CardinalityEstimator::DistinctCountOf(const ExpressionPtr& expression, double fallback) {
+  const auto statistics = ResolveBaseColumnStatistics(expression);
+  return statistics ? statistics->distinct_count() : fallback;
+}
+
+double CardinalityEstimator::EstimateSelectivity(const ExpressionPtr& predicate, const LqpNodePtr& input) const {
+  switch (predicate->type) {
+    case ExpressionType::kPredicate: {
+      const auto& typed = static_cast<const PredicateExpression&>(*predicate);
+      switch (typed.condition) {
+        case PredicateCondition::kEquals:
+        case PredicateCondition::kNotEquals:
+        case PredicateCondition::kLessThan:
+        case PredicateCondition::kLessThanEquals:
+        case PredicateCondition::kGreaterThan:
+        case PredicateCondition::kGreaterThanEquals:
+        case PredicateCondition::kBetweenInclusive: {
+          // column <op> literal: ask the histogram.
+          const auto& column = typed.arguments[0];
+          const auto statistics = ResolveBaseColumnStatistics(column);
+          if (statistics && typed.arguments[1]->type == ExpressionType::kValue) {
+            const auto& value = static_cast<const ValueExpression&>(*typed.arguments[1]).value;
+            auto value2 = std::optional<AllTypeVariant>{};
+            if (typed.condition == PredicateCondition::kBetweenInclusive && typed.arguments.size() == 3 &&
+                typed.arguments[2]->type == ExpressionType::kValue) {
+              value2 = static_cast<const ValueExpression&>(*typed.arguments[2]).value;
+            }
+            return std::clamp(statistics->EstimateSelectivity(typed.condition, value, value2), 0.0, 1.0);
+          }
+          // column <op> column or flipped literals.
+          if (typed.condition == PredicateCondition::kEquals) {
+            const auto distinct = std::max(DistinctCountOf(typed.arguments[0], 0.0),
+                                           typed.arguments.size() > 1
+                                               ? DistinctCountOf(typed.arguments[1], 0.0)
+                                               : 0.0);
+            if (distinct > 0.0) {
+              return 1.0 / distinct;
+            }
+            return kEqualsFallback;
+          }
+          return kDefaultSelectivity;
+        }
+        case PredicateCondition::kLike:
+          return kLikeSelectivity;
+        case PredicateCondition::kNotLike:
+          return 1.0 - kLikeSelectivity;
+        case PredicateCondition::kIsNull: {
+          const auto statistics = ResolveBaseColumnStatistics(predicate->arguments[0]);
+          return statistics ? statistics->null_ratio : 0.05;
+        }
+        case PredicateCondition::kIsNotNull: {
+          const auto statistics = ResolveBaseColumnStatistics(predicate->arguments[0]);
+          return statistics ? 1.0 - statistics->null_ratio : 0.95;
+        }
+        case PredicateCondition::kIn:
+          return kDefaultSelectivity;
+        case PredicateCondition::kNotIn:
+          return 1.0 - kDefaultSelectivity;
+      }
+      return kDefaultSelectivity;
+    }
+    case ExpressionType::kLogical: {
+      const auto& logical = static_cast<const LogicalExpression&>(*predicate);
+      const auto left = EstimateSelectivity(predicate->arguments[0], input);
+      const auto right = EstimateSelectivity(predicate->arguments[1], input);
+      if (logical.logical_operator == LogicalOperator::kAnd) {
+        return left * right;
+      }
+      return std::min(1.0, left + right - left * right);
+    }
+    case ExpressionType::kExists:
+      return 0.5;
+    default:
+      return kDefaultSelectivity;
+  }
+}
+
+double CardinalityEstimator::EstimateRowCount(const LqpNodePtr& node) const {
+  const auto cached = row_count_cache_.find(node.get());
+  if (cached != row_count_cache_.end()) {
+    return cached->second;
+  }
+
+  auto rows = 0.0;
+  switch (node->type) {
+    case LqpNodeType::kStoredTable: {
+      const auto& stored = static_cast<const StoredTableNode&>(*node);
+      rows = StatisticsOfTable(stored.table_name)->row_count;
+      const auto table = Hyrise::Get().storage_manager.GetTable(stored.table_name);
+      if (!stored.pruned_chunk_ids.empty() && table->chunk_count() > 0) {
+        rows *= 1.0 - static_cast<double>(stored.pruned_chunk_ids.size()) /
+                          static_cast<double>(static_cast<uint32_t>(table->chunk_count()));
+      }
+      break;
+    }
+    case LqpNodeType::kStaticTable:
+      rows = static_cast<double>(static_cast<const StaticTableNode&>(*node).table->row_count());
+      break;
+    case LqpNodeType::kPredicate: {
+      const auto& predicate_node = static_cast<const PredicateNode&>(*node);
+      rows = EstimateRowCount(node->left_input) *
+             EstimateSelectivity(predicate_node.predicate(), node->left_input);
+      break;
+    }
+    case LqpNodeType::kJoin: {
+      const auto& join = static_cast<const JoinNode&>(*node);
+      const auto left = EstimateRowCount(node->left_input);
+      const auto right = EstimateRowCount(node->right_input);
+      switch (join.join_mode) {
+        case JoinMode::kCross:
+          rows = left * right;
+          break;
+        case JoinMode::kSemi:
+        case JoinMode::kAnti:
+          rows = left * 0.5;
+          break;
+        default: {
+          // Equi join: containment assumption.
+          auto selectivity = 1.0;
+          if (!join.node_expressions.empty() &&
+              join.node_expressions[0]->type == ExpressionType::kPredicate) {
+            const auto& predicate = static_cast<const PredicateExpression&>(*join.node_expressions[0]);
+            if (predicate.condition == PredicateCondition::kEquals && predicate.arguments.size() == 2) {
+              const auto distinct = std::max({DistinctCountOf(predicate.arguments[0], 0.0),
+                                              DistinctCountOf(predicate.arguments[1], 0.0), 1.0});
+              selectivity = 1.0 / distinct;
+            } else {
+              selectivity = kDefaultSelectivity;
+            }
+          }
+          // Additional join predicates reduce further.
+          for (auto index = size_t{1}; index < join.node_expressions.size(); ++index) {
+            selectivity *= kDefaultSelectivity;
+          }
+          rows = left * right * selectivity;
+          if (join.join_mode == JoinMode::kLeft || join.join_mode == JoinMode::kFullOuter ||
+              join.join_mode == JoinMode::kRight) {
+            rows = std::max(rows, join.join_mode == JoinMode::kRight ? right : left);
+          }
+          break;
+        }
+      }
+      break;
+    }
+    case LqpNodeType::kAggregate: {
+      const auto& aggregate = static_cast<const AggregateNode&>(*node);
+      const auto input_rows = EstimateRowCount(node->left_input);
+      if (aggregate.group_by_count == 0) {
+        rows = 1.0;
+        break;
+      }
+      auto groups = 1.0;
+      for (auto index = size_t{0}; index < aggregate.group_by_count; ++index) {
+        groups *= DistinctCountOf(aggregate.node_expressions[index], 10.0);
+      }
+      rows = std::min(groups, input_rows);
+      break;
+    }
+    case LqpNodeType::kLimit:
+      rows = std::min(static_cast<double>(static_cast<const LimitNode&>(*node).row_count),
+                      EstimateRowCount(node->left_input));
+      break;
+    case LqpNodeType::kUnion:
+      rows = EstimateRowCount(node->left_input) + EstimateRowCount(node->right_input);
+      break;
+    case LqpNodeType::kValidate:
+      rows = EstimateRowCount(node->left_input) * 0.99;
+      break;
+    default:
+      rows = node->left_input ? EstimateRowCount(node->left_input) : 0.0;
+      break;
+  }
+  rows = std::max(rows, 0.0);
+  row_count_cache_.emplace(node.get(), rows);
+  return rows;
+}
+
+}  // namespace hyrise

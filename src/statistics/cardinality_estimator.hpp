@@ -1,0 +1,40 @@
+#ifndef HYRISE_SRC_STATISTICS_CARDINALITY_ESTIMATOR_HPP_
+#define HYRISE_SRC_STATISTICS_CARDINALITY_ESTIMATOR_HPP_
+
+#include <memory>
+#include <unordered_map>
+
+#include "expression/expressions.hpp"
+#include "logical_query_plan/abstract_lqp_node.hpp"
+
+namespace hyrise {
+
+class BaseAttributeStatistics;
+
+/// Estimates intermediate result sizes from base-table histograms (paper
+/// §2.1: the optimizer "utilizes information about the referenced tables ...
+/// collected from auxiliary data structures, such as general statistics").
+/// Statistics of base tables are generated lazily and cached on the Table.
+class CardinalityEstimator {
+ public:
+  /// Estimated row count of the (sub)plan.
+  double EstimateRowCount(const LqpNodePtr& node) const;
+
+  /// Estimated selectivity in [0, 1] of `predicate` over `input`'s output.
+  double EstimateSelectivity(const ExpressionPtr& predicate, const LqpNodePtr& input) const;
+
+  /// Statistics of the base column behind `expression` (nullptr if the
+  /// expression is not a base-table column).
+  static std::shared_ptr<const BaseAttributeStatistics> ResolveBaseColumnStatistics(
+      const ExpressionPtr& expression);
+
+  /// Distinct count of the base column behind `expression`, or `fallback`.
+  static double DistinctCountOf(const ExpressionPtr& expression, double fallback);
+
+ private:
+  mutable std::unordered_map<const AbstractLqpNode*, double> row_count_cache_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_STATISTICS_CARDINALITY_ESTIMATOR_HPP_

@@ -1,0 +1,90 @@
+#ifndef HYRISE_SRC_STATISTICS_TABLE_STATISTICS_HPP_
+#define HYRISE_SRC_STATISTICS_TABLE_STATISTICS_HPP_
+
+#include <memory>
+#include <vector>
+
+#include "statistics/histogram.hpp"
+#include "types/all_type_variant.hpp"
+
+namespace hyrise {
+
+/// Per-column statistics used by the cardinality estimator (paper §2.1/§2.4).
+class BaseAttributeStatistics {
+ public:
+  explicit BaseAttributeStatistics(DataType init_data_type) : data_type(init_data_type) {}
+  virtual ~BaseAttributeStatistics() = default;
+
+  /// Estimated selectivity of `column <condition> value` in [0, 1].
+  virtual double EstimateSelectivity(PredicateCondition condition, const AllTypeVariant& value,
+                                     const std::optional<AllTypeVariant>& value2 = std::nullopt) const = 0;
+
+  virtual double distinct_count() const = 0;
+
+  DataType data_type;
+  double null_ratio{0.0};
+};
+
+template <typename T>
+class AttributeStatistics final : public BaseAttributeStatistics {
+ public:
+  AttributeStatistics() : BaseAttributeStatistics(DataTypeOf<T>()) {}
+
+  double EstimateSelectivity(PredicateCondition condition, const AllTypeVariant& value,
+                             const std::optional<AllTypeVariant>& value2 = std::nullopt) const final {
+    if (condition == PredicateCondition::kIsNull) {
+      return null_ratio;
+    }
+    if (condition == PredicateCondition::kIsNotNull) {
+      return 1.0 - null_ratio;
+    }
+    if (!histogram || histogram->total_count() == 0.0 || VariantIsNull(value)) {
+      return 0.5;
+    }
+    if ((DataTypeOfVariant(value) == DataType::kString) != (DataTypeOf<T>() == DataType::kString)) {
+      return 0.5;
+    }
+    auto typed_value2 = std::optional<T>{};
+    if (value2.has_value() && !VariantIsNull(*value2)) {
+      typed_value2 = VariantCast<T>(*value2);
+    }
+    const auto cardinality = histogram->EstimateCardinality(condition, VariantCast<T>(value), typed_value2);
+    return (1.0 - null_ratio) * cardinality / histogram->total_count();
+  }
+
+  double distinct_count() const final {
+    return histogram ? histogram->total_distinct_count() : 1.0;
+  }
+
+  std::shared_ptr<const Histogram<T>> histogram;
+};
+
+/// Row count plus per-column statistics of one table (or of an intermediate
+/// result, where the estimator scales the base statistics).
+class TableStatistics {
+ public:
+  TableStatistics() = default;
+
+  TableStatistics(double init_row_count, std::vector<std::shared_ptr<const BaseAttributeStatistics>> init_columns)
+      : row_count(init_row_count), column_statistics(std::move(init_columns)) {}
+
+  double row_count{0.0};
+  std::vector<std::shared_ptr<const BaseAttributeStatistics>> column_statistics;
+};
+
+class Table;
+
+/// Scans (a sample of) every column and builds equal-distinct-count
+/// histograms. Called lazily when the optimizer first needs statistics.
+std::shared_ptr<TableStatistics> GenerateTableStatistics(const Table& table,
+                                                         HistogramLayout layout = HistogramLayout::kEqualDistinctCount,
+                                                         size_t max_sample_size = 500'000);
+
+/// Builds per-chunk pruning filters (min-max + histogram + counting quotient
+/// filter for low-cardinality columns) for all immutable chunks that do not
+/// have them yet.
+void GenerateChunkPruningStatistics(const std::shared_ptr<Table>& table);
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_STATISTICS_TABLE_STATISTICS_HPP_

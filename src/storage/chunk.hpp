@@ -1,0 +1,106 @@
+#ifndef HYRISE_SRC_STORAGE_CHUNK_HPP_
+#define HYRISE_SRC_STORAGE_CHUNK_HPP_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "storage/abstract_segment.hpp"
+#include "storage/mvcc_data.hpp"
+#include "types/all_type_variant.hpp"
+#include "types/types.hpp"
+
+namespace hyrise {
+
+class AbstractChunkIndex;
+class AbstractSegmentFilter;
+
+/// Per-chunk pruning filters, one per column (paper §2.4). Set after a chunk
+/// becomes immutable; consumed by the optimizer's ChunkPruningRule.
+using ChunkPruningStatistics = std::vector<std::shared_ptr<const AbstractSegmentFilter>>;
+
+/// A horizontal partition of a table (paper §2.2). Chunks start mutable and
+/// append-only; once full they are finalized (immutable), after which
+/// encodings, indexes, and pruning filters may be attached.
+class Chunk {
+ public:
+  explicit Chunk(Segments segments, std::shared_ptr<MvccData> mvcc_data = nullptr);
+
+  Chunk(const Chunk&) = delete;
+  Chunk& operator=(const Chunk&) = delete;
+
+  ColumnID column_count() const {
+    return ColumnID{static_cast<uint16_t>(segments_.size())};
+  }
+
+  ChunkOffset size() const;
+
+  bool IsMutable() const {
+    return is_mutable_;
+  }
+
+  /// Marks the chunk immutable. Idempotent.
+  void Finalize() {
+    is_mutable_ = false;
+  }
+
+  /// Appends one row. Only valid on mutable chunks of ValueSegments.
+  void Append(const std::vector<AllTypeVariant>& values);
+
+  std::shared_ptr<AbstractSegment> GetSegment(ColumnID column_id) const {
+    return segments_[column_id];
+  }
+
+  const Segments& segments() const {
+    return segments_;
+  }
+
+  /// Swaps in an encoded segment (used by ChunkEncoder on immutable chunks).
+  void ReplaceSegment(ColumnID column_id, std::shared_ptr<AbstractSegment> segment);
+
+  const std::shared_ptr<MvccData>& mvcc_data() const {
+    return mvcc_data_;
+  }
+
+  /// The number of rows invalidated by committed deletes; used to decide when
+  /// a chunk could be cleaned up and by GetTable for skipping fully-dead
+  /// chunks. Maintained by the Delete operator on commit.
+  uint32_t invalid_row_count() const {
+    return invalid_row_count_.load(std::memory_order_relaxed);
+  }
+
+  void IncreaseInvalidRowCount(uint32_t count) {
+    invalid_row_count_.fetch_add(count, std::memory_order_relaxed);
+  }
+
+  void SetPruningStatistics(std::shared_ptr<const ChunkPruningStatistics> statistics) {
+    pruning_statistics_ = std::move(statistics);
+  }
+
+  const std::shared_ptr<const ChunkPruningStatistics>& pruning_statistics() const {
+    return pruning_statistics_;
+  }
+
+  void AddIndex(std::vector<ColumnID> column_ids, std::shared_ptr<AbstractChunkIndex> index);
+
+  /// All indexes covering exactly the given columns.
+  std::vector<std::shared_ptr<AbstractChunkIndex>> GetIndexes(const std::vector<ColumnID>& column_ids) const;
+
+  const std::vector<std::pair<std::vector<ColumnID>, std::shared_ptr<AbstractChunkIndex>>>& indexes() const {
+    return indexes_;
+  }
+
+  size_t MemoryUsage() const;
+
+ private:
+  Segments segments_;
+  std::shared_ptr<MvccData> mvcc_data_;
+  bool is_mutable_ = true;
+  std::atomic<uint32_t> invalid_row_count_{0};
+  std::shared_ptr<const ChunkPruningStatistics> pruning_statistics_;
+  std::vector<std::pair<std::vector<ColumnID>, std::shared_ptr<AbstractChunkIndex>>> indexes_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_STORAGE_CHUNK_HPP_

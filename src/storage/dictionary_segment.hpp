@@ -1,0 +1,106 @@
+#ifndef HYRISE_SRC_STORAGE_DICTIONARY_SEGMENT_HPP_
+#define HYRISE_SRC_STORAGE_DICTIONARY_SEGMENT_HPP_
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "storage/abstract_segment.hpp"
+#include "storage/vector_compression/base_compressed_vector.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+/// Order-preserving dictionary encoding (paper §2.3). The sorted dictionary
+/// maps ValueIDs to values; the attribute vector stores one (physically
+/// compressed) ValueID per row. NULL is represented by the ValueID
+/// `dictionary.size()` so that the null code is one past the largest valid ID.
+template <typename T>
+class DictionarySegment final : public AbstractEncodedSegment {
+ public:
+  DictionarySegment(std::shared_ptr<const std::vector<T>> dictionary,
+                    std::shared_ptr<const BaseCompressedVector> attribute_vector)
+      : AbstractEncodedSegment(DataTypeOf<T>(), EncodingType::kDictionary),
+        dictionary_(std::move(dictionary)),
+        attribute_vector_(std::move(attribute_vector)) {
+    DebugAssert(std::is_sorted(dictionary_->begin(), dictionary_->end()), "Dictionary must be sorted");
+  }
+
+  ChunkOffset size() const final {
+    return static_cast<ChunkOffset>(attribute_vector_->size());
+  }
+
+  AllTypeVariant operator[](ChunkOffset chunk_offset) const final {
+    const auto value_id = attribute_vector_->Get(chunk_offset);
+    if (value_id == null_value_id()) {
+      return kNullVariant;
+    }
+    return AllTypeVariant{(*dictionary_)[value_id]};
+  }
+
+  const std::vector<T>& dictionary() const {
+    return *dictionary_;
+  }
+
+  std::shared_ptr<const std::vector<T>> dictionary_ptr() const {
+    return dictionary_;
+  }
+
+  const BaseCompressedVector& attribute_vector() const {
+    return *attribute_vector_;
+  }
+
+  uint32_t null_value_id() const {
+    return static_cast<uint32_t>(dictionary_->size());
+  }
+
+  ValueID unique_values_count() const {
+    return ValueID{static_cast<uint32_t>(dictionary_->size())};
+  }
+
+  /// First ValueID whose value is >= `value` (kInvalidValueId if none).
+  /// Scans on dictionary segments search in the dictionary once and then
+  /// compare integer codes only (paper §2.3 requirement).
+  ValueID LowerBound(const T& value) const {
+    const auto iter = std::lower_bound(dictionary_->begin(), dictionary_->end(), value);
+    if (iter == dictionary_->end()) {
+      return kInvalidValueId;
+    }
+    return ValueID{static_cast<uint32_t>(std::distance(dictionary_->begin(), iter))};
+  }
+
+  /// First ValueID whose value is > `value` (kInvalidValueId if none).
+  ValueID UpperBound(const T& value) const {
+    const auto iter = std::upper_bound(dictionary_->begin(), dictionary_->end(), value);
+    if (iter == dictionary_->end()) {
+      return kInvalidValueId;
+    }
+    return ValueID{static_cast<uint32_t>(std::distance(dictionary_->begin(), iter))};
+  }
+
+  const T& ValueOfValueId(ValueID value_id) const {
+    DebugAssert(value_id < dictionary_->size(), "ValueID out of range");
+    return (*dictionary_)[value_id];
+  }
+
+  size_t MemoryUsage() const final {
+    auto bytes = dictionary_->capacity() * sizeof(T) + attribute_vector_->DataSize();
+    if constexpr (std::is_same_v<T, std::string>) {
+      for (const auto& value : *dictionary_) {
+        if (value.capacity() > sizeof(std::string) - 1) {
+          bytes += value.capacity();
+        }
+      }
+    }
+    return bytes;
+  }
+
+ private:
+  std::shared_ptr<const std::vector<T>> dictionary_;
+  std::shared_ptr<const BaseCompressedVector> attribute_vector_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_STORAGE_DICTIONARY_SEGMENT_HPP_

@@ -1,0 +1,77 @@
+#ifndef HYRISE_SRC_STORAGE_FRAME_OF_REFERENCE_SEGMENT_HPP_
+#define HYRISE_SRC_STORAGE_FRAME_OF_REFERENCE_SEGMENT_HPP_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "storage/abstract_segment.hpp"
+#include "storage/vector_compression/base_compressed_vector.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+/// Frame-of-reference encoding (paper §2.3) for integral columns: values are
+/// stored as unsigned offsets from a per-block minimum ("frame"), with the
+/// offsets physically compressed. Block size 2048 balances frame locality
+/// against metadata overhead.
+template <typename T>
+class FrameOfReferenceSegment final : public AbstractEncodedSegment {
+  static_assert(std::is_same_v<T, int32_t> || std::is_same_v<T, int64_t>,
+                "FrameOfReference only supports integral columns");
+
+ public:
+  static constexpr ChunkOffset kBlockSize = 2048;
+
+  FrameOfReferenceSegment(std::vector<T> block_minima, std::shared_ptr<const BaseCompressedVector> offset_values,
+                          std::vector<bool> null_values)
+      : AbstractEncodedSegment(DataTypeOf<T>(), EncodingType::kFrameOfReference),
+        block_minima_(std::move(block_minima)),
+        offset_values_(std::move(offset_values)),
+        null_values_(std::move(null_values)) {}
+
+  ChunkOffset size() const final {
+    return static_cast<ChunkOffset>(offset_values_->size());
+  }
+
+  AllTypeVariant operator[](ChunkOffset chunk_offset) const final {
+    if (IsNullAt(chunk_offset)) {
+      return kNullVariant;
+    }
+    return AllTypeVariant{DecodeAt(chunk_offset, offset_values_->Get(chunk_offset))};
+  }
+
+  bool IsNullAt(ChunkOffset chunk_offset) const {
+    return !null_values_.empty() && null_values_[chunk_offset];
+  }
+
+  T DecodeAt(ChunkOffset chunk_offset, uint32_t offset_value) const {
+    return block_minima_[chunk_offset / kBlockSize] + static_cast<T>(offset_value);
+  }
+
+  const std::vector<T>& block_minima() const {
+    return block_minima_;
+  }
+
+  const BaseCompressedVector& offset_values() const {
+    return *offset_values_;
+  }
+
+  /// Empty iff the segment contains no NULLs.
+  const std::vector<bool>& null_values() const {
+    return null_values_;
+  }
+
+  size_t MemoryUsage() const final {
+    return block_minima_.capacity() * sizeof(T) + offset_values_->DataSize() + null_values_.capacity() / 8;
+  }
+
+ private:
+  std::vector<T> block_minima_;
+  std::shared_ptr<const BaseCompressedVector> offset_values_;
+  std::vector<bool> null_values_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_STORAGE_FRAME_OF_REFERENCE_SEGMENT_HPP_

@@ -1,0 +1,403 @@
+#include "storage/index/adaptive_radix_tree.hpp"
+
+#include <algorithm>
+
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+namespace {
+
+/// Compares `prefix` against the first prefix.size() bytes of `bound`.
+/// Returns <0 / 0 / >0 like strcmp; a shorter `bound` is padded conceptually
+/// by "nothing", i.e. a prefix longer than the bound that matches it fully
+/// compares greater.
+int ComparePrefixToBound(const std::vector<uint8_t>& prefix, const std::vector<uint8_t>& bound) {
+  const auto common = std::min(prefix.size(), bound.size());
+  for (auto index = size_t{0}; index < common; ++index) {
+    if (prefix[index] != bound[index]) {
+      return prefix[index] < bound[index] ? -1 : 1;
+    }
+  }
+  if (prefix.size() > bound.size()) {
+    return 1;
+  }
+  return 0;
+}
+
+int CompareKeys(const std::vector<uint8_t>& lhs, const std::vector<uint8_t>& rhs) {
+  const auto common = std::min(lhs.size(), rhs.size());
+  for (auto index = size_t{0}; index < common; ++index) {
+    if (lhs[index] != rhs[index]) {
+      return lhs[index] < rhs[index] ? -1 : 1;
+    }
+  }
+  if (lhs.size() == rhs.size()) {
+    return 0;
+  }
+  return lhs.size() < rhs.size() ? -1 : 1;
+}
+
+}  // namespace
+
+void ArtTree::Insert(const Key& key, ChunkOffset offset) {
+  InsertImpl(root_, key, 0, offset);
+}
+
+void ArtTree::InsertImpl(std::unique_ptr<Node>& node, const Key& key, size_t depth, ChunkOffset offset) {
+  if (!node) {
+    node = std::make_unique<LeafNode>(key, offset);
+    return;
+  }
+
+  if (node->type == NodeType::kLeaf) {
+    auto& leaf = static_cast<LeafNode&>(*node);
+    if (leaf.key == key) {
+      leaf.postings.push_back(offset);
+      return;
+    }
+    // Lazy expansion: split the leaf with a new inner node holding the common
+    // prefix beyond `depth`.
+    auto common = size_t{0};
+    while (depth + common < leaf.key.size() && depth + common < key.size() &&
+           leaf.key[depth + common] == key[depth + common]) {
+      ++common;
+    }
+    Assert(depth + common < leaf.key.size() && depth + common < key.size(),
+           "ART keys must be prefix-free (fixed width or terminated)");
+    auto new_inner = std::make_unique<Node4>();
+    new_inner->prefix.assign(key.begin() + depth, key.begin() + depth + common);
+    const auto leaf_byte = leaf.key[depth + common];
+    const auto key_byte = key[depth + common];
+    auto old_leaf = std::move(node);
+    node = std::move(new_inner);
+    AddChild(node, leaf_byte, std::move(old_leaf));
+    AddChild(node, key_byte, std::make_unique<LeafNode>(key, offset));
+    return;
+  }
+
+  auto& inner = static_cast<InnerNode&>(*node);
+  auto matched = size_t{0};
+  while (matched < inner.prefix.size() && depth + matched < key.size() &&
+         inner.prefix[matched] == key[depth + matched]) {
+    ++matched;
+  }
+  if (matched < inner.prefix.size()) {
+    // Prefix mismatch: split the compressed path.
+    Assert(depth + matched < key.size(), "ART keys must be prefix-free");
+    auto new_inner = std::make_unique<Node4>();
+    new_inner->prefix.assign(inner.prefix.begin(), inner.prefix.begin() + matched);
+    const auto old_byte = inner.prefix[matched];
+    const auto key_byte = key[depth + matched];
+    inner.prefix.erase(inner.prefix.begin(), inner.prefix.begin() + matched + 1);
+    auto old_node = std::move(node);
+    node = std::move(new_inner);
+    AddChild(node, old_byte, std::move(old_node));
+    AddChild(node, key_byte, std::make_unique<LeafNode>(key, offset));
+    return;
+  }
+
+  depth += inner.prefix.size();
+  Assert(depth < key.size(), "ART keys must be prefix-free");
+  const auto byte = key[depth];
+  auto* child = FindChild(*node, byte);
+  if (child) {
+    InsertImpl(*child, key, depth + 1, offset);
+  } else {
+    AddChild(node, byte, std::make_unique<LeafNode>(key, offset));
+  }
+}
+
+std::unique_ptr<ArtTree::Node>* ArtTree::FindChild(Node& node, uint8_t byte) {
+  switch (node.type) {
+    case NodeType::kNode4: {
+      auto& typed = static_cast<Node4&>(node);
+      for (auto index = uint8_t{0}; index < typed.count; ++index) {
+        if (typed.keys[index] == byte) {
+          return &typed.children[index];
+        }
+      }
+      return nullptr;
+    }
+    case NodeType::kNode16: {
+      auto& typed = static_cast<Node16&>(node);
+      for (auto index = uint8_t{0}; index < typed.count; ++index) {
+        if (typed.keys[index] == byte) {
+          return &typed.children[index];
+        }
+      }
+      return nullptr;
+    }
+    case NodeType::kNode48: {
+      auto& typed = static_cast<Node48&>(node);
+      const auto slot = typed.child_index[byte];
+      return slot == Node48::kEmpty ? nullptr : &typed.children[slot];
+    }
+    case NodeType::kNode256: {
+      auto& typed = static_cast<Node256&>(node);
+      return typed.children[byte] ? &typed.children[byte] : nullptr;
+    }
+    case NodeType::kLeaf:
+      break;
+  }
+  Fail("FindChild on leaf");
+}
+
+void ArtTree::AddChild(std::unique_ptr<Node>& node, uint8_t byte, std::unique_ptr<Node> child) {
+  switch (node->type) {
+    case NodeType::kNode4: {
+      auto& typed = static_cast<Node4&>(*node);
+      if (typed.count < 4) {
+        // Keep keys sorted for in-order traversal.
+        auto position = uint8_t{0};
+        while (position < typed.count && typed.keys[position] < byte) {
+          ++position;
+        }
+        for (auto index = typed.count; index > position; --index) {
+          typed.keys[index] = typed.keys[index - 1];
+          typed.children[index] = std::move(typed.children[index - 1]);
+        }
+        typed.keys[position] = byte;
+        typed.children[position] = std::move(child);
+        ++typed.count;
+        return;
+      }
+      // Grow 4 -> 16.
+      auto grown = std::make_unique<Node16>();
+      grown->prefix = std::move(typed.prefix);
+      for (auto index = uint8_t{0}; index < 4; ++index) {
+        grown->keys[index] = typed.keys[index];
+        grown->children[index] = std::move(typed.children[index]);
+      }
+      grown->count = 4;
+      node = std::move(grown);
+      AddChild(node, byte, std::move(child));
+      return;
+    }
+    case NodeType::kNode16: {
+      auto& typed = static_cast<Node16&>(*node);
+      if (typed.count < 16) {
+        auto position = uint8_t{0};
+        while (position < typed.count && typed.keys[position] < byte) {
+          ++position;
+        }
+        for (auto index = typed.count; index > position; --index) {
+          typed.keys[index] = typed.keys[index - 1];
+          typed.children[index] = std::move(typed.children[index - 1]);
+        }
+        typed.keys[position] = byte;
+        typed.children[position] = std::move(child);
+        ++typed.count;
+        return;
+      }
+      // Grow 16 -> 48.
+      auto grown = std::make_unique<Node48>();
+      grown->prefix = std::move(typed.prefix);
+      grown->child_index.fill(Node48::kEmpty);
+      for (auto index = uint8_t{0}; index < 16; ++index) {
+        grown->child_index[typed.keys[index]] = index;
+        grown->children[index] = std::move(typed.children[index]);
+      }
+      grown->count = 16;
+      node = std::move(grown);
+      AddChild(node, byte, std::move(child));
+      return;
+    }
+    case NodeType::kNode48: {
+      auto& typed = static_cast<Node48&>(*node);
+      if (typed.count < 48) {
+        typed.child_index[byte] = typed.count;
+        typed.children[typed.count] = std::move(child);
+        ++typed.count;
+        return;
+      }
+      // Grow 48 -> 256.
+      auto grown = std::make_unique<Node256>();
+      grown->prefix = std::move(typed.prefix);
+      for (auto byte_value = size_t{0}; byte_value < 256; ++byte_value) {
+        const auto slot = typed.child_index[byte_value];
+        if (slot != Node48::kEmpty) {
+          grown->children[byte_value] = std::move(typed.children[slot]);
+        }
+      }
+      grown->count = 48;
+      node = std::move(grown);
+      AddChild(node, byte, std::move(child));
+      return;
+    }
+    case NodeType::kNode256: {
+      auto& typed = static_cast<Node256&>(*node);
+      DebugAssert(!typed.children[byte], "Child already present");
+      typed.children[byte] = std::move(child);
+      ++typed.count;
+      return;
+    }
+    case NodeType::kLeaf:
+      break;
+  }
+  Fail("AddChild on leaf");
+}
+
+const std::vector<ChunkOffset>* ArtTree::Lookup(const Key& key) const {
+  const auto* node = root_.get();
+  auto depth = size_t{0};
+  while (node) {
+    if (node->type == NodeType::kLeaf) {
+      const auto& leaf = static_cast<const LeafNode&>(*node);
+      return leaf.key == key ? &leaf.postings : nullptr;
+    }
+    const auto& inner = static_cast<const InnerNode&>(*node);
+    if (depth + inner.prefix.size() > key.size() ||
+        !std::equal(inner.prefix.begin(), inner.prefix.end(), key.begin() + depth)) {
+      return nullptr;
+    }
+    depth += inner.prefix.size();
+    if (depth >= key.size()) {
+      return nullptr;
+    }
+    const auto* child = FindChild(const_cast<Node&>(*node), key[depth]);
+    node = child ? child->get() : nullptr;
+    ++depth;
+  }
+  return nullptr;
+}
+
+template <typename Functor>
+void ArtTree::ForEachChildInOrder(const Node& node, const Functor& functor) {
+  switch (node.type) {
+    case NodeType::kNode4: {
+      const auto& typed = static_cast<const Node4&>(node);
+      for (auto index = uint8_t{0}; index < typed.count; ++index) {
+        functor(typed.keys[index], typed.children[index].get());
+      }
+      return;
+    }
+    case NodeType::kNode16: {
+      const auto& typed = static_cast<const Node16&>(node);
+      for (auto index = uint8_t{0}; index < typed.count; ++index) {
+        functor(typed.keys[index], typed.children[index].get());
+      }
+      return;
+    }
+    case NodeType::kNode48: {
+      const auto& typed = static_cast<const Node48&>(node);
+      for (auto byte = size_t{0}; byte < 256; ++byte) {
+        if (typed.child_index[byte] != Node48::kEmpty) {
+          functor(static_cast<uint8_t>(byte), typed.children[typed.child_index[byte]].get());
+        }
+      }
+      return;
+    }
+    case NodeType::kNode256: {
+      const auto& typed = static_cast<const Node256&>(node);
+      for (auto byte = size_t{0}; byte < 256; ++byte) {
+        if (typed.children[byte]) {
+          functor(static_cast<uint8_t>(byte), typed.children[byte].get());
+        }
+      }
+      return;
+    }
+    case NodeType::kLeaf:
+      break;
+  }
+  Fail("ForEachChildInOrder on leaf");
+}
+
+void ArtTree::Range(const Key* lower, bool lower_inclusive, const Key* upper, bool upper_inclusive,
+                    std::vector<ChunkOffset>& result) const {
+  auto accumulated = Key{};
+  RangeImpl(root_.get(), accumulated, lower, lower_inclusive, upper, upper_inclusive, result);
+}
+
+void ArtTree::RangeImpl(const Node* node, Key& accumulated, const Key* lower, bool lower_inclusive, const Key* upper,
+                        bool upper_inclusive, std::vector<ChunkOffset>& result) {
+  if (!node) {
+    return;
+  }
+  if (node->type == NodeType::kLeaf) {
+    const auto& leaf = static_cast<const LeafNode&>(*node);
+    if (lower) {
+      const auto comparison = CompareKeys(leaf.key, *lower);
+      if (comparison < 0 || (comparison == 0 && !lower_inclusive)) {
+        return;
+      }
+    }
+    if (upper) {
+      const auto comparison = CompareKeys(leaf.key, *upper);
+      if (comparison > 0 || (comparison == 0 && !upper_inclusive)) {
+        return;
+      }
+    }
+    result.insert(result.end(), leaf.postings.begin(), leaf.postings.end());
+    return;
+  }
+
+  const auto& inner = static_cast<const InnerNode&>(*node);
+  const auto base_size = accumulated.size();
+  accumulated.insert(accumulated.end(), inner.prefix.begin(), inner.prefix.end());
+
+  // Prune: all keys in this subtree extend `accumulated`. A byte-wise strict
+  // difference against a bound's prefix puts the whole subtree outside it.
+  const auto below_lower = lower && ComparePrefixToBound(accumulated, *lower) < 0;
+  const auto above_upper = upper && ComparePrefixToBound(accumulated, *upper) > 0;
+  if (!below_lower && !above_upper) {
+    ForEachChildInOrder(*node, [&](uint8_t byte, const Node* child) {
+      accumulated.push_back(byte);
+      RangeImpl(child, accumulated, lower, lower_inclusive, upper, upper_inclusive, result);
+      accumulated.pop_back();
+    });
+  }
+
+  accumulated.resize(base_size);
+}
+
+size_t ArtTree::MemoryUsage() const {
+  return MemoryUsageImpl(root_.get());
+}
+
+size_t ArtTree::MemoryUsageImpl(const Node* node) {
+  if (!node) {
+    return 0;
+  }
+  switch (node->type) {
+    case NodeType::kLeaf: {
+      const auto& leaf = static_cast<const LeafNode&>(*node);
+      return sizeof(LeafNode) + leaf.key.capacity() + leaf.postings.capacity() * sizeof(ChunkOffset);
+    }
+    case NodeType::kNode4: {
+      const auto& typed = static_cast<const Node4&>(*node);
+      auto bytes = sizeof(Node4) + typed.prefix.capacity();
+      for (auto index = uint8_t{0}; index < typed.count; ++index) {
+        bytes += MemoryUsageImpl(typed.children[index].get());
+      }
+      return bytes;
+    }
+    case NodeType::kNode16: {
+      const auto& typed = static_cast<const Node16&>(*node);
+      auto bytes = sizeof(Node16) + typed.prefix.capacity();
+      for (auto index = uint8_t{0}; index < typed.count; ++index) {
+        bytes += MemoryUsageImpl(typed.children[index].get());
+      }
+      return bytes;
+    }
+    case NodeType::kNode48: {
+      const auto& typed = static_cast<const Node48&>(*node);
+      auto bytes = sizeof(Node48) + typed.prefix.capacity();
+      for (auto index = uint8_t{0}; index < typed.count; ++index) {
+        bytes += MemoryUsageImpl(typed.children[index].get());
+      }
+      return bytes;
+    }
+    case NodeType::kNode256: {
+      const auto& typed = static_cast<const Node256&>(*node);
+      auto bytes = sizeof(Node256) + typed.prefix.capacity();
+      for (const auto& child : typed.children) {
+        bytes += MemoryUsageImpl(child.get());
+      }
+      return bytes;
+    }
+  }
+  Fail("Unhandled node type");
+}
+
+}  // namespace hyrise

@@ -1,0 +1,104 @@
+#ifndef HYRISE_SRC_STORAGE_INDEX_ADAPTIVE_RADIX_TREE_HPP_
+#define HYRISE_SRC_STORAGE_INDEX_ADAPTIVE_RADIX_TREE_HPP_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "types/types.hpp"
+
+namespace hyrise {
+
+/// Adaptive radix tree (Leis et al., cited as [31] in the paper) over
+/// binary-comparable byte keys: inner nodes adapt among 4/16/48/256-way
+/// layouts, paths with single children are compressed into node prefixes,
+/// and leaves store the full key plus a posting list of chunk offsets.
+/// Typed columns are mapped to byte keys by ArtChunkIndex.
+class ArtTree {
+ public:
+  using Key = std::vector<uint8_t>;
+
+  ArtTree() = default;
+  ArtTree(const ArtTree&) = delete;
+  ArtTree& operator=(const ArtTree&) = delete;
+
+  void Insert(const Key& key, ChunkOffset offset);
+
+  /// Posting list for an exact key (nullptr if absent).
+  const std::vector<ChunkOffset>* Lookup(const Key& key) const;
+
+  /// Appends postings of all keys within the bounds (nullptr bound = open).
+  void Range(const Key* lower, bool lower_inclusive, const Key* upper, bool upper_inclusive,
+             std::vector<ChunkOffset>& result) const;
+
+  size_t MemoryUsage() const;
+
+ private:
+  enum class NodeType : uint8_t { kNode4, kNode16, kNode48, kNode256, kLeaf };
+
+  struct Node {
+    explicit Node(NodeType init_type) : type(init_type) {}
+    virtual ~Node() = default;
+    NodeType type;
+  };
+
+  struct LeafNode final : Node {
+    LeafNode(Key init_key, ChunkOffset offset) : Node(NodeType::kLeaf), key(std::move(init_key)) {
+      postings.push_back(offset);
+    }
+    Key key;
+    std::vector<ChunkOffset> postings;
+  };
+
+  struct InnerNode : Node {
+    explicit InnerNode(NodeType init_type) : Node(init_type) {}
+    std::vector<uint8_t> prefix;  // Path compression.
+  };
+
+  struct Node4 final : InnerNode {
+    Node4() : InnerNode(NodeType::kNode4) {}
+    uint8_t count{0};
+    std::array<uint8_t, 4> keys{};
+    std::array<std::unique_ptr<Node>, 4> children;
+  };
+
+  struct Node16 final : InnerNode {
+    Node16() : InnerNode(NodeType::kNode16) {}
+    uint8_t count{0};
+    std::array<uint8_t, 16> keys{};
+    std::array<std::unique_ptr<Node>, 16> children;
+  };
+
+  struct Node48 final : InnerNode {
+    Node48() : InnerNode(NodeType::kNode48) {}
+    static constexpr uint8_t kEmpty = 255;
+    uint8_t count{0};
+    std::array<uint8_t, 256> child_index;
+    std::array<std::unique_ptr<Node>, 48> children;
+  };
+
+  struct Node256 final : InnerNode {
+    Node256() : InnerNode(NodeType::kNode256) {}
+    uint16_t count{0};
+    std::array<std::unique_ptr<Node>, 256> children;
+  };
+
+  static void InsertImpl(std::unique_ptr<Node>& node, const Key& key, size_t depth, ChunkOffset offset);
+  static std::unique_ptr<Node>* FindChild(Node& node, uint8_t byte);
+  static void AddChild(std::unique_ptr<Node>& node, uint8_t byte, std::unique_ptr<Node> child);
+
+  template <typename Functor>
+  static void ForEachChildInOrder(const Node& node, const Functor& functor);
+
+  static void RangeImpl(const Node* node, Key& accumulated, const Key* lower, bool lower_inclusive, const Key* upper,
+                        bool upper_inclusive, std::vector<ChunkOffset>& result);
+
+  static size_t MemoryUsageImpl(const Node* node);
+
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_STORAGE_INDEX_ADAPTIVE_RADIX_TREE_HPP_

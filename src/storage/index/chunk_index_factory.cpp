@@ -1,0 +1,47 @@
+#include <memory>
+
+#include "storage/index/abstract_chunk_index.hpp"
+#include "storage/index/art_chunk_index.hpp"
+#include "storage/index/b_tree_index.hpp"
+#include "storage/index/group_key_index.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+const char* ChunkIndexTypeToString(ChunkIndexType type) {
+  switch (type) {
+    case ChunkIndexType::kAdaptiveRadixTree:
+      return "AdaptiveRadixTree";
+    case ChunkIndexType::kBTree:
+      return "BTree";
+    case ChunkIndexType::kGroupKey:
+      return "GroupKey";
+  }
+  Fail("Unhandled ChunkIndexType");
+}
+
+std::shared_ptr<AbstractChunkIndex> CreateChunkIndex(ChunkIndexType type,
+                                                     const std::shared_ptr<const AbstractSegment>& segment) {
+  auto index = std::shared_ptr<AbstractChunkIndex>{};
+  ResolveDataType(segment->data_type(), [&](auto type_tag) {
+    using T = decltype(type_tag);
+    switch (type) {
+      case ChunkIndexType::kAdaptiveRadixTree:
+        index = std::make_shared<ArtChunkIndex<T>>(*segment);
+        return;
+      case ChunkIndexType::kBTree:
+        index = std::make_shared<BTreeIndex<T>>(*segment);
+        return;
+      case ChunkIndexType::kGroupKey: {
+        const auto dictionary_segment = std::dynamic_pointer_cast<const DictionarySegment<T>>(segment);
+        Assert(dictionary_segment != nullptr, "GroupKeyIndex requires a dictionary-encoded segment");
+        index = std::make_shared<GroupKeyIndex<T>>(dictionary_segment);
+        return;
+      }
+    }
+    Fail("Unhandled ChunkIndexType");
+  });
+  return index;
+}
+
+}  // namespace hyrise

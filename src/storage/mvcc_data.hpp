@@ -1,0 +1,72 @@
+#ifndef HYRISE_SRC_STORAGE_MVCC_DATA_HPP_
+#define HYRISE_SRC_STORAGE_MVCC_DATA_HPP_
+
+#include <atomic>
+#include <vector>
+
+#include "types/types.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+/// Per-chunk multi-version concurrency control columns (paper §2.8): for each
+/// row a begin commit ID, an end commit ID, and the ID of the transaction that
+/// currently "owns" the row (holds a write lock via compare-and-swap on the
+/// TID slot). Vectors are preallocated to the chunk capacity so that slots can
+/// be written lock-free by concurrent transactions.
+class MvccData {
+ public:
+  explicit MvccData(ChunkOffset capacity)
+      : begin_cids_(capacity), end_cids_(capacity), tids_(capacity) {
+    for (auto offset = ChunkOffset{0}; offset < capacity; ++offset) {
+      begin_cids_[offset].store(kMaxCommitId, std::memory_order_relaxed);
+      end_cids_[offset].store(kMaxCommitId, std::memory_order_relaxed);
+      tids_[offset].store(kInvalidTransactionId, std::memory_order_relaxed);
+    }
+  }
+
+  ChunkOffset capacity() const {
+    return static_cast<ChunkOffset>(begin_cids_.size());
+  }
+
+  CommitID GetBeginCid(ChunkOffset offset) const {
+    return begin_cids_[offset].load(std::memory_order_acquire);
+  }
+
+  void SetBeginCid(ChunkOffset offset, CommitID commit_id) {
+    begin_cids_[offset].store(commit_id, std::memory_order_release);
+  }
+
+  CommitID GetEndCid(ChunkOffset offset) const {
+    return end_cids_[offset].load(std::memory_order_acquire);
+  }
+
+  void SetEndCid(ChunkOffset offset, CommitID commit_id) {
+    end_cids_[offset].store(commit_id, std::memory_order_release);
+  }
+
+  TransactionID GetTid(ChunkOffset offset) const {
+    return tids_[offset].load(std::memory_order_acquire);
+  }
+
+  void SetTid(ChunkOffset offset, TransactionID tid) {
+    tids_[offset].store(tid, std::memory_order_release);
+  }
+
+  /// Atomically acquires the row for `tid` if it is unowned. Returns false on
+  /// a write-write conflict (paper §2.8: "only one can succeed and the other
+  /// has to abort").
+  bool TryLockRow(ChunkOffset offset, TransactionID tid) {
+    auto expected = kInvalidTransactionId;
+    return tids_[offset].compare_exchange_strong(expected, tid, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::vector<std::atomic<CommitID>> begin_cids_;
+  std::vector<std::atomic<CommitID>> end_cids_;
+  std::vector<std::atomic<TransactionID>> tids_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_STORAGE_MVCC_DATA_HPP_

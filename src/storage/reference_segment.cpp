@@ -1,0 +1,26 @@
+#include "storage/reference_segment.hpp"
+
+#include "storage/table.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+ReferenceSegment::ReferenceSegment(std::shared_ptr<const Table> referenced_table, ColumnID referenced_column_id,
+                                   std::shared_ptr<const RowIDPosList> pos_list)
+    : AbstractSegment(referenced_table->column_data_type(referenced_column_id)),
+      referenced_table_(std::move(referenced_table)),
+      referenced_column_id_(referenced_column_id),
+      pos_list_(std::move(pos_list)) {
+  DebugAssert(referenced_table_->type() == TableType::kData, "ReferenceSegments must reference data tables");
+}
+
+AllTypeVariant ReferenceSegment::operator[](ChunkOffset chunk_offset) const {
+  const auto row_id = (*pos_list_)[chunk_offset];
+  if (row_id == kNullRowId) {
+    return kNullVariant;  // Padding row from an outer join.
+  }
+  const auto chunk = referenced_table_->GetChunk(row_id.chunk_id);
+  return (*chunk->GetSegment(referenced_column_id_))[row_id.chunk_offset];
+}
+
+}  // namespace hyrise

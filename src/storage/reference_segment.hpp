@@ -1,0 +1,52 @@
+#ifndef HYRISE_SRC_STORAGE_REFERENCE_SEGMENT_HPP_
+#define HYRISE_SRC_STORAGE_REFERENCE_SEGMENT_HPP_
+
+#include <memory>
+#include <utility>
+
+#include "storage/abstract_segment.hpp"
+#include "storage/pos_list.hpp"
+
+namespace hyrise {
+
+class Table;
+
+/// A segment that does not own data but points into a data table through a
+/// position list. Operator outputs are tables of ReferenceSegments, which
+/// avoids materialization between operators (paper §2.6).
+class ReferenceSegment final : public AbstractSegment {
+ public:
+  ReferenceSegment(std::shared_ptr<const Table> referenced_table, ColumnID referenced_column_id,
+                   std::shared_ptr<const RowIDPosList> pos_list);
+
+  ChunkOffset size() const final {
+    return static_cast<ChunkOffset>(pos_list_->size());
+  }
+
+  AllTypeVariant operator[](ChunkOffset chunk_offset) const final;
+
+  const std::shared_ptr<const Table>& referenced_table() const {
+    return referenced_table_;
+  }
+
+  ColumnID referenced_column_id() const {
+    return referenced_column_id_;
+  }
+
+  const std::shared_ptr<const RowIDPosList>& pos_list() const {
+    return pos_list_;
+  }
+
+  size_t MemoryUsage() const final {
+    return pos_list_->capacity() * sizeof(RowID);
+  }
+
+ private:
+  std::shared_ptr<const Table> referenced_table_;
+  ColumnID referenced_column_id_;
+  std::shared_ptr<const RowIDPosList> pos_list_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_STORAGE_REFERENCE_SEGMENT_HPP_

@@ -1,0 +1,83 @@
+#ifndef HYRISE_SRC_STORAGE_RUN_LENGTH_SEGMENT_HPP_
+#define HYRISE_SRC_STORAGE_RUN_LENGTH_SEGMENT_HPP_
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "storage/abstract_segment.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+/// Run-length encoding (paper §2.3): consecutive equal values collapse into a
+/// single run. `end_positions` stores the last chunk offset of each run, so
+/// positional access is a binary search over runs.
+template <typename T>
+class RunLengthSegment final : public AbstractEncodedSegment {
+ public:
+  RunLengthSegment(std::shared_ptr<const std::vector<T>> values,
+                   std::shared_ptr<const std::vector<bool>> run_is_null,
+                   std::shared_ptr<const std::vector<ChunkOffset>> end_positions)
+      : AbstractEncodedSegment(DataTypeOf<T>(), EncodingType::kRunLength),
+        values_(std::move(values)),
+        run_is_null_(std::move(run_is_null)),
+        end_positions_(std::move(end_positions)) {
+    Assert(values_->size() == end_positions_->size() && values_->size() == run_is_null_->size(),
+           "Run vectors must have equal length");
+  }
+
+  ChunkOffset size() const final {
+    return end_positions_->empty() ? 0 : end_positions_->back() + 1;
+  }
+
+  AllTypeVariant operator[](ChunkOffset chunk_offset) const final {
+    const auto run = RunIndexOf(chunk_offset);
+    if ((*run_is_null_)[run]) {
+      return kNullVariant;
+    }
+    return AllTypeVariant{(*values_)[run]};
+  }
+
+  /// Index of the run containing `chunk_offset`.
+  size_t RunIndexOf(ChunkOffset chunk_offset) const {
+    const auto iter = std::lower_bound(end_positions_->begin(), end_positions_->end(), chunk_offset);
+    DebugAssert(iter != end_positions_->end(), "RunLengthSegment offset out of range");
+    return static_cast<size_t>(std::distance(end_positions_->begin(), iter));
+  }
+
+  const std::vector<T>& values() const {
+    return *values_;
+  }
+
+  const std::vector<bool>& run_is_null() const {
+    return *run_is_null_;
+  }
+
+  const std::vector<ChunkOffset>& end_positions() const {
+    return *end_positions_;
+  }
+
+  size_t MemoryUsage() const final {
+    auto bytes = values_->capacity() * sizeof(T) + end_positions_->capacity() * sizeof(ChunkOffset) +
+                 run_is_null_->capacity() / 8;
+    if constexpr (std::is_same_v<T, std::string>) {
+      for (const auto& value : *values_) {
+        if (value.capacity() > sizeof(std::string) - 1) {
+          bytes += value.capacity();
+        }
+      }
+    }
+    return bytes;
+  }
+
+ private:
+  std::shared_ptr<const std::vector<T>> values_;
+  std::shared_ptr<const std::vector<bool>> run_is_null_;
+  std::shared_ptr<const std::vector<ChunkOffset>> end_positions_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_STORAGE_RUN_LENGTH_SEGMENT_HPP_

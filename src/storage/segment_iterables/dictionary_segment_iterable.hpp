@@ -1,0 +1,91 @@
+#ifndef HYRISE_SRC_STORAGE_SEGMENT_ITERABLES_DICTIONARY_SEGMENT_ITERABLE_HPP_
+#define HYRISE_SRC_STORAGE_SEGMENT_ITERABLES_DICTIONARY_SEGMENT_ITERABLE_HPP_
+
+#include <utility>
+#include <vector>
+
+#include "storage/dictionary_segment.hpp"
+#include "storage/segment_iterables/segment_iterable.hpp"
+
+namespace hyrise {
+
+/// Iterable over a dictionary segment with a statically resolved compressed
+/// attribute vector (`CompressedVectorT`). Decoding happens per position —
+/// no upfront materialization.
+template <typename T, typename CompressedVectorT>
+class DictionarySegmentIterable : public SegmentIterable<DictionarySegmentIterable<T, CompressedVectorT>> {
+ public:
+  using ValueType = T;
+  using Decompressor = typename CompressedVectorT::Decompressor;
+
+  DictionarySegmentIterable(const DictionarySegment<T>& segment, const CompressedVectorT& attribute_vector)
+      : segment_(&segment), attribute_vector_(&attribute_vector) {}
+
+  template <typename Functor>
+  void OnWithIterators(const Functor& functor) const {
+    const auto decompressor = attribute_vector_->CreateDecompressor();
+    const auto size = segment_->size();
+    functor(Iterator{&segment_->dictionary(), decompressor, segment_->null_value_id(), 0},
+            Iterator{&segment_->dictionary(), decompressor, segment_->null_value_id(), size});
+  }
+
+  template <typename Functor>
+  void OnWithPointIterators(const PositionFilter& positions, const Functor& functor) const {
+    const auto getter = [dictionary = &segment_->dictionary(), decompressor = attribute_vector_->CreateDecompressor(),
+                         null_id = segment_->null_value_id()](ChunkOffset offset) -> std::pair<T, bool> {
+      const auto value_id = decompressor.Get(offset);
+      if (value_id == null_id) {
+        return {T{}, true};
+      }
+      return {(*dictionary)[value_id], false};
+    };
+    using Iter = PointAccessIterator<T, decltype(getter)>;
+    functor(Iter{&positions, getter, 0}, Iter{&positions, getter, positions.size()});
+  }
+
+ private:
+  class Iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = SegmentPosition<T>;
+    using difference_type = std::ptrdiff_t;
+
+    Iterator(const std::vector<T>* dictionary, Decompressor decompressor, uint32_t null_value_id, size_t index)
+        : dictionary_(dictionary), decompressor_(std::move(decompressor)), null_value_id_(null_value_id),
+          index_(index) {}
+
+    SegmentPosition<T> operator*() const {
+      const auto value_id = decompressor_.Get(index_);
+      if (value_id == null_value_id_) {
+        return SegmentPosition<T>{T{}, true, static_cast<ChunkOffset>(index_)};
+      }
+      return SegmentPosition<T>{(*dictionary_)[value_id], false, static_cast<ChunkOffset>(index_)};
+    }
+
+    Iterator& operator++() {
+      ++index_;
+      return *this;
+    }
+
+    friend bool operator==(const Iterator& lhs, const Iterator& rhs) {
+      return lhs.index_ == rhs.index_;
+    }
+
+    friend bool operator!=(const Iterator& lhs, const Iterator& rhs) {
+      return lhs.index_ != rhs.index_;
+    }
+
+   private:
+    const std::vector<T>* dictionary_;
+    Decompressor decompressor_;
+    uint32_t null_value_id_;
+    size_t index_;
+  };
+
+  const DictionarySegment<T>* segment_;
+  const CompressedVectorT* attribute_vector_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_STORAGE_SEGMENT_ITERABLES_DICTIONARY_SEGMENT_ITERABLE_HPP_

@@ -1,0 +1,84 @@
+#ifndef HYRISE_SRC_STORAGE_SEGMENT_ITERABLES_FRAME_OF_REFERENCE_SEGMENT_ITERABLE_HPP_
+#define HYRISE_SRC_STORAGE_SEGMENT_ITERABLES_FRAME_OF_REFERENCE_SEGMENT_ITERABLE_HPP_
+
+#include <utility>
+#include <vector>
+
+#include "storage/frame_of_reference_segment.hpp"
+#include "storage/segment_iterables/segment_iterable.hpp"
+
+namespace hyrise {
+
+template <typename T, typename CompressedVectorT>
+class FrameOfReferenceSegmentIterable
+    : public SegmentIterable<FrameOfReferenceSegmentIterable<T, CompressedVectorT>> {
+ public:
+  using ValueType = T;
+  using Decompressor = typename CompressedVectorT::Decompressor;
+
+  FrameOfReferenceSegmentIterable(const FrameOfReferenceSegment<T>& segment, const CompressedVectorT& offset_values)
+      : segment_(&segment), offset_values_(&offset_values) {}
+
+  template <typename Functor>
+  void OnWithIterators(const Functor& functor) const {
+    const auto decompressor = offset_values_->CreateDecompressor();
+    functor(Iterator{segment_, decompressor, 0}, Iterator{segment_, decompressor, segment_->size()});
+  }
+
+  template <typename Functor>
+  void OnWithPointIterators(const PositionFilter& positions, const Functor& functor) const {
+    const auto getter = [segment = segment_,
+                         decompressor = offset_values_->CreateDecompressor()](ChunkOffset offset)
+        -> std::pair<T, bool> {
+      if (segment->IsNullAt(offset)) {
+        return {T{}, true};
+      }
+      return {segment->DecodeAt(offset, decompressor.Get(offset)), false};
+    };
+    using Iter = PointAccessIterator<T, decltype(getter)>;
+    functor(Iter{&positions, getter, 0}, Iter{&positions, getter, positions.size()});
+  }
+
+ private:
+  class Iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = SegmentPosition<T>;
+    using difference_type = std::ptrdiff_t;
+
+    Iterator(const FrameOfReferenceSegment<T>* segment, Decompressor decompressor, ChunkOffset offset)
+        : segment_(segment), decompressor_(std::move(decompressor)), offset_(offset) {}
+
+    SegmentPosition<T> operator*() const {
+      if (segment_->IsNullAt(offset_)) {
+        return SegmentPosition<T>{T{}, true, offset_};
+      }
+      return SegmentPosition<T>{segment_->DecodeAt(offset_, decompressor_.Get(offset_)), false, offset_};
+    }
+
+    Iterator& operator++() {
+      ++offset_;
+      return *this;
+    }
+
+    friend bool operator==(const Iterator& lhs, const Iterator& rhs) {
+      return lhs.offset_ == rhs.offset_;
+    }
+
+    friend bool operator!=(const Iterator& lhs, const Iterator& rhs) {
+      return lhs.offset_ != rhs.offset_;
+    }
+
+   private:
+    const FrameOfReferenceSegment<T>* segment_;
+    Decompressor decompressor_;
+    ChunkOffset offset_;
+  };
+
+  const FrameOfReferenceSegment<T>* segment_;
+  const CompressedVectorT* offset_values_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_STORAGE_SEGMENT_ITERABLES_FRAME_OF_REFERENCE_SEGMENT_ITERABLE_HPP_

@@ -1,0 +1,103 @@
+#ifndef HYRISE_SRC_STORAGE_SEGMENT_ITERABLES_REFERENCE_SEGMENT_ITERABLE_HPP_
+#define HYRISE_SRC_STORAGE_SEGMENT_ITERABLES_REFERENCE_SEGMENT_ITERABLE_HPP_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "storage/reference_segment.hpp"
+#include "storage/segment_iterables/segment_accessor.hpp"
+#include "storage/segment_iterables/segment_iterable.hpp"
+#include "storage/table.hpp"
+
+namespace hyrise {
+
+/// Iterable over a ReferenceSegment. Because a position list can point into
+/// many chunks (with differently encoded segments), values are fetched through
+/// per-chunk accessors that are created lazily and cached. chunk_offset() of
+/// yielded positions is the index into the position list.
+template <typename T>
+class ReferenceSegmentIterable : public SegmentIterable<ReferenceSegmentIterable<T>> {
+ public:
+  using ValueType = T;
+
+  explicit ReferenceSegmentIterable(const ReferenceSegment& segment) : segment_(&segment) {}
+
+  template <typename Functor>
+  void OnWithIterators(const Functor& functor) const {
+    const auto getter = MakeGetter();
+    const auto size = segment_->pos_list()->size();
+    using Iter = GetterIterator<decltype(getter)>;
+    functor(Iter{getter, 0}, Iter{getter, size});
+  }
+
+  template <typename Functor>
+  void OnWithPointIterators(const PositionFilter& positions, const Functor& functor) const {
+    const auto getter = MakeGetter();
+    const auto point_getter = [getter](ChunkOffset pos_list_index) {
+      return getter(pos_list_index);
+    };
+    using Iter = PointAccessIterator<T, decltype(point_getter)>;
+    functor(Iter{&positions, point_getter, 0}, Iter{&positions, point_getter, positions.size()});
+  }
+
+ private:
+  auto MakeGetter() const {
+    using AccessorCache = std::vector<std::unique_ptr<AbstractSegmentAccessor<T>>>;
+    auto accessors = std::make_shared<AccessorCache>(segment_->referenced_table()->chunk_count());
+    return [pos_list = segment_->pos_list().get(), table = segment_->referenced_table().get(),
+            column_id = segment_->referenced_column_id(), accessors](size_t index) -> std::pair<T, bool> {
+      const auto row_id = (*pos_list)[index];
+      if (row_id == kNullRowId) {
+        return {T{}, true};  // Outer-join padding row.
+      }
+      auto& accessor = (*accessors)[row_id.chunk_id];
+      if (!accessor) {
+        accessor = CreateSegmentAccessor<T>(*table->GetChunk(row_id.chunk_id)->GetSegment(column_id));
+      }
+      auto value = accessor->Access(row_id.chunk_offset);
+      if (!value.has_value()) {
+        return {T{}, true};
+      }
+      return {std::move(*value), false};
+    };
+  }
+
+  template <typename Getter>
+  class GetterIterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = SegmentPosition<T>;
+    using difference_type = std::ptrdiff_t;
+
+    GetterIterator(Getter getter, size_t index) : getter_(std::move(getter)), index_(index) {}
+
+    SegmentPosition<T> operator*() const {
+      auto [value, is_null] = getter_(index_);
+      return SegmentPosition<T>{std::move(value), is_null, static_cast<ChunkOffset>(index_)};
+    }
+
+    GetterIterator& operator++() {
+      ++index_;
+      return *this;
+    }
+
+    friend bool operator==(const GetterIterator& lhs, const GetterIterator& rhs) {
+      return lhs.index_ == rhs.index_;
+    }
+
+    friend bool operator!=(const GetterIterator& lhs, const GetterIterator& rhs) {
+      return lhs.index_ != rhs.index_;
+    }
+
+   private:
+    Getter getter_;
+    size_t index_;
+  };
+
+  const ReferenceSegment* segment_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_STORAGE_SEGMENT_ITERABLES_REFERENCE_SEGMENT_ITERABLE_HPP_

@@ -1,0 +1,82 @@
+#ifndef HYRISE_SRC_STORAGE_SEGMENT_ITERABLES_RUN_LENGTH_SEGMENT_ITERABLE_HPP_
+#define HYRISE_SRC_STORAGE_SEGMENT_ITERABLES_RUN_LENGTH_SEGMENT_ITERABLE_HPP_
+
+#include <utility>
+#include <vector>
+
+#include "storage/run_length_segment.hpp"
+#include "storage/segment_iterables/segment_iterable.hpp"
+
+namespace hyrise {
+
+template <typename T>
+class RunLengthSegmentIterable : public SegmentIterable<RunLengthSegmentIterable<T>> {
+ public:
+  using ValueType = T;
+
+  explicit RunLengthSegmentIterable(const RunLengthSegment<T>& segment) : segment_(&segment) {}
+
+  template <typename Functor>
+  void OnWithIterators(const Functor& functor) const {
+    functor(Iterator{segment_, 0, 0}, Iterator{segment_, segment_->size(), segment_->values().size()});
+  }
+
+  template <typename Functor>
+  void OnWithPointIterators(const PositionFilter& positions, const Functor& functor) const {
+    // Random access into RLE requires a binary search over run boundaries.
+    const auto getter = [segment = segment_](ChunkOffset offset) -> std::pair<T, bool> {
+      const auto run = segment->RunIndexOf(offset);
+      if (segment->run_is_null()[run]) {
+        return {T{}, true};
+      }
+      return {segment->values()[run], false};
+    };
+    using Iter = PointAccessIterator<T, decltype(getter)>;
+    functor(Iter{&positions, getter, 0}, Iter{&positions, getter, positions.size()});
+  }
+
+ private:
+  class Iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = SegmentPosition<T>;
+    using difference_type = std::ptrdiff_t;
+
+    Iterator(const RunLengthSegment<T>* segment, ChunkOffset offset, size_t run)
+        : segment_(segment), offset_(offset), run_(run) {}
+
+    SegmentPosition<T> operator*() const {
+      if (segment_->run_is_null()[run_]) {
+        return SegmentPosition<T>{T{}, true, offset_};
+      }
+      return SegmentPosition<T>{segment_->values()[run_], false, offset_};
+    }
+
+    Iterator& operator++() {
+      ++offset_;
+      if (run_ < segment_->end_positions().size() && offset_ > segment_->end_positions()[run_]) {
+        ++run_;
+      }
+      return *this;
+    }
+
+    friend bool operator==(const Iterator& lhs, const Iterator& rhs) {
+      return lhs.offset_ == rhs.offset_;
+    }
+
+    friend bool operator!=(const Iterator& lhs, const Iterator& rhs) {
+      return lhs.offset_ != rhs.offset_;
+    }
+
+   private:
+    const RunLengthSegment<T>* segment_;
+    ChunkOffset offset_;
+    size_t run_;
+  };
+
+  const RunLengthSegment<T>* segment_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_STORAGE_SEGMENT_ITERABLES_RUN_LENGTH_SEGMENT_ITERABLE_HPP_

@@ -1,0 +1,40 @@
+#ifndef HYRISE_SRC_STORAGE_SEGMENT_ITERABLES_SEGMENT_POSITION_HPP_
+#define HYRISE_SRC_STORAGE_SEGMENT_ITERABLES_SEGMENT_POSITION_HPP_
+
+#include <utility>
+
+#include "types/types.hpp"
+
+namespace hyrise {
+
+/// What a segment iterator yields: the value, its NULL flag, and the offset it
+/// came from (paper Listing 1: `left.is_null()`, `left.value()`,
+/// `left.chunk_offset()`). For point-access iteration, chunk_offset() is the
+/// index into the position filter, so scan results line up with the filter.
+template <typename T>
+class SegmentPosition {
+ public:
+  SegmentPosition(T value, bool is_null, ChunkOffset chunk_offset)
+      : value_(std::move(value)), is_null_(is_null), chunk_offset_(chunk_offset) {}
+
+  const T& value() const {
+    return value_;
+  }
+
+  bool is_null() const {
+    return is_null_;
+  }
+
+  ChunkOffset chunk_offset() const {
+    return chunk_offset_;
+  }
+
+ private:
+  T value_;
+  bool is_null_;
+  ChunkOffset chunk_offset_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_STORAGE_SEGMENT_ITERABLES_SEGMENT_POSITION_HPP_

@@ -1,0 +1,90 @@
+#ifndef HYRISE_SRC_STORAGE_SEGMENT_ITERABLES_VALUE_SEGMENT_ITERABLE_HPP_
+#define HYRISE_SRC_STORAGE_SEGMENT_ITERABLES_VALUE_SEGMENT_ITERABLE_HPP_
+
+#include <vector>
+
+#include "storage/segment_iterables/segment_iterable.hpp"
+#include "storage/value_segment.hpp"
+
+namespace hyrise {
+
+template <typename T>
+class ValueSegmentIterable : public SegmentIterable<ValueSegmentIterable<T>> {
+ public:
+  using ValueType = T;
+
+  explicit ValueSegmentIterable(const ValueSegment<T>& segment) : segment_(&segment) {}
+
+  template <typename Functor>
+  void OnWithIterators(const Functor& functor) const {
+    const auto size = segment_->values().size();
+    if (segment_->is_nullable()) {
+      functor(Iterator<true>{&segment_->values(), &segment_->null_values(), 0},
+              Iterator<true>{&segment_->values(), &segment_->null_values(), size});
+    } else {
+      functor(Iterator<false>{&segment_->values(), nullptr, 0}, Iterator<false>{&segment_->values(), nullptr, size});
+    }
+  }
+
+  template <typename Functor>
+  void OnWithPointIterators(const PositionFilter& positions, const Functor& functor) const {
+    if (segment_->is_nullable()) {
+      const auto getter = [values = &segment_->values(),
+                           nulls = &segment_->null_values()](ChunkOffset offset) -> std::pair<T, bool> {
+        return {(*values)[offset], (*nulls)[offset]};
+      };
+      using Iter = PointAccessIterator<T, decltype(getter)>;
+      functor(Iter{&positions, getter, 0}, Iter{&positions, getter, positions.size()});
+    } else {
+      const auto getter = [values = &segment_->values()](ChunkOffset offset) -> std::pair<T, bool> {
+        return {(*values)[offset], false};
+      };
+      using Iter = PointAccessIterator<T, decltype(getter)>;
+      functor(Iter{&positions, getter, 0}, Iter{&positions, getter, positions.size()});
+    }
+  }
+
+ private:
+  template <bool Nullable>
+  class Iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = SegmentPosition<T>;
+    using difference_type = std::ptrdiff_t;
+
+    Iterator(const std::vector<T>* values, const std::vector<bool>* nulls, size_t index)
+        : values_(values), nulls_(nulls), index_(index) {}
+
+    SegmentPosition<T> operator*() const {
+      if constexpr (Nullable) {
+        return SegmentPosition<T>{(*values_)[index_], (*nulls_)[index_], static_cast<ChunkOffset>(index_)};
+      } else {
+        return SegmentPosition<T>{(*values_)[index_], false, static_cast<ChunkOffset>(index_)};
+      }
+    }
+
+    Iterator& operator++() {
+      ++index_;
+      return *this;
+    }
+
+    friend bool operator==(const Iterator& lhs, const Iterator& rhs) {
+      return lhs.index_ == rhs.index_;
+    }
+
+    friend bool operator!=(const Iterator& lhs, const Iterator& rhs) {
+      return lhs.index_ != rhs.index_;
+    }
+
+   private:
+    const std::vector<T>* values_;
+    const std::vector<bool>* nulls_;
+    size_t index_;
+  };
+
+  const ValueSegment<T>* segment_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_STORAGE_SEGMENT_ITERABLES_VALUE_SEGMENT_ITERABLE_HPP_

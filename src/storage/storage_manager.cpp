@@ -1,0 +1,67 @@
+#include "storage/storage_manager.hpp"
+
+#include "storage/table.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+void StorageManager::AddTable(const std::string& name, std::shared_ptr<Table> table) {
+  const auto lock = std::lock_guard{mutex_};
+  Assert(!tables_.contains(name), "Table already exists: " + name);
+  Assert(!views_.contains(name), "A view with this name exists: " + name);
+  tables_.emplace(name, std::move(table));
+}
+
+void StorageManager::DropTable(const std::string& name) {
+  const auto lock = std::lock_guard{mutex_};
+  const auto erased = tables_.erase(name);
+  Assert(erased == 1, "Table does not exist: " + name);
+}
+
+bool StorageManager::HasTable(const std::string& name) const {
+  const auto lock = std::lock_guard{mutex_};
+  return tables_.contains(name);
+}
+
+std::shared_ptr<Table> StorageManager::GetTable(const std::string& name) const {
+  const auto lock = std::lock_guard{mutex_};
+  const auto iter = tables_.find(name);
+  Assert(iter != tables_.end(), "Table does not exist: " + name);
+  return iter->second;
+}
+
+std::vector<std::string> StorageManager::TableNames() const {
+  const auto lock = std::lock_guard{mutex_};
+  auto names = std::vector<std::string>{};
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+void StorageManager::AddView(const std::string& name, std::shared_ptr<LqpView> view) {
+  const auto lock = std::lock_guard{mutex_};
+  Assert(!views_.contains(name) && !tables_.contains(name), "Name already in use: " + name);
+  views_.emplace(name, std::move(view));
+}
+
+void StorageManager::DropView(const std::string& name) {
+  const auto lock = std::lock_guard{mutex_};
+  const auto erased = views_.erase(name);
+  Assert(erased == 1, "View does not exist: " + name);
+}
+
+bool StorageManager::HasView(const std::string& name) const {
+  const auto lock = std::lock_guard{mutex_};
+  return views_.contains(name);
+}
+
+std::shared_ptr<LqpView> StorageManager::GetView(const std::string& name) const {
+  const auto lock = std::lock_guard{mutex_};
+  const auto iter = views_.find(name);
+  Assert(iter != views_.end(), "View does not exist: " + name);
+  return iter->second;
+}
+
+}  // namespace hyrise

@@ -1,0 +1,38 @@
+#ifndef HYRISE_SRC_STORAGE_STORAGE_MANAGER_HPP_
+#define HYRISE_SRC_STORAGE_STORAGE_MANAGER_HPP_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hyrise {
+
+class Table;
+class LqpView;
+
+/// Central catalog of user tables and SQL views (paper Figure 1, "Storage
+/// Manager"). Thread-safe for concurrent lookups and registrations.
+class StorageManager {
+ public:
+  void AddTable(const std::string& name, std::shared_ptr<Table> table);
+  void DropTable(const std::string& name);
+  bool HasTable(const std::string& name) const;
+  std::shared_ptr<Table> GetTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  void AddView(const std::string& name, std::shared_ptr<LqpView> view);
+  void DropView(const std::string& name);
+  bool HasView(const std::string& name) const;
+  std::shared_ptr<LqpView> GetView(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::shared_ptr<Table>> tables_;
+  std::map<std::string, std::shared_ptr<LqpView>> views_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_STORAGE_STORAGE_MANAGER_HPP_

@@ -1,0 +1,29 @@
+#ifndef HYRISE_SRC_STORAGE_TABLE_COLUMN_DEFINITION_HPP_
+#define HYRISE_SRC_STORAGE_TABLE_COLUMN_DEFINITION_HPP_
+
+#include <string>
+#include <vector>
+
+#include "types/all_type_variant.hpp"
+
+namespace hyrise {
+
+/// Name, type, and nullability of one table column.
+struct TableColumnDefinition {
+  TableColumnDefinition() = default;
+
+  TableColumnDefinition(std::string init_name, DataType init_data_type, bool init_nullable = false)
+      : name(std::move(init_name)), data_type(init_data_type), nullable(init_nullable) {}
+
+  std::string name;
+  DataType data_type{DataType::kNull};
+  bool nullable{false};
+
+  friend bool operator==(const TableColumnDefinition&, const TableColumnDefinition&) = default;
+};
+
+using TableColumnDefinitions = std::vector<TableColumnDefinition>;
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_STORAGE_TABLE_COLUMN_DEFINITION_HPP_

@@ -1,0 +1,106 @@
+#ifndef HYRISE_SRC_STORAGE_VALUE_SEGMENT_HPP_
+#define HYRISE_SRC_STORAGE_VALUE_SEGMENT_HPP_
+
+#include <utility>
+#include <vector>
+
+#include "storage/abstract_segment.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+/// Plain, unencoded, append-only segment — the format of mutable chunks
+/// (paper §2.2: "data is added in a plain, unencoded fashion").
+template <typename T>
+class ValueSegment final : public AbstractSegment {
+ public:
+  explicit ValueSegment(bool nullable = false) : AbstractSegment(DataTypeOf<T>()), nullable_(nullable) {}
+
+  ValueSegment(std::vector<T> values, std::vector<bool> null_values = {})
+      : AbstractSegment(DataTypeOf<T>()), values_(std::move(values)), null_values_(std::move(null_values)) {
+    nullable_ = !null_values_.empty();
+    Assert(null_values_.empty() || null_values_.size() == values_.size(), "null_values size mismatch");
+  }
+
+  ChunkOffset size() const final {
+    return static_cast<ChunkOffset>(values_.size());
+  }
+
+  AllTypeVariant operator[](ChunkOffset chunk_offset) const final {
+    DebugAssert(chunk_offset < values_.size(), "ValueSegment offset out of range");
+    if (IsNullAt(chunk_offset)) {
+      return kNullVariant;
+    }
+    return AllTypeVariant{values_[chunk_offset]};
+  }
+
+  bool IsNullAt(ChunkOffset chunk_offset) const {
+    return nullable_ && null_values_[chunk_offset];
+  }
+
+  void Append(const AllTypeVariant& value) {
+    if (VariantIsNull(value)) {
+      Assert(nullable_, "Cannot append NULL to non-nullable segment");
+      values_.emplace_back();
+      null_values_.push_back(true);
+      return;
+    }
+    values_.push_back(VariantCast<T>(value));
+    if (nullable_) {
+      null_values_.push_back(false);
+    }
+  }
+
+  void AppendTyped(T value) {
+    values_.push_back(std::move(value));
+    if (nullable_) {
+      null_values_.push_back(false);
+    }
+  }
+
+  void Reserve(size_t capacity) {
+    values_.reserve(capacity);
+    if (nullable_) {
+      null_values_.reserve(capacity);
+    }
+  }
+
+  const std::vector<T>& values() const {
+    return values_;
+  }
+
+  std::vector<T>& values() {
+    return values_;
+  }
+
+  bool is_nullable() const {
+    return nullable_;
+  }
+
+  /// Empty iff the segment is not nullable.
+  const std::vector<bool>& null_values() const {
+    return null_values_;
+  }
+
+  size_t MemoryUsage() const final {
+    auto bytes = values_.capacity() * sizeof(T) + null_values_.capacity() / 8;
+    if constexpr (std::is_same_v<T, std::string>) {
+      for (const auto& value : values_) {
+        // Strings beyond the SSO buffer own a heap allocation.
+        if (value.capacity() > sizeof(std::string) - 1) {
+          bytes += value.capacity();
+        }
+      }
+    }
+    return bytes;
+  }
+
+ private:
+  std::vector<T> values_;
+  std::vector<bool> null_values_;
+  bool nullable_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_STORAGE_VALUE_SEGMENT_HPP_

@@ -1,0 +1,63 @@
+#ifndef HYRISE_SRC_STORAGE_VECTOR_COMPRESSION_BASE_COMPRESSED_VECTOR_HPP_
+#define HYRISE_SRC_STORAGE_VECTOR_COMPRESSION_BASE_COMPRESSED_VECTOR_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "types/types.hpp"
+
+namespace hyrise {
+
+/// Identifies the concrete class of a BaseCompressedVector so callers can
+/// down-cast statically (see ResolveCompressedVector).
+enum class CompressedVectorInternalType : uint8_t {
+  kFixedWidth1Byte,
+  kFixedWidth2Byte,
+  kFixedWidth4Byte,
+  kBitPacking128,
+};
+
+/// Virtual random-access interface over a compressed vector. This is the
+/// *dynamic* access path (one virtual call per value) used where types cannot
+/// be resolved statically, and the baseline of the Figure 3b experiment.
+class BaseVectorDecompressor {
+ public:
+  virtual ~BaseVectorDecompressor() = default;
+
+  virtual uint32_t Get(size_t index) = 0;
+  virtual size_t size() const = 0;
+};
+
+/// A compressed sequence of uint32 codes ("physical encoding" / null
+/// suppression in the paper's taxonomy, §2.3). Logical encodings (dictionary,
+/// frame-of-reference) store their integer codes in one of these, so any
+/// logical scheme profits from a new physical scheme without modification.
+class BaseCompressedVector {
+ public:
+  BaseCompressedVector() = default;
+  BaseCompressedVector(const BaseCompressedVector&) = delete;
+  BaseCompressedVector& operator=(const BaseCompressedVector&) = delete;
+  virtual ~BaseCompressedVector() = default;
+
+  virtual size_t size() const = 0;
+
+  /// Compressed payload size in bytes (for memory accounting, Figure 7).
+  virtual size_t DataSize() const = 0;
+
+  virtual CompressedVectorInternalType internal_type() const = 0;
+
+  virtual VectorCompressionType type() const = 0;
+
+  /// Virtual random access; the slow path.
+  virtual uint32_t Get(size_t index) const = 0;
+
+  /// Decompresses the entire vector ("full materialization" in Figure 3a).
+  virtual std::vector<uint32_t> Decode() const = 0;
+
+  virtual std::unique_ptr<BaseVectorDecompressor> CreateBaseDecompressor() const = 0;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_STORAGE_VECTOR_COMPRESSION_BASE_COMPRESSED_VECTOR_HPP_

@@ -1,0 +1,103 @@
+#include "storage/vector_compression/bitpacking_vector.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+namespace {
+
+uint8_t BitsNeeded(uint32_t max_value) {
+  return static_cast<uint8_t>(std::max(1, 32 - std::countl_zero(max_value)));
+}
+
+}  // namespace
+
+BitPackingVector::BitPackingVector(const std::vector<uint32_t>& values) : size_(values.size()) {
+  const auto block_count = (values.size() + kBlockSize - 1) / kBlockSize;
+  block_bits_.reserve(block_count);
+  block_offsets_.reserve(block_count);
+
+  for (auto block = size_t{0}; block < block_count; ++block) {
+    const auto begin = block * kBlockSize;
+    const auto end = std::min(begin + kBlockSize, values.size());
+
+    auto max_value = uint32_t{0};
+    for (auto index = begin; index < end; ++index) {
+      max_value = std::max(max_value, values[index]);
+    }
+    const auto bits = BitsNeeded(max_value);
+
+    block_bits_.push_back(bits);
+    block_offsets_.push_back(static_cast<uint32_t>(data_.size()));
+
+    const auto words = (kBlockSize * bits + 63) / 64;
+    data_.resize(data_.size() + words, 0);
+
+    auto* block_data = data_.data() + block_offsets_.back();
+    for (auto index = begin; index < end; ++index) {
+      const auto position = index - begin;
+      const auto bit_position = position * bits;
+      const auto word = bit_position / 64;
+      const auto shift = bit_position % 64;
+      block_data[word] |= static_cast<uint64_t>(values[index]) << shift;
+      if (shift + bits > 64) {
+        block_data[word + 1] |= static_cast<uint64_t>(values[index]) >> (64 - shift);
+      }
+    }
+  }
+}
+
+uint32_t BitPackingVector::GetImpl(size_t index) const {
+  DebugAssert(index < size_, "BitPackingVector index out of range");
+  const auto block = index / kBlockSize;
+  const auto position = index % kBlockSize;
+  const auto bits = block_bits_[block];
+  const auto* block_data = data_.data() + block_offsets_[block];
+
+  const auto bit_position = position * bits;
+  const auto word = bit_position / 64;
+  const auto shift = bit_position % 64;
+
+  auto value = block_data[word] >> shift;
+  if (shift + bits > 64) {
+    value |= block_data[word + 1] << (64 - shift);
+  }
+  const auto mask = bits == 32 ? ~uint32_t{0} : ((uint32_t{1} << bits) - 1);
+  return static_cast<uint32_t>(value) & mask;
+}
+
+std::vector<uint32_t> BitPackingVector::Decode() const {
+  auto result = std::vector<uint32_t>(size_);
+  const auto block_count = block_bits_.size();
+  auto out = size_t{0};
+  for (auto block = size_t{0}; block < block_count; ++block) {
+    const auto bits = block_bits_[block];
+    const auto* block_data = data_.data() + block_offsets_[block];
+    const auto mask = bits == 32 ? ~uint32_t{0} : ((uint32_t{1} << bits) - 1);
+    const auto count = std::min(kBlockSize, size_ - block * kBlockSize);
+    auto bit_position = size_t{0};
+    for (auto position = size_t{0}; position < count; ++position, bit_position += bits) {
+      const auto word = bit_position / 64;
+      const auto shift = bit_position % 64;
+      auto value = block_data[word] >> shift;
+      if (shift + bits > 64) {
+        value |= block_data[word + 1] << (64 - shift);
+      }
+      result[out++] = static_cast<uint32_t>(value) & mask;
+    }
+  }
+  return result;
+}
+
+size_t BitPackingVector::DataSize() const {
+  return data_.size() * sizeof(uint64_t) + block_bits_.size() * (sizeof(uint8_t) + sizeof(uint32_t));
+}
+
+std::unique_ptr<BaseVectorDecompressor> BitPackingVector::CreateBaseDecompressor() const {
+  return std::make_unique<BitPackingBaseDecompressor>(*this);
+}
+
+}  // namespace hyrise

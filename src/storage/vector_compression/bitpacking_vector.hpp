@@ -1,0 +1,96 @@
+#ifndef HYRISE_SRC_STORAGE_VECTOR_COMPRESSION_BITPACKING_VECTOR_HPP_
+#define HYRISE_SRC_STORAGE_VECTOR_COMPRESSION_BITPACKING_VECTOR_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/vector_compression/base_compressed_vector.hpp"
+
+namespace hyrise {
+
+/// Stand-in for SIMD-BP128 (see DESIGN.md §4): values are packed in blocks of
+/// 128 with a per-block bit width. The layout matches SIMD-BP128's blocking;
+/// pack/unpack are scalar. Sequential decode unpacks block-wise (fast),
+/// positional access does per-value bit arithmetic (slower than fixed-width
+/// loads) — reproducing the relative access costs of Figure 3a.
+class BitPackingVector final : public BaseCompressedVector {
+ public:
+  static constexpr size_t kBlockSize = 128;
+
+  /// Non-virtual decompressor; caches the current block to speed up runs of
+  /// nearby accesses.
+  class Decompressor {
+   public:
+    explicit Decompressor(const BitPackingVector& vector) : vector_(&vector) {}
+
+    uint32_t Get(size_t index) const {
+      return vector_->GetImpl(index);
+    }
+
+    size_t size() const {
+      return vector_->size();
+    }
+
+   private:
+    const BitPackingVector* vector_;
+  };
+
+  explicit BitPackingVector(const std::vector<uint32_t>& values);
+
+  size_t size() const final {
+    return size_;
+  }
+
+  size_t DataSize() const final;
+
+  CompressedVectorInternalType internal_type() const final {
+    return CompressedVectorInternalType::kBitPacking128;
+  }
+
+  VectorCompressionType type() const final {
+    return VectorCompressionType::kBitPacking128;
+  }
+
+  uint32_t Get(size_t index) const final {
+    return GetImpl(index);
+  }
+
+  std::vector<uint32_t> Decode() const final;
+
+  std::unique_ptr<BaseVectorDecompressor> CreateBaseDecompressor() const final;
+
+  Decompressor CreateDecompressor() const {
+    return Decompressor{*this};
+  }
+
+ private:
+  friend class Decompressor;
+
+  uint32_t GetImpl(size_t index) const;
+
+  size_t size_{0};
+  std::vector<uint8_t> block_bits_;      // Bit width per block (1..32).
+  std::vector<uint32_t> block_offsets_;  // Start word of each block in data_.
+  std::vector<uint64_t> data_;
+};
+
+class BitPackingBaseDecompressor final : public BaseVectorDecompressor {
+ public:
+  explicit BitPackingBaseDecompressor(const BitPackingVector& vector) : decompressor_(vector) {}
+
+  uint32_t Get(size_t index) final {
+    return decompressor_.Get(index);
+  }
+
+  size_t size() const final {
+    return decompressor_.size();
+  }
+
+ private:
+  BitPackingVector::Decompressor decompressor_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_STORAGE_VECTOR_COMPRESSION_BITPACKING_VECTOR_HPP_

@@ -1,0 +1,26 @@
+#include "storage/vector_compression/compressed_vector_utils.hpp"
+
+#include <limits>
+
+namespace hyrise {
+
+std::unique_ptr<const BaseCompressedVector> CompressVector(const std::vector<uint32_t>& values,
+                                                           VectorCompressionType type, uint32_t max_value) {
+  switch (type) {
+    case VectorCompressionType::kFixedWidthInteger: {
+      if (max_value <= std::numeric_limits<uint8_t>::max()) {
+        return std::make_unique<FixedWidthIntegerVector<uint8_t>>(std::vector<uint8_t>(values.begin(), values.end()));
+      }
+      if (max_value <= std::numeric_limits<uint16_t>::max()) {
+        return std::make_unique<FixedWidthIntegerVector<uint16_t>>(
+            std::vector<uint16_t>(values.begin(), values.end()));
+      }
+      return std::make_unique<FixedWidthIntegerVector<uint32_t>>(std::vector<uint32_t>(values));
+    }
+    case VectorCompressionType::kBitPacking128:
+      return std::make_unique<BitPackingVector>(values);
+  }
+  Fail("Unhandled VectorCompressionType");
+}
+
+}  // namespace hyrise

@@ -1,0 +1,45 @@
+#ifndef HYRISE_SRC_STORAGE_VECTOR_COMPRESSION_COMPRESSED_VECTOR_UTILS_HPP_
+#define HYRISE_SRC_STORAGE_VECTOR_COMPRESSION_COMPRESSED_VECTOR_UTILS_HPP_
+
+#include <memory>
+#include <vector>
+
+#include "storage/vector_compression/base_compressed_vector.hpp"
+#include "storage/vector_compression/bitpacking_vector.hpp"
+#include "storage/vector_compression/fixed_width_integer_vector.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+/// Compresses `values` with the requested physical scheme. `max_value` bounds
+/// the codes (e.g., dictionary size) and selects the fixed width.
+std::unique_ptr<const BaseCompressedVector> CompressVector(const std::vector<uint32_t>& values,
+                                                           VectorCompressionType type, uint32_t max_value);
+
+/// Statically dispatches on the concrete compressed-vector class:
+///
+///   ResolveCompressedVector(vector, [&](const auto& typed_vector) {
+///     auto decompressor = typed_vector.CreateDecompressor();  // non-virtual
+///   });
+template <typename Functor>
+void ResolveCompressedVector(const BaseCompressedVector& vector, const Functor& functor) {
+  switch (vector.internal_type()) {
+    case CompressedVectorInternalType::kFixedWidth1Byte:
+      functor(static_cast<const FixedWidthIntegerVector<uint8_t>&>(vector));
+      return;
+    case CompressedVectorInternalType::kFixedWidth2Byte:
+      functor(static_cast<const FixedWidthIntegerVector<uint16_t>&>(vector));
+      return;
+    case CompressedVectorInternalType::kFixedWidth4Byte:
+      functor(static_cast<const FixedWidthIntegerVector<uint32_t>&>(vector));
+      return;
+    case CompressedVectorInternalType::kBitPacking128:
+      functor(static_cast<const BitPackingVector&>(vector));
+      return;
+  }
+  Fail("Unhandled CompressedVectorInternalType");
+}
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_STORAGE_VECTOR_COMPRESSION_COMPRESSED_VECTOR_UTILS_HPP_

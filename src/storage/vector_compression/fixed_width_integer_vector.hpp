@@ -1,0 +1,113 @@
+#ifndef HYRISE_SRC_STORAGE_VECTOR_COMPRESSION_FIXED_WIDTH_INTEGER_VECTOR_HPP_
+#define HYRISE_SRC_STORAGE_VECTOR_COMPRESSION_FIXED_WIDTH_INTEGER_VECTOR_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "storage/vector_compression/base_compressed_vector.hpp"
+
+namespace hyrise {
+
+/// "Fixed-size byte alignment" (paper §2.3): codes are stored in the smallest
+/// unsigned integer type (1, 2, or 4 bytes) that fits the largest code.
+/// Random access is a single array load, making this the cheapest positional
+/// decoder.
+template <typename UnsignedIntType>
+class FixedWidthIntegerVector final : public BaseCompressedVector {
+  static_assert(std::is_same_v<UnsignedIntType, uint8_t> || std::is_same_v<UnsignedIntType, uint16_t> ||
+                    std::is_same_v<UnsignedIntType, uint32_t>,
+                "Unsupported width");
+
+ public:
+  /// Non-virtual decompressor used on statically resolved paths.
+  class Decompressor {
+   public:
+    explicit Decompressor(const FixedWidthIntegerVector& vector) : data_(&vector.data()) {}
+
+    uint32_t Get(size_t index) const {
+      return static_cast<uint32_t>((*data_)[index]);
+    }
+
+    size_t size() const {
+      return data_->size();
+    }
+
+   private:
+    const std::vector<UnsignedIntType>* data_;
+  };
+
+  explicit FixedWidthIntegerVector(std::vector<UnsignedIntType> data) : data_(std::move(data)) {}
+
+  const std::vector<UnsignedIntType>& data() const {
+    return data_;
+  }
+
+  size_t size() const final {
+    return data_.size();
+  }
+
+  size_t DataSize() const final {
+    return data_.size() * sizeof(UnsignedIntType);
+  }
+
+  CompressedVectorInternalType internal_type() const final {
+    if constexpr (sizeof(UnsignedIntType) == 1) {
+      return CompressedVectorInternalType::kFixedWidth1Byte;
+    } else if constexpr (sizeof(UnsignedIntType) == 2) {
+      return CompressedVectorInternalType::kFixedWidth2Byte;
+    } else {
+      return CompressedVectorInternalType::kFixedWidth4Byte;
+    }
+  }
+
+  VectorCompressionType type() const final {
+    return VectorCompressionType::kFixedWidthInteger;
+  }
+
+  uint32_t Get(size_t index) const final {
+    return static_cast<uint32_t>(data_[index]);
+  }
+
+  std::vector<uint32_t> Decode() const final {
+    return std::vector<uint32_t>(data_.begin(), data_.end());
+  }
+
+  std::unique_ptr<BaseVectorDecompressor> CreateBaseDecompressor() const final;
+
+  Decompressor CreateDecompressor() const {
+    return Decompressor{*this};
+  }
+
+ private:
+  std::vector<UnsignedIntType> data_;
+};
+
+/// Adapter exposing the non-virtual decompressor behind the virtual interface.
+template <typename UnsignedIntType>
+class FixedWidthIntegerBaseDecompressor final : public BaseVectorDecompressor {
+ public:
+  explicit FixedWidthIntegerBaseDecompressor(const FixedWidthIntegerVector<UnsignedIntType>& vector)
+      : decompressor_(vector) {}
+
+  uint32_t Get(size_t index) final {
+    return decompressor_.Get(index);
+  }
+
+  size_t size() const final {
+    return decompressor_.size();
+  }
+
+ private:
+  typename FixedWidthIntegerVector<UnsignedIntType>::Decompressor decompressor_;
+};
+
+template <typename UnsignedIntType>
+std::unique_ptr<BaseVectorDecompressor> FixedWidthIntegerVector<UnsignedIntType>::CreateBaseDecompressor() const {
+  return std::make_unique<FixedWidthIntegerBaseDecompressor<UnsignedIntType>>(*this);
+}
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_STORAGE_VECTOR_COMPRESSION_FIXED_WIDTH_INTEGER_VECTOR_HPP_

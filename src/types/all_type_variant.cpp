@@ -1,0 +1,152 @@
+#include "types/all_type_variant.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace hyrise {
+
+DataType DataTypeOfVariant(const AllTypeVariant& variant) {
+  switch (variant.index()) {
+    case 0:
+      return DataType::kNull;
+    case 1:
+      return DataType::kInt;
+    case 2:
+      return DataType::kLong;
+    case 3:
+      return DataType::kFloat;
+    case 4:
+      return DataType::kDouble;
+    case 5:
+      return DataType::kString;
+    default:
+      Fail("Corrupt variant");
+  }
+}
+
+const char* DataTypeToString(DataType data_type) {
+  switch (data_type) {
+    case DataType::kNull:
+      return "null";
+    case DataType::kInt:
+      return "int";
+    case DataType::kLong:
+      return "long";
+    case DataType::kFloat:
+      return "float";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  Fail("Unhandled DataType");
+}
+
+DataType DataTypeFromString(const std::string& name) {
+  if (name == "int") {
+    return DataType::kInt;
+  }
+  if (name == "long") {
+    return DataType::kLong;
+  }
+  if (name == "float") {
+    return DataType::kFloat;
+  }
+  if (name == "double") {
+    return DataType::kDouble;
+  }
+  if (name == "string") {
+    return DataType::kString;
+  }
+  Fail("Unknown data type name: " + name);
+}
+
+bool IsNumericDataType(DataType data_type) {
+  return data_type == DataType::kInt || data_type == DataType::kLong || data_type == DataType::kFloat ||
+         data_type == DataType::kDouble;
+}
+
+std::string VariantToString(const AllTypeVariant& variant) {
+  return std::visit(
+      [](const auto& value) -> std::string {
+        using T = std::decay_t<decltype(value)>;
+        if constexpr (std::is_same_v<T, NullValue>) {
+          return "NULL";
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          return value;
+        } else if constexpr (std::is_floating_point_v<T>) {
+          // Fixed precision so results are stable across runs and engines.
+          char buffer[64];
+          std::snprintf(buffer, sizeof(buffer), "%.4f", static_cast<double>(value));
+          return buffer;
+        } else {
+          return std::to_string(value);
+        }
+      },
+      variant);
+}
+
+std::ostream& operator<<(std::ostream& stream, const AllTypeVariant& variant) {
+  return stream << VariantToString(variant);
+}
+
+namespace {
+
+bool IsNumericVariant(const AllTypeVariant& variant) {
+  const auto index = variant.index();
+  return index >= 1 && index <= 4;
+}
+
+double ToDouble(const AllTypeVariant& variant) {
+  switch (variant.index()) {
+    case 1:
+      return static_cast<double>(std::get<int32_t>(variant));
+    case 2:
+      return static_cast<double>(std::get<int64_t>(variant));
+    case 3:
+      return static_cast<double>(std::get<float>(variant));
+    case 4:
+      return std::get<double>(variant);
+    default:
+      Fail("Not a numeric variant");
+  }
+}
+
+}  // namespace
+
+bool VariantLessThan(const AllTypeVariant& lhs, const AllTypeVariant& rhs) {
+  const auto lhs_null = VariantIsNull(lhs);
+  const auto rhs_null = VariantIsNull(rhs);
+  if (lhs_null || rhs_null) {
+    return lhs_null && !rhs_null;
+  }
+  if (IsNumericVariant(lhs) && IsNumericVariant(rhs)) {
+    if (lhs.index() <= 2 && rhs.index() <= 2) {  // Both integral: exact compare.
+      return VariantCast<int64_t>(lhs) < VariantCast<int64_t>(rhs);
+    }
+    return ToDouble(lhs) < ToDouble(rhs);
+  }
+  Assert(lhs.index() == rhs.index(), "Cannot order string against numeric");
+  return std::get<std::string>(lhs) < std::get<std::string>(rhs);
+}
+
+bool VariantEquals(const AllTypeVariant& lhs, const AllTypeVariant& rhs) {
+  const auto lhs_null = VariantIsNull(lhs);
+  const auto rhs_null = VariantIsNull(rhs);
+  if (lhs_null || rhs_null) {
+    return lhs_null == rhs_null;
+  }
+  if (IsNumericVariant(lhs) && IsNumericVariant(rhs)) {
+    if (lhs.index() <= 2 && rhs.index() <= 2) {
+      return VariantCast<int64_t>(lhs) == VariantCast<int64_t>(rhs);
+    }
+    return ToDouble(lhs) == ToDouble(rhs);
+  }
+  if (lhs.index() != rhs.index()) {
+    return false;
+  }
+  return std::get<std::string>(lhs) == std::get<std::string>(rhs);
+}
+
+}  // namespace hyrise

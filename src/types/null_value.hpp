@@ -1,0 +1,28 @@
+#ifndef HYRISE_SRC_TYPES_NULL_VALUE_HPP_
+#define HYRISE_SRC_TYPES_NULL_VALUE_HPP_
+
+#include <ostream>
+
+namespace hyrise {
+
+/// Tag type representing SQL NULL inside AllTypeVariant. Comparison operators
+/// are defined so the variant is usable in ordered containers; they impose an
+/// arbitrary total order in which NULL sorts before every value. SQL-level
+/// three-valued logic is handled by the expression evaluator, not here.
+struct NullValue {
+  friend constexpr bool operator==(const NullValue&, const NullValue&) {
+    return true;
+  }
+
+  friend constexpr auto operator<=>(const NullValue&, const NullValue&) {
+    return std::strong_ordering::equal;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& stream, const NullValue&) {
+  return stream << "NULL";
+}
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_TYPES_NULL_VALUE_HPP_

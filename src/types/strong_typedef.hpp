@@ -1,0 +1,75 @@
+#ifndef HYRISE_SRC_TYPES_STRONG_TYPEDEF_HPP_
+#define HYRISE_SRC_TYPES_STRONG_TYPEDEF_HPP_
+
+#include <cstddef>
+#include <functional>
+#include <ostream>
+
+namespace hyrise {
+
+/// A zero-overhead wrapper that makes integer-like IDs distinct types so that,
+/// e.g., a ChunkID cannot silently be passed where a ColumnID is expected.
+/// Construction from the underlying type is explicit; conversion back is
+/// implicit so IDs can index into containers directly.
+template <typename T, typename Tag>
+class StrongTypedef {
+ public:
+  using UnderlyingType = T;
+
+  constexpr StrongTypedef() = default;
+
+  explicit constexpr StrongTypedef(const T& value) : value_(value) {}
+
+  constexpr operator T() const {  // NOLINT(google-explicit-constructor)
+    return value_;
+  }
+
+  constexpr StrongTypedef& operator++() {
+    ++value_;
+    return *this;
+  }
+
+  constexpr StrongTypedef& operator--() {
+    --value_;
+    return *this;
+  }
+
+  constexpr StrongTypedef operator+(const StrongTypedef& other) const {
+    return StrongTypedef{static_cast<T>(value_ + other.value_)};
+  }
+
+  constexpr StrongTypedef& operator+=(const T& delta) {
+    value_ += delta;
+    return *this;
+  }
+
+  friend constexpr bool operator==(const StrongTypedef& lhs, const StrongTypedef& rhs) {
+    return lhs.value_ == rhs.value_;
+  }
+
+  friend constexpr auto operator<=>(const StrongTypedef& lhs, const StrongTypedef& rhs) {
+    return lhs.value_ <=> rhs.value_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& stream, const StrongTypedef& typedef_value) {
+    return stream << typedef_value.value_;
+  }
+
+ private:
+  T value_{};
+};
+
+}  // namespace hyrise
+
+namespace std {
+
+template <typename T, typename Tag>
+struct hash<hyrise::StrongTypedef<T, Tag>> {
+  size_t operator()(const hyrise::StrongTypedef<T, Tag>& value) const {
+    return std::hash<T>{}(static_cast<T>(value));
+  }
+};
+
+}  // namespace std
+
+#endif  // HYRISE_SRC_TYPES_STRONG_TYPEDEF_HPP_

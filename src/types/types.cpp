@@ -1,0 +1,151 @@
+#include "types/types.hpp"
+
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+const char* PredicateConditionToString(PredicateCondition condition) {
+  switch (condition) {
+    case PredicateCondition::kEquals:
+      return "=";
+    case PredicateCondition::kNotEquals:
+      return "<>";
+    case PredicateCondition::kLessThan:
+      return "<";
+    case PredicateCondition::kLessThanEquals:
+      return "<=";
+    case PredicateCondition::kGreaterThan:
+      return ">";
+    case PredicateCondition::kGreaterThanEquals:
+      return ">=";
+    case PredicateCondition::kBetweenInclusive:
+      return "BETWEEN";
+    case PredicateCondition::kLike:
+      return "LIKE";
+    case PredicateCondition::kNotLike:
+      return "NOT LIKE";
+    case PredicateCondition::kIsNull:
+      return "IS NULL";
+    case PredicateCondition::kIsNotNull:
+      return "IS NOT NULL";
+    case PredicateCondition::kIn:
+      return "IN";
+    case PredicateCondition::kNotIn:
+      return "NOT IN";
+  }
+  Fail("Unhandled PredicateCondition");
+}
+
+PredicateCondition FlipPredicateCondition(PredicateCondition condition) {
+  switch (condition) {
+    case PredicateCondition::kEquals:
+      return PredicateCondition::kEquals;
+    case PredicateCondition::kNotEquals:
+      return PredicateCondition::kNotEquals;
+    case PredicateCondition::kLessThan:
+      return PredicateCondition::kGreaterThan;
+    case PredicateCondition::kLessThanEquals:
+      return PredicateCondition::kGreaterThanEquals;
+    case PredicateCondition::kGreaterThan:
+      return PredicateCondition::kLessThan;
+    case PredicateCondition::kGreaterThanEquals:
+      return PredicateCondition::kLessThanEquals;
+    default:
+      Fail("PredicateCondition cannot be flipped");
+  }
+}
+
+PredicateCondition InversePredicateCondition(PredicateCondition condition) {
+  switch (condition) {
+    case PredicateCondition::kEquals:
+      return PredicateCondition::kNotEquals;
+    case PredicateCondition::kNotEquals:
+      return PredicateCondition::kEquals;
+    case PredicateCondition::kLessThan:
+      return PredicateCondition::kGreaterThanEquals;
+    case PredicateCondition::kLessThanEquals:
+      return PredicateCondition::kGreaterThan;
+    case PredicateCondition::kGreaterThan:
+      return PredicateCondition::kLessThanEquals;
+    case PredicateCondition::kGreaterThanEquals:
+      return PredicateCondition::kLessThan;
+    case PredicateCondition::kLike:
+      return PredicateCondition::kNotLike;
+    case PredicateCondition::kNotLike:
+      return PredicateCondition::kLike;
+    case PredicateCondition::kIsNull:
+      return PredicateCondition::kIsNotNull;
+    case PredicateCondition::kIsNotNull:
+      return PredicateCondition::kIsNull;
+    case PredicateCondition::kIn:
+      return PredicateCondition::kNotIn;
+    case PredicateCondition::kNotIn:
+      return PredicateCondition::kIn;
+    default:
+      Fail("PredicateCondition cannot be inverted");
+  }
+}
+
+const char* JoinModeToString(JoinMode mode) {
+  switch (mode) {
+    case JoinMode::kInner:
+      return "Inner";
+    case JoinMode::kLeft:
+      return "Left";
+    case JoinMode::kRight:
+      return "Right";
+    case JoinMode::kFullOuter:
+      return "FullOuter";
+    case JoinMode::kCross:
+      return "Cross";
+    case JoinMode::kSemi:
+      return "Semi";
+    case JoinMode::kAnti:
+      return "Anti";
+  }
+  Fail("Unhandled JoinMode");
+}
+
+const char* AggregateFunctionToString(AggregateFunction function) {
+  switch (function) {
+    case AggregateFunction::kMin:
+      return "MIN";
+    case AggregateFunction::kMax:
+      return "MAX";
+    case AggregateFunction::kSum:
+      return "SUM";
+    case AggregateFunction::kAvg:
+      return "AVG";
+    case AggregateFunction::kCount:
+      return "COUNT";
+    case AggregateFunction::kCountDistinct:
+      return "COUNT DISTINCT";
+  }
+  Fail("Unhandled AggregateFunction");
+}
+
+const char* EncodingTypeToString(EncodingType type) {
+  switch (type) {
+    case EncodingType::kUnencoded:
+      return "Unencoded";
+    case EncodingType::kDictionary:
+      return "Dictionary";
+    case EncodingType::kRunLength:
+      return "RunLength";
+    case EncodingType::kFrameOfReference:
+      return "FrameOfReference";
+  }
+  Fail("Unhandled EncodingType");
+}
+
+const char* VectorCompressionTypeToString(VectorCompressionType type) {
+  switch (type) {
+    case VectorCompressionType::kFixedWidthInteger:
+      return "FixedWidthInteger";
+    case VectorCompressionType::kBitPacking128:
+      return "BitPacking128";
+  }
+  Fail("Unhandled VectorCompressionType");
+}
+
+}  // namespace hyrise

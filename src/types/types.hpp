@@ -1,0 +1,143 @@
+#ifndef HYRISE_SRC_TYPES_TYPES_HPP_
+#define HYRISE_SRC_TYPES_TYPES_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "types/strong_typedef.hpp"
+
+namespace hyrise {
+
+// --- Identifier types (paper §2.1/§2.2 terminology) -------------------------
+
+using ChunkID = StrongTypedef<uint32_t, struct ChunkIdTag>;
+using ColumnID = StrongTypedef<uint16_t, struct ColumnIdTag>;
+using ValueID = StrongTypedef<uint32_t, struct ValueIdTag>;
+using NodeID = StrongTypedef<uint32_t, struct NodeIdTag>;
+using WorkerID = StrongTypedef<uint32_t, struct WorkerIdTag>;
+using TaskID = StrongTypedef<uint32_t, struct TaskIdTag>;
+using ParameterID = StrongTypedef<uint16_t, struct ParameterIdTag>;
+
+/// Offset of a row within a chunk. Plain integer: used as loop index in the
+/// hottest loops, and never confused with other IDs in practice.
+using ChunkOffset = uint32_t;
+
+/// Commit IDs and transaction IDs for MVCC (paper §2.8).
+using CommitID = uint32_t;
+using TransactionID = uint32_t;
+
+inline constexpr ChunkID kInvalidChunkId{std::numeric_limits<uint32_t>::max()};
+inline constexpr ColumnID kInvalidColumnId{std::numeric_limits<uint16_t>::max()};
+inline constexpr ValueID kInvalidValueId{std::numeric_limits<uint32_t>::max()};
+inline constexpr ValueID kNullValueId{std::numeric_limits<uint32_t>::max() - 1};
+inline constexpr ChunkOffset kInvalidChunkOffset{std::numeric_limits<ChunkOffset>::max()};
+inline constexpr NodeID kCurrentNodeId{std::numeric_limits<uint32_t>::max()};
+inline constexpr NodeID kInvalidNodeId{std::numeric_limits<uint32_t>::max() - 1};
+inline constexpr CommitID kMaxCommitId{std::numeric_limits<CommitID>::max()};
+inline constexpr CommitID kUnsetCommitId{std::numeric_limits<CommitID>::max()};
+inline constexpr TransactionID kInvalidTransactionId{0};
+
+/// Position of a row: which chunk, and where inside that chunk.
+struct RowID {
+  ChunkID chunk_id{kInvalidChunkId};
+  ChunkOffset chunk_offset{kInvalidChunkOffset};
+
+  friend bool operator==(const RowID& lhs, const RowID& rhs) = default;
+  friend auto operator<=>(const RowID& lhs, const RowID& rhs) = default;
+};
+
+inline constexpr RowID kNullRowId{kInvalidChunkId, kInvalidChunkOffset};
+
+inline std::ostream& operator<<(std::ostream& stream, const RowID& row_id) {
+  return stream << "RowID(" << row_id.chunk_id << ", " << row_id.chunk_offset << ")";
+}
+
+// --- Enumerations shared across subsystems ----------------------------------
+
+enum class PredicateCondition {
+  kEquals,
+  kNotEquals,
+  kLessThan,
+  kLessThanEquals,
+  kGreaterThan,
+  kGreaterThanEquals,
+  kBetweenInclusive,
+  kLike,
+  kNotLike,
+  kIsNull,
+  kIsNotNull,
+  kIn,
+  kNotIn,
+};
+
+const char* PredicateConditionToString(PredicateCondition condition);
+
+/// Flips a binary condition for swapped operands (a < b  <=>  b > a).
+PredicateCondition FlipPredicateCondition(PredicateCondition condition);
+
+/// Negates a condition (a < b  <=>  NOT (a >= b)).
+PredicateCondition InversePredicateCondition(PredicateCondition condition);
+
+enum class JoinMode { kInner, kLeft, kRight, kFullOuter, kCross, kSemi, kAnti };
+
+const char* JoinModeToString(JoinMode mode);
+
+enum class SortMode { kAscending, kDescending };
+
+/// One ORDER BY entry.
+struct SortColumnDefinition {
+  ColumnID column{kInvalidColumnId};
+  SortMode sort_mode{SortMode::kAscending};
+};
+
+enum class AggregateFunction { kMin, kMax, kSum, kAvg, kCount, kCountDistinct };
+
+const char* AggregateFunctionToString(AggregateFunction function);
+
+enum class TableType { kData, kReferences };
+
+enum class UseMvcc : bool { kYes = true, kNo = false };
+
+enum class EncodingType : uint8_t { kUnencoded, kDictionary, kRunLength, kFrameOfReference };
+
+const char* EncodingTypeToString(EncodingType type);
+
+enum class VectorCompressionType : uint8_t { kFixedWidthInteger, kBitPacking128 };
+
+const char* VectorCompressionTypeToString(VectorCompressionType type);
+
+/// Desired encoding for one segment (paper §2.3: logical scheme + physical
+/// null-suppression scheme are combined freely).
+struct SegmentEncodingSpec {
+  SegmentEncodingSpec() = default;
+
+  explicit SegmentEncodingSpec(EncodingType init_encoding_type) : encoding_type(init_encoding_type) {}
+
+  SegmentEncodingSpec(EncodingType init_encoding_type, VectorCompressionType init_vector_compression)
+      : encoding_type(init_encoding_type), vector_compression(init_vector_compression) {}
+
+  EncodingType encoding_type{EncodingType::kDictionary};
+  VectorCompressionType vector_compression{VectorCompressionType::kFixedWidthInteger};
+
+  friend bool operator==(const SegmentEncodingSpec& lhs, const SegmentEncodingSpec& rhs) = default;
+};
+
+}  // namespace hyrise
+
+namespace std {
+
+template <>
+struct hash<hyrise::RowID> {
+  size_t operator()(const hyrise::RowID& row_id) const {
+    return (static_cast<size_t>(static_cast<uint32_t>(row_id.chunk_id)) << 32) ^ row_id.chunk_offset;
+  }
+};
+
+}  // namespace std
+
+#endif  // HYRISE_SRC_TYPES_TYPES_HPP_

@@ -1,0 +1,14 @@
+#include "utils/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hyrise::detail {
+
+void FailImpl(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "FATAL: %s:%d: %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace hyrise::detail

@@ -1,0 +1,41 @@
+#ifndef HYRISE_SRC_UTILS_ASSERT_HPP_
+#define HYRISE_SRC_UTILS_ASSERT_HPP_
+
+#include <sstream>
+#include <string>
+
+namespace hyrise {
+
+namespace detail {
+
+/// Prints `message` (with source location) to stderr and aborts the process.
+/// Used for internal invariant violations only; user-facing errors travel
+/// through Result<T> / pipeline statuses instead (see DESIGN.md §5).
+[[noreturn]] void FailImpl(const char* file, int line, const std::string& message);
+
+}  // namespace detail
+
+}  // namespace hyrise
+
+/// Unconditionally abort with a message. Active in every build type.
+#define Fail(message) ::hyrise::detail::FailImpl(__FILE__, __LINE__, (message))
+
+/// Abort with a message unless `expression` holds. Active in every build type;
+/// used for invariants whose check is cheap relative to the guarded work.
+#define Assert(expression, message)                            \
+  do {                                                         \
+    if (!static_cast<bool>(expression)) [[unlikely]] {         \
+      ::hyrise::detail::FailImpl(__FILE__, __LINE__, message); \
+    }                                                          \
+  } while (false)
+
+/// Like Assert, but compiled out of Release builds. For hot-loop invariants.
+#if defined(HYRISE_DEBUG) && HYRISE_DEBUG
+#define DebugAssert(expression, message) Assert(expression, message)
+#else
+#define DebugAssert(expression, message) \
+  do {                                   \
+  } while (false)
+#endif
+
+#endif  // HYRISE_SRC_UTILS_ASSERT_HPP_

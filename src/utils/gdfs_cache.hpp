@@ -1,0 +1,111 @@
+#ifndef HYRISE_SRC_UTILS_GDFS_CACHE_HPP_
+#define HYRISE_SRC_UTILS_GDFS_CACHE_HPP_
+
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+/// Greedy-Dual-Frequency-Size cache used for query plans (paper §2.6: "the
+/// query plan cache is limited and automatic eviction takes place").
+/// Priority = inflation + access frequency; evicting an entry raises the
+/// inflation to its priority, so long-unused entries age out even if they
+/// were once hot. Thread-safe.
+template <typename Key, typename Value>
+class GdfsCache {
+ public:
+  explicit GdfsCache(size_t capacity = 1024) : capacity_(capacity) {}
+
+  void Set(const Key& key, Value value) {
+    const auto lock = std::lock_guard{mutex_};
+    const auto iter = entries_.find(key);
+    if (iter != entries_.end()) {
+      iter->second.value = std::move(value);
+      Touch(iter->second);
+      return;
+    }
+    if (entries_.size() >= capacity_) {
+      EvictOne();
+    }
+    auto entry = Entry{std::move(value), /*frequency=*/1.0, /*priority=*/inflation_ + 1.0};
+    entries_.emplace(key, std::move(entry));
+  }
+
+  std::optional<Value> TryGet(const Key& key) {
+    const auto lock = std::lock_guard{mutex_};
+    const auto iter = entries_.find(key);
+    if (iter == entries_.end()) {
+      ++miss_count_;
+      return std::nullopt;
+    }
+    ++hit_count_;
+    Touch(iter->second);
+    return iter->second.value;
+  }
+
+  bool Has(const Key& key) const {
+    const auto lock = std::lock_guard{mutex_};
+    return entries_.contains(key);
+  }
+
+  size_t size() const {
+    const auto lock = std::lock_guard{mutex_};
+    return entries_.size();
+  }
+
+  size_t capacity() const {
+    return capacity_;
+  }
+
+  uint64_t hit_count() const {
+    return hit_count_;
+  }
+
+  uint64_t miss_count() const {
+    return miss_count_;
+  }
+
+  void Clear() {
+    const auto lock = std::lock_guard{mutex_};
+    entries_.clear();
+    inflation_ = 0.0;
+  }
+
+ private:
+  struct Entry {
+    Value value;
+    double frequency{0.0};
+    double priority{0.0};
+  };
+
+  void Touch(Entry& entry) {
+    entry.frequency += 1.0;
+    entry.priority = inflation_ + entry.frequency;
+  }
+
+  void EvictOne() {
+    Assert(!entries_.empty(), "EvictOne on empty cache");
+    auto victim = entries_.begin();
+    for (auto iter = entries_.begin(); iter != entries_.end(); ++iter) {
+      if (iter->second.priority < victim->second.priority) {
+        victim = iter;
+      }
+    }
+    inflation_ = victim->second.priority;
+    entries_.erase(victim);
+  }
+
+  size_t capacity_;
+  std::unordered_map<Key, Entry> entries_;
+  double inflation_{0.0};
+  uint64_t hit_count_{0};
+  uint64_t miss_count_{0};
+  mutable std::mutex mutex_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_UTILS_GDFS_CACHE_HPP_

@@ -1,0 +1,56 @@
+#ifndef HYRISE_SRC_UTILS_RESULT_HPP_
+#define HYRISE_SRC_UTILS_RESULT_HPP_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "utils/assert.hpp"
+
+namespace hyrise {
+
+/// Minimal value-or-error-message carrier. The SQL pipeline uses this to
+/// propagate user-facing errors (syntax errors, unknown tables, ...) without
+/// exceptions, in line with the style guide used for this codebase.
+template <typename T>
+class Result {
+ public:
+  // Implicit from a value so that `return some_value;` works in functions
+  // returning Result<T>, mirroring absl::StatusOr ergonomics.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  static Result Error(std::string message) {
+    Result result;
+    result.error_ = std::move(message);
+    return result;
+  }
+
+  bool ok() const {
+    return value_.has_value();
+  }
+
+  const T& value() const& {
+    Assert(value_.has_value(), "Result::value() on error: " + error_);
+    return *value_;
+  }
+
+  T&& value() && {
+    Assert(value_.has_value(), "Result::value() on error: " + error_);
+    return std::move(*value_);
+  }
+
+  const std::string& error() const {
+    Assert(!value_.has_value(), "Result::error() on ok result");
+    return error_;
+  }
+
+ private:
+  Result() = default;
+
+  std::optional<T> value_;
+  std::string error_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_UTILS_RESULT_HPP_

@@ -1,0 +1,62 @@
+#include "utils/table_printer.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "storage/table.hpp"
+
+namespace hyrise {
+
+void PrintTable(const std::shared_ptr<const Table>& table, std::ostream& stream, size_t max_rows) {
+  if (!table) {
+    stream << "(no result)\n";
+    return;
+  }
+  const auto column_count = static_cast<size_t>(static_cast<uint16_t>(table->column_count()));
+  auto widths = std::vector<size_t>(column_count);
+  auto header = std::vector<std::string>(column_count);
+  for (auto column = size_t{0}; column < column_count; ++column) {
+    header[column] = table->column_name(ColumnID{static_cast<uint16_t>(column)});
+    widths[column] = header[column].size();
+  }
+
+  const auto row_count = table->row_count();
+  const auto shown_rows = std::min<uint64_t>(row_count, max_rows);
+  auto cells = std::vector<std::vector<std::string>>(shown_rows, std::vector<std::string>(column_count));
+  for (auto row = uint64_t{0}; row < shown_rows; ++row) {
+    for (auto column = size_t{0}; column < column_count; ++column) {
+      cells[row][column] = VariantToString(table->GetValue(ColumnID{static_cast<uint16_t>(column)}, row));
+      widths[column] = std::max(widths[column], cells[row][column].size());
+    }
+  }
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    stream << "|";
+    for (auto column = size_t{0}; column < column_count; ++column) {
+      stream << ' ' << row[column];
+      stream << std::string(widths[column] - row[column].size() + 1, ' ') << '|';
+    }
+    stream << '\n';
+  };
+  const auto print_separator = [&] {
+    stream << '+';
+    for (auto column = size_t{0}; column < column_count; ++column) {
+      stream << std::string(widths[column] + 2, '-') << '+';
+    }
+    stream << '\n';
+  };
+
+  print_separator();
+  print_row(header);
+  print_separator();
+  for (const auto& row : cells) {
+    print_row(row);
+  }
+  print_separator();
+  if (shown_rows < row_count) {
+    stream << "(" << row_count - shown_rows << " more rows)\n";
+  }
+  stream << row_count << " row(s)\n";
+}
+
+}  // namespace hyrise

@@ -1,0 +1,17 @@
+#ifndef HYRISE_SRC_UTILS_TABLE_PRINTER_HPP_
+#define HYRISE_SRC_UTILS_TABLE_PRINTER_HPP_
+
+#include <memory>
+#include <ostream>
+
+namespace hyrise {
+
+class Table;
+
+/// Renders a table as aligned text (console output, examples, benchmarks).
+/// `max_rows` truncates long results with an ellipsis line.
+void PrintTable(const std::shared_ptr<const Table>& table, std::ostream& stream, size_t max_rows = 50);
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_UTILS_TABLE_PRINTER_HPP_

@@ -1,0 +1,34 @@
+#ifndef HYRISE_SRC_UTILS_TIMER_HPP_
+#define HYRISE_SRC_UTILS_TIMER_HPP_
+
+#include <chrono>
+#include <cstdint>
+
+namespace hyrise {
+
+/// Wall-clock stopwatch used by operators and the benchmark runner.
+class Timer {
+ public:
+  Timer() : begin_(std::chrono::steady_clock::now()) {}
+
+  /// Nanoseconds since construction or the last Lap() call.
+  int64_t Lap() {
+    const auto now = std::chrono::steady_clock::now();
+    const auto nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(now - begin_).count();
+    begin_ = now;
+    return nanos;
+  }
+
+  /// Nanoseconds since construction or the last Lap() call, without resetting.
+  int64_t Elapsed() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(now - begin_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point begin_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_UTILS_TIMER_HPP_

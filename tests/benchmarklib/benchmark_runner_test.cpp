@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "benchmarklib/benchmark_runner.hpp"
+#include "benchmarklib/csv_loader.hpp"
+#include "hyrise.hpp"
+#include "sql/sql_pipeline.hpp"
+#include "test_utils.hpp"
+
+namespace hyrise {
+
+class BenchmarklibTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Hyrise::Reset();
+  }
+};
+
+TEST_F(BenchmarklibTest, CsvLoaderParsesTypesNullsAndQuotes) {
+  const auto path = std::filesystem::temp_directory_path() / "hyrise_csv_test.csv";
+  {
+    auto file = std::ofstream{path};
+    file << "id,price,note\n";
+    file << "int,double?,string\n";
+    file << "1,9.5,plain\n";
+    file << "2,,\"quoted, with comma and \"\"quotes\"\"\"\n";
+  }
+  const auto table = LoadCsvTable(path.string());
+  ASSERT_EQ(table->row_count(), 2u);
+  EXPECT_EQ(table->column_data_type(ColumnID{1}), DataType::kDouble);
+  EXPECT_TRUE(table->column_is_nullable(ColumnID{1}));
+  EXPECT_TRUE(VariantIsNull(table->GetValue(ColumnID{1}, 1)));
+  EXPECT_EQ(table->GetValue(ColumnID{2}, 1), AllTypeVariant{std::string{"quoted, with comma and \"quotes\""}});
+  std::filesystem::remove(path);
+}
+
+TEST_F(BenchmarklibTest, CsvRoundTripThroughSql) {
+  const auto path = std::filesystem::temp_directory_path() / "hyrise_csv_sql_test.csv";
+  {
+    auto file = std::ofstream{path};
+    file << "k,v\nint,int\n";
+    for (auto row = 0; row < 100; ++row) {
+      file << row << "," << row * row << "\n";
+    }
+  }
+  LoadCsvTableInto(path.string(), "squares");
+  ExpectTableContents(ExecuteSql("SELECT v FROM squares WHERE k = 9"), {{81}});
+  std::filesystem::remove(path);
+}
+
+TEST_F(BenchmarklibTest, RunnerReportsStatsAndMetadata) {
+  ExecuteSql("CREATE TABLE nums (n INT NOT NULL)");
+  ExecuteSql("INSERT INTO nums VALUES (1), (2), (3)");
+
+  auto config = BenchmarkConfig{};
+  config.name = "unit-test benchmark";
+  config.warmup_runs = 1;
+  config.measured_runs = 3;
+  auto runner = BenchmarkRunner{config};
+  runner.AddQuery("count", "SELECT COUNT(*) FROM nums");
+  runner.AddQuery("broken", "SELECT nope FROM nums");
+
+  auto output = std::stringstream{};
+  const auto results = runner.Run(output);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].failed);
+  EXPECT_EQ(results[0].runs, 3u);
+  EXPECT_GT(results[0].median_ns, 0);
+  EXPECT_GE(results[0].mean_ns, results[0].min_ns);
+  EXPECT_EQ(results[0].result_rows, 1u);
+  EXPECT_TRUE(results[1].failed);
+  EXPECT_NE(results[1].error.find("Unknown column"), std::string::npos);
+
+  const auto text = output.str();
+  EXPECT_NE(text.find("unit-test benchmark"), std::string::npos);
+  EXPECT_NE(text.find("runs:"), std::string::npos) << "reproducibility banner present";
+}
+
+TEST_F(BenchmarklibTest, RunnerPlanCacheMode) {
+  ExecuteSql("CREATE TABLE nums (n INT NOT NULL)");
+  ExecuteSql("INSERT INTO nums VALUES (1)");
+  auto config = BenchmarkConfig{};
+  config.cache_plans = true;
+  config.measured_runs = 5;
+  auto runner = BenchmarkRunner{config};
+  runner.AddQuery("q", "SELECT n FROM nums");
+  auto output = std::stringstream{};
+  const auto results = runner.Run(output);
+  EXPECT_FALSE(results[0].failed);
+}
+
+}  // namespace hyrise

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "benchmarklib/tpch/tpch_queries.hpp"
+#include "benchmarklib/tpch/tpch_table_generator.hpp"
+#include "hyrise.hpp"
+#include "optimizer/optimizer.hpp"
+#include "optimizer/rules/expression_reduction_rule.hpp"
+#include "optimizer/rules/predicate_pushdown_rule.hpp"
+#include "optimizer/rules/subquery_to_join_rule.hpp"
+#include "sql/sql_pipeline.hpp"
+#include "test_utils.hpp"
+
+namespace hyrise {
+
+namespace {
+
+/// Minimal rule set that keeps the queries *feasible* (comma joins become
+/// joins, subqueries decorrelate) but skips join ordering, reordering,
+/// pruning, and index selection — the reference configuration the fully
+/// optimized plans must agree with.
+std::shared_ptr<Optimizer> BasicOptimizer() {
+  auto optimizer = std::make_shared<Optimizer>();
+  optimizer->AddRule(std::make_shared<ExpressionReductionRule>());
+  optimizer->AddRule(std::make_shared<SubqueryToJoinRule>());
+  optimizer->AddRule(std::make_shared<PredicatePushdownRule>());
+  return optimizer;
+}
+
+}  // namespace
+
+class TpchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Hyrise::Reset();
+    auto config = TpchConfig{};
+    config.scale_factor = 0.002;
+    config.chunk_size = 1000;
+    GenerateTpchTables(config);
+  }
+
+  static std::shared_ptr<const Table> LastResult(SqlPipeline& pipeline) {
+    for (auto iter = pipeline.result_tables().rbegin(); iter != pipeline.result_tables().rend(); ++iter) {
+      if (*iter) {
+        return *iter;
+      }
+    }
+    return nullptr;
+  }
+};
+
+TEST_F(TpchTest, GeneratorRowCounts) {
+  const auto& storage_manager = Hyrise::Get().storage_manager;
+  EXPECT_EQ(storage_manager.GetTable("region")->row_count(), 5u);
+  EXPECT_EQ(storage_manager.GetTable("nation")->row_count(), 25u);
+  EXPECT_EQ(storage_manager.GetTable("supplier")->row_count(), 20u);
+  EXPECT_EQ(storage_manager.GetTable("part")->row_count(), 400u);
+  EXPECT_EQ(storage_manager.GetTable("partsupp")->row_count(), 1600u);
+  EXPECT_EQ(storage_manager.GetTable("customer")->row_count(), 300u);
+  EXPECT_EQ(storage_manager.GetTable("orders")->row_count(), 3000u);
+  const auto lineitem = storage_manager.GetTable("lineitem")->row_count();
+  EXPECT_GT(lineitem, 3000u * 2);
+  EXPECT_LT(lineitem, 3000u * 8);
+}
+
+TEST_F(TpchTest, GeneratorReferentialIntegrity) {
+  // Every lineitem's (partkey, suppkey) appears in partsupp.
+  const auto result = ExecuteSql(
+      "SELECT COUNT(*) FROM lineitem WHERE NOT EXISTS "
+      "(SELECT * FROM partsupp WHERE ps_partkey = l_partkey AND ps_suppkey = l_suppkey)",
+      UseMvcc::kNo);
+  ExpectTableContents(result, {{int64_t{0}}});
+  // No customer with custkey % 3 == 0 placed orders.
+  const auto gaps = ExecuteSql("SELECT COUNT(*) FROM orders WHERE o_custkey % 3 = 0", UseMvcc::kNo);
+  ExpectTableContents(gaps, {{int64_t{0}}});
+}
+
+/// Every TPC-H query runs and the fully optimized plan agrees with the
+/// minimally optimized reference plan.
+class TpchQueryTest : public TpchTest, public ::testing::WithParamInterface<size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TpchQueryTest, ::testing::Range(size_t{1}, size_t{23}),
+                         [](const auto& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+TEST_P(TpchQueryTest, OptimizedMatchesReference) {
+  const auto& query = TpchQuery(GetParam());
+
+  auto full = SqlPipeline::Builder{query}.WithMvcc(UseMvcc::kNo).Build();
+  ASSERT_EQ(full.Execute(), SqlPipelineStatus::kSuccess) << full.error_message();
+  const auto full_result = LastResult(full);
+  ASSERT_NE(full_result, nullptr);
+
+  auto reference = SqlPipeline::Builder{query}.WithMvcc(UseMvcc::kNo).WithOptimizer(BasicOptimizer()).Build();
+  ASSERT_EQ(reference.Execute(), SqlPipelineStatus::kSuccess) << reference.error_message();
+  const auto reference_result = LastResult(reference);
+  ASSERT_NE(reference_result, nullptr);
+
+  ExpectTableContents(full_result, reference_result->GetRows());
+}
+
+TEST_F(TpchTest, Q1ShapeSanity) {
+  const auto result = ExecuteSql(TpchQuery(1), UseMvcc::kNo);
+  // Return flags A/N/R × line status F/O minus impossible combinations: the
+  // classic 4-row result.
+  EXPECT_EQ(result->row_count(), 4u);
+  EXPECT_EQ(result->column_names().front(), "l_returnflag");
+}
+
+TEST_F(TpchTest, Q6IsSelective) {
+  const auto result = ExecuteSql(TpchQuery(6), UseMvcc::kNo);
+  EXPECT_EQ(result->row_count(), 1u);
+  EXPECT_FALSE(VariantIsNull(result->GetValue(ColumnID{0}, 0)));
+}
+
+}  // namespace hyrise

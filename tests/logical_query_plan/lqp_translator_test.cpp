@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "hyrise.hpp"
+#include "logical_query_plan/lqp_translator.hpp"
+#include "logical_query_plan/operator_nodes.hpp"
+#include "operators/abstract_operator.hpp"
+#include "sql/sql_parser.hpp"
+#include "sql/sql_pipeline.hpp"
+#include "sql/sql_translator.hpp"
+#include "test_utils.hpp"
+
+namespace hyrise {
+
+namespace {
+
+LqpNodePtr TranslateQuery(const std::string& sql) {
+  auto parsed = sql::ParseSql(sql);
+  Assert(parsed.ok(), parsed.error());
+  auto translator = SqlTranslator{UseMvcc::kNo};
+  auto lqp = translator.Translate(*parsed.value().at(0));
+  Assert(lqp.ok(), lqp.error());
+  return lqp.value();
+}
+
+std::shared_ptr<JoinNode> FindJoin(const LqpNodePtr& root) {
+  auto join = std::shared_ptr<JoinNode>{};
+  VisitLqp(root, [&](const LqpNodePtr& node) {
+    if (node->type == LqpNodeType::kJoin) {
+      join = std::static_pointer_cast<JoinNode>(node);
+    }
+    return true;
+  });
+  return join;
+}
+
+OperatorType RootJoinOperatorType(const LqpNodePtr& lqp) {
+  auto translator = LqpTranslator{};
+  auto pqp = translator.Translate(lqp);
+  Assert(pqp.ok(), pqp.error());
+  // The join sits somewhere under the alias/projection roots.
+  auto op = pqp.value();
+  while (op && op->type() != OperatorType::kJoinHash && op->type() != OperatorType::kJoinSortMerge &&
+         op->type() != OperatorType::kJoinNestedLoop && op->type() != OperatorType::kProduct) {
+    op = op->left_input();
+  }
+  Assert(op != nullptr, "No join operator found");
+  return op->type();
+}
+
+}  // namespace
+
+class LqpTranslatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Hyrise::Reset();
+    ExecuteSql("CREATE TABLE l (a INT NOT NULL)");
+    ExecuteSql("CREATE TABLE r (b INT NOT NULL)");
+    ExecuteSql("INSERT INTO l VALUES (1), (2), (3)");
+    ExecuteSql("INSERT INTO r VALUES (2), (3), (4)");
+  }
+};
+
+TEST_F(LqpTranslatorTest, AutoPicksHashJoinForEquality) {
+  const auto lqp = TranslateQuery("SELECT * FROM l JOIN r ON a = b");
+  EXPECT_EQ(RootJoinOperatorType(lqp), OperatorType::kJoinHash);
+}
+
+TEST_F(LqpTranslatorTest, AutoPicksNestedLoopForNonEquality) {
+  const auto lqp = TranslateQuery("SELECT * FROM l JOIN r ON a < b");
+  EXPECT_EQ(RootJoinOperatorType(lqp), OperatorType::kJoinNestedLoop);
+}
+
+TEST_F(LqpTranslatorTest, SortMergeHintIsHonored) {
+  const auto lqp = TranslateQuery("SELECT * FROM l JOIN r ON a = b");
+  const auto join = FindJoin(lqp);
+  ASSERT_NE(join, nullptr);
+  join->preferred_implementation = JoinImplementation::kSortMerge;
+  EXPECT_EQ(RootJoinOperatorType(lqp), OperatorType::kJoinSortMerge);
+
+  // The hint survives plan deep copies (plan cache path).
+  const auto copy = lqp->DeepCopy();
+  EXPECT_EQ(RootJoinOperatorType(copy), OperatorType::kJoinSortMerge);
+
+  // And the hinted plan computes the same result.
+  auto translator = LqpTranslator{};
+  auto pqp = translator.Translate(lqp);
+  ASSERT_TRUE(pqp.ok());
+  pqp.value()->Execute();
+  ExpectTableContents(pqp.value()->get_output(), {{2, 2}, {3, 3}});
+}
+
+TEST_F(LqpTranslatorTest, NestedLoopHintOverridesEquality) {
+  const auto lqp = TranslateQuery("SELECT * FROM l JOIN r ON a = b");
+  const auto join = FindJoin(lqp);
+  join->preferred_implementation = JoinImplementation::kNestedLoop;
+  EXPECT_EQ(RootJoinOperatorType(lqp), OperatorType::kJoinNestedLoop);
+}
+
+}  // namespace hyrise

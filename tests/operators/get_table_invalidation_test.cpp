@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "hyrise.hpp"
+#include "operators/get_table.hpp"
+#include "sql/sql_pipeline.hpp"
+#include "test_utils.hpp"
+
+namespace hyrise {
+
+/// GetTable must skip chunks whose rows were all deleted and committed
+/// (paper §2.2/§2.8: invalidated rows accumulate until a chunk is dead).
+class GetTableInvalidationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Hyrise::Reset();
+    // Chunk size 10: three full chunks.
+    auto table = std::make_shared<Table>(TableColumnDefinitions{{"v", DataType::kInt}}, TableType::kData, 10,
+                                         UseMvcc::kYes);
+    for (auto row = 0; row < 30; ++row) {
+      table->AppendRow({row});
+    }
+    Hyrise::Get().storage_manager.AddTable("t", table);
+  }
+};
+
+TEST_F(GetTableInvalidationTest, FullyDeletedChunksAreSkipped) {
+  // Delete every row of chunk 0 (values 0..9).
+  ExecuteSql("DELETE FROM t WHERE v < 10");
+  const auto table = Hyrise::Get().storage_manager.GetTable("t");
+  EXPECT_EQ(table->GetChunk(ChunkID{0})->invalid_row_count(), 10u);
+
+  auto get_table = std::make_shared<GetTable>("t");
+  get_table->Execute();
+  // The emitted table no longer carries the dead chunk.
+  EXPECT_EQ(get_table->get_output()->row_count(), 20u);
+
+  // And queries stay correct.
+  ExpectTableContents(ExecuteSql("SELECT COUNT(*), MIN(v) FROM t"), {{int64_t{20}, 10}});
+}
+
+TEST_F(GetTableInvalidationTest, PartiallyDeletedChunksStay) {
+  ExecuteSql("DELETE FROM t WHERE v = 3");
+  auto get_table = std::make_shared<GetTable>("t");
+  get_table->Execute();
+  // Chunk survives (29 visible rows hide behind Validate, not GetTable).
+  EXPECT_EQ(get_table->get_output()->row_count(), 30u);
+  ExpectTableContents(ExecuteSql("SELECT COUNT(*) FROM t"), {{int64_t{29}}});
+}
+
+TEST_F(GetTableInvalidationTest, RolledBackDeleteKeepsChunkAlive) {
+  auto pipeline = SqlPipeline::Builder{"BEGIN; DELETE FROM t WHERE v < 10; ROLLBACK"}.Build();
+  ASSERT_EQ(pipeline.Execute(), SqlPipelineStatus::kSuccess) << pipeline.error_message();
+  EXPECT_EQ(Hyrise::Get().storage_manager.GetTable("t")->GetChunk(ChunkID{0})->invalid_row_count(), 0u);
+  ExpectTableContents(ExecuteSql("SELECT COUNT(*) FROM t"), {{int64_t{30}}});
+}
+
+}  // namespace hyrise

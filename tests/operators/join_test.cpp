@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "operators/join_hash.hpp"
+#include "operators/join_nested_loop.hpp"
+#include "operators/join_sort_merge.hpp"
+#include "operators/product.hpp"
+#include "operators/table_scan.hpp"
+#include "operators/table_wrapper.hpp"
+#include "storage/chunk_encoder.hpp"
+#include "test_utils.hpp"
+
+namespace hyrise {
+
+namespace {
+
+std::shared_ptr<AbstractOperator> Wrap(const std::shared_ptr<Table>& table) {
+  auto wrapper = std::make_shared<TableWrapper>(table);
+  wrapper->Execute();
+  return wrapper;
+}
+
+enum class JoinImpl { kHash, kSortMerge, kNestedLoop };
+
+std::shared_ptr<AbstractJoinOperator> MakeJoin(JoinImpl impl, std::shared_ptr<AbstractOperator> left,
+                                               std::shared_ptr<AbstractOperator> right, JoinMode mode,
+                                               JoinOperatorPredicate primary,
+                                               std::vector<JoinOperatorPredicate> secondary = {}) {
+  switch (impl) {
+    case JoinImpl::kHash:
+      return std::make_shared<JoinHash>(std::move(left), std::move(right), mode, primary, std::move(secondary));
+    case JoinImpl::kSortMerge:
+      return std::make_shared<JoinSortMerge>(std::move(left), std::move(right), mode, primary, std::move(secondary));
+    case JoinImpl::kNestedLoop:
+      return std::make_shared<JoinNestedLoop>(std::move(left), std::move(right), mode, primary, std::move(secondary));
+  }
+  Fail("unreachable");
+}
+
+const char* JoinImplName(JoinImpl impl) {
+  switch (impl) {
+    case JoinImpl::kHash:
+      return "Hash";
+    case JoinImpl::kSortMerge:
+      return "SortMerge";
+    default:
+      return "NestedLoop";
+  }
+}
+
+}  // namespace
+
+class JoinTest : public ::testing::TestWithParam<JoinImpl> {
+ protected:
+  std::shared_ptr<AbstractOperator> LeftInput() {
+    return Wrap(MakeTable({{"id", DataType::kInt}, {"name", DataType::kString}},
+                          {{1, std::string{"a"}},
+                           {2, std::string{"b"}},
+                           {2, std::string{"b2"}},
+                           {3, std::string{"c"}},
+                           {5, std::string{"e"}}},
+                          2));
+  }
+
+  std::shared_ptr<AbstractOperator> RightInput() {
+    return Wrap(MakeTable({{"key", DataType::kInt, true}, {"value", DataType::kDouble}},
+                          {{2, 20.0}, {2, 21.0}, {3, 30.0}, {4, 40.0}, {kNullVariant, 0.0}}, 2));
+  }
+
+  std::shared_ptr<const Table> Run(JoinMode mode, std::vector<JoinOperatorPredicate> secondary = {}) {
+    auto join = MakeJoin(GetParam(), LeftInput(), RightInput(), mode,
+                         JoinOperatorPredicate{ColumnID{0}, ColumnID{0}, PredicateCondition::kEquals},
+                         std::move(secondary));
+    join->Execute();
+    return join->get_output();
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(AllImpls, JoinTest,
+                         ::testing::Values(JoinImpl::kHash, JoinImpl::kSortMerge, JoinImpl::kNestedLoop),
+                         [](const auto& info) {
+                           return std::string{JoinImplName(info.param)};
+                         });
+
+TEST_P(JoinTest, InnerJoin) {
+  ExpectTableContents(Run(JoinMode::kInner), {{2, std::string{"b"}, 2, 20.0},
+                                              {2, std::string{"b"}, 2, 21.0},
+                                              {2, std::string{"b2"}, 2, 20.0},
+                                              {2, std::string{"b2"}, 2, 21.0},
+                                              {3, std::string{"c"}, 3, 30.0}});
+}
+
+TEST_P(JoinTest, LeftOuterJoinPadsUnmatched) {
+  ExpectTableContents(Run(JoinMode::kLeft), {{1, std::string{"a"}, kNullVariant, kNullVariant},
+                                             {2, std::string{"b"}, 2, 20.0},
+                                             {2, std::string{"b"}, 2, 21.0},
+                                             {2, std::string{"b2"}, 2, 20.0},
+                                             {2, std::string{"b2"}, 2, 21.0},
+                                             {3, std::string{"c"}, 3, 30.0},
+                                             {5, std::string{"e"}, kNullVariant, kNullVariant}});
+}
+
+TEST_P(JoinTest, SemiJoin) {
+  ExpectTableContents(Run(JoinMode::kSemi),
+                      {{2, std::string{"b"}}, {2, std::string{"b2"}}, {3, std::string{"c"}}});
+}
+
+TEST_P(JoinTest, AntiJoin) {
+  ExpectTableContents(Run(JoinMode::kAnti), {{1, std::string{"a"}}, {5, std::string{"e"}}});
+}
+
+TEST_P(JoinTest, SecondaryPredicateFiltersPairs) {
+  // Primary: id = key; secondary: id < value → excludes nothing for 20/21/30
+  // except pairs where value <= id.
+  const auto result = Run(JoinMode::kInner, {{ColumnID{0}, ColumnID{1}, PredicateCondition::kLessThan}});
+  EXPECT_EQ(result->row_count(), 5u);
+  const auto strict = Run(JoinMode::kInner, {{ColumnID{0}, ColumnID{1}, PredicateCondition::kGreaterThan}});
+  EXPECT_EQ(strict->row_count(), 0u);
+}
+
+TEST_P(JoinTest, SemiWithSecondary) {
+  const auto result = Run(JoinMode::kSemi, {{ColumnID{0}, ColumnID{1}, PredicateCondition::kGreaterThan}});
+  EXPECT_EQ(result->row_count(), 0u);
+  const auto anti = Run(JoinMode::kAnti, {{ColumnID{0}, ColumnID{1}, PredicateCondition::kGreaterThan}});
+  EXPECT_EQ(anti->row_count(), 5u);  // Nothing passes the secondary → all anti.
+}
+
+TEST_P(JoinTest, JoinOnReferenceInputs) {
+  // Scan first, then join the reference tables.
+  auto left_scan = std::make_shared<TableScan>(
+      LeftInput(), std::make_shared<PredicateExpression>(
+                       PredicateCondition::kGreaterThan,
+                       Expressions{std::make_shared<PqpColumnExpression>(ColumnID{0}, DataType::kInt, false, "id"),
+                                   std::make_shared<ValueExpression>(AllTypeVariant{1})}));
+  left_scan->Execute();
+  auto join = MakeJoin(GetParam(), left_scan, RightInput(), JoinMode::kInner,
+                       JoinOperatorPredicate{ColumnID{0}, ColumnID{0}, PredicateCondition::kEquals});
+  join->Execute();
+  EXPECT_EQ(join->get_output()->row_count(), 5u);
+  EXPECT_EQ(join->get_output()->type(), TableType::kReferences);
+}
+
+TEST_P(JoinTest, MixedKeyTypesPromote) {
+  const auto left = Wrap(MakeTable({{"k", DataType::kInt}}, {{1}, {2}}));
+  const auto right = Wrap(MakeTable({{"k", DataType::kLong}}, {{int64_t{2}}, {int64_t{3}}}));
+  auto join = MakeJoin(GetParam(), left, right, JoinMode::kInner,
+                       JoinOperatorPredicate{ColumnID{0}, ColumnID{0}, PredicateCondition::kEquals});
+  join->Execute();
+  ExpectTableContents(join->get_output(), {{2, int64_t{2}}});
+}
+
+TEST_P(JoinTest, RandomizedEquivalenceAcrossImplementations) {
+  auto rng = std::mt19937{2024};
+  auto left_rows = std::vector<std::vector<AllTypeVariant>>{};
+  auto right_rows = std::vector<std::vector<AllTypeVariant>>{};
+  for (auto index = 0; index < 200; ++index) {
+    left_rows.push_back({static_cast<int32_t>(rng() % 30), static_cast<int32_t>(index)});
+    right_rows.push_back({static_cast<int32_t>(rng() % 30), static_cast<int32_t>(index + 1000)});
+  }
+  const auto left_table = MakeTable({{"k", DataType::kInt}, {"payload", DataType::kInt}}, left_rows, 64);
+  const auto right_table = MakeTable({{"k", DataType::kInt}, {"payload", DataType::kInt}}, right_rows, 64);
+
+  for (const auto mode : {JoinMode::kInner, JoinMode::kLeft, JoinMode::kSemi, JoinMode::kAnti}) {
+    auto reference = std::make_shared<JoinNestedLoop>(
+        Wrap(left_table), Wrap(right_table), mode,
+        JoinOperatorPredicate{ColumnID{0}, ColumnID{0}, PredicateCondition::kEquals});
+    reference->Execute();
+    auto candidate = MakeJoin(GetParam(), Wrap(left_table), Wrap(right_table), mode,
+                              JoinOperatorPredicate{ColumnID{0}, ColumnID{0}, PredicateCondition::kEquals});
+    candidate->Execute();
+    ExpectTableContents(candidate->get_output(), reference->get_output()->GetRows());
+  }
+}
+
+TEST(ProductTest, CartesianProduct) {
+  const auto left = Wrap(MakeTable({{"a", DataType::kInt}}, {{1}, {2}}));
+  const auto right = Wrap(MakeTable({{"b", DataType::kString}}, {{std::string{"x"}}, {std::string{"y"}}}));
+  auto product = std::make_shared<Product>(left, right);
+  product->Execute();
+  ExpectTableContents(product->get_output(), {{1, std::string{"x"}},
+                                              {1, std::string{"y"}},
+                                              {2, std::string{"x"}},
+                                              {2, std::string{"y"}}});
+}
+
+TEST(ProductTest, EmptyInputYieldsEmptyOutput) {
+  const auto left = Wrap(MakeTable({{"a", DataType::kInt}}, {}));
+  const auto right = Wrap(MakeTable({{"b", DataType::kInt}}, {{1}}));
+  auto product = std::make_shared<Product>(left, right);
+  product->Execute();
+  EXPECT_EQ(product->get_output()->row_count(), 0u);
+}
+
+TEST(JoinNestedLoopTest, NonEquiPrimaryPredicate) {
+  const auto left = Wrap(MakeTable({{"a", DataType::kInt}}, {{1}, {5}, {9}}));
+  const auto right = Wrap(MakeTable({{"b", DataType::kInt}}, {{4}, {6}}));
+  auto join = std::make_shared<JoinNestedLoop>(
+      left, right, JoinMode::kInner, JoinOperatorPredicate{ColumnID{0}, ColumnID{0}, PredicateCondition::kLessThan});
+  join->Execute();
+  ExpectTableContents(join->get_output(), {{1, 4}, {1, 6}, {5, 6}});
+}
+
+}  // namespace hyrise

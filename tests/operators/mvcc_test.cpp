@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "hyrise.hpp"
+#include "operators/delete.hpp"
+#include "operators/get_table.hpp"
+#include "operators/insert.hpp"
+#include "operators/table_scan.hpp"
+#include "operators/table_wrapper.hpp"
+#include "operators/update.hpp"
+#include "operators/validate.hpp"
+#include "test_utils.hpp"
+
+namespace hyrise {
+
+namespace {
+
+ExpressionPtr Column(ColumnID id, DataType type, const std::string& name) {
+  return std::make_shared<PqpColumnExpression>(id, type, false, name);
+}
+
+ExpressionPtr Value(AllTypeVariant value) {
+  return std::make_shared<ValueExpression>(std::move(value));
+}
+
+}  // namespace
+
+class MvccTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Hyrise::Reset();
+    auto table = std::make_shared<Table>(TableColumnDefinitions{{"id", DataType::kInt}, {"balance", DataType::kInt}},
+                                         TableType::kData, 100, UseMvcc::kYes);
+    table->AppendRow({1, 100});
+    table->AppendRow({2, 200});
+    table->AppendRow({3, 300});
+    Hyrise::Get().storage_manager.AddTable("accounts", table);
+  }
+
+  /// Visible rows of `accounts` for a fresh transaction.
+  std::shared_ptr<const Table> Snapshot(const std::shared_ptr<TransactionContext>& context) {
+    auto get_table = std::make_shared<GetTable>("accounts");
+    auto validate = std::make_shared<Validate>(get_table);
+    validate->SetTransactionContextRecursively(context);
+    validate->Execute();
+    return validate->get_output();
+  }
+
+  std::shared_ptr<TransactionContext> NewTransaction() {
+    return Hyrise::Get().transaction_manager.NewTransactionContext();
+  }
+
+  /// Deletes rows matching id == `id` within `context`.
+  std::shared_ptr<Delete> DeleteRow(const std::shared_ptr<TransactionContext>& context, int32_t id) {
+    auto get_table = std::make_shared<GetTable>("accounts");
+    auto validate = std::make_shared<Validate>(get_table);
+    auto scan = std::make_shared<TableScan>(
+        validate, std::make_shared<PredicateExpression>(
+                      PredicateCondition::kEquals,
+                      Expressions{Column(ColumnID{0}, DataType::kInt, "id"), Value(id)}));
+    auto delete_operator = std::make_shared<Delete>(scan);
+    delete_operator->SetTransactionContextRecursively(context);
+    delete_operator->Execute();
+    return delete_operator;
+  }
+};
+
+TEST_F(MvccTest, UncommittedInsertOnlyVisibleToOwner) {
+  const auto inserter = NewTransaction();
+  auto rows = MakeTable({{"id", DataType::kInt}, {"balance", DataType::kInt}}, {{4, 400}});
+  auto wrapper = std::make_shared<TableWrapper>(rows);
+  auto insert = std::make_shared<Insert>("accounts", wrapper);
+  insert->SetTransactionContextRecursively(inserter);
+  insert->Execute();
+
+  EXPECT_EQ(Snapshot(inserter)->row_count(), 4u) << "own insert visible";
+  EXPECT_EQ(Snapshot(NewTransaction())->row_count(), 3u) << "other transactions see the old state";
+
+  ASSERT_TRUE(inserter->Commit());
+  EXPECT_EQ(Snapshot(NewTransaction())->row_count(), 4u) << "visible after commit";
+}
+
+TEST_F(MvccTest, RolledBackInsertNeverVisible) {
+  const auto inserter = NewTransaction();
+  auto rows = MakeTable({{"id", DataType::kInt}, {"balance", DataType::kInt}}, {{4, 400}});
+  auto insert = std::make_shared<Insert>("accounts", std::make_shared<TableWrapper>(rows));
+  insert->SetTransactionContextRecursively(inserter);
+  insert->Execute();
+  inserter->Rollback();
+  EXPECT_EQ(Snapshot(NewTransaction())->row_count(), 3u);
+}
+
+TEST_F(MvccTest, DeleteVisibilityAndCommit) {
+  const auto deleter = NewTransaction();
+  const auto delete_operator = DeleteRow(deleter, 2);
+  ASSERT_FALSE(delete_operator->ExecutionFailed());
+  EXPECT_EQ(delete_operator->deleted_row_count(), 1u);
+
+  EXPECT_EQ(Snapshot(deleter)->row_count(), 2u) << "own delete takes effect immediately";
+  EXPECT_EQ(Snapshot(NewTransaction())->row_count(), 3u) << "uncommitted delete invisible to others";
+
+  ASSERT_TRUE(deleter->Commit());
+  EXPECT_EQ(Snapshot(NewTransaction())->row_count(), 2u);
+}
+
+TEST_F(MvccTest, DeleteRollbackRestoresRow) {
+  const auto deleter = NewTransaction();
+  DeleteRow(deleter, 2);
+  deleter->Rollback();
+  EXPECT_EQ(Snapshot(NewTransaction())->row_count(), 3u);
+  // The row can be deleted again afterwards.
+  const auto second = NewTransaction();
+  const auto delete_operator = DeleteRow(second, 2);
+  EXPECT_FALSE(delete_operator->ExecutionFailed());
+  ASSERT_TRUE(second->Commit());
+  EXPECT_EQ(Snapshot(NewTransaction())->row_count(), 2u);
+}
+
+TEST_F(MvccTest, WriteWriteConflictAbortsSecondTransaction) {
+  const auto first = NewTransaction();
+  const auto second = NewTransaction();
+  const auto first_delete = DeleteRow(first, 2);
+  ASSERT_FALSE(first_delete->ExecutionFailed());
+
+  const auto second_delete = DeleteRow(second, 2);
+  EXPECT_TRUE(second_delete->ExecutionFailed()) << "conflict on the same row";
+  EXPECT_EQ(second->phase(), TransactionPhase::kConflicted);
+  EXPECT_FALSE(second->Commit()) << "conflicted transaction cannot commit";
+  EXPECT_EQ(second->phase(), TransactionPhase::kRolledBack);
+
+  ASSERT_TRUE(first->Commit());
+  EXPECT_EQ(Snapshot(NewTransaction())->row_count(), 2u);
+}
+
+TEST_F(MvccTest, SnapshotIsolationOldTransactionSeesOldState) {
+  const auto old_transaction = NewTransaction();  // Snapshot before the delete commits.
+  const auto deleter = NewTransaction();
+  DeleteRow(deleter, 1);
+  ASSERT_TRUE(deleter->Commit());
+
+  EXPECT_EQ(Snapshot(old_transaction)->row_count(), 3u) << "old snapshot unaffected by later commit";
+  EXPECT_EQ(Snapshot(NewTransaction())->row_count(), 2u);
+}
+
+TEST_F(MvccTest, UpdateIsDeletePlusInsert) {
+  const auto updater = NewTransaction();
+  auto get_table = std::make_shared<GetTable>("accounts");
+  auto validate = std::make_shared<Validate>(get_table);
+  auto scan = std::make_shared<TableScan>(
+      validate, std::make_shared<PredicateExpression>(
+                    PredicateCondition::kEquals, Expressions{Column(ColumnID{0}, DataType::kInt, "id"), Value(2)}));
+  // New row: (2, balance + 50).
+  auto update = std::make_shared<Update>(
+      "accounts", scan,
+      Expressions{Column(ColumnID{0}, DataType::kInt, "id"),
+                  std::make_shared<ArithmeticExpression>(ArithmeticOperator::kAddition,
+                                                         Column(ColumnID{1}, DataType::kInt, "balance"), Value(50))});
+  update->SetTransactionContextRecursively(updater);
+  update->Execute();
+  ASSERT_TRUE(updater->Commit());
+
+  const auto snapshot = Snapshot(NewTransaction());
+  ExpectTableContents(snapshot, {{1, 100}, {2, 250}, {3, 300}});
+}
+
+TEST_F(MvccTest, InsertWithoutMvccTableIsImmediate) {
+  Hyrise::Get().storage_manager.AddTable(
+      "plain", MakeTable({{"x", DataType::kInt}}, {{1}}, 10, UseMvcc::kNo));
+  auto insert = std::make_shared<Insert>(
+      "plain", std::make_shared<TableWrapper>(MakeTable({{"x", DataType::kInt}}, {{2}})));
+  insert->Execute();
+  EXPECT_EQ(Hyrise::Get().storage_manager.GetTable("plain")->row_count(), 2u);
+}
+
+}  // namespace hyrise

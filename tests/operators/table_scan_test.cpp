@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "expression/expressions.hpp"
+#include "operators/table_scan.hpp"
+#include "operators/table_wrapper.hpp"
+#include "storage/chunk_encoder.hpp"
+#include "test_utils.hpp"
+
+namespace hyrise {
+
+namespace {
+
+ExpressionPtr Column(ColumnID id, DataType type, const std::string& name, bool nullable = true) {
+  return std::make_shared<PqpColumnExpression>(id, type, nullable, name);
+}
+
+ExpressionPtr Value(AllTypeVariant value) {
+  return std::make_shared<ValueExpression>(std::move(value));
+}
+
+ExpressionPtr Predicate(PredicateCondition condition, Expressions arguments) {
+  return std::make_shared<PredicateExpression>(condition, std::move(arguments));
+}
+
+}  // namespace
+
+/// Runs every scan test on all encodings so the specialized scan paths
+/// (dictionary value-id scan, LIKE bitmap) are covered alongside the generic
+/// iterator scan.
+class TableScanTest : public ::testing::TestWithParam<EncodingType> {
+ protected:
+  std::shared_ptr<TableWrapper> MakeInput() {
+    auto table = MakeTable({{"id", DataType::kInt}, {"price", DataType::kDouble, true}, {"name", DataType::kString}},
+                           {{1, 10.5, std::string{"apple"}},
+                            {2, 20.0, std::string{"banana"}},
+                            {3, kNullVariant, std::string{"cherry"}},
+                            {4, 7.25, std::string{"apricot"}},
+                            {5, 99.9, std::string{"fig"}},
+                            {6, 20.0, std::string{"grape"}}},
+                           /*chunk_size=*/3);
+    ChunkEncoder::EncodeAllChunks(table, SegmentEncodingSpec{GetParam()});
+    auto wrapper = std::make_shared<TableWrapper>(table);
+    wrapper->Execute();
+    return wrapper;
+  }
+
+  std::shared_ptr<const Table> Scan(const std::shared_ptr<AbstractOperator>& input, ExpressionPtr predicate) {
+    auto scan = std::make_shared<TableScan>(input, std::move(predicate));
+    scan->Execute();
+    return scan->get_output();
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(AllEncodings, TableScanTest,
+                         ::testing::Values(EncodingType::kUnencoded, EncodingType::kDictionary,
+                                           EncodingType::kRunLength, EncodingType::kFrameOfReference),
+                         [](const auto& info) {
+                           return std::string{EncodingTypeToString(info.param)};
+                         });
+
+TEST_P(TableScanTest, EqualsInt) {
+  const auto input = MakeInput();
+  const auto result = Scan(input, Predicate(PredicateCondition::kEquals,
+                                            {Column(ColumnID{0}, DataType::kInt, "id"), Value(4)}));
+  ExpectTableContents(result, {{4, 7.25, std::string{"apricot"}}});
+}
+
+TEST_P(TableScanTest, NotEqualsInt) {
+  const auto input = MakeInput();
+  const auto result = Scan(input, Predicate(PredicateCondition::kNotEquals,
+                                            {Column(ColumnID{0}, DataType::kInt, "id"), Value(4)}));
+  EXPECT_EQ(result->row_count(), 5u);
+}
+
+TEST_P(TableScanTest, RangeScans) {
+  const auto input = MakeInput();
+  EXPECT_EQ(Scan(input, Predicate(PredicateCondition::kLessThan,
+                                  {Column(ColumnID{0}, DataType::kInt, "id"), Value(3)}))
+                ->row_count(),
+            2u);
+  EXPECT_EQ(Scan(input, Predicate(PredicateCondition::kLessThanEquals,
+                                  {Column(ColumnID{0}, DataType::kInt, "id"), Value(3)}))
+                ->row_count(),
+            3u);
+  EXPECT_EQ(Scan(input, Predicate(PredicateCondition::kGreaterThan,
+                                  {Column(ColumnID{0}, DataType::kInt, "id"), Value(3)}))
+                ->row_count(),
+            3u);
+  EXPECT_EQ(Scan(input, Predicate(PredicateCondition::kGreaterThanEquals,
+                                  {Column(ColumnID{0}, DataType::kInt, "id"), Value(3)}))
+                ->row_count(),
+            4u);
+}
+
+TEST_P(TableScanTest, FlippedOperands) {
+  const auto input = MakeInput();
+  // 3 < id  ==  id > 3.
+  const auto result = Scan(input, Predicate(PredicateCondition::kLessThan,
+                                            {Value(3), Column(ColumnID{0}, DataType::kInt, "id")}));
+  EXPECT_EQ(result->row_count(), 3u);
+}
+
+TEST_P(TableScanTest, BetweenInclusive) {
+  const auto input = MakeInput();
+  const auto result = Scan(input, Predicate(PredicateCondition::kBetweenInclusive,
+                                            {Column(ColumnID{0}, DataType::kInt, "id"), Value(2), Value(4)}));
+  EXPECT_EQ(result->row_count(), 3u);
+}
+
+TEST_P(TableScanTest, NullsNeverMatchComparisons) {
+  const auto input = MakeInput();
+  // price > 0 excludes the NULL price row.
+  const auto result = Scan(input, Predicate(PredicateCondition::kGreaterThan,
+                                            {Column(ColumnID{1}, DataType::kDouble, "price"), Value(0.0)}));
+  EXPECT_EQ(result->row_count(), 5u);
+}
+
+TEST_P(TableScanTest, IsNullIsNotNull) {
+  const auto input = MakeInput();
+  EXPECT_EQ(Scan(input, Predicate(PredicateCondition::kIsNull,
+                                  {Column(ColumnID{1}, DataType::kDouble, "price")}))
+                ->row_count(),
+            1u);
+  EXPECT_EQ(Scan(input, Predicate(PredicateCondition::kIsNotNull,
+                                  {Column(ColumnID{1}, DataType::kDouble, "price")}))
+                ->row_count(),
+            5u);
+}
+
+TEST_P(TableScanTest, StringEqualsAndRange) {
+  const auto input = MakeInput();
+  ExpectTableContents(Scan(input, Predicate(PredicateCondition::kEquals,
+                                            {Column(ColumnID{2}, DataType::kString, "name"),
+                                             Value(std::string{"cherry"})})),
+                      {{3, kNullVariant, std::string{"cherry"}}});
+  EXPECT_EQ(Scan(input, Predicate(PredicateCondition::kLessThan,
+                                  {Column(ColumnID{2}, DataType::kString, "name"), Value(std::string{"b"})}))
+                ->row_count(),
+            2u);  // apple, apricot
+}
+
+TEST_P(TableScanTest, Like) {
+  const auto input = MakeInput();
+  EXPECT_EQ(Scan(input, Predicate(PredicateCondition::kLike,
+                                  {Column(ColumnID{2}, DataType::kString, "name"), Value(std::string{"ap%"})}))
+                ->row_count(),
+            2u);
+  EXPECT_EQ(Scan(input, Predicate(PredicateCondition::kNotLike,
+                                  {Column(ColumnID{2}, DataType::kString, "name"), Value(std::string{"%a%"})}))
+                ->row_count(),
+            2u);  // cherry, fig
+  EXPECT_EQ(Scan(input, Predicate(PredicateCondition::kLike,
+                                  {Column(ColumnID{2}, DataType::kString, "name"), Value(std::string{"_pple"})}))
+                ->row_count(),
+            1u);
+}
+
+TEST_P(TableScanTest, MixedTypeComparison) {
+  const auto input = MakeInput();
+  // Int column vs double literal runs in the promoted domain.
+  const auto result = Scan(input, Predicate(PredicateCondition::kGreaterThan,
+                                            {Column(ColumnID{0}, DataType::kInt, "id"), Value(3.5)}));
+  EXPECT_EQ(result->row_count(), 3u);
+}
+
+TEST_P(TableScanTest, ColumnVsColumn) {
+  auto table = MakeTable({{"a", DataType::kInt}, {"b", DataType::kInt}},
+                         {{1, 2}, {3, 3}, {5, 4}, {6, 9}}, 2);
+  ChunkEncoder::EncodeAllChunks(table, SegmentEncodingSpec{GetParam()});
+  auto wrapper = std::make_shared<TableWrapper>(table);
+  wrapper->Execute();
+  const auto result = Scan(wrapper, Predicate(PredicateCondition::kLessThan,
+                                              {Column(ColumnID{0}, DataType::kInt, "a"),
+                                               Column(ColumnID{1}, DataType::kInt, "b")}));
+  ExpectTableContents(result, {{1, 2}, {6, 9}});
+}
+
+TEST_P(TableScanTest, ScanOnReferenceInput) {
+  const auto input = MakeInput();
+  const auto first = Scan(input, Predicate(PredicateCondition::kGreaterThan,
+                                           {Column(ColumnID{0}, DataType::kInt, "id"), Value(1)}));
+  auto wrapper = std::make_shared<TableWrapper>(first);
+  wrapper->Execute();
+  const auto second = Scan(wrapper, Predicate(PredicateCondition::kLessThan,
+                                              {Column(ColumnID{0}, DataType::kInt, "id"), Value(5)}));
+  ExpectTableContents(second, {{2, 20.0, std::string{"banana"}},
+                               {3, kNullVariant, std::string{"cherry"}},
+                               {4, 7.25, std::string{"apricot"}}});
+  EXPECT_EQ(second->type(), TableType::kReferences);
+}
+
+TEST_P(TableScanTest, ComplexPredicateFallsBackToEvaluator) {
+  const auto input = MakeInput();
+  // id = 1 OR name = 'fig' — not a fast-path shape.
+  const auto predicate = std::make_shared<LogicalExpression>(
+      LogicalOperator::kOr,
+      Predicate(PredicateCondition::kEquals, {Column(ColumnID{0}, DataType::kInt, "id"), Value(1)}),
+      Predicate(PredicateCondition::kEquals,
+                {Column(ColumnID{2}, DataType::kString, "name"), Value(std::string{"fig"})}));
+  const auto result = Scan(input, predicate);
+  ExpectTableContents(result, {{1, 10.5, std::string{"apple"}}, {5, 99.9, std::string{"fig"}}});
+}
+
+TEST_P(TableScanTest, InListViaEvaluator) {
+  const auto input = MakeInput();
+  const auto predicate =
+      Predicate(PredicateCondition::kIn,
+                {Column(ColumnID{0}, DataType::kInt, "id"),
+                 std::make_shared<ListExpression>(Expressions{Value(2), Value(5), Value(77)})});
+  EXPECT_EQ(Scan(input, predicate)->row_count(), 2u);
+}
+
+TEST_P(TableScanTest, ComparisonWithNullLiteralMatchesNothing) {
+  const auto input = MakeInput();
+  const auto result = Scan(input, Predicate(PredicateCondition::kEquals,
+                                            {Column(ColumnID{0}, DataType::kInt, "id"), Value(kNullVariant)}));
+  EXPECT_EQ(result->row_count(), 0u);
+}
+
+}  // namespace hyrise

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "expression/expression_utils.hpp"
+#include "expression/expressions.hpp"
+#include "hyrise.hpp"
+#include "optimizer/optimizer.hpp"
+#include "optimizer/rules/chunk_pruning_rule.hpp"
+#include "optimizer/rules/expression_reduction_rule.hpp"
+#include "optimizer/rules/index_scan_rule.hpp"
+#include "optimizer/rules/join_ordering_rule.hpp"
+#include "optimizer/rules/predicate_pushdown_rule.hpp"
+#include "optimizer/rules/subquery_to_join_rule.hpp"
+#include "logical_query_plan/operator_nodes.hpp"
+#include "logical_query_plan/stored_table_node.hpp"
+#include "sql/sql_parser.hpp"
+#include "sql/sql_pipeline.hpp"
+#include "sql/sql_translator.hpp"
+#include "statistics/table_statistics.hpp"
+#include "storage/index/abstract_chunk_index.hpp"
+#include "storage/chunk_encoder.hpp"
+#include "test_utils.hpp"
+
+namespace hyrise {
+
+namespace {
+
+/// Translates one SQL statement into an (unoptimized) LQP.
+LqpNodePtr TranslateQuery(const std::string& sql) {
+  auto parsed = sql::ParseSql(sql);
+  Assert(parsed.ok(), parsed.error());
+  auto translator = SqlTranslator{UseMvcc::kNo};
+  auto lqp = translator.Translate(*parsed.value().at(0));
+  Assert(lqp.ok(), lqp.error());
+  return lqp.value();
+}
+
+size_t CountNodes(const LqpNodePtr& root, LqpNodeType type) {
+  auto count = size_t{0};
+  VisitLqp(root, [&](const LqpNodePtr& node) {
+    count += node->type == type;
+    return true;
+  });
+  return count;
+}
+
+/// The deepest PredicateNode / JoinNode structure check helper.
+template <typename NodeType>
+std::vector<std::shared_ptr<NodeType>> CollectNodes(const LqpNodePtr& root, LqpNodeType type) {
+  auto nodes = std::vector<std::shared_ptr<NodeType>>{};
+  VisitLqp(root, [&](const LqpNodePtr& node) {
+    if (node->type == type) {
+      nodes.push_back(std::static_pointer_cast<NodeType>(node));
+    }
+    return true;
+  });
+  return nodes;
+}
+
+}  // namespace
+
+class OptimizerRulesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Hyrise::Reset();
+    ExecuteSql("CREATE TABLE r (a INT NOT NULL, b INT NOT NULL)");
+    ExecuteSql("CREATE TABLE s (c INT NOT NULL, d INT NOT NULL)");
+    ExecuteSql("CREATE TABLE u (e INT NOT NULL, f INT NOT NULL)");
+    for (auto row = 0; row < 50; ++row) {
+      ExecuteSql("INSERT INTO r VALUES (" + std::to_string(row) + ", " + std::to_string(row % 5) + ")");
+      ExecuteSql("INSERT INTO s VALUES (" + std::to_string(row % 10) + ", " + std::to_string(row) + ")");
+      ExecuteSql("INSERT INTO u VALUES (" + std::to_string(row % 3) + ", " + std::to_string(row) + ")");
+    }
+  }
+};
+
+TEST_F(OptimizerRulesTest, ExpressionReductionFoldsConstants) {
+  auto lqp = TranslateQuery("SELECT a FROM r WHERE a < 2 + 3 * 4");
+  ApplyRuleRecursively(ExpressionReductionRule{}, lqp);
+  const auto predicates = CollectNodes<PredicateNode>(lqp, LqpNodeType::kPredicate);
+  ASSERT_EQ(predicates.size(), 1u);
+  const auto& predicate = *predicates[0]->predicate();
+  ASSERT_EQ(predicate.arguments[1]->type, ExpressionType::kValue);
+  EXPECT_EQ(std::get<int32_t>(static_cast<const ValueExpression&>(*predicate.arguments[1]).value), 14);
+}
+
+TEST_F(OptimizerRulesTest, ExpressionReductionFactorsCommonConjuncts) {
+  auto lqp = TranslateQuery("SELECT a FROM r WHERE (a = 1 AND b = 2) OR (a = 1 AND b = 3)");
+  ApplyRuleRecursively(ExpressionReductionRule{}, lqp);
+  const auto predicates = CollectNodes<PredicateNode>(lqp, LqpNodeType::kPredicate);
+  ASSERT_EQ(predicates.size(), 1u);
+  // Factored into (a = 1) AND (b = 2 OR b = 3).
+  const auto conjuncts = FlattenConjunction(predicates[0]->predicate());
+  ASSERT_EQ(conjuncts.size(), 2u);
+  EXPECT_EQ(conjuncts[0]->type, ExpressionType::kPredicate);
+  EXPECT_EQ(conjuncts[1]->type, ExpressionType::kLogical);
+}
+
+TEST_F(OptimizerRulesTest, PushdownTurnsCrossIntoInnerJoin) {
+  auto lqp = TranslateQuery("SELECT a FROM r, s WHERE a = c AND b > 1");
+  EXPECT_EQ(CountNodes(lqp, LqpNodeType::kJoin), 1u);
+  ApplyRuleRecursively(PredicatePushdownRule{}, lqp);
+  const auto joins = CollectNodes<JoinNode>(lqp, LqpNodeType::kJoin);
+  ASSERT_EQ(joins.size(), 1u);
+  EXPECT_EQ(joins[0]->join_mode, JoinMode::kInner) << "cross join + equi predicate becomes inner join";
+  // b > 1 sank below the join, onto r's side.
+  EXPECT_EQ(joins[0]->left_input->type, LqpNodeType::kPredicate);
+}
+
+TEST_F(OptimizerRulesTest, JoinOrderingJoinsSelectiveTablesFirst) {
+  // Three-way join; exhaustive DP must produce a fully predicated plan (no
+  // cross products) and keep results identical.
+  auto lqp = TranslateQuery("SELECT r.a FROM r, s, u WHERE r.a = s.c AND s.d = u.f");
+  ApplyRuleRecursively(PredicatePushdownRule{}, lqp);
+  ApplyRuleRecursively(JoinOrderingRule{}, lqp);
+  const auto joins = CollectNodes<JoinNode>(lqp, LqpNodeType::kJoin);
+  ASSERT_EQ(joins.size(), 2u);
+  for (const auto& join : joins) {
+    EXPECT_EQ(join->join_mode, JoinMode::kInner);
+    EXPECT_FALSE(join->node_expressions.empty());
+  }
+}
+
+TEST_F(OptimizerRulesTest, SubqueryToJoinRewritesExists) {
+  auto lqp = TranslateQuery("SELECT a FROM r WHERE EXISTS (SELECT * FROM s WHERE s.c = r.a)");
+  ASSERT_EQ(CountNodes(lqp, LqpNodeType::kJoin), 0u);
+  ApplyRuleRecursively(SubqueryToJoinRule{}, lqp);
+  const auto joins = CollectNodes<JoinNode>(lqp, LqpNodeType::kJoin);
+  ASSERT_EQ(joins.size(), 1u);
+  EXPECT_EQ(joins[0]->join_mode, JoinMode::kSemi);
+}
+
+TEST_F(OptimizerRulesTest, SubqueryToJoinRewritesNotInAsAnti) {
+  auto lqp = TranslateQuery("SELECT a FROM r WHERE a NOT IN (SELECT c FROM s)");
+  ApplyRuleRecursively(SubqueryToJoinRule{}, lqp);
+  const auto joins = CollectNodes<JoinNode>(lqp, LqpNodeType::kJoin);
+  ASSERT_EQ(joins.size(), 1u);
+  EXPECT_EQ(joins[0]->join_mode, JoinMode::kAnti);
+}
+
+TEST_F(OptimizerRulesTest, SubqueryToJoinRegroupsCorrelatedScalar) {
+  auto lqp = TranslateQuery("SELECT a FROM r WHERE b < (SELECT AVG(d) FROM s WHERE s.c = r.a)");
+  ApplyRuleRecursively(SubqueryToJoinRule{}, lqp);
+  EXPECT_EQ(CountNodes(lqp, LqpNodeType::kJoin), 1u);
+  // The aggregate is now grouped by the correlation column.
+  const auto aggregates = CollectNodes<AggregateNode>(lqp, LqpNodeType::kAggregate);
+  auto found_grouped = false;
+  for (const auto& aggregate : aggregates) {
+    found_grouped |= aggregate->group_by_count == 1;
+  }
+  EXPECT_TRUE(found_grouped);
+}
+
+TEST_F(OptimizerRulesTest, SubqueryRewriteLeavesUnsafePatternsAlone) {
+  // Correlation under an aggregate with a non-equality condition: no rewrite.
+  auto lqp = TranslateQuery("SELECT a FROM r WHERE EXISTS (SELECT MAX(d) FROM s WHERE s.c = r.a)");
+  const auto before = CountNodes(lqp, LqpNodeType::kJoin);
+  ApplyRuleRecursively(SubqueryToJoinRule{}, lqp);
+  EXPECT_EQ(CountNodes(lqp, LqpNodeType::kJoin), before) << "correlation below aggregate must not be lifted blindly";
+}
+
+TEST_F(OptimizerRulesTest, ChunkPruningMarksStoredTableNodes) {
+  Hyrise::Reset();
+  auto table = std::make_shared<Table>(TableColumnDefinitions{{"v", DataType::kInt}}, TableType::kData, 100);
+  for (auto row = 0; row < 300; ++row) {
+    table->AppendRow({row});
+  }
+  ChunkEncoder::EncodeAllChunks(table, SegmentEncodingSpec{EncodingType::kDictionary});
+  Hyrise::Get().storage_manager.AddTable("seq", table);
+  GenerateChunkPruningStatistics(table);
+
+  auto lqp = TranslateQuery("SELECT v FROM seq WHERE v >= 250");
+  ApplyRuleRecursively(ChunkPruningRule{}, lqp);
+  const auto stored_nodes = CollectNodes<StoredTableNode>(lqp, LqpNodeType::kStoredTable);
+  ASSERT_EQ(stored_nodes.size(), 1u);
+  // Chunks 0 (0..99) and 1 (100..199) are prunable.
+  EXPECT_EQ(stored_nodes[0]->pruned_chunk_ids, (std::vector<ChunkID>{ChunkID{0}, ChunkID{1}}));
+
+  // End-to-end: pruned plan returns the same rows.
+  ExpectTableContents(ExecuteSql("SELECT COUNT(*) FROM seq WHERE v >= 250"), {{int64_t{50}}});
+}
+
+TEST_F(OptimizerRulesTest, IndexScanRuleSetsHintOnlyWithIndexAndSelectivity) {
+  Hyrise::Reset();
+  auto table = std::make_shared<Table>(TableColumnDefinitions{{"v", DataType::kInt}}, TableType::kData, 1000);
+  for (auto row = 0; row < 5000; ++row) {
+    table->AppendRow({row});
+  }
+  ChunkEncoder::EncodeAllChunks(table, SegmentEncodingSpec{EncodingType::kDictionary});
+  Hyrise::Get().storage_manager.AddTable("indexed", table);
+  for (auto chunk_id = ChunkID{0}; chunk_id < table->chunk_count(); ++chunk_id) {
+    const auto chunk = table->GetChunk(chunk_id);
+    chunk->AddIndex({ColumnID{0}}, CreateChunkIndex(ChunkIndexType::kGroupKey, chunk->GetSegment(ColumnID{0})));
+  }
+
+  auto selective = TranslateQuery("SELECT v FROM indexed WHERE v = 123");
+  ApplyRuleRecursively(IndexScanRule{}, selective);
+  const auto predicates = CollectNodes<PredicateNode>(selective, LqpNodeType::kPredicate);
+  ASSERT_EQ(predicates.size(), 1u);
+  EXPECT_TRUE(predicates[0]->prefer_index);
+
+  auto unselective = TranslateQuery("SELECT v FROM indexed WHERE v > 10");
+  ApplyRuleRecursively(IndexScanRule{}, unselective);
+  const auto unselective_predicates = CollectNodes<PredicateNode>(unselective, LqpNodeType::kPredicate);
+  ASSERT_EQ(unselective_predicates.size(), 1u);
+  EXPECT_FALSE(unselective_predicates[0]->prefer_index) << "high selectivity prefers the scan";
+}
+
+}  // namespace hyrise

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "hyrise.hpp"
+#include "operators/table_wrapper.hpp"
+#include "operators/union_all.hpp"
+#include "scheduler/abstract_scheduler.hpp"
+#include "scheduler/node_queue_scheduler.hpp"
+#include "scheduler/operator_task.hpp"
+#include "test_utils.hpp"
+#include "utils/gdfs_cache.hpp"
+
+namespace hyrise {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Hyrise::Reset();
+  }
+
+  void TearDown() override {
+    Hyrise::Get().SetScheduler(std::make_shared<ImmediateExecutionScheduler>());
+  }
+};
+
+TEST_F(SchedulerTest, ImmediateExecutionRunsInline) {
+  auto executed = false;
+  auto task = std::make_shared<JobTask>([&] {
+    executed = true;
+  });
+  task->Schedule();
+  EXPECT_TRUE(executed) << "immediate scheduler executes during Schedule()";
+  EXPECT_TRUE(task->IsDone());
+}
+
+TEST_F(SchedulerTest, DependenciesRespectOrderInline) {
+  auto order = std::vector<int>{};
+  auto first = std::make_shared<JobTask>([&] {
+    order.push_back(1);
+  });
+  auto second = std::make_shared<JobTask>([&] {
+    order.push_back(2);
+  });
+  first->SetAsPredecessorOf(second);
+  // Scheduling the successor first must not run it before its predecessor.
+  second->Schedule();
+  EXPECT_TRUE(order.empty());
+  first->Schedule();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(SchedulerTest, NodeQueueSchedulerExecutesManyTasks) {
+  Hyrise::Get().SetScheduler(std::make_shared<NodeQueueScheduler>(1, 4));
+  auto counter = std::atomic<int>{0};
+  auto tasks = std::vector<std::shared_ptr<AbstractTask>>{};
+  for (auto index = 0; index < 200; ++index) {
+    tasks.push_back(std::make_shared<JobTask>([&] {
+      counter.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  Hyrise::Get().scheduler()->ScheduleAndWaitForTasks(tasks);
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST_F(SchedulerTest, NodeQueueSchedulerHonorsDependencyChains) {
+  Hyrise::Get().SetScheduler(std::make_shared<NodeQueueScheduler>(2, 2));
+  auto value = std::atomic<int>{0};
+  auto tasks = std::vector<std::shared_ptr<AbstractTask>>{};
+  // Chain of 50 tasks, each multiplying then adding — order-sensitive.
+  for (auto index = 0; index < 50; ++index) {
+    tasks.push_back(std::make_shared<JobTask>([&value, index] {
+      auto expected = value.load();
+      value.store(expected + index);
+    }));
+    if (index > 0) {
+      tasks[index - 1]->SetAsPredecessorOf(tasks[index]);
+    }
+  }
+  Hyrise::Get().scheduler()->ScheduleAndWaitForTasks(tasks);
+  EXPECT_EQ(value.load(), 49 * 50 / 2);
+}
+
+TEST_F(SchedulerTest, WorkStealingDrainsOtherNodesQueues) {
+  // All tasks prefer node 1; node 0's workers must steal to finish.
+  const auto scheduler = std::make_shared<NodeQueueScheduler>(2, 1);
+  Hyrise::Get().SetScheduler(scheduler);
+  auto counter = std::atomic<int>{0};
+  auto tasks = std::vector<std::shared_ptr<AbstractTask>>{};
+  for (auto index = 0; index < 64; ++index) {
+    auto task = std::make_shared<JobTask>([&] {
+      counter.fetch_add(1);
+    });
+    task->Schedule(NodeID{1});
+    tasks.push_back(task);
+  }
+  for (const auto& task : tasks) {
+    task->Join();
+  }
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST_F(SchedulerTest, OperatorTasksMirrorThePqp) {
+  const auto table = MakeTable({{"a", DataType::kInt}}, {{1}, {2}});
+  auto left = std::make_shared<TableWrapper>(table);
+  auto right = std::make_shared<TableWrapper>(table);
+  auto union_all = std::make_shared<UnionAll>(left, right);
+  const auto tasks = OperatorTask::MakeTasksFromOperator(union_all);
+  ASSERT_EQ(tasks.size(), 3u);
+  EXPECT_EQ(std::static_pointer_cast<OperatorTask>(tasks.back())->GetOperator(), union_all);
+
+  Hyrise::Get().SetScheduler(std::make_shared<NodeQueueScheduler>(1, 2));
+  Hyrise::Get().scheduler()->ScheduleAndWaitForTasks(tasks);
+  EXPECT_EQ(union_all->get_output()->row_count(), 4u);
+}
+
+TEST_F(SchedulerTest, DiamondPqpCreatesOneTaskPerOperator) {
+  const auto table = MakeTable({{"a", DataType::kInt}}, {{1}});
+  auto shared = std::make_shared<TableWrapper>(table);
+  auto union_all = std::make_shared<UnionAll>(shared, shared);
+  const auto tasks = OperatorTask::MakeTasksFromOperator(union_all);
+  EXPECT_EQ(tasks.size(), 2u) << "shared input yields one task";
+}
+
+TEST(GdfsCacheTest, EvictsLowestPriority) {
+  auto cache = GdfsCache<std::string, int>{2};
+  cache.Set("a", 1);
+  cache.Set("b", 2);
+  cache.TryGet("a");
+  cache.TryGet("a");  // "a" is now hot.
+  cache.Set("c", 3);  // Evicts "b".
+  EXPECT_TRUE(cache.Has("a"));
+  EXPECT_FALSE(cache.Has("b"));
+  EXPECT_TRUE(cache.Has("c"));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(GdfsCacheTest, AgingLetsNewEntriesSurvive) {
+  auto cache = GdfsCache<std::string, int>{2};
+  cache.Set("old1", 1);
+  for (auto hit = 0; hit < 10; ++hit) {
+    cache.TryGet("old1");
+  }
+  cache.Set("old2", 2);
+  cache.Set("new1", 3);  // Evicts old2 (lower priority), inflation rises.
+  EXPECT_FALSE(cache.Has("old2"));
+  // After eviction-driven inflation, a fresh entry beats a stale hot one
+  // eventually.
+  cache.Set("new2", 4);
+  EXPECT_TRUE(cache.Has("new2"));
+}
+
+TEST(GdfsCacheTest, HitAndMissCounters) {
+  auto cache = GdfsCache<std::string, int>{4};
+  cache.Set("x", 1);
+  EXPECT_TRUE(cache.TryGet("x").has_value());
+  EXPECT_FALSE(cache.TryGet("y").has_value());
+  EXPECT_EQ(cache.hit_count(), 1u);
+  EXPECT_EQ(cache.miss_count(), 1u);
+}
+
+}  // namespace hyrise

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "hyrise.hpp"
+#include "server/server.hpp"
+#include "sql/sql_pipeline.hpp"
+
+namespace hyrise {
+
+namespace {
+
+/// Minimal raw-socket PostgreSQL client, enough to validate the wire format
+/// (paper §2.5: tools like Wireshark can inspect these exact messages).
+class PgClient {
+ public:
+  explicit PgClient(uint16_t port) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    auto address = sockaddr_in{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = htons(port);
+    connected_ = connect(fd_, reinterpret_cast<sockaddr*>(&address), sizeof(address)) == 0;
+  }
+
+  ~PgClient() {
+    if (fd_ >= 0) {
+      close(fd_);
+    }
+  }
+
+  bool connected() const {
+    return connected_;
+  }
+
+  void SendStartup() {
+    auto payload = std::string{};
+    AppendInt32(payload, 196608);  // Protocol 3.0.
+    payload += "user";
+    payload.push_back('\0');
+    payload += "tester";
+    payload.push_back('\0');
+    payload.push_back('\0');
+    auto message = std::string{};
+    AppendInt32(message, static_cast<int32_t>(payload.size() + 4));
+    message += payload;
+    Send(message);
+  }
+
+  void SendQuery(const std::string& query) {
+    auto message = std::string{"Q"};
+    AppendInt32(message, static_cast<int32_t>(query.size() + 5));
+    message += query;
+    message.push_back('\0');
+    Send(message);
+  }
+
+  struct WireMessage {
+    char type;
+    std::string payload;
+  };
+
+  WireMessage ReadMessage() {
+    char header[5];
+    ReadExactly(header, 5);
+    auto message = WireMessage{};
+    message.type = header[0];
+    uint32_t network;
+    std::memcpy(&network, header + 1, 4);
+    const auto length = static_cast<int32_t>(ntohl(network));
+    message.payload.resize(static_cast<size_t>(length) - 4);
+    if (!message.payload.empty()) {
+      ReadExactly(message.payload.data(), message.payload.size());
+    }
+    return message;
+  }
+
+  /// Reads messages until ReadyForQuery, returning them all.
+  std::vector<WireMessage> ReadUntilReady() {
+    auto messages = std::vector<WireMessage>{};
+    while (true) {
+      messages.push_back(ReadMessage());
+      if (messages.back().type == 'Z') {
+        return messages;
+      }
+    }
+  }
+
+ private:
+  static void AppendInt32(std::string& buffer, int32_t value) {
+    const auto network = htonl(static_cast<uint32_t>(value));
+    buffer.append(reinterpret_cast<const char*>(&network), 4);
+  }
+
+  void Send(const std::string& data) {
+    ASSERT_EQ(send(fd_, data.data(), data.size(), 0), static_cast<ssize_t>(data.size()));
+  }
+
+  void ReadExactly(char* buffer, size_t size) {
+    auto received = size_t{0};
+    while (received < size) {
+      const auto result = recv(fd_, buffer + received, size - received, 0);
+      ASSERT_GT(result, 0);
+      received += static_cast<size_t>(result);
+    }
+  }
+
+  int fd_{-1};
+  bool connected_{false};
+};
+
+}  // namespace
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Hyrise::Reset();
+    ExecuteSql("CREATE TABLE t (a INT NOT NULL, b VARCHAR(10))");
+    ExecuteSql("INSERT INTO t VALUES (1, 'x'), (2, NULL)");
+    server_ = std::make_unique<Server>(0);
+    server_->Start();
+  }
+
+  void TearDown() override {
+    server_->Stop();
+  }
+
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTest, StartupHandshake) {
+  auto client = PgClient{server_->port()};
+  ASSERT_TRUE(client.connected());
+  client.SendStartup();
+  const auto messages = client.ReadUntilReady();
+  ASSERT_GE(messages.size(), 3u);
+  EXPECT_EQ(messages[0].type, 'R') << "AuthenticationOk";
+  EXPECT_EQ(messages[1].type, 'S') << "ParameterStatus";
+  EXPECT_EQ(messages.back().type, 'Z') << "ReadyForQuery";
+}
+
+TEST_F(ServerTest, SimpleQueryReturnsRows) {
+  auto client = PgClient{server_->port()};
+  ASSERT_TRUE(client.connected());
+  client.SendStartup();
+  client.ReadUntilReady();
+
+  client.SendQuery("SELECT a, b FROM t ORDER BY a");
+  const auto messages = client.ReadUntilReady();
+  ASSERT_GE(messages.size(), 5u);
+  EXPECT_EQ(messages[0].type, 'T') << "RowDescription";
+  EXPECT_NE(messages[0].payload.find("a"), std::string::npos);
+  EXPECT_EQ(messages[1].type, 'D');
+  EXPECT_NE(messages[1].payload.find("x"), std::string::npos);
+  EXPECT_EQ(messages[2].type, 'D');
+  EXPECT_EQ(messages[3].type, 'C') << "CommandComplete";
+  EXPECT_NE(messages[3].payload.find("SELECT 2"), std::string::npos);
+}
+
+TEST_F(ServerTest, NullCellsUseNegativeLength) {
+  auto client = PgClient{server_->port()};
+  client.SendStartup();
+  client.ReadUntilReady();
+  client.SendQuery("SELECT b FROM t WHERE a = 2");
+  const auto messages = client.ReadUntilReady();
+  ASSERT_EQ(messages[1].type, 'D');
+  // Payload: int16 field count (1), int32 length == -1.
+  ASSERT_GE(messages[1].payload.size(), 6u);
+  uint32_t network;
+  std::memcpy(&network, messages[1].payload.data() + 2, 4);
+  EXPECT_EQ(static_cast<int32_t>(ntohl(network)), -1);
+}
+
+TEST_F(ServerTest, ErrorsAreReportedAndSessionContinues) {
+  auto client = PgClient{server_->port()};
+  client.SendStartup();
+  client.ReadUntilReady();
+
+  client.SendQuery("SELECT FROM nope");
+  auto messages = client.ReadUntilReady();
+  EXPECT_EQ(messages[0].type, 'E');
+
+  client.SendQuery("SELECT 41 + 1");
+  messages = client.ReadUntilReady();
+  EXPECT_EQ(messages[0].type, 'T');
+  EXPECT_NE(messages[1].payload.find("42"), std::string::npos);
+}
+
+TEST_F(ServerTest, DmlAndTransactionsAcrossMessages) {
+  auto client = PgClient{server_->port()};
+  client.SendStartup();
+  client.ReadUntilReady();
+
+  client.SendQuery("BEGIN");
+  client.ReadUntilReady();
+  client.SendQuery("INSERT INTO t VALUES (3, 'y')");
+  client.ReadUntilReady();
+  client.SendQuery("ROLLBACK");
+  client.ReadUntilReady();
+  client.SendQuery("SELECT COUNT(*) FROM t");
+  const auto messages = client.ReadUntilReady();
+  EXPECT_NE(messages[1].payload.find("2"), std::string::npos) << "rollback undid the insert";
+}
+
+}  // namespace hyrise

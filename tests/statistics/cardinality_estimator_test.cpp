@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "hyrise.hpp"
+#include "logical_query_plan/operator_nodes.hpp"
+#include "logical_query_plan/stored_table_node.hpp"
+#include "sql/sql_parser.hpp"
+#include "sql/sql_pipeline.hpp"
+#include "sql/sql_translator.hpp"
+#include "statistics/cardinality_estimator.hpp"
+#include "test_utils.hpp"
+
+namespace hyrise {
+
+namespace {
+
+LqpNodePtr TranslateQuery(const std::string& sql) {
+  auto parsed = sql::ParseSql(sql);
+  Assert(parsed.ok(), parsed.error());
+  auto translator = SqlTranslator{UseMvcc::kNo};
+  auto lqp = translator.Translate(*parsed.value().at(0));
+  Assert(lqp.ok(), lqp.error());
+  return lqp.value();
+}
+
+}  // namespace
+
+class CardinalityEstimatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Hyrise::Reset();
+    ExecuteSql("CREATE TABLE facts (k INT NOT NULL, grp INT NOT NULL, val DOUBLE)");
+    // 10 000 rows: k unique, grp has 100 distinct values.
+    auto table = Hyrise::Get().storage_manager.GetTable("facts");
+    for (auto row = 0; row < 10'000; ++row) {
+      table->AppendRow({row, row % 100, static_cast<double>(row % 977)});
+    }
+  }
+};
+
+TEST_F(CardinalityEstimatorTest, BaseTableRowCount) {
+  const auto estimator = CardinalityEstimator{};
+  const auto lqp = TranslateQuery("SELECT * FROM facts");
+  EXPECT_NEAR(estimator.EstimateRowCount(lqp), 10'000.0, 10.0);
+}
+
+TEST_F(CardinalityEstimatorTest, RangePredicateSelectivityFromHistogram) {
+  const auto estimator = CardinalityEstimator{};
+  const auto lqp = TranslateQuery("SELECT * FROM facts WHERE k < 2500");
+  EXPECT_NEAR(estimator.EstimateRowCount(lqp), 2'500.0, 300.0);
+}
+
+TEST_F(CardinalityEstimatorTest, EqualityUsesDistinctCounts) {
+  const auto estimator = CardinalityEstimator{};
+  const auto lqp = TranslateQuery("SELECT * FROM facts WHERE grp = 7");
+  EXPECT_NEAR(estimator.EstimateRowCount(lqp), 100.0, 40.0);
+}
+
+TEST_F(CardinalityEstimatorTest, ConjunctionsMultiply) {
+  const auto estimator = CardinalityEstimator{};
+  const auto lqp = TranslateQuery("SELECT * FROM facts WHERE grp = 7 AND k < 5000");
+  EXPECT_NEAR(estimator.EstimateRowCount(lqp), 50.0, 30.0);
+}
+
+TEST_F(CardinalityEstimatorTest, EquiJoinContainment) {
+  ExecuteSql("CREATE TABLE dim (grp INT NOT NULL, name VARCHAR(10))");
+  auto dim = Hyrise::Get().storage_manager.GetTable("dim");
+  for (auto row = 0; row < 100; ++row) {
+    dim->AppendRow({row, std::string{"g"}});
+  }
+  const auto estimator = CardinalityEstimator{};
+  const auto lqp = TranslateQuery("SELECT * FROM facts JOIN dim ON facts.grp = dim.grp");
+  // Key-foreign-key join: output ≈ fact rows.
+  EXPECT_NEAR(estimator.EstimateRowCount(lqp), 10'000.0, 2'000.0);
+}
+
+TEST_F(CardinalityEstimatorTest, AggregateBoundedByGroupDistinctCount) {
+  const auto estimator = CardinalityEstimator{};
+  const auto lqp = TranslateQuery("SELECT grp, COUNT(*) FROM facts GROUP BY grp");
+  EXPECT_NEAR(estimator.EstimateRowCount(lqp), 100.0, 20.0);
+}
+
+TEST_F(CardinalityEstimatorTest, LimitCaps) {
+  const auto estimator = CardinalityEstimator{};
+  const auto lqp = TranslateQuery("SELECT * FROM facts LIMIT 7");
+  EXPECT_DOUBLE_EQ(estimator.EstimateRowCount(lqp), 7.0);
+}
+
+}  // namespace hyrise

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "storage/chunk_encoder.hpp"
+#include "storage/dictionary_segment.hpp"
+#include "storage/frame_of_reference_segment.hpp"
+#include "storage/run_length_segment.hpp"
+#include "storage/value_segment.hpp"
+
+namespace hyrise {
+
+TEST(ValueSegmentTest, AppendAndAccess) {
+  auto segment = ValueSegment<int32_t>{};
+  segment.Append(AllTypeVariant{int32_t{4}});
+  segment.AppendTyped(7);
+  EXPECT_EQ(segment.size(), 2u);
+  EXPECT_EQ(segment[0], AllTypeVariant{int32_t{4}});
+  EXPECT_EQ(segment[1], AllTypeVariant{int32_t{7}});
+  EXPECT_FALSE(segment.is_nullable());
+}
+
+TEST(ValueSegmentTest, NullableSegment) {
+  auto segment = ValueSegment<std::string>{true};
+  segment.Append(AllTypeVariant{std::string{"a"}});
+  segment.Append(kNullVariant);
+  EXPECT_TRUE(segment.IsNullAt(1));
+  EXPECT_FALSE(segment.IsNullAt(0));
+  EXPECT_TRUE(VariantIsNull(segment[1]));
+}
+
+TEST(ValueSegmentTest, AppendCoercesNumericVariants) {
+  auto segment = ValueSegment<int64_t>{};
+  segment.Append(AllTypeVariant{int32_t{12}});
+  EXPECT_EQ(segment.values()[0], int64_t{12});
+}
+
+TEST(DictionarySegmentTest, EncodeDecode) {
+  auto value_segment = std::make_shared<ValueSegment<std::string>>(true);
+  for (const auto* value : {"beta", "alpha", "gamma", "alpha"}) {
+    value_segment->Append(AllTypeVariant{std::string{value}});
+  }
+  value_segment->Append(kNullVariant);
+
+  const auto encoded = ChunkEncoder::EncodeSegment(value_segment, DataType::kString,
+                                                   SegmentEncodingSpec{EncodingType::kDictionary});
+  const auto& dictionary_segment = static_cast<const DictionarySegment<std::string>&>(*encoded);
+
+  EXPECT_EQ(dictionary_segment.dictionary(), (std::vector<std::string>{"alpha", "beta", "gamma"}));
+  EXPECT_EQ(dictionary_segment.size(), 5u);
+  EXPECT_EQ(dictionary_segment[0], AllTypeVariant{std::string{"beta"}});
+  EXPECT_EQ(dictionary_segment[3], AllTypeVariant{std::string{"alpha"}});
+  EXPECT_TRUE(VariantIsNull(dictionary_segment[4]));
+  EXPECT_EQ(dictionary_segment.null_value_id(), 3u);
+}
+
+TEST(DictionarySegmentTest, LowerUpperBound) {
+  auto value_segment = std::make_shared<ValueSegment<int32_t>>();
+  for (const auto value : {10, 20, 30, 20}) {
+    value_segment->AppendTyped(value);
+  }
+  const auto encoded =
+      ChunkEncoder::EncodeSegment(value_segment, DataType::kInt, SegmentEncodingSpec{EncodingType::kDictionary});
+  const auto& segment = static_cast<const DictionarySegment<int32_t>&>(*encoded);
+
+  EXPECT_EQ(segment.LowerBound(15), ValueID{1});
+  EXPECT_EQ(segment.LowerBound(20), ValueID{1});
+  EXPECT_EQ(segment.UpperBound(20), ValueID{2});
+  EXPECT_EQ(segment.LowerBound(31), kInvalidValueId);
+  EXPECT_EQ(segment.ValueOfValueId(ValueID{2}), 30);
+  EXPECT_EQ(segment.unique_values_count(), ValueID{3});
+}
+
+TEST(RunLengthSegmentTest, EncodeDecode) {
+  auto value_segment = std::make_shared<ValueSegment<int32_t>>(true);
+  for (const auto value : {5, 5, 5, 9, 9}) {
+    value_segment->Append(AllTypeVariant{value});
+  }
+  value_segment->Append(kNullVariant);
+  value_segment->Append(kNullVariant);
+  value_segment->Append(AllTypeVariant{5});
+
+  const auto encoded =
+      ChunkEncoder::EncodeSegment(value_segment, DataType::kInt, SegmentEncodingSpec{EncodingType::kRunLength});
+  const auto& segment = static_cast<const RunLengthSegment<int32_t>&>(*encoded);
+
+  EXPECT_EQ(segment.values().size(), 4u);  // runs: 5, 9, NULL, 5
+  EXPECT_EQ(segment.size(), 8u);
+  EXPECT_EQ(segment[0], AllTypeVariant{5});
+  EXPECT_EQ(segment[2], AllTypeVariant{5});
+  EXPECT_EQ(segment[3], AllTypeVariant{9});
+  EXPECT_TRUE(VariantIsNull(segment[5]));
+  EXPECT_TRUE(VariantIsNull(segment[6]));
+  EXPECT_EQ(segment[7], AllTypeVariant{5});
+}
+
+TEST(FrameOfReferenceSegmentTest, EncodeDecode) {
+  auto value_segment = std::make_shared<ValueSegment<int32_t>>(true);
+  for (auto index = 0; index < 5000; ++index) {
+    value_segment->Append(AllTypeVariant{1'000'000 + (index % 100)});
+  }
+  value_segment->Append(kNullVariant);
+
+  const auto encoded = ChunkEncoder::EncodeSegment(value_segment, DataType::kInt,
+                                                   SegmentEncodingSpec{EncodingType::kFrameOfReference});
+  ASSERT_EQ(static_cast<const AbstractEncodedSegment&>(*encoded).encoding_type(), EncodingType::kFrameOfReference);
+  const auto& segment = static_cast<const FrameOfReferenceSegment<int32_t>&>(*encoded);
+
+  EXPECT_EQ(segment.size(), 5001u);
+  EXPECT_EQ(segment[0], AllTypeVariant{1'000'000});
+  EXPECT_EQ(segment[4999], AllTypeVariant{1'000'000 + 4999 % 100});
+  EXPECT_TRUE(VariantIsNull(segment[5000]));
+  // Three blocks of 2048.
+  EXPECT_EQ(segment.block_minima().size(), 3u);
+}
+
+TEST(FrameOfReferenceSegmentTest, FallsBackToDictionaryForStrings) {
+  auto value_segment = std::make_shared<ValueSegment<std::string>>();
+  value_segment->AppendTyped("x");
+  const auto encoded = ChunkEncoder::EncodeSegment(value_segment, DataType::kString,
+                                                   SegmentEncodingSpec{EncodingType::kFrameOfReference});
+  EXPECT_EQ(static_cast<const AbstractEncodedSegment&>(*encoded).encoding_type(), EncodingType::kDictionary);
+}
+
+TEST(ChunkEncoderTest, DictionaryCompressesLowCardinalityData) {
+  auto value_segment = std::make_shared<ValueSegment<int32_t>>();
+  for (auto index = 0; index < 100'000; ++index) {
+    value_segment->AppendTyped(index % 50);
+  }
+  const auto encoded =
+      ChunkEncoder::EncodeSegment(value_segment, DataType::kInt, SegmentEncodingSpec{EncodingType::kDictionary});
+  EXPECT_LT(encoded->MemoryUsage(), value_segment->MemoryUsage() / 2);
+}
+
+TEST(ChunkEncoderTest, UnencodedRoundTrip) {
+  auto value_segment = std::make_shared<ValueSegment<double>>(true);
+  value_segment->Append(AllTypeVariant{1.5});
+  value_segment->Append(kNullVariant);
+  const auto copy =
+      ChunkEncoder::EncodeSegment(value_segment, DataType::kDouble, SegmentEncodingSpec{EncodingType::kUnencoded});
+  EXPECT_EQ((*copy)[0], AllTypeVariant{1.5});
+  EXPECT_TRUE(VariantIsNull((*copy)[1]));
+}
+
+}  // namespace hyrise

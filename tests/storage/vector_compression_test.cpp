@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "storage/vector_compression/compressed_vector_utils.hpp"
+
+namespace hyrise {
+
+class VectorCompressionTest : public ::testing::TestWithParam<VectorCompressionType> {};
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, VectorCompressionTest,
+                         ::testing::Values(VectorCompressionType::kFixedWidthInteger,
+                                           VectorCompressionType::kBitPacking128),
+                         [](const auto& info) {
+                           return std::string{VectorCompressionTypeToString(info.param)};
+                         });
+
+TEST_P(VectorCompressionTest, RoundTripSmallValues) {
+  const auto values = std::vector<uint32_t>{0, 1, 2, 3, 200, 255, 17};
+  const auto compressed = CompressVector(values, GetParam(), 255);
+  ASSERT_EQ(compressed->size(), values.size());
+  for (auto index = size_t{0}; index < values.size(); ++index) {
+    EXPECT_EQ(compressed->Get(index), values[index]) << "at " << index;
+  }
+  EXPECT_EQ(compressed->Decode(), values);
+}
+
+TEST_P(VectorCompressionTest, RoundTripRandomAcrossWidths) {
+  auto rng = std::mt19937{42};
+  for (const auto max_value : {uint32_t{200}, uint32_t{60'000}, uint32_t{1u << 20}, ~uint32_t{0} >> 1}) {
+    auto dist = std::uniform_int_distribution<uint32_t>{0, max_value};
+    auto values = std::vector<uint32_t>(1337);
+    for (auto& value : values) {
+      value = dist(rng);
+    }
+    const auto compressed = CompressVector(values, GetParam(), max_value);
+    EXPECT_EQ(compressed->Decode(), values) << "max_value=" << max_value;
+    // Spot-check random access.
+    for (auto probe = 0; probe < 100; ++probe) {
+      const auto index = rng() % values.size();
+      EXPECT_EQ(compressed->Get(index), values[index]);
+    }
+  }
+}
+
+TEST_P(VectorCompressionTest, BaseDecompressorMatchesVector) {
+  auto values = std::vector<uint32_t>(500);
+  for (auto index = size_t{0}; index < values.size(); ++index) {
+    values[index] = static_cast<uint32_t>(index * 7 % 1024);
+  }
+  const auto compressed = CompressVector(values, GetParam(), 1023);
+  const auto decompressor = compressed->CreateBaseDecompressor();
+  ASSERT_EQ(decompressor->size(), values.size());
+  for (auto index = size_t{0}; index < values.size(); ++index) {
+    EXPECT_EQ(decompressor->Get(index), values[index]);
+  }
+}
+
+TEST_P(VectorCompressionTest, EmptyVector) {
+  const auto compressed = CompressVector({}, GetParam(), 0);
+  EXPECT_EQ(compressed->size(), 0u);
+  EXPECT_TRUE(compressed->Decode().empty());
+}
+
+TEST(FixedWidthIntegerVectorTest, ChoosesSmallestWidth) {
+  EXPECT_EQ(CompressVector({1, 2}, VectorCompressionType::kFixedWidthInteger, 255)->internal_type(),
+            CompressedVectorInternalType::kFixedWidth1Byte);
+  EXPECT_EQ(CompressVector({1, 2}, VectorCompressionType::kFixedWidthInteger, 256)->internal_type(),
+            CompressedVectorInternalType::kFixedWidth2Byte);
+  EXPECT_EQ(CompressVector({1, 2}, VectorCompressionType::kFixedWidthInteger, 65536)->internal_type(),
+            CompressedVectorInternalType::kFixedWidth4Byte);
+}
+
+TEST(BitPackingVectorTest, CompressesBelowFixedWidth) {
+  // 1M values < 1024 need 10 bits in bit-packing vs 16 bits fixed-width.
+  auto values = std::vector<uint32_t>(100'000);
+  for (auto index = size_t{0}; index < values.size(); ++index) {
+    values[index] = static_cast<uint32_t>(index % 1000);
+  }
+  const auto bitpacked = CompressVector(values, VectorCompressionType::kBitPacking128, 999);
+  const auto fixed = CompressVector(values, VectorCompressionType::kFixedWidthInteger, 999);
+  EXPECT_LT(bitpacked->DataSize(), fixed->DataSize());
+}
+
+TEST(BitPackingVectorTest, HandlesFullWidthValues) {
+  const auto values = std::vector<uint32_t>{~uint32_t{0}, 0, ~uint32_t{0} - 1, 12345};
+  const auto compressed = CompressVector(values, VectorCompressionType::kBitPacking128, ~uint32_t{0});
+  EXPECT_EQ(compressed->Decode(), values);
+  EXPECT_EQ(compressed->Get(0), ~uint32_t{0});
+}
+
+TEST(BitPackingVectorTest, BlockBoundaryAccess) {
+  // Values straddling the 128-value block boundary with different widths.
+  auto values = std::vector<uint32_t>(300);
+  for (auto index = size_t{0}; index < 128; ++index) {
+    values[index] = 3;  // 2 bits
+  }
+  for (auto index = size_t{128}; index < 300; ++index) {
+    values[index] = 1'000'000 + static_cast<uint32_t>(index);  // 20+ bits
+  }
+  const auto compressed = CompressVector(values, VectorCompressionType::kBitPacking128, 1'000'300);
+  EXPECT_EQ(compressed->Get(127), 3u);
+  EXPECT_EQ(compressed->Get(128), 1'000'128u);
+  EXPECT_EQ(compressed->Get(299), 1'000'299u);
+  EXPECT_EQ(compressed->Decode(), values);
+}
+
+TEST(ResolveCompressedVectorTest, DispatchesToConcreteType) {
+  const auto compressed = CompressVector({5, 6, 7}, VectorCompressionType::kFixedWidthInteger, 255);
+  auto visited = false;
+  ResolveCompressedVector(*compressed, [&](const auto& vector) {
+    using VectorType = std::decay_t<decltype(vector)>;
+    visited = std::is_same_v<VectorType, FixedWidthIntegerVector<uint8_t>>;
+    const auto decompressor = vector.CreateDecompressor();
+    EXPECT_EQ(decompressor.Get(1), 6u);
+  });
+  EXPECT_TRUE(visited);
+}
+
+}  // namespace hyrise

@@ -1,0 +1,95 @@
+#ifndef HYRISE_TESTS_TEST_UTILS_HPP_
+#define HYRISE_TESTS_TEST_UTILS_HPP_
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "storage/table.hpp"
+#include "types/all_type_variant.hpp"
+
+namespace hyrise {
+
+/// Builds a data table from untyped rows.
+inline std::shared_ptr<Table> MakeTable(TableColumnDefinitions definitions,
+                                        const std::vector<std::vector<AllTypeVariant>>& rows,
+                                        ChunkOffset chunk_size = 7, UseMvcc use_mvcc = UseMvcc::kNo) {
+  auto table = std::make_shared<Table>(std::move(definitions), TableType::kData, chunk_size, use_mvcc);
+  for (const auto& row : rows) {
+    table->AppendRow(row);
+  }
+  return table;
+}
+
+inline bool RowsEqual(const std::vector<AllTypeVariant>& lhs, const std::vector<AllTypeVariant>& rhs) {
+  if (lhs.size() != rhs.size()) {
+    return false;
+  }
+  for (auto index = size_t{0}; index < lhs.size(); ++index) {
+    // Different plans sum floating-point columns in different orders; allow a
+    // relative tolerance for float/double cells.
+    const auto lhs_type = DataTypeOfVariant(lhs[index]);
+    if ((lhs_type == DataType::kFloat || lhs_type == DataType::kDouble) &&
+        !VariantIsNull(rhs[index]) && IsNumericDataType(DataTypeOfVariant(rhs[index]))) {
+      const auto left = VariantCast<double>(lhs[index]);
+      const auto right = VariantCast<double>(rhs[index]);
+      const auto scale = std::max({std::abs(left), std::abs(right), 1.0});
+      if (std::abs(left - right) > 1e-6 * scale) {
+        return false;
+      }
+      continue;
+    }
+    if (!VariantEquals(lhs[index], rhs[index])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+inline std::string RowsToString(const std::vector<std::vector<AllTypeVariant>>& rows) {
+  auto result = std::string{};
+  for (const auto& row : rows) {
+    result += "(";
+    for (auto index = size_t{0}; index < row.size(); ++index) {
+      result += (index == 0 ? "" : ", ") + VariantToString(row[index]);
+    }
+    result += ")\n";
+  }
+  return result;
+}
+
+/// Compares a table's rows against expectations; `ordered` distinguishes
+/// ORDER BY results from set results.
+inline void ExpectTableContents(const std::shared_ptr<const Table>& table,
+                                std::vector<std::vector<AllTypeVariant>> expected, bool ordered = false) {
+  ASSERT_NE(table, nullptr);
+  auto actual = table->GetRows();
+  ASSERT_EQ(actual.size(), expected.size()) << "actual rows:\n" << RowsToString(actual);
+  const auto row_less = [](const auto& lhs, const auto& rhs) {
+    for (auto index = size_t{0}; index < std::min(lhs.size(), rhs.size()); ++index) {
+      if (VariantLessThan(lhs[index], rhs[index])) {
+        return true;
+      }
+      if (VariantLessThan(rhs[index], lhs[index])) {
+        return false;
+      }
+    }
+    return false;
+  };
+  if (!ordered) {
+    std::sort(actual.begin(), actual.end(), row_less);
+    std::sort(expected.begin(), expected.end(), row_less);
+  }
+  for (auto row = size_t{0}; row < expected.size(); ++row) {
+    EXPECT_TRUE(RowsEqual(actual[row], expected[row]))
+        << "row " << row << " differs.\nActual:\n"
+        << RowsToString(actual) << "Expected:\n"
+        << RowsToString(expected);
+  }
+}
+
+}  // namespace hyrise
+
+#endif  // HYRISE_TESTS_TEST_UTILS_HPP_

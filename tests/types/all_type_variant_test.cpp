@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "types/all_type_variant.hpp"
+#include "types/types.hpp"
+
+namespace hyrise {
+
+TEST(AllTypeVariantTest, DefaultIsNull) {
+  const AllTypeVariant variant;
+  EXPECT_TRUE(VariantIsNull(variant));
+  EXPECT_EQ(DataTypeOfVariant(variant), DataType::kNull);
+}
+
+TEST(AllTypeVariantTest, DataTypeOfVariant) {
+  EXPECT_EQ(DataTypeOfVariant(AllTypeVariant{int32_t{1}}), DataType::kInt);
+  EXPECT_EQ(DataTypeOfVariant(AllTypeVariant{int64_t{1}}), DataType::kLong);
+  EXPECT_EQ(DataTypeOfVariant(AllTypeVariant{1.0f}), DataType::kFloat);
+  EXPECT_EQ(DataTypeOfVariant(AllTypeVariant{1.0}), DataType::kDouble);
+  EXPECT_EQ(DataTypeOfVariant(AllTypeVariant{std::string{"a"}}), DataType::kString);
+}
+
+TEST(AllTypeVariantTest, VariantCastNumericWidening) {
+  EXPECT_EQ(VariantCast<int64_t>(AllTypeVariant{int32_t{42}}), 42);
+  EXPECT_DOUBLE_EQ(VariantCast<double>(AllTypeVariant{int32_t{42}}), 42.0);
+  EXPECT_EQ(VariantCast<int32_t>(AllTypeVariant{3.7}), 3);
+}
+
+TEST(AllTypeVariantTest, VariantCastStringConversions) {
+  EXPECT_EQ(VariantCast<std::string>(AllTypeVariant{int32_t{7}}), "7");
+  EXPECT_EQ(VariantCast<int32_t>(AllTypeVariant{std::string{"123"}}), 123);
+  EXPECT_DOUBLE_EQ(VariantCast<double>(AllTypeVariant{std::string{"1.5"}}), 1.5);
+}
+
+TEST(AllTypeVariantTest, VariantToString) {
+  EXPECT_EQ(VariantToString(AllTypeVariant{}), "NULL");
+  EXPECT_EQ(VariantToString(AllTypeVariant{int32_t{-3}}), "-3");
+  EXPECT_EQ(VariantToString(AllTypeVariant{2.5}), "2.5000");
+  EXPECT_EQ(VariantToString(AllTypeVariant{std::string{"xyz"}}), "xyz");
+}
+
+TEST(AllTypeVariantTest, VariantLessThanCoercesNumerics) {
+  EXPECT_TRUE(VariantLessThan(AllTypeVariant{int32_t{1}}, AllTypeVariant{int64_t{2}}));
+  EXPECT_TRUE(VariantLessThan(AllTypeVariant{int32_t{1}}, AllTypeVariant{1.5}));
+  EXPECT_FALSE(VariantLessThan(AllTypeVariant{2.0}, AllTypeVariant{int32_t{2}}));
+}
+
+TEST(AllTypeVariantTest, NullSortsFirst) {
+  EXPECT_TRUE(VariantLessThan(AllTypeVariant{}, AllTypeVariant{int32_t{0}}));
+  EXPECT_FALSE(VariantLessThan(AllTypeVariant{int32_t{0}}, AllTypeVariant{}));
+  EXPECT_FALSE(VariantLessThan(AllTypeVariant{}, AllTypeVariant{}));
+}
+
+TEST(AllTypeVariantTest, VariantEqualsCoercesNumerics) {
+  EXPECT_TRUE(VariantEquals(AllTypeVariant{int32_t{2}}, AllTypeVariant{int64_t{2}}));
+  EXPECT_TRUE(VariantEquals(AllTypeVariant{2.0f}, AllTypeVariant{2.0}));
+  EXPECT_FALSE(VariantEquals(AllTypeVariant{std::string{"2"}}, AllTypeVariant{int32_t{2}}));
+  EXPECT_TRUE(VariantEquals(AllTypeVariant{}, AllTypeVariant{}));
+  EXPECT_FALSE(VariantEquals(AllTypeVariant{}, AllTypeVariant{int32_t{0}}));
+}
+
+TEST(AllTypeVariantTest, ResolveDataTypeDispatchesAllTypes) {
+  for (const auto data_type :
+       {DataType::kInt, DataType::kLong, DataType::kFloat, DataType::kDouble, DataType::kString}) {
+    auto resolved = DataType::kNull;
+    ResolveDataType(data_type, [&](auto type_tag) {
+      resolved = DataTypeOf<decltype(type_tag)>();
+    });
+    EXPECT_EQ(resolved, data_type);
+  }
+}
+
+TEST(TypesTest, StrongTypedefDistinctness) {
+  const ChunkID chunk_id{3};
+  EXPECT_EQ(static_cast<uint32_t>(chunk_id), 3u);
+  auto mutable_id = chunk_id;
+  ++mutable_id;
+  EXPECT_EQ(mutable_id, ChunkID{4});
+  static_assert(!std::is_same_v<ChunkID, ValueID>);
+}
+
+TEST(TypesTest, RowIdComparison) {
+  const RowID a{ChunkID{0}, 5};
+  const RowID b{ChunkID{1}, 0};
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, (RowID{ChunkID{0}, 5}));
+}
+
+TEST(TypesTest, FlipAndInversePredicates) {
+  EXPECT_EQ(FlipPredicateCondition(PredicateCondition::kLessThan), PredicateCondition::kGreaterThan);
+  EXPECT_EQ(InversePredicateCondition(PredicateCondition::kLessThan), PredicateCondition::kGreaterThanEquals);
+  EXPECT_EQ(InversePredicateCondition(PredicateCondition::kIsNull), PredicateCondition::kIsNotNull);
+}
+
+}  // namespace hyrise

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_utils.hpp"
+#include "utils/result.hpp"
+#include "utils/table_printer.hpp"
+#include "utils/timer.hpp"
+
+namespace hyrise {
+
+TEST(ResultTest, ValueAndErrorChannels) {
+  const auto ok = Result<int>{42};
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+
+  const auto error = Result<int>::Error("boom");
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.error(), "boom");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  auto result = Result<std::string>{std::string{"payload"}};
+  const auto moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, AccessingWrongChannelDies) {
+  const auto error = Result<int>::Error("nope");
+  EXPECT_DEATH((void)error.value(), "Result::value\\(\\) on error");
+}
+
+TEST(TimerTest, LapAndElapsedAdvance) {
+  auto timer = Timer{};
+  auto sink = 0u;
+  for (auto spin = 0; spin < 100'000; ++spin) {
+    sink += spin;
+  }
+  EXPECT_GT(sink, 0u);
+  const auto first = timer.Lap();
+  EXPECT_GE(first, 0);
+  EXPECT_GE(timer.Elapsed(), 0);
+}
+
+TEST(TablePrinterTest, AlignsColumnsAndTruncates) {
+  const auto table = MakeTable({{"id", DataType::kInt}, {"name", DataType::kString, true}},
+                               {{1, std::string{"alpha"}}, {2, kNullVariant}, {3, std::string{"c"}}});
+  auto output = std::stringstream{};
+  PrintTable(table, output, /*max_rows=*/2);
+  const auto text = output.str();
+  EXPECT_NE(text.find("| id | name  |"), std::string::npos);
+  EXPECT_NE(text.find("NULL"), std::string::npos);
+  EXPECT_NE(text.find("(1 more rows)"), std::string::npos);
+  EXPECT_NE(text.find("3 row(s)"), std::string::npos);
+}
+
+TEST(TablePrinterTest, HandlesNullTable) {
+  auto output = std::stringstream{};
+  PrintTable(nullptr, output);
+  EXPECT_EQ(output.str(), "(no result)\n");
+}
+
+}  // namespace hyrise
