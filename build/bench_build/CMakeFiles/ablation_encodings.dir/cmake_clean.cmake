@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_encodings"
+  "../bench/ablation_encodings.pdb"
+  "CMakeFiles/ablation_encodings.dir/ablation_encodings.cpp.o"
+  "CMakeFiles/ablation_encodings.dir/ablation_encodings.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_encodings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3a_materialization"
+  "../bench/fig3a_materialization.pdb"
+  "CMakeFiles/fig3a_materialization.dir/fig3a_materialization.cpp.o"
+  "CMakeFiles/fig3a_materialization.dir/fig3a_materialization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_materialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3b_polymorphism"
+  "../bench/fig3b_polymorphism.pdb"
+  "CMakeFiles/fig3b_polymorphism.dir/fig3b_polymorphism.cpp.o"
+  "CMakeFiles/fig3b_polymorphism.dir/fig3b_polymorphism.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_polymorphism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_tpch"
+  "../bench/fig6_tpch.pdb"
+  "CMakeFiles/fig6_tpch.dir/fig6_tpch.cpp.o"
+  "CMakeFiles/fig6_tpch.dir/fig6_tpch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

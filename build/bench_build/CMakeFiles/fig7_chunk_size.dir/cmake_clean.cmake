@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_chunk_size"
+  "../bench/fig7_chunk_size.pdb"
+  "CMakeFiles/fig7_chunk_size.dir/fig7_chunk_size.cpp.o"
+  "CMakeFiles/fig7_chunk_size.dir/fig7_chunk_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_chunk_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

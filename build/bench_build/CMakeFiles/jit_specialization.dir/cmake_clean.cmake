@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/jit_specialization"
+  "../bench/jit_specialization.pdb"
+  "CMakeFiles/jit_specialization.dir/jit_specialization.cpp.o"
+  "CMakeFiles/jit_specialization.dir/jit_specialization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jit_specialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

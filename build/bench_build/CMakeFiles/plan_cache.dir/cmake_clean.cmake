@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/plan_cache"
+  "../bench/plan_cache.pdb"
+  "CMakeFiles/plan_cache.dir/plan_cache.cpp.o"
+  "CMakeFiles/plan_cache.dir/plan_cache.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

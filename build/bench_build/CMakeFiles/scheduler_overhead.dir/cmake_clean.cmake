@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scheduler_overhead"
+  "../bench/scheduler_overhead.pdb"
+  "CMakeFiles/scheduler_overhead.dir/scheduler_overhead.cpp.o"
+  "CMakeFiles/scheduler_overhead.dir/scheduler_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

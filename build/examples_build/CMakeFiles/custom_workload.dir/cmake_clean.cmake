@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/custom_workload"
+  "../examples/custom_workload.pdb"
+  "CMakeFiles/custom_workload.dir/custom_workload.cpp.o"
+  "CMakeFiles/custom_workload.dir/custom_workload.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/hyrise_console"
+  "../examples/hyrise_console.pdb"
+  "CMakeFiles/hyrise_console.dir/hyrise_console.cpp.o"
+  "CMakeFiles/hyrise_console.dir/hyrise_console.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyrise_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

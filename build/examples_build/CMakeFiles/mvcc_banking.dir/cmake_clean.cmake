@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/mvcc_banking"
+  "../examples/mvcc_banking.pdb"
+  "CMakeFiles/mvcc_banking.dir/mvcc_banking.cpp.o"
+  "CMakeFiles/mvcc_banking.dir/mvcc_banking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvcc_banking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/sql_server"
+  "../examples/sql_server.pdb"
+  "CMakeFiles/sql_server.dir/sql_server.cpp.o"
+  "CMakeFiles/sql_server.dir/sql_server.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/tpch_analytics"
+  "../examples/tpch_analytics.pdb"
+  "CMakeFiles/tpch_analytics.dir/tpch_analytics.cpp.o"
+  "CMakeFiles/tpch_analytics.dir/tpch_analytics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyrise_self_driving_plugin.dir/hyrise_self_driving_plugin.cpp.o"
+  "CMakeFiles/hyrise_self_driving_plugin.dir/hyrise_self_driving_plugin.cpp.o.d"
+  "libhyrise_self_driving_plugin.pdb"
+  "libhyrise_self_driving_plugin.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyrise_self_driving_plugin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hyrise_self_driving_plugin.
+# This may be replaced when dependencies are built.

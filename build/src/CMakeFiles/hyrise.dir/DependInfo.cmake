@@ -1,0 +1,84 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchmarklib/benchmark_runner.cpp" "src/CMakeFiles/hyrise.dir/benchmarklib/benchmark_runner.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/benchmarklib/benchmark_runner.cpp.o.d"
+  "/root/repo/src/benchmarklib/csv_loader.cpp" "src/CMakeFiles/hyrise.dir/benchmarklib/csv_loader.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/benchmarklib/csv_loader.cpp.o.d"
+  "/root/repo/src/benchmarklib/tpch/tpch_queries.cpp" "src/CMakeFiles/hyrise.dir/benchmarklib/tpch/tpch_queries.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/benchmarklib/tpch/tpch_queries.cpp.o.d"
+  "/root/repo/src/benchmarklib/tpch/tpch_table_generator.cpp" "src/CMakeFiles/hyrise.dir/benchmarklib/tpch/tpch_table_generator.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/benchmarklib/tpch/tpch_table_generator.cpp.o.d"
+  "/root/repo/src/concurrency/transaction_context.cpp" "src/CMakeFiles/hyrise.dir/concurrency/transaction_context.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/concurrency/transaction_context.cpp.o.d"
+  "/root/repo/src/expression/expression_evaluator.cpp" "src/CMakeFiles/hyrise.dir/expression/expression_evaluator.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/expression/expression_evaluator.cpp.o.d"
+  "/root/repo/src/expression/expression_utils.cpp" "src/CMakeFiles/hyrise.dir/expression/expression_utils.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/expression/expression_utils.cpp.o.d"
+  "/root/repo/src/expression/expressions.cpp" "src/CMakeFiles/hyrise.dir/expression/expressions.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/expression/expressions.cpp.o.d"
+  "/root/repo/src/hyrise.cpp" "src/CMakeFiles/hyrise.dir/hyrise.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/hyrise.cpp.o.d"
+  "/root/repo/src/logical_query_plan/abstract_lqp_node.cpp" "src/CMakeFiles/hyrise.dir/logical_query_plan/abstract_lqp_node.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/logical_query_plan/abstract_lqp_node.cpp.o.d"
+  "/root/repo/src/logical_query_plan/dml_ddl_nodes.cpp" "src/CMakeFiles/hyrise.dir/logical_query_plan/dml_ddl_nodes.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/logical_query_plan/dml_ddl_nodes.cpp.o.d"
+  "/root/repo/src/logical_query_plan/lqp_translator.cpp" "src/CMakeFiles/hyrise.dir/logical_query_plan/lqp_translator.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/logical_query_plan/lqp_translator.cpp.o.d"
+  "/root/repo/src/logical_query_plan/operator_nodes.cpp" "src/CMakeFiles/hyrise.dir/logical_query_plan/operator_nodes.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/logical_query_plan/operator_nodes.cpp.o.d"
+  "/root/repo/src/logical_query_plan/static_table_node.cpp" "src/CMakeFiles/hyrise.dir/logical_query_plan/static_table_node.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/logical_query_plan/static_table_node.cpp.o.d"
+  "/root/repo/src/logical_query_plan/stored_table_node.cpp" "src/CMakeFiles/hyrise.dir/logical_query_plan/stored_table_node.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/logical_query_plan/stored_table_node.cpp.o.d"
+  "/root/repo/src/operators/abstract_join_operator.cpp" "src/CMakeFiles/hyrise.dir/operators/abstract_join_operator.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/operators/abstract_join_operator.cpp.o.d"
+  "/root/repo/src/operators/abstract_operator.cpp" "src/CMakeFiles/hyrise.dir/operators/abstract_operator.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/operators/abstract_operator.cpp.o.d"
+  "/root/repo/src/operators/aggregate.cpp" "src/CMakeFiles/hyrise.dir/operators/aggregate.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/operators/aggregate.cpp.o.d"
+  "/root/repo/src/operators/column_materializer.cpp" "src/CMakeFiles/hyrise.dir/operators/column_materializer.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/operators/column_materializer.cpp.o.d"
+  "/root/repo/src/operators/delete.cpp" "src/CMakeFiles/hyrise.dir/operators/delete.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/operators/delete.cpp.o.d"
+  "/root/repo/src/operators/get_table.cpp" "src/CMakeFiles/hyrise.dir/operators/get_table.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/operators/get_table.cpp.o.d"
+  "/root/repo/src/operators/index_scan.cpp" "src/CMakeFiles/hyrise.dir/operators/index_scan.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/operators/index_scan.cpp.o.d"
+  "/root/repo/src/operators/insert.cpp" "src/CMakeFiles/hyrise.dir/operators/insert.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/operators/insert.cpp.o.d"
+  "/root/repo/src/operators/join_hash.cpp" "src/CMakeFiles/hyrise.dir/operators/join_hash.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/operators/join_hash.cpp.o.d"
+  "/root/repo/src/operators/join_nested_loop.cpp" "src/CMakeFiles/hyrise.dir/operators/join_nested_loop.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/operators/join_nested_loop.cpp.o.d"
+  "/root/repo/src/operators/join_sort_merge.cpp" "src/CMakeFiles/hyrise.dir/operators/join_sort_merge.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/operators/join_sort_merge.cpp.o.d"
+  "/root/repo/src/operators/maintenance_operators.cpp" "src/CMakeFiles/hyrise.dir/operators/maintenance_operators.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/operators/maintenance_operators.cpp.o.d"
+  "/root/repo/src/operators/pos_list_utils.cpp" "src/CMakeFiles/hyrise.dir/operators/pos_list_utils.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/operators/pos_list_utils.cpp.o.d"
+  "/root/repo/src/operators/projection.cpp" "src/CMakeFiles/hyrise.dir/operators/projection.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/operators/projection.cpp.o.d"
+  "/root/repo/src/operators/sort.cpp" "src/CMakeFiles/hyrise.dir/operators/sort.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/operators/sort.cpp.o.d"
+  "/root/repo/src/operators/table_scan.cpp" "src/CMakeFiles/hyrise.dir/operators/table_scan.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/operators/table_scan.cpp.o.d"
+  "/root/repo/src/operators/update.cpp" "src/CMakeFiles/hyrise.dir/operators/update.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/operators/update.cpp.o.d"
+  "/root/repo/src/operators/validate.cpp" "src/CMakeFiles/hyrise.dir/operators/validate.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/operators/validate.cpp.o.d"
+  "/root/repo/src/optimizer/optimizer.cpp" "src/CMakeFiles/hyrise.dir/optimizer/optimizer.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/optimizer/optimizer.cpp.o.d"
+  "/root/repo/src/optimizer/rules/chunk_pruning_rule.cpp" "src/CMakeFiles/hyrise.dir/optimizer/rules/chunk_pruning_rule.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/optimizer/rules/chunk_pruning_rule.cpp.o.d"
+  "/root/repo/src/optimizer/rules/expression_reduction_rule.cpp" "src/CMakeFiles/hyrise.dir/optimizer/rules/expression_reduction_rule.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/optimizer/rules/expression_reduction_rule.cpp.o.d"
+  "/root/repo/src/optimizer/rules/index_scan_rule.cpp" "src/CMakeFiles/hyrise.dir/optimizer/rules/index_scan_rule.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/optimizer/rules/index_scan_rule.cpp.o.d"
+  "/root/repo/src/optimizer/rules/join_ordering_rule.cpp" "src/CMakeFiles/hyrise.dir/optimizer/rules/join_ordering_rule.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/optimizer/rules/join_ordering_rule.cpp.o.d"
+  "/root/repo/src/optimizer/rules/predicate_pushdown_rule.cpp" "src/CMakeFiles/hyrise.dir/optimizer/rules/predicate_pushdown_rule.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/optimizer/rules/predicate_pushdown_rule.cpp.o.d"
+  "/root/repo/src/optimizer/rules/predicate_reordering_rule.cpp" "src/CMakeFiles/hyrise.dir/optimizer/rules/predicate_reordering_rule.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/optimizer/rules/predicate_reordering_rule.cpp.o.d"
+  "/root/repo/src/optimizer/rules/predicate_split_up_rule.cpp" "src/CMakeFiles/hyrise.dir/optimizer/rules/predicate_split_up_rule.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/optimizer/rules/predicate_split_up_rule.cpp.o.d"
+  "/root/repo/src/optimizer/rules/subquery_to_join_rule.cpp" "src/CMakeFiles/hyrise.dir/optimizer/rules/subquery_to_join_rule.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/optimizer/rules/subquery_to_join_rule.cpp.o.d"
+  "/root/repo/src/plugin/plugin_manager.cpp" "src/CMakeFiles/hyrise.dir/plugin/plugin_manager.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/plugin/plugin_manager.cpp.o.d"
+  "/root/repo/src/scheduler/abstract_task.cpp" "src/CMakeFiles/hyrise.dir/scheduler/abstract_task.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/scheduler/abstract_task.cpp.o.d"
+  "/root/repo/src/scheduler/node_queue_scheduler.cpp" "src/CMakeFiles/hyrise.dir/scheduler/node_queue_scheduler.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/scheduler/node_queue_scheduler.cpp.o.d"
+  "/root/repo/src/scheduler/operator_task.cpp" "src/CMakeFiles/hyrise.dir/scheduler/operator_task.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/scheduler/operator_task.cpp.o.d"
+  "/root/repo/src/server/server.cpp" "src/CMakeFiles/hyrise.dir/server/server.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/server/server.cpp.o.d"
+  "/root/repo/src/sql/sql_lexer.cpp" "src/CMakeFiles/hyrise.dir/sql/sql_lexer.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/sql/sql_lexer.cpp.o.d"
+  "/root/repo/src/sql/sql_parser.cpp" "src/CMakeFiles/hyrise.dir/sql/sql_parser.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/sql/sql_parser.cpp.o.d"
+  "/root/repo/src/sql/sql_pipeline.cpp" "src/CMakeFiles/hyrise.dir/sql/sql_pipeline.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/sql/sql_pipeline.cpp.o.d"
+  "/root/repo/src/sql/sql_translator.cpp" "src/CMakeFiles/hyrise.dir/sql/sql_translator.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/sql/sql_translator.cpp.o.d"
+  "/root/repo/src/statistics/cardinality_estimator.cpp" "src/CMakeFiles/hyrise.dir/statistics/cardinality_estimator.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/statistics/cardinality_estimator.cpp.o.d"
+  "/root/repo/src/statistics/table_statistics.cpp" "src/CMakeFiles/hyrise.dir/statistics/table_statistics.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/statistics/table_statistics.cpp.o.d"
+  "/root/repo/src/storage/chunk.cpp" "src/CMakeFiles/hyrise.dir/storage/chunk.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/storage/chunk.cpp.o.d"
+  "/root/repo/src/storage/chunk_encoder.cpp" "src/CMakeFiles/hyrise.dir/storage/chunk_encoder.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/storage/chunk_encoder.cpp.o.d"
+  "/root/repo/src/storage/index/adaptive_radix_tree.cpp" "src/CMakeFiles/hyrise.dir/storage/index/adaptive_radix_tree.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/storage/index/adaptive_radix_tree.cpp.o.d"
+  "/root/repo/src/storage/index/chunk_index_factory.cpp" "src/CMakeFiles/hyrise.dir/storage/index/chunk_index_factory.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/storage/index/chunk_index_factory.cpp.o.d"
+  "/root/repo/src/storage/reference_segment.cpp" "src/CMakeFiles/hyrise.dir/storage/reference_segment.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/storage/reference_segment.cpp.o.d"
+  "/root/repo/src/storage/storage_manager.cpp" "src/CMakeFiles/hyrise.dir/storage/storage_manager.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/storage/storage_manager.cpp.o.d"
+  "/root/repo/src/storage/table.cpp" "src/CMakeFiles/hyrise.dir/storage/table.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/storage/table.cpp.o.d"
+  "/root/repo/src/storage/vector_compression/bitpacking_vector.cpp" "src/CMakeFiles/hyrise.dir/storage/vector_compression/bitpacking_vector.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/storage/vector_compression/bitpacking_vector.cpp.o.d"
+  "/root/repo/src/storage/vector_compression/compressed_vector_utils.cpp" "src/CMakeFiles/hyrise.dir/storage/vector_compression/compressed_vector_utils.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/storage/vector_compression/compressed_vector_utils.cpp.o.d"
+  "/root/repo/src/types/all_type_variant.cpp" "src/CMakeFiles/hyrise.dir/types/all_type_variant.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/types/all_type_variant.cpp.o.d"
+  "/root/repo/src/types/types.cpp" "src/CMakeFiles/hyrise.dir/types/types.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/types/types.cpp.o.d"
+  "/root/repo/src/utils/assert.cpp" "src/CMakeFiles/hyrise.dir/utils/assert.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/utils/assert.cpp.o.d"
+  "/root/repo/src/utils/table_printer.cpp" "src/CMakeFiles/hyrise.dir/utils/table_printer.cpp.o" "gcc" "src/CMakeFiles/hyrise.dir/utils/table_printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/benchmarklib/benchmark_runner_test.cpp" "tests/CMakeFiles/hyrise_test.dir/benchmarklib/benchmark_runner_test.cpp.o" "gcc" "tests/CMakeFiles/hyrise_test.dir/benchmarklib/benchmark_runner_test.cpp.o.d"
+  "/root/repo/tests/benchmarklib/tpch_test.cpp" "tests/CMakeFiles/hyrise_test.dir/benchmarklib/tpch_test.cpp.o" "gcc" "tests/CMakeFiles/hyrise_test.dir/benchmarklib/tpch_test.cpp.o.d"
+  "/root/repo/tests/concurrency/concurrent_sql_test.cpp" "tests/CMakeFiles/hyrise_test.dir/concurrency/concurrent_sql_test.cpp.o" "gcc" "tests/CMakeFiles/hyrise_test.dir/concurrency/concurrent_sql_test.cpp.o.d"
+  "/root/repo/tests/expression/expression_test.cpp" "tests/CMakeFiles/hyrise_test.dir/expression/expression_test.cpp.o" "gcc" "tests/CMakeFiles/hyrise_test.dir/expression/expression_test.cpp.o.d"
+  "/root/repo/tests/logical_query_plan/lqp_translator_test.cpp" "tests/CMakeFiles/hyrise_test.dir/logical_query_plan/lqp_translator_test.cpp.o" "gcc" "tests/CMakeFiles/hyrise_test.dir/logical_query_plan/lqp_translator_test.cpp.o.d"
+  "/root/repo/tests/operators/get_table_invalidation_test.cpp" "tests/CMakeFiles/hyrise_test.dir/operators/get_table_invalidation_test.cpp.o" "gcc" "tests/CMakeFiles/hyrise_test.dir/operators/get_table_invalidation_test.cpp.o.d"
+  "/root/repo/tests/operators/join_test.cpp" "tests/CMakeFiles/hyrise_test.dir/operators/join_test.cpp.o" "gcc" "tests/CMakeFiles/hyrise_test.dir/operators/join_test.cpp.o.d"
+  "/root/repo/tests/operators/mvcc_test.cpp" "tests/CMakeFiles/hyrise_test.dir/operators/mvcc_test.cpp.o" "gcc" "tests/CMakeFiles/hyrise_test.dir/operators/mvcc_test.cpp.o.d"
+  "/root/repo/tests/operators/operator_test.cpp" "tests/CMakeFiles/hyrise_test.dir/operators/operator_test.cpp.o" "gcc" "tests/CMakeFiles/hyrise_test.dir/operators/operator_test.cpp.o.d"
+  "/root/repo/tests/operators/table_scan_test.cpp" "tests/CMakeFiles/hyrise_test.dir/operators/table_scan_test.cpp.o" "gcc" "tests/CMakeFiles/hyrise_test.dir/operators/table_scan_test.cpp.o.d"
+  "/root/repo/tests/optimizer/optimizer_rules_test.cpp" "tests/CMakeFiles/hyrise_test.dir/optimizer/optimizer_rules_test.cpp.o" "gcc" "tests/CMakeFiles/hyrise_test.dir/optimizer/optimizer_rules_test.cpp.o.d"
+  "/root/repo/tests/plugin/plugin_test.cpp" "tests/CMakeFiles/hyrise_test.dir/plugin/plugin_test.cpp.o" "gcc" "tests/CMakeFiles/hyrise_test.dir/plugin/plugin_test.cpp.o.d"
+  "/root/repo/tests/scheduler/scheduler_test.cpp" "tests/CMakeFiles/hyrise_test.dir/scheduler/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/hyrise_test.dir/scheduler/scheduler_test.cpp.o.d"
+  "/root/repo/tests/server/server_test.cpp" "tests/CMakeFiles/hyrise_test.dir/server/server_test.cpp.o" "gcc" "tests/CMakeFiles/hyrise_test.dir/server/server_test.cpp.o.d"
+  "/root/repo/tests/sql/sql_parser_test.cpp" "tests/CMakeFiles/hyrise_test.dir/sql/sql_parser_test.cpp.o" "gcc" "tests/CMakeFiles/hyrise_test.dir/sql/sql_parser_test.cpp.o.d"
+  "/root/repo/tests/sql/sql_pipeline_test.cpp" "tests/CMakeFiles/hyrise_test.dir/sql/sql_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/hyrise_test.dir/sql/sql_pipeline_test.cpp.o.d"
+  "/root/repo/tests/statistics/cardinality_estimator_test.cpp" "tests/CMakeFiles/hyrise_test.dir/statistics/cardinality_estimator_test.cpp.o" "gcc" "tests/CMakeFiles/hyrise_test.dir/statistics/cardinality_estimator_test.cpp.o.d"
+  "/root/repo/tests/statistics/filter_test.cpp" "tests/CMakeFiles/hyrise_test.dir/statistics/filter_test.cpp.o" "gcc" "tests/CMakeFiles/hyrise_test.dir/statistics/filter_test.cpp.o.d"
+  "/root/repo/tests/storage/encoding_roundtrip_test.cpp" "tests/CMakeFiles/hyrise_test.dir/storage/encoding_roundtrip_test.cpp.o" "gcc" "tests/CMakeFiles/hyrise_test.dir/storage/encoding_roundtrip_test.cpp.o.d"
+  "/root/repo/tests/storage/index_test.cpp" "tests/CMakeFiles/hyrise_test.dir/storage/index_test.cpp.o" "gcc" "tests/CMakeFiles/hyrise_test.dir/storage/index_test.cpp.o.d"
+  "/root/repo/tests/storage/segment_test.cpp" "tests/CMakeFiles/hyrise_test.dir/storage/segment_test.cpp.o" "gcc" "tests/CMakeFiles/hyrise_test.dir/storage/segment_test.cpp.o.d"
+  "/root/repo/tests/storage/table_test.cpp" "tests/CMakeFiles/hyrise_test.dir/storage/table_test.cpp.o" "gcc" "tests/CMakeFiles/hyrise_test.dir/storage/table_test.cpp.o.d"
+  "/root/repo/tests/storage/vector_compression_test.cpp" "tests/CMakeFiles/hyrise_test.dir/storage/vector_compression_test.cpp.o" "gcc" "tests/CMakeFiles/hyrise_test.dir/storage/vector_compression_test.cpp.o.d"
+  "/root/repo/tests/types/all_type_variant_test.cpp" "tests/CMakeFiles/hyrise_test.dir/types/all_type_variant_test.cpp.o" "gcc" "tests/CMakeFiles/hyrise_test.dir/types/all_type_variant_test.cpp.o.d"
+  "/root/repo/tests/utils/utils_test.cpp" "tests/CMakeFiles/hyrise_test.dir/utils/utils_test.cpp.o" "gcc" "tests/CMakeFiles/hyrise_test.dir/utils/utils_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hyrise.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
