@@ -1,27 +1,145 @@
 /// Section 2.9 of the paper: "when measuring the multi-threaded scalability
 /// of our system, there are differences between the measurements for one
 /// core with and without scheduler. This allows us to inspect the cost of
-/// the scheduler." This harness measures exactly that: the same TPC-H
-/// queries executed inline (scheduler off) vs. as an operator-task DAG
-/// through the NodeQueueScheduler with one worker.
+/// the scheduler." This harness measures exactly that, at three levels:
 ///
-/// Usage: scheduler_overhead [scale_factor=0.01] [runs=3]
+///   1. Raw task overhead: SpawnAndWaitForJobs of no-op jobs, inline vs.
+///      through the NodeQueueScheduler — the fixed cost of one task.
+///   2. Per-chunk fan-out overhead: the same multi-chunk TableScan executed
+///      with the immediate scheduler (jobs run inline in the calling thread)
+///      vs. a 1-worker NodeQueueScheduler — the cost the fan-out adds to a
+///      real operator when no parallel hardware is available.
+///   3. End-to-end TPC-H queries inline, with 1 worker, and with one worker
+///      per core.
+///
+/// Results are printed and additionally emitted as JSON for tracking.
+///
+/// Usage: scheduler_overhead [scale_factor=0.01] [runs=3] [json=scheduler_overhead.json]
 
+#include <algorithm>
+#include <fstream>
+#include <functional>
 #include <iostream>
+#include <thread>
+#include <vector>
 
 #include "benchmarklib/benchmark_runner.hpp"
 #include "benchmarklib/tpch/tpch_queries.hpp"
 #include "benchmarklib/tpch/tpch_table_generator.hpp"
+#include "expression/expressions.hpp"
 #include "hyrise.hpp"
+#include "operators/table_scan.hpp"
+#include "operators/table_wrapper.hpp"
+#include "scheduler/job_helpers.hpp"
 #include "scheduler/node_queue_scheduler.hpp"
+#include "storage/table.hpp"
+#include "utils/timer.hpp"
 
 namespace hyrise {
+
+namespace {
+
+/// Median wall time of `runs` invocations of `body`, in nanoseconds.
+template <typename F>
+int64_t MedianNs(size_t runs, const F& body) {
+  auto times = std::vector<int64_t>{};
+  times.reserve(runs);
+  for (auto run = size_t{0}; run < runs; ++run) {
+    auto timer = Timer{};
+    body();
+    times.push_back(timer.Elapsed());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+int64_t TimeNoopJobs(size_t job_count, size_t runs) {
+  return MedianNs(runs, [&] {
+    auto jobs = std::vector<std::function<void()>>{};
+    jobs.reserve(job_count);
+    for (auto index = size_t{0}; index < job_count; ++index) {
+      jobs.emplace_back([] {});
+    }
+    SpawnAndWaitForJobs(std::move(jobs));
+  });
+}
+
+std::shared_ptr<TableWrapper> MakeScanInput(size_t row_count, ChunkOffset chunk_size) {
+  auto table = std::make_shared<Table>(TableColumnDefinitions{{"value", DataType::kInt, false}}, TableType::kData,
+                                       chunk_size);
+  for (auto row = size_t{0}; row < row_count; ++row) {
+    table->AppendRow({static_cast<int32_t>(row % 1000)});
+  }
+  auto wrapper = std::make_shared<TableWrapper>(table);
+  wrapper->Execute();
+  return wrapper;
+}
+
+int64_t TimeScan(const std::shared_ptr<TableWrapper>& input, size_t runs) {
+  return MedianNs(runs, [&] {
+    const auto predicate = std::make_shared<PredicateExpression>(
+        PredicateCondition::kLessThan,
+        Expressions{std::make_shared<PqpColumnExpression>(ColumnID{0}, DataType::kInt, false, "value"),
+                    std::make_shared<ValueExpression>(500)});
+    auto scan = std::make_shared<TableScan>(input, predicate);
+    scan->Execute();
+  });
+}
+
+void AppendQueryResultsJson(std::string& json, const std::string& section,
+                            const std::vector<size_t>& queries,
+                            const std::vector<BenchmarkQueryResult>& results) {
+  json += "    \"" + section + "\": {";
+  for (auto index = size_t{0}; index < queries.size(); ++index) {
+    json += (index == 0 ? "" : ", ");
+    json += "\"q" + std::to_string(queries[index]) + "\": " + std::to_string(results[index].median_ns);
+  }
+  json += "}";
+}
+
+}  // namespace
 
 int Main(int argc, char** argv) {
   const auto scale_factor = argc > 1 ? std::stod(argv[1]) : 0.01;
   const auto runs = argc > 2 ? static_cast<size_t>(std::stoul(argv[2])) : size_t{3};
+  const auto json_path = argc > 3 ? std::string{argv[3]} : std::string{"scheduler_overhead.json"};
+  const auto hardware_workers = std::max(1u, std::thread::hardware_concurrency());
 
   Hyrise::Reset();
+
+  // --- 1. Raw per-task overhead. --------------------------------------------
+  constexpr auto kJobCount = size_t{10000};
+  const auto inline_jobs_ns = TimeNoopJobs(kJobCount, runs);
+  Hyrise::Get().SetScheduler(std::make_shared<NodeQueueScheduler>(1, 1));
+  const auto scheduled_jobs_ns = TimeNoopJobs(kJobCount, runs);
+  Hyrise::Get().SetScheduler(std::make_shared<ImmediateExecutionScheduler>());
+  const auto per_task_ns =
+      static_cast<double>(scheduled_jobs_ns - inline_jobs_ns) / static_cast<double>(kJobCount);
+  std::cout << "=== Raw task overhead (" << kJobCount << " no-op jobs) ===\n"
+            << "  inline:    " << inline_jobs_ns / 1000 << " us\n"
+            << "  scheduled: " << scheduled_jobs_ns / 1000 << " us\n"
+            << "  => " << per_task_ns << " ns per task\n\n";
+
+  // --- 2. Per-chunk fan-out overhead on a real operator. --------------------
+  constexpr auto kScanRows = size_t{1000000};
+  constexpr auto kScanChunkSize = ChunkOffset{65535};
+  const auto scan_input = MakeScanInput(kScanRows, kScanChunkSize);
+  const auto chunk_count = scan_input->get_output()->chunk_count();
+  const auto inline_scan_ns = TimeScan(scan_input, runs);
+  Hyrise::Get().SetScheduler(std::make_shared<NodeQueueScheduler>(1, 1));
+  const auto scheduled_scan_ns = TimeScan(scan_input, runs);
+  Hyrise::Get().SetScheduler(std::make_shared<NodeQueueScheduler>(1, hardware_workers));
+  const auto parallel_scan_ns = TimeScan(scan_input, runs);
+  Hyrise::Get().SetScheduler(std::make_shared<ImmediateExecutionScheduler>());
+  std::cout << "=== Per-chunk fan-out: TableScan, " << kScanRows << " rows, " << chunk_count << " chunks ===\n"
+            << "  inline:              " << inline_scan_ns / 1000000 << " ms\n"
+            << "  1 worker:            " << scheduled_scan_ns / 1000000 << " ms  (overhead "
+            << 100.0 * (static_cast<double>(scheduled_scan_ns) / static_cast<double>(inline_scan_ns) - 1.0)
+            << "%)\n"
+            << "  " << hardware_workers << " worker(s):        " << parallel_scan_ns / 1000000 << " ms  (speedup "
+            << static_cast<double>(inline_scan_ns) / static_cast<double>(parallel_scan_ns) << "x)\n\n";
+
+  // --- 3. End-to-end TPC-H. -------------------------------------------------
   auto data_config = TpchConfig{};
   data_config.scale_factor = scale_factor;
   std::cout << "Loading TPC-H (SF " << scale_factor << ")...\n";
@@ -29,37 +147,65 @@ int Main(int argc, char** argv) {
 
   const auto queries = std::vector<size_t>{1, 3, 5, 6, 10, 12};
 
-  auto inline_config = BenchmarkConfig{};
-  inline_config.name = "scheduler off (immediate execution)";
-  inline_config.measured_runs = runs;
-  auto inline_runner = BenchmarkRunner{inline_config};
-  for (const auto query : queries) {
-    inline_runner.AddQuery("TPC-H " + std::to_string(query), TpchQuery(query));
-  }
-  const auto inline_results = inline_runner.Run(std::cout);
+  const auto run_queries = [&](const std::string& name, bool use_scheduler, uint32_t workers) {
+    auto config = BenchmarkConfig{};
+    config.name = name;
+    config.measured_runs = runs;
+    config.use_scheduler = use_scheduler;
+    config.scheduler_workers = workers;
+    auto runner = BenchmarkRunner{config};
+    for (const auto query : queries) {
+      runner.AddQuery("TPC-H " + std::to_string(query), TpchQuery(query));
+    }
+    return runner.Run(std::cout);
+  };
 
-  Hyrise::Get().SetScheduler(std::make_shared<NodeQueueScheduler>(/*node_count=*/1, /*workers_per_node=*/1));
-  auto scheduled_config = BenchmarkConfig{};
-  scheduled_config.name = "scheduler on (1 node, 1 worker)";
-  scheduled_config.measured_runs = runs;
-  scheduled_config.use_scheduler = true;
-  auto scheduled_runner = BenchmarkRunner{scheduled_config};
-  for (const auto query : queries) {
-    scheduled_runner.AddQuery("TPC-H " + std::to_string(query), TpchQuery(query));
-  }
-  const auto scheduled_results = scheduled_runner.Run(std::cout);
-  Hyrise::Get().SetScheduler(std::make_shared<ImmediateExecutionScheduler>());
+  const auto inline_results = run_queries("scheduler off (immediate execution)", false, 0);
+  const auto scheduled_results = run_queries("scheduler on (1 node, 1 worker)", true, 1);
+  const auto parallel_results =
+      run_queries("scheduler on (1 node, " + std::to_string(hardware_workers) + " workers)", true, hardware_workers);
 
-  std::cout << "\n=== Scheduler overhead (median, 1 worker) ===\n";
+  std::cout << "\n=== Scheduler overhead (median) ===\n";
   for (auto index = size_t{0}; index < queries.size(); ++index) {
     const auto inline_ms = static_cast<double>(inline_results[index].median_ns) / 1e6;
     const auto scheduled_ms = static_cast<double>(scheduled_results[index].median_ns) / 1e6;
-    char line[128];
-    std::snprintf(line, sizeof(line), "TPC-H %-3zu inline %9.3f ms   scheduled %9.3f ms   overhead %6.1f%%\n",
-                  queries[index], inline_ms, scheduled_ms, 100.0 * (scheduled_ms / inline_ms - 1.0));
+    const auto parallel_ms = static_cast<double>(parallel_results[index].median_ns) / 1e6;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "TPC-H %-3zu inline %9.3f ms   1 worker %9.3f ms (overhead %6.1f%%)   %u workers %9.3f ms\n",
+                  queries[index], inline_ms, scheduled_ms, 100.0 * (scheduled_ms / inline_ms - 1.0),
+                  hardware_workers, parallel_ms);
     std::cout << line;
   }
-  std::cout << "(This container exposes one core; multi-worker scaling is structural only.)\n";
+  if (hardware_workers == 1) {
+    std::cout << "(This machine exposes one core; multi-worker scaling is structural only.)\n";
+  }
+
+  // --- JSON emission. -------------------------------------------------------
+  auto json = std::string{"{\n"};
+  json += "  \"scale_factor\": " + std::to_string(scale_factor) + ",\n";
+  json += "  \"runs\": " + std::to_string(runs) + ",\n";
+  json += "  \"hardware_workers\": " + std::to_string(hardware_workers) + ",\n";
+  json += "  \"task_overhead\": {\"job_count\": " + std::to_string(kJobCount) +
+          ", \"inline_ns\": " + std::to_string(inline_jobs_ns) +
+          ", \"scheduled_ns\": " + std::to_string(scheduled_jobs_ns) +
+          ", \"per_task_ns\": " + std::to_string(per_task_ns) + "},\n";
+  json += "  \"table_scan_fan_out\": {\"rows\": " + std::to_string(kScanRows) +
+          ", \"chunks\": " + std::to_string(chunk_count) +
+          ", \"inline_ns\": " + std::to_string(inline_scan_ns) +
+          ", \"one_worker_ns\": " + std::to_string(scheduled_scan_ns) +
+          ", \"hardware_workers_ns\": " + std::to_string(parallel_scan_ns) + "},\n";
+  json += "  \"tpch_median_ns\": {\n";
+  AppendQueryResultsJson(json, "inline", queries, inline_results);
+  json += ",\n";
+  AppendQueryResultsJson(json, "one_worker", queries, scheduled_results);
+  json += ",\n";
+  AppendQueryResultsJson(json, "hardware_workers", queries, parallel_results);
+  json += "\n  }\n}\n";
+
+  auto json_file = std::ofstream{json_path};
+  json_file << json;
+  std::cout << "\nJSON written to " << json_path << "\n";
   return 0;
 }
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "hyrise.hpp"
 #include "optimizer/optimizer.hpp"
+#include "scheduler/node_queue_scheduler.hpp"
 #include "sql/sql_pipeline.hpp"
 #include "storage/table.hpp"
 #include "utils/timer.hpp"
@@ -56,6 +58,16 @@ int64_t BenchmarkRunner::TimeQuery(const std::string& sql, const BenchmarkConfig
 }
 
 std::vector<BenchmarkQueryResult> BenchmarkRunner::Run(std::ostream& stream) {
+  const auto install_scheduler = config_.use_scheduler && config_.scheduler_workers > 0;
+  if (install_scheduler) {
+    Hyrise::Get().SetScheduler(std::make_shared<NodeQueueScheduler>(/*node_count=*/1, config_.scheduler_workers));
+  }
+  auto scheduler_banner = std::string{"off"};
+  if (config_.use_scheduler) {
+    const auto workers = Hyrise::Get().scheduler()->worker_count();
+    scheduler_banner = "on (" + std::to_string(workers) + (workers == 1 ? " worker)" : " workers)");
+  }
+
   // Reproducibility banner (paper §2.10).
   stream << "=== " << config_.name << " ===\n"
          << "  build:      " <<
@@ -65,7 +77,7 @@ std::vector<BenchmarkQueryResult> BenchmarkRunner::Run(std::ostream& stream) {
       "Release"
 #endif
          << "\n  mvcc:       " << (config_.use_mvcc == UseMvcc::kYes ? "on" : "off")
-         << "\n  scheduler:  " << (config_.use_scheduler ? "on" : "off") << "\n  optimizer:  "
+         << "\n  scheduler:  " << scheduler_banner << "\n  optimizer:  "
          << (config_.use_default_optimizer ? "default" : (config_.optimizer ? "custom" : "off"))
          << "\n  plan cache: " << (config_.cache_plans ? "on" : "off") << "\n  runs:       "
          << config_.measured_runs << " (+" << config_.warmup_runs << " warmup)\n\n";
@@ -116,6 +128,9 @@ std::vector<BenchmarkQueryResult> BenchmarkRunner::Run(std::ostream& stream) {
                     static_cast<unsigned long long>(result.result_rows));
     }
     stream << line << "\n" << std::flush;
+  }
+  if (install_scheduler) {
+    Hyrise::Get().SetScheduler(std::make_shared<ImmediateExecutionScheduler>());
   }
   return results;
 }

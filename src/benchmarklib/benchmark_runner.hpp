@@ -23,6 +23,11 @@ struct BenchmarkConfig {
   size_t measured_runs{3};
   UseMvcc use_mvcc{UseMvcc::kNo};
   bool use_scheduler{false};
+  /// Only meaningful with use_scheduler: > 0 installs a single-node
+  /// NodeQueueScheduler with that many workers for the duration of Run() and
+  /// restores the immediate scheduler afterwards; 0 keeps whatever scheduler
+  /// the caller installed.
+  uint32_t scheduler_workers{0};
   bool cache_plans{false};
   /// Null = optimizer disabled; BenchmarkRunner defaults to the full default
   /// rule set unless a custom one is installed.

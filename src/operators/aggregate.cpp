@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "operators/column_materializer.hpp"
+#include "scheduler/job_helpers.hpp"
 #include "storage/table.hpp"
 #include "storage/value_segment.hpp"
 #include "utils/assert.hpp"
@@ -41,13 +42,35 @@ void AppendKeyPart(std::string& key, const T& value, bool is_null) {
   }
 }
 
+/// Runs `body(range_index, begin, end)` as one task per chunk range
+/// (paper §2.9). Each task writes only state indexed by its own range, so the
+/// bodies need no synchronization; callers merge the partials in range order,
+/// which keeps results identical between serial and parallel execution (the
+/// reduction tree is fixed by the chunking, not by the scheduler).
+template <typename Body>
+void ForEachRangeParallel(const std::vector<std::pair<size_t, size_t>>& ranges, const Body& body) {
+  auto jobs = std::vector<std::shared_ptr<AbstractTask>>{};
+  jobs.reserve(ranges.size());
+  for (auto range_id = size_t{0}; range_id < ranges.size(); ++range_id) {
+    jobs.push_back(std::make_shared<JobTask>([range_id, &ranges, &body] {
+      body(range_id, ranges[range_id].first, ranges[range_id].second);
+    }));
+  }
+  SpawnAndWaitForTasks(jobs);
+}
+
 }  // namespace
 
 std::shared_ptr<const Table> Aggregate::OnExecute(const std::shared_ptr<TransactionContext>& /*context*/) {
   const auto input = left_input_->get_output();
   const auto row_count = input->row_count();
+  const auto ranges = ChunkRowRanges(*input);
+  const auto range_count = ranges.size();
 
   // --- Phase 1: assign a dense group index to every row. --------------------
+  // Key building fans out per chunk (disjoint writes into `keys`); the group
+  // index assignment stays serial so group indices follow first-occurrence
+  // row order deterministically.
   auto group_of_row = std::vector<size_t>(row_count);
   auto representative_rows = std::vector<size_t>{};  // First row of each group.
   if (group_by_columns_.empty()) {
@@ -61,9 +84,11 @@ std::shared_ptr<const Table> Aggregate::OnExecute(const std::shared_ptr<Transact
       ResolveDataType(input->column_data_type(column_id), [&](auto type_tag) {
         using T = decltype(type_tag);
         const auto column = MaterializeColumn<T>(*input, column_id);
-        for (auto row = size_t{0}; row < row_count; ++row) {
-          AppendKeyPart(keys[row], column.values[row], column.IsNull(row));
-        }
+        ForEachRangeParallel(ranges, [&](size_t /*range_id*/, size_t begin, size_t end) {
+          for (auto row = begin; row < end; ++row) {
+            AppendKeyPart(keys[row], column.values[row], column.IsNull(row));
+          }
+        });
       });
     }
     auto group_ids = std::unordered_map<std::string, size_t>{};
@@ -143,14 +168,24 @@ std::shared_ptr<const Table> Aggregate::OnExecute(const std::shared_ptr<Transact
     });
   }
 
-  // --- Phase 4: aggregates. --------------------------------------------------
+  // --- Phase 4: aggregates — per-chunk partials, merged in chunk order. -----
   for (const auto& aggregate : aggregates_) {
     if (!aggregate.column.has_value()) {
       // COUNT(*).
-      auto counts = std::vector<int64_t>(group_count, 0);
+      auto partial_counts = std::vector<std::vector<int64_t>>(range_count);
       if (has_rows) {
-        for (auto row = size_t{0}; row < row_count; ++row) {
-          ++counts[group_of_row[row]];
+        ForEachRangeParallel(ranges, [&](size_t range_id, size_t begin, size_t end) {
+          auto& counts = partial_counts[range_id];
+          counts.assign(group_count, 0);
+          for (auto row = begin; row < end; ++row) {
+            ++counts[group_of_row[row]];
+          }
+        });
+      }
+      auto counts = std::vector<int64_t>(group_count, 0);
+      for (const auto& partial : partial_counts) {
+        for (auto group = size_t{0}; group < partial.size(); ++group) {
+          counts[group] += partial[group];
         }
       }
       segments.push_back(std::make_shared<ValueSegment<int64_t>>(std::move(counts)));
@@ -165,16 +200,39 @@ std::shared_ptr<const Table> Aggregate::OnExecute(const std::shared_ptr<Transact
         case AggregateFunction::kMin:
         case AggregateFunction::kMax: {
           const auto is_min = aggregate.function == AggregateFunction::kMin;
+          struct MinMaxPartial {
+            std::vector<T> values;
+            std::vector<bool> seen;
+          };
+          auto partials = std::vector<MinMaxPartial>(range_count);
+          ForEachRangeParallel(ranges, [&](size_t range_id, size_t begin, size_t end) {
+            auto& partial = partials[range_id];
+            partial.values.resize(group_count);
+            partial.seen.assign(group_count, false);
+            for (auto row = begin; row < end; ++row) {
+              if (column.IsNull(row)) {
+                continue;
+              }
+              const auto group = group_of_row[row];
+              if (!partial.seen[group] || (is_min ? column.values[row] < partial.values[group]
+                                                  : partial.values[group] < column.values[row])) {
+                partial.values[group] = column.values[row];
+                partial.seen[group] = true;
+              }
+            }
+          });
           auto values = std::vector<T>(group_count);
           auto seen = std::vector<bool>(group_count, false);
-          for (auto row = size_t{0}; row < row_count; ++row) {
-            if (column.IsNull(row)) {
-              continue;
-            }
-            const auto group = group_of_row[row];
-            if (!seen[group] || (is_min ? column.values[row] < values[group] : values[group] < column.values[row])) {
-              values[group] = column.values[row];
-              seen[group] = true;
+          for (const auto& partial : partials) {
+            for (auto group = size_t{0}; group < group_count; ++group) {
+              if (!partial.seen[group]) {
+                continue;
+              }
+              if (!seen[group] || (is_min ? partial.values[group] < values[group]
+                                          : values[group] < partial.values[group])) {
+                values[group] = partial.values[group];
+                seen[group] = true;
+              }
             }
           }
           auto nulls = std::vector<bool>(group_count);
@@ -193,15 +251,34 @@ std::shared_ptr<const Table> Aggregate::OnExecute(const std::shared_ptr<Transact
             Fail("SUM/AVG over string column");
           } else {
             using SumType = std::conditional_t<std::is_integral_v<T>, int64_t, double>;
+            struct SumPartial {
+              std::vector<SumType> sums;
+              std::vector<int64_t> counts;
+            };
+            auto partials = std::vector<SumPartial>(range_count);
+            ForEachRangeParallel(ranges, [&](size_t range_id, size_t begin, size_t end) {
+              auto& partial = partials[range_id];
+              partial.sums.assign(group_count, SumType{0});
+              partial.counts.assign(group_count, 0);
+              for (auto row = begin; row < end; ++row) {
+                if (column.IsNull(row)) {
+                  continue;
+                }
+                const auto group = group_of_row[row];
+                partial.sums[group] += static_cast<SumType>(column.values[row]);
+                ++partial.counts[group];
+              }
+            });
+            // Merge in chunk order: the floating-point reduction tree is a
+            // function of the chunking alone, so serial and parallel runs
+            // produce bit-identical sums.
             auto sums = std::vector<SumType>(group_count, SumType{0});
             auto counts = std::vector<int64_t>(group_count, 0);
-            for (auto row = size_t{0}; row < row_count; ++row) {
-              if (column.IsNull(row)) {
-                continue;
+            for (const auto& partial : partials) {
+              for (auto group = size_t{0}; group < group_count; ++group) {
+                sums[group] += partial.sums[group];
+                counts[group] += partial.counts[group];
               }
-              const auto group = group_of_row[row];
-              sums[group] += static_cast<SumType>(column.values[row]);
-              ++counts[group];
             }
             auto nulls = std::vector<bool>(group_count);
             auto any_null = false;
@@ -235,20 +312,40 @@ std::shared_ptr<const Table> Aggregate::OnExecute(const std::shared_ptr<Transact
           return;
         }
         case AggregateFunction::kCount: {
+          auto partial_counts = std::vector<std::vector<int64_t>>(range_count);
+          ForEachRangeParallel(ranges, [&](size_t range_id, size_t begin, size_t end) {
+            auto& partial = partial_counts[range_id];
+            partial.assign(group_count, 0);
+            for (auto row = begin; row < end; ++row) {
+              if (!column.IsNull(row)) {
+                ++partial[group_of_row[row]];
+              }
+            }
+          });
           auto counts = std::vector<int64_t>(group_count, 0);
-          for (auto row = size_t{0}; row < row_count; ++row) {
-            if (!column.IsNull(row)) {
-              ++counts[group_of_row[row]];
+          for (const auto& partial : partial_counts) {
+            for (auto group = size_t{0}; group < group_count; ++group) {
+              counts[group] += partial[group];
             }
           }
           segments.push_back(std::make_shared<ValueSegment<int64_t>>(std::move(counts)));
           return;
         }
         case AggregateFunction::kCountDistinct: {
+          auto partial_sets = std::vector<std::vector<std::unordered_set<T>>>(range_count);
+          ForEachRangeParallel(ranges, [&](size_t range_id, size_t begin, size_t end) {
+            auto& sets = partial_sets[range_id];
+            sets.resize(group_count);
+            for (auto row = begin; row < end; ++row) {
+              if (!column.IsNull(row)) {
+                sets[group_of_row[row]].insert(column.values[row]);
+              }
+            }
+          });
           auto sets = std::vector<std::unordered_set<T>>(group_count);
-          for (auto row = size_t{0}; row < row_count; ++row) {
-            if (!column.IsNull(row)) {
-              sets[group_of_row[row]].insert(column.values[row]);
+          for (auto& partial : partial_sets) {
+            for (auto group = size_t{0}; group < group_count; ++group) {
+              sets[group].merge(partial[group]);
             }
           }
           auto counts = std::vector<int64_t>(group_count);

@@ -2,8 +2,10 @@
 #define HYRISE_SRC_OPERATORS_COLUMN_MATERIALIZER_HPP_
 
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "scheduler/job_helpers.hpp"
 #include "storage/segment_iterables/segment_iterate.hpp"
 #include "storage/table.hpp"
 
@@ -22,27 +24,63 @@ struct MaterializedColumn {
   }
 };
 
+/// Global [begin, end) row-index ranges of each chunk — the fan-out
+/// granularity for row-major operators (paper §2.9: one task per chunk).
+inline std::vector<std::pair<size_t, size_t>> ChunkRowRanges(const Table& table) {
+  const auto chunk_count = table.chunk_count();
+  auto ranges = std::vector<std::pair<size_t, size_t>>{};
+  ranges.reserve(chunk_count);
+  auto base = size_t{0};
+  for (auto chunk_id = ChunkID{0}; chunk_id < chunk_count; ++chunk_id) {
+    const auto size = static_cast<size_t>(table.GetChunk(chunk_id)->size());
+    ranges.emplace_back(base, base + size);
+    base += size;
+  }
+  return ranges;
+}
+
 template <typename T>
 MaterializedColumn<T> MaterializeColumn(const Table& table, ColumnID column_id) {
   auto materialized = MaterializedColumn<T>{};
   const auto row_count = table.row_count();
   materialized.values.resize(row_count);
-  auto base = size_t{0};
   const auto chunk_count = table.chunk_count();
+
+  // One job per chunk; each writes the disjoint [base, base + chunk size)
+  // slice of `values`. Null positions are collected per chunk — the bits of a
+  // std::vector<bool> are not independently writable — and merged afterwards.
+  auto null_rows_per_chunk = std::vector<std::vector<size_t>>(chunk_count);
+  auto jobs = std::vector<std::shared_ptr<AbstractTask>>{};
+  jobs.reserve(chunk_count);
+  auto base = size_t{0};
   for (auto chunk_id = ChunkID{0}; chunk_id < chunk_count; ++chunk_id) {
     const auto chunk = table.GetChunk(chunk_id);
     const auto segment = chunk->GetSegment(column_id);
-    SegmentIterate<T>(*segment, [&](const auto& position) {
-      if (position.is_null()) {
-        if (materialized.nulls.empty()) {
-          materialized.nulls.assign(row_count, false);
-        }
-        materialized.nulls[base + position.chunk_offset()] = true;
-      } else {
-        materialized.values[base + position.chunk_offset()] = position.value();
-      }
-    });
+    jobs.push_back(
+        std::make_shared<JobTask>([segment, base, &values = materialized.values,
+                                   &null_rows = null_rows_per_chunk[chunk_id]] {
+          SegmentIterate<T>(*segment, [&](const auto& position) {
+            if (position.is_null()) {
+              null_rows.push_back(base + position.chunk_offset());
+            } else {
+              values[base + position.chunk_offset()] = position.value();
+            }
+          });
+        }));
     base += chunk->size();
+  }
+  SpawnAndWaitForTasks(jobs);
+
+  for (const auto& null_rows : null_rows_per_chunk) {
+    if (null_rows.empty()) {
+      continue;
+    }
+    if (materialized.nulls.empty()) {
+      materialized.nulls.assign(row_count, false);
+    }
+    for (const auto row : null_rows) {
+      materialized.nulls[row] = true;
+    }
   }
   return materialized;
 }

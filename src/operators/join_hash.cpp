@@ -5,6 +5,7 @@
 #include "expression/expressions.hpp"
 #include "operators/column_materializer.hpp"
 #include "operators/pos_list_utils.hpp"
+#include "scheduler/job_helpers.hpp"
 #include "storage/table.hpp"
 #include "utils/assert.hpp"
 
@@ -54,66 +55,124 @@ std::shared_ptr<const Table> JoinHash::OnExecute(const std::shared_ptr<Transacti
       return keys;
     };
 
-    // Build phase over the right input.
+    // Build phase over the right input: one partial hash map per chunk
+    // (paper §2.9), merged in chunk order. Since each chunk covers an
+    // ascending, disjoint row range and rows are appended in range order, the
+    // per-key row lists come out in ascending row order — exactly what a
+    // serial row-order build produces.
     const auto build_keys = materialize_keys(*right, primary_.right_column);
+    const auto build_ranges = ChunkRowRanges(*right);
+    auto partial_tables = std::vector<std::unordered_map<K, std::vector<size_t>>>(build_ranges.size());
+    {
+      auto jobs = std::vector<std::shared_ptr<AbstractTask>>{};
+      jobs.reserve(build_ranges.size());
+      for (auto range_id = size_t{0}; range_id < build_ranges.size(); ++range_id) {
+        jobs.push_back(std::make_shared<JobTask>([range_id, &build_ranges, &build_keys, &partial_tables] {
+          const auto [begin, end] = build_ranges[range_id];
+          auto& partial = partial_tables[range_id];
+          partial.reserve(end - begin);
+          for (auto row = begin; row < end; ++row) {
+            if (!build_keys.IsNull(row)) {
+              partial[build_keys.values[row]].push_back(row);
+            }
+          }
+        }));
+      }
+      SpawnAndWaitForTasks(jobs);
+    }
     auto hash_table = std::unordered_map<K, std::vector<size_t>>{};
     hash_table.reserve(build_keys.values.size());
-    for (auto row = size_t{0}; row < build_keys.values.size(); ++row) {
-      if (!build_keys.IsNull(row)) {
-        hash_table[build_keys.values[row]].push_back(row);
+    for (auto& partial : partial_tables) {
+      for (auto& [key, rows] : partial) {
+        auto& target = hash_table[key];
+        if (target.empty()) {
+          target = std::move(rows);
+        } else {
+          target.insert(target.end(), rows.begin(), rows.end());
+        }
       }
     }
 
-    // Probe phase over the left input.
+    // Probe phase over the left input: one task per chunk, each emitting into
+    // its own output buffers; concatenated in chunk order the result is
+    // byte-identical to the serial probe loop.
     const auto probe_keys = materialize_keys(*left, primary_.left_column);
-    const auto probe_count = probe_keys.values.size();
-    for (auto row = size_t{0}; row < probe_count; ++row) {
-      const auto* candidates = static_cast<const std::vector<size_t>*>(nullptr);
-      if (!probe_keys.IsNull(row)) {
-        const auto iter = hash_table.find(probe_keys.values[row]);
-        if (iter != hash_table.end()) {
-          candidates = &iter->second;
-        }
-      }
+    const auto probe_ranges = ChunkRowRanges(*left);
+    struct ProbeOutput {
+      std::vector<size_t> left_rows;
+      std::vector<size_t> right_rows;
+    };
+    auto outputs = std::vector<ProbeOutput>(probe_ranges.size());
+    {
+      auto jobs = std::vector<std::shared_ptr<AbstractTask>>{};
+      jobs.reserve(probe_ranges.size());
+      for (auto range_id = size_t{0}; range_id < probe_ranges.size(); ++range_id) {
+        jobs.push_back(
+            std::make_shared<JobTask>([this, range_id, &probe_ranges, &probe_keys, &hash_table, &checker, &outputs] {
+              const auto [begin, end] = probe_ranges[range_id];
+              auto& output = outputs[range_id];
+              for (auto row = begin; row < end; ++row) {
+                const auto* candidates = static_cast<const std::vector<size_t>*>(nullptr);
+                if (!probe_keys.IsNull(row)) {
+                  const auto iter = hash_table.find(probe_keys.values[row]);
+                  if (iter != hash_table.end()) {
+                    candidates = &iter->second;
+                  }
+                }
 
-      switch (mode_) {
-        case JoinMode::kInner:
-        case JoinMode::kLeft: {
-          auto matched = false;
-          if (candidates) {
-            for (const auto candidate : *candidates) {
-              if (checker.AlwaysTrue() || checker.Passes(row, candidate)) {
-                left_rows.push_back(row);
-                right_rows.push_back(candidate);
-                matched = true;
+                switch (mode_) {
+                  case JoinMode::kInner:
+                  case JoinMode::kLeft: {
+                    auto matched = false;
+                    if (candidates) {
+                      for (const auto candidate : *candidates) {
+                        if (checker.AlwaysTrue() || checker.Passes(row, candidate)) {
+                          output.left_rows.push_back(row);
+                          output.right_rows.push_back(candidate);
+                          matched = true;
+                        }
+                      }
+                    }
+                    if (!matched && mode_ == JoinMode::kLeft) {
+                      output.left_rows.push_back(row);
+                      output.right_rows.push_back(kPaddingRow);
+                    }
+                    break;
+                  }
+                  case JoinMode::kSemi:
+                  case JoinMode::kAnti: {
+                    auto matched = false;
+                    if (candidates) {
+                      for (const auto candidate : *candidates) {
+                        if (checker.AlwaysTrue() || checker.Passes(row, candidate)) {
+                          matched = true;
+                          break;
+                        }
+                      }
+                    }
+                    if (matched == (mode_ == JoinMode::kSemi)) {
+                      output.left_rows.push_back(row);
+                    }
+                    break;
+                  }
+                  default:
+                    Fail("Unsupported JoinHash mode");
+                }
               }
-            }
-          }
-          if (!matched && mode_ == JoinMode::kLeft) {
-            left_rows.push_back(row);
-            right_rows.push_back(kPaddingRow);
-          }
-          break;
-        }
-        case JoinMode::kSemi:
-        case JoinMode::kAnti: {
-          auto matched = false;
-          if (candidates) {
-            for (const auto candidate : *candidates) {
-              if (checker.AlwaysTrue() || checker.Passes(row, candidate)) {
-                matched = true;
-                break;
-              }
-            }
-          }
-          if (matched == (mode_ == JoinMode::kSemi)) {
-            left_rows.push_back(row);
-          }
-          break;
-        }
-        default:
-          Fail("Unsupported JoinHash mode");
+            }));
       }
+      SpawnAndWaitForTasks(jobs);
+    }
+
+    auto total_rows = size_t{0};
+    for (const auto& output : outputs) {
+      total_rows += output.left_rows.size();
+    }
+    left_rows.reserve(total_rows);
+    right_rows.reserve(total_rows);
+    for (const auto& output : outputs) {
+      left_rows.insert(left_rows.end(), output.left_rows.begin(), output.left_rows.end());
+      right_rows.insert(right_rows.end(), output.right_rows.begin(), output.right_rows.end());
     }
   });
 

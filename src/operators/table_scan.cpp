@@ -4,6 +4,7 @@
 #include "expression/expression_utils.hpp"
 #include "expression/like_matcher.hpp"
 #include "operators/pos_list_utils.hpp"
+#include "scheduler/job_helpers.hpp"
 #include "storage/segment_iterables/segment_iterate.hpp"
 #include "storage/table.hpp"
 #include "utils/assert.hpp"
@@ -272,6 +273,26 @@ bool ScanDictionaryLike(const AbstractSegment& segment, const LikeMatcher& match
   }
 }
 
+/// Uncorrelated subqueries share one PQP that the ExpressionEvaluator
+/// executes lazily; running it once up front keeps the per-chunk scan tasks
+/// free of shared mutable state (correlated subqueries deep-copy their PQP
+/// per evaluation and need no such treatment).
+void PreExecuteUncorrelatedSubqueries(const ExpressionPtr& expression,
+                                      const std::shared_ptr<TransactionContext>& context) {
+  if (expression->type == ExpressionType::kPqpSubquery) {
+    const auto& subquery = static_cast<const PqpSubqueryExpression&>(*expression);
+    if (!subquery.IsCorrelated() && !subquery.pqp->executed()) {
+      if (context) {
+        subquery.pqp->SetTransactionContextRecursively(context);
+      }
+      subquery.pqp->Execute();
+    }
+  }
+  for (const auto& argument : expression->arguments) {
+    PreExecuteUncorrelatedSubqueries(argument, context);
+  }
+}
+
 }  // namespace
 
 TableScan::TableScan(std::shared_ptr<AbstractOperator> input, ExpressionPtr predicate)
@@ -408,10 +429,24 @@ std::shared_ptr<const Table> TableScan::OnExecute(const std::shared_ptr<Transact
   const auto input = left_input_->get_output();
   const auto output = MakeReferenceTable(input);
   const auto chunk_count = input->chunk_count();
+  PreExecuteUncorrelatedSubqueries(predicate_, context);
+
+  // One scan task per chunk (paper §2.9); results are gathered and appended
+  // in chunk order, so the output is identical to the serial scan no matter
+  // how the scheduler interleaves the tasks.
+  auto matches_per_chunk = std::vector<std::vector<ChunkOffset>>(chunk_count);
+  auto jobs = std::vector<std::shared_ptr<AbstractTask>>{};
+  jobs.reserve(chunk_count);
   for (auto chunk_id = ChunkID{0}; chunk_id < chunk_count; ++chunk_id) {
-    const auto matches = ScanChunk(input, chunk_id, context);
-    if (!matches.empty()) {
-      output->AppendChunk(ComposeFilteredSegments(input, chunk_id, matches));
+    jobs.push_back(std::make_shared<JobTask>([this, &input, &context, &matches_per_chunk, chunk_id] {
+      matches_per_chunk[chunk_id] = ScanChunk(input, chunk_id, context);
+    }));
+  }
+  SpawnAndWaitForTasks(jobs);
+
+  for (auto chunk_id = ChunkID{0}; chunk_id < chunk_count; ++chunk_id) {
+    if (!matches_per_chunk[chunk_id].empty()) {
+      output->AppendChunk(ComposeFilteredSegments(input, chunk_id, matches_per_chunk[chunk_id]));
     }
   }
   return output;

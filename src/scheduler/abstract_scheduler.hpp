@@ -25,15 +25,24 @@ class AbstractScheduler {
 
   virtual uint32_t worker_count() const = 0;
 
+  /// Blocks until every task in `tasks` finished. Schedulers with worker
+  /// threads override this so that a wait issued *from* a worker (an operator
+  /// fanning out per-chunk jobs, paper §2.9) executes queued tasks instead of
+  /// blocking — with a blocking wait, a pool whose workers all wait on
+  /// sub-tasks that sit unexecuted in the queues would deadlock.
+  virtual void WaitForTasks(const std::vector<std::shared_ptr<AbstractTask>>& tasks) {
+    for (const auto& task : tasks) {
+      task->Join();
+    }
+  }
+
   /// Convenience: schedule all tasks (which must be topologically closed —
   /// every predecessor included) and block until each is done.
   void ScheduleAndWaitForTasks(const std::vector<std::shared_ptr<AbstractTask>>& tasks) {
     for (const auto& task : tasks) {
       task->Schedule();
     }
-    for (const auto& task : tasks) {
-      task->Join();
-    }
+    WaitForTasks(tasks);
   }
 };
 

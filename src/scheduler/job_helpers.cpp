@@ -1,0 +1,25 @@
+#include "scheduler/job_helpers.hpp"
+
+#include "hyrise.hpp"
+#include "scheduler/abstract_scheduler.hpp"
+
+namespace hyrise {
+
+const std::shared_ptr<AbstractScheduler>& CurrentScheduler() {
+  return Hyrise::Get().scheduler();
+}
+
+void SpawnAndWaitForTasks(const std::vector<std::shared_ptr<AbstractTask>>& tasks) {
+  CurrentScheduler()->ScheduleAndWaitForTasks(tasks);
+}
+
+void SpawnAndWaitForJobs(std::vector<std::function<void()>> jobs) {
+  auto tasks = std::vector<std::shared_ptr<AbstractTask>>{};
+  tasks.reserve(jobs.size());
+  for (auto& job : jobs) {
+    tasks.push_back(std::make_shared<JobTask>(std::move(job)));
+  }
+  SpawnAndWaitForTasks(tasks);
+}
+
+}  // namespace hyrise

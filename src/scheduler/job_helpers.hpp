@@ -1,0 +1,33 @@
+#ifndef HYRISE_SRC_SCHEDULER_JOB_HELPERS_HPP_
+#define HYRISE_SRC_SCHEDULER_JOB_HELPERS_HPP_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "scheduler/abstract_task.hpp"
+
+namespace hyrise {
+
+class AbstractScheduler;
+
+/// The scheduler currently installed on the Hyrise singleton. Never null:
+/// it falls back to the ImmediateExecutionScheduler ("scheduler turned off",
+/// paper §2), so callers can fan work out unconditionally — with the
+/// immediate scheduler the jobs run inline, in order, on the calling thread.
+const std::shared_ptr<AbstractScheduler>& CurrentScheduler();
+
+/// Schedules independent `tasks` on the current scheduler and blocks until
+/// all of them finished. This is the intra-operator parallelism entry point
+/// (paper §2.9: operators "spawn one task per chunk"): operators and plugins
+/// build one JobTask per chunk and hand the batch here. Safe to call from a
+/// scheduler worker thread — the NodeQueueScheduler detects that case and has
+/// the waiting worker execute queued tasks instead of blocking the pool.
+void SpawnAndWaitForTasks(const std::vector<std::shared_ptr<AbstractTask>>& tasks);
+
+/// Convenience overload: wraps each function in a JobTask and spawns.
+void SpawnAndWaitForJobs(std::vector<std::function<void()>> jobs);
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_SCHEDULER_JOB_HELPERS_HPP_

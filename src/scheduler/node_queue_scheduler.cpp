@@ -1,10 +1,20 @@
 #include "scheduler/node_queue_scheduler.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "utils/assert.hpp"
 
 namespace hyrise {
+
+namespace {
+
+/// Set while a thread runs a NodeQueueScheduler worker loop; lets
+/// WaitForTasks detect that it was called from inside the pool.
+thread_local NodeQueueScheduler* tls_worker_scheduler = nullptr;
+thread_local NodeID tls_worker_node = kInvalidNodeId;
+
+}  // namespace
 
 void TaskQueue::Push(const std::shared_ptr<AbstractTask>& task) {
   const auto lock = std::lock_guard{mutex_};
@@ -39,6 +49,8 @@ bool TaskQueue::IsEmpty() const {
 NodeQueueScheduler::NodeQueueScheduler(uint32_t node_count, uint32_t workers_per_node) {
   Assert(node_count >= 1, "Need at least one node");
   if (workers_per_node == 0) {
+    // One worker per core overall (paper §2.9: "one worker thread per core"),
+    // spread across the simulated nodes.
     const auto hardware_threads = std::max(1u, std::thread::hardware_concurrency());
     workers_per_node = std::max(1u, hardware_threads / node_count);
   }
@@ -60,36 +72,99 @@ NodeQueueScheduler::~NodeQueueScheduler() {
 }
 
 void NodeQueueScheduler::ScheduleTask(const std::shared_ptr<AbstractTask>& task) {
-  Assert(!shutdown_.load(), "Scheduler is shutting down");
+  Assert(!workers_.empty(), "Scheduler already finished");
   active_tasks_.fetch_add(1, std::memory_order_acq_rel);
   const auto node_id =
       task->preferred_node_id == kCurrentNodeId || task->preferred_node_id >= queues_.size()
           ? NodeID{0}
           : task->preferred_node_id;
   queues_[node_id]->Push(task);
-  idle_condition_.notify_one();
+  // The empty critical section orders this push against a worker that is
+  // between its queue check and cv wait — otherwise the notify could be lost
+  // and the task would sit queued until the next unrelated wakeup.
+  { const auto lock = std::lock_guard{idle_mutex_}; }
+  idle_condition_.notify_all();
+}
+
+std::shared_ptr<AbstractTask> NodeQueueScheduler::NextTask(NodeID preferred_node) {
+  auto task = queues_[preferred_node]->Pull();
+  if (!task) {
+    // Work stealing: help other nodes finish their queues (paper §2.9).
+    for (auto other = NodeID{0}; other < queues_.size() && !task; ++other) {
+      if (other != preferred_node) {
+        task = queues_[other]->Steal();
+      }
+    }
+  }
+  return task;
+}
+
+void NodeQueueScheduler::ExecuteTaskAndNotify(const std::shared_ptr<AbstractTask>& task) {
+  task->Execute();
+  active_tasks_.fetch_sub(1, std::memory_order_acq_rel);
+  { const auto lock = std::lock_guard{idle_mutex_}; }
+  idle_condition_.notify_all();
+}
+
+bool NodeQueueScheduler::HasQueuedWork() const {
+  return std::any_of(queues_.begin(), queues_.end(), [](const auto& queue) {
+    return !queue->IsEmpty();
+  });
 }
 
 void NodeQueueScheduler::WorkerLoop(NodeID node_id) {
-  while (!shutdown_.load(std::memory_order_acquire)) {
-    auto task = queues_[node_id]->Pull();
-    if (!task) {
-      // Work stealing: help other nodes finish their queues (paper §2.9).
-      for (auto other = NodeID{0}; other < queues_.size() && !task; ++other) {
-        if (other != node_id) {
-          task = queues_[other]->Steal();
-        }
-      }
-    }
-    if (task) {
-      task->Execute();
-      active_tasks_.fetch_sub(1, std::memory_order_acq_rel);
-      idle_condition_.notify_all();
+  tls_worker_scheduler = this;
+  tls_worker_node = node_id;
+  while (true) {
+    if (const auto task = NextTask(node_id)) {
+      ExecuteTaskAndNotify(task);
       continue;
     }
-    // Unsuccessful steal: back off (paper: fixed interval, currently 10 ms —
-    // we use 1 ms to keep single-core test latency low).
     auto lock = std::unique_lock{idle_mutex_};
+    idle_condition_.wait(lock, [&] {
+      return shutdown_.load(std::memory_order_acquire) || HasQueuedWork();
+    });
+    if (shutdown_.load(std::memory_order_acquire)) {
+      break;
+    }
+  }
+  // Shutdown drain: execute whatever is still queued — including successors
+  // that tasks executed here schedule — so Finish never drops work. Workers
+  // that enqueue further tasks re-enter this loop themselves, so the last
+  // enqueuer always drains its own products.
+  while (const auto task = NextTask(node_id)) {
+    ExecuteTaskAndNotify(task);
+  }
+  tls_worker_scheduler = nullptr;
+  tls_worker_node = kInvalidNodeId;
+}
+
+void NodeQueueScheduler::WaitForTasks(const std::vector<std::shared_ptr<AbstractTask>>& tasks) {
+  if (tls_worker_scheduler != this) {
+    AbstractScheduler::WaitForTasks(tasks);
+    return;
+  }
+  // Called from one of our workers: blocking would idle a core — and deadlock
+  // outright if every worker waited on sub-tasks sitting in the queues.
+  // Instead the worker keeps executing queued tasks (its own sub-tasks or
+  // anyone else's) until its wait set is done.
+  const auto all_done = [&] {
+    return std::all_of(tasks.begin(), tasks.end(), [](const auto& task) {
+      return task->IsDone();
+    });
+  };
+  while (!all_done()) {
+    if (const auto task = NextTask(tls_worker_node)) {
+      ExecuteTaskAndNotify(task);
+      continue;
+    }
+    auto lock = std::unique_lock{idle_mutex_};
+    if (HasQueuedWork()) {
+      continue;
+    }
+    // The remaining tasks run on other workers; task completion notifies
+    // idle_condition_, the timeout only bounds staleness if a wakeup races
+    // the done-check.
     idle_condition_.wait_for(lock, std::chrono::milliseconds(1));
   }
 }
@@ -98,19 +173,16 @@ void NodeQueueScheduler::Finish() {
   if (workers_.empty()) {
     return;
   }
-  // Wait for in-flight tasks, then stop the workers.
   {
-    auto lock = std::unique_lock{idle_mutex_};
-    idle_condition_.wait(lock, [&] {
-      return active_tasks_.load(std::memory_order_acquire) == 0;
-    });
+    const auto lock = std::lock_guard{idle_mutex_};
+    shutdown_.store(true, std::memory_order_release);
   }
-  shutdown_.store(true, std::memory_order_release);
   idle_condition_.notify_all();
   for (auto& worker : workers_) {
     worker.join();
   }
   workers_.clear();
+  Assert(active_tasks_.load(std::memory_order_acquire) == 0, "Finish() left scheduled tasks behind");
 }
 
 }  // namespace hyrise

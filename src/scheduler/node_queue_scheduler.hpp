@@ -39,17 +39,25 @@ class TaskQueue {
 
 /// The cooperative task-based scheduler of paper §2.9: one active worker
 /// thread per core, one queue per node; workers poll their node's queue and
-/// steal from other nodes when it runs dry, backing off briefly when stealing
-/// fails.
+/// steal from other nodes when it runs dry. Idle workers block on a condition
+/// variable (no spinning); Finish() drains all queues — tasks accepted before
+/// or during shutdown are executed, never dropped.
 class NodeQueueScheduler final : public AbstractScheduler {
  public:
-  /// `node_count` simulates a NUMA topology; `workers_per_node` defaults to
-  /// the hardware concurrency divided across nodes.
+  /// `node_count` simulates a NUMA topology. `workers_per_node = 0` resolves
+  /// to std::thread::hardware_concurrency() spread across the nodes (at least
+  /// one worker per node), i.e. one worker per core for the default
+  /// single-node topology.
   explicit NodeQueueScheduler(uint32_t node_count = 1, uint32_t workers_per_node = 0);
 
   ~NodeQueueScheduler() override;
 
   void ScheduleTask(const std::shared_ptr<AbstractTask>& task) final;
+
+  /// Worker-aware wait: called from one of this scheduler's workers (an
+  /// operator fanning out per-chunk jobs), the worker executes queued tasks
+  /// until the wait set is done instead of blocking the pool.
+  void WaitForTasks(const std::vector<std::shared_ptr<AbstractTask>>& tasks) final;
 
   void Finish() final;
 
@@ -67,7 +75,15 @@ class NodeQueueScheduler final : public AbstractScheduler {
   }
 
  private:
-  friend class Worker;
+  /// Pulls from the preferred node's queue, stealing from the others when it
+  /// is empty. Nullptr if every queue is empty.
+  std::shared_ptr<AbstractTask> NextTask(NodeID preferred_node);
+
+  /// Executes `task`, then wakes blocked workers and waiters: a finished task
+  /// may have readied successors or completed someone's wait set.
+  void ExecuteTaskAndNotify(const std::shared_ptr<AbstractTask>& task);
+
+  bool HasQueuedWork() const;
 
   void WorkerLoop(NodeID node_id);
 

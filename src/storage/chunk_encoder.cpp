@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "scheduler/job_helpers.hpp"
 #include "storage/dictionary_segment.hpp"
 #include "storage/frame_of_reference_segment.hpp"
 #include "storage/run_length_segment.hpp"
@@ -200,12 +201,19 @@ void ChunkEncoder::EncodeAllChunks(const std::shared_ptr<Table>& table,
   for (auto column_id = ColumnID{0}; column_id < table->column_count(); ++column_id) {
     data_types.push_back(table->column_data_type(column_id));
   }
+  // One task per chunk (paper §2.9): each job finalizes and re-encodes only
+  // its own chunk, so no two tasks touch shared state.
   const auto chunk_count = table->chunk_count();
+  auto jobs = std::vector<std::shared_ptr<AbstractTask>>{};
+  jobs.reserve(chunk_count);
   for (auto chunk_id = ChunkID{0}; chunk_id < chunk_count; ++chunk_id) {
     const auto chunk = table->GetChunk(chunk_id);
-    chunk->Finalize();
-    EncodeChunk(chunk, data_types, specs);
+    jobs.push_back(std::make_shared<JobTask>([chunk, &data_types, &specs] {
+      chunk->Finalize();
+      EncodeChunk(chunk, data_types, specs);
+    }));
   }
+  SpawnAndWaitForTasks(jobs);
 }
 
 }  // namespace hyrise

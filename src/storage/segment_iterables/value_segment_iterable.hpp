@@ -17,7 +17,10 @@ class ValueSegmentIterable : public SegmentIterable<ValueSegmentIterable<T>> {
 
   template <typename Functor>
   void OnWithIterators(const Functor& functor) const {
-    const auto size = segment_->values().size();
+    // size() is the segment's atomically published row count — safe to read
+    // while the mutable tail chunk is being appended to; the vectors' own
+    // size members are written by the appender and must not be touched here.
+    const auto size = static_cast<size_t>(segment_->size());
     if (segment_->is_nullable()) {
       functor(Iterator<true>{&segment_->values(), &segment_->null_values(), 0},
               Iterator<true>{&segment_->values(), &segment_->null_values(), size});
@@ -31,7 +34,7 @@ class ValueSegmentIterable : public SegmentIterable<ValueSegmentIterable<T>> {
     if (segment_->is_nullable()) {
       const auto getter = [values = &segment_->values(),
                            nulls = &segment_->null_values()](ChunkOffset offset) -> std::pair<T, bool> {
-        return {(*values)[offset], (*nulls)[offset]};
+        return {(*values)[offset], (*nulls)[offset] != 0};
       };
       using Iter = PointAccessIterator<T, decltype(getter)>;
       functor(Iter{&positions, getter, 0}, Iter{&positions, getter, positions.size()});
@@ -52,12 +55,12 @@ class ValueSegmentIterable : public SegmentIterable<ValueSegmentIterable<T>> {
     using value_type = SegmentPosition<T>;
     using difference_type = std::ptrdiff_t;
 
-    Iterator(const std::vector<T>* values, const std::vector<bool>* nulls, size_t index)
+    Iterator(const std::vector<T>* values, const std::vector<uint8_t>* nulls, size_t index)
         : values_(values), nulls_(nulls), index_(index) {}
 
     SegmentPosition<T> operator*() const {
       if constexpr (Nullable) {
-        return SegmentPosition<T>{(*values_)[index_], (*nulls_)[index_], static_cast<ChunkOffset>(index_)};
+        return SegmentPosition<T>{(*values_)[index_], (*nulls_)[index_] != 0, static_cast<ChunkOffset>(index_)};
       } else {
         return SegmentPosition<T>{(*values_)[index_], false, static_cast<ChunkOffset>(index_)};
       }
@@ -78,7 +81,7 @@ class ValueSegmentIterable : public SegmentIterable<ValueSegmentIterable<T>> {
 
    private:
     const std::vector<T>* values_;
-    const std::vector<bool>* nulls_;
+    const std::vector<uint8_t>* nulls_;
     size_t index_;
   };
 

@@ -1,6 +1,7 @@
 #ifndef HYRISE_SRC_STORAGE_VALUE_SEGMENT_HPP_
 #define HYRISE_SRC_STORAGE_VALUE_SEGMENT_HPP_
 
+#include <atomic>
 #include <utility>
 #include <vector>
 
@@ -11,23 +12,34 @@ namespace hyrise {
 
 /// Plain, unencoded, append-only segment — the format of mutable chunks
 /// (paper §2.2: "data is added in a plain, unencoded fashion").
+///
+/// Concurrency contract (paper §2.8: readers never block writers): appends
+/// are serialized externally (Table::append_mutex), but readers run without
+/// any lock while the tail chunk grows. This works because (a) mutable
+/// segments are Reserve()d to the target chunk size, so the vectors never
+/// reallocate under a reader, (b) the row count is published through an
+/// atomic *after* the row's value and null flag are written, and readers
+/// bound their iteration by size(), and (c) null flags are stored as bytes,
+/// not vector<bool> bits — distinct rows never share a memory location.
 template <typename T>
 class ValueSegment final : public AbstractSegment {
  public:
   explicit ValueSegment(bool nullable = false) : AbstractSegment(DataTypeOf<T>()), nullable_(nullable) {}
 
   ValueSegment(std::vector<T> values, std::vector<bool> null_values = {})
-      : AbstractSegment(DataTypeOf<T>()), values_(std::move(values)), null_values_(std::move(null_values)) {
-    nullable_ = !null_values_.empty();
-    Assert(null_values_.empty() || null_values_.size() == values_.size(), "null_values size mismatch");
+      : AbstractSegment(DataTypeOf<T>()), values_(std::move(values)) {
+    nullable_ = !null_values.empty();
+    Assert(null_values.empty() || null_values.size() == values_.size(), "null_values size mismatch");
+    null_values_.assign(null_values.begin(), null_values.end());
+    visible_size_.store(static_cast<ChunkOffset>(values_.size()), std::memory_order_release);
   }
 
   ChunkOffset size() const final {
-    return static_cast<ChunkOffset>(values_.size());
+    return visible_size_.load(std::memory_order_acquire);
   }
 
   AllTypeVariant operator[](ChunkOffset chunk_offset) const final {
-    DebugAssert(chunk_offset < values_.size(), "ValueSegment offset out of range");
+    DebugAssert(chunk_offset < size(), "ValueSegment offset out of range");
     if (IsNullAt(chunk_offset)) {
       return kNullVariant;
     }
@@ -35,27 +47,29 @@ class ValueSegment final : public AbstractSegment {
   }
 
   bool IsNullAt(ChunkOffset chunk_offset) const {
-    return nullable_ && null_values_[chunk_offset];
+    return nullable_ && null_values_[chunk_offset] != 0;
   }
 
   void Append(const AllTypeVariant& value) {
     if (VariantIsNull(value)) {
       Assert(nullable_, "Cannot append NULL to non-nullable segment");
       values_.emplace_back();
-      null_values_.push_back(true);
-      return;
+      null_values_.push_back(1);
+    } else {
+      values_.push_back(VariantCast<T>(value));
+      if (nullable_) {
+        null_values_.push_back(0);
+      }
     }
-    values_.push_back(VariantCast<T>(value));
-    if (nullable_) {
-      null_values_.push_back(false);
-    }
+    visible_size_.store(static_cast<ChunkOffset>(values_.size()), std::memory_order_release);
   }
 
   void AppendTyped(T value) {
     values_.push_back(std::move(value));
     if (nullable_) {
-      null_values_.push_back(false);
+      null_values_.push_back(0);
     }
+    visible_size_.store(static_cast<ChunkOffset>(values_.size()), std::memory_order_release);
   }
 
   void Reserve(size_t capacity) {
@@ -77,13 +91,14 @@ class ValueSegment final : public AbstractSegment {
     return nullable_;
   }
 
-  /// Empty iff the segment is not nullable.
-  const std::vector<bool>& null_values() const {
+  /// Byte-per-row null flags (0 = value, 1 = NULL); empty iff the segment is
+  /// not nullable. Readers must index only below size().
+  const std::vector<uint8_t>& null_values() const {
     return null_values_;
   }
 
   size_t MemoryUsage() const final {
-    auto bytes = values_.capacity() * sizeof(T) + null_values_.capacity() / 8;
+    auto bytes = values_.capacity() * sizeof(T) + null_values_.capacity();
     if constexpr (std::is_same_v<T, std::string>) {
       for (const auto& value : values_) {
         // Strings beyond the SSO buffer own a heap allocation.
@@ -97,8 +112,11 @@ class ValueSegment final : public AbstractSegment {
 
  private:
   std::vector<T> values_;
-  std::vector<bool> null_values_;
+  std::vector<uint8_t> null_values_;
   bool nullable_;
+  /// Row count as published to concurrent readers; trails the vectors' own
+  /// sizes until a row is completely written.
+  std::atomic<ChunkOffset> visible_size_{0};
 };
 
 }  // namespace hyrise

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+
+#include "expression/expressions.hpp"
+#include "hyrise.hpp"
+#include "operators/aggregate.hpp"
+#include "operators/join_hash.hpp"
+#include "operators/table_scan.hpp"
+#include "operators/table_wrapper.hpp"
+#include "scheduler/node_queue_scheduler.hpp"
+#include "storage/chunk_encoder.hpp"
+#include "test_utils.hpp"
+
+namespace hyrise {
+
+namespace {
+
+std::shared_ptr<AbstractOperator> Wrap(const std::shared_ptr<Table>& table) {
+  auto wrapper = std::make_shared<TableWrapper>(table);
+  wrapper->Execute();
+  return wrapper;
+}
+
+/// Deterministic multi-chunk fixture data; small chunks force a wide fan-out.
+std::vector<std::vector<AllTypeVariant>> FixtureRows(size_t row_count) {
+  auto generator = std::mt19937{42};
+  auto rows = std::vector<std::vector<AllTypeVariant>>{};
+  rows.reserve(row_count);
+  for (auto index = size_t{0}; index < row_count; ++index) {
+    const auto group = static_cast<int32_t>(generator() % 7);
+    const auto value = static_cast<int32_t>(generator() % 1000);
+    auto price = AllTypeVariant{static_cast<double>(generator() % 10000) / 8.0};
+    if (generator() % 11 == 0) {
+      price = kNullVariant;
+    }
+    rows.push_back({group, value, price, std::string{"name_"} + std::to_string(value % 50)});
+  }
+  return rows;
+}
+
+}  // namespace
+
+/// The per-chunk fan-out must be invisible in the results: running an
+/// operator under the NodeQueueScheduler has to produce exactly the rows —
+/// same values, same order — as the serial ImmediateExecutionScheduler,
+/// for every segment encoding. Compared with plain equality (no float
+/// tolerance): the parallel path merges per-chunk partials in chunk order, so
+/// even floating-point aggregates are bit-identical.
+class ParallelOperatorTest : public ::testing::TestWithParam<EncodingType> {
+ protected:
+  void SetUp() override {
+    Hyrise::Reset();
+    table_ = MakeTable({{"group", DataType::kInt},
+                        {"value", DataType::kInt},
+                        {"price", DataType::kDouble, true},
+                        {"name", DataType::kString}},
+                       FixtureRows(300), /*chunk_size=*/17);
+    ChunkEncoder::EncodeAllChunks(table_, SegmentEncodingSpec{GetParam()});
+  }
+
+  void TearDown() override {
+    Hyrise::Get().SetScheduler(std::make_shared<ImmediateExecutionScheduler>());
+  }
+
+  /// Runs `make_plan()->Execute()` serially, then again under a
+  /// NodeQueueScheduler(1, 4), and expects identical rows in identical order.
+  void ExpectIdenticalSerialAndParallel(
+      const std::function<std::shared_ptr<AbstractOperator>()>& make_plan) {
+    Hyrise::Get().SetScheduler(std::make_shared<ImmediateExecutionScheduler>());
+    const auto serial_plan = make_plan();
+    serial_plan->Execute();
+    const auto serial_rows = serial_plan->get_output()->GetRows();
+
+    Hyrise::Get().SetScheduler(std::make_shared<NodeQueueScheduler>(1, 4));
+    const auto parallel_plan = make_plan();
+    parallel_plan->Execute();
+    const auto parallel_rows = parallel_plan->get_output()->GetRows();
+
+    ASSERT_EQ(parallel_rows.size(), serial_rows.size());
+    for (auto row = size_t{0}; row < serial_rows.size(); ++row) {
+      ASSERT_EQ(serial_rows[row].size(), parallel_rows[row].size());
+      for (auto column = size_t{0}; column < serial_rows[row].size(); ++column) {
+        EXPECT_TRUE(VariantEquals(serial_rows[row][column], parallel_rows[row][column]))
+            << "row " << row << ", column " << column << ": serial=" << VariantToString(serial_rows[row][column])
+            << " parallel=" << VariantToString(parallel_rows[row][column]);
+      }
+    }
+  }
+
+  std::shared_ptr<Table> table_;
+};
+
+TEST_P(ParallelOperatorTest, TableScanMatchesSerial) {
+  ExpectIdenticalSerialAndParallel([&] {
+    const auto predicate = std::make_shared<PredicateExpression>(
+        PredicateCondition::kLessThan,
+        Expressions{std::make_shared<PqpColumnExpression>(ColumnID{1}, DataType::kInt, false, "value"),
+                    std::make_shared<ValueExpression>(500)});
+    return std::make_shared<TableScan>(Wrap(table_), predicate);
+  });
+}
+
+TEST_P(ParallelOperatorTest, TableScanOnNullableColumnMatchesSerial) {
+  ExpectIdenticalSerialAndParallel([&] {
+    const auto predicate = std::make_shared<PredicateExpression>(
+        PredicateCondition::kIsNull,
+        Expressions{std::make_shared<PqpColumnExpression>(ColumnID{2}, DataType::kDouble, true, "price")});
+    return std::make_shared<TableScan>(Wrap(table_), predicate);
+  });
+}
+
+TEST_P(ParallelOperatorTest, JoinHashMatchesSerial) {
+  // Self-join on the skewed group column: many duplicate keys, so the per-key
+  // row lists built by the parallel merge must preserve serial row order for
+  // the outputs to line up row-for-row.
+  ExpectIdenticalSerialAndParallel([&] {
+    return std::make_shared<JoinHash>(Wrap(table_), Wrap(table_), JoinMode::kInner,
+                                      JoinOperatorPredicate{ColumnID{0}, ColumnID{0}, PredicateCondition::kEquals},
+                                      std::vector<JoinOperatorPredicate>{});
+  });
+}
+
+TEST_P(ParallelOperatorTest, JoinHashLeftJoinMatchesSerial) {
+  ExpectIdenticalSerialAndParallel([&] {
+    return std::make_shared<JoinHash>(Wrap(table_), Wrap(table_), JoinMode::kLeft,
+                                      JoinOperatorPredicate{ColumnID{1}, ColumnID{1}, PredicateCondition::kEquals},
+                                      std::vector<JoinOperatorPredicate>{
+                                          {ColumnID{0}, ColumnID{0}, PredicateCondition::kLessThan}});
+  });
+}
+
+TEST_P(ParallelOperatorTest, AggregateMatchesSerial) {
+  // SUM/AVG over doubles: bit-identical because the reduction tree is fixed
+  // by the chunking, regardless of scheduler.
+  ExpectIdenticalSerialAndParallel([&] {
+    return std::make_shared<Aggregate>(
+        Wrap(table_), std::vector<ColumnID>{ColumnID{0}},
+        std::vector<AggregateColumnDefinition>{{AggregateFunction::kCount, std::nullopt},
+                                               {AggregateFunction::kMin, ColumnID{1}},
+                                               {AggregateFunction::kMax, ColumnID{3}},
+                                               {AggregateFunction::kSum, ColumnID{2}},
+                                               {AggregateFunction::kAvg, ColumnID{2}},
+                                               {AggregateFunction::kCountDistinct, ColumnID{3}}});
+  });
+}
+
+TEST_P(ParallelOperatorTest, AggregateWithoutGroupByMatchesSerial) {
+  ExpectIdenticalSerialAndParallel([&] {
+    return std::make_shared<Aggregate>(
+        Wrap(table_), std::vector<ColumnID>{},
+        std::vector<AggregateColumnDefinition>{{AggregateFunction::kCount, std::nullopt},
+                                               {AggregateFunction::kSum, ColumnID{2}},
+                                               {AggregateFunction::kCountDistinct, ColumnID{0}}});
+  });
+}
+
+TEST_P(ParallelOperatorTest, EncodeAllChunksUnderSchedulerKeepsContents) {
+  const auto expected = table_->GetRows();
+  Hyrise::Get().SetScheduler(std::make_shared<NodeQueueScheduler>(1, 4));
+  const auto reencoded = MakeTable({{"group", DataType::kInt},
+                                    {"value", DataType::kInt},
+                                    {"price", DataType::kDouble, true},
+                                    {"name", DataType::kString}},
+                                   FixtureRows(300), /*chunk_size=*/17);
+  ChunkEncoder::EncodeAllChunks(reencoded, SegmentEncodingSpec{GetParam()});
+  const auto actual = reencoded->GetRows();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (auto row = size_t{0}; row < expected.size(); ++row) {
+    for (auto column = size_t{0}; column < expected[row].size(); ++column) {
+      EXPECT_TRUE(VariantEquals(expected[row][column], actual[row][column]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncodings, ParallelOperatorTest,
+                         ::testing::Values(EncodingType::kUnencoded, EncodingType::kDictionary,
+                                           EncodingType::kRunLength, EncodingType::kFrameOfReference),
+                         [](const auto& info) {
+                           return std::string{EncodingTypeToString(info.param)};
+                         });
+
+}  // namespace hyrise

@@ -1,11 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
 
 #include "hyrise.hpp"
 #include "operators/table_wrapper.hpp"
 #include "operators/union_all.hpp"
 #include "scheduler/abstract_scheduler.hpp"
+#include "scheduler/job_helpers.hpp"
 #include "scheduler/node_queue_scheduler.hpp"
 #include "scheduler/operator_task.hpp"
 #include "test_utils.hpp"
@@ -120,6 +125,125 @@ TEST_F(SchedulerTest, DiamondPqpCreatesOneTaskPerOperator) {
   auto union_all = std::make_shared<UnionAll>(shared, shared);
   const auto tasks = OperatorTask::MakeTasksFromOperator(union_all);
   EXPECT_EQ(tasks.size(), 2u) << "shared input yields one task";
+}
+
+TEST_F(SchedulerTest, FinishDrainsQueuedTasksInsteadOfDroppingThem) {
+  // Regression test: Finish() must execute tasks that are still queued when
+  // shutdown begins, not drop them. A single slow worker guarantees a backlog
+  // exists at the moment Finish() is called.
+  const auto scheduler = std::make_shared<NodeQueueScheduler>(1, 1);
+  Hyrise::Get().SetScheduler(scheduler);
+  auto counter = std::atomic<int>{0};
+  auto tasks = std::vector<std::shared_ptr<AbstractTask>>{};
+  tasks.push_back(std::make_shared<JobTask>([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    counter.fetch_add(1);
+  }));
+  for (auto index = 0; index < 100; ++index) {
+    tasks.push_back(std::make_shared<JobTask>([&] {
+      counter.fetch_add(1);
+    }));
+  }
+  for (const auto& task : tasks) {
+    task->Schedule();
+  }
+  scheduler->Finish();  // No wait before shutdown — the backlog must drain.
+  EXPECT_EQ(counter.load(), 101);
+  EXPECT_EQ(scheduler->active_task_count(), 0u);
+  for (const auto& task : tasks) {
+    EXPECT_TRUE(task->IsDone());
+  }
+}
+
+TEST_F(SchedulerTest, FinishDrainsDependencyChainsScheduledLate) {
+  // Successors become ready only when their predecessor finishes — possibly
+  // after shutdown has been signalled. The drain loop must pick them up too.
+  const auto scheduler = std::make_shared<NodeQueueScheduler>(1, 1);
+  Hyrise::Get().SetScheduler(scheduler);
+  auto order = std::vector<int>{};
+  auto tasks = std::vector<std::shared_ptr<AbstractTask>>{};
+  for (auto index = 0; index < 20; ++index) {
+    tasks.push_back(std::make_shared<JobTask>([&order, index] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      order.push_back(index);
+    }));
+    if (index > 0) {
+      tasks[index - 1]->SetAsPredecessorOf(tasks[index]);
+    }
+  }
+  for (const auto& task : tasks) {
+    task->Schedule();
+  }
+  scheduler->Finish();
+  ASSERT_EQ(order.size(), 20u);
+  for (auto index = 0; index < 20; ++index) {
+    EXPECT_EQ(order[index], index);
+  }
+}
+
+TEST_F(SchedulerTest, WorkerFanOutDoesNotDeadlockWithOneWorker) {
+  // An operator running on the pool's only worker fans out per-chunk jobs and
+  // waits for them (paper §2.9). With a naively blocking wait the sub-jobs
+  // could never run; the worker-aware wait executes them itself.
+  Hyrise::Get().SetScheduler(std::make_shared<NodeQueueScheduler>(1, 1));
+  auto inner_sum = std::atomic<int>{0};
+  auto outer = std::vector<std::shared_ptr<AbstractTask>>{};
+  outer.push_back(std::make_shared<JobTask>([&] {
+    auto jobs = std::vector<std::function<void()>>{};
+    for (auto index = 1; index <= 10; ++index) {
+      jobs.emplace_back([&inner_sum, index] {
+        inner_sum.fetch_add(index);
+      });
+    }
+    SpawnAndWaitForJobs(std::move(jobs));
+  }));
+  SpawnAndWaitForTasks(outer);
+  EXPECT_EQ(inner_sum.load(), 55);
+}
+
+TEST_F(SchedulerTest, NestedFanOutTwoLevelsDeep) {
+  // Fan-out inside fan-out — e.g. a parallel operator whose per-chunk job
+  // materializes a column, which itself fans out. Still just one worker.
+  Hyrise::Get().SetScheduler(std::make_shared<NodeQueueScheduler>(1, 1));
+  auto leaf_count = std::atomic<int>{0};
+  auto outer_jobs = std::vector<std::function<void()>>{};
+  for (auto outer_index = 0; outer_index < 4; ++outer_index) {
+    outer_jobs.emplace_back([&leaf_count] {
+      auto inner_jobs = std::vector<std::function<void()>>{};
+      for (auto inner_index = 0; inner_index < 4; ++inner_index) {
+        inner_jobs.emplace_back([&leaf_count] {
+          leaf_count.fetch_add(1);
+        });
+      }
+      SpawnAndWaitForJobs(std::move(inner_jobs));
+    });
+  }
+  SpawnAndWaitForJobs(std::move(outer_jobs));
+  EXPECT_EQ(leaf_count.load(), 16);
+}
+
+TEST_F(SchedulerTest, ZeroWorkersPerNodeResolvesToHardwareConcurrency) {
+  const auto scheduler = std::make_shared<NodeQueueScheduler>(1, 0);
+  const auto expected = std::max(1u, std::thread::hardware_concurrency());
+  EXPECT_EQ(scheduler->worker_count(), expected);
+  EXPECT_EQ(scheduler->node_count(), 1u);
+
+  // Spread across two nodes, with at least one worker per node.
+  const auto two_nodes = std::make_shared<NodeQueueScheduler>(2, 0);
+  EXPECT_EQ(two_nodes->worker_count(), 2 * std::max(1u, expected / 2));
+}
+
+TEST_F(SchedulerTest, CurrentSchedulerFallsBackToImmediateExecution) {
+  // Fresh Hyrise instance: SpawnAndWaitForJobs must work without anyone
+  // installing a scheduler — the immediate scheduler runs the jobs inline.
+  EXPECT_EQ(CurrentScheduler()->worker_count(), 0u);
+  auto executed = false;
+  auto jobs = std::vector<std::function<void()>>{};
+  jobs.emplace_back([&] {
+    executed = true;
+  });
+  SpawnAndWaitForJobs(std::move(jobs));
+  EXPECT_TRUE(executed);
 }
 
 TEST(GdfsCacheTest, EvictsLowestPriority) {
