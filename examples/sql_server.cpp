@@ -28,7 +28,11 @@ int main(int argc, char** argv) {
   }
 
   auto server = Server{port};
-  server.Start();
+  const auto started = server.Start();
+  if (!started.ok()) {
+    std::cerr << "Cannot start server: " << started.error() << "\n";
+    return 1;
+  }
   std::cout << "Listening on 127.0.0.1:" << server.port() << " — connect with:\n"
             << "  psql -h 127.0.0.1 -p " << server.port() << "\nPress Ctrl-D to stop.\n";
   auto line = std::string{};

@@ -4,19 +4,46 @@
 
 #include "operators/abstract_operator.hpp"
 #include "utils/assert.hpp"
+#include "utils/failure_injection.hpp"
 
 namespace hyrise {
+
+TransactionContext::~TransactionContext() {
+  // A transaction that registered write operators must be resolved explicitly
+  // — silently dropping it would leak row locks and invisible rows. Loud in
+  // debug; in release the safe recovery is a rollback.
+  if (!IsActive() && phase() != TransactionPhase::kConflicted) {
+    return;
+  }
+  if (read_write_operators_.empty()) {
+    return;  // Read-only transactions may simply go out of scope.
+  }
+  DebugAssert(false, "TransactionContext destroyed while active with registered write operators");
+  Rollback();
+}
 
 bool TransactionContext::Commit() {
   if (phase() == TransactionPhase::kConflicted) {
     Rollback();
     return false;
   }
-  Assert(phase() == TransactionPhase::kActive, "Commit() on finished transaction");
 
   // Commit IDs must become visible in order; serializing commits with a
-  // mutex guarantees that (see class comment in the header).
+  // mutex guarantees that (see class comment in the header). The mutex also
+  // arbitrates racing Commit() calls on the same context: the phase is
+  // re-checked under the lock, so only one caller performs the commit.
   const auto lock = std::lock_guard{manager_.commit_mutex_};
+  if (phase() != TransactionPhase::kActive) {
+    // Double Commit() (or Commit() after Rollback()): loud in debug, a safe
+    // no-op in release reporting the transaction's actual outcome.
+    DebugAssert(false, "Commit() on finished transaction");
+    return phase() == TransactionPhase::kCommitted;
+  }
+
+  // May throw (armed in chaos tests): the phase is still kActive, no record
+  // has been touched, so the caller can cleanly roll back and retry.
+  FAILPOINT("commit/publish");
+
   const auto commit_id = manager_.last_commit_id_.load(std::memory_order_acquire) + 1;
   for (const auto& read_write_operator : read_write_operators_) {
     read_write_operator->CommitRecords(commit_id);
@@ -27,11 +54,23 @@ bool TransactionContext::Commit() {
 }
 
 void TransactionContext::Rollback() {
-  Assert(phase() != TransactionPhase::kCommitted, "Rollback() after commit");
+  // Claim the rollback exactly once: kActive/kConflicted -> kRolledBack.
+  // Repeated Rollback() is an idempotent no-op; Rollback() after Commit() is
+  // loud in debug and a no-op in release (the commit already published).
+  auto expected = TransactionPhase::kActive;
+  if (!phase_.compare_exchange_strong(expected, TransactionPhase::kRolledBack, std::memory_order_acq_rel)) {
+    if (expected == TransactionPhase::kConflicted) {
+      if (!phase_.compare_exchange_strong(expected, TransactionPhase::kRolledBack, std::memory_order_acq_rel)) {
+        return;  // Another thread rolled back concurrently.
+      }
+    } else {
+      DebugAssert(expected == TransactionPhase::kRolledBack, "Rollback() after Commit()");
+      return;
+    }
+  }
   for (const auto& read_write_operator : read_write_operators_) {
     read_write_operator->RollbackRecords();
   }
-  phase_.store(TransactionPhase::kRolledBack, std::memory_order_release);
 }
 
 }  // namespace hyrise

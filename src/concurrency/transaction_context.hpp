@@ -18,11 +18,19 @@ enum class TransactionPhase { kActive, kConflicted, kRolledBack, kCommitted };
 /// Per-transaction state for MVCC (paper §2.8): the unique transaction ID,
 /// the snapshot commit ID fixing row visibility, and the read/write operators
 /// whose effects must be committed or rolled back together.
+///
+/// Misuse guards (part of the fault-tolerance layer): Commit() twice,
+/// Rollback() after Commit(), and Rollback() twice are loud in debug builds
+/// and safe no-ops in release; a context destroyed while still active with
+/// registered write operators is rolled back (debug: aborts), so row locks
+/// never leak when a session dies mid-transaction.
 class TransactionContext : public std::enable_shared_from_this<TransactionContext> {
  public:
   TransactionContext(TransactionID init_transaction_id, CommitID init_snapshot_commit_id,
                      TransactionManager& manager)
       : transaction_id_(init_transaction_id), snapshot_commit_id_(init_snapshot_commit_id), manager_(manager) {}
+
+  ~TransactionContext();
 
   TransactionID transaction_id() const {
     return transaction_id_;
@@ -56,7 +64,7 @@ class TransactionContext : public std::enable_shared_from_this<TransactionContex
   /// the transaction had conflicted.
   bool Commit();
 
-  /// Undoes all registered operators.
+  /// Undoes all registered operators. Idempotent.
   void Rollback();
 
  private:

@@ -9,12 +9,14 @@ namespace hyrise {
 
 void AbstractOperator::Execute() {
   Assert(!performance_data.executed, "Operator executed twice: " + Description());
+  cancellation_token_.ThrowIfCancelled();
   if (left_input_ && !left_input_->executed()) {
     left_input_->Execute();
   }
   if (right_input_ && !right_input_->executed()) {
     right_input_->Execute();
   }
+  cancellation_token_.ThrowIfCancelled();
 
   auto timer = Timer{};
   output_ = OnExecute(transaction_context_.lock());
@@ -36,6 +38,16 @@ void AbstractOperator::SetTransactionContextRecursively(const std::shared_ptr<Tr
   }
   if (right_input_) {
     right_input_->SetTransactionContextRecursively(context);
+  }
+}
+
+void AbstractOperator::SetCancellationTokenRecursively(const CancellationToken& token) {
+  cancellation_token_ = token;
+  if (left_input_) {
+    left_input_->SetCancellationTokenRecursively(token);
+  }
+  if (right_input_) {
+    right_input_->SetCancellationTokenRecursively(token);
   }
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "scheduler/cancellation_token.hpp"
 #include "types/all_type_variant.hpp"
 #include "types/types.hpp"
 
@@ -95,6 +96,16 @@ class AbstractOperator : public std::enable_shared_from_this<AbstractOperator> {
     return transaction_context_.lock();
   }
 
+  /// Installs a cooperative cancellation token on this operator and all
+  /// inputs. Execute() checks it before running, and chunk-parallel operators
+  /// re-check it at every chunk boundary, so a timed-out or abandoned query
+  /// aborts with QueryCancelled instead of running to completion.
+  void SetCancellationTokenRecursively(const CancellationToken& token);
+
+  const CancellationToken& cancellation_token() const {
+    return cancellation_token_;
+  }
+
   /// Binds placeholder values (prepared statements, correlated subqueries)
   /// into this plan, recursively.
   void SetParameters(const std::unordered_map<ParameterID, AllTypeVariant>& parameters);
@@ -129,6 +140,7 @@ class AbstractOperator : public std::enable_shared_from_this<AbstractOperator> {
   std::shared_ptr<AbstractOperator> left_input_;
   std::shared_ptr<AbstractOperator> right_input_;
   std::weak_ptr<TransactionContext> transaction_context_;
+  CancellationToken cancellation_token_;
   std::shared_ptr<const Table> output_;
 };
 

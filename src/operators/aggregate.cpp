@@ -46,13 +46,16 @@ void AppendKeyPart(std::string& key, const T& value, bool is_null) {
 /// (paper §2.9). Each task writes only state indexed by its own range, so the
 /// bodies need no synchronization; callers merge the partials in range order,
 /// which keeps results identical between serial and parallel execution (the
-/// reduction tree is fixed by the chunking, not by the scheduler).
+/// reduction tree is fixed by the chunking, not by the scheduler). The range
+/// start doubles as the cooperative cancellation checkpoint.
 template <typename Body>
-void ForEachRangeParallel(const std::vector<std::pair<size_t, size_t>>& ranges, const Body& body) {
+void ForEachRangeParallel(const CancellationToken& token, const std::vector<std::pair<size_t, size_t>>& ranges,
+                          const Body& body) {
   auto jobs = std::vector<std::shared_ptr<AbstractTask>>{};
   jobs.reserve(ranges.size());
   for (auto range_id = size_t{0}; range_id < ranges.size(); ++range_id) {
-    jobs.push_back(std::make_shared<JobTask>([range_id, &ranges, &body] {
+    jobs.push_back(std::make_shared<JobTask>([range_id, &ranges, &body, &token] {
+      token.ThrowIfCancelled();
       body(range_id, ranges[range_id].first, ranges[range_id].second);
     }));
   }
@@ -66,6 +69,7 @@ std::shared_ptr<const Table> Aggregate::OnExecute(const std::shared_ptr<Transact
   const auto row_count = input->row_count();
   const auto ranges = ChunkRowRanges(*input);
   const auto range_count = ranges.size();
+  const auto& token = cancellation_token_;
 
   // --- Phase 1: assign a dense group index to every row. --------------------
   // Key building fans out per chunk (disjoint writes into `keys`); the group
@@ -84,7 +88,7 @@ std::shared_ptr<const Table> Aggregate::OnExecute(const std::shared_ptr<Transact
       ResolveDataType(input->column_data_type(column_id), [&](auto type_tag) {
         using T = decltype(type_tag);
         const auto column = MaterializeColumn<T>(*input, column_id);
-        ForEachRangeParallel(ranges, [&](size_t /*range_id*/, size_t begin, size_t end) {
+        ForEachRangeParallel(token, ranges, [&](size_t /*range_id*/, size_t begin, size_t end) {
           for (auto row = begin; row < end; ++row) {
             AppendKeyPart(keys[row], column.values[row], column.IsNull(row));
           }
@@ -174,7 +178,7 @@ std::shared_ptr<const Table> Aggregate::OnExecute(const std::shared_ptr<Transact
       // COUNT(*).
       auto partial_counts = std::vector<std::vector<int64_t>>(range_count);
       if (has_rows) {
-        ForEachRangeParallel(ranges, [&](size_t range_id, size_t begin, size_t end) {
+        ForEachRangeParallel(token, ranges, [&](size_t range_id, size_t begin, size_t end) {
           auto& counts = partial_counts[range_id];
           counts.assign(group_count, 0);
           for (auto row = begin; row < end; ++row) {
@@ -205,7 +209,7 @@ std::shared_ptr<const Table> Aggregate::OnExecute(const std::shared_ptr<Transact
             std::vector<bool> seen;
           };
           auto partials = std::vector<MinMaxPartial>(range_count);
-          ForEachRangeParallel(ranges, [&](size_t range_id, size_t begin, size_t end) {
+          ForEachRangeParallel(token, ranges, [&](size_t range_id, size_t begin, size_t end) {
             auto& partial = partials[range_id];
             partial.values.resize(group_count);
             partial.seen.assign(group_count, false);
@@ -256,7 +260,7 @@ std::shared_ptr<const Table> Aggregate::OnExecute(const std::shared_ptr<Transact
               std::vector<int64_t> counts;
             };
             auto partials = std::vector<SumPartial>(range_count);
-            ForEachRangeParallel(ranges, [&](size_t range_id, size_t begin, size_t end) {
+            ForEachRangeParallel(token, ranges, [&](size_t range_id, size_t begin, size_t end) {
               auto& partial = partials[range_id];
               partial.sums.assign(group_count, SumType{0});
               partial.counts.assign(group_count, 0);
@@ -313,7 +317,7 @@ std::shared_ptr<const Table> Aggregate::OnExecute(const std::shared_ptr<Transact
         }
         case AggregateFunction::kCount: {
           auto partial_counts = std::vector<std::vector<int64_t>>(range_count);
-          ForEachRangeParallel(ranges, [&](size_t range_id, size_t begin, size_t end) {
+          ForEachRangeParallel(token, ranges, [&](size_t range_id, size_t begin, size_t end) {
             auto& partial = partial_counts[range_id];
             partial.assign(group_count, 0);
             for (auto row = begin; row < end; ++row) {
@@ -333,7 +337,7 @@ std::shared_ptr<const Table> Aggregate::OnExecute(const std::shared_ptr<Transact
         }
         case AggregateFunction::kCountDistinct: {
           auto partial_sets = std::vector<std::vector<std::unordered_set<T>>>(range_count);
-          ForEachRangeParallel(ranges, [&](size_t range_id, size_t begin, size_t end) {
+          ForEachRangeParallel(token, ranges, [&](size_t range_id, size_t begin, size_t end) {
             auto& sets = partial_sets[range_id];
             sets.resize(group_count);
             for (auto row = begin; row < end; ++row) {

@@ -48,6 +48,12 @@ void Delete::CommitRecords(CommitID commit_id) {
 }
 
 void Delete::RollbackRecords() {
+  // Idempotent: releasing a row lock twice could steal the lock from a later
+  // transaction that acquired it in between.
+  if (rolled_back_) {
+    return;
+  }
+  rolled_back_ = true;
   for (const auto row_id : locked_rows_) {
     const auto chunk = referenced_table_->GetChunk(row_id.chunk_id);
     chunk->mvcc_data()->SetTid(row_id.chunk_offset, kInvalidTransactionId);

@@ -43,6 +43,7 @@ class Delete final : public AbstractReadWriteOperator {
  private:
   std::shared_ptr<const Table> referenced_table_;
   std::vector<RowID> locked_rows_;
+  bool rolled_back_{false};
 };
 
 }  // namespace hyrise

@@ -4,6 +4,7 @@
 #include "hyrise.hpp"
 #include "storage/table.hpp"
 #include "utils/assert.hpp"
+#include "utils/failure_injection.hpp"
 
 namespace hyrise {
 
@@ -19,9 +20,20 @@ std::shared_ptr<const Table> Insert::OnExecute(const std::shared_ptr<Transaction
   const auto use_mvcc = target_table_->uses_mvcc() == UseMvcc::kYes;
   Assert(!use_mvcc || context, "Insert into MVCC table requires a transaction context");
 
+  // Register *before* the first row is appended: if the append loop fails
+  // mid-chunk (allocation failure, injected fault), the transaction's
+  // rollback must already know about this operator to undo the partial write.
+  if (use_mvcc) {
+    context->RegisterReadWriteOperator(std::static_pointer_cast<AbstractReadWriteOperator>(shared_from_this()));
+  }
+
   {
     const auto lock = std::lock_guard{target_table_->append_mutex()};
     for (const auto& row : rows) {
+      // Placed before the row slot is claimed, so a thrown fault leaves no
+      // half-claimed slot behind — everything up to here is undone via
+      // inserted_row_ids_.
+      FAILPOINT("insert/row");
       // Locate / create the mutable tail chunk.
       auto chunk = std::shared_ptr<Chunk>{};
       if (target_table_->chunk_count() > 0) {
@@ -42,10 +54,6 @@ std::shared_ptr<const Table> Insert::OnExecute(const std::shared_ptr<Transaction
       inserted_row_ids_.push_back(RowID{chunk_id, offset});
     }
   }
-
-  if (use_mvcc) {
-    context->RegisterReadWriteOperator(std::static_pointer_cast<AbstractReadWriteOperator>(shared_from_this()));
-  }
   return nullptr;
 }
 
@@ -58,6 +66,12 @@ void Insert::CommitRecords(CommitID commit_id) {
 }
 
 void Insert::RollbackRecords() {
+  // Idempotent: invalid-row counters must not double-count when a rollback is
+  // retried (e.g. pipeline rollback racing a context destructor).
+  if (rolled_back_) {
+    return;
+  }
+  rolled_back_ = true;
   for (const auto row_id : inserted_row_ids_) {
     const auto chunk = target_table_->GetChunk(row_id.chunk_id);
     // Begin CID stays unset: the row is invisible to every snapshot forever.

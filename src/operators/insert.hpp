@@ -41,6 +41,7 @@ class Insert final : public AbstractReadWriteOperator {
   std::string table_name_;
   std::shared_ptr<Table> target_table_;
   std::vector<RowID> inserted_row_ids_;
+  bool rolled_back_{false};
 };
 
 }  // namespace hyrise

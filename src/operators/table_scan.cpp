@@ -5,6 +5,7 @@
 #include "expression/like_matcher.hpp"
 #include "operators/pos_list_utils.hpp"
 #include "scheduler/job_helpers.hpp"
+#include "utils/failure_injection.hpp"
 #include "storage/segment_iterables/segment_iterate.hpp"
 #include "storage/table.hpp"
 #include "utils/assert.hpp"
@@ -304,6 +305,10 @@ std::string TableScan::Description() const {
 
 std::vector<ChunkOffset> TableScan::ScanChunk(const std::shared_ptr<const Table>& table, ChunkID chunk_id,
                                               const std::shared_ptr<TransactionContext>& context) const {
+  // Chunk boundaries are the cooperative cancellation checkpoints: a
+  // timed-out statement aborts before the next chunk, never mid-row.
+  cancellation_token_.ThrowIfCancelled();
+  FAILPOINT("scan/chunk");
   auto matches = std::vector<ChunkOffset>{};
   const auto chunk = table->GetChunk(chunk_id);
   const auto spec = ClassifyPredicate(*predicate_);

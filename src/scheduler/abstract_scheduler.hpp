@@ -37,12 +37,15 @@ class AbstractScheduler {
   }
 
   /// Convenience: schedule all tasks (which must be topologically closed —
-  /// every predecessor included) and block until each is done.
+  /// every predecessor included) and block until each is done. If any task's
+  /// body threw, the first captured exception is rethrown here — on the
+  /// waiting thread, never on a pool worker.
   void ScheduleAndWaitForTasks(const std::vector<std::shared_ptr<AbstractTask>>& tasks) {
     for (const auto& task : tasks) {
       task->Schedule();
     }
     WaitForTasks(tasks);
+    AbstractTask::RethrowTaskFailure(tasks);
   }
 };
 

@@ -3,6 +3,7 @@
 #include "hyrise.hpp"
 #include "scheduler/abstract_scheduler.hpp"
 #include "utils/assert.hpp"
+#include "utils/failure_injection.hpp"
 
 namespace hyrise {
 
@@ -32,8 +33,19 @@ void AbstractTask::Execute() {
   Assert(!already_started, "Task executed twice");
   DebugAssert(IsReady(), "Task executed before its predecessors finished");
 
-  OnExecute();
+  // Skip the body if a predecessor failed — its output does not exist, and
+  // unwinding into a pool worker would terminate the process. The task still
+  // "finishes" so that waiters and successors make progress.
+  if (!upstream_failed_.load(std::memory_order_acquire)) {
+    try {
+      FAILPOINT("scheduler/execute");
+      OnExecute();
+    } catch (...) {
+      exception_ = std::current_exception();
+    }
+  }
 
+  const auto propagate_failure = failed();
   {
     const auto lock = std::lock_guard{done_mutex_};
     done_.store(true, std::memory_order_release);
@@ -41,7 +53,18 @@ void AbstractTask::Execute() {
   done_condition_.notify_all();
 
   for (const auto& successor : successors_) {
+    if (propagate_failure) {
+      successor->MarkUpstreamFailed();
+    }
     successor->NotifyPredecessorDone();
+  }
+}
+
+void AbstractTask::RethrowTaskFailure(const std::vector<std::shared_ptr<AbstractTask>>& tasks) {
+  for (const auto& task : tasks) {
+    if (task->exception_) {
+      std::rethrow_exception(task->exception_);
+    }
   }
 }
 

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -16,6 +17,13 @@ namespace hyrise {
 /// operator, or any other job. Tasks may depend on other tasks; a task only
 /// enters a queue when all predecessors finished. Once a worker starts a task
 /// it runs to completion (cooperative, non-preemptive).
+///
+/// Failure model: a throwing task body never unwinds into a worker thread
+/// (which would std::terminate the process). Execute() captures the exception,
+/// still completes the task, and marks every successor as upstream-failed so
+/// dependent operators are skipped instead of reading missing inputs. The
+/// thread that waits on the task set observes the failure via
+/// RethrowTaskFailure (called from ScheduleAndWaitForTasks).
 class AbstractTask : public std::enable_shared_from_this<AbstractTask> {
  public:
   AbstractTask() = default;
@@ -33,6 +41,23 @@ class AbstractTask : public std::enable_shared_from_this<AbstractTask> {
   bool IsDone() const {
     return done_.load(std::memory_order_acquire);
   }
+
+  /// True if this task's body threw, or a (transitive) predecessor's did and
+  /// this task was therefore skipped. Only meaningful once IsDone().
+  bool failed() const {
+    return exception_ != nullptr || upstream_failed_.load(std::memory_order_acquire);
+  }
+
+  /// The captured exception of this task's own body (null if it succeeded or
+  /// was skipped because of an upstream failure).
+  const std::exception_ptr& exception() const {
+    return exception_;
+  }
+
+  /// Rethrows the first captured exception among `tasks`, if any. Call after
+  /// all tasks finished — the waiting thread, not a pool worker, must see the
+  /// failure.
+  static void RethrowTaskFailure(const std::vector<std::shared_ptr<AbstractTask>>& tasks);
 
   /// Hands the task to the current scheduler (it runs once all predecessors
   /// finished). `preferred_node_id` hints data locality on NUMA systems.
@@ -53,11 +78,17 @@ class AbstractTask : public std::enable_shared_from_this<AbstractTask> {
  private:
   void NotifyPredecessorDone();
 
+  void MarkUpstreamFailed() {
+    upstream_failed_.store(true, std::memory_order_release);
+  }
+
   std::vector<std::shared_ptr<AbstractTask>> successors_;
   std::atomic<uint32_t> pending_predecessors_{0};
   std::atomic<bool> scheduled_{false};
   std::atomic<bool> started_{false};
   std::atomic<bool> done_{false};
+  std::atomic<bool> upstream_failed_{false};
+  std::exception_ptr exception_;
   std::mutex done_mutex_;
   std::condition_variable done_condition_;
 };

@@ -1,0 +1,125 @@
+#ifndef HYRISE_SRC_SCHEDULER_CANCELLATION_TOKEN_HPP_
+#define HYRISE_SRC_SCHEDULER_CANCELLATION_TOKEN_HPP_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace hyrise {
+
+/// Why a statement was cancelled; folded into the error message the client
+/// sees. Kept as an enum (not a free-form string) so that readers never race
+/// a concurrent writer of the reason.
+enum class CancellationReason { kNone, kTimeout, kShutdown, kUserRequest };
+
+/// Thrown by CancellationToken::ThrowIfCancelled at a cooperative checkpoint.
+/// Caught by the SQL pipeline (status kCancelled) and turned into a
+/// PostgreSQL "query_canceled" ErrorResponse by the server.
+class QueryCancelled : public std::runtime_error {
+ public:
+  explicit QueryCancelled(CancellationReason reason)
+      : std::runtime_error(reason == CancellationReason::kTimeout    ? "statement timeout exceeded"
+                           : reason == CancellationReason::kShutdown ? "server shutting down"
+                                                                    : "query cancelled"),
+        reason_(reason) {}
+
+  CancellationReason reason() const {
+    return reason_;
+  }
+
+ private:
+  CancellationReason reason_;
+};
+
+namespace detail {
+
+struct CancellationState {
+  std::atomic<CancellationReason> reason{CancellationReason::kNone};
+  /// Deadline as steady-clock ticks since epoch; 0 = no deadline. Set once,
+  /// before the token is shared, then only read.
+  std::chrono::steady_clock::time_point deadline{};
+  bool has_deadline{false};
+};
+
+}  // namespace detail
+
+/// Read side of cooperative cancellation (paper §2.9 tasks are non-preemptive,
+/// so a runaway scan can only be stopped by the operator itself checking a
+/// flag): threaded through AbstractOperator and the per-chunk JobTask fan-out,
+/// checked at chunk boundaries. A default-constructed token is "never
+/// cancelled" and costs one null check.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  bool IsCancellable() const {
+    return state_ != nullptr;
+  }
+
+  bool IsCancelled() const {
+    if (!state_) {
+      return false;
+    }
+    if (state_->reason.load(std::memory_order_acquire) != CancellationReason::kNone) {
+      return true;
+    }
+    if (state_->has_deadline && std::chrono::steady_clock::now() >= state_->deadline) {
+      // Latch the deadline so the reason survives clock reads.
+      auto expected = CancellationReason::kNone;
+      state_->reason.compare_exchange_strong(expected, CancellationReason::kTimeout, std::memory_order_acq_rel);
+      return true;
+    }
+    return false;
+  }
+
+  CancellationReason reason() const {
+    return state_ ? state_->reason.load(std::memory_order_acquire) : CancellationReason::kNone;
+  }
+
+  /// The cooperative checkpoint: operators call this at chunk boundaries.
+  void ThrowIfCancelled() const {
+    if (IsCancelled()) [[unlikely]] {
+      throw QueryCancelled{reason()};
+    }
+  }
+
+ private:
+  friend class CancellationSource;
+
+  explicit CancellationToken(std::shared_ptr<detail::CancellationState> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::CancellationState> state_;
+};
+
+/// Write side: owned by whoever can abort the statement (the server's
+/// per-statement timeout, Stop()'s shutdown drain, a console Ctrl-C handler).
+class CancellationSource {
+ public:
+  CancellationSource() : state_(std::make_shared<detail::CancellationState>()) {}
+
+  /// Source whose token auto-cancels (reason kTimeout) once `timeout` elapsed.
+  static CancellationSource WithTimeout(std::chrono::milliseconds timeout) {
+    auto source = CancellationSource{};
+    source.state_->deadline = std::chrono::steady_clock::now() + timeout;
+    source.state_->has_deadline = true;
+    return source;
+  }
+
+  CancellationToken token() const {
+    return CancellationToken{state_};
+  }
+
+  void RequestCancellation(CancellationReason reason) {
+    auto expected = CancellationReason::kNone;
+    state_->reason.compare_exchange_strong(expected, reason, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::shared_ptr<detail::CancellationState> state_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_SCHEDULER_CANCELLATION_TOKEN_HPP_

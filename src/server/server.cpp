@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -12,11 +13,16 @@
 #include "concurrency/transaction_context.hpp"
 #include "sql/sql_pipeline.hpp"
 #include "storage/table.hpp"
-#include "utils/assert.hpp"
+#include "utils/failure_injection.hpp"
 
 namespace hyrise {
 
 namespace {
+
+/// Upper bound for a single wire message; anything larger is treated as a
+/// malformed frame (we could never resync after it anyway).
+constexpr int32_t kMaxMessageLength = 1 << 26;  // 64 MiB.
+constexpr int32_t kMaxStartupLength = 1 << 14;  // 16 KiB.
 
 // --- Wire helpers (PostgreSQL protocol v3: big-endian framing) ---------------
 
@@ -38,10 +44,21 @@ std::string Message(char type, const std::string& payload) {
   return message;
 }
 
+/// Writes the whole buffer, retrying on EINTR and short writes. Returns false
+/// on a real socket error (peer gone); callers treat that as end-of-session,
+/// never as a fatal process error.
 bool SendAll(int fd, const std::string& data) {
+  try {
+    FAILPOINT("server/write");
+  } catch (const InjectedFault&) {
+    return false;  // Simulated broken pipe.
+  }
   auto sent = size_t{0};
   while (sent < data.size()) {
     const auto result = send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (result < 0 && errno == EINTR) {
+      continue;
+    }
     if (result <= 0) {
       return false;
     }
@@ -50,10 +67,15 @@ bool SendAll(int fd, const std::string& data) {
   return true;
 }
 
+/// Reads exactly `size` bytes, retrying on EINTR and short reads. Returns
+/// false on EOF or error.
 bool ReceiveExactly(int fd, char* buffer, size_t size) {
   auto received = size_t{0};
   while (received < size) {
     const auto result = recv(fd, buffer + received, size - received, 0);
+    if (result < 0 && errno == EINTR) {
+      continue;
+    }
     if (result <= 0) {
       return false;
     }
@@ -100,11 +122,14 @@ std::string RowDescription(const Table& table) {
   return Message('T', payload);
 }
 
-std::string ErrorResponse(const std::string& message) {
+/// SQLSTATE classes used: 42601 syntax/semantic error, 40001 serialization
+/// failure (conflict, retries exhausted), 57014 query_canceled (timeout /
+/// shutdown), 53300 too_many_connections, 08P01 protocol violation.
+std::string ErrorResponse(const std::string& message, const std::string& sqlstate = "42601") {
   auto payload = std::string{};
   payload += "SERROR";
   payload.push_back('\0');
-  payload += "C42601";  // Syntax-error class; close enough for a research DB.
+  payload += "C" + sqlstate;
   payload.push_back('\0');
   payload += "M" + message;
   payload.push_back('\0');
@@ -112,94 +137,187 @@ std::string ErrorResponse(const std::string& message) {
   return Message('E', payload);
 }
 
-std::string ReadyForQuery() {
-  return Message('Z', "I");
+/// `transaction_status`: 'I' idle, 'T' inside an open transaction block.
+std::string ReadyForQuery(char transaction_status = 'I') {
+  return Message('Z', std::string(1, transaction_status));
 }
 
 }  // namespace
 
-Server::Server(uint16_t port) {
+Server::~Server() {
+  Stop();
+}
+
+Result<uint16_t> Server::Start() {
   listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
-  Assert(listen_fd_ >= 0, "Cannot create server socket");
+  if (listen_fd_ < 0) {
+    return Result<uint16_t>::Error(std::string{"Cannot create server socket: "} + std::strerror(errno));
+  }
+  // SO_REUSEADDR: a restarted server (or a test retrying after a port clash)
+  // can rebind while the previous socket lingers in TIME_WAIT.
   const auto reuse = int{1};
   setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
 
   auto address = sockaddr_in{};
   address.sin_family = AF_INET;
   address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  address.sin_port = htons(port);
-  Assert(bind(listen_fd_, reinterpret_cast<sockaddr*>(&address), sizeof(address)) == 0,
-         "Cannot bind server port " + std::to_string(port));
-  Assert(listen(listen_fd_, 16) == 0, "Cannot listen");
+  address.sin_port = htons(config_.port);
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&address), sizeof(address)) != 0) {
+    auto error = std::string{"Cannot bind port "} + std::to_string(config_.port) + ": " + std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Result<uint16_t>::Error(std::move(error));
+  }
+  if (listen(listen_fd_, config_.backlog) != 0) {
+    auto error = std::string{"Cannot listen: "} + std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Result<uint16_t>::Error(std::move(error));
+  }
 
   auto bound = sockaddr_in{};
   auto bound_size = socklen_t{sizeof(bound)};
   getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_size);
   port_ = ntohs(bound.sin_port);
-}
 
-Server::~Server() {
-  Stop();
-}
-
-void Server::Start() {
   running_.store(true);
   accept_thread_ = std::thread([this] {
     AcceptLoop();
   });
+  return port_;
 }
 
 void Server::Stop() {
   if (!running_.exchange(false)) {
     return;
   }
+  // 1. Stop accepting: unblocks accept(2) in the accept thread.
   shutdown(listen_fd_, SHUT_RDWR);
   close(listen_fd_);
+  listen_fd_ = -1;
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
-  for (auto& session : sessions_) {
-    if (session.joinable()) {
-      session.join();
+
+  // 2. Drain sessions: cancel whatever statement is running (it will finish
+  //    at its next chunk boundary and the session still sends the final
+  //    ErrorResponse), and shut down the read side so idle sessions blocked
+  //    in recv(2) wake up. The write side stays open for the flush.
+  {
+    const auto lock = std::lock_guard{sessions_mutex_};
+    for (const auto& session : sessions_) {
+      if (session->active_statement) {
+        session->active_statement->RequestCancellation(CancellationReason::kShutdown);
+      }
+      if (!session->finished.load()) {
+        shutdown(session->fd, SHUT_RD);
+      }
     }
   }
-  sessions_.clear();
+
+  // 3. Join outside the lock — session threads take sessions_mutex_ on exit.
+  auto sessions = std::vector<std::shared_ptr<Session>>{};
+  {
+    const auto lock = std::lock_guard{sessions_mutex_};
+    sessions.swap(sessions_);
+  }
+  for (const auto& session : sessions) {
+    if (session->thread.joinable()) {
+      session->thread.join();
+    }
+  }
+}
+
+size_t Server::active_connection_count() const {
+  const auto lock = std::lock_guard{sessions_mutex_};
+  auto count = size_t{0};
+  for (const auto& session : sessions_) {
+    count += session->finished.load() ? 0 : 1;
+  }
+  return count;
 }
 
 void Server::AcceptLoop() {
   while (running_.load()) {
     const auto connection_fd = accept(listen_fd_, nullptr, nullptr);
     if (connection_fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
       break;  // Socket closed by Stop().
     }
-    sessions_.emplace_back([this, connection_fd] {
-      HandleConnection(connection_fd);
+    auto session = std::make_shared<Session>();
+    session->fd = connection_fd;
+    auto reject = false;
+    {
+      const auto lock = std::lock_guard{sessions_mutex_};
+      // Reap finished sessions so a long-running server does not accumulate
+      // dead threads.
+      for (auto iterator = sessions_.begin(); iterator != sessions_.end();) {
+        if ((*iterator)->finished.load() && (*iterator)->thread.joinable()) {
+          (*iterator)->thread.join();
+          iterator = sessions_.erase(iterator);
+        } else {
+          ++iterator;
+        }
+      }
+      auto active = size_t{0};
+      for (const auto& other : sessions_) {
+        active += other->finished.load() ? 0 : 1;
+      }
+      reject = active >= config_.max_connections;
+      sessions_.push_back(session);
+    }
+    session->thread = std::thread([this, session, reject] {
+      HandleConnection(session, reject);
     });
   }
 }
 
-void Server::HandleConnection(int connection_fd) {
+void Server::HandleConnection(const std::shared_ptr<Session>& session, bool reject_over_capacity) {
+  const auto connection_fd = session->fd;
+  const auto finish = [&] {
+    close(connection_fd);
+    session->finished.store(true);
+  };
+
   // Startup: length + protocol version + parameters. SSLRequest (80877103)
   // is answered with 'N' (not supported), after which the client retries the
   // plain startup.
   while (true) {
     char header[8];
     if (!ReceiveExactly(connection_fd, header, 8)) {
-      close(connection_fd);
+      finish();
       return;
     }
     const auto length = ReadInt32(header);
     const auto protocol = ReadInt32(header + 4);
+    if (length < 8 || length > kMaxStartupLength) {
+      // Malformed startup — not a PostgreSQL client. Drop silently.
+      finish();
+      return;
+    }
     auto rest = std::vector<char>(static_cast<size_t>(length) - 8);
     if (!rest.empty() && !ReceiveExactly(connection_fd, rest.data(), rest.size())) {
-      close(connection_fd);
+      finish();
       return;
     }
     if (protocol == 80877103) {  // SSLRequest.
-      SendAll(connection_fd, "N");
+      if (!SendAll(connection_fd, "N")) {
+        finish();
+        return;
+      }
       continue;
     }
     break;  // StartupMessage consumed (parameters ignored; no authentication, paper §2.5).
+  }
+
+  // Backpressure: over-cap clients get a proper protocol-level refusal
+  // instead of a hung or reset connection.
+  if (reject_over_capacity) {
+    SendAll(connection_fd, ErrorResponse("sorry, too many clients already", "53300"));
+    finish();
+    return;
   }
 
   auto greeting = Message('R', [] {
@@ -216,12 +334,15 @@ void Server::HandleConnection(int connection_fd) {
   }
   greeting += ReadyForQuery();
   if (!SendAll(connection_fd, greeting)) {
-    close(connection_fd);
+    finish();
     return;
   }
 
   // Per-session transaction context (BEGIN/COMMIT across messages).
   auto session_transaction = std::shared_ptr<TransactionContext>{};
+  const auto transaction_status = [&] {
+    return session_transaction && session_transaction->IsActive() ? 'T' : 'I';
+  };
 
   while (running_.load()) {
     char header[5];
@@ -230,6 +351,11 @@ void Server::HandleConnection(int connection_fd) {
     }
     const auto type = header[0];
     const auto length = ReadInt32(header + 1);
+    if (length < 4 || length > kMaxMessageLength) {
+      // Framing is broken; no way to find the next message boundary.
+      SendAll(connection_fd, ErrorResponse("malformed message: invalid length", "08P01"));
+      break;
+    }
     auto payload = std::vector<char>(static_cast<size_t>(length) - 4);
     if (!payload.empty() && !ReceiveExactly(connection_fd, payload.data(), payload.size())) {
       break;
@@ -238,29 +364,80 @@ void Server::HandleConnection(int connection_fd) {
       break;
     }
     if (type != 'Q') {  // Only the simple-query protocol is supported.
-      SendAll(connection_fd, ErrorResponse("Unsupported message type") + ReadyForQuery());
+      if (!SendAll(connection_fd, ErrorResponse("Unsupported message type", "08P01") +
+                                      ReadyForQuery(transaction_status()))) {
+        break;
+      }
       continue;
     }
 
     const auto query = std::string{payload.data(), payload.size() > 0 ? payload.size() - 1 : 0};
-    auto pipeline = SqlPipeline::Builder{query}.WithTransactionContext(session_transaction).Build();
-    const auto status = pipeline.Execute();
-    session_transaction = pipeline.transaction_context();
+
+    // Arm per-statement cooperative cancellation: timeout-driven if
+    // configured, and always cancellable by Stop()'s shutdown drain.
+    auto statement_cancellation = std::make_shared<CancellationSource>(
+        config_.statement_timeout.count() > 0 ? CancellationSource::WithTimeout(config_.statement_timeout)
+                                              : CancellationSource{});
+    {
+      const auto lock = std::lock_guard{sessions_mutex_};
+      session->active_statement = statement_cancellation;
+    }
+
+    // Per-connection isolation: whatever a statement does — parse error,
+    // conflict, injected fault, even an unexpected exception — the damage is
+    // an ErrorResponse on this connection, never a dead process.
+    auto status = SqlPipelineStatus::kFailure;
+    auto error_message = std::string{};
+    auto result_table = std::shared_ptr<const Table>{};
+    try {
+      auto pipeline = SqlPipeline::Builder{query}
+                          .WithTransactionContext(session_transaction)
+                          .WithCancellationToken(statement_cancellation->token())
+                          .WithMaxConflictRetries(config_.max_conflict_retries)
+                          .Build();
+      status = pipeline.Execute();
+      session_transaction = pipeline.transaction_context();
+      error_message = pipeline.error_message();
+      result_table = pipeline.result_table();
+    } catch (const std::exception& exception) {
+      status = SqlPipelineStatus::kFailure;
+      error_message = std::string{"Internal error: "} + exception.what();
+      if (session_transaction && session_transaction->IsActive()) {
+        session_transaction->Rollback();
+      }
+      session_transaction = nullptr;
+    }
+    {
+      const auto lock = std::lock_guard{sessions_mutex_};
+      session->active_statement = nullptr;
+    }
 
     if (status == SqlPipelineStatus::kFailure) {
-      SendAll(connection_fd, ErrorResponse(pipeline.error_message()) + ReadyForQuery());
+      if (!SendAll(connection_fd, ErrorResponse(error_message) + ReadyForQuery(transaction_status()))) {
+        break;
+      }
       continue;
     }
     if (status == SqlPipelineStatus::kRolledBack) {
-      SendAll(connection_fd, ErrorResponse("transaction conflict, rolled back") + ReadyForQuery());
+      if (!SendAll(connection_fd, ErrorResponse("transaction conflict, rolled back", "40001") +
+                                      ReadyForQuery(transaction_status()))) {
+        break;
+      }
+      continue;
+    }
+    if (status == SqlPipelineStatus::kCancelled) {
+      if (!SendAll(connection_fd,
+                   ErrorResponse(error_message.empty() ? "query cancelled" : error_message, "57014") +
+                       ReadyForQuery(transaction_status()))) {
+        break;
+      }
       continue;
     }
 
     auto response = std::string{};
-    const auto table = pipeline.result_table();
-    if (table) {
-      response += RowDescription(*table);
-      const auto rows = table->GetRows();
+    if (result_table) {
+      response += RowDescription(*result_table);
+      const auto rows = result_table->GetRows();
       for (const auto& row : rows) {
         auto payload_row = std::string{};
         AppendInt16(payload_row, static_cast<int16_t>(row.size()));
@@ -287,12 +464,23 @@ void Server::HandleConnection(int connection_fd) {
         return complete;
       }());
     }
-    response += ReadyForQuery();
+    response += ReadyForQuery(transaction_status());
     if (!SendAll(connection_fd, response)) {
       break;
     }
   }
-  close(connection_fd);
+
+  // A dropped connection must not leak its transaction: release all row
+  // locks and undo partial effects (also keeps the TransactionContext
+  // destructor's misuse guard quiet).
+  if (session_transaction && session_transaction->IsActive()) {
+    session_transaction->Rollback();
+  }
+  {
+    const auto lock = std::lock_guard{sessions_mutex_};
+    session->active_statement = nullptr;
+  }
+  finish();
 }
 
 }  // namespace hyrise

@@ -2,47 +2,98 @@
 #define HYRISE_SRC_SERVER_SERVER_HPP_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "scheduler/cancellation_token.hpp"
+#include "utils/result.hpp"
+
 namespace hyrise {
+
+/// Tunables for the wire-protocol server. Defaults match a test-friendly
+/// local deployment; production embedders override per field.
+struct ServerConfig {
+  /// Port to bind on 127.0.0.1; 0 picks a free port (read it via port()).
+  uint16_t port{0};
+  /// listen(2) backlog: pending-connection queue before the kernel refuses.
+  int backlog{16};
+  /// Accepted-session cap. Connections beyond it complete the startup
+  /// handshake, receive an ErrorResponse (SQLSTATE 53300, "too many
+  /// connections") and are closed — backpressure instead of resource
+  /// exhaustion.
+  size_t max_connections{64};
+  /// Per-statement cooperative timeout; 0 disables. Statements poll the
+  /// deadline at chunk boundaries, so enforcement lags by at most one chunk.
+  std::chrono::milliseconds statement_timeout{0};
+  /// Auto-commit conflict retry budget per statement (see SqlPipeline).
+  uint32_t max_conflict_retries{3};
+};
 
 /// TCP/IP server implementing the subset of the PostgreSQL v3 wire protocol
 /// needed to receive SQL queries and return results (paper §2.5: existing
 /// psql clients and drivers can connect; authentication/SSL are deliberately
 /// not implemented to keep the server lean). Implemented on plain POSIX
 /// sockets (the original uses Boost.Asio; see DESIGN.md §4).
+///
+/// Fault containment: socket errors are returned (never Assert-aborted), a
+/// failing statement yields an ErrorResponse followed by ReadyForQuery on
+/// that connection only, and Stop() drains gracefully — it cancels running
+/// statements cooperatively and lets sessions flush their final response.
 class Server {
  public:
-  /// Binds and listens on 127.0.0.1:`port`; port 0 picks a free port.
-  explicit Server(uint16_t port);
+  explicit Server(ServerConfig config) : config_(config) {}
+
+  /// Convenience: binds 127.0.0.1:`port` with default config (0 = free port).
+  explicit Server(uint16_t port) : config_(ServerConfig{.port = port}) {}
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
   ~Server();
 
-  /// The actually bound port (relevant with port 0).
+  /// The actually bound port (relevant with port 0); valid after Start().
   uint16_t port() const {
     return port_;
   }
 
-  /// Starts accepting connections (one thread per connection).
-  void Start();
+  /// Creates, binds (SO_REUSEADDR), and listens on the socket, then starts
+  /// accepting connections (one thread per connection). Bind/listen failures
+  /// — e.g. the port is taken — are returned as errors so callers can retry
+  /// on another port instead of aborting the process.
+  Result<uint16_t> Start();
 
-  /// Stops accepting and closes the listen socket; running sessions finish
-  /// their current query, then terminate.
+  /// Graceful drain: stops accepting, cooperatively cancels running
+  /// statements (reason kShutdown), unblocks sessions waiting in recv(2) via
+  /// SHUT_RD (their write side stays open so final responses still flush),
+  /// and joins all session threads.
   void Stop();
 
- private:
-  void AcceptLoop();
-  void HandleConnection(int connection_fd);
+  /// Sessions currently being served (for tests and monitoring).
+  size_t active_connection_count() const;
 
+ private:
+  struct Session {
+    int fd{-1};
+    std::thread thread;
+    /// Cancellation handle of the statement currently executing on this
+    /// session, if any. Guarded by sessions_mutex_.
+    std::shared_ptr<CancellationSource> active_statement;
+    std::atomic<bool> finished{false};
+  };
+
+  void AcceptLoop();
+  void HandleConnection(const std::shared_ptr<Session>& session, bool reject_over_capacity);
+
+  ServerConfig config_;
   int listen_fd_{-1};
   uint16_t port_{0};
   std::atomic<bool> running_{false};
   std::thread accept_thread_;
-  std::vector<std::thread> sessions_;
+  mutable std::mutex sessions_mutex_;
+  std::vector<std::shared_ptr<Session>> sessions_;
 };
 
 }  // namespace hyrise

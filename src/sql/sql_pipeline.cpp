@@ -1,5 +1,10 @@
 #include "sql/sql_pipeline.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <random>
+#include <thread>
+
 #include "concurrency/transaction_context.hpp"
 #include "hyrise.hpp"
 #include "logical_query_plan/lqp_translator.hpp"
@@ -11,20 +16,38 @@
 #include "sql/sql_translator.hpp"
 #include "storage/table.hpp"
 #include "utils/assert.hpp"
+#include "utils/failure_injection.hpp"
 #include "utils/timer.hpp"
 
 namespace hyrise {
 
+namespace {
+
+/// Exponential backoff with +-50% jitter before a conflict retry: 1ms * 2^n,
+/// capped at 32ms. The jitter de-synchronizes contending auto-commit writers
+/// so they do not collide again on the very same rows in lock-step.
+void BackoffBeforeRetry(uint32_t attempt) {
+  const auto base_ms = int64_t{1} << std::min(attempt, uint32_t{5});
+  thread_local auto rng = std::mt19937{std::random_device{}()};
+  auto jitter = std::uniform_real_distribution<double>{0.5, 1.5};
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>{static_cast<double>(base_ms) * jitter(rng)});
+}
+
+}  // namespace
+
 SqlPipeline::SqlPipeline(std::string sql, std::shared_ptr<Optimizer> optimizer, UseMvcc use_mvcc,
                          bool use_scheduler, std::shared_ptr<TransactionContext> transaction_context,
-                         std::shared_ptr<PqpCache> pqp_cache, std::vector<AllTypeVariant> parameters)
+                         std::shared_ptr<PqpCache> pqp_cache, std::vector<AllTypeVariant> parameters,
+                         CancellationToken cancellation_token, uint32_t max_conflict_retries)
     : sql_(std::move(sql)),
       optimizer_(std::move(optimizer)),
       use_mvcc_(use_mvcc),
       use_scheduler_(use_scheduler),
       transaction_context_(std::move(transaction_context)),
       pqp_cache_(std::move(pqp_cache)),
-      parameters_(std::move(parameters)) {}
+      parameters_(std::move(parameters)),
+      cancellation_token_(std::move(cancellation_token)),
+      max_conflict_retries_(max_conflict_retries) {}
 
 const std::shared_ptr<const Table>& SqlPipeline::result_table() const {
   static const auto kNoTable = std::shared_ptr<const Table>{};
@@ -41,11 +64,28 @@ SqlPipelineStatus SqlPipeline::Execute() {
   }
   const auto& statements = parsed.value();
 
+  // Rolls back whatever transaction the pipeline currently owns; used on the
+  // cancellation and hard-error paths so no locks or partial effects leak.
+  const auto abort_open_transaction = [&] {
+    if (transaction_context_ && transaction_context_->IsActive()) {
+      transaction_context_->Rollback();
+    }
+    transaction_context_ = nullptr;
+  };
+
   // Explicit transaction control: BEGIN opens a context that statements in
   // this pipeline (and, via transaction_context(), the session) share.
   auto auto_commit = transaction_context_ == nullptr;
 
   for (const auto& statement : statements) {
+    // Cooperative cancellation between statements (paper §2.9's task model
+    // has no preemption; cancellation is polled at safe points).
+    if (cancellation_token_.IsCancelled()) {
+      abort_open_transaction();
+      error_message_ = "Query cancelled";
+      return SqlPipelineStatus::kCancelled;
+    }
+
     if (statement->kind == sql::StatementKind::kBegin) {
       transaction_context_ = Hyrise::Get().transaction_manager.NewTransactionContext();
       auto_commit = false;
@@ -55,7 +95,15 @@ SqlPipelineStatus SqlPipeline::Execute() {
     if (statement->kind == sql::StatementKind::kCommit || statement->kind == sql::StatementKind::kRollback) {
       if (transaction_context_ && transaction_context_->IsActive()) {
         if (statement->kind == sql::StatementKind::kCommit) {
-          if (!transaction_context_->Commit()) {
+          // An explicit COMMIT is never retried — the client owns the
+          // transaction and must re-run it after a conflict or fault.
+          auto committed = false;
+          try {
+            committed = transaction_context_->Commit();
+          } catch (const InjectedFault&) {
+            transaction_context_->Rollback();
+          }
+          if (!committed) {
             transaction_context_ = nullptr;
             error_message_ = "Transaction conflict: rolled back";
             return SqlPipelineStatus::kRolledBack;
@@ -70,99 +118,170 @@ SqlPipelineStatus SqlPipeline::Execute() {
       continue;
     }
 
-    // Per-statement transaction when none is open.
-    auto statement_context = transaction_context_;
-    if (!statement_context && use_mvcc_ == UseMvcc::kYes) {
-      statement_context = Hyrise::Get().transaction_manager.NewTransactionContext();
-    }
-
-    auto pqp = std::shared_ptr<AbstractOperator>{};
-    metrics_.pqp_cache_hit = false;
-
-    // Plan cache lookup (only sensible for single-statement strings; plans
-    // are stored uninstantiated and deep-copied per execution, paper §2.6).
-    if (pqp_cache_ && statements.size() == 1) {
-      if (const auto cached = pqp_cache_->TryGet(sql_)) {
-        pqp = (*cached)->DeepCopy();
-        metrics_.pqp_cache_hit = true;
+    // Bounded retry for auto-commit statements only: a write-write conflict
+    // (or injected transient fault) dooms just this statement's private
+    // transaction, so re-running it is transparent to the client. Inside an
+    // explicit BEGIN the client owns the transaction and must retry itself.
+    const auto max_attempts = auto_commit ? max_conflict_retries_ + 1 : uint32_t{1};
+    for (auto attempt = uint32_t{0};; ++attempt) {
+      const auto outcome = ExecuteStatementOnce(*statement, statements.size() == 1, auto_commit);
+      if (outcome == StatementOutcome::kSuccess) {
+        break;
       }
-    }
-
-    if (!pqp) {
-      timer.Lap();
-      auto translator = SqlTranslator{use_mvcc_};
-      auto lqp_result = translator.Translate(*statement);
-      metrics_.translate_ns += timer.Lap();
-      if (!lqp_result.ok()) {
-        error_message_ = lqp_result.error();
+      if (outcome == StatementOutcome::kCancelled) {
+        return SqlPipelineStatus::kCancelled;
+      }
+      if (outcome == StatementOutcome::kError) {
         return SqlPipelineStatus::kFailure;
       }
-      unoptimized_lqp_ = lqp_result.value();
-
-      auto lqp = unoptimized_lqp_;
-      if (optimizer_) {
-        // The optimizer consumes the plan; keep the unoptimized one for
-        // inspection via a copy.
-        unoptimized_lqp_ = lqp->DeepCopy();
-        lqp = optimizer_->Optimize(std::move(lqp));
+      // kTransient.
+      if (attempt + 1 >= max_attempts || cancellation_token_.IsCancelled()) {
+        error_message_ = "Transaction conflict: rolled back";
+        return SqlPipelineStatus::kRolledBack;
       }
-      optimized_lqp_ = lqp;
-      metrics_.optimize_ns += timer.Lap();
-
-      auto lqp_translator = LqpTranslator{};
-      auto pqp_result = lqp_translator.Translate(lqp);
-      metrics_.lqp_translate_ns += timer.Lap();
-      if (!pqp_result.ok()) {
-        error_message_ = pqp_result.error();
-        return SqlPipelineStatus::kFailure;
-      }
-      pqp = pqp_result.value();
-
-      if (pqp_cache_ && statements.size() == 1) {
-        pqp_cache_->Set(sql_, pqp->DeepCopy());
-      }
+      ++metrics_.conflict_retries;
+      BackoffBeforeRetry(attempt);
     }
+  }
+  return SqlPipelineStatus::kSuccess;
+}
 
-    pqp_ = pqp;
-    if (!parameters_.empty()) {
-      auto bindings = std::unordered_map<ParameterID, AllTypeVariant>{};
-      for (auto ordinal = size_t{0}; ordinal < parameters_.size(); ++ordinal) {
-        bindings.emplace(ParameterID{static_cast<uint16_t>(ordinal)}, parameters_[ordinal]);
-      }
-      pqp->SetParameters(bindings);
-    }
-    if (statement_context) {
-      pqp->SetTransactionContextRecursively(statement_context);
-    }
+SqlPipeline::StatementOutcome SqlPipeline::ExecuteStatementOnce(const sql::Statement& statement,
+                                                                bool single_statement, bool auto_commit) {
+  auto timer = Timer{};
 
+  // Per-statement transaction when none is open.
+  auto statement_context = transaction_context_;
+  if (!statement_context && use_mvcc_ == UseMvcc::kYes) {
+    statement_context = Hyrise::Get().transaction_manager.NewTransactionContext();
+  }
+
+  // Rolls back the statement's transaction and, if it was an explicit one,
+  // detaches it from the pipeline: after a fault the transaction is doomed
+  // either way.
+  const auto abort_statement = [&] {
+    if (statement_context && statement_context->phase() != TransactionPhase::kCommitted) {
+      statement_context->Rollback();
+    }
+    if (!auto_commit) {
+      transaction_context_ = nullptr;
+    }
+  };
+
+  auto pqp = std::shared_ptr<AbstractOperator>{};
+  metrics_.pqp_cache_hit = false;
+
+  // Plan cache lookup (only sensible for single-statement strings; plans
+  // are stored uninstantiated and deep-copied per execution, paper §2.6).
+  if (pqp_cache_ && single_statement) {
+    if (const auto cached = pqp_cache_->TryGet(sql_)) {
+      pqp = (*cached)->DeepCopy();
+      metrics_.pqp_cache_hit = true;
+    }
+  }
+
+  if (!pqp) {
     timer.Lap();
+    auto translator = SqlTranslator{use_mvcc_};
+    auto lqp_result = translator.Translate(statement);
+    metrics_.translate_ns += timer.Lap();
+    if (!lqp_result.ok()) {
+      error_message_ = lqp_result.error();
+      abort_statement();
+      return StatementOutcome::kError;
+    }
+    unoptimized_lqp_ = lqp_result.value();
+
+    auto lqp = unoptimized_lqp_;
+    if (optimizer_) {
+      // The optimizer consumes the plan; keep the unoptimized one for
+      // inspection via a copy.
+      unoptimized_lqp_ = lqp->DeepCopy();
+      lqp = optimizer_->Optimize(std::move(lqp));
+    }
+    optimized_lqp_ = lqp;
+    metrics_.optimize_ns += timer.Lap();
+
+    auto lqp_translator = LqpTranslator{};
+    auto pqp_result = lqp_translator.Translate(lqp);
+    metrics_.lqp_translate_ns += timer.Lap();
+    if (!pqp_result.ok()) {
+      error_message_ = pqp_result.error();
+      abort_statement();
+      return StatementOutcome::kError;
+    }
+    pqp = pqp_result.value();
+
+    if (pqp_cache_ && single_statement) {
+      pqp_cache_->Set(sql_, pqp->DeepCopy());
+    }
+  }
+
+  pqp_ = pqp;
+  if (!parameters_.empty()) {
+    auto bindings = std::unordered_map<ParameterID, AllTypeVariant>{};
+    for (auto ordinal = size_t{0}; ordinal < parameters_.size(); ++ordinal) {
+      bindings.emplace(ParameterID{static_cast<uint16_t>(ordinal)}, parameters_[ordinal]);
+    }
+    pqp->SetParameters(bindings);
+  }
+  if (statement_context) {
+    pqp->SetTransactionContextRecursively(statement_context);
+  }
+  pqp->SetCancellationTokenRecursively(cancellation_token_);
+
+  // Execution. Exceptions are contained here: worker-thread exceptions are
+  // captured per task and rethrown on this thread by ScheduleAndWaitForTasks,
+  // so a failing operator dooms one statement, never the process.
+  timer.Lap();
+  try {
     if (use_scheduler_) {
       const auto tasks = OperatorTask::MakeTasksFromOperator(pqp);
       Hyrise::Get().scheduler()->ScheduleAndWaitForTasks(tasks);
     } else {
       pqp->Execute();
     }
+  } catch (const QueryCancelled& cancelled) {
     metrics_.execute_ns += timer.Lap();
+    abort_statement();
+    error_message_ = cancelled.what();
+    return StatementOutcome::kCancelled;
+  } catch (const InjectedFault& fault) {
+    metrics_.execute_ns += timer.Lap();
+    abort_statement();
+    error_message_ = fault.what();
+    return StatementOutcome::kTransient;
+  } catch (const std::exception& exception) {
+    metrics_.execute_ns += timer.Lap();
+    abort_statement();
+    error_message_ = std::string{"Statement execution failed: "} + exception.what();
+    return StatementOutcome::kError;
+  }
+  metrics_.execute_ns += timer.Lap();
 
-    // Transaction outcome.
-    if (statement_context && statement_context->phase() == TransactionPhase::kConflicted) {
-      statement_context->Rollback();
-      if (!auto_commit) {
-        transaction_context_ = nullptr;
-      }
-      error_message_ = "Transaction conflict: rolled back";
-      return SqlPipelineStatus::kRolledBack;
-    }
-    if (statement_context && auto_commit) {
+  // Transaction outcome.
+  if (statement_context && statement_context->phase() == TransactionPhase::kConflicted) {
+    abort_statement();
+    error_message_ = "Transaction conflict: rolled back";
+    return StatementOutcome::kTransient;
+  }
+  if (statement_context && auto_commit) {
+    try {
       if (!statement_context->Commit()) {
         error_message_ = "Transaction conflict: rolled back";
-        return SqlPipelineStatus::kRolledBack;
+        return StatementOutcome::kTransient;
       }
+    } catch (const InjectedFault& fault) {
+      // "commit/publish" fires before any record is published, so the
+      // transaction is still active and can be fully rolled back.
+      statement_context->Rollback();
+      error_message_ = fault.what();
+      return StatementOutcome::kTransient;
     }
-
-    result_tables_.push_back(pqp->get_output());
   }
-  return SqlPipelineStatus::kSuccess;
+
+  result_tables_.push_back(pqp->get_output());
+  return StatementOutcome::kSuccess;
 }
 
 SqlPipeline SqlPipeline::Builder::Build() {
@@ -170,8 +289,8 @@ SqlPipeline SqlPipeline::Builder::Build() {
   if (use_default_optimizer_) {
     optimizer = Optimizer::CreateDefault();
   }
-  return SqlPipeline{sql_,      std::move(optimizer),  use_mvcc_, use_scheduler_,
-                     transaction_context_, pqp_cache_, parameters_};
+  return SqlPipeline{sql_,       std::move(optimizer), use_mvcc_,   use_scheduler_,       transaction_context_,
+                     pqp_cache_, parameters_,          cancellation_token_, max_conflict_retries_};
 }
 
 std::shared_ptr<const Table> ExecuteSql(const std::string& sql, UseMvcc use_mvcc) {

@@ -7,6 +7,7 @@
 
 #include "hyrise.hpp"
 #include "logical_query_plan/abstract_lqp_node.hpp"
+#include "scheduler/cancellation_token.hpp"
 #include "types/all_type_variant.hpp"
 #include "types/types.hpp"
 #include "utils/gdfs_cache.hpp"
@@ -18,6 +19,10 @@ class Optimizer;
 class Table;
 class TransactionContext;
 
+namespace sql {
+struct Statement;
+}  // namespace sql
+
 /// How long each pipeline stage took (paper §2.6: "all intermediary artifacts
 /// can be inspected"; §2.10: benchmark results carry execution metadata).
 struct SqlPipelineMetrics {
@@ -27,12 +32,16 @@ struct SqlPipelineMetrics {
   int64_t lqp_translate_ns{0};
   int64_t execute_ns{0};
   bool pqp_cache_hit{false};
+  /// How many statement attempts were retried after a write-write conflict or
+  /// transient injected fault (auto-commit statements only).
+  uint32_t conflict_retries{0};
 };
 
 enum class SqlPipelineStatus {
   kSuccess,
-  kFailure,     // Parse / translation / semantic error; see error_message().
-  kRolledBack,  // Transaction conflict; the transaction was rolled back.
+  kFailure,     // Parse / translation / semantic / runtime error; see error_message().
+  kRolledBack,  // Transaction conflict; the transaction was rolled back (retries exhausted).
+  kCancelled,   // Cooperatively cancelled (statement timeout / shutdown).
 };
 
 /// The main entry point to everything related to query execution (paper
@@ -84,7 +93,18 @@ class SqlPipeline {
 
   SqlPipeline(std::string sql, std::shared_ptr<Optimizer> optimizer, UseMvcc use_mvcc, bool use_scheduler,
               std::shared_ptr<TransactionContext> transaction_context, std::shared_ptr<PqpCache> pqp_cache,
-              std::vector<AllTypeVariant> parameters);
+              std::vector<AllTypeVariant> parameters, CancellationToken cancellation_token,
+              uint32_t max_conflict_retries);
+
+  /// Outcome of one attempt at one statement.
+  enum class StatementOutcome {
+    kSuccess,
+    kTransient,  // Write-write conflict or injected transient fault — retryable.
+    kCancelled,
+    kError,
+  };
+
+  StatementOutcome ExecuteStatementOnce(const sql::Statement& statement, bool single_statement, bool auto_commit);
 
   std::string sql_;
   std::shared_ptr<Optimizer> optimizer_;
@@ -93,6 +113,8 @@ class SqlPipeline {
   std::shared_ptr<TransactionContext> transaction_context_;
   std::shared_ptr<PqpCache> pqp_cache_;
   std::vector<AllTypeVariant> parameters_;
+  CancellationToken cancellation_token_;
+  uint32_t max_conflict_retries_;
 
   std::vector<std::shared_ptr<const Table>> result_tables_;
   std::string error_message_;
@@ -153,6 +175,23 @@ class SqlPipeline::Builder {
     return *this;
   }
 
+  /// Installs a cooperative cancellation token, checked between statements,
+  /// before each operator, and at chunk boundaries inside operators. A
+  /// cancelled pipeline rolls back and reports kCancelled.
+  Builder& WithCancellationToken(CancellationToken token) {
+    cancellation_token_ = std::move(token);
+    return *this;
+  }
+
+  /// How often an auto-commit statement that hits a write-write conflict (or
+  /// an injected transient fault) is retried with exponential backoff before
+  /// kRolledBack is reported. 0 disables the retry. Statements inside an
+  /// explicit BEGIN are never retried — the client owns that transaction.
+  Builder& WithMaxConflictRetries(uint32_t retries) {
+    max_conflict_retries_ = retries;
+    return *this;
+  }
+
   SqlPipeline Build();
 
  private:
@@ -164,6 +203,8 @@ class SqlPipeline::Builder {
   std::shared_ptr<TransactionContext> transaction_context_;
   std::shared_ptr<PqpCache> pqp_cache_;
   std::vector<AllTypeVariant> parameters_;
+  CancellationToken cancellation_token_;
+  uint32_t max_conflict_retries_{3};
 };
 
 /// Convenience for tests and examples: executes `sql` and returns the last

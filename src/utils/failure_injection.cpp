@@ -1,0 +1,132 @@
+#include "utils/failure_injection.hpp"
+
+#include <memory>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <unordered_map>
+
+namespace hyrise {
+
+namespace {
+
+struct PointState {
+  FailureSpec spec;
+  std::atomic<int64_t> hits{0};
+  std::atomic<int64_t> triggers{0};
+};
+
+/// Registry guarded by a mutex — only reached while at least one point is
+/// armed, i.e. under test; production traffic stays on the relaxed-load fast
+/// path in FAILPOINT.
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, std::shared_ptr<PointState>> points;
+};
+
+Registry& TheRegistry() {
+  static auto registry = Registry{};
+  return registry;
+}
+
+bool RollProbability(double probability) {
+  if (probability >= 1.0) {
+    return true;
+  }
+  if (probability <= 0.0) {
+    return false;
+  }
+  thread_local auto engine = std::mt19937{std::random_device{}()};
+  return std::uniform_real_distribution<double>{0.0, 1.0}(engine) < probability;
+}
+
+}  // namespace
+
+std::atomic<int64_t> FailureInjection::armed_count_{0};
+
+void FailureInjection::Arm(const std::string& point, const FailureSpec& spec) {
+  auto& registry = TheRegistry();
+  const auto lock = std::lock_guard{registry.mutex};
+  auto& state = registry.points[point];
+  if (!state) {
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  state = std::make_shared<PointState>();
+  state->spec = spec;
+}
+
+void FailureInjection::Disarm(const std::string& point) {
+  auto& registry = TheRegistry();
+  const auto lock = std::lock_guard{registry.mutex};
+  if (registry.points.erase(point) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailureInjection::DisarmAll() {
+  auto& registry = TheRegistry();
+  const auto lock = std::lock_guard{registry.mutex};
+  armed_count_.fetch_sub(static_cast<int64_t>(registry.points.size()), std::memory_order_relaxed);
+  registry.points.clear();
+}
+
+int64_t FailureInjection::HitCount(const std::string& point) {
+  auto& registry = TheRegistry();
+  const auto lock = std::lock_guard{registry.mutex};
+  const auto iter = registry.points.find(point);
+  return iter == registry.points.end() ? 0 : iter->second->hits.load(std::memory_order_relaxed);
+}
+
+int64_t FailureInjection::TriggerCount(const std::string& point) {
+  auto& registry = TheRegistry();
+  const auto lock = std::lock_guard{registry.mutex};
+  const auto iter = registry.points.find(point);
+  return iter == registry.points.end() ? 0 : iter->second->triggers.load(std::memory_order_relaxed);
+}
+
+void FailureInjection::Evaluate(const char* point) {
+  auto state = std::shared_ptr<PointState>{};
+  {
+    auto& registry = TheRegistry();
+    const auto lock = std::lock_guard{registry.mutex};
+    const auto iter = registry.points.find(point);
+    if (iter == registry.points.end()) {
+      return;
+    }
+    state = iter->second;
+  }
+
+  // Counter updates and the firing decision happen outside the registry lock
+  // so that a sleeping latency injection never blocks Arm/Disarm.
+  const auto hit = state->hits.fetch_add(1, std::memory_order_relaxed);
+  if (hit < state->spec.skip_first) {
+    return;
+  }
+  if (!RollProbability(state->spec.probability)) {
+    return;
+  }
+  if (state->spec.max_triggers >= 0) {
+    // Claim a trigger slot atomically; losers of the race do not fire.
+    auto current = state->triggers.load(std::memory_order_relaxed);
+    while (true) {
+      if (current >= state->spec.max_triggers) {
+        return;
+      }
+      if (state->triggers.compare_exchange_weak(current, current + 1, std::memory_order_relaxed)) {
+        break;
+      }
+    }
+  } else {
+    state->triggers.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  switch (state->spec.mode) {
+    case FailureMode::kThrow:
+      throw InjectedFault{std::string{"injected fault at "} + point};
+    case FailureMode::kLatency:
+      std::this_thread::sleep_for(state->spec.latency);
+      return;
+  }
+}
+
+}  // namespace hyrise

@@ -1,0 +1,94 @@
+#ifndef HYRISE_SRC_UTILS_FAILURE_INJECTION_HPP_
+#define HYRISE_SRC_UTILS_FAILURE_INJECTION_HPP_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace hyrise {
+
+/// Thrown by an armed failure point in kThrow mode. Modeled as a *transient*
+/// fault: the SQL pipeline treats it like a transaction conflict (rollback,
+/// then bounded retry for auto-commit statements), the server turns it into a
+/// PostgreSQL ErrorResponse. It must never escape to std::terminate — the
+/// task layer captures it and rethrows at the wait boundary (see DESIGN.md
+/// "Failure model").
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// What an armed failure point does when it fires.
+enum class FailureMode {
+  kThrow,    // throw InjectedFault
+  kLatency,  // sleep for `latency` (models a slow disk/NUMA hop/contended lock)
+};
+
+/// Arming descriptor for one failure point.
+struct FailureSpec {
+  FailureMode mode{FailureMode::kThrow};
+  /// Chance in [0, 1] that a hit fires (1.0 = every hit).
+  double probability{1.0};
+  /// Fire at most this many times; < 0 = unlimited.
+  int64_t max_triggers{-1};
+  /// Ignore the first N hits (e.g. fail the 3rd row of an insert).
+  int64_t skip_first{0};
+  /// Sleep duration for kLatency.
+  std::chrono::milliseconds latency{0};
+};
+
+/// Process-wide registry of named failure points (tentpole of the fault-
+/// tolerance layer): production code marks interesting sites with
+/// FAILPOINT("subsystem/site"); tests arm those names to throw or inject
+/// latency. Disarmed, a failure point costs a single relaxed atomic load —
+/// cheap enough to leave in hot paths. The whole facility compiles away when
+/// HYRISE_ENABLE_FAULT_INJECTION is off (bench builds).
+class FailureInjection {
+ public:
+  /// Arms `point` with `spec`; re-arming replaces the spec and resets counts.
+  static void Arm(const std::string& point, const FailureSpec& spec);
+
+  static void Disarm(const std::string& point);
+
+  /// Disarms everything (test teardown).
+  static void DisarmAll();
+
+  /// How often an armed `point` was reached (armed points only).
+  static int64_t HitCount(const std::string& point);
+
+  /// How often `point` actually fired.
+  static int64_t TriggerCount(const std::string& point);
+
+  /// Fast-path guard: false (one relaxed load) whenever nothing is armed.
+  static bool AnyArmed() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Slow path behind AnyArmed(): looks up `point` and fires per its spec.
+  static void Evaluate(const char* point);
+
+ private:
+  static std::atomic<int64_t> armed_count_;
+};
+
+}  // namespace hyrise
+
+/// Marks a failure-point site. `name` must be a string literal like
+/// "insert/row". Compiles to nothing without fault injection, and to one
+/// relaxed atomic load while no point is armed.
+#if defined(HYRISE_ENABLE_FAULT_INJECTION) && HYRISE_ENABLE_FAULT_INJECTION
+#define FAILPOINT(name)                                        \
+  do {                                                         \
+    if (::hyrise::FailureInjection::AnyArmed()) [[unlikely]] { \
+      ::hyrise::FailureInjection::Evaluate(name);              \
+    }                                                          \
+  } while (false)
+#else
+#define FAILPOINT(name) \
+  do {                  \
+  } while (false)
+#endif
+
+#endif  // HYRISE_SRC_UTILS_FAILURE_INJECTION_HPP_

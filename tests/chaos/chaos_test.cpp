@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hyrise.hpp"
+#include "server/pg_client.hpp"
+#include "server/server.hpp"
+#include "sql/sql_pipeline.hpp"
+#include "storage/table.hpp"
+#include "test_utils.hpp"
+#include "utils/failure_injection.hpp"
+
+namespace hyrise {
+
+#if defined(HYRISE_ENABLE_FAULT_INJECTION)
+
+using testing::PgClient;
+
+namespace {
+
+/// One chaos client: hammers the server over the wire with a sum-preserving
+/// transactional workload while failure points fire probabilistically
+/// underneath it. Every response is acceptable EXCEPT a wrong answer — errors,
+/// conflicts, timeouts, and dropped connections are all expected events; the
+/// client reconnects and carries on.
+class ChaosClient {
+ public:
+  ChaosClient(uint16_t port, uint32_t seed) : port_(port), rng_(seed) {}
+
+  void Run(int iterations) {
+    for (auto iteration = 0; iteration < iterations; ++iteration) {
+      if (!EnsureConnected()) {
+        continue;  // Server briefly refused (injected write fault); retry.
+      }
+      switch (rng_() % 8) {
+        case 0:
+        case 1:
+        case 2:
+          Transfer();
+          break;
+        case 3:
+        case 4:
+          PairedInsert();
+          break;
+        case 5:
+          MalformedMessage();
+          break;
+        default:
+          ReadSum();
+          break;
+      }
+    }
+  }
+
+  int64_t observed_bad_sums() const {
+    return bad_sums_;
+  }
+
+  int64_t completed_operations() const {
+    return completed_;
+  }
+
+ private:
+  bool EnsureConnected() {
+    if (client_ && client_->connected()) {
+      return true;
+    }
+    client_ = std::make_unique<PgClient>(port_);
+    if (!client_->Handshake()) {
+      client_.reset();
+      return false;
+    }
+    return true;
+  }
+
+  /// Runs one statement; true only on a non-error answer. An ErrorResponse
+  /// means the server rolled the transaction back — the caller must NOT keep
+  /// issuing statements as if the transaction block were still open (they
+  /// would execute auto-commit and tear the invariant). A dead connection
+  /// drops the client back to reconnect.
+  bool Statement(const std::string& sql) {
+    const auto response = client_->Query(sql);
+    if (!response.has_value()) {
+      client_.reset();
+      return false;
+    }
+    return PgClient::FindType(*response, 'E') == nullptr;
+  }
+
+  /// Moves 5 units between two accounts in an explicit transaction. If any
+  /// step fails, ROLLBACK ensures no half-transfer survives; the server also
+  /// rolls back on its own when the transaction conflicted.
+  void Transfer() {
+    const auto from = 1 + rng_() % 8;
+    auto to = 1 + rng_() % 8;
+    if (to == from) {
+      to = 1 + to % 8;
+    }
+    if (!Statement("BEGIN")) {
+      return;
+    }
+    const auto debit = "UPDATE chaos_accounts SET balance = balance - 5 WHERE id = " + std::to_string(from);
+    const auto credit = "UPDATE chaos_accounts SET balance = balance + 5 WHERE id = " + std::to_string(to);
+    if (Statement(debit) && Statement(credit)) {
+      if (Statement("COMMIT")) {
+        ++completed_;
+      }
+    } else if (client_) {
+      Statement("ROLLBACK");
+    }
+  }
+
+  /// Inserts a value and its negation transactionally: the ledger sum stays 0
+  /// whether or not the transaction survives.
+  void PairedInsert() {
+    const auto value = static_cast<int>(1 + rng_() % 100);
+    if (!Statement("BEGIN")) {
+      return;
+    }
+    const auto plus = "INSERT INTO chaos_ledger VALUES (" + std::to_string(value) + ")";
+    const auto minus = "INSERT INTO chaos_ledger VALUES (" + std::to_string(-value) + ")";
+    if (Statement(plus) && Statement(minus)) {
+      if (Statement("COMMIT")) {
+        ++completed_;
+      }
+    } else if (client_) {
+      Statement("ROLLBACK");
+    }
+  }
+
+  /// Protocol abuse: an unknown message type must cost this client an
+  /// ErrorResponse at worst — never the server.
+  void MalformedMessage() {
+    auto garbage = std::string{"W"};
+    const auto length = htonl(4);
+    garbage.append(reinterpret_cast<const char*>(&length), 4);
+    if (!client_->SendRaw(garbage) || !client_->ReadUntilReady().has_value()) {
+      client_.reset();
+    }
+  }
+
+  /// Snapshot-consistency probe: the account sum must be the initial total in
+  /// every committed snapshot, transfers notwithstanding.
+  void ReadSum() {
+    const auto response = client_->Query("SELECT SUM(balance) FROM chaos_accounts");
+    if (!response.has_value()) {
+      client_.reset();
+      return;
+    }
+    const auto* data_row = PgClient::FindType(*response, 'D');
+    if (data_row == nullptr) {
+      return;  // ErrorResponse (injected fault after retries) — acceptable.
+    }
+    if (data_row->payload.find("800") == std::string::npos) {
+      ++bad_sums_;
+    }
+    ++completed_;
+  }
+
+  uint16_t port_;
+  std::mt19937 rng_;
+  std::unique_ptr<PgClient> client_;
+  int64_t bad_sums_{0};
+  int64_t completed_{0};
+};
+
+}  // namespace
+
+/// The chaos suite of the fault-tolerance tentpole: all failure points armed
+/// probabilistically, four concurrent wire-protocol clients, and three
+/// invariants — the process survives, no partial transaction commits, and the
+/// tables are consistent afterwards.
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Hyrise::Reset();
+    ExecuteSql("CREATE TABLE chaos_accounts (id INT NOT NULL, balance INT NOT NULL)");
+    auto values = std::string{};
+    for (auto id = 1; id <= 8; ++id) {
+      values += (id == 1 ? "" : ", ") + ("(" + std::to_string(id) + ", 100)");
+    }
+    ExecuteSql("INSERT INTO chaos_accounts VALUES " + values);  // Sum: 800.
+    ExecuteSql("CREATE TABLE chaos_ledger (x INT NOT NULL)");
+    ExecuteSql("INSERT INTO chaos_ledger VALUES (5), (-5)");  // Sum: 0.
+  }
+
+  void TearDown() override {
+    FailureInjection::DisarmAll();
+  }
+};
+
+TEST_F(ChaosTest, ServerSurvivesProbabilisticFaultsWithoutPartialCommits) {
+  auto config = ServerConfig{};
+  config.max_conflict_retries = 5;
+  auto server = Server{config};
+  ASSERT_TRUE(server.Start().ok());
+
+  // Arm every failure point of the engine, each with a low probability so
+  // the workload makes progress between faults.
+  const auto arm = [](const char* point, double probability) {
+    auto spec = FailureSpec{};
+    spec.probability = probability;
+    FailureInjection::Arm(point, spec);
+  };
+  arm("insert/row", 0.03);
+  arm("commit/publish", 0.03);
+  arm("scan/chunk", 0.01);
+  arm("scheduler/execute", 0.02);
+  arm("server/write", 0.005);
+
+  constexpr auto kClients = 4;
+  constexpr auto kIterations = 120;
+  auto clients = std::vector<std::unique_ptr<ChaosClient>>{};
+  for (auto index = 0; index < kClients; ++index) {
+    clients.push_back(std::make_unique<ChaosClient>(server.port(), 1234 + index));
+  }
+  auto threads = std::vector<std::thread>{};
+  for (auto index = 0; index < kClients; ++index) {
+    threads.emplace_back([&, index] {
+      clients[index]->Run(kIterations);
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+
+  // Every failure point must actually have been exercised.
+  EXPECT_GT(FailureInjection::HitCount("insert/row"), 0);
+  EXPECT_GT(FailureInjection::HitCount("commit/publish"), 0);
+  EXPECT_GT(FailureInjection::HitCount("server/write"), 0);
+
+  auto completed = int64_t{0};
+  auto bad_sums = int64_t{0};
+  for (const auto& client : clients) {
+    completed += client->completed_operations();
+    bad_sums += client->observed_bad_sums();
+  }
+  EXPECT_GT(completed, 0) << "the workload must make progress between faults";
+  EXPECT_EQ(bad_sums, 0) << "no reader may ever observe a torn transfer";
+
+  // Calm the system down and audit the final state: transfers preserved the
+  // account total, paired inserts preserved the ledger total — across every
+  // combination of injected faults, conflicts, retries, and lost connections.
+  FailureInjection::DisarmAll();
+  auto auditor = PgClient{server.port()};
+  ASSERT_TRUE(auditor.Handshake()) << "server must still accept connections after the chaos run";
+  const auto account_sum = auditor.Query("SELECT SUM(balance) FROM chaos_accounts");
+  ASSERT_TRUE(account_sum.has_value());
+  ASSERT_NE(PgClient::FindType(*account_sum, 'D'), nullptr);
+  EXPECT_NE(PgClient::FindType(*account_sum, 'D')->payload.find("800"), std::string::npos)
+      << "partial transfers must never commit";
+  const auto ledger_sum = auditor.Query("SELECT SUM(x) FROM chaos_ledger");
+  ASSERT_TRUE(ledger_sum.has_value());
+  ASSERT_NE(PgClient::FindType(*ledger_sum, 'D'), nullptr);
+  EXPECT_NE(PgClient::FindType(*ledger_sum, 'D')->payload.find("0"), std::string::npos)
+      << "a paired insert must commit both rows or neither";
+
+  // MVCC invariant check from inside the process as well.
+  ExpectTableContents(ExecuteSql("SELECT SUM(balance) FROM chaos_accounts"), {{int64_t{800}}});
+  ExpectTableContents(ExecuteSql("SELECT SUM(x) FROM chaos_ledger"), {{int64_t{0}}});
+
+  server.Stop();
+}
+
+/// Stop() during active traffic: a graceful drain, not a crash — running
+/// statements are cancelled cooperatively and sessions wind down.
+TEST_F(ChaosTest, GracefulShutdownUnderLoad) {
+  auto server = Server{ServerConfig{}};
+  ASSERT_TRUE(server.Start().ok());
+
+  auto stop = std::atomic<bool>{false};
+  auto threads = std::vector<std::thread>{};
+  for (auto index = 0; index < 3; ++index) {
+    threads.emplace_back([&, index] {
+      auto client = PgClient{server.port()};
+      if (!client.Handshake()) {
+        return;
+      }
+      auto rng = std::mt19937{static_cast<uint32_t>(index)};
+      while (!stop.load()) {
+        const auto id = 1 + rng() % 8;
+        if (!client.Query("UPDATE chaos_accounts SET balance = balance + 0 WHERE id = " + std::to_string(id))
+                 .has_value()) {
+          return;  // Connection closed by shutdown — expected.
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds{100});
+  server.Stop();  // Must return: joins every session.
+  stop.store(true);
+  for (auto& thread : threads) {
+    thread.join();
+  }
+
+  ExpectTableContents(ExecuteSql("SELECT SUM(balance) FROM chaos_accounts"), {{int64_t{800}}});
+}
+
+#endif  // HYRISE_ENABLE_FAULT_INJECTION
+
+}  // namespace hyrise

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "concurrency/transaction_context.hpp"
+#include "hyrise.hpp"
+#include "scheduler/abstract_scheduler.hpp"
+#include "scheduler/node_queue_scheduler.hpp"
+#include "sql/sql_pipeline.hpp"
+#include "storage/table.hpp"
+#include "test_utils.hpp"
+#include "utils/failure_injection.hpp"
+
+namespace hyrise {
+
+/// Misuse guards and partial-effect rollback of the transaction layer
+/// (paper §2.8). The guards are loud (DebugAssert) in debug builds and safe
+/// no-ops in release, so the release-behavior tests are compiled out of
+/// debug builds where they would abort by design.
+class TransactionContextTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Hyrise::Reset();
+    ExecuteSql("CREATE TABLE guard_t (a INT NOT NULL)");
+    ExecuteSql("INSERT INTO guard_t VALUES (1), (2)");
+  }
+
+  void TearDown() override {
+    FailureInjection::DisarmAll();
+    Hyrise::Get().SetScheduler(std::make_shared<ImmediateExecutionScheduler>());
+  }
+};
+
+TEST_F(TransactionContextTest, RollbackIsIdempotent) {
+  auto context = Hyrise::Get().transaction_manager.NewTransactionContext();
+  auto pipeline = SqlPipeline::Builder{"INSERT INTO guard_t VALUES (3)"}.WithTransactionContext(context).Build();
+  ASSERT_EQ(pipeline.Execute(), SqlPipelineStatus::kSuccess);
+
+  context->Rollback();
+  EXPECT_EQ(context->phase(), TransactionPhase::kRolledBack);
+  context->Rollback();  // Second rollback must not double-undo anything.
+  EXPECT_EQ(context->phase(), TransactionPhase::kRolledBack);
+
+  ExpectTableContents(ExecuteSql("SELECT COUNT(*) FROM guard_t"), {{int64_t{2}}});
+}
+
+TEST_F(TransactionContextTest, ConflictedCommitRollsBackAndReturnsFalse) {
+  auto loser = Hyrise::Get().transaction_manager.NewTransactionContext();
+  auto loser_pipeline =
+      SqlPipeline::Builder{"UPDATE guard_t SET a = 10 WHERE a = 1"}.WithTransactionContext(loser).Build();
+  ASSERT_EQ(loser_pipeline.Execute(), SqlPipelineStatus::kSuccess);
+
+  // A second writer on the same row conflicts and is rolled back.
+  auto winner_pipeline = SqlPipeline::Builder{"UPDATE guard_t SET a = 20 WHERE a = 1"}.WithMaxConflictRetries(0).Build();
+  EXPECT_EQ(winner_pipeline.Execute(), SqlPipelineStatus::kRolledBack);
+
+  EXPECT_TRUE(loser->Commit());
+  EXPECT_EQ(loser->phase(), TransactionPhase::kCommitted);
+}
+
+#if !defined(HYRISE_DEBUG)
+
+TEST_F(TransactionContextTest, DoubleCommitIsSafeNoOpInRelease) {
+  auto context = Hyrise::Get().transaction_manager.NewTransactionContext();
+  auto pipeline = SqlPipeline::Builder{"INSERT INTO guard_t VALUES (3)"}.WithTransactionContext(context).Build();
+  ASSERT_EQ(pipeline.Execute(), SqlPipelineStatus::kSuccess);
+
+  EXPECT_TRUE(context->Commit());
+  EXPECT_TRUE(context->Commit()) << "second Commit() reports the already-committed state";
+  EXPECT_EQ(context->phase(), TransactionPhase::kCommitted);
+
+  ExpectTableContents(ExecuteSql("SELECT COUNT(*) FROM guard_t"), {{int64_t{3}}});
+}
+
+TEST_F(TransactionContextTest, RollbackAfterCommitIsSafeNoOpInRelease) {
+  auto context = Hyrise::Get().transaction_manager.NewTransactionContext();
+  auto pipeline = SqlPipeline::Builder{"INSERT INTO guard_t VALUES (3)"}.WithTransactionContext(context).Build();
+  ASSERT_EQ(pipeline.Execute(), SqlPipelineStatus::kSuccess);
+
+  EXPECT_TRUE(context->Commit());
+  context->Rollback();  // Must not unpublish the committed row.
+  EXPECT_EQ(context->phase(), TransactionPhase::kCommitted);
+
+  ExpectTableContents(ExecuteSql("SELECT COUNT(*) FROM guard_t"), {{int64_t{3}}});
+}
+
+TEST_F(TransactionContextTest, DestructorRollsBackAbandonedTransaction) {
+  {
+    auto context = Hyrise::Get().transaction_manager.NewTransactionContext();
+    auto pipeline = SqlPipeline::Builder{"INSERT INTO guard_t VALUES (99)"}.WithTransactionContext(context).Build();
+    ASSERT_EQ(pipeline.Execute(), SqlPipelineStatus::kSuccess);
+    // Simulates a dying session: the context goes out of scope while active
+    // with registered write operators.
+  }
+  ExpectTableContents(ExecuteSql("SELECT COUNT(*) FROM guard_t WHERE a = 99"), {{int64_t{0}}});
+}
+
+#endif  // !HYRISE_DEBUG
+
+#if defined(HYRISE_ENABLE_FAULT_INJECTION)
+
+/// Satellite (c): an Insert failing mid-chunk must leave no partial effects —
+/// under a real multi-worker scheduler, where the failure surfaces on a
+/// worker thread and must travel to the waiting thread.
+TEST_F(TransactionContextTest, PartialInsertRollsBackCleanlyUnderScheduler) {
+  Hyrise::Get().SetScheduler(std::make_shared<NodeQueueScheduler>(1, 4));
+
+
+
+  // Fail on the 4th row of the 6-row insert: rows 1-3 are already appended
+  // and TID-claimed when the fault hits.
+  auto spec = FailureSpec{};
+  spec.skip_first = 3;
+  spec.max_triggers = 1;
+  FailureInjection::Arm("insert/row", spec);
+
+  auto pipeline = SqlPipeline::Builder{"INSERT INTO guard_t VALUES (10), (11), (12), (13), (14), (15)"}
+                      .UseScheduler(true)
+                      .WithMaxConflictRetries(0)
+                      .Build();
+  EXPECT_EQ(pipeline.Execute(), SqlPipelineStatus::kRolledBack);
+  EXPECT_EQ(FailureInjection::TriggerCount("insert/row"), 1);
+
+  // No partial write may be visible: the table scans exactly as before the
+  // failed statement.
+  ExpectTableContents(ExecuteSql("SELECT a FROM guard_t"), {{1}, {2}});
+  ExpectTableContents(ExecuteSql("SELECT COUNT(*) FROM guard_t WHERE a >= 10"), {{int64_t{0}}});
+
+  // With the fault disarmed, the same statement succeeds — the failed attempt
+  // left no lock or slot behind that would block it.
+  FailureInjection::DisarmAll();
+  auto retry = SqlPipeline::Builder{"INSERT INTO guard_t VALUES (10), (11), (12), (13), (14), (15)"}
+                   .UseScheduler(true)
+                   .Build();
+  EXPECT_EQ(retry.Execute(), SqlPipelineStatus::kSuccess);
+  ExpectTableContents(ExecuteSql("SELECT COUNT(*) FROM guard_t"), {{int64_t{8}}});
+}
+
+#endif  // HYRISE_ENABLE_FAULT_INJECTION
+
+}  // namespace hyrise

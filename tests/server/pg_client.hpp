@@ -1,0 +1,187 @@
+#ifndef HYRISE_TESTS_SERVER_PG_CLIENT_HPP_
+#define HYRISE_TESTS_SERVER_PG_CLIENT_HPP_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hyrise::testing {
+
+/// Minimal raw-socket PostgreSQL client, enough to validate the wire format
+/// (paper §2.5: tools like Wireshark can inspect these exact messages).
+///
+/// Robust by design: every operation reports failure through its return value
+/// instead of asserting, so chaos tests — where a dropped connection is an
+/// expected event — can reconnect and carry on.
+class PgClient {
+ public:
+  struct WireMessage {
+    char type{'\0'};
+    std::string payload;
+  };
+
+  explicit PgClient(uint16_t port) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      return;
+    }
+    auto address = sockaddr_in{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = htons(port);
+    connected_ = connect(fd_, reinterpret_cast<sockaddr*>(&address), sizeof(address)) == 0;
+  }
+
+  PgClient(const PgClient&) = delete;
+  PgClient& operator=(const PgClient&) = delete;
+
+  ~PgClient() {
+    if (fd_ >= 0) {
+      close(fd_);
+    }
+  }
+
+  bool connected() const {
+    return connected_;
+  }
+
+  bool SendStartup() {
+    auto payload = std::string{};
+    AppendInt32(payload, 196608);  // Protocol 3.0.
+    payload += "user";
+    payload.push_back('\0');
+    payload += "tester";
+    payload.push_back('\0');
+    payload.push_back('\0');
+    auto message = std::string{};
+    AppendInt32(message, static_cast<int32_t>(payload.size() + 4));
+    message += payload;
+    return Send(message);
+  }
+
+  /// Startup + greeting consumption; false if the server refused or vanished.
+  bool Handshake() {
+    return connected_ && SendStartup() && ReadUntilReady().has_value();
+  }
+
+  bool SendQuery(const std::string& query) {
+    auto message = std::string{"Q"};
+    AppendInt32(message, static_cast<int32_t>(query.size() + 5));
+    message += query;
+    message.push_back('\0');
+    return Send(message);
+  }
+
+  /// Sends arbitrary bytes — for protocol-violation tests.
+  bool SendRaw(const std::string& bytes) {
+    return Send(bytes);
+  }
+
+  std::optional<WireMessage> ReadMessage() {
+    char header[5];
+    if (!ReadExactly(header, 5)) {
+      return std::nullopt;
+    }
+    auto message = WireMessage{};
+    message.type = header[0];
+    uint32_t network;
+    std::memcpy(&network, header + 1, 4);
+    const auto length = static_cast<int32_t>(ntohl(network));
+    if (length < 4 || length > (1 << 26)) {
+      return std::nullopt;
+    }
+    message.payload.resize(static_cast<size_t>(length) - 4);
+    if (!message.payload.empty() && !ReadExactly(message.payload.data(), message.payload.size())) {
+      return std::nullopt;
+    }
+    return message;
+  }
+
+  /// Reads messages until ReadyForQuery, returning them all; nullopt when the
+  /// connection dies first.
+  std::optional<std::vector<WireMessage>> ReadUntilReady() {
+    auto messages = std::vector<WireMessage>{};
+    while (true) {
+      auto message = ReadMessage();
+      if (!message) {
+        connected_ = false;
+        return std::nullopt;
+      }
+      messages.push_back(std::move(*message));
+      if (messages.back().type == 'Z') {
+        return messages;
+      }
+    }
+  }
+
+  /// Round trip: send a simple query and collect the whole response.
+  std::optional<std::vector<WireMessage>> Query(const std::string& query) {
+    if (!SendQuery(query)) {
+      return std::nullopt;
+    }
+    return ReadUntilReady();
+  }
+
+  /// First message of the given type, or nullptr.
+  static const WireMessage* FindType(const std::vector<WireMessage>& messages, char type) {
+    for (const auto& message : messages) {
+      if (message.type == type) {
+        return &message;
+      }
+    }
+    return nullptr;
+  }
+
+ private:
+  static void AppendInt32(std::string& buffer, int32_t value) {
+    const auto network = htonl(static_cast<uint32_t>(value));
+    buffer.append(reinterpret_cast<const char*>(&network), 4);
+  }
+
+  bool Send(const std::string& data) {
+    auto sent = size_t{0};
+    while (sent < data.size()) {
+      const auto result = send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      if (result < 0 && errno == EINTR) {
+        continue;
+      }
+      if (result <= 0) {
+        connected_ = false;
+        return false;
+      }
+      sent += static_cast<size_t>(result);
+    }
+    return true;
+  }
+
+  bool ReadExactly(char* buffer, size_t size) {
+    auto received = size_t{0};
+    while (received < size) {
+      const auto result = recv(fd_, buffer + received, size - received, 0);
+      if (result < 0 && errno == EINTR) {
+        continue;
+      }
+      if (result <= 0) {
+        connected_ = false;
+        return false;
+      }
+      received += static_cast<size_t>(result);
+    }
+    return true;
+  }
+
+  int fd_{-1};
+  bool connected_{false};
+};
+
+}  // namespace hyrise::testing
+
+#endif  // HYRISE_TESTS_SERVER_PG_CLIENT_HPP_

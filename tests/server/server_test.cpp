@@ -1,120 +1,23 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
 
+#include <chrono>
 #include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
 
 #include "hyrise.hpp"
+#include "server/pg_client.hpp"
 #include "server/server.hpp"
 #include "sql/sql_pipeline.hpp"
+#include "storage/table.hpp"
+#include "utils/failure_injection.hpp"
 
 namespace hyrise {
 
-namespace {
-
-/// Minimal raw-socket PostgreSQL client, enough to validate the wire format
-/// (paper §2.5: tools like Wireshark can inspect these exact messages).
-class PgClient {
- public:
-  explicit PgClient(uint16_t port) {
-    fd_ = socket(AF_INET, SOCK_STREAM, 0);
-    auto address = sockaddr_in{};
-    address.sin_family = AF_INET;
-    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    address.sin_port = htons(port);
-    connected_ = connect(fd_, reinterpret_cast<sockaddr*>(&address), sizeof(address)) == 0;
-  }
-
-  ~PgClient() {
-    if (fd_ >= 0) {
-      close(fd_);
-    }
-  }
-
-  bool connected() const {
-    return connected_;
-  }
-
-  void SendStartup() {
-    auto payload = std::string{};
-    AppendInt32(payload, 196608);  // Protocol 3.0.
-    payload += "user";
-    payload.push_back('\0');
-    payload += "tester";
-    payload.push_back('\0');
-    payload.push_back('\0');
-    auto message = std::string{};
-    AppendInt32(message, static_cast<int32_t>(payload.size() + 4));
-    message += payload;
-    Send(message);
-  }
-
-  void SendQuery(const std::string& query) {
-    auto message = std::string{"Q"};
-    AppendInt32(message, static_cast<int32_t>(query.size() + 5));
-    message += query;
-    message.push_back('\0');
-    Send(message);
-  }
-
-  struct WireMessage {
-    char type;
-    std::string payload;
-  };
-
-  WireMessage ReadMessage() {
-    char header[5];
-    ReadExactly(header, 5);
-    auto message = WireMessage{};
-    message.type = header[0];
-    uint32_t network;
-    std::memcpy(&network, header + 1, 4);
-    const auto length = static_cast<int32_t>(ntohl(network));
-    message.payload.resize(static_cast<size_t>(length) - 4);
-    if (!message.payload.empty()) {
-      ReadExactly(message.payload.data(), message.payload.size());
-    }
-    return message;
-  }
-
-  /// Reads messages until ReadyForQuery, returning them all.
-  std::vector<WireMessage> ReadUntilReady() {
-    auto messages = std::vector<WireMessage>{};
-    while (true) {
-      messages.push_back(ReadMessage());
-      if (messages.back().type == 'Z') {
-        return messages;
-      }
-    }
-  }
-
- private:
-  static void AppendInt32(std::string& buffer, int32_t value) {
-    const auto network = htonl(static_cast<uint32_t>(value));
-    buffer.append(reinterpret_cast<const char*>(&network), 4);
-  }
-
-  void Send(const std::string& data) {
-    ASSERT_EQ(send(fd_, data.data(), data.size(), 0), static_cast<ssize_t>(data.size()));
-  }
-
-  void ReadExactly(char* buffer, size_t size) {
-    auto received = size_t{0};
-    while (received < size) {
-      const auto result = recv(fd_, buffer + received, size - received, 0);
-      ASSERT_GT(result, 0);
-      received += static_cast<size_t>(result);
-    }
-  }
-
-  int fd_{-1};
-  bool connected_{false};
-};
-
-}  // namespace
+using testing::PgClient;
 
 class ServerTest : public ::testing::Test {
  protected:
@@ -122,12 +25,13 @@ class ServerTest : public ::testing::Test {
     Hyrise::Reset();
     ExecuteSql("CREATE TABLE t (a INT NOT NULL, b VARCHAR(10))");
     ExecuteSql("INSERT INTO t VALUES (1, 'x'), (2, NULL)");
-    server_ = std::make_unique<Server>(0);
-    server_->Start();
+    server_ = std::make_unique<Server>(uint16_t{0});
+    ASSERT_TRUE(server_->Start().ok());
   }
 
   void TearDown() override {
     server_->Stop();
+    FailureInjection::DisarmAll();
   }
 
   std::unique_ptr<Server> server_;
@@ -136,75 +40,263 @@ class ServerTest : public ::testing::Test {
 TEST_F(ServerTest, StartupHandshake) {
   auto client = PgClient{server_->port()};
   ASSERT_TRUE(client.connected());
-  client.SendStartup();
+  ASSERT_TRUE(client.SendStartup());
   const auto messages = client.ReadUntilReady();
-  ASSERT_GE(messages.size(), 3u);
-  EXPECT_EQ(messages[0].type, 'R') << "AuthenticationOk";
-  EXPECT_EQ(messages[1].type, 'S') << "ParameterStatus";
-  EXPECT_EQ(messages.back().type, 'Z') << "ReadyForQuery";
+  ASSERT_TRUE(messages.has_value());
+  ASSERT_GE(messages->size(), 3u);
+  EXPECT_EQ((*messages)[0].type, 'R') << "AuthenticationOk";
+  EXPECT_EQ((*messages)[1].type, 'S') << "ParameterStatus";
+  EXPECT_EQ(messages->back().type, 'Z') << "ReadyForQuery";
 }
 
 TEST_F(ServerTest, SimpleQueryReturnsRows) {
   auto client = PgClient{server_->port()};
-  ASSERT_TRUE(client.connected());
-  client.SendStartup();
-  client.ReadUntilReady();
+  ASSERT_TRUE(client.Handshake());
 
-  client.SendQuery("SELECT a, b FROM t ORDER BY a");
-  const auto messages = client.ReadUntilReady();
-  ASSERT_GE(messages.size(), 5u);
-  EXPECT_EQ(messages[0].type, 'T') << "RowDescription";
-  EXPECT_NE(messages[0].payload.find("a"), std::string::npos);
-  EXPECT_EQ(messages[1].type, 'D');
-  EXPECT_NE(messages[1].payload.find("x"), std::string::npos);
-  EXPECT_EQ(messages[2].type, 'D');
-  EXPECT_EQ(messages[3].type, 'C') << "CommandComplete";
-  EXPECT_NE(messages[3].payload.find("SELECT 2"), std::string::npos);
+  const auto messages = client.Query("SELECT a, b FROM t ORDER BY a");
+  ASSERT_TRUE(messages.has_value());
+  ASSERT_GE(messages->size(), 5u);
+  EXPECT_EQ((*messages)[0].type, 'T') << "RowDescription";
+  EXPECT_NE((*messages)[0].payload.find("a"), std::string::npos);
+  EXPECT_EQ((*messages)[1].type, 'D');
+  EXPECT_NE((*messages)[1].payload.find("x"), std::string::npos);
+  EXPECT_EQ((*messages)[2].type, 'D');
+  EXPECT_EQ((*messages)[3].type, 'C') << "CommandComplete";
+  EXPECT_NE((*messages)[3].payload.find("SELECT 2"), std::string::npos);
 }
 
 TEST_F(ServerTest, NullCellsUseNegativeLength) {
   auto client = PgClient{server_->port()};
-  client.SendStartup();
-  client.ReadUntilReady();
-  client.SendQuery("SELECT b FROM t WHERE a = 2");
-  const auto messages = client.ReadUntilReady();
-  ASSERT_EQ(messages[1].type, 'D');
+  ASSERT_TRUE(client.Handshake());
+  const auto messages = client.Query("SELECT b FROM t WHERE a = 2");
+  ASSERT_TRUE(messages.has_value());
+  ASSERT_EQ((*messages)[1].type, 'D');
   // Payload: int16 field count (1), int32 length == -1.
-  ASSERT_GE(messages[1].payload.size(), 6u);
+  ASSERT_GE((*messages)[1].payload.size(), 6u);
   uint32_t network;
-  std::memcpy(&network, messages[1].payload.data() + 2, 4);
+  std::memcpy(&network, (*messages)[1].payload.data() + 2, 4);
   EXPECT_EQ(static_cast<int32_t>(ntohl(network)), -1);
 }
 
 TEST_F(ServerTest, ErrorsAreReportedAndSessionContinues) {
   auto client = PgClient{server_->port()};
-  client.SendStartup();
-  client.ReadUntilReady();
+  ASSERT_TRUE(client.Handshake());
 
-  client.SendQuery("SELECT FROM nope");
-  auto messages = client.ReadUntilReady();
-  EXPECT_EQ(messages[0].type, 'E');
+  auto messages = client.Query("SELECT FROM nope");
+  ASSERT_TRUE(messages.has_value());
+  EXPECT_EQ((*messages)[0].type, 'E');
 
-  client.SendQuery("SELECT 41 + 1");
-  messages = client.ReadUntilReady();
-  EXPECT_EQ(messages[0].type, 'T');
-  EXPECT_NE(messages[1].payload.find("42"), std::string::npos);
+  messages = client.Query("SELECT 41 + 1");
+  ASSERT_TRUE(messages.has_value());
+  EXPECT_EQ((*messages)[0].type, 'T');
+  EXPECT_NE((*messages)[1].payload.find("42"), std::string::npos);
 }
 
 TEST_F(ServerTest, DmlAndTransactionsAcrossMessages) {
   auto client = PgClient{server_->port()};
-  client.SendStartup();
-  client.ReadUntilReady();
+  ASSERT_TRUE(client.Handshake());
 
-  client.SendQuery("BEGIN");
-  client.ReadUntilReady();
-  client.SendQuery("INSERT INTO t VALUES (3, 'y')");
-  client.ReadUntilReady();
-  client.SendQuery("ROLLBACK");
-  client.ReadUntilReady();
-  client.SendQuery("SELECT COUNT(*) FROM t");
-  const auto messages = client.ReadUntilReady();
-  EXPECT_NE(messages[1].payload.find("2"), std::string::npos) << "rollback undid the insert";
+  ASSERT_TRUE(client.Query("BEGIN").has_value());
+  ASSERT_TRUE(client.Query("INSERT INTO t VALUES (3, 'y')").has_value());
+  ASSERT_TRUE(client.Query("ROLLBACK").has_value());
+  const auto messages = client.Query("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(messages.has_value());
+  EXPECT_NE((*messages)[1].payload.find("2"), std::string::npos) << "rollback undid the insert";
 }
+
+TEST_F(ServerTest, ReadyForQueryReportsTransactionBlock) {
+  auto client = PgClient{server_->port()};
+  ASSERT_TRUE(client.Handshake());
+
+  auto messages = client.Query("BEGIN");
+  ASSERT_TRUE(messages.has_value());
+  EXPECT_EQ(messages->back().payload, "T") << "inside a transaction block";
+  messages = client.Query("COMMIT");
+  ASSERT_TRUE(messages.has_value());
+  EXPECT_EQ(messages->back().payload, "I") << "idle again";
+}
+
+// --- Satellite (a): startup failures are returned, not fatal -----------------
+
+TEST(ServerStartupTest, BindFailureIsReturnedAndRetryOnFreePortWorks) {
+  Hyrise::Reset();
+  auto first = Server{uint16_t{0}};
+  const auto first_port = first.Start();
+  ASSERT_TRUE(first_port.ok());
+
+  // Same explicit port again: bind must fail with an error Result — no abort.
+  auto second = Server{first_port.value()};
+  const auto second_result = second.Start();
+  ASSERT_FALSE(second_result.ok());
+  EXPECT_NE(second_result.error().find("bind"), std::string::npos);
+
+  // The documented recovery: retry on a free port.
+  auto third = Server{uint16_t{0}};
+  const auto third_result = third.Start();
+  ASSERT_TRUE(third_result.ok());
+  EXPECT_NE(third_result.value(), first_port.value());
+}
+
+// --- Per-connection isolation ------------------------------------------------
+
+TEST_F(ServerTest, MalformedMessageGetsProtocolErrorAndOthersSurvive) {
+  auto victim = PgClient{server_->port()};
+  ASSERT_TRUE(victim.Handshake());
+  auto bystander = PgClient{server_->port()};
+  ASSERT_TRUE(bystander.Handshake());
+
+  // Unknown message type with valid framing: error + ReadyForQuery, session
+  // keeps going.
+  auto garbage = std::string{"W"};
+  const auto length = htonl(4);
+  garbage.append(reinterpret_cast<const char*>(&length), 4);
+  ASSERT_TRUE(victim.SendRaw(garbage));
+  auto messages = victim.ReadUntilReady();
+  ASSERT_TRUE(messages.has_value());
+  EXPECT_EQ((*messages)[0].type, 'E');
+  EXPECT_NE((*messages)[0].payload.find("08P01"), std::string::npos);
+  EXPECT_TRUE(victim.Query("SELECT 1").has_value()) << "session survives an unknown message type";
+
+  // Broken framing (length < 4): the server cannot resync — it reports the
+  // protocol violation and drops only this connection.
+  auto broken = std::string{"Q"};
+  const auto bad_length = htonl(2);
+  broken.append(reinterpret_cast<const char*>(&bad_length), 4);
+  ASSERT_TRUE(victim.SendRaw(broken));
+  const auto error = victim.ReadMessage();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->type, 'E');
+  EXPECT_FALSE(victim.ReadMessage().has_value()) << "connection closed after unrecoverable framing error";
+
+  // The other connection never noticed.
+  const auto unaffected = bystander.Query("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(unaffected.has_value());
+  EXPECT_NE((*unaffected)[1].payload.find("2"), std::string::npos);
+}
+
+TEST(ServerCapacityTest, OverCapConnectionsAreRefusedWithBackpressure) {
+  Hyrise::Reset();
+  ExecuteSql("CREATE TABLE cap_t (a INT NOT NULL)");
+  auto config = ServerConfig{};
+  config.max_connections = 2;
+  config.backlog = 4;
+  auto server = Server{config};
+  ASSERT_TRUE(server.Start().ok());
+
+  auto first = PgClient{server.port()};
+  ASSERT_TRUE(first.Handshake());
+  auto second = PgClient{server.port()};
+  ASSERT_TRUE(second.Handshake());
+
+  // Third connection: completes the handshake, then is refused with SQLSTATE
+  // 53300 instead of hanging or resetting.
+  auto third = PgClient{server.port()};
+  ASSERT_TRUE(third.connected());
+  ASSERT_TRUE(third.SendStartup());
+  const auto refusal = third.ReadMessage();
+  ASSERT_TRUE(refusal.has_value());
+  EXPECT_EQ(refusal->type, 'E');
+  EXPECT_NE(refusal->payload.find("53300"), std::string::npos);
+  EXPECT_FALSE(third.ReadMessage().has_value()) << "refused connection is closed";
+
+  // Admitted sessions keep working.
+  EXPECT_TRUE(first.Query("SELECT COUNT(*) FROM cap_t").has_value());
+  EXPECT_TRUE(second.Query("SELECT COUNT(*) FROM cap_t").has_value());
+  server.Stop();
+}
+
+#if defined(HYRISE_ENABLE_FAULT_INJECTION)
+
+// --- Statement timeout (cooperative cancellation) ----------------------------
+
+class ServerTimeoutTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Hyrise::Reset();
+    // Many small chunks: cancellation is polled at chunk boundaries, so the
+    // reaction time is one chunk, not one table.
+    auto table = std::make_shared<Table>(TableColumnDefinitions{{"a", DataType::kInt}}, TableType::kData,
+                                         ChunkOffset{10}, UseMvcc::kYes);
+    for (auto value = int32_t{0}; value < 400; ++value) {
+      table->AppendRow({value});
+    }
+    Hyrise::Get().storage_manager.AddTable("slow", table);
+
+    auto config = ServerConfig{};
+    config.statement_timeout = std::chrono::milliseconds{150};
+    server_ = std::make_unique<Server>(config);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    server_->Stop();
+    FailureInjection::DisarmAll();
+  }
+
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTimeoutTest, TimedOutStatementIsCancelledCooperativelyAndOthersStayResponsive) {
+  // 40 chunks x 25ms injected scan latency = ~1s uncancelled.
+  auto spec = FailureSpec{};
+  spec.mode = FailureMode::kLatency;
+  spec.latency = std::chrono::milliseconds{25};
+  FailureInjection::Arm("scan/chunk", spec);
+
+  auto slow_client = PgClient{server_->port()};
+  ASSERT_TRUE(slow_client.Handshake());
+  auto fast_client = PgClient{server_->port()};
+  ASSERT_TRUE(fast_client.Handshake());
+
+  const auto begin = std::chrono::steady_clock::now();
+  ASSERT_TRUE(slow_client.SendQuery("SELECT COUNT(*) FROM slow WHERE a >= 0"));
+
+  // While the slow statement burns its timeout, the other connection must
+  // stay responsive (scan latency also applies to it, so query metadata
+  // only).
+  const auto fast_begin = std::chrono::steady_clock::now();
+  const auto fast_response = fast_client.Query("SELECT 1 + 1");
+  const auto fast_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(std::chrono::steady_clock::now() - fast_begin).count();
+  ASSERT_TRUE(fast_response.has_value());
+  EXPECT_LT(fast_ms, 500) << "an unrelated connection must not be blocked by a timing-out statement";
+
+  const auto messages = slow_client.ReadUntilReady();
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(std::chrono::steady_clock::now() - begin).count();
+  ASSERT_TRUE(messages.has_value());
+  ASSERT_EQ((*messages)[0].type, 'E');
+  EXPECT_NE((*messages)[0].payload.find("57014"), std::string::npos) << "query_canceled SQLSTATE";
+  EXPECT_NE((*messages)[0].payload.find("timeout"), std::string::npos);
+  // Acceptance: cancelled within 2x the timeout (uncancelled would be ~1s).
+  EXPECT_LT(elapsed_ms, 2 * 150 + 100) << "cooperative cancellation must react within ~one chunk of the deadline";
+
+  // The connection that timed out stays usable.
+  const auto next = slow_client.Query("SELECT 2 + 2");
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ((*next)[0].type, 'T');
+}
+
+// --- Fault-injected writes: transparent retry over the wire ------------------
+
+TEST_F(ServerTest, InjectedTransientCommitFaultIsRetriedTransparently) {
+  auto spec = FailureSpec{};
+  spec.max_triggers = 2;  // First two commit attempts fail, third succeeds.
+  FailureInjection::Arm("commit/publish", spec);
+
+  auto client = PgClient{server_->port()};
+  ASSERT_TRUE(client.Handshake());
+  const auto messages = client.Query("INSERT INTO t VALUES (7, 'retry')");
+  ASSERT_TRUE(messages.has_value());
+  EXPECT_EQ((*messages)[0].type, 'C') << "client never sees the two injected failures";
+  EXPECT_EQ(FailureInjection::TriggerCount("commit/publish"), 2);
+
+  FailureInjection::DisarmAll();
+  const auto count = client.Query("SELECT COUNT(*) FROM t WHERE a = 7");
+  ASSERT_TRUE(count.has_value());
+  EXPECT_NE((*count)[1].payload.find("1"), std::string::npos) << "exactly one row despite retries — no double insert";
+}
+
+#endif  // HYRISE_ENABLE_FAULT_INJECTION
 
 }  // namespace hyrise

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "utils/failure_injection.hpp"
+
+namespace hyrise {
+
+#if defined(HYRISE_ENABLE_FAULT_INJECTION)
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    FailureInjection::DisarmAll();
+  }
+};
+
+TEST_F(FailureInjectionTest, DisarmedPointsAreFree) {
+  EXPECT_FALSE(FailureInjection::AnyArmed());
+  // A FAILPOINT site in disarmed state must be a no-op.
+  FAILPOINT("test/free");
+}
+
+TEST_F(FailureInjectionTest, ArmedPointThrowsAndCounts) {
+  FailureInjection::Arm("test/throw", FailureSpec{});
+  EXPECT_TRUE(FailureInjection::AnyArmed());
+
+  EXPECT_THROW(FAILPOINT("test/throw"), InjectedFault);
+  EXPECT_THROW(FAILPOINT("test/throw"), InjectedFault);
+  EXPECT_EQ(FailureInjection::HitCount("test/throw"), 2);
+  EXPECT_EQ(FailureInjection::TriggerCount("test/throw"), 2);
+
+  // Other points are unaffected.
+  FAILPOINT("test/other");
+
+  FailureInjection::Disarm("test/throw");
+  EXPECT_FALSE(FailureInjection::AnyArmed());
+  FAILPOINT("test/throw");
+}
+
+TEST_F(FailureInjectionTest, MaxTriggersLimitsFiring) {
+  auto spec = FailureSpec{};
+  spec.max_triggers = 2;
+  FailureInjection::Arm("test/limited", spec);
+
+  EXPECT_THROW(FAILPOINT("test/limited"), InjectedFault);
+  EXPECT_THROW(FAILPOINT("test/limited"), InjectedFault);
+  FAILPOINT("test/limited");  // Exhausted: must not fire.
+  FAILPOINT("test/limited");
+  EXPECT_EQ(FailureInjection::HitCount("test/limited"), 4);
+  EXPECT_EQ(FailureInjection::TriggerCount("test/limited"), 2);
+}
+
+TEST_F(FailureInjectionTest, SkipFirstDelaysFiring) {
+  auto spec = FailureSpec{};
+  spec.skip_first = 3;
+  spec.max_triggers = 1;
+  FailureInjection::Arm("test/skip", spec);
+
+  FAILPOINT("test/skip");
+  FAILPOINT("test/skip");
+  FAILPOINT("test/skip");
+  EXPECT_EQ(FailureInjection::TriggerCount("test/skip"), 0);
+  EXPECT_THROW(FAILPOINT("test/skip"), InjectedFault) << "fires on the 4th hit";
+  EXPECT_EQ(FailureInjection::TriggerCount("test/skip"), 1);
+}
+
+TEST_F(FailureInjectionTest, ProbabilityZeroNeverFiresProbabilityOneAlwaysFires) {
+  auto never = FailureSpec{};
+  never.probability = 0.0;
+  FailureInjection::Arm("test/never", never);
+  for (auto attempt = 0; attempt < 100; ++attempt) {
+    FAILPOINT("test/never");
+  }
+  EXPECT_EQ(FailureInjection::TriggerCount("test/never"), 0);
+
+  auto always = FailureSpec{};
+  always.probability = 1.0;
+  FailureInjection::Arm("test/always", always);
+  for (auto attempt = 0; attempt < 10; ++attempt) {
+    EXPECT_THROW(FAILPOINT("test/always"), InjectedFault);
+  }
+  EXPECT_EQ(FailureInjection::TriggerCount("test/always"), 10);
+}
+
+TEST_F(FailureInjectionTest, LatencyModeSleepsInsteadOfThrowing) {
+  auto spec = FailureSpec{};
+  spec.mode = FailureMode::kLatency;
+  spec.latency = std::chrono::milliseconds{30};
+  FailureInjection::Arm("test/latency", spec);
+
+  const auto begin = std::chrono::steady_clock::now();
+  FAILPOINT("test/latency");  // Must not throw.
+  const auto elapsed = std::chrono::steady_clock::now() - begin;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 25);
+  EXPECT_EQ(FailureInjection::TriggerCount("test/latency"), 1);
+}
+
+TEST_F(FailureInjectionTest, RearmingResetsCounters) {
+  auto spec = FailureSpec{};
+  spec.max_triggers = 1;
+  FailureInjection::Arm("test/rearm", spec);
+  EXPECT_THROW(FAILPOINT("test/rearm"), InjectedFault);
+  FAILPOINT("test/rearm");
+  EXPECT_EQ(FailureInjection::TriggerCount("test/rearm"), 1);
+
+  FailureInjection::Arm("test/rearm", spec);
+  EXPECT_EQ(FailureInjection::HitCount("test/rearm"), 0);
+  EXPECT_THROW(FAILPOINT("test/rearm"), InjectedFault) << "fresh trigger budget after re-arming";
+}
+
+TEST_F(FailureInjectionTest, ConcurrentEvaluationHonorsTriggerBudget) {
+  auto spec = FailureSpec{};
+  spec.max_triggers = 8;
+  FailureInjection::Arm("test/concurrent", spec);
+
+  auto thrown = std::atomic<int>{0};
+  auto threads = std::vector<std::thread>{};
+  for (auto thread_index = 0; thread_index < 4; ++thread_index) {
+    threads.emplace_back([&] {
+      for (auto attempt = 0; attempt < 100; ++attempt) {
+        try {
+          FAILPOINT("test/concurrent");
+        } catch (const InjectedFault&) {
+          ++thrown;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(thrown.load(), 8) << "exactly max_triggers fire even under contention";
+  EXPECT_EQ(FailureInjection::TriggerCount("test/concurrent"), 8);
+  EXPECT_EQ(FailureInjection::HitCount("test/concurrent"), 400);
+}
+
+#endif  // HYRISE_ENABLE_FAULT_INJECTION
+
+}  // namespace hyrise
