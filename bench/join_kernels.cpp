@@ -1,0 +1,260 @@
+/// Join-kernel microbenchmarks: randomized inner/semi/anti hash joins at
+/// 1 M / 10 M probe rows with a selectivity sweep, comparing the
+/// radix-partitioned JoinHash against the pre-radix implementation (global
+/// std::unordered_map<K, std::vector<size_t>> merged from per-chunk partials,
+/// reimplemented here verbatim as the tracked baseline). Selectivity is the
+/// fraction of probe rows whose key exists on the build side — low
+/// selectivity is where the per-partition Bloom filters let probe rows skip
+/// the hash table entirely.
+///
+/// Emits BENCH_join.json so the join-perf trajectory is machine-readable:
+///   { "configs": [ {probe_rows, build_rows, selectivity, mode,
+///                   legacy_ns, radix_ns, speedup, output_rows}, ... ] }
+///
+/// Usage: join_kernels [scale=1.0] [runs=2] [json=BENCH_join.json]
+///   scale multiplies the row counts (the CI smoke job runs scale=0.002).
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "hyrise.hpp"
+#include "operators/column_materializer.hpp"
+#include "operators/join_hash.hpp"
+#include "operators/pos_list_utils.hpp"
+#include "operators/table_wrapper.hpp"
+#include "scheduler/job_helpers.hpp"
+#include "storage/table.hpp"
+#include "storage/value_segment.hpp"
+#include "utils/timer.hpp"
+
+namespace hyrise {
+
+namespace {
+
+constexpr auto kChunkSize = ChunkOffset{65535};
+
+/// Builds a single-int-column table from pre-generated keys, chunk by chunk
+/// (AppendRow's per-variant boxing would dominate setup at 10 M rows).
+std::shared_ptr<TableWrapper> MakeKeyTable(const std::vector<int32_t>& keys) {
+  auto table = std::make_shared<Table>(TableColumnDefinitions{{"k", DataType::kInt, false}}, TableType::kData,
+                                       kChunkSize);
+  for (auto begin = size_t{0}; begin < keys.size(); begin += kChunkSize) {
+    const auto end = std::min(keys.size(), begin + kChunkSize);
+    auto values = std::vector<int32_t>(keys.begin() + begin, keys.begin() + end);
+    table->AppendChunk(Segments{std::make_shared<ValueSegment<int32_t>>(std::move(values))});
+  }
+  auto wrapper = std::make_shared<TableWrapper>(table);
+  wrapper->Execute();
+  return wrapper;
+}
+
+/// The pre-radix JoinHash, verbatim: per-chunk partial unordered_maps merged
+/// into one global map, then a per-chunk parallel probe. Kept as the
+/// benchmark baseline so BENCH_join.json always carries both numbers.
+size_t LegacyHashJoinRows(const std::shared_ptr<const Table>& left, const std::shared_ptr<const Table>& right,
+                          JoinMode mode) {
+  const auto build_keys = MaterializeColumn<int32_t>(*right, ColumnID{0});
+  const auto build_ranges = ChunkRowRanges(*right);
+  auto partial_tables = std::vector<std::unordered_map<int32_t, std::vector<size_t>>>(build_ranges.size());
+  {
+    auto jobs = std::vector<std::shared_ptr<AbstractTask>>{};
+    jobs.reserve(build_ranges.size());
+    for (auto range_id = size_t{0}; range_id < build_ranges.size(); ++range_id) {
+      jobs.push_back(std::make_shared<JobTask>([range_id, &build_ranges, &build_keys, &partial_tables] {
+        const auto [begin, end] = build_ranges[range_id];
+        auto& partial = partial_tables[range_id];
+        partial.reserve(end - begin);
+        for (auto row = begin; row < end; ++row) {
+          partial[build_keys.values[row]].push_back(row);
+        }
+      }));
+    }
+    SpawnAndWaitForTasks(jobs);
+  }
+  auto hash_table = std::unordered_map<int32_t, std::vector<size_t>>{};
+  hash_table.reserve(build_keys.values.size());
+  for (auto& partial : partial_tables) {
+    for (auto& [key, rows] : partial) {
+      auto& target = hash_table[key];
+      if (target.empty()) {
+        target = std::move(rows);
+      } else {
+        target.insert(target.end(), rows.begin(), rows.end());
+      }
+    }
+  }
+
+  const auto probe_keys = MaterializeColumn<int32_t>(*left, ColumnID{0});
+  const auto probe_ranges = ChunkRowRanges(*left);
+  struct ProbeOutput {
+    std::vector<size_t> left_rows;
+    std::vector<size_t> right_rows;
+  };
+  auto outputs = std::vector<ProbeOutput>(probe_ranges.size());
+  {
+    auto jobs = std::vector<std::shared_ptr<AbstractTask>>{};
+    jobs.reserve(probe_ranges.size());
+    for (auto range_id = size_t{0}; range_id < probe_ranges.size(); ++range_id) {
+      jobs.push_back(std::make_shared<JobTask>([mode, range_id, &probe_ranges, &probe_keys, &hash_table, &outputs] {
+        const auto [begin, end] = probe_ranges[range_id];
+        auto& output = outputs[range_id];
+        for (auto row = begin; row < end; ++row) {
+          const auto iter = hash_table.find(probe_keys.values[row]);
+          const auto* candidates = iter != hash_table.end() ? &iter->second : nullptr;
+          switch (mode) {
+            case JoinMode::kInner:
+              if (candidates) {
+                for (const auto candidate : *candidates) {
+                  output.left_rows.push_back(row);
+                  output.right_rows.push_back(candidate);
+                }
+              }
+              break;
+            case JoinMode::kSemi:
+            case JoinMode::kAnti:
+              if ((candidates != nullptr) == (mode == JoinMode::kSemi)) {
+                output.left_rows.push_back(row);
+              }
+              break;
+            default:
+              Fail("Unsupported mode in legacy join bench");
+          }
+        }
+      }));
+    }
+    SpawnAndWaitForTasks(jobs);
+  }
+
+  auto total_rows = size_t{0};
+  for (const auto& output : outputs) {
+    total_rows += output.left_rows.size();
+  }
+  auto left_rows = std::vector<size_t>{};
+  auto right_rows = std::vector<size_t>{};
+  left_rows.reserve(total_rows);
+  right_rows.reserve(total_rows);
+  for (const auto& output : outputs) {
+    left_rows.insert(left_rows.end(), output.left_rows.begin(), output.left_rows.end());
+    right_rows.insert(right_rows.end(), output.right_rows.begin(), output.right_rows.end());
+  }
+  // Match the operator path's output assembly (reference segments).
+  auto segments = ComposeOutputSegments(left, left_rows);
+  if (mode == JoinMode::kInner) {
+    auto right_segments = ComposeOutputSegments(right, right_rows);
+    segments.insert(segments.end(), right_segments.begin(), right_segments.end());
+  }
+  return left_rows.size() + (segments.empty() ? 0 : 0);
+}
+
+template <typename F>
+int64_t MedianNs(size_t runs, const F& body) {
+  auto times = std::vector<int64_t>{};
+  times.reserve(runs);
+  for (auto run = size_t{0}; run < runs; ++run) {
+    auto timer = Timer{};
+    body();
+    times.push_back(timer.Elapsed());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+const char* ModeName(JoinMode mode) {
+  switch (mode) {
+    case JoinMode::kInner:
+      return "inner";
+    case JoinMode::kSemi:
+      return "semi";
+    default:
+      return "anti";
+  }
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  const auto scale = argc > 1 ? std::stod(argv[1]) : 1.0;
+  const auto runs = argc > 2 ? static_cast<size_t>(std::stoul(argv[2])) : size_t{2};
+  const auto json_path = argc > 3 ? std::string{argv[3]} : std::string{"BENCH_join.json"};
+
+  Hyrise::Reset();
+
+  auto json = std::string{"{\n  \"scale\": " + std::to_string(scale) + ",\n  \"runs\": " + std::to_string(runs) +
+                          ",\n  \"configs\": [\n"};
+  auto first_entry = true;
+
+  std::cout << "probe_rows  build_rows  sel    mode   legacy_ms   radix_ms   speedup\n";
+  for (const auto base_rows : {size_t{1'000'000}, size_t{10'000'000}}) {
+    const auto probe_rows = std::max(size_t{1000}, static_cast<size_t>(static_cast<double>(base_rows) * scale));
+    const auto build_rows = probe_rows / 2;
+
+    // Build keys uniform over [0, build_rows); probe hits sample actual build
+    // keys, misses draw from a disjoint range.
+    auto rng = std::mt19937_64{42};
+    auto build_keys = std::vector<int32_t>(build_rows);
+    for (auto& key : build_keys) {
+      key = static_cast<int32_t>(rng() % build_rows);
+    }
+    const auto build_input = MakeKeyTable(build_keys);
+
+    for (const auto selectivity : {0.01, 0.5, 0.95}) {
+      auto probe_keys = std::vector<int32_t>(probe_rows);
+      for (auto& key : probe_keys) {
+        if (static_cast<double>(rng() % 10000) < selectivity * 10000) {
+          key = build_keys[rng() % build_rows];
+        } else {
+          key = static_cast<int32_t>(build_rows + rng() % build_rows);
+        }
+      }
+      const auto probe_input = MakeKeyTable(probe_keys);
+
+      for (const auto mode : {JoinMode::kInner, JoinMode::kSemi, JoinMode::kAnti}) {
+        auto radix_output_rows = size_t{0};
+        const auto radix_ns = MedianNs(runs, [&] {
+          auto join = std::make_shared<JoinHash>(
+              probe_input, build_input, mode,
+              JoinOperatorPredicate{ColumnID{0}, ColumnID{0}, PredicateCondition::kEquals});
+          join->Execute();
+          radix_output_rows = join->get_output()->row_count();
+        });
+        auto legacy_output_rows = size_t{0};
+        const auto legacy_ns = MedianNs(runs, [&] {
+          legacy_output_rows =
+              LegacyHashJoinRows(probe_input->get_output(), build_input->get_output(), mode);
+        });
+        Assert(legacy_output_rows == radix_output_rows, "Legacy and radix joins disagree on the result size");
+
+        const auto speedup = static_cast<double>(legacy_ns) / static_cast<double>(radix_ns);
+        char line[160];
+        std::snprintf(line, sizeof(line), "%10zu %11zu %5.2f %6s %10.2f %10.2f %8.2fx", probe_rows, build_rows,
+                      selectivity, ModeName(mode), static_cast<double>(legacy_ns) / 1e6,
+                      static_cast<double>(radix_ns) / 1e6, speedup);
+        std::cout << line << "\n";
+
+        json += first_entry ? "    " : ",\n    ";
+        first_entry = false;
+        json += "{\"probe_rows\": " + std::to_string(probe_rows) + ", \"build_rows\": " + std::to_string(build_rows) +
+                ", \"selectivity\": " + std::to_string(selectivity) + ", \"mode\": \"" + ModeName(mode) +
+                "\", \"legacy_ns\": " + std::to_string(legacy_ns) + ", \"radix_ns\": " + std::to_string(radix_ns) +
+                ", \"speedup\": " + std::to_string(speedup) + ", \"output_rows\": " + std::to_string(radix_output_rows) +
+                "}";
+      }
+    }
+  }
+  json += "\n  ]\n}\n";
+
+  auto file = std::ofstream{json_path};
+  file << json;
+  std::cout << "Wrote " << json_path << "\n";
+  return 0;
+}
+
+}  // namespace hyrise
+
+int main(int argc, char** argv) {
+  return hyrise::Main(argc, argv);
+}

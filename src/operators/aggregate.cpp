@@ -1,13 +1,16 @@
 #include "operators/aggregate.hpp"
 
-#include <unordered_map>
+#include <cstring>
+#include <functional>
 #include <unordered_set>
+#include <variant>
 
 #include "operators/column_materializer.hpp"
 #include "scheduler/job_helpers.hpp"
 #include "storage/table.hpp"
 #include "storage/value_segment.hpp"
 #include "utils/assert.hpp"
+#include "utils/flat_hash_table.hpp"
 
 namespace hyrise {
 
@@ -23,24 +26,6 @@ std::string Aggregate::Description() const {
 }
 
 namespace {
-
-/// Serializes one group value into the key buffer (length-prefixed to keep
-/// keys unambiguous across columns).
-template <typename T>
-void AppendKeyPart(std::string& key, const T& value, bool is_null) {
-  if (is_null) {
-    key.push_back('\x01');
-    return;
-  }
-  key.push_back('\x02');
-  if constexpr (std::is_same_v<T, std::string>) {
-    const auto size = static_cast<uint32_t>(value.size());
-    key.append(reinterpret_cast<const char*>(&size), sizeof(size));
-    key.append(value);
-  } else {
-    key.append(reinterpret_cast<const char*>(&value), sizeof(value));
-  }
-}
 
 /// Runs `body(range_index, begin, end)` as one task per chunk range
 /// (paper §2.9). Each task writes only state indexed by its own range, so the
@@ -62,6 +47,164 @@ void ForEachRangeParallel(const CancellationToken& token, const std::vector<std:
   SpawnAndWaitForTasks(jobs);
 }
 
+/// A materialized group-by column of any supported type (materialized once,
+/// used by both the key-building phase and the group-column output phase).
+using AnyMaterializedColumn =
+    std::variant<MaterializedColumn<int32_t>, MaterializedColumn<int64_t>, MaterializedColumn<float>,
+                 MaterializedColumn<double>, MaterializedColumn<std::string>>;
+
+/// The value bits of one group value for the packed-key fast path. Signed ints
+/// and float bit patterns are both injective into uint64, which is all a hash
+/// key needs (note: like the byte-serialized keys before it, this grouping is
+/// bit-pattern equality, so -0.0 and +0.0 form distinct float groups).
+template <typename T>
+uint64_t PackBits(const T& value) {
+  if constexpr (std::is_same_v<T, float>) {
+    auto bits = uint32_t{0};
+    std::memcpy(&bits, &value, sizeof(value));
+    return bits;
+  } else if constexpr (std::is_same_v<T, double>) {
+    auto bits = uint64_t{0};
+    std::memcpy(&bits, &value, sizeof(value));
+    return bits;
+  } else {
+    return static_cast<uint64_t>(static_cast<std::make_unsigned_t<T>>(value));
+  }
+}
+
+/// Fallback key: a length-delimited byte serialization in a per-chunk arena,
+/// compared by bytes with a precomputed hash. No per-row heap allocation.
+struct ByteKey {
+  const char* data{nullptr};
+  uint32_t size{0};
+
+  bool operator==(const ByteKey& other) const {
+    return size == other.size && std::memcmp(data, other.data, size) == 0;
+  }
+};
+
+/// Serializes one group value into the arena (length-prefixed to keep keys
+/// unambiguous across columns).
+template <typename T>
+void AppendKeyPart(std::vector<char>& arena, const T& value, bool is_null) {
+  if (is_null) {
+    arena.push_back('\x01');
+    return;
+  }
+  arena.push_back('\x02');
+  if constexpr (std::is_same_v<T, std::string>) {
+    const auto size = static_cast<uint32_t>(value.size());
+    arena.insert(arena.end(), reinterpret_cast<const char*>(&size), reinterpret_cast<const char*>(&size) + sizeof(size));
+    arena.insert(arena.end(), value.data(), value.data() + value.size());
+  } else {
+    arena.insert(arena.end(), reinterpret_cast<const char*>(&value), reinterpret_cast<const char*>(&value) + sizeof(value));
+  }
+}
+
+/// One node of the grouping merge tree: the flat key table, the groups in
+/// first-occurrence order, and — for every chunk range this node covers — the
+/// translation from that range's local group ids to this node's ids.
+template <typename KeyT>
+struct GroupMergeNode {
+  struct Group {
+    uint64_t hash{0};
+    KeyT key{};
+    size_t first_row{0};
+  };
+
+  FlatHashMap<KeyT, uint32_t> map{};
+  std::vector<Group> groups;
+  std::vector<std::pair<size_t, std::vector<uint32_t>>> translations;
+};
+
+/// Folds `from` into `into` (which covers strictly earlier chunk ranges):
+/// unseen keys are appended in `from`'s group order, and all of `from`'s
+/// range translations are remapped into `into`'s id space.
+template <typename KeyT>
+void MergeGroupNodes(GroupMergeNode<KeyT>& into, GroupMergeNode<KeyT>& from) {
+  auto remap = std::vector<uint32_t>(from.groups.size());
+  for (auto index = size_t{0}; index < from.groups.size(); ++index) {
+    auto& group = from.groups[index];
+    const auto [value, inserted] = into.map.FindOrInsert(group.hash, group.key);
+    if (inserted) {
+      *value = static_cast<uint32_t>(into.groups.size());
+      into.groups.push_back(std::move(group));
+    }
+    remap[index] = *value;
+  }
+  for (auto& [range_id, translation] : from.translations) {
+    for (auto& local : translation) {
+      local = remap[local];
+    }
+    into.translations.emplace_back(range_id, std::move(translation));
+  }
+  from.groups.clear();
+  from.translations.clear();
+}
+
+/// Assigns a dense group index to every row: per-chunk local grouping into
+/// flat tables (parallel), then a fixed binary merge tree over the chunk
+/// ranges (parallel within each level). Because every merge folds a
+/// later-range node into an earlier-range node, the final group order is
+/// first-occurrence row order — identical to a serial scan, independent of
+/// the scheduler. `key_of_row(row)` returns the (hash, key) pair of a row and
+/// is only called for rows of the caller's own range.
+template <typename KeyT, typename KeyOfRow>
+void AssignGroups(const CancellationToken& token, const std::vector<std::pair<size_t, size_t>>& ranges,
+                  size_t row_count, const KeyOfRow& key_of_row, std::vector<size_t>& group_of_row,
+                  std::vector<size_t>& representative_rows) {
+  const auto range_count = ranges.size();
+  if (range_count == 0) {
+    return;
+  }
+  auto local_ids = std::vector<uint32_t>(row_count);
+  auto nodes = std::vector<GroupMergeNode<KeyT>>(range_count);
+
+  ForEachRangeParallel(token, ranges, [&](size_t range_id, size_t begin, size_t end) {
+    auto& node = nodes[range_id];
+    for (auto row = begin; row < end; ++row) {
+      const auto [hash, key] = key_of_row(row);
+      const auto [value, inserted] = node.map.FindOrInsert(hash, key);
+      if (inserted) {
+        *value = static_cast<uint32_t>(node.groups.size());
+        node.groups.push_back({hash, key, row});
+      }
+      local_ids[row] = *value;
+    }
+    auto identity = std::vector<uint32_t>(node.groups.size());
+    for (auto index = size_t{0}; index < identity.size(); ++index) {
+      identity[index] = static_cast<uint32_t>(index);
+    }
+    node.translations.emplace_back(range_id, std::move(identity));
+  });
+
+  for (auto step = size_t{1}; step < range_count; step *= 2) {
+    auto jobs = std::vector<std::function<void()>>{};
+    for (auto index = size_t{0}; index + step < range_count; index += 2 * step) {
+      jobs.emplace_back([index, step, &nodes] {
+        MergeGroupNodes(nodes[index], nodes[index + step]);
+      });
+    }
+    SpawnAndWaitForJobs(std::move(jobs));
+  }
+
+  auto& merged = nodes[0];
+  representative_rows.reserve(merged.groups.size());
+  for (const auto& group : merged.groups) {
+    representative_rows.push_back(group.first_row);
+  }
+  auto translation_of_range = std::vector<const std::vector<uint32_t>*>(range_count);
+  for (const auto& [range_id, translation] : merged.translations) {
+    translation_of_range[range_id] = &translation;
+  }
+  ForEachRangeParallel(token, ranges, [&](size_t range_id, size_t begin, size_t end) {
+    const auto& translation = *translation_of_range[range_id];
+    for (auto row = begin; row < end; ++row) {
+      group_of_row[row] = translation[local_ids[row]];
+    }
+  });
+}
+
 }  // namespace
 
 std::shared_ptr<const Table> Aggregate::OnExecute(const std::shared_ptr<TransactionContext>& /*context*/) {
@@ -71,10 +214,23 @@ std::shared_ptr<const Table> Aggregate::OnExecute(const std::shared_ptr<Transact
   const auto range_count = ranges.size();
   const auto& token = cancellation_token_;
 
+  // Group-by columns, materialized once — the key-building phase consumes
+  // them here and the group-column output phase (phase 3) reuses them.
+  auto group_columns = std::vector<AnyMaterializedColumn>{};
+  group_columns.reserve(group_by_columns_.size());
+  for (const auto column_id : group_by_columns_) {
+    ResolveDataType(input->column_data_type(column_id), [&](auto type_tag) {
+      using T = decltype(type_tag);
+      group_columns.emplace_back(MaterializeColumn<T>(*input, column_id));
+    });
+  }
+
   // --- Phase 1: assign a dense group index to every row. --------------------
-  // Key building fans out per chunk (disjoint writes into `keys`); the group
-  // index assignment stays serial so group indices follow first-occurrence
-  // row order deterministically.
+  // Fast path: every group column is fixed-width and the value bits plus one
+  // null bit per null-carrying column fit a single uint64_t (one or two small
+  // columns — the common OLAP shape). Fallback: keys are byte-serialized into
+  // per-chunk arenas and compared by bytes with a stored hash. Both paths run
+  // per-chunk local grouping in flat tables and a tree merge (AssignGroups).
   auto group_of_row = std::vector<size_t>(row_count);
   auto representative_rows = std::vector<size_t>{};  // First row of each group.
   if (group_by_columns_.empty()) {
@@ -83,26 +239,94 @@ std::shared_ptr<const Table> Aggregate::OnExecute(const std::shared_ptr<Transact
       representative_rows.push_back(0);
     }
   } else {
-    auto keys = std::vector<std::string>(row_count);
-    for (const auto column_id : group_by_columns_) {
-      ResolveDataType(input->column_data_type(column_id), [&](auto type_tag) {
-        using T = decltype(type_tag);
-        const auto column = MaterializeColumn<T>(*input, column_id);
-        ForEachRangeParallel(token, ranges, [&](size_t /*range_id*/, size_t begin, size_t end) {
-          for (auto row = begin; row < end; ++row) {
-            AppendKeyPart(keys[row], column.values[row], column.IsNull(row));
-          }
-        });
-      });
+    struct PackedPart {
+      unsigned value_shift{0};
+      int null_shift{-1};  // -1: column carries no NULLs.
+    };
+    auto parts = std::vector<PackedPart>(group_columns.size());
+    auto total_bits = size_t{0};
+    auto packable = true;
+    for (auto index = size_t{0}; index < group_columns.size(); ++index) {
+      std::visit(
+          [&](const auto& column) {
+            using T = typename std::decay_t<decltype(column.values)>::value_type;
+            if constexpr (std::is_same_v<T, std::string>) {
+              packable = false;
+            } else {
+              parts[index].value_shift = static_cast<unsigned>(total_bits);
+              total_bits += sizeof(T) * 8;
+              if (!column.nulls.empty()) {
+                parts[index].null_shift = static_cast<int>(total_bits);
+                total_bits += 1;
+              }
+            }
+          },
+          group_columns[index]);
     }
-    auto group_ids = std::unordered_map<std::string, size_t>{};
-    group_ids.reserve(row_count / 4 + 16);
-    for (auto row = size_t{0}; row < row_count; ++row) {
-      const auto [iter, inserted] = group_ids.emplace(std::move(keys[row]), representative_rows.size());
-      if (inserted) {
-        representative_rows.push_back(row);
+    packable = packable && total_bits <= 64;
+
+    if (packable) {
+      auto packed = std::vector<uint64_t>(row_count, 0);
+      for (auto index = size_t{0}; index < group_columns.size(); ++index) {
+        std::visit(
+            [&](const auto& column) {
+              using T = typename std::decay_t<decltype(column.values)>::value_type;
+              if constexpr (!std::is_same_v<T, std::string>) {
+                const auto part = parts[index];
+                ForEachRangeParallel(token, ranges, [&](size_t /*range_id*/, size_t begin, size_t end) {
+                  for (auto row = begin; row < end; ++row) {
+                    if (column.IsNull(row)) {
+                      packed[row] |= uint64_t{1} << part.null_shift;
+                    } else {
+                      packed[row] |= PackBits(column.values[row]) << part.value_shift;
+                    }
+                  }
+                });
+              }
+            },
+            group_columns[index]);
       }
-      group_of_row[row] = iter->second;
+      AssignGroups<uint64_t>(
+          token, ranges, row_count,
+          [&](size_t row) {
+            return std::pair{MixHash(packed[row]), packed[row]};
+          },
+          group_of_row, representative_rows);
+    } else {
+      // Per-chunk arenas; ByteKeys point into them (stable once built, and
+      // the arenas outlive AssignGroups).
+      auto arenas = std::vector<std::vector<char>>(range_count);
+      auto byte_keys = std::vector<ByteKey>(row_count);
+      auto hashes = std::vector<uint64_t>(row_count);
+      ForEachRangeParallel(token, ranges, [&](size_t range_id, size_t begin, size_t end) {
+        auto& arena = arenas[range_id];
+        auto ends = std::vector<size_t>{};
+        ends.reserve(end - begin);
+        for (auto row = begin; row < end; ++row) {
+          for (const auto& any_column : group_columns) {
+            std::visit(
+                [&](const auto& column) {
+                  AppendKeyPart(arena, column.values[row], column.IsNull(row));
+                },
+                any_column);
+          }
+          ends.push_back(arena.size());
+        }
+        // Pointers only after the arena stopped growing.
+        auto offset = size_t{0};
+        for (auto row = begin; row < end; ++row) {
+          const auto size = ends[row - begin] - offset;
+          byte_keys[row] = ByteKey{arena.data() + offset, static_cast<uint32_t>(size)};
+          hashes[row] = HashBytes(arena.data() + offset, size);
+          offset = ends[row - begin];
+        }
+      });
+      AssignGroups<ByteKey>(
+          token, ranges, row_count,
+          [&](size_t row) {
+            return std::pair{hashes[row], byte_keys[row]};
+          },
+          group_of_row, representative_rows);
     }
   }
   // No GROUP BY: a single group, even over empty input.
@@ -151,25 +375,26 @@ std::shared_ptr<const Table> Aggregate::OnExecute(const std::shared_ptr<Transact
   auto segments = Segments{};
 
   // --- Phase 3: group columns (values of the representative rows). ----------
-  for (const auto column_id : group_by_columns_) {
-    ResolveDataType(input->column_data_type(column_id), [&](auto type_tag) {
-      using T = decltype(type_tag);
-      const auto column = MaterializeColumn<T>(*input, column_id);
-      auto values = std::vector<T>(group_count);
-      auto nulls = std::vector<bool>(group_count, false);
-      auto any_null = false;
-      for (auto group = size_t{0}; group < group_count; ++group) {
-        const auto row = representative_rows[group];
-        if (column.IsNull(row)) {
-          nulls[group] = true;
-          any_null = true;
-        } else {
-          values[group] = column.values[row];
-        }
-      }
-      segments.push_back(std::make_shared<ValueSegment<T>>(std::move(values),
-                                                           any_null ? std::move(nulls) : std::vector<bool>{}));
-    });
+  for (auto index = size_t{0}; index < group_by_columns_.size(); ++index) {
+    std::visit(
+        [&](const auto& column) {
+          using T = typename std::decay_t<decltype(column.values)>::value_type;
+          auto values = std::vector<T>(group_count);
+          auto nulls = std::vector<bool>(group_count, false);
+          auto any_null = false;
+          for (auto group = size_t{0}; group < group_count; ++group) {
+            const auto row = representative_rows[group];
+            if (column.IsNull(row)) {
+              nulls[group] = true;
+              any_null = true;
+            } else {
+              values[group] = column.values[row];
+            }
+          }
+          segments.push_back(std::make_shared<ValueSegment<T>>(std::move(values),
+                                                               any_null ? std::move(nulls) : std::vector<bool>{}));
+        },
+        group_columns[index]);
   }
 
   // --- Phase 4: aggregates — per-chunk partials, merged in chunk order. -----

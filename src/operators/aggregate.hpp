@@ -15,8 +15,11 @@ struct AggregateColumnDefinition {
   std::optional<ColumnID> column;
 };
 
-/// Hash-based grouping and aggregation. Group keys are serialized into
-/// byte strings and hashed; accumulators are typed per aggregate. SQL NULL
+/// Hash-based grouping and aggregation. Group keys are packed into a single
+/// uint64_t when the group columns' value and null bits fit (one or two small
+/// columns), else byte-serialized into per-chunk arenas with stored hashes;
+/// grouping runs per chunk in flat open-addressing tables merged by a fixed
+/// tree (DESIGN.md §5c). Accumulators are typed per aggregate. SQL NULL
 /// semantics: aggregates skip NULL inputs, COUNT(*) counts rows, empty input
 /// without GROUP BY yields one row (COUNT = 0, others NULL), NULL group
 /// values form their own group.

@@ -8,6 +8,8 @@
 #include "scheduler/job_helpers.hpp"
 #include "storage/segment_iterables/segment_iterate.hpp"
 #include "storage/table.hpp"
+#include "types/all_type_variant.hpp"
+#include "utils/assert.hpp"
 
 namespace hyrise {
 
@@ -39,9 +41,14 @@ inline std::vector<std::pair<size_t, size_t>> ChunkRowRanges(const Table& table)
   return ranges;
 }
 
-template <typename T>
-MaterializedColumn<T> MaterializeColumn(const Table& table, ColumnID column_id) {
-  auto materialized = MaterializedColumn<T>{};
+namespace detail {
+
+/// Shared body of MaterializeColumn/MaterializeColumnAs: reads the segments
+/// as their stored type T and writes values of type K, casting inside the
+/// per-chunk job so promoted values are written exactly once.
+template <typename K, typename T>
+MaterializedColumn<K> MaterializeColumnCasting(const Table& table, ColumnID column_id) {
+  auto materialized = MaterializedColumn<K>{};
   const auto row_count = table.row_count();
   materialized.values.resize(row_count);
   const auto chunk_count = table.chunk_count();
@@ -63,7 +70,7 @@ MaterializedColumn<T> MaterializeColumn(const Table& table, ColumnID column_id) 
             if (position.is_null()) {
               null_rows.push_back(base + position.chunk_offset());
             } else {
-              values[base + position.chunk_offset()] = position.value();
+              values[base + position.chunk_offset()] = static_cast<K>(position.value());
             }
           });
         }));
@@ -82,6 +89,32 @@ MaterializedColumn<T> MaterializeColumn(const Table& table, ColumnID column_id) 
       materialized.nulls[row] = true;
     }
   }
+  return materialized;
+}
+
+}  // namespace detail
+
+template <typename T>
+MaterializedColumn<T> MaterializeColumn(const Table& table, ColumnID column_id) {
+  return detail::MaterializeColumnCasting<T, T>(table, column_id);
+}
+
+/// Materializes a column of any arithmetic type as the (promoted) type K —
+/// the joins' key materialization. Fails for unsupported combinations
+/// (string as arithmetic or vice versa).
+template <typename K>
+MaterializedColumn<K> MaterializeColumnAs(const Table& table, ColumnID column_id) {
+  auto materialized = MaterializedColumn<K>{};
+  ResolveDataType(table.column_data_type(column_id), [&](auto column_tag) {
+    using T = decltype(column_tag);
+    if constexpr (std::is_same_v<T, K>) {
+      materialized = detail::MaterializeColumnCasting<K, K>(table, column_id);
+    } else if constexpr (std::is_arithmetic_v<T> && std::is_arithmetic_v<K>) {
+      materialized = detail::MaterializeColumnCasting<K, T>(table, column_id);
+    } else {
+      Fail("Column type cannot be materialized as the requested key type");
+    }
+  });
   return materialized;
 }
 

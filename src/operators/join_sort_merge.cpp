@@ -1,6 +1,7 @@
 #include "operators/join_sort_merge.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "expression/expressions.hpp"
 #include "operators/column_materializer.hpp"
@@ -34,28 +35,23 @@ std::shared_ptr<const Table> JoinSortMerge::OnExecute(const std::shared_ptr<Tran
     using K = decltype(type_tag);
 
     // (key, row index) pairs, NULL keys dropped (they never match; left-outer
-    // NULL-key rows are emitted padded below).
+    // NULL-key rows are emitted padded below). Arithmetic promotions are cast
+    // inside the per-chunk materialization job, so keys move straight from the
+    // materialized column into the sort pairs — one copy, no retype pass.
     const auto materialize_sorted = [](const Table& table, ColumnID column_id,
                                        std::vector<size_t>* null_rows) {
       auto pairs = std::vector<std::pair<K, size_t>>{};
       pairs.reserve(table.row_count());
-      ResolveDataType(table.column_data_type(column_id), [&](auto column_tag) {
-        using T = decltype(column_tag);
-        if constexpr (std::is_same_v<T, K> || (std::is_arithmetic_v<T> && std::is_arithmetic_v<K>)) {
-          const auto column = MaterializeColumn<T>(table, column_id);
-          for (auto row = size_t{0}; row < column.values.size(); ++row) {
-            if (column.IsNull(row)) {
-              if (null_rows) {
-                null_rows->push_back(row);
-              }
-            } else {
-              pairs.emplace_back(static_cast<K>(column.values[row]), row);
-            }
+      auto column = MaterializeColumnAs<K>(table, column_id);
+      for (auto row = size_t{0}; row < column.values.size(); ++row) {
+        if (column.IsNull(row)) {
+          if (null_rows) {
+            null_rows->push_back(row);
           }
         } else {
-          Fail("Join key type mismatch");
+          pairs.emplace_back(std::move(column.values[row]), row);
         }
-      });
+      }
       std::sort(pairs.begin(), pairs.end());
       return pairs;
     };

@@ -149,36 +149,35 @@ Server::~Server() {
 }
 
 Result<uint16_t> Server::Start() {
-  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
+  const auto fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
     return Result<uint16_t>::Error(std::string{"Cannot create server socket: "} + std::strerror(errno));
   }
   // SO_REUSEADDR: a restarted server (or a test retrying after a port clash)
   // can rebind while the previous socket lingers in TIME_WAIT.
   const auto reuse = int{1};
-  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
 
   auto address = sockaddr_in{};
   address.sin_family = AF_INET;
   address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   address.sin_port = htons(config_.port);
-  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&address), sizeof(address)) != 0) {
+  if (bind(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) != 0) {
     auto error = std::string{"Cannot bind port "} + std::to_string(config_.port) + ": " + std::strerror(errno);
-    close(listen_fd_);
-    listen_fd_ = -1;
+    close(fd);
     return Result<uint16_t>::Error(std::move(error));
   }
-  if (listen(listen_fd_, config_.backlog) != 0) {
+  if (listen(fd, config_.backlog) != 0) {
     auto error = std::string{"Cannot listen: "} + std::strerror(errno);
-    close(listen_fd_);
-    listen_fd_ = -1;
+    close(fd);
     return Result<uint16_t>::Error(std::move(error));
   }
 
   auto bound = sockaddr_in{};
   auto bound_size = socklen_t{sizeof(bound)};
-  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_size);
+  getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_size);
   port_ = ntohs(bound.sin_port);
+  listen_fd_.store(fd);
 
   running_.store(true);
   accept_thread_ = std::thread([this] {
@@ -192,9 +191,9 @@ void Server::Stop() {
     return;
   }
   // 1. Stop accepting: unblocks accept(2) in the accept thread.
-  shutdown(listen_fd_, SHUT_RDWR);
-  close(listen_fd_);
-  listen_fd_ = -1;
+  const auto fd = listen_fd_.exchange(-1);
+  shutdown(fd, SHUT_RDWR);
+  close(fd);
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
@@ -239,7 +238,7 @@ size_t Server::active_connection_count() const {
 
 void Server::AcceptLoop() {
   while (running_.load()) {
-    const auto connection_fd = accept(listen_fd_, nullptr, nullptr);
+    const auto connection_fd = accept(listen_fd_.load(), nullptr, nullptr);
     if (connection_fd < 0) {
       if (errno == EINTR) {
         continue;

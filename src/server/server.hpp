@@ -88,7 +88,8 @@ class Server {
   void HandleConnection(const std::shared_ptr<Session>& session, bool reject_over_capacity);
 
   ServerConfig config_;
-  int listen_fd_{-1};
+  /// Atomic: AcceptLoop reads it concurrently with Stop()'s close/reset.
+  std::atomic<int> listen_fd_{-1};
   uint16_t port_{0};
   std::atomic<bool> running_{false};
   std::thread accept_thread_;

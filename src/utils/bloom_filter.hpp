@@ -1,0 +1,61 @@
+#ifndef HYRISE_SRC_UTILS_BLOOM_FILTER_HPP_
+#define HYRISE_SRC_UTILS_BLOOM_FILTER_HPP_
+
+#include <cstdint>
+#include <vector>
+
+namespace hyrise {
+
+/// Bloom filter over precomputed 64-bit hashes, used by JoinHash to let probe
+/// rows whose key cannot be on the build side skip the hash-table lookup
+/// entirely. Sized at ~8 bits per expected entry (rounded up to a power of
+/// two) with two bit probes, giving a false-positive rate of a few percent —
+/// cheap enough that low-selectivity probes touch one or two cache lines
+/// instead of the table.
+///
+/// The incoming hash is remixed before the probe bits are extracted: callers
+/// partition by the hash's low bits, so within one partition those bits are
+/// constant and would otherwise collapse both probes onto a handful of words.
+class BloomFilter {
+ public:
+  explicit BloomFilter(size_t expected_entries) {
+    auto bits = size_t{64};
+    while (bits < expected_entries * 8) {
+      bits *= 2;
+    }
+    words_.resize(bits / 64, 0);
+    bit_mask_ = bits - 1;
+  }
+
+  void Insert(uint64_t hash) {
+    const auto mixed = Remix(hash);
+    const auto first = mixed & bit_mask_;
+    const auto second = (mixed >> 32) & bit_mask_;
+    words_[first / 64] |= uint64_t{1} << (first % 64);
+    words_[second / 64] |= uint64_t{1} << (second % 64);
+  }
+
+  bool MaybeContains(uint64_t hash) const {
+    const auto mixed = Remix(hash);
+    const auto first = mixed & bit_mask_;
+    if ((words_[first / 64] & (uint64_t{1} << (first % 64))) == 0) {
+      return false;
+    }
+    const auto second = (mixed >> 32) & bit_mask_;
+    return (words_[second / 64] & (uint64_t{1} << (second % 64))) != 0;
+  }
+
+ private:
+  static uint64_t Remix(uint64_t hash) {
+    hash *= 0xff51afd7ed558ccdULL;
+    hash ^= hash >> 29;
+    return hash;
+  }
+
+  std::vector<uint64_t> words_;
+  uint64_t bit_mask_{0};
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_UTILS_BLOOM_FILTER_HPP_

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <random>
+#include <string>
+
+#include "hyrise.hpp"
+#include "operators/join_hash.hpp"
+#include "operators/join_nested_loop.hpp"
+#include "operators/join_sort_merge.hpp"
+#include "operators/table_wrapper.hpp"
+#include "scheduler/node_queue_scheduler.hpp"
+#include "test_utils.hpp"
+
+namespace hyrise {
+
+namespace {
+
+std::shared_ptr<AbstractOperator> Wrap(const std::shared_ptr<Table>& table) {
+  auto wrapper = std::make_shared<TableWrapper>(table);
+  wrapper->Execute();
+  return wrapper;
+}
+
+constexpr auto kAllModes = std::array{JoinMode::kInner, JoinMode::kLeft, JoinMode::kSemi, JoinMode::kAnti};
+
+/// Executes `join` and asserts its rows equal `expected` *in order* — the
+/// radix-partitioned JoinHash promises the exact emission order of a serial
+/// probe loop (probe rows ascending, matches in ascending build-row order),
+/// which is also precisely what JoinNestedLoop produces.
+void ExpectSameRowOrder(const std::shared_ptr<AbstractJoinOperator>& join,
+                        const std::shared_ptr<AbstractJoinOperator>& reference) {
+  join->Execute();
+  reference->Execute();
+  ExpectTableContents(join->get_output(), reference->get_output()->GetRows(), /*ordered=*/true);
+}
+
+}  // namespace
+
+/// Randomized cross-checks of JoinHash against JoinNestedLoop (row-order
+/// exact) and JoinSortMerge (multiset), under both the serial
+/// ImmediateExecutionScheduler and the NodeQueueScheduler — the parallel
+/// partitioning, per-partition build/probe fan-out, and merge must be
+/// invisible in the results.
+class JoinParallelRandomizedTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    Hyrise::Reset();
+    if (GetParam()) {
+      Hyrise::Get().SetScheduler(std::make_shared<NodeQueueScheduler>(1, 4));
+    }
+  }
+
+  void TearDown() override {
+    Hyrise::Get().SetScheduler(std::make_shared<ImmediateExecutionScheduler>());
+  }
+
+  /// Rows of (key, payload); key in [0, key_range) with duplicates, ~10 %
+  /// NULL keys when `with_nulls`.
+  std::shared_ptr<Table> IntTable(std::mt19937& rng, size_t row_count, int32_t key_range, bool with_nulls,
+                                  ChunkOffset chunk_size, int32_t payload_base = 0) {
+    auto rows = std::vector<std::vector<AllTypeVariant>>{};
+    rows.reserve(row_count);
+    for (auto index = size_t{0}; index < row_count; ++index) {
+      auto key = AllTypeVariant{static_cast<int32_t>(rng() % key_range)};
+      if (with_nulls && rng() % 10 == 0) {
+        key = kNullVariant;
+      }
+      rows.push_back({key, payload_base + static_cast<int32_t>(index)});
+    }
+    return MakeTable({{"k", DataType::kInt, with_nulls}, {"payload", DataType::kInt}}, rows, chunk_size);
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(SerialAndScheduled, JoinParallelRandomizedTest, ::testing::Bool(), [](const auto& info) {
+  return info.param ? std::string{"NodeQueueScheduler"} : std::string{"Serial"};
+});
+
+TEST_P(JoinParallelRandomizedTest, AllModesMatchNestedLoopRowOrder) {
+  auto rng = std::mt19937{7};
+  const auto left = IntTable(rng, 311, 40, /*with_nulls=*/true, /*chunk_size=*/23);
+  const auto right = IntTable(rng, 257, 40, /*with_nulls=*/true, /*chunk_size=*/31, /*payload_base=*/1000);
+  const auto primary = JoinOperatorPredicate{ColumnID{0}, ColumnID{0}, PredicateCondition::kEquals};
+  for (const auto mode : kAllModes) {
+    ExpectSameRowOrder(std::make_shared<JoinHash>(Wrap(left), Wrap(right), mode, primary),
+                       std::make_shared<JoinNestedLoop>(Wrap(left), Wrap(right), mode, primary));
+  }
+}
+
+TEST_P(JoinParallelRandomizedTest, SecondaryPredicatesMatchNestedLoopRowOrder) {
+  auto rng = std::mt19937{11};
+  const auto left = IntTable(rng, 211, 12, /*with_nulls=*/true, /*chunk_size=*/17);
+  const auto right = IntTable(rng, 190, 12, /*with_nulls=*/true, /*chunk_size=*/29, /*payload_base=*/-50);
+  const auto primary = JoinOperatorPredicate{ColumnID{0}, ColumnID{0}, PredicateCondition::kEquals};
+  const auto secondary =
+      std::vector<JoinOperatorPredicate>{{ColumnID{1}, ColumnID{1}, PredicateCondition::kLessThan}};
+  for (const auto mode : kAllModes) {
+    ExpectSameRowOrder(std::make_shared<JoinHash>(Wrap(left), Wrap(right), mode, primary, secondary),
+                       std::make_shared<JoinNestedLoop>(Wrap(left), Wrap(right), mode, primary, secondary));
+  }
+}
+
+TEST_P(JoinParallelRandomizedTest, DuplicateHeavyKeysMatchNestedLoopRowOrder) {
+  // key_range 5 → long duplicate chains; exercises the offset-linked rows and
+  // the multi-match scatter.
+  auto rng = std::mt19937{13};
+  const auto left = IntTable(rng, 120, 5, /*with_nulls=*/false, /*chunk_size=*/13);
+  const auto right = IntTable(rng, 95, 5, /*with_nulls=*/false, /*chunk_size=*/11, /*payload_base=*/500);
+  const auto primary = JoinOperatorPredicate{ColumnID{0}, ColumnID{0}, PredicateCondition::kEquals};
+  for (const auto mode : kAllModes) {
+    ExpectSameRowOrder(std::make_shared<JoinHash>(Wrap(left), Wrap(right), mode, primary),
+                       std::make_shared<JoinNestedLoop>(Wrap(left), Wrap(right), mode, primary));
+  }
+}
+
+TEST_P(JoinParallelRandomizedTest, StringKeysMatchNestedLoopRowOrder) {
+  auto rng = std::mt19937{17};
+  const auto make_string_table = [&](size_t row_count, ChunkOffset chunk_size) {
+    auto rows = std::vector<std::vector<AllTypeVariant>>{};
+    for (auto index = size_t{0}; index < row_count; ++index) {
+      auto key = AllTypeVariant{std::string{"key_"} + std::to_string(rng() % 25)};
+      if (rng() % 12 == 0) {
+        key = kNullVariant;
+      }
+      rows.push_back({key, static_cast<int32_t>(index)});
+    }
+    return MakeTable({{"k", DataType::kString, true}, {"payload", DataType::kInt}}, rows, chunk_size);
+  };
+  const auto left = make_string_table(170, 19);
+  const auto right = make_string_table(140, 27);
+  const auto primary = JoinOperatorPredicate{ColumnID{0}, ColumnID{0}, PredicateCondition::kEquals};
+  for (const auto mode : kAllModes) {
+    ExpectSameRowOrder(std::make_shared<JoinHash>(Wrap(left), Wrap(right), mode, primary),
+                       std::make_shared<JoinNestedLoop>(Wrap(left), Wrap(right), mode, primary));
+  }
+}
+
+TEST_P(JoinParallelRandomizedTest, PromotedIntLongKeysMatchNestedLoopRowOrder) {
+  auto rng = std::mt19937{19};
+  auto left_rows = std::vector<std::vector<AllTypeVariant>>{};
+  auto right_rows = std::vector<std::vector<AllTypeVariant>>{};
+  for (auto index = size_t{0}; index < 150; ++index) {
+    left_rows.push_back({static_cast<int32_t>(rng() % 30), static_cast<int32_t>(index)});
+    right_rows.push_back({static_cast<int64_t>(rng() % 30), static_cast<int32_t>(index)});
+  }
+  const auto left = MakeTable({{"k", DataType::kInt}, {"payload", DataType::kInt}}, left_rows, 21);
+  const auto right = MakeTable({{"k", DataType::kLong}, {"payload", DataType::kInt}}, right_rows, 33);
+  const auto primary = JoinOperatorPredicate{ColumnID{0}, ColumnID{0}, PredicateCondition::kEquals};
+  for (const auto mode : kAllModes) {
+    ExpectSameRowOrder(std::make_shared<JoinHash>(Wrap(left), Wrap(right), mode, primary),
+                       std::make_shared<JoinNestedLoop>(Wrap(left), Wrap(right), mode, primary));
+  }
+}
+
+TEST_P(JoinParallelRandomizedTest, MultiPartitionBuildMatchesSortMerge) {
+  // A build side above the per-partition target (8192 rows) forces several
+  // radix partitions. The nested loop is quadratic and unusable here, so the
+  // multiset is cross-checked against JoinSortMerge (which emits in key
+  // order) and the row order against a serial JoinHash run.
+  auto rng = std::mt19937{23};
+  const auto left = IntTable(rng, 12000, 20000, /*with_nulls=*/true, /*chunk_size=*/2048);
+  const auto right = IntTable(rng, 20000, 20000, /*with_nulls=*/true, /*chunk_size=*/2048, /*payload_base=*/100000);
+  const auto primary = JoinOperatorPredicate{ColumnID{0}, ColumnID{0}, PredicateCondition::kEquals};
+  for (const auto mode : kAllModes) {
+    auto hash_join = std::make_shared<JoinHash>(Wrap(left), Wrap(right), mode, primary);
+    hash_join->Execute();
+    auto sort_merge = std::make_shared<JoinSortMerge>(Wrap(left), Wrap(right), mode, primary);
+    sort_merge->Execute();
+    ExpectTableContents(hash_join->get_output(), sort_merge->get_output()->GetRows());
+
+    Hyrise::Get().SetScheduler(std::make_shared<ImmediateExecutionScheduler>());
+    auto serial_join = std::make_shared<JoinHash>(Wrap(left), Wrap(right), mode, primary);
+    serial_join->Execute();
+    if (GetParam()) {
+      Hyrise::Get().SetScheduler(std::make_shared<NodeQueueScheduler>(1, 4));
+    }
+    ExpectTableContents(hash_join->get_output(), serial_join->get_output()->GetRows(), /*ordered=*/true);
+  }
+}
+
+}  // namespace hyrise
