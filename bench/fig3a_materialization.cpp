@@ -9,6 +9,9 @@
 #include <random>
 
 #include "storage/chunk_encoder.hpp"
+#include "storage/dictionary_segment.hpp"
+#include "storage/frame_of_reference_segment.hpp"
+#include "storage/run_length_segment.hpp"
 #include "storage/segment_iterables/segment_iterate.hpp"
 #include "storage/value_segment.hpp"
 
@@ -72,6 +75,47 @@ void BM_FullMaterialization(benchmark::State& state) {
                  std::to_string(state.range(1)));
 }
 
+/// Per-element full materialization: one positional Get on the compressed
+/// attribute vector per row (plus dictionary lookup / frame rebase) — the
+/// pre-block-decode baseline, kept so the block-decode win stays measurable.
+/// BM_FullMaterialization above goes through SegmentIterate, whose sequential
+/// path now decodes 128-value blocks (DESIGN.md §5d).
+void BM_FullMaterializationPerElement(benchmark::State& state) {
+  const auto segment = MakeEncodedSegment(kSpecs[state.range(0)]);
+  const auto positions = MakePositions(state.range(1));
+  for (auto _ : state) {
+    auto decoded = std::vector<int32_t>(kValueCount);
+    if (const auto* dictionary_segment = dynamic_cast<const DictionarySegment<int32_t>*>(segment.get())) {
+      const auto& dictionary = dictionary_segment->dictionary();
+      const auto& attribute_vector = dictionary_segment->attribute_vector();
+      for (auto index = size_t{0}; index < kValueCount; ++index) {
+        decoded[index] = dictionary[attribute_vector.Get(index)];
+      }
+    } else if (const auto* for_segment = dynamic_cast<const FrameOfReferenceSegment<int32_t>*>(segment.get())) {
+      const auto& minima = for_segment->block_minima();
+      const auto& offsets = for_segment->offset_values();
+      for (auto index = size_t{0}; index < kValueCount; ++index) {
+        decoded[index] = minima[index / FrameOfReferenceSegment<int32_t>::kBlockSize] +
+                         static_cast<int32_t>(offsets.Get(index));
+      }
+    } else {
+      // Run-length has no per-element attribute vector; its decode is run-wise
+      // either way, so the baseline equals the iterate path.
+      SegmentIterate<int32_t>(*segment, [&](const auto& position) {
+        decoded[position.chunk_offset()] = position.value();
+      });
+    }
+    auto sum = int64_t{0};
+    for (const auto position : *positions) {
+      sum += decoded[position];
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetLabel(std::string{EncodingTypeToString(kSpecs[state.range(0)].encoding_type)} + "/" +
+                 VectorCompressionTypeToString(kSpecs[state.range(0)].vector_compression) + " positions=" +
+                 std::to_string(state.range(1)));
+}
+
 /// Positional materialization: random-access point iterators, no upfront
 /// decode (paper §2.3's with_iterators(position_list, ...)).
 void BM_PositionalMaterialization(benchmark::State& state) {
@@ -100,6 +144,7 @@ void Configure(benchmark::internal::Benchmark* bench) {
 }
 
 BENCHMARK(BM_FullMaterialization)->Apply(Configure)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullMaterializationPerElement)->Apply(Configure)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PositionalMaterialization)->Apply(Configure)->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include "expression/expression_utils.hpp"
 #include "expression/like_matcher.hpp"
 #include "operators/pos_list_utils.hpp"
+#include "operators/scan_kernels.hpp"
 #include "scheduler/job_helpers.hpp"
 #include "utils/failure_injection.hpp"
 #include "storage/segment_iterables/segment_iterate.hpp"
@@ -169,7 +170,11 @@ ScanSpec ClassifyPredicate(const AbstractExpression& predicate) {
 }
 
 /// Dictionary fast path: compare compressed value IDs against the bounds of
-/// the search value — no decoding (paper §2.3).
+/// the search value — no decoding (paper §2.3). Codes are consumed
+/// block-wise: 128 at a time through the SIMD unpack kernels into a
+/// branch-free range compare (the `code - lower < upper - lower` form folds
+/// both bounds into one unsigned compare; the null id is `dictionary.size()`
+/// and therefore never inside [lower, upper)).
 template <typename T>
 bool ScanDictionarySegment(const AbstractSegment& segment, PredicateCondition condition, const T& value,
                            const std::optional<T>& value2, std::vector<ChunkOffset>& matches) {
@@ -193,18 +198,15 @@ bool ScanDictionarySegment(const AbstractSegment& segment, PredicateCondition co
       break;
     }
     case PredicateCondition::kNotEquals: {
-      // Two ranges; handled with an exclusion scan below.
+      // The complement of [equals_lower, equals_upper), minus the null code.
       const auto equals_lower = resolve(dictionary_segment->LowerBound(value));
       const auto equals_upper = resolve(dictionary_segment->UpperBound(value));
+      const auto width = equals_upper - equals_lower;
       ResolveCompressedVector(dictionary_segment->attribute_vector(), [&](const auto& vector) {
-        const auto decompressor = vector.CreateDecompressor();
-        const auto size = vector.size();
-        for (auto offset = size_t{0}; offset < size; ++offset) {
-          const auto code = decompressor.Get(offset);
-          if (code != null_id && (code < equals_lower || code >= equals_upper)) {
-            matches.push_back(static_cast<ChunkOffset>(offset));
-          }
-        }
+        ScanCodes(vector, [=](uint32_t code) {
+          return static_cast<bool>(static_cast<uint64_t>(code - equals_lower >= width) &
+                                   static_cast<uint64_t>(code != null_id));
+        }, matches);
       });
       return true;
     }
@@ -221,6 +223,9 @@ bool ScanDictionarySegment(const AbstractSegment& segment, PredicateCondition co
       lower = resolve(dictionary_segment->LowerBound(value));
       break;
     case PredicateCondition::kBetweenInclusive:
+      // The range kernel: two dictionary binary searches, then one masked
+      // range compare over the codes — a fused BETWEEN costs exactly as much
+      // as a single one-sided comparison.
       lower = resolve(dictionary_segment->LowerBound(value));
       upper = resolve(dictionary_segment->UpperBound(*value2));
       break;
@@ -231,21 +236,17 @@ bool ScanDictionarySegment(const AbstractSegment& segment, PredicateCondition co
   if (lower >= upper) {
     return true;  // Provably empty.
   }
+  const auto width = upper - lower;
   ResolveCompressedVector(dictionary_segment->attribute_vector(), [&](const auto& vector) {
-    const auto decompressor = vector.CreateDecompressor();
-    const auto size = vector.size();
-    for (auto offset = size_t{0}; offset < size; ++offset) {
-      const auto code = decompressor.Get(offset);
-      if (code >= lower && code < upper) {
-        matches.push_back(static_cast<ChunkOffset>(offset));
-      }
-    }
+    ScanCodes(vector, [=](uint32_t code) {
+      return code - lower < width;
+    }, matches);
   });
   return true;
 }
 
 /// LIKE fast path on dictionary segments: match every dictionary entry once,
-/// then scan codes against the bitmap.
+/// then scan codes block-wise against the match bitmap.
 template <typename T>
 bool ScanDictionaryLike(const AbstractSegment& segment, const LikeMatcher& matcher, bool invert,
                         std::vector<ChunkOffset>& matches) {
@@ -257,21 +258,147 @@ bool ScanDictionaryLike(const AbstractSegment& segment, const LikeMatcher& match
       return false;
     }
     const auto& dictionary = dictionary_segment->dictionary();
-    auto code_matches = std::vector<bool>(dictionary.size() + 1, false);  // +1: null id never matches.
+    auto code_matches = std::vector<uint8_t>(dictionary.size() + 1, 0);  // +1: null id never matches.
     for (auto value_id = size_t{0}; value_id < dictionary.size(); ++value_id) {
-      code_matches[value_id] = matcher.Matches(dictionary[value_id]) != invert;
+      code_matches[value_id] = matcher.Matches(dictionary[value_id]) != invert ? 1 : 0;
     }
     ResolveCompressedVector(dictionary_segment->attribute_vector(), [&](const auto& vector) {
-      const auto decompressor = vector.CreateDecompressor();
-      const auto size = vector.size();
-      for (auto offset = size_t{0}; offset < size; ++offset) {
-        if (code_matches[decompressor.Get(offset)]) {
-          matches.push_back(static_cast<ChunkOffset>(offset));
-        }
-      }
+      ScanCodes(vector, [lookup = code_matches.data()](uint32_t code) {
+        return lookup[code] != 0;
+      }, matches);
     });
     return true;
   }
+}
+
+/// Resolves (condition, value, value2) to a branch-free single-value
+/// predicate and passes it to `functor` — the value-domain counterpart of
+/// WithComparator, shared by the unencoded, frame-of-reference, and
+/// run-length kernels.
+template <typename T, typename Functor>
+void WithValuePredicate(PredicateCondition condition, const T& value, const std::optional<T>& value2,
+                        const Functor& functor) {
+  if (condition == PredicateCondition::kBetweenInclusive) {
+    functor([lower = value, upper = *value2](const T& candidate) {
+      return static_cast<bool>(static_cast<uint8_t>(candidate >= lower) & static_cast<uint8_t>(candidate <= upper));
+    });
+    return;
+  }
+  WithComparator(condition, [&](const auto comparator) {
+    functor([comparator, value](const T& candidate) {
+      return comparator(candidate, value);
+    });
+  });
+}
+
+/// Exact-type fast paths over the physically stored data: dictionary codes,
+/// raw value arrays, frame-of-reference offsets, and runs. Returns false for
+/// segment kinds without a kernel (reference segments); the caller falls
+/// back to the generic iterator scan.
+template <typename T>
+bool ScanSegmentBlockwise(const AbstractSegment& segment, PredicateCondition condition, const T& value,
+                          const std::optional<T>& value2, std::vector<ChunkOffset>& matches) {
+  if (ScanDictionarySegment<T>(segment, condition, value, value2, matches)) {
+    return true;
+  }
+  if (const auto* run_length_segment = dynamic_cast<const RunLengthSegment<T>*>(&segment)) {
+    WithValuePredicate<T>(condition, value, value2, [&](const auto& predicate) {
+      ScanRunLengthSegment(*run_length_segment, predicate, matches);
+    });
+    return true;
+  }
+  if constexpr (std::is_arithmetic_v<T>) {
+    if (const auto* value_segment = dynamic_cast<const ValueSegment<T>*>(&segment)) {
+      const auto size = static_cast<size_t>(value_segment->size());  // Published row count of mutable chunks.
+      const auto* nulls = value_segment->is_nullable() ? value_segment->null_values().data() : nullptr;
+      WithValuePredicate<T>(condition, value, value2, [&](const auto& predicate) {
+        ScanDenseValues(value_segment->values().data(), nulls, size, predicate, matches);
+      });
+      return true;
+    }
+  }
+  if constexpr (std::is_same_v<T, int32_t> || std::is_same_v<T, int64_t>) {
+    if (const auto* for_segment = dynamic_cast<const FrameOfReferenceSegment<T>*>(&segment)) {
+      ResolveCompressedVector(for_segment->offset_values(), [&](const auto& vector) {
+        WithValuePredicate<T>(condition, value, value2, [&](const auto& predicate) {
+          ScanFrameOfReferenceSegment(*for_segment, vector, predicate, matches);
+        });
+      });
+      return true;
+    }
+  }
+  return false;
+}
+
+/// IS [NOT] NULL fast paths: null flags are scanned directly (bytes, run
+/// flags, or the null value id) without touching the values at all.
+template <typename T>
+bool ScanIsNullBlockwise(const AbstractSegment& segment, bool want_null, std::vector<ChunkOffset>& matches) {
+  const auto emit_all = [&](size_t size) {
+    for (auto offset = size_t{0}; offset < size; ++offset) {
+      matches.push_back(static_cast<ChunkOffset>(offset));
+    }
+  };
+  if (const auto* value_segment = dynamic_cast<const ValueSegment<T>*>(&segment)) {
+    const auto size = static_cast<size_t>(value_segment->size());
+    if (!value_segment->is_nullable()) {
+      if (!want_null) {
+        emit_all(size);
+      }
+      return true;
+    }
+    ScanDenseValues(value_segment->null_values().data(), nullptr, size, [=](uint8_t is_null) {
+      return (is_null != 0) == want_null;
+    }, matches);
+    return true;
+  }
+  if (const auto* dictionary_segment = dynamic_cast<const DictionarySegment<T>*>(&segment)) {
+    const auto null_id = dictionary_segment->null_value_id();
+    ResolveCompressedVector(dictionary_segment->attribute_vector(), [&](const auto& vector) {
+      ScanCodes(vector, [=](uint32_t code) {
+        return (code == null_id) == want_null;
+      }, matches);
+    });
+    return true;
+  }
+  if (const auto* run_length_segment = dynamic_cast<const RunLengthSegment<T>*>(&segment)) {
+    const auto& run_is_null = run_length_segment->run_is_null();
+    const auto& end_positions = run_length_segment->end_positions();
+    auto start = ChunkOffset{0};
+    for (auto run = size_t{0}; run < run_is_null.size(); ++run) {
+      const auto end = end_positions[run];
+      if (run_is_null[run] == want_null) {
+        for (auto offset = start; offset <= end; ++offset) {
+          matches.push_back(offset);
+        }
+      }
+      start = end + 1;
+    }
+    return true;
+  }
+  if constexpr (std::is_same_v<T, int32_t> || std::is_same_v<T, int64_t>) {
+    if (const auto* for_segment = dynamic_cast<const FrameOfReferenceSegment<T>*>(&segment)) {
+      const auto size = static_cast<size_t>(for_segment->size());
+      const auto& nulls = for_segment->null_values();
+      if (nulls.empty()) {
+        if (!want_null) {
+          emit_all(size);
+        }
+        return true;
+      }
+      constexpr auto kBlock = BaseCompressedVector::kDecodeBlockSize;
+      for (auto base = size_t{0}; base < size; base += kBlock) {
+        const auto count = std::min(kBlock, size - base);
+        auto mask = BlockMask{};
+        for (auto index = size_t{0}; index < count; ++index) {
+          mask[index >> 6] |= static_cast<uint64_t>(nulls[base + index] == want_null) << (index & 63);
+        }
+        EmitBlockMask(mask, base, matches);
+      }
+      return true;
+    }
+  }
+  return false;
 }
 
 /// Uncorrelated subqueries share one PQP that the ExpressionEvaluator
@@ -325,7 +452,8 @@ std::vector<ChunkOffset> TableScan::ScanChunk(const std::shared_ptr<const Table>
       Assert((column_type == DataType::kString) == (value_type == DataType::kString),
              "Cannot compare string column against numeric value");
 
-      // Exact-type dictionary fast path.
+      // Exact-type fast paths: block-wise kernels over the stored codes,
+      // values, offsets, or runs (DESIGN.md §5d).
       if (column_type == value_type &&
           (spec.kind != ScanKind::kColumnBetween || DataTypeOfVariant(spec.value2) == column_type)) {
         auto handled = false;
@@ -335,7 +463,7 @@ std::vector<ChunkOffset> TableScan::ScanChunk(const std::shared_ptr<const Table>
           if (spec.kind == ScanKind::kColumnBetween) {
             value2 = std::get<T>(spec.value2);
           }
-          handled = ScanDictionarySegment<T>(*segment, spec.condition, std::get<T>(spec.value), value2, matches);
+          handled = ScanSegmentBlockwise<T>(*segment, spec.condition, std::get<T>(spec.value), value2, matches);
         });
         if (handled) {
           return matches;
@@ -369,13 +497,18 @@ std::vector<ChunkOffset> TableScan::ScanChunk(const std::shared_ptr<const Table>
     case ScanKind::kColumnIsNull: {
       const auto want_null = spec.condition == PredicateCondition::kIsNull;
       const auto segment = chunk->GetSegment(spec.column_id);
+      auto handled = false;
       ResolveDataType(segment->data_type(), [&](auto type_tag) {
         using T = decltype(type_tag);
-        SegmentIterate<T>(*segment, [&](const auto& position) {
-          if (position.is_null() == want_null) {
-            matches.push_back(position.chunk_offset());
-          }
-        });
+        handled = ScanIsNullBlockwise<T>(*segment, want_null, matches);
+        if (!handled) {
+          // Reference segments: generic iterator scan.
+          SegmentIterate<T>(*segment, [&](const auto& position) {
+            if (position.is_null() == want_null) {
+              matches.push_back(position.chunk_offset());
+            }
+          });
+        }
       });
       return matches;
     }

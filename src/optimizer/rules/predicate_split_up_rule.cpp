@@ -1,18 +1,82 @@
 #include "optimizer/rules/predicate_split_up_rule.hpp"
 
 #include "expression/expression_utils.hpp"
+#include "expression/expressions.hpp"
 #include "logical_query_plan/operator_nodes.hpp"
 
 namespace hyrise {
 
 namespace {
 
+/// A conjunct of the form `column >= value` or `column <= value` (either
+/// argument order), eligible for fusion into an inclusive BETWEEN.
+struct RangeBound {
+  ExpressionPtr column;
+  ExpressionPtr value;
+  bool is_lower{false};
+  bool valid{false};
+};
+
+RangeBound ClassifyRangeBound(const ExpressionPtr& expression) {
+  if (expression->type != ExpressionType::kPredicate) {
+    return {};
+  }
+  const auto& predicate = static_cast<const PredicateExpression&>(*expression);
+  if (predicate.arguments.size() != 2 ||
+      (predicate.condition != PredicateCondition::kGreaterThanEquals &&
+       predicate.condition != PredicateCondition::kLessThanEquals)) {
+    return {};
+  }
+  auto is_lower = predicate.condition == PredicateCondition::kGreaterThanEquals;
+  auto column = predicate.arguments[0];
+  auto value = predicate.arguments[1];
+  if (column->type == ExpressionType::kValue && value->type == ExpressionType::kLqpColumn) {
+    // `value <= column` bounds the column from below; flip accordingly.
+    std::swap(column, value);
+    is_lower = !is_lower;
+  }
+  if (column->type != ExpressionType::kLqpColumn || value->type != ExpressionType::kValue) {
+    return {};
+  }
+  return {column, value, is_lower, true};
+}
+
+/// Fuses `column >= lower` / `column <= upper` conjunct pairs on the same
+/// column into one `column BETWEEN lower AND upper`, so the split-up output
+/// scans the column once through the dictionary range kernel instead of
+/// producing two stacked scans.
+bool FuseRangePairs(Expressions& conjuncts) {
+  auto fused = false;
+  for (auto first = size_t{0}; first < conjuncts.size(); ++first) {
+    const auto first_bound = ClassifyRangeBound(conjuncts[first]);
+    if (!first_bound.valid) {
+      continue;
+    }
+    for (auto second = first + 1; second < conjuncts.size(); ++second) {
+      const auto second_bound = ClassifyRangeBound(conjuncts[second]);
+      if (!second_bound.valid || second_bound.is_lower == first_bound.is_lower ||
+          !(*first_bound.column == *second_bound.column)) {
+        continue;
+      }
+      const auto& lower = first_bound.is_lower ? first_bound : second_bound;
+      const auto& upper = first_bound.is_lower ? second_bound : first_bound;
+      conjuncts[first] = std::make_shared<PredicateExpression>(
+          PredicateCondition::kBetweenInclusive, Expressions{lower.column, lower.value, upper.value});
+      conjuncts.erase(conjuncts.begin() + static_cast<std::ptrdiff_t>(second));
+      fused = true;
+      break;
+    }
+  }
+  return fused;
+}
+
 bool SplitRecursively(LqpNodePtr& edge) {
   auto changed = false;
   if (edge->type == LqpNodeType::kPredicate) {
     const auto predicate = static_cast<const PredicateNode&>(*edge).predicate();
-    const auto conjuncts = FlattenConjunction(predicate);
-    if (conjuncts.size() > 1) {
+    auto conjuncts = FlattenConjunction(predicate);
+    const auto fused = conjuncts.size() > 1 && FuseRangePairs(conjuncts);
+    if (conjuncts.size() > 1 || fused) {
       auto below = edge->left_input;
       for (auto iter = conjuncts.rbegin(); iter != conjuncts.rend(); ++iter) {
         below = PredicateNode::Make(*iter, below);

@@ -33,8 +33,17 @@ class BaseVectorDecompressor {
 /// suppression in the paper's taxonomy, §2.3). Logical encodings (dictionary,
 /// frame-of-reference) store their integer codes in one of these, so any
 /// logical scheme profits from a new physical scheme without modification.
+///
+/// Sequential consumers (scans, full materialization) read through the
+/// block-decode API: codes are produced 128 at a time into a caller-provided
+/// buffer, which lets the physical schemes unpack with SIMD kernels instead
+/// of per-value bit arithmetic.
 class BaseCompressedVector {
  public:
+  /// Granularity of the block-decode API. All physical schemes decode in
+  /// blocks of 128 codes (matching SIMD-BP128's blocking).
+  static constexpr size_t kDecodeBlockSize = 128;
+
   BaseCompressedVector() = default;
   BaseCompressedVector(const BaseCompressedVector&) = delete;
   BaseCompressedVector& operator=(const BaseCompressedVector&) = delete;
@@ -51,6 +60,13 @@ class BaseCompressedVector {
 
   /// Virtual random access; the slow path.
   virtual uint32_t Get(size_t index) const = 0;
+
+  /// Decodes the codes [block_index * 128, min(size, block_index * 128 +
+  /// 128)) into `out` and returns how many are valid. `out` must have room
+  /// for kDecodeBlockSize entries regardless — the kernels always write the
+  /// full block. This is the virtual entry; statically resolved paths call
+  /// the concrete classes' non-virtual DecodeBlockInto.
+  virtual size_t DecodeBlock(size_t block_index, uint32_t* out) const = 0;
 
   /// Decompresses the entire vector ("full materialization" in Figure 3a).
   virtual std::vector<uint32_t> Decode() const = 0;

@@ -2,15 +2,114 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
+#include <utility>
 
 #include "utils/assert.hpp"
+
+// SIMD dispatch (DESIGN.md §5d): on x86-64 with GCC/Clang an AVX2 unpack
+// kernel is compiled alongside the portable scalar kernel and selected once
+// at runtime via __builtin_cpu_supports, so one binary runs correctly on any
+// CPU. On other targets only the scalar kernel exists. Both kernels are
+// branch-free: every value is fetched with an unaligned 8-byte load at its
+// byte-aligned start (in-byte shift <= 7, so shift + 32 bits always fit in
+// 64), which is why the payload carries a guard word.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define HYRISE_BITPACKING_AVX2 1
+#if !defined(__AVX2__)
+#define HYRISE_BITPACKING_AVX2_VIA_PRAGMA 1
+#endif
+#include <immintrin.h>
+#endif
 
 namespace hyrise {
 
 namespace {
 
+constexpr size_t kBlockSize = BitPackingVector::kBlockSize;
+
 uint8_t BitsNeeded(uint32_t max_value) {
   return static_cast<uint8_t>(std::max(1, 32 - std::countl_zero(max_value)));
+}
+
+template <uint32_t kBits>
+constexpr uint32_t kCodeMask = kBits == 32 ? ~uint32_t{0} : ((uint32_t{1} << kBits) - 1);
+
+/// Unpacks one full block of 128 values packed at kBits bits each. Portable
+/// scalar kernel; the fixed trip count, compile-time bit width, and
+/// branch-free body let the compiler unroll and vectorize it.
+template <uint32_t kBits>
+void UnpackBlockScalar(const uint8_t* __restrict in, uint32_t* __restrict out) {
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC unroll 8
+#endif
+  for (auto position = size_t{0}; position < kBlockSize; ++position) {
+    const auto bit = position * kBits;
+    auto word = uint64_t{};
+    std::memcpy(&word, in + (bit >> 3), sizeof(word));
+    out[position] = static_cast<uint32_t>(word >> (bit & 7)) & kCodeMask<kBits>;
+  }
+}
+
+#if defined(HYRISE_BITPACKING_AVX2)
+#if defined(HYRISE_BITPACKING_AVX2_VIA_PRAGMA)
+#pragma GCC push_options
+#pragma GCC target("avx2")
+#endif
+
+/// AVX2 kernel: gathers four values' 8-byte windows at once, shifts each by
+/// its in-byte offset with a per-lane variable shift, masks, and narrows the
+/// four 64-bit lanes to four consecutive uint32 outputs.
+template <uint32_t kBits>
+void UnpackBlockAvx2(const uint8_t* __restrict in, uint32_t* __restrict out) {
+  const auto mask = _mm256_set1_epi64x(kCodeMask<kBits>);
+  const auto seven = _mm256_set1_epi64x(7);
+  const auto narrow = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+  auto bits = _mm256_set_epi64x(3 * kBits, 2 * kBits, kBits, 0);
+  const auto step = _mm256_set1_epi64x(4 * kBits);
+  for (auto position = size_t{0}; position < kBlockSize; position += 4) {
+    const auto bytes = _mm256_srli_epi64(bits, 3);
+    const auto shifts = _mm256_and_si256(bits, seven);
+    const auto words = _mm256_i64gather_epi64(reinterpret_cast<const long long*>(in), bytes, 1);
+    const auto values = _mm256_and_si256(_mm256_srlv_epi64(words, shifts), mask);
+    const auto packed = _mm256_permutevar8x32_epi32(values, narrow);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + position), _mm256_castsi256_si128(packed));
+    bits = _mm256_add_epi64(bits, step);
+  }
+}
+
+#if defined(HYRISE_BITPACKING_AVX2_VIA_PRAGMA)
+#pragma GCC pop_options
+#endif
+#endif  // HYRISE_BITPACKING_AVX2
+
+using UnpackFn = void (*)(const uint8_t*, uint32_t*);
+
+template <size_t... kWidths>
+constexpr std::array<UnpackFn, 33> MakeScalarTable(std::index_sequence<kWidths...> /*widths*/) {
+  return {nullptr, &UnpackBlockScalar<static_cast<uint32_t>(kWidths) + 1>...};
+}
+
+constexpr auto kScalarUnpack = MakeScalarTable(std::make_index_sequence<32>{});
+
+#if defined(HYRISE_BITPACKING_AVX2)
+template <size_t... kWidths>
+constexpr std::array<UnpackFn, 33> MakeAvx2Table(std::index_sequence<kWidths...> /*widths*/) {
+  return {nullptr, &UnpackBlockAvx2<static_cast<uint32_t>(kWidths) + 1>...};
+}
+
+constexpr auto kAvx2Unpack = MakeAvx2Table(std::make_index_sequence<32>{});
+#endif
+
+/// Bit width -> unpack kernel, resolved once per process for the host CPU.
+const std::array<UnpackFn, 33>& ActiveUnpackTable() {
+#if defined(HYRISE_BITPACKING_AVX2)
+  static const auto use_avx2 = static_cast<bool>(__builtin_cpu_supports("avx2"));
+  if (use_avx2) {
+    return kAvx2Unpack;
+  }
+#endif
+  return kScalarUnpack;
 }
 
 }  // namespace
@@ -48,47 +147,47 @@ BitPackingVector::BitPackingVector(const std::vector<uint32_t>& values) : size_(
       }
     }
   }
+
+  // Guard word: the unpack kernels and GetImpl load 8 bytes starting at a
+  // value's first byte, which can reach up to 7 bytes past the last block's
+  // payload.
+  data_.push_back(0);
 }
 
 uint32_t BitPackingVector::GetImpl(size_t index) const {
   DebugAssert(index < size_, "BitPackingVector index out of range");
   const auto block = index / kBlockSize;
-  const auto position = index % kBlockSize;
   const auto bits = block_bits_[block];
-  const auto* block_data = data_.data() + block_offsets_[block];
+  const auto* bytes = reinterpret_cast<const uint8_t*>(data_.data() + block_offsets_[block]);
 
-  const auto bit_position = position * bits;
-  const auto word = bit_position / 64;
-  const auto shift = bit_position % 64;
-
-  auto value = block_data[word] >> shift;
-  if (shift + bits > 64) {
-    value |= block_data[word + 1] << (64 - shift);
-  }
+  const auto bit = (index % kBlockSize) * bits;
+  auto word = uint64_t{};
+  std::memcpy(&word, bytes + (bit >> 3), sizeof(word));
   const auto mask = bits == 32 ? ~uint32_t{0} : ((uint32_t{1} << bits) - 1);
-  return static_cast<uint32_t>(value) & mask;
+  return static_cast<uint32_t>(word >> (bit & 7)) & mask;
+}
+
+size_t BitPackingVector::DecodeBlockInto(size_t block_index, uint32_t* out) const {
+  DebugAssert(block_index < block_bits_.size(), "BitPackingVector block index out of range");
+  const auto* bytes = reinterpret_cast<const uint8_t*>(data_.data() + block_offsets_[block_index]);
+  ActiveUnpackTable()[block_bits_[block_index]](bytes, out);
+  return std::min(kBlockSize, size_ - block_index * kBlockSize);
 }
 
 std::vector<uint32_t> BitPackingVector::Decode() const {
   auto result = std::vector<uint32_t>(size_);
   const auto block_count = block_bits_.size();
-  auto out = size_t{0};
-  for (auto block = size_t{0}; block < block_count; ++block) {
-    const auto bits = block_bits_[block];
-    const auto* block_data = data_.data() + block_offsets_[block];
-    const auto mask = bits == 32 ? ~uint32_t{0} : ((uint32_t{1} << bits) - 1);
-    const auto count = std::min(kBlockSize, size_ - block * kBlockSize);
-    auto bit_position = size_t{0};
-    for (auto position = size_t{0}; position < count; ++position, bit_position += bits) {
-      const auto word = bit_position / 64;
-      const auto shift = bit_position % 64;
-      auto value = block_data[word] >> shift;
-      if (shift + bits > 64) {
-        value |= block_data[word + 1] << (64 - shift);
-      }
-      result[out++] = static_cast<uint32_t>(value) & mask;
-    }
+  if (block_count == 0) {
+    return result;
   }
+  // Full blocks unpack straight into the result; the (possibly partial) last
+  // block goes through a stack buffer since the kernels always emit 128.
+  for (auto block = size_t{0}; block + 1 < block_count; ++block) {
+    DecodeBlockInto(block, result.data() + block * kBlockSize);
+  }
+  std::array<uint32_t, kBlockSize> tail;
+  const auto count = DecodeBlockInto(block_count - 1, tail.data());
+  std::copy_n(tail.data(), count, result.data() + (block_count - 1) * kBlockSize);
   return result;
 }
 

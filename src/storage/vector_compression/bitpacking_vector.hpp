@@ -1,7 +1,9 @@
 #ifndef HYRISE_SRC_STORAGE_VECTOR_COMPRESSION_BITPACKING_VECTOR_HPP_
 #define HYRISE_SRC_STORAGE_VECTOR_COMPRESSION_BITPACKING_VECTOR_HPP_
 
+#include <array>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -10,30 +12,49 @@
 namespace hyrise {
 
 /// Stand-in for SIMD-BP128 (see DESIGN.md §4): values are packed in blocks of
-/// 128 with a per-block bit width. The layout matches SIMD-BP128's blocking;
-/// pack/unpack are scalar. Sequential decode unpacks block-wise (fast),
-/// positional access does per-value bit arithmetic (slower than fixed-width
-/// loads) — reproducing the relative access costs of Figure 3a.
+/// 128 with a per-block bit width. Sequential decode goes through vectorized
+/// block-unpack kernels (AVX2 intrinsics where the CPU supports them, an
+/// auto-vectorized scalar kernel otherwise — see bitpacking_vector.cpp);
+/// positional access does per-value bit arithmetic, reproducing the relative
+/// access costs of Figure 3a.
 class BitPackingVector final : public BaseCompressedVector {
  public:
-  static constexpr size_t kBlockSize = 128;
+  static constexpr size_t kBlockSize = kDecodeBlockSize;
 
-  /// Non-virtual decompressor; caches the current block to speed up runs of
-  /// nearby accesses.
+  /// Non-virtual decompressor; caches the current unpacked block, so both
+  /// sequential iteration and point access over a sorted position list unpack
+  /// each block at most once (regression-tested via unpack_count()).
   class Decompressor {
    public:
     explicit Decompressor(const BitPackingVector& vector) : vector_(&vector) {}
 
     uint32_t Get(size_t index) const {
-      return vector_->GetImpl(index);
+      const auto block = index / kBlockSize;
+      if (block != cached_block_) {
+        vector_->DecodeBlockInto(block, cache_.data());
+        cached_block_ = block;
+        ++unpack_count_;
+      }
+      return cache_[index % kBlockSize];
     }
 
     size_t size() const {
       return vector_->size();
     }
 
+    /// Number of block unpacks this decompressor has performed; monotonic
+    /// access patterns must not exceed the number of blocks touched.
+    size_t unpack_count() const {
+      return unpack_count_;
+    }
+
    private:
     const BitPackingVector* vector_;
+    // Get() must stay const (iterables capture decompressors as const), so
+    // the cache is logically-const state.
+    mutable size_t cached_block_{std::numeric_limits<size_t>::max()};
+    mutable size_t unpack_count_{0};
+    mutable std::array<uint32_t, kBlockSize> cache_{};
   };
 
   explicit BitPackingVector(const std::vector<uint32_t>& values);
@@ -56,6 +77,15 @@ class BitPackingVector final : public BaseCompressedVector {
     return GetImpl(index);
   }
 
+  size_t DecodeBlock(size_t block_index, uint32_t* out) const final {
+    return DecodeBlockInto(block_index, out);
+  }
+
+  /// Unpacks block `block_index` into `out` (room for kBlockSize entries
+  /// required; entries past the returned count are unspecified) and returns
+  /// the number of valid values.
+  size_t DecodeBlockInto(size_t block_index, uint32_t* out) const;
+
   std::vector<uint32_t> Decode() const final;
 
   std::unique_ptr<BaseVectorDecompressor> CreateBaseDecompressor() const final;
@@ -72,6 +102,8 @@ class BitPackingVector final : public BaseCompressedVector {
   size_t size_{0};
   std::vector<uint8_t> block_bits_;      // Bit width per block (1..32).
   std::vector<uint32_t> block_offsets_;  // Start word of each block in data_.
+  // Packed payload; one zero guard word is appended so the unpack kernels'
+  // 8-byte unaligned loads never read past the allocation.
   std::vector<uint64_t> data_;
 };
 

@@ -1,12 +1,14 @@
 #ifndef HYRISE_SRC_STORAGE_VECTOR_COMPRESSION_FIXED_WIDTH_INTEGER_VECTOR_HPP_
 #define HYRISE_SRC_STORAGE_VECTOR_COMPRESSION_FIXED_WIDTH_INTEGER_VECTOR_HPP_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "storage/vector_compression/base_compressed_vector.hpp"
+#include "utils/assert.hpp"
 
 namespace hyrise {
 
@@ -68,6 +70,24 @@ class FixedWidthIntegerVector final : public BaseCompressedVector {
 
   uint32_t Get(size_t index) const final {
     return static_cast<uint32_t>(data_[index]);
+  }
+
+  size_t DecodeBlock(size_t block_index, uint32_t* out) const final {
+    return DecodeBlockInto(block_index, out);
+  }
+
+  /// Widening copy of one 128-value block — a plain loop the compiler
+  /// vectorizes. Returns the number of valid values; `out` needs room for
+  /// kDecodeBlockSize entries.
+  size_t DecodeBlockInto(size_t block_index, uint32_t* out) const {
+    const auto begin = block_index * kDecodeBlockSize;
+    DebugAssert(begin < data_.size() || data_.empty(), "FixedWidthIntegerVector block index out of range");
+    const auto count = std::min(kDecodeBlockSize, data_.size() - begin);
+    const auto* in = data_.data() + begin;
+    for (auto position = size_t{0}; position < count; ++position) {
+      out[position] = static_cast<uint32_t>(in[position]);
+    }
+    return count;
   }
 
   std::vector<uint32_t> Decode() const final {

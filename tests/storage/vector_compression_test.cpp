@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <limits>
 #include <random>
 
 #include "storage/vector_compression/compressed_vector_utils.hpp"
@@ -54,6 +56,65 @@ TEST_P(VectorCompressionTest, BaseDecompressorMatchesVector) {
   for (auto index = size_t{0}; index < values.size(); ++index) {
     EXPECT_EQ(decompressor->Get(index), values[index]);
   }
+}
+
+TEST_P(VectorCompressionTest, DecodeBlockMatchesPerElementAccess) {
+  auto rng = std::mt19937{1234};
+  // Sizes cover multiple full blocks, a partial tail block, and exactly one
+  // block; widths cover sub-byte, byte-straddling, and full 32-bit codes.
+  for (const auto size : {size_t{128}, size_t{1000}, size_t{4096}, size_t{4097}}) {
+    for (const auto max_value : {uint32_t{1}, uint32_t{100}, uint32_t{70'000}, ~uint32_t{0}}) {
+      auto dist = std::uniform_int_distribution<uint32_t>{0, max_value};
+      auto values = std::vector<uint32_t>(size);
+      for (auto& value : values) {
+        value = dist(rng);
+      }
+      const auto compressed = CompressVector(values, GetParam(), max_value);
+      const auto block_count =
+          (size + BaseCompressedVector::kDecodeBlockSize - 1) / BaseCompressedVector::kDecodeBlockSize;
+      auto decoded = std::vector<uint32_t>{};
+      auto block = std::array<uint32_t, BaseCompressedVector::kDecodeBlockSize>{};
+      for (auto block_index = size_t{0}; block_index < block_count; ++block_index) {
+        const auto count = compressed->DecodeBlock(block_index, block.data());
+        const auto expected_count =
+            std::min(BaseCompressedVector::kDecodeBlockSize, size - block_index * BaseCompressedVector::kDecodeBlockSize);
+        ASSERT_EQ(count, expected_count) << "size=" << size << " max=" << max_value << " block=" << block_index;
+        decoded.insert(decoded.end(), block.begin(), block.begin() + count);
+      }
+      EXPECT_EQ(decoded, values) << "size=" << size << " max=" << max_value;
+    }
+  }
+}
+
+TEST(BitPackingVectorTest, DecompressorCachesUnpackedBlock) {
+  auto values = std::vector<uint32_t>(1000);
+  for (auto index = size_t{0}; index < values.size(); ++index) {
+    values[index] = static_cast<uint32_t>(index % 700);
+  }
+  const auto vector = BitPackingVector{values};
+  const auto decompressor = vector.CreateDecompressor();
+
+  // Sorted position list touching blocks 0, 1, and 7: each block must be
+  // unpacked at most once, no matter how many positions fall into it.
+  const auto positions = std::vector<size_t>{0, 1, 5, 127, 128, 130, 250, 900, 901, 999};
+  auto touched_blocks = size_t{0};
+  auto last_block = std::numeric_limits<size_t>::max();
+  for (const auto position : positions) {
+    EXPECT_EQ(decompressor.Get(position), values[position]) << "at " << position;
+    if (position / BitPackingVector::kBlockSize != last_block) {
+      last_block = position / BitPackingVector::kBlockSize;
+      ++touched_blocks;
+    }
+  }
+  EXPECT_EQ(decompressor.unpack_count(), touched_blocks);
+
+  // Sequential iteration over the whole vector: exactly one unpack per block.
+  const auto sequential = vector.CreateDecompressor();
+  for (auto index = size_t{0}; index < values.size(); ++index) {
+    EXPECT_EQ(sequential.Get(index), values[index]);
+  }
+  const auto block_count = (values.size() + BitPackingVector::kBlockSize - 1) / BitPackingVector::kBlockSize;
+  EXPECT_EQ(sequential.unpack_count(), block_count);
 }
 
 TEST_P(VectorCompressionTest, EmptyVector) {
