@@ -1,0 +1,203 @@
+/// Persistence I/O benchmarks: binary export/import throughput and the
+/// restore-to-first-query path at 1 M / 10 M rows, for the encodings the
+/// format serializes natively (DESIGN.md §5e). The headline comparison is
+/// restore (ImportTableBinary adopts the compressed payload near-memcpy)
+/// versus re-encoding the same data from value segments — the reason a warm
+/// restart is fast is that import never runs the encoder.
+///
+/// Emits BENCH_persistence.json:
+///   { "configs": [ {rows, encoding, file_bytes, export_ns, export_mb_s,
+///                   import_ns, import_mb_s, encode_ns,
+///                   import_vs_encode_speedup, restore_to_first_query_ns},
+///                  ... ] }
+///
+/// Usage: persistence_io [scale=1.0] [runs=3] [json=BENCH_persistence.json]
+///   scale multiplies the row counts (the CI smoke job runs scale=0.002).
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <vector>
+
+#include "expression/expressions.hpp"
+#include "hyrise.hpp"
+#include "operators/table_scan.hpp"
+#include "operators/table_wrapper.hpp"
+#include "persistence/table_serializer.hpp"
+#include "statistics/table_statistics.hpp"
+#include "storage/chunk_encoder.hpp"
+#include "storage/table.hpp"
+#include "storage/value_segment.hpp"
+#include "utils/timer.hpp"
+
+namespace hyrise {
+
+namespace {
+
+constexpr auto kChunkSize = ChunkOffset{65535};
+
+struct EncodingConfig {
+  const char* name;
+  bool encoded;
+  SegmentEncodingSpec spec;
+};
+
+const EncodingConfig kEncodings[] = {
+    {"unencoded", false, {}},
+    {"dictionary/bp128", true, {EncodingType::kDictionary, VectorCompressionType::kBitPacking128}},
+    {"for/bp128", true, {EncodingType::kFrameOfReference, VectorCompressionType::kBitPacking128}},
+};
+
+/// Two int columns: a low-cardinality one (dictionary-friendly, ~4k distinct)
+/// and a clustered one (frame-of-reference-friendly). The value chunks are
+/// built once; tables for encoding runs share the segment pointers, so
+/// re-encoding a fresh table copy is cheap to set up and EncodeAllChunks cost
+/// dominates the timed body.
+std::vector<Segments> BuildValueChunks(size_t row_count) {
+  auto rng = std::mt19937_64{42};
+  auto chunks = std::vector<Segments>{};
+  for (auto begin = size_t{0}; begin < row_count; begin += kChunkSize) {
+    const auto end = std::min(row_count, begin + kChunkSize);
+    auto low_cardinality = std::vector<int32_t>(end - begin);
+    auto clustered = std::vector<int32_t>(end - begin);
+    for (auto index = size_t{0}; index < low_cardinality.size(); ++index) {
+      low_cardinality[index] = static_cast<int32_t>(rng() % 4096);
+      clustered[index] = static_cast<int32_t>(begin + index) / 64 + static_cast<int32_t>(rng() % 100);
+    }
+    chunks.push_back(Segments{std::make_shared<ValueSegment<int32_t>>(std::move(low_cardinality)),
+                              std::make_shared<ValueSegment<int32_t>>(std::move(clustered))});
+  }
+  return chunks;
+}
+
+std::shared_ptr<Table> MakeTableFromChunks(const std::vector<Segments>& chunks) {
+  auto table = std::make_shared<Table>(
+      TableColumnDefinitions{{"low_card", DataType::kInt}, {"clustered", DataType::kInt}}, TableType::kData,
+      kChunkSize);
+  for (const auto& segments : chunks) {
+    table->AppendChunk(segments);
+  }
+  return table;
+}
+
+/// One scan over the restored table — the "first query" of a warm restart.
+size_t FirstQueryRows(const std::shared_ptr<Table>& table) {
+  auto wrapper = std::make_shared<TableWrapper>(table);
+  wrapper->Execute();
+  const auto column = std::make_shared<PqpColumnExpression>(ColumnID{0}, DataType::kInt, false, "low_card");
+  const auto predicate = std::make_shared<PredicateExpression>(
+      PredicateCondition::kLessThan, Expressions{column, std::make_shared<ValueExpression>(int32_t{64})});
+  auto scan = std::make_shared<TableScan>(wrapper, predicate);
+  scan->Execute();
+  return scan->get_output()->row_count();
+}
+
+template <typename F>
+int64_t MedianNs(size_t runs, const F& body) {
+  auto times = std::vector<int64_t>{};
+  times.reserve(runs);
+  for (auto run = size_t{0}; run < runs; ++run) {
+    auto timer = Timer{};
+    body();
+    times.push_back(timer.Elapsed());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+double MbPerSecond(uint64_t bytes, int64_t nanoseconds) {
+  return nanoseconds > 0 ? static_cast<double>(bytes) / 1e6 / (static_cast<double>(nanoseconds) / 1e9) : 0.0;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  const auto scale = argc > 1 ? std::stod(argv[1]) : 1.0;
+  const auto runs = argc > 2 ? static_cast<size_t>(std::stoul(argv[2])) : size_t{3};
+  const auto json_path = argc > 3 ? std::string{argv[3]} : std::string{"BENCH_persistence.json"};
+
+  Hyrise::Reset();
+  const auto directory = (std::filesystem::temp_directory_path() / "hyrise_persistence_bench").string();
+  std::filesystem::create_directories(directory);
+  const auto path = directory + "/bench_table.bin";
+
+  auto json = std::string{"{\n  \"scale\": " + std::to_string(scale) + ",\n  \"runs\": " + std::to_string(runs) +
+                          ",\n  \"configs\": [\n"};
+  auto first_entry = true;
+
+  std::cout << "      rows  encoding            file_mb  export_mb_s  import_mb_s  encode_ms  import_ms  speedup"
+            << "  first_query_ms\n";
+  for (const auto base_rows : {size_t{1'000'000}, size_t{10'000'000}}) {
+    const auto row_count = std::max(size_t{1000}, static_cast<size_t>(static_cast<double>(base_rows) * scale));
+    const auto value_chunks = BuildValueChunks(row_count);
+    for (const auto& encoding : kEncodings) {
+      // Encode cost from scratch — the cold path a restore avoids.
+      auto encoded_table = std::shared_ptr<Table>{};
+      const auto encode_ns = MedianNs(runs, [&] {
+        encoded_table = MakeTableFromChunks(value_chunks);
+        if (encoding.encoded) {
+          ChunkEncoder::EncodeAllChunks(encoded_table, encoding.spec);
+        }
+      });
+
+      // Statistics are persisted with the table; generate them once up front
+      // so the export timing measures serialization, not the statistics scan.
+      encoded_table->SetTableStatistics(GenerateTableStatistics(*encoded_table));
+
+      const auto export_ns = MedianNs(runs, [&] {
+        const auto result = persistence::ExportTableBinary(*encoded_table, path);
+        Assert(result.ok(), "Export failed: " + result.error());
+      });
+      const auto file_bytes = static_cast<uint64_t>(std::filesystem::file_size(path));
+
+      const auto import_ns = MedianNs(runs, [&] {
+        const auto result = persistence::ImportTableBinary(path);
+        Assert(result.ok(), "Import failed: " + result.error());
+        Assert(result.value()->row_count() == row_count, "Import dropped rows");
+      });
+
+      auto first_query_rows = size_t{0};
+      const auto restore_to_first_query_ns = MedianNs(runs, [&] {
+        auto imported = persistence::ImportTableBinary(path);
+        Assert(imported.ok(), "Import failed: " + imported.error());
+        first_query_rows = FirstQueryRows(std::move(imported).value());
+      });
+      Assert(!encoding.encoded || first_query_rows > 0, "First query matched nothing");
+
+      const auto speedup = static_cast<double>(encode_ns) / static_cast<double>(import_ns);
+      char line[200];
+      std::snprintf(line, sizeof(line), "%10zu  %-18s %8.2f %12.1f %12.1f %10.2f %10.2f %7.2fx %15.2f", row_count,
+                    encoding.name, static_cast<double>(file_bytes) / 1e6, MbPerSecond(file_bytes, export_ns),
+                    MbPerSecond(file_bytes, import_ns), static_cast<double>(encode_ns) / 1e6,
+                    static_cast<double>(import_ns) / 1e6, speedup,
+                    static_cast<double>(restore_to_first_query_ns) / 1e6);
+      std::cout << line << "\n";
+
+      json += first_entry ? "    " : ",\n    ";
+      first_entry = false;
+      json += "{\"rows\": " + std::to_string(row_count) + ", \"encoding\": \"" + encoding.name +
+              "\", \"file_bytes\": " + std::to_string(file_bytes) + ", \"export_ns\": " + std::to_string(export_ns) +
+              ", \"export_mb_s\": " + std::to_string(MbPerSecond(file_bytes, export_ns)) +
+              ", \"import_ns\": " + std::to_string(import_ns) +
+              ", \"import_mb_s\": " + std::to_string(MbPerSecond(file_bytes, import_ns)) +
+              ", \"encode_ns\": " + std::to_string(encode_ns) +
+              ", \"import_vs_encode_speedup\": " + std::to_string(speedup) +
+              ", \"restore_to_first_query_ns\": " + std::to_string(restore_to_first_query_ns) + "}";
+    }
+  }
+  json += "\n  ]\n}\n";
+
+  auto file = std::ofstream{json_path};
+  file << json;
+  std::cout << "Wrote " << json_path << "\n";
+  std::filesystem::remove_all(directory);
+  return 0;
+}
+
+}  // namespace hyrise
+
+int main(int argc, char** argv) {
+  return hyrise::Main(argc, argv);
+}

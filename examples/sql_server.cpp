@@ -1,8 +1,12 @@
 /// Network-server example (paper §2.5): starts the PostgreSQL-wire-protocol
 /// server so psql or any PostgreSQL driver can connect:
 ///
-///   ./sql_server [port=54321] [tpch_scale_factor]
+///   ./sql_server [port=54321] [tpch_scale_factor] [snapshot_dir]
 ///   psql -h 127.0.0.1 -p 54321
+///
+/// With a snapshot_dir, the server warm-restarts from the snapshot published
+/// there (if any) and the SQL surface can write new ones:
+///   SNAPSHOT TO '<snapshot_dir>';   -- from any client
 ///
 /// Runs until EOF on stdin.
 
@@ -16,18 +20,22 @@
 int main(int argc, char** argv) {
   using namespace hyrise;
   const auto port = argc > 1 ? static_cast<uint16_t>(std::stoi(argv[1])) : uint16_t{54321};
+  const auto snapshot_dir = argc > 3 ? std::string{argv[3]} : std::string{};
 
-  if (argc > 2) {
+  if (argc > 2 && std::stod(argv[2]) > 0.0) {
     auto config = TpchConfig{};
     config.scale_factor = std::stod(argv[2]);
     std::cout << "Generating TPC-H at SF " << config.scale_factor << "...\n";
     GenerateTpchTables(config);
-  } else {
+  } else if (snapshot_dir.empty()) {
     ExecuteSql("CREATE TABLE demo (id INT NOT NULL, message VARCHAR(40))");
     ExecuteSql("INSERT INTO demo VALUES (1, 'hello from hyrise-repro')");
   }
 
-  auto server = Server{port};
+  auto config = ServerConfig{};
+  config.port = port;
+  config.restore_directory = snapshot_dir;
+  auto server = Server{config};
   const auto started = server.Start();
   if (!started.ok()) {
     std::cerr << "Cannot start server: " << started.error() << "\n";

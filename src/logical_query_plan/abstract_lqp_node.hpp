@@ -31,6 +31,10 @@ enum class LqpNodeType {
   kDropTable,
   kCreateView,
   kDropView,
+  kExportTable,
+  kImportTable,
+  kSnapshot,
+  kRestore,
 };
 
 class AbstractLqpNode;

@@ -3,6 +3,7 @@
 #include "logical_query_plan/ddl_nodes.hpp"
 #include "logical_query_plan/dml_nodes.hpp"
 #include "logical_query_plan/operator_nodes.hpp"
+#include "logical_query_plan/persistence_nodes.hpp"
 #include "logical_query_plan/static_table_node.hpp"
 #include "logical_query_plan/stored_table_node.hpp"
 #include "operators/aggregate.hpp"
@@ -16,6 +17,7 @@
 #include "operators/join_sort_merge.hpp"
 #include "operators/limit.hpp"
 #include "operators/maintenance_operators.hpp"
+#include "operators/persistence_operators.hpp"
 #include "operators/product.hpp"
 #include "operators/projection.hpp"
 #include "operators/sort.hpp"
@@ -483,6 +485,24 @@ std::shared_ptr<AbstractOperator> LqpTranslator::TranslateNode(const LqpNodePtr&
     }
     case LqpNodeType::kDropView: {
       result = std::make_shared<DropView>(static_cast<const DropViewNode&>(*node).view_name);
+      break;
+    }
+    case LqpNodeType::kExportTable: {
+      const auto& export_node = static_cast<const ExportTableNode&>(*node);
+      result = std::make_shared<ExportTable>(export_node.table_name, export_node.file_path);
+      break;
+    }
+    case LqpNodeType::kImportTable: {
+      const auto& import_node = static_cast<const ImportTableNode&>(*node);
+      result = std::make_shared<ImportTable>(import_node.table_name, import_node.file_path);
+      break;
+    }
+    case LqpNodeType::kSnapshot: {
+      result = std::make_shared<Snapshot>(static_cast<const SnapshotNode&>(*node).directory);
+      break;
+    }
+    case LqpNodeType::kRestore: {
+      result = std::make_shared<Restore>(static_cast<const RestoreNode&>(*node).directory);
       break;
     }
   }

@@ -1,0 +1,21 @@
+#include "logical_query_plan/persistence_nodes.hpp"
+
+namespace hyrise {
+
+std::shared_ptr<ExportTableNode> ExportTableNode::Make(std::string table_name, std::string file_path) {
+  return std::make_shared<ExportTableNode>(std::move(table_name), std::move(file_path));
+}
+
+std::shared_ptr<ImportTableNode> ImportTableNode::Make(std::string table_name, std::string file_path) {
+  return std::make_shared<ImportTableNode>(std::move(table_name), std::move(file_path));
+}
+
+std::shared_ptr<SnapshotNode> SnapshotNode::Make(std::string directory) {
+  return std::make_shared<SnapshotNode>(std::move(directory));
+}
+
+std::shared_ptr<RestoreNode> RestoreNode::Make(std::string directory) {
+  return std::make_shared<RestoreNode>(std::move(directory));
+}
+
+}  // namespace hyrise

@@ -1,0 +1,117 @@
+#ifndef HYRISE_SRC_LOGICAL_QUERY_PLAN_PERSISTENCE_NODES_HPP_
+#define HYRISE_SRC_LOGICAL_QUERY_PLAN_PERSISTENCE_NODES_HPP_
+
+#include <memory>
+#include <string>
+
+#include "logical_query_plan/abstract_lqp_node.hpp"
+
+namespace hyrise {
+
+/// COPY <table> TO '<path>' BINARY — MVCC-consistent binary export.
+class ExportTableNode final : public AbstractLqpNode {
+ public:
+  static std::shared_ptr<ExportTableNode> Make(std::string table_name, std::string file_path);
+
+  ExportTableNode(std::string init_table_name, std::string init_file_path)
+      : AbstractLqpNode(LqpNodeType::kExportTable),
+        table_name(std::move(init_table_name)),
+        file_path(std::move(init_file_path)) {}
+
+  Expressions output_expressions() const final {
+    return {};
+  }
+
+  std::string Description() const final {
+    return "[ExportTable] " + table_name + " to '" + file_path + "'";
+  }
+
+  const std::string table_name;
+  const std::string file_path;
+
+ protected:
+  LqpNodePtr ShallowCopy() const final {
+    return std::make_shared<ExportTableNode>(table_name, file_path);
+  }
+};
+
+/// COPY <table> FROM '<path>' BINARY — near-memcpy import of an exported
+/// table, installed under <table> (replacing an existing table atomically).
+class ImportTableNode final : public AbstractLqpNode {
+ public:
+  static std::shared_ptr<ImportTableNode> Make(std::string table_name, std::string file_path);
+
+  ImportTableNode(std::string init_table_name, std::string init_file_path)
+      : AbstractLqpNode(LqpNodeType::kImportTable),
+        table_name(std::move(init_table_name)),
+        file_path(std::move(init_file_path)) {}
+
+  Expressions output_expressions() const final {
+    return {};
+  }
+
+  std::string Description() const final {
+    return "[ImportTable] " + table_name + " from '" + file_path + "'";
+  }
+
+  const std::string table_name;
+  const std::string file_path;
+
+ protected:
+  LqpNodePtr ShallowCopy() const final {
+    return std::make_shared<ImportTableNode>(table_name, file_path);
+  }
+};
+
+/// SNAPSHOT TO '<directory>' — whole-database snapshot with an atomically
+/// published manifest.
+class SnapshotNode final : public AbstractLqpNode {
+ public:
+  static std::shared_ptr<SnapshotNode> Make(std::string directory);
+
+  explicit SnapshotNode(std::string init_directory)
+      : AbstractLqpNode(LqpNodeType::kSnapshot), directory(std::move(init_directory)) {}
+
+  Expressions output_expressions() const final {
+    return {};
+  }
+
+  std::string Description() const final {
+    return "[Snapshot] to '" + directory + "'";
+  }
+
+  const std::string directory;
+
+ protected:
+  LqpNodePtr ShallowCopy() const final {
+    return std::make_shared<SnapshotNode>(directory);
+  }
+};
+
+/// RESTORE FROM '<directory>' — installs every table of a published snapshot.
+class RestoreNode final : public AbstractLqpNode {
+ public:
+  static std::shared_ptr<RestoreNode> Make(std::string directory);
+
+  explicit RestoreNode(std::string init_directory)
+      : AbstractLqpNode(LqpNodeType::kRestore), directory(std::move(init_directory)) {}
+
+  Expressions output_expressions() const final {
+    return {};
+  }
+
+  std::string Description() const final {
+    return "[Restore] from '" + directory + "'";
+  }
+
+  const std::string directory;
+
+ protected:
+  LqpNodePtr ShallowCopy() const final {
+    return std::make_shared<RestoreNode>(directory);
+  }
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_LOGICAL_QUERY_PLAN_PERSISTENCE_NODES_HPP_

@@ -38,6 +38,10 @@ enum class OperatorType {
   kCreateView,
   kDropView,
   kPipelineFusion,
+  kExportTable,
+  kImportTable,
+  kSnapshot,
+  kRestore,
 };
 
 /// Basic runtime metrics, attached to every executed operator. Benchmark

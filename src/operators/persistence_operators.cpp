@@ -1,0 +1,74 @@
+#include "operators/persistence_operators.hpp"
+
+#include <stdexcept>
+
+#include "concurrency/transaction_context.hpp"
+#include "hyrise.hpp"
+#include "persistence/table_serializer.hpp"
+#include "storage/table.hpp"
+
+namespace hyrise {
+
+ExportTable::ExportTable(std::string table_name, std::string file_path)
+    : AbstractOperator(OperatorType::kExportTable),
+      table_name_(std::move(table_name)),
+      file_path_(std::move(file_path)) {}
+
+std::shared_ptr<const Table> ExportTable::OnExecute(const std::shared_ptr<TransactionContext>& context) {
+  auto& storage_manager = Hyrise::Get().storage_manager;
+  if (!storage_manager.HasTable(table_name_)) {
+    throw std::runtime_error{"Table does not exist: " + table_name_};
+  }
+  const auto table = storage_manager.GetTable(table_name_);
+  // Inside a transaction the export sees the transaction's snapshot (its own
+  // writes included); otherwise everything committed so far.
+  const auto snapshot_cid = context ? context->snapshot_commit_id() : persistence::kLatestCommittedCid;
+  const auto exporter_tid = context ? context->transaction_id() : kInvalidTransactionId;
+  const auto result = persistence::ExportTableBinary(*table, file_path_, snapshot_cid, exporter_tid);
+  if (!result.ok()) {
+    throw std::runtime_error{result.error()};
+  }
+  return nullptr;
+}
+
+ImportTable::ImportTable(std::string table_name, std::string file_path)
+    : AbstractOperator(OperatorType::kImportTable),
+      table_name_(std::move(table_name)),
+      file_path_(std::move(file_path)) {}
+
+std::shared_ptr<const Table> ImportTable::OnExecute(const std::shared_ptr<TransactionContext>& /*context*/) {
+  auto& storage_manager = Hyrise::Get().storage_manager;
+  if (storage_manager.HasView(table_name_)) {
+    throw std::runtime_error{"A view with this name exists: " + table_name_};
+  }
+  auto result = persistence::ImportTableBinary(file_path_);
+  if (!result.ok()) {
+    throw std::runtime_error{result.error()};
+  }
+  storage_manager.ReplaceTable(table_name_, std::move(result).value());
+  return nullptr;
+}
+
+Snapshot::Snapshot(std::string directory)
+    : AbstractOperator(OperatorType::kSnapshot), directory_(std::move(directory)) {}
+
+std::shared_ptr<const Table> Snapshot::OnExecute(const std::shared_ptr<TransactionContext>& /*context*/) {
+  const auto result = Hyrise::Get().storage_manager.Snapshot(directory_);
+  if (!result.ok()) {
+    throw std::runtime_error{result.error()};
+  }
+  return nullptr;
+}
+
+Restore::Restore(std::string directory)
+    : AbstractOperator(OperatorType::kRestore), directory_(std::move(directory)) {}
+
+std::shared_ptr<const Table> Restore::OnExecute(const std::shared_ptr<TransactionContext>& /*context*/) {
+  const auto result = Hyrise::Get().storage_manager.Restore(directory_);
+  if (!result.ok()) {
+    throw std::runtime_error{result.error()};
+  }
+  return nullptr;
+}
+
+}  // namespace hyrise

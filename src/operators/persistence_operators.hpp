@@ -1,0 +1,114 @@
+#ifndef HYRISE_SRC_OPERATORS_PERSISTENCE_OPERATORS_HPP_
+#define HYRISE_SRC_OPERATORS_PERSISTENCE_OPERATORS_HPP_
+
+#include <memory>
+#include <string>
+
+#include "operators/abstract_operator.hpp"
+
+namespace hyrise {
+
+/// COPY <table> TO '<path>' BINARY. Exports the rows visible to the calling
+/// transaction (or, outside a transaction, everything committed). I/O and
+/// catalog errors surface as std::runtime_error, which the SQL pipeline turns
+/// into a clean error message — never a crash.
+class ExportTable final : public AbstractOperator {
+ public:
+  ExportTable(std::string table_name, std::string file_path);
+
+  const std::string& name() const final {
+    static const auto kName = std::string{"ExportTable"};
+    return kName;
+  }
+
+ protected:
+  std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& context) final;
+
+  std::shared_ptr<AbstractOperator> OnDeepCopy(std::shared_ptr<AbstractOperator> /*left*/,
+                                               std::shared_ptr<AbstractOperator> /*right*/,
+                                               DeepCopyMap& /*map*/) const final {
+    return std::make_shared<ExportTable>(table_name_, file_path_);
+  }
+
+ private:
+  std::string table_name_;
+  std::string file_path_;
+};
+
+/// COPY <table> FROM '<path>' BINARY. Imports an exported binary table file
+/// (adopting its encoded chunks without re-encoding) and installs it under
+/// `table_name`, atomically replacing any existing table of that name.
+class ImportTable final : public AbstractOperator {
+ public:
+  ImportTable(std::string table_name, std::string file_path);
+
+  const std::string& name() const final {
+    static const auto kName = std::string{"ImportTable"};
+    return kName;
+  }
+
+ protected:
+  std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& context) final;
+
+  std::shared_ptr<AbstractOperator> OnDeepCopy(std::shared_ptr<AbstractOperator> /*left*/,
+                                               std::shared_ptr<AbstractOperator> /*right*/,
+                                               DeepCopyMap& /*map*/) const final {
+    return std::make_shared<ImportTable>(table_name_, file_path_);
+  }
+
+ private:
+  std::string table_name_;
+  std::string file_path_;
+};
+
+/// SNAPSHOT TO '<directory>': whole-database export with an atomically
+/// published manifest (StorageManager::Snapshot).
+class Snapshot final : public AbstractOperator {
+ public:
+  explicit Snapshot(std::string directory);
+
+  const std::string& name() const final {
+    static const auto kName = std::string{"Snapshot"};
+    return kName;
+  }
+
+ protected:
+  std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& context) final;
+
+  std::shared_ptr<AbstractOperator> OnDeepCopy(std::shared_ptr<AbstractOperator> /*left*/,
+                                               std::shared_ptr<AbstractOperator> /*right*/,
+                                               DeepCopyMap& /*map*/) const final {
+    return std::make_shared<Snapshot>(directory_);
+  }
+
+ private:
+  std::string directory_;
+};
+
+/// RESTORE FROM '<directory>': installs every table of a published snapshot
+/// (StorageManager::Restore), all-or-nothing.
+class Restore final : public AbstractOperator {
+ public:
+  explicit Restore(std::string directory);
+
+  const std::string& name() const final {
+    static const auto kName = std::string{"Restore"};
+    return kName;
+  }
+
+ protected:
+  std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& context) final;
+
+  std::shared_ptr<AbstractOperator> OnDeepCopy(std::shared_ptr<AbstractOperator> /*left*/,
+                                               std::shared_ptr<AbstractOperator> /*right*/,
+                                               DeepCopyMap& /*map*/) const final {
+    return std::make_shared<Restore>(directory_);
+  }
+
+ private:
+  std::string directory_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_OPERATORS_PERSISTENCE_OPERATORS_HPP_

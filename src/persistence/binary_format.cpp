@@ -1,0 +1,240 @@
+#include "persistence/binary_format.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace hyrise::persistence {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& action, const std::string& path) {
+  return action + " '" + path + "': " + std::strerror(errno);
+}
+
+/// Best-effort fsync of the directory containing `path`, making a preceding
+/// rename durable. Failure to open the directory is not fatal for
+/// correctness (the rename is still atomic), so errors are ignored.
+void FsyncParentDirectory(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const auto directory = slash == std::string::npos ? std::string{"."} : path.substr(0, slash + 1);
+  const auto fd = ::open(directory.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+// --- BinaryWriter -----------------------------------------------------------
+
+BinaryWriter::BinaryWriter(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    error_ = ErrnoMessage("Cannot create file", path);
+  }
+}
+
+BinaryWriter::~BinaryWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+void BinaryWriter::WriteRaw(const void* data, size_t size) {
+  if (!ok() || size == 0) {
+    return;
+  }
+  if (std::fwrite(data, 1, size, file_) != size) {
+    error_ = ErrnoMessage("Write failed on", path_);
+    return;
+  }
+  checksum_.Update(data, size);
+  bytes_written_ += size;
+}
+
+void BinaryWriter::WriteString(const std::string& value) {
+  WriteScalar<uint32_t>(static_cast<uint32_t>(value.size()));
+  WriteRaw(value.data(), value.size());
+}
+
+void BinaryWriter::WriteBoolVector(const std::vector<bool>& values) {
+  WriteScalar<uint64_t>(values.size());
+  auto packed = std::vector<uint8_t>((values.size() + 7) / 8, 0);
+  for (auto index = size_t{0}; index < values.size(); ++index) {
+    if (values[index]) {
+      packed[index / 8] |= static_cast<uint8_t>(1U << (index % 8));
+    }
+  }
+  WriteRaw(packed.data(), packed.size());
+}
+
+void BinaryWriter::WriteStringVector(const std::vector<std::string>& values) {
+  WriteScalar<uint64_t>(values.size());
+  for (const auto& value : values) {
+    WriteString(value);
+  }
+}
+
+void BinaryWriter::WriteChecksum() {
+  if (!ok()) {
+    return;
+  }
+  const auto digest = checksum_.Digest();
+  // Checkpoint bytes bypass the rolling state (see header).
+  if (std::fwrite(&digest, 1, sizeof(digest), file_) != sizeof(digest)) {
+    error_ = ErrnoMessage("Write failed on", path_);
+    return;
+  }
+  bytes_written_ += sizeof(digest);
+}
+
+bool BinaryWriter::Finish() {
+  WriteScalar<uint64_t>(kFooterMagic);
+  WriteChecksum();
+  if (!ok()) {
+    return false;
+  }
+  if (std::fflush(file_) != 0 || ::fsync(fileno(file_)) != 0) {
+    error_ = ErrnoMessage("Flush failed on", path_);
+    return false;
+  }
+  if (std::fclose(file_) != 0) {
+    error_ = ErrnoMessage("Close failed on", path_);
+    file_ = nullptr;
+    return false;
+  }
+  file_ = nullptr;
+  return true;
+}
+
+// --- BinaryReader -----------------------------------------------------------
+
+BinaryReader::BinaryReader(const std::string& path) {
+  auto* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    error_ = ErrnoMessage("Cannot open file", path);
+    return;
+  }
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    error_ = ErrnoMessage("Cannot seek in", path);
+    std::fclose(file);
+    return;
+  }
+  const auto size = std::ftell(file);
+  if (size < 0) {
+    error_ = ErrnoMessage("Cannot determine size of", path);
+    std::fclose(file);
+    return;
+  }
+  std::rewind(file);
+  buffer_.resize(static_cast<size_t>(size));
+  if (!buffer_.empty() && std::fread(buffer_.data(), 1, buffer_.size(), file) != buffer_.size()) {
+    error_ = ErrnoMessage("Short read on", path);
+    buffer_.clear();
+  }
+  std::fclose(file);
+}
+
+const uint8_t* BinaryReader::ReadRaw(size_t size) {
+  if (!ok()) {
+    return nullptr;
+  }
+  if (size > remaining()) {
+    SetError("Corrupt file: truncated (wanted " + std::to_string(size) + " bytes, " +
+             std::to_string(remaining()) + " left)");
+    return nullptr;
+  }
+  const auto* data = buffer_.data() + offset_;
+  checksum_.Update(data, size);
+  offset_ += size;
+  return data;
+}
+
+bool BinaryReader::ReadString(std::string& out) {
+  auto length = uint32_t{0};
+  if (!ReadScalar(length)) {
+    return false;
+  }
+  const auto* data = ReadRaw(length);
+  if (data == nullptr) {
+    return false;
+  }
+  out.assign(reinterpret_cast<const char*>(data), length);
+  return true;
+}
+
+bool BinaryReader::ReadBoolVector(std::vector<bool>& out) {
+  auto count = uint64_t{0};
+  if (!ReadScalar(count)) {
+    return false;
+  }
+  if (count / 8 > remaining()) {
+    SetError("Corrupt file: bool vector length exceeds file size");
+    return false;
+  }
+  const auto* packed = ReadRaw((count + 7) / 8);
+  if (packed == nullptr) {
+    return false;
+  }
+  out.resize(count);
+  for (auto index = uint64_t{0}; index < count; ++index) {
+    out[index] = (packed[index / 8] >> (index % 8)) & 1U;
+  }
+  return true;
+}
+
+bool BinaryReader::ReadStringVector(std::vector<std::string>& out) {
+  auto count = uint64_t{0};
+  if (!ReadScalar(count)) {
+    return false;
+  }
+  // Each string costs at least its 4-byte length prefix.
+  if (count > remaining() / sizeof(uint32_t)) {
+    SetError("Corrupt file: string vector length exceeds file size");
+    return false;
+  }
+  out.clear();
+  out.reserve(count);
+  for (auto index = uint64_t{0}; index < count; ++index) {
+    auto& value = out.emplace_back();
+    if (!ReadString(value)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BinaryReader::VerifyChecksum() {
+  const auto expected = checksum_.Digest();
+  if (!ok()) {
+    return false;
+  }
+  if (sizeof(uint64_t) > remaining()) {
+    SetError("Corrupt file: truncated before checksum checkpoint");
+    return false;
+  }
+  auto stored = uint64_t{0};
+  std::memcpy(&stored, buffer_.data() + offset_, sizeof(stored));
+  offset_ += sizeof(stored);  // Checkpoint bytes bypass the rolling state.
+  if (stored != expected) {
+    SetError("Corrupt file: checksum mismatch");
+    return false;
+  }
+  return true;
+}
+
+// --- AtomicRename -----------------------------------------------------------
+
+bool AtomicRename(const std::string& from, const std::string& to, std::string& error) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    error = ErrnoMessage("Cannot rename '" + from + "' to", to);
+    return false;
+  }
+  FsyncParentDirectory(to);
+  return true;
+}
+
+}  // namespace hyrise::persistence

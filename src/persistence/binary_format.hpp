@@ -1,0 +1,232 @@
+#ifndef HYRISE_SRC_PERSISTENCE_BINARY_FORMAT_HPP_
+#define HYRISE_SRC_PERSISTENCE_BINARY_FORMAT_HPP_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace hyrise::persistence {
+
+/// File header magic ("HYRSBIN1" in little-endian byte order) and the format
+/// version. Bump the version on any layout change; import rejects files with
+/// a different version instead of guessing (DESIGN.md §5e).
+inline constexpr uint64_t kMagic = 0x314E4942'53525948ULL;
+inline constexpr uint64_t kFooterMagic = 0x444E4542'53525948ULL;  // "HYRSBEND"
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// Rolling word-wise checksum (FNV-1a over 64-bit words instead of bytes, so
+/// hashing keeps up with sequential disk bandwidth). Partial words are
+/// buffered in a carry; Digest() folds in the carry and the total length, so
+/// it can be taken at any point as a checkpoint without disturbing the
+/// rolling state.
+class Checksum {
+ public:
+  void Update(const void* data, size_t size) {
+    const auto* bytes = static_cast<const uint8_t*>(data);
+    total_bytes_ += size;
+    // Fill the carry word first.
+    while (size > 0 && carry_size_ > 0 && carry_size_ < 8) {
+      carry_ |= static_cast<uint64_t>(*bytes++) << (carry_size_ * 8);
+      ++carry_size_;
+      --size;
+    }
+    if (carry_size_ == 8) {
+      Mix(carry_);
+      carry_ = 0;
+      carry_size_ = 0;
+    }
+    // Bulk: full words straight from the input.
+    while (size >= 8) {
+      auto word = uint64_t{};
+      std::memcpy(&word, bytes, 8);
+      Mix(word);
+      bytes += 8;
+      size -= 8;
+    }
+    // Remainder into the carry.
+    while (size > 0) {
+      carry_ |= static_cast<uint64_t>(*bytes++) << (carry_size_ * 8);
+      ++carry_size_;
+      --size;
+    }
+  }
+
+  uint64_t Digest() const {
+    auto state = state_;
+    if (carry_size_ > 0) {
+      state = (state ^ carry_) * kPrime;
+    }
+    return (state ^ total_bytes_) * kPrime;
+  }
+
+ private:
+  static constexpr uint64_t kPrime = 0x100000001B3ULL;
+
+  void Mix(uint64_t word) {
+    state_ = (state_ ^ word) * kPrime;
+  }
+
+  uint64_t state_{0xCBF29CE484222325ULL};
+  uint64_t carry_{0};
+  uint32_t carry_size_{0};
+  uint64_t total_bytes_{0};
+};
+
+/// Streaming writer over a stdio FILE with a running checksum. I/O errors
+/// latch: the first failure records an error message and every later write is
+/// a no-op, so call sites write straight-line code and check ok() once.
+/// Nothing here ever Asserts on I/O — a full disk or missing directory is a
+/// user-facing error, reported through error() (ISSUE 6 satellite 2).
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path);
+  ~BinaryWriter();
+
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  bool ok() const {
+    return error_.empty();
+  }
+
+  const std::string& error() const {
+    return error_;
+  }
+
+  uint64_t bytes_written() const {
+    return bytes_written_;
+  }
+
+  void WriteRaw(const void* data, size_t size);
+
+  template <typename T>
+  void WriteScalar(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteRaw(&value, sizeof(T));
+  }
+
+  /// u32 length + bytes.
+  void WriteString(const std::string& value);
+
+  /// u64 count + raw payload (trivially copyable element types only).
+  template <typename T>
+  void WriteVector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteScalar<uint64_t>(values.size());
+    WriteRaw(values.data(), values.size() * sizeof(T));
+  }
+
+  /// u64 count + bit-packed payload.
+  void WriteBoolVector(const std::vector<bool>& values);
+
+  /// u64 count + per-string (u32 length + bytes).
+  void WriteStringVector(const std::vector<std::string>& values);
+
+  /// Writes the current rolling digest as a checkpoint. The digest bytes are
+  /// not themselves checksummed, so reader and writer states stay in sync.
+  void WriteChecksum();
+
+  /// Footer digest, flush, fsync, close. Returns ok().
+  bool Finish();
+
+ private:
+  std::FILE* file_{nullptr};
+  Checksum checksum_;
+  std::string error_;
+  std::string path_;
+  uint64_t bytes_written_{0};
+};
+
+/// Reader over a fully loaded file image with bounds-checked reads and the
+/// same latching error behavior as the writer. A truncated file, a corrupt
+/// count, or a checksum mismatch turns into an error message, never a crash
+/// or an out-of-bounds read.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+
+  bool ok() const {
+    return error_.empty();
+  }
+
+  const std::string& error() const {
+    return error_;
+  }
+
+  /// Latches an error (e.g. a semantic validation failure at a call site).
+  void SetError(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message;
+    }
+  }
+
+  size_t remaining() const {
+    return buffer_.size() - offset_;
+  }
+
+  bool AtEnd() const {
+    return offset_ == buffer_.size();
+  }
+
+  /// Returns a pointer to `size` bytes and advances, or nullptr on underrun.
+  const uint8_t* ReadRaw(size_t size);
+
+  template <typename T>
+  bool ReadScalar(T& out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* data = ReadRaw(sizeof(T));
+    if (data == nullptr) {
+      return false;
+    }
+    std::memcpy(&out, data, sizeof(T));
+    return true;
+  }
+
+  bool ReadString(std::string& out);
+
+  template <typename T>
+  bool ReadVector(std::vector<T>& out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto count = uint64_t{0};
+    if (!ReadScalar(count)) {
+      return false;
+    }
+    // The count must fit in what is left of the file — rejects corrupt counts
+    // before they turn into multi-gigabyte allocations.
+    if (count > remaining() / sizeof(T)) {
+      SetError("Corrupt file: vector length exceeds file size");
+      return false;
+    }
+    const auto* data = ReadRaw(count * sizeof(T));
+    out.resize(count);
+    std::memcpy(out.data(), data, count * sizeof(T));
+    return true;
+  }
+
+  bool ReadBoolVector(std::vector<bool>& out);
+
+  bool ReadStringVector(std::vector<std::string>& out);
+
+  /// Reads a stored checkpoint digest and compares it against the rolling
+  /// checksum over everything consumed so far.
+  bool VerifyChecksum();
+
+ private:
+  std::vector<uint8_t> buffer_;
+  size_t offset_{0};
+  Checksum checksum_;
+  std::string error_;
+};
+
+/// Atomically replaces `to` with `from` (same filesystem), then fsyncs the
+/// containing directory so the rename itself is durable. This is the commit
+/// point of every export and of the snapshot manifest: readers either see the
+/// complete old file or the complete new one, never a torn mix.
+bool AtomicRename(const std::string& from, const std::string& to, std::string& error);
+
+}  // namespace hyrise::persistence
+
+#endif  // HYRISE_SRC_PERSISTENCE_BINARY_FORMAT_HPP_

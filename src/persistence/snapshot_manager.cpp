@@ -1,0 +1,161 @@
+#include "persistence/snapshot_manager.hpp"
+
+#include <filesystem>
+#include <system_error>
+
+#include "persistence/binary_format.hpp"
+#include "persistence/table_serializer.hpp"
+#include "storage/table.hpp"
+#include "utils/failure_injection.hpp"
+
+namespace hyrise::persistence {
+
+namespace {
+
+/// Manifest magic ("HYRSMAN1" in little-endian byte order) — distinct from
+/// the table-file magic so the two can never be confused.
+constexpr uint64_t kManifestMagic = 0x314E414D'53525948ULL;
+constexpr uint32_t kManifestVersion = 1;
+
+std::string ManifestPath(const std::string& directory) {
+  return directory + "/" + kManifestFileName;
+}
+
+Result<SnapshotManifest> ParseManifest(const std::string& path) {
+  using ManifestResult = Result<SnapshotManifest>;
+  auto reader = BinaryReader{path};
+  if (!reader.ok()) {
+    return ManifestResult::Error(reader.error());
+  }
+  const auto fail = [&](const std::string& detail) {
+    return ManifestResult::Error("Snapshot manifest '" + path + "' is invalid: " + detail);
+  };
+  auto magic = uint64_t{0};
+  auto version = uint32_t{0};
+  if (!reader.ReadScalar(magic) || !reader.ReadScalar(version)) {
+    return fail(reader.ok() ? std::string{"truncated"} : reader.error());
+  }
+  if (magic != kManifestMagic) {
+    return fail("not a snapshot manifest");
+  }
+  if (version != kManifestVersion) {
+    return fail("unsupported version " + std::to_string(version));
+  }
+  auto manifest = SnapshotManifest{};
+  auto entry_count = uint32_t{0};
+  if (!reader.ReadScalar(manifest.epoch) || !reader.ReadScalar(entry_count)) {
+    return fail(reader.ok() ? std::string{"truncated"} : reader.error());
+  }
+  for (auto index = uint32_t{0}; index < entry_count; ++index) {
+    auto entry = SnapshotEntry{};
+    if (!reader.ReadString(entry.table_name) || !reader.ReadString(entry.file_name) ||
+        !reader.ReadScalar(entry.bytes)) {
+      return fail(reader.ok() ? std::string{"truncated"} : reader.error());
+    }
+    // File names are manifest-relative by construction; reject anything that
+    // could escape the snapshot directory.
+    if (entry.table_name.empty() || entry.file_name.empty() ||
+        entry.file_name.find('/') != std::string::npos) {
+      return fail("corrupt table entry");
+    }
+    manifest.entries.push_back(std::move(entry));
+  }
+  auto footer = uint64_t{0};
+  if (!reader.ReadScalar(footer) || footer != kFooterMagic || !reader.VerifyChecksum() || !reader.AtEnd()) {
+    return fail(reader.ok() ? std::string{"corrupt footer"} : reader.error());
+  }
+  return manifest;
+}
+
+}  // namespace
+
+Result<SnapshotManifest> ReadManifest(const std::string& directory) {
+  return ParseManifest(ManifestPath(directory));
+}
+
+Result<size_t> WriteSnapshot(const std::vector<std::pair<std::string, std::shared_ptr<const Table>>>& tables,
+                             const std::string& directory) {
+  using SnapshotResult = Result<size_t>;
+  auto error_code = std::error_code{};
+  std::filesystem::create_directories(directory, error_code);
+  if (error_code) {
+    return SnapshotResult::Error("Cannot create snapshot directory '" + directory + "': " + error_code.message());
+  }
+
+  // Epochs monotonically tag table files so this snapshot never touches the
+  // files the current manifest points to: until the new manifest is
+  // published, the previous snapshot stays restorable byte for byte.
+  auto epoch = uint64_t{1};
+  auto previous_files = std::vector<std::string>{};
+  if (std::filesystem::exists(ManifestPath(directory), error_code)) {
+    const auto previous = ReadManifest(directory);
+    if (previous.ok()) {
+      epoch = previous.value().epoch + 1;
+      for (const auto& entry : previous.value().entries) {
+        previous_files.push_back(entry.file_name);
+      }
+    }
+  }
+
+  auto manifest = SnapshotManifest{};
+  manifest.epoch = epoch;
+  for (const auto& [name, table] : tables) {
+    auto entry = SnapshotEntry{};
+    entry.table_name = name;
+    entry.file_name = name + "." + std::to_string(epoch) + ".bin";
+    const auto exported = ExportTableBinary(*table, directory + "/" + entry.file_name);
+    if (!exported.ok()) {
+      return SnapshotResult::Error("Snapshot of table '" + name + "' failed: " + exported.error());
+    }
+    entry.bytes = exported.value();
+    manifest.entries.push_back(std::move(entry));
+  }
+
+  // Publish: write the manifest aside, then atomically rename it into place.
+  FAILPOINT("persistence/manifest_publish");
+  const auto temporary_path = ManifestPath(directory) + ".tmp";
+  auto writer = BinaryWriter{temporary_path};
+  writer.WriteScalar<uint64_t>(kManifestMagic);
+  writer.WriteScalar<uint32_t>(kManifestVersion);
+  writer.WriteScalar<uint64_t>(manifest.epoch);
+  writer.WriteScalar<uint32_t>(static_cast<uint32_t>(manifest.entries.size()));
+  for (const auto& entry : manifest.entries) {
+    writer.WriteString(entry.table_name);
+    writer.WriteString(entry.file_name);
+    writer.WriteScalar<uint64_t>(entry.bytes);
+  }
+  if (!writer.Finish()) {
+    return SnapshotResult::Error(writer.error());
+  }
+  auto rename_error = std::string{};
+  if (!AtomicRename(temporary_path, ManifestPath(directory), rename_error)) {
+    return SnapshotResult::Error(rename_error);
+  }
+
+  // The old snapshot is superseded; collect its files. Best effort — a
+  // leftover file costs disk space, not correctness.
+  for (const auto& file : previous_files) {
+    std::filesystem::remove(directory + "/" + file, error_code);
+  }
+  return manifest.entries.size();
+}
+
+Result<std::vector<std::pair<std::string, std::shared_ptr<Table>>>> ReadSnapshot(const std::string& directory) {
+  using RestoreResult = Result<std::vector<std::pair<std::string, std::shared_ptr<Table>>>>;
+  const auto manifest = ReadManifest(directory);
+  if (!manifest.ok()) {
+    return RestoreResult::Error(manifest.error());
+  }
+  auto tables = std::vector<std::pair<std::string, std::shared_ptr<Table>>>{};
+  tables.reserve(manifest.value().entries.size());
+  for (const auto& entry : manifest.value().entries) {
+    auto imported = ImportTableBinary(directory + "/" + entry.file_name);
+    if (!imported.ok()) {
+      return RestoreResult::Error("Restore of table '" + entry.table_name + "' failed: " + imported.error());
+    }
+    tables.emplace_back(entry.table_name, std::move(imported).value());
+  }
+  return tables;
+}
+
+}  // namespace hyrise::persistence

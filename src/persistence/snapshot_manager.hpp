@@ -1,0 +1,54 @@
+#ifndef HYRISE_SRC_PERSISTENCE_SNAPSHOT_MANAGER_HPP_
+#define HYRISE_SRC_PERSISTENCE_SNAPSHOT_MANAGER_HPP_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "utils/result.hpp"
+
+namespace hyrise {
+
+class Table;
+
+namespace persistence {
+
+/// Name of the manifest file inside a snapshot directory. Its presence marks
+/// a published (restorable) snapshot.
+inline constexpr const char* kManifestFileName = "manifest.bin";
+
+/// One catalog entry of a published snapshot.
+struct SnapshotEntry {
+  std::string table_name;
+  std::string file_name;  // Relative to the snapshot directory.
+  uint64_t bytes{0};
+};
+
+/// Parsed snapshot manifest.
+struct SnapshotManifest {
+  uint64_t epoch{0};
+  std::vector<SnapshotEntry> entries;
+};
+
+/// Writes a whole-database snapshot of `tables` into `directory` (created if
+/// missing): one binary table file per table, epoch-tagged so it never
+/// overwrites the files of the previous snapshot, then a checksummed manifest
+/// published via atomic rename. The manifest rename is the commit point —
+/// a crash at any earlier moment (any FAILPOINT) leaves the previous
+/// manifest, and therefore the previous snapshot, fully restorable. Files of
+/// superseded epochs are garbage-collected after a successful publish.
+Result<size_t> WriteSnapshot(const std::vector<std::pair<std::string, std::shared_ptr<const Table>>>& tables,
+                             const std::string& directory);
+
+/// Reads and validates the manifest published in `directory`.
+Result<SnapshotManifest> ReadManifest(const std::string& directory);
+
+/// Loads every table of the snapshot in `directory`. Fully loads all tables
+/// before returning, so callers can install them all-or-nothing.
+Result<std::vector<std::pair<std::string, std::shared_ptr<Table>>>> ReadSnapshot(const std::string& directory);
+
+}  // namespace persistence
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_PERSISTENCE_SNAPSHOT_MANAGER_HPP_

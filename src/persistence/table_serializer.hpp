@@ -1,0 +1,64 @@
+#ifndef HYRISE_SRC_PERSISTENCE_TABLE_SERIALIZER_HPP_
+#define HYRISE_SRC_PERSISTENCE_TABLE_SERIALIZER_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "types/types.hpp"
+#include "utils/result.hpp"
+
+namespace hyrise {
+
+class AbstractSegment;
+class Table;
+
+namespace persistence {
+
+/// Snapshot CID meaning "every committed row, nothing uncommitted": one below
+/// kMaxCommitId, so begin CIDs of committed rows pass (begin <= cid) while
+/// unset begin CIDs (kMaxCommitId) and committed deletes (end <= cid) fail.
+inline constexpr CommitID kLatestCommittedCid = kMaxCommitId - 1;
+
+/// Serializes `table` to `path` in the versioned binary format (DESIGN.md
+/// §5e). Encoded segments are written in their compressed in-memory layout —
+/// dictionaries, attribute vectors, BitPacking128 payloads with their guard
+/// word — so import never re-encodes. Writes to `path + ".tmp"` first and
+/// atomically renames, so a crash mid-export never leaves a torn file under
+/// the final name.
+///
+/// MVCC tables export the rows visible at `snapshot_cid` (for `exporter_tid`,
+/// which matters only for exporting a transaction's own uncommitted writes).
+/// Fully visible chunks are serialized as-is; partially visible chunks are
+/// filtered and re-encoded with the original segment's encoding spec.
+///
+/// Returns bytes written, or a user-facing error (no Assert on I/O failures).
+Result<uint64_t> ExportTableBinary(const Table& table, const std::string& path,
+                                   CommitID snapshot_cid = kLatestCommittedCid,
+                                   TransactionID exporter_tid = kInvalidTransactionId);
+
+/// Reads a table written by ExportTableBinary. Chunks are adopted in their
+/// serialized (already encoded) form — the near-memcpy path. Imported rows
+/// are visible to all transactions (begin CID 0), matching bulk loads.
+/// Persisted TableStatistics are restored so the optimizer is warm at the
+/// first query. Corrupt, truncated, or version-mismatched files are reported
+/// as errors, never crashes.
+Result<std::shared_ptr<Table>> ImportTableBinary(const std::string& path);
+
+/// Derives the encoding spec a segment was built with (used to re-encode
+/// filtered rows of partially visible chunks the same way).
+SegmentEncodingSpec SegmentSpecOf(const AbstractSegment& segment);
+
+/// Structural validation of raw BitPackingVector parts read from a file,
+/// mirroring the deterministic layout the packer produces: per-block bit
+/// widths in [1, 32], cumulative block offsets, full words per block, and a
+/// trailing guard word. The raw-parts constructor adopts blindly; this check
+/// keeps corrupted metadata from causing out-of-bounds block reads.
+bool ValidateBitPackingParts(size_t size, const std::vector<uint8_t>& block_bits,
+                             const std::vector<uint32_t>& block_offsets, const std::vector<uint64_t>& data);
+
+}  // namespace persistence
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_PERSISTENCE_TABLE_SERIALIZER_HPP_

@@ -7,11 +7,16 @@
 
 #include <cerrno>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "concurrency/transaction_context.hpp"
+#include "hyrise.hpp"
+#include "persistence/snapshot_manager.hpp"
 #include "sql/sql_pipeline.hpp"
+#include "storage/storage_manager.hpp"
 #include "storage/table.hpp"
 #include "utils/failure_injection.hpp"
 
@@ -149,6 +154,22 @@ Server::~Server() {
 }
 
 Result<uint16_t> Server::Start() {
+  // Warm restart before the first connection can arrive: restore the last
+  // published snapshot (tables + statistics). A missing manifest means there
+  // is nothing to restore yet (first boot) — that is a cold start, not an
+  // error. An existing-but-broken snapshot is a real error: silently serving
+  // an empty database instead of the user's data would be worse than failing.
+  if (!config_.restore_directory.empty()) {
+    auto error_code = std::error_code{};
+    const auto manifest = config_.restore_directory + "/" + persistence::kManifestFileName;
+    if (std::filesystem::exists(manifest, error_code)) {
+      const auto restored = Hyrise::Get().storage_manager.Restore(config_.restore_directory);
+      if (!restored.ok()) {
+        return Result<uint16_t>::Error("Warm restart failed: " + restored.error());
+      }
+    }
+  }
+
   const auto fd = socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Result<uint16_t>::Error(std::string{"Cannot create server socket: "} + std::strerror(errno));

@@ -31,6 +31,12 @@ struct ServerConfig {
   std::chrono::milliseconds statement_timeout{0};
   /// Auto-commit conflict retry budget per statement (see SqlPipeline).
   uint32_t max_conflict_retries{3};
+  /// Warm restart: if non-empty and the directory holds a published snapshot
+  /// manifest, Start() restores every table of that snapshot before accepting
+  /// connections, statistics included — the optimizer is warm at the first
+  /// query. An empty or missing directory is not an error (cold start); a
+  /// corrupt snapshot is.
+  std::string restore_directory;
 };
 
 /// TCP/IP server implementing the subset of the PostgreSQL v3 wire protocol

@@ -99,6 +99,9 @@ enum class StatementKind {
   kBegin,
   kCommit,
   kRollback,
+  kCopy,      // COPY <table> TO/FROM '<path>' BINARY
+  kSnapshot,  // SNAPSHOT TO '<directory>'
+  kRestore,   // RESTORE FROM '<directory>'
 };
 
 struct Statement {
@@ -122,6 +125,10 @@ struct Statement {
   bool if_exists{false};
   std::unique_ptr<SelectStatement> view_select;
   std::vector<std::string> view_column_names;
+
+  // COPY / SNAPSHOT / RESTORE
+  std::string file_path;       // File (COPY) or snapshot directory.
+  bool copy_is_import{false};  // COPY ... FROM (true) vs COPY ... TO (false).
 };
 
 using StatementPtr = std::unique_ptr<Statement>;

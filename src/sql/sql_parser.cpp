@@ -157,8 +157,63 @@ class Parser {
       statement->kind = StatementKind::kRollback;
       return statement;
     }
+    if (MatchKeyword("COPY")) {
+      return ParseCopy();
+    }
+    if (MatchKeyword("SNAPSHOT")) {
+      return ParseSnapshotOrRestore(StatementKind::kSnapshot);
+    }
+    if (MatchKeyword("RESTORE")) {
+      return ParseSnapshotOrRestore(StatementKind::kRestore);
+    }
     ErrorAtCurrent("expected a statement");
     return nullptr;
+  }
+
+  /// COPY <table> TO '<path>' [BINARY] | COPY <table> FROM '<path>' [BINARY].
+  /// BINARY is the only (and default) format, so the keyword is optional.
+  StatementPtr ParseCopy() {
+    auto statement = std::make_unique<Statement>();
+    statement->kind = StatementKind::kCopy;
+    if (!ExpectIdentifier(statement->table_name)) {
+      return nullptr;
+    }
+    if (MatchKeyword("TO")) {
+      statement->copy_is_import = false;
+    } else if (MatchKeyword("FROM")) {
+      statement->copy_is_import = true;
+    } else {
+      ErrorAtCurrent("expected TO or FROM after COPY <table>");
+      return nullptr;
+    }
+    if (!ExpectFilePath(statement->file_path)) {
+      return nullptr;
+    }
+    MatchKeyword("BINARY");
+    return statement;
+  }
+
+  /// SNAPSHOT TO '<directory>' | RESTORE FROM '<directory>'.
+  StatementPtr ParseSnapshotOrRestore(StatementKind kind) {
+    auto statement = std::make_unique<Statement>();
+    statement->kind = kind;
+    if (!ExpectKeyword(kind == StatementKind::kSnapshot ? "TO" : "FROM")) {
+      return nullptr;
+    }
+    if (!ExpectFilePath(statement->file_path)) {
+      return nullptr;
+    }
+    return statement;
+  }
+
+  bool ExpectFilePath(std::string& out) {
+    if (Current().type == TokenType::kString && !Current().value.empty()) {
+      out = Current().value;
+      Advance();
+      return true;
+    }
+    ErrorAtCurrent("expected a non-empty path string literal");
+    return false;
   }
 
   std::unique_ptr<SelectStatement> ParseSelect() {

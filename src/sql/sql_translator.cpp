@@ -8,6 +8,7 @@
 #include "logical_query_plan/ddl_nodes.hpp"
 #include "logical_query_plan/dml_nodes.hpp"
 #include "logical_query_plan/operator_nodes.hpp"
+#include "logical_query_plan/persistence_nodes.hpp"
 #include "logical_query_plan/static_table_node.hpp"
 #include "logical_query_plan/stored_table_node.hpp"
 #include "storage/table.hpp"
@@ -105,6 +106,19 @@ Result<LqpNodePtr> SqlTranslator::Translate(const sql::Statement& statement) {
     }
     case sql::StatementKind::kDropView:
       lqp = DropViewNode::Make(statement.table_name);
+      break;
+    case sql::StatementKind::kCopy:
+      if (statement.copy_is_import) {
+        lqp = ImportTableNode::Make(statement.table_name, statement.file_path);
+      } else {
+        lqp = ExportTableNode::Make(statement.table_name, statement.file_path);
+      }
+      break;
+    case sql::StatementKind::kSnapshot:
+      lqp = SnapshotNode::Make(statement.file_path);
+      break;
+    case sql::StatementKind::kRestore:
+      lqp = RestoreNode::Make(statement.file_path);
       break;
     default:
       return Result<LqpNodePtr>::Error("Statement kind handled by the pipeline, not the translator");

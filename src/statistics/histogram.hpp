@@ -55,6 +55,23 @@ class Histogram {
   static std::shared_ptr<const Histogram<T>> FromValues(std::vector<T> values, HistogramLayout layout,
                                                         size_t max_bin_count = 64);
 
+  /// Rebuilds a histogram from previously built bins (statistics persistence:
+  /// the optimizer is warm at the first query after a restart without
+  /// rescanning any column). Returns nullptr for empty input, mirroring
+  /// FromValues.
+  static std::shared_ptr<const Histogram<T>> FromBins(std::vector<HistogramBin<T>> bins) {
+    if (bins.empty()) {
+      return nullptr;
+    }
+    auto histogram = std::make_shared<Histogram<T>>();
+    histogram->bins_ = std::move(bins);
+    for (const auto& bin : histogram->bins_) {
+      histogram->total_count_ += bin.height;
+      histogram->total_distinct_count_ += bin.distinct_count;
+    }
+    return histogram;
+  }
+
   const std::vector<HistogramBin<T>>& bins() const {
     return bins_;
   }

@@ -1,5 +1,6 @@
 #include "storage/storage_manager.hpp"
 
+#include "persistence/snapshot_manager.hpp"
 #include "storage/table.hpp"
 #include "utils/assert.hpp"
 
@@ -38,6 +39,38 @@ std::vector<std::string> StorageManager::TableNames() const {
     names.push_back(name);
   }
   return names;
+}
+
+void StorageManager::ReplaceTable(const std::string& name, std::shared_ptr<Table> table) {
+  const auto lock = std::lock_guard{mutex_};
+  Assert(!views_.contains(name), "A view with this name exists: " + name);
+  tables_.insert_or_assign(name, std::move(table));
+}
+
+Result<size_t> StorageManager::Snapshot(const std::string& directory) const {
+  // Capture a consistent catalog under the lock; the (long-running) export
+  // itself runs without it so queries and commits proceed concurrently.
+  auto tables = std::vector<std::pair<std::string, std::shared_ptr<const Table>>>{};
+  {
+    const auto lock = std::lock_guard{mutex_};
+    tables.reserve(tables_.size());
+    for (const auto& [name, table] : tables_) {
+      tables.emplace_back(name, table);
+    }
+  }
+  return persistence::WriteSnapshot(tables, directory);
+}
+
+Result<size_t> StorageManager::Restore(const std::string& directory) {
+  auto loaded = persistence::ReadSnapshot(directory);
+  if (!loaded.ok()) {
+    return Result<size_t>::Error(loaded.error());
+  }
+  // All imports succeeded — only now touch the catalog.
+  for (auto& [name, table] : loaded.value()) {
+    ReplaceTable(name, table);
+  }
+  return loaded.value().size();
 }
 
 void StorageManager::AddView(const std::string& name, std::shared_ptr<LqpView> view) {

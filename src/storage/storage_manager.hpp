@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "utils/result.hpp"
+
 namespace hyrise {
 
 class Table;
@@ -22,10 +24,27 @@ class StorageManager {
   std::shared_ptr<Table> GetTable(const std::string& name) const;
   std::vector<std::string> TableNames() const;
 
+  /// Atomically installs `table` under `name`, replacing any existing table
+  /// of that name. Concurrent readers holding the old shared_ptr keep a
+  /// consistent (stale) table; new lookups see the replacement. Used by
+  /// Restore() and COPY ... FROM to swap in imported tables without a
+  /// drop/add window in which the name does not resolve.
+  void ReplaceTable(const std::string& name, std::shared_ptr<Table> table);
+
   void AddView(const std::string& name, std::shared_ptr<LqpView> view);
   void DropView(const std::string& name);
   bool HasView(const std::string& name) const;
   std::shared_ptr<LqpView> GetView(const std::string& name) const;
+
+  /// Exports every table to `directory` (created if missing) and publishes a
+  /// checksummed manifest via atomic rename; see persistence::SnapshotManager.
+  /// Returns the number of tables written.
+  Result<size_t> Snapshot(const std::string& directory) const;
+
+  /// Loads the manifest in `directory` and installs all tables it lists via
+  /// ReplaceTable. All tables are imported before any is installed, so a
+  /// failing import leaves the catalog untouched. Returns the table count.
+  Result<size_t> Restore(const std::string& directory);
 
  private:
   std::map<std::string, std::shared_ptr<Table>> tables_;

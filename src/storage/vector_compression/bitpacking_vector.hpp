@@ -59,6 +59,18 @@ class BitPackingVector final : public BaseCompressedVector {
 
   explicit BitPackingVector(const std::vector<uint32_t>& values);
 
+  /// Raw-parts constructor for the persistence layer: adopts a payload that a
+  /// previous BitPackingVector produced (including the trailing guard word)
+  /// without touching a single value — binary import must not re-pack.
+  /// Callers are responsible for validating the parts against each other
+  /// (see persistence::ValidateBitPackingParts); this constructor only adopts.
+  BitPackingVector(size_t size, std::vector<uint8_t> block_bits, std::vector<uint32_t> block_offsets,
+                   std::vector<uint64_t> data)
+      : size_(size),
+        block_bits_(std::move(block_bits)),
+        block_offsets_(std::move(block_offsets)),
+        data_(std::move(data)) {}
+
   size_t size() const final {
     return size_;
   }
@@ -92,6 +104,22 @@ class BitPackingVector final : public BaseCompressedVector {
 
   Decompressor CreateDecompressor() const {
     return Decompressor{*this};
+  }
+
+  // --- Raw-parts access (persistence: segments serialize their compressed
+  // in-memory layout as-is, so restore is a near-memcpy) ---------------------
+
+  const std::vector<uint8_t>& block_bits() const {
+    return block_bits_;
+  }
+
+  const std::vector<uint32_t>& block_offsets() const {
+    return block_offsets_;
+  }
+
+  /// Packed payload including the trailing guard word.
+  const std::vector<uint64_t>& packed_data() const {
+    return data_;
   }
 
  private:

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "hyrise.hpp"
+#include "persistence/snapshot_manager.hpp"
+#include "persistence/table_serializer.hpp"
+#include "sql/sql_pipeline.hpp"
+#include "storage/table.hpp"
+#include "test_utils.hpp"
+
+namespace hyrise {
+
+namespace {
+
+std::string TempPath(const std::string& file) {
+  return ::testing::TempDir() + "/" + file;
+}
+
+std::shared_ptr<Table> SmallTable() {
+  return MakeTable({{"id", DataType::kInt}, {"name", DataType::kString}},
+                   {{1, std::string{"a"}}, {2, std::string{"b"}}, {3, std::string{"c"}}});
+}
+
+/// Runs one statement and returns (status, error message) without Asserting.
+std::pair<SqlPipelineStatus, std::string> TrySql(const std::string& sql) {
+  auto pipeline = SqlPipeline::Builder{sql}.Build();
+  const auto status = pipeline.Execute();
+  return {status, pipeline.error_message()};
+}
+
+}  // namespace
+
+/// ISSUE satellite 2: I/O failures are reported as error Results or SQL error
+/// messages — never Assert-crashes. Every test in this suite would abort the
+/// process if an I/O error hit an Assert.
+class PersistenceErrorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Hyrise::Reset();
+  }
+};
+
+TEST_F(PersistenceErrorTest, ImportMissingFileReturnsError) {
+  const auto result = persistence::ImportTableBinary(TempPath("does_not_exist.bin"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("does_not_exist.bin"), std::string::npos);
+}
+
+TEST_F(PersistenceErrorTest, ExportToMissingDirectoryReturnsError) {
+  const auto table = SmallTable();
+  const auto result = persistence::ExportTableBinary(*table, TempPath("no/such/directory/out.bin"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("out.bin"), std::string::npos);
+}
+
+TEST_F(PersistenceErrorTest, ImportGarbageFileReturnsError) {
+  const auto path = TempPath("garbage.bin");
+  std::ofstream{path} << "this is not a hyrise binary table";
+  const auto result = persistence::ImportTableBinary(path);
+  ASSERT_FALSE(result.ok());
+  std::filesystem::remove(path);
+}
+
+TEST_F(PersistenceErrorTest, ImportTruncatedFileReturnsError) {
+  const auto path = TempPath("truncated.bin");
+  ASSERT_TRUE(persistence::ExportTableBinary(*SmallTable(), path).ok());
+  const auto full_size = std::filesystem::file_size(path);
+  // Every truncation point must yield a clean error (short read mid-stream).
+  for (const auto keep : {full_size / 2, full_size - 1, uint64_t{7}, uint64_t{0}}) {
+    std::filesystem::resize_file(path, keep);
+    const auto result = persistence::ImportTableBinary(path);
+    EXPECT_FALSE(result.ok()) << "truncated to " << keep << " bytes";
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(PersistenceErrorTest, ImportBitflippedFileFailsChecksum) {
+  const auto path = TempPath("bitflip.bin");
+  ASSERT_TRUE(persistence::ExportTableBinary(*SmallTable(), path).ok());
+  auto bytes = std::vector<char>(std::filesystem::file_size(path));
+  std::ifstream{path, std::ios::binary}.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  // Flip one bit in the middle of the payload.
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+  std::ofstream{path, std::ios::binary}.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  const auto result = persistence::ImportTableBinary(path);
+  ASSERT_FALSE(result.ok());
+  std::filesystem::remove(path);
+}
+
+TEST_F(PersistenceErrorTest, ImportRejectsUnsupportedVersion) {
+  const auto path = TempPath("future_version.bin");
+  ASSERT_TRUE(persistence::ExportTableBinary(*SmallTable(), path).ok());
+  auto stream = std::fstream{path, std::ios::binary | std::ios::in | std::ios::out};
+  stream.seekp(8);  // Version field follows the 8-byte magic.
+  const auto future_version = uint32_t{999};
+  stream.write(reinterpret_cast<const char*>(&future_version), sizeof(future_version));
+  stream.close();
+  const auto result = persistence::ImportTableBinary(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("version"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST_F(PersistenceErrorTest, RestoreFromEmptyDirectoryReturnsError) {
+  const auto directory = TempPath("empty_snapshot_dir");
+  std::filesystem::create_directories(directory);
+  const auto result = Hyrise::Get().storage_manager.Restore(directory);
+  ASSERT_FALSE(result.ok());
+  std::filesystem::remove_all(directory);
+}
+
+TEST_F(PersistenceErrorTest, RestoreWithMissingTableFileLeavesCatalogUntouched) {
+  const auto directory = TempPath("half_snapshot_dir");
+  ExecuteSql("CREATE TABLE a (id INT NOT NULL, name VARCHAR(10))");
+  ExecuteSql("INSERT INTO a VALUES (1, 'x')");
+  ExecuteSql("CREATE TABLE b (id INT NOT NULL)");
+  ExecuteSql("INSERT INTO b VALUES (7)");
+  ASSERT_TRUE(Hyrise::Get().storage_manager.Snapshot(directory).ok());
+
+  // Break the snapshot: delete one table file but keep the manifest.
+  auto removed = false;
+  for (const auto& entry : std::filesystem::directory_iterator(directory)) {
+    if (entry.path().filename().string().rfind("b.", 0) == 0) {
+      std::filesystem::remove(entry.path());
+      removed = true;
+    }
+  }
+  ASSERT_TRUE(removed);
+
+  // Change the live tables, then attempt the (failing) restore: the catalog
+  // must keep the current tables — no partial install.
+  ExecuteSql("INSERT INTO a VALUES (42, 'new')");
+  const auto result = Hyrise::Get().storage_manager.Restore(directory);
+  ASSERT_FALSE(result.ok());
+  ExpectTableContents(ExecuteSql("SELECT id FROM a WHERE id = 42"), {{42}});
+  std::filesystem::remove_all(directory);
+}
+
+/// SQL layer: COPY errors surface as clean pipeline failures with the
+/// underlying reason, and the session keeps working afterwards.
+TEST_F(PersistenceErrorTest, SqlCopyFromMissingFileFailsCleanly) {
+  ExecuteSql("CREATE TABLE t (id INT NOT NULL)");
+  const auto [status, message] = TrySql("COPY t FROM '" + TempPath("nope.bin") + "' BINARY");
+  EXPECT_EQ(status, SqlPipelineStatus::kFailure);
+  EXPECT_NE(message.find("nope.bin"), std::string::npos);
+  // The error did not poison the session or the catalog.
+  ExecuteSql("INSERT INTO t VALUES (1)");
+  ExpectTableContents(ExecuteSql("SELECT id FROM t"), {{1}});
+}
+
+TEST_F(PersistenceErrorTest, SqlCopyUnknownTableFailsCleanly) {
+  const auto [status, message] = TrySql("COPY missing TO '" + TempPath("x.bin") + "' BINARY");
+  EXPECT_EQ(status, SqlPipelineStatus::kFailure);
+  EXPECT_NE(message.find("missing"), std::string::npos);
+}
+
+TEST_F(PersistenceErrorTest, SqlRestoreFromMissingDirectoryFailsCleanly) {
+  const auto [status, message] = TrySql("RESTORE FROM '" + TempPath("no_snapshots_here") + "'");
+  EXPECT_EQ(status, SqlPipelineStatus::kFailure);
+  EXPECT_FALSE(message.empty());
+}
+
+TEST_F(PersistenceErrorTest, SqlCopyParseErrors) {
+  EXPECT_EQ(TrySql("COPY t BINARY").first, SqlPipelineStatus::kFailure);
+  EXPECT_EQ(TrySql("COPY t TO").first, SqlPipelineStatus::kFailure);
+  EXPECT_EQ(TrySql("COPY t TO ''").first, SqlPipelineStatus::kFailure);
+  EXPECT_EQ(TrySql("SNAPSHOT FROM '/tmp/x'").first, SqlPipelineStatus::kFailure);
+  EXPECT_EQ(TrySql("RESTORE TO '/tmp/x'").first, SqlPipelineStatus::kFailure);
+}
+
+}  // namespace hyrise

@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "expression/expressions.hpp"
+#include "hyrise.hpp"
+#include "operators/table_scan.hpp"
+#include "operators/table_wrapper.hpp"
+#include "persistence/table_serializer.hpp"
+#include "scheduler/abstract_scheduler.hpp"
+#include "scheduler/node_queue_scheduler.hpp"
+#include "sql/sql_pipeline.hpp"
+#include "statistics/table_statistics.hpp"
+#include "storage/chunk_encoder.hpp"
+#include "storage/dictionary_segment.hpp"
+#include "storage/reference_segment.hpp"
+#include "storage/table.hpp"
+#include "storage/vector_compression/bitpacking_vector.hpp"
+#include "test_utils.hpp"
+
+namespace hyrise {
+
+namespace {
+
+struct RoundTripCase {
+  SegmentEncodingSpec spec;
+  bool with_nulls;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<RoundTripCase>& info) {
+  auto name = std::string{EncodingTypeToString(info.param.spec.encoding_type)} + "_" +
+              VectorCompressionTypeToString(info.param.spec.vector_compression) +
+              (info.param.with_nulls ? "_nulls" : "_nonulls");
+  for (auto& character : name) {
+    if (!std::isalnum(static_cast<unsigned char>(character))) {
+      character = '_';
+    }
+  }
+  return name;
+}
+
+std::vector<RoundTripCase> AllCases() {
+  auto cases = std::vector<RoundTripCase>{};
+  for (const auto encoding : {EncodingType::kUnencoded, EncodingType::kDictionary, EncodingType::kRunLength,
+                              EncodingType::kFrameOfReference}) {
+    for (const auto compression :
+         {VectorCompressionType::kFixedWidthInteger, VectorCompressionType::kBitPacking128}) {
+      for (const auto with_nulls : {false, true}) {
+        cases.push_back({SegmentEncodingSpec{encoding, compression}, with_nulls});
+      }
+    }
+  }
+  return cases;
+}
+
+/// A table covering every data type, with value runs (for RLE), a narrow
+/// domain (dictionary / bit-packing), and an optional null pattern. 1000 rows
+/// over chunks of 150 → 7 chunks, the last one partially filled.
+std::shared_ptr<Table> BuildSourceTable(const SegmentEncodingSpec& spec, bool with_nulls) {
+  auto definitions = TableColumnDefinitions{{"i", DataType::kInt, with_nulls},
+                                            {"l", DataType::kLong, with_nulls},
+                                            {"f", DataType::kFloat, with_nulls},
+                                            {"d", DataType::kDouble, with_nulls},
+                                            {"s", DataType::kString, with_nulls}};
+  auto table = std::make_shared<Table>(definitions, TableType::kData, ChunkOffset{150});
+  for (auto row = 0; row < 1000; ++row) {
+    if (with_nulls && row % 7 == 3) {
+      table->AppendRow({kNullVariant, kNullVariant, kNullVariant, kNullVariant, kNullVariant});
+      continue;
+    }
+    const auto group = row / 13;  // Runs of 13 equal values.
+    table->AppendRow({group % 211, static_cast<int64_t>(group) * 1000003, static_cast<float>(group % 17) * 0.5F,
+                      group * 1.25, "name_" + std::to_string(group % 59)});
+  }
+  ChunkEncoder::EncodeAllChunks(table, spec);
+  return table;
+}
+
+std::string TempPath(const std::string& file) {
+  return ::testing::TempDir() + "/" + file;
+}
+
+/// Every value of both tables, compared through the virtual segment
+/// interface.
+void ExpectTablesEqual(const Table& expected, const Table& actual) {
+  ASSERT_EQ(actual.row_count(), expected.row_count());
+  ASSERT_EQ(actual.chunk_count(), expected.chunk_count());
+  ASSERT_EQ(actual.column_count(), expected.column_count());
+  for (auto chunk_id = ChunkID{0}; chunk_id < expected.chunk_count(); ++chunk_id) {
+    const auto expected_chunk = expected.GetChunk(chunk_id);
+    const auto actual_chunk = actual.GetChunk(chunk_id);
+    ASSERT_EQ(actual_chunk->size(), expected_chunk->size());
+    for (auto column_id = ColumnID{0}; column_id < expected.column_count(); ++column_id) {
+      const auto& expected_segment = *expected_chunk->GetSegment(column_id);
+      const auto& actual_segment = *actual_chunk->GetSegment(column_id);
+      for (auto offset = ChunkOffset{0}; offset < expected_chunk->size(); ++offset) {
+        const auto expected_value = expected_segment[offset];
+        const auto actual_value = actual_segment[offset];
+        ASSERT_EQ(VariantIsNull(actual_value), VariantIsNull(expected_value))
+            << "chunk " << chunk_id << " column " << column_id << " offset " << offset;
+        if (!VariantIsNull(expected_value)) {
+          ASSERT_EQ(actual_value, expected_value)
+              << "chunk " << chunk_id << " column " << column_id << " offset " << offset;
+        }
+      }
+    }
+  }
+}
+
+/// Scans column `i` (> 30, roughly the upper half of its 0..76 domain) and
+/// returns the concatenated position list.
+RowIDPosList ScanPositions(const std::shared_ptr<Table>& table) {
+  auto wrapper = std::make_shared<TableWrapper>(table);
+  wrapper->Execute();
+  auto scan = std::make_shared<TableScan>(
+      wrapper, std::make_shared<PredicateExpression>(
+                   PredicateCondition::kGreaterThan,
+                   Expressions{std::make_shared<PqpColumnExpression>(ColumnID{0}, DataType::kInt, true, "i"),
+                               std::make_shared<ValueExpression>(30)}));
+  scan->Execute();
+  auto positions = RowIDPosList{};
+  const auto result = scan->get_output();
+  for (auto chunk_id = ChunkID{0}; chunk_id < result->chunk_count(); ++chunk_id) {
+    const auto chunk = result->GetChunk(chunk_id);
+    const auto reference_segment = std::dynamic_pointer_cast<ReferenceSegment>(chunk->GetSegment(ColumnID{0}));
+    EXPECT_TRUE(reference_segment);
+    if (reference_segment) {
+      positions.insert(positions.end(), reference_segment->pos_list()->begin(),
+                       reference_segment->pos_list()->end());
+    }
+  }
+  return positions;
+}
+
+void ExpectStatisticsEqual(const std::shared_ptr<TableStatistics>& expected,
+                           const std::shared_ptr<TableStatistics>& actual) {
+  ASSERT_TRUE(expected);
+  ASSERT_TRUE(actual);
+  EXPECT_DOUBLE_EQ(actual->row_count, expected->row_count);
+  ASSERT_EQ(actual->column_statistics.size(), expected->column_statistics.size());
+  for (auto column = size_t{0}; column < expected->column_statistics.size(); ++column) {
+    const auto& expected_column = expected->column_statistics[column];
+    const auto& actual_column = actual->column_statistics[column];
+    ASSERT_EQ(static_cast<bool>(actual_column), static_cast<bool>(expected_column));
+    if (!expected_column) {
+      continue;
+    }
+    EXPECT_EQ(actual_column->data_type, expected_column->data_type);
+    EXPECT_DOUBLE_EQ(actual_column->null_ratio, expected_column->null_ratio);
+    ResolveDataType(expected_column->data_type, [&](auto type_tag) {
+      using ColumnDataType = decltype(type_tag);
+      const auto& expected_typed = static_cast<const AttributeStatistics<ColumnDataType>&>(*expected_column);
+      const auto& actual_typed = static_cast<const AttributeStatistics<ColumnDataType>&>(*actual_column);
+      ASSERT_EQ(static_cast<bool>(actual_typed.histogram), static_cast<bool>(expected_typed.histogram));
+      if (!expected_typed.histogram) {
+        return;
+      }
+      const auto& expected_bins = expected_typed.histogram->bins();
+      const auto& actual_bins = actual_typed.histogram->bins();
+      ASSERT_EQ(actual_bins.size(), expected_bins.size());
+      for (auto bin = size_t{0}; bin < expected_bins.size(); ++bin) {
+        EXPECT_EQ(actual_bins[bin].min, expected_bins[bin].min);
+        EXPECT_EQ(actual_bins[bin].max, expected_bins[bin].max);
+        EXPECT_DOUBLE_EQ(actual_bins[bin].height, expected_bins[bin].height);
+        EXPECT_DOUBLE_EQ(actual_bins[bin].distinct_count, expected_bins[bin].distinct_count);
+      }
+    });
+  }
+}
+
+}  // namespace
+
+class PersistenceRoundTripTest : public ::testing::TestWithParam<RoundTripCase> {
+ protected:
+  void SetUp() override {
+    Hyrise::Reset();
+  }
+
+  void TearDown() override {
+    Hyrise::Get().SetScheduler(std::make_shared<ImmediateExecutionScheduler>());
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(AllEncodings, PersistenceRoundTripTest, ::testing::ValuesIn(AllCases()), CaseName);
+
+/// The core property (ISSUE satellite 3): export → import reproduces every
+/// value, the exact scan position lists, and the table statistics — for every
+/// encoding × vector compression × null pattern, under the serial scheduler
+/// AND the NodeQueueScheduler.
+TEST_P(PersistenceRoundTripTest, ExportImportPreservesScansAndStatistics) {
+  const auto& [spec, with_nulls] = GetParam();
+  const auto source = BuildSourceTable(spec, with_nulls);
+  source->SetTableStatistics(GenerateTableStatistics(*source));
+  const auto path = TempPath("roundtrip_" + CaseName({GetParam(), 0}) + ".bin");
+
+  const auto exported = persistence::ExportTableBinary(*source, path);
+  ASSERT_TRUE(exported.ok()) << exported.error();
+  EXPECT_GT(exported.value(), 0u);
+
+  auto imported = persistence::ImportTableBinary(path);
+  ASSERT_TRUE(imported.ok()) << imported.error();
+  const auto restored = imported.value();
+
+  ExpectTablesEqual(*source, *restored);
+  ExpectStatisticsEqual(source->table_statistics(), restored->table_statistics());
+
+  // Restored segments carry the source encoding — the import adopted the
+  // serialized representation instead of re-encoding.
+  for (auto chunk_id = ChunkID{0}; chunk_id < restored->chunk_count(); ++chunk_id) {
+    for (auto column_id = ColumnID{0}; column_id < restored->column_count(); ++column_id) {
+      const auto& original = *source->GetChunk(chunk_id)->GetSegment(column_id);
+      const auto& roundtripped = *restored->GetChunk(chunk_id)->GetSegment(column_id);
+      EXPECT_EQ(persistence::SegmentSpecOf(roundtripped), persistence::SegmentSpecOf(original));
+    }
+  }
+
+  // Identical scan position lists under both schedulers.
+  const auto expected_positions = ScanPositions(source);
+  EXPECT_FALSE(expected_positions.empty());
+  EXPECT_EQ(ScanPositions(restored), expected_positions);
+  Hyrise::Get().SetScheduler(std::make_shared<NodeQueueScheduler>(1, 4));
+  EXPECT_EQ(ScanPositions(restored), expected_positions);
+  EXPECT_EQ(ScanPositions(source), expected_positions);
+
+  std::filesystem::remove(path);
+}
+
+TEST(PersistenceBitPackingTest, AdoptsBitPackedPayloadWithoutReencoding) {
+  Hyrise::Reset();
+  const auto source =
+      BuildSourceTable(SegmentEncodingSpec{EncodingType::kDictionary, VectorCompressionType::kBitPacking128}, false);
+  const auto path = TempPath("bitpacking_roundtrip.bin");
+  ASSERT_TRUE(persistence::ExportTableBinary(*source, path).ok());
+  auto imported = persistence::ImportTableBinary(path);
+  ASSERT_TRUE(imported.ok()) << imported.error();
+
+  // The imported attribute vector is byte-identical to the source payload —
+  // including block metadata and the trailing guard word.
+  const auto& original = dynamic_cast<const DictionarySegment<int32_t>&>(
+      *source->GetChunk(ChunkID{0})->GetSegment(ColumnID{0}));
+  const auto& restored = dynamic_cast<const DictionarySegment<int32_t>&>(
+      *imported.value()->GetChunk(ChunkID{0})->GetSegment(ColumnID{0}));
+  const auto& original_vector = dynamic_cast<const BitPackingVector&>(original.attribute_vector());
+  const auto& restored_vector = dynamic_cast<const BitPackingVector&>(restored.attribute_vector());
+  EXPECT_EQ(restored_vector.block_bits(), original_vector.block_bits());
+  EXPECT_EQ(restored_vector.block_offsets(), original_vector.block_offsets());
+  EXPECT_EQ(restored_vector.packed_data(), original_vector.packed_data());
+  std::filesystem::remove(path);
+}
+
+TEST(PersistenceBitPackingTest, ValidateBitPackingPartsRejectsCorruptLayouts) {
+  // A valid 130-value layout: block 0 with 5 bits (11 words), block 1 with
+  // 1 bit (2 words), one guard word.
+  const auto valid_bits = std::vector<uint8_t>{5, 1};
+  const auto valid_offsets = std::vector<uint32_t>{0, 10};
+  const auto valid_data = std::vector<uint64_t>(13, 0);
+  EXPECT_TRUE(persistence::ValidateBitPackingParts(130, valid_bits, valid_offsets, valid_data));
+
+  EXPECT_FALSE(persistence::ValidateBitPackingParts(130, {5}, valid_offsets, valid_data));
+  EXPECT_FALSE(persistence::ValidateBitPackingParts(130, {0, 1}, valid_offsets, valid_data));
+  EXPECT_FALSE(persistence::ValidateBitPackingParts(130, {33, 1}, valid_offsets, valid_data));
+  EXPECT_FALSE(persistence::ValidateBitPackingParts(130, valid_bits, {0, 11}, valid_data));
+  EXPECT_FALSE(persistence::ValidateBitPackingParts(130, valid_bits, valid_offsets, std::vector<uint64_t>(12, 0)));
+  EXPECT_FALSE(persistence::ValidateBitPackingParts(130, valid_bits, valid_offsets, std::vector<uint64_t>(14, 0)));
+  // Empty vector: exactly the guard word.
+  EXPECT_TRUE(persistence::ValidateBitPackingParts(0, {}, {}, {0}));
+  EXPECT_FALSE(persistence::ValidateBitPackingParts(0, {}, {}, {}));
+}
+
+/// MVCC consistency (ISSUE tentpole): the export contains exactly the rows
+/// committed at the snapshot — uncommitted inserts and committed deletes are
+/// excluded, and the exported table re-imports as those rows alone.
+TEST(PersistenceMvccExportTest, ExportsCommittedRowsOnly) {
+  Hyrise::Reset();
+  ExecuteSql("CREATE TABLE accounts (id INT NOT NULL, balance INT NOT NULL)");
+  ExecuteSql("INSERT INTO accounts VALUES (1, 100), (2, 200), (3, 300), (4, 400)");
+  ExecuteSql("DELETE FROM accounts WHERE id = 2");
+
+  // An open transaction with an uncommitted insert: invisible to the export.
+  auto open_transaction = Hyrise::Get().transaction_manager.NewTransactionContext();
+  auto pipeline = SqlPipeline::Builder{"INSERT INTO accounts VALUES (9, 900)"}
+                      .WithTransactionContext(open_transaction)
+                      .Build();
+  ASSERT_EQ(pipeline.Execute(), SqlPipelineStatus::kSuccess);
+
+  const auto path = TempPath("mvcc_export.bin");
+  const auto table = Hyrise::Get().storage_manager.GetTable("accounts");
+  ASSERT_TRUE(persistence::ExportTableBinary(*table, path).ok());
+
+  auto imported = persistence::ImportTableBinary(path);
+  ASSERT_TRUE(imported.ok()) << imported.error();
+  ExpectTableContents(imported.value(), {{1, 100}, {3, 300}, {4, 400}});
+  open_transaction->Rollback();
+  std::filesystem::remove(path);
+}
+
+/// Rows of a partially visible chunk are re-encoded with the chunk's original
+/// encoding spec, so the imported file keeps the encoding.
+TEST(PersistenceMvccExportTest, PartiallyVisibleChunksKeepTheirEncoding) {
+  Hyrise::Reset();
+  ExecuteSql("CREATE TABLE numbers (n INT NOT NULL)");
+  ExecuteSql("INSERT INTO numbers VALUES (1), (2), (3), (4), (5), (6), (7), (8)");
+  const auto table = Hyrise::Get().storage_manager.GetTable("numbers");
+  // Finalize + dictionary-encode the chunk, then delete from it.
+  ChunkEncoder::EncodeAllChunks(
+      table, SegmentEncodingSpec{EncodingType::kDictionary, VectorCompressionType::kBitPacking128});
+  ExecuteSql("DELETE FROM numbers WHERE n > 6");
+
+  const auto path = TempPath("partial_chunk.bin");
+  ASSERT_TRUE(persistence::ExportTableBinary(*table, path).ok());
+  auto imported = persistence::ImportTableBinary(path);
+  ASSERT_TRUE(imported.ok()) << imported.error();
+  ExpectTableContents(imported.value(), {{1}, {2}, {3}, {4}, {5}, {6}});
+  const auto& segment = *imported.value()->GetChunk(ChunkID{0})->GetSegment(ColumnID{0});
+  EXPECT_EQ(persistence::SegmentSpecOf(segment).encoding_type, EncodingType::kDictionary);
+  std::filesystem::remove(path);
+}
+
+/// Imported MVCC tables accept further DML — their MvccData is fully
+/// initialized (begin CID 0), so updates, deletes, and scans behave exactly
+/// like on a bulk-loaded table.
+TEST(PersistenceMvccExportTest, ImportedTableSupportsDml) {
+  Hyrise::Reset();
+  ExecuteSql("CREATE TABLE t (id INT NOT NULL, v INT NOT NULL)");
+  ExecuteSql("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)");
+  const auto path = TempPath("dml_after_import.bin");
+  ASSERT_TRUE(persistence::ExportTableBinary(*Hyrise::Get().storage_manager.GetTable("t"), path).ok());
+
+  auto imported = persistence::ImportTableBinary(path);
+  ASSERT_TRUE(imported.ok()) << imported.error();
+  Hyrise::Get().storage_manager.ReplaceTable("t", std::move(imported).value());
+
+  ExecuteSql("UPDATE t SET v = 25 WHERE id = 2");
+  ExecuteSql("DELETE FROM t WHERE id = 1");
+  ExecuteSql("INSERT INTO t VALUES (4, 40)");
+  ExpectTableContents(ExecuteSql("SELECT id, v FROM t"), {{2, 25}, {3, 30}, {4, 40}});
+  std::filesystem::remove(path);
+}
+
+}  // namespace hyrise

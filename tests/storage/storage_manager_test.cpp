@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "hyrise.hpp"
+#include "storage/storage_manager.hpp"
+#include "storage/table.hpp"
+#include "test_utils.hpp"
+
+namespace hyrise {
+
+class StorageManagerReplaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Hyrise::Reset();
+  }
+
+  static std::shared_ptr<Table> TableWithRows(int rows) {
+    auto definitions = TableColumnDefinitions{{"x", DataType::kInt}};
+    auto table = std::make_shared<Table>(definitions, TableType::kData);
+    for (auto row = 0; row < rows; ++row) {
+      table->AppendRow({row});
+    }
+    return table;
+  }
+};
+
+TEST_F(StorageManagerReplaceTest, ReplaceTableInstallsUnderExistingName) {
+  auto& storage_manager = Hyrise::Get().storage_manager;
+  const auto first = TableWithRows(1);
+  const auto second = TableWithRows(2);
+  storage_manager.AddTable("t", first);
+  storage_manager.ReplaceTable("t", second);
+  EXPECT_EQ(storage_manager.GetTable("t"), second);
+  EXPECT_EQ(storage_manager.TableNames(), std::vector<std::string>{"t"});
+}
+
+TEST_F(StorageManagerReplaceTest, ReplaceTableActsAsAddForNewName) {
+  auto& storage_manager = Hyrise::Get().storage_manager;
+  EXPECT_FALSE(storage_manager.HasTable("t"));
+  storage_manager.ReplaceTable("t", TableWithRows(1));
+  EXPECT_TRUE(storage_manager.HasTable("t"));
+}
+
+TEST_F(StorageManagerReplaceTest, ReplaceTableKeepsOldHandlesAlive) {
+  auto& storage_manager = Hyrise::Get().storage_manager;
+  const auto first = TableWithRows(3);
+  storage_manager.AddTable("t", first);
+  const auto held = storage_manager.GetTable("t");
+  storage_manager.ReplaceTable("t", TableWithRows(5));
+  // The reader that resolved the name before the swap keeps its consistent
+  // (old) table; only new lookups see the replacement.
+  EXPECT_EQ(held, first);
+  EXPECT_EQ(held->row_count(), 3u);
+  EXPECT_EQ(storage_manager.GetTable("t")->row_count(), 5u);
+}
+
+/// Concurrent readers against a replacing writer: every lookup returns a
+/// fully valid table (the old or the new one, never anything in between).
+TEST_F(StorageManagerReplaceTest, ReplaceTableIsSafeUnderConcurrentLookups) {
+  auto& storage_manager = Hyrise::Get().storage_manager;
+  storage_manager.AddTable("t", TableWithRows(10));
+
+  auto stop = std::atomic<bool>{false};
+  auto failures = std::atomic<int>{0};
+  auto readers = std::vector<std::thread>{};
+  for (auto reader = 0; reader < 4; ++reader) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        const auto table = Hyrise::Get().storage_manager.GetTable("t");
+        const auto rows = table->row_count();
+        if (rows != 10 && rows != 20) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto swap = 0; swap < 200; ++swap) {
+    storage_manager.ReplaceTable("t", TableWithRows(swap % 2 == 0 ? 20 : 10));
+  }
+  stop.store(true);
+  for (auto& reader : readers) {
+    reader.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace hyrise
