@@ -1,0 +1,140 @@
+/// Repeated-workload harness for the subtree-fingerprinted result cache
+/// (DESIGN.md §5f): a dashboard refreshes the same analytical query mix over
+/// and over; with the cache, the second and later refreshes serve most
+/// subtrees from memory instead of recomputing them. Interleaved writers
+/// measure the realistic middle ground where committed INSERTs periodically
+/// invalidate the entries over the written table.
+///
+/// Emits BENCH_reuse.json:
+///   configs[] = {repetitions, interleaved_writes, cold_ns, cached_ns,
+///                speedup, cache stats}
+///
+/// Usage: result_reuse [scale_factor=0.01] [json=BENCH_reuse.json]
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "benchmarklib/tpch/tpch_table_generator.hpp"
+#include "cache/result_cache.hpp"
+#include "hyrise.hpp"
+#include "sql/sql_pipeline.hpp"
+#include "utils/assert.hpp"
+#include "utils/timer.hpp"
+
+namespace hyrise {
+
+namespace {
+
+/// The dashboard query mix: aggregations, selective scans, and a join over
+/// three tables. Writes (to `orders`) invalidate queries 3 and 5 only — the
+/// rest stay cached across write batches.
+const std::vector<const char*> kDashboardQueries = {
+    "SELECT l_returnflag, l_linestatus, COUNT(*), SUM(l_quantity), AVG(l_extendedprice) FROM lineitem "
+    "GROUP BY l_returnflag, l_linestatus",
+    "SELECT COUNT(*), SUM(l_extendedprice) FROM lineitem WHERE l_quantity < 25",
+    "SELECT o_orderpriority, COUNT(*) FROM orders GROUP BY o_orderpriority",
+    "SELECT c_nationkey, COUNT(*) FROM customer GROUP BY c_nationkey",
+    "SELECT COUNT(*) FROM orders JOIN customer ON o_custkey = c_custkey WHERE c_mktsegment = 'BUILDING'",
+    "SELECT MIN(l_shipdate), MAX(l_shipdate) FROM lineitem WHERE l_discount > 0.05",
+};
+
+void RunStatement(const std::string& sql, const std::shared_ptr<ResultCache>& cache) {
+  auto builder = SqlPipeline::Builder{sql};
+  builder.WithResultCache(cache);  // nullptr disables the default fallback.
+  auto pipeline = builder.Build();
+  const auto status = pipeline.Execute();
+  Assert(status == SqlPipelineStatus::kSuccess, pipeline.error_message());
+}
+
+/// One dashboard refresh cycle; `write_every` > 0 interleaves a committed
+/// INSERT into `orders` every that-many refreshes.
+int64_t MeasureWorkload(size_t repetitions, size_t write_every, const std::shared_ptr<ResultCache>& cache,
+                        int* next_order_key) {
+  auto timer = Timer{};
+  for (auto repetition = size_t{0}; repetition < repetitions; ++repetition) {
+    if (write_every > 0 && repetition > 0 && repetition % write_every == 0) {
+      const auto key = (*next_order_key)++;
+      RunStatement("INSERT INTO orders VALUES (" + std::to_string(key) + ", 1, 'O', 100.0, '1998-08-01', "
+                       "'1-URGENT', 'Clerk#000000001', 0, 'dashboard interleaved write')",
+                   nullptr);
+    }
+    for (const auto* query : kDashboardQueries) {
+      RunStatement(query, cache);
+    }
+  }
+  return timer.Elapsed();
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  const auto scale_factor = argc > 1 ? std::stod(argv[1]) : 0.01;
+  const auto json_path = argc > 2 ? std::string{argv[2]} : std::string{"BENCH_reuse.json"};
+
+  Hyrise::Reset();
+  auto data_config = TpchConfig{};
+  data_config.scale_factor = scale_factor;
+  data_config.use_mvcc = UseMvcc::kYes;  // Writers need MVCC columns.
+  std::cout << "Loading TPC-H (SF " << scale_factor << ", MVCC on)...\n";
+  GenerateTpchTables(data_config);
+
+  auto next_order_key = 100'000'000;
+
+  auto json = std::string{"{\n  \"scale\": " + std::to_string(scale_factor) + ",\n  \"queries_per_refresh\": " +
+                          std::to_string(kDashboardQueries.size()) + ",\n  \"configs\": [\n"};
+  auto first_entry = true;
+
+  std::cout << "\nrepetitions  writes  uncached_ms  cached_ms  speedup  hits/probes  invalidated\n";
+  for (const auto repetitions : {size_t{1}, size_t{10}, size_t{100}}) {
+    for (const auto interleave_writes : {false, true}) {
+      // Roughly one write batch per tenth of the run (at least every 5th
+      // refresh) keeps the write rate realistic for a dashboard; a single
+      // repetition has no room for interleaving.
+      const auto write_every = interleave_writes ? std::max(size_t{5}, repetitions / 10) : size_t{0};
+      if (interleave_writes && repetitions < 10) {
+        continue;
+      }
+
+      const auto cold_ns = MeasureWorkload(repetitions, write_every, nullptr, &next_order_key);
+
+      const auto cache = std::make_shared<ResultCache>();
+      const auto cached_ns = MeasureWorkload(repetitions, write_every, cache, &next_order_key);
+      const auto stats = cache->stats();
+
+      const auto speedup = static_cast<double>(cold_ns) / static_cast<double>(cached_ns);
+      char line[160];
+      std::snprintf(line, sizeof(line), "%11zu %7s %12.2f %10.2f %7.2fx %6llu/%-6llu %11llu", repetitions,
+                    interleave_writes ? "yes" : "no", static_cast<double>(cold_ns) / 1e6,
+                    static_cast<double>(cached_ns) / 1e6, speedup, static_cast<unsigned long long>(stats.hits),
+                    static_cast<unsigned long long>(stats.probes),
+                    static_cast<unsigned long long>(stats.invalidated_on_probe));
+      std::cout << line << "\n";
+
+      json += first_entry ? "    " : ",\n    ";
+      first_entry = false;
+      json += "{\"repetitions\": " + std::to_string(repetitions) +
+              ", \"interleaved_writes\": " + std::string{interleave_writes ? "true" : "false"} +
+              ", \"uncached_ns\": " + std::to_string(cold_ns) + ", \"cached_ns\": " + std::to_string(cached_ns) +
+              ", \"speedup\": " + std::to_string(speedup) + ", \"probes\": " + std::to_string(stats.probes) +
+              ", \"hits\": " + std::to_string(stats.hits) + ", \"admissions\": " + std::to_string(stats.admissions) +
+              ", \"invalidated_on_probe\": " + std::to_string(stats.invalidated_on_probe) +
+              ", \"cache_bytes\": " + std::to_string(stats.current_bytes) +
+              ", \"byte_budget\": " + std::to_string(cache->config().byte_budget) + "}";
+    }
+  }
+  json += "\n  ]\n}\n";
+
+  auto file = std::ofstream{json_path};
+  file << json;
+  std::cout << "Wrote " << json_path << "\n";
+  return 0;
+}
+
+}  // namespace hyrise
+
+int main(int argc, char** argv) {
+  return hyrise::Main(argc, argv);
+}

@@ -10,9 +10,12 @@
 ///
 /// Runs until EOF on stdin.
 
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 
 #include "benchmarklib/tpch/tpch_table_generator.hpp"
+#include "cache/result_cache.hpp"
 #include "hyrise.hpp"
 #include "server/server.hpp"
 #include "sql/sql_pipeline.hpp"
@@ -32,9 +35,19 @@ int main(int argc, char** argv) {
     ExecuteSql("INSERT INTO demo VALUES (1, 'hello from hyrise-repro')");
   }
 
+  // Serve repeated dashboard-style queries from the plan cache and the
+  // subtree result cache (DESIGN.md §5f); committed writes invalidate
+  // affected result entries, DDL invalidates stale plans.
+  Hyrise::Get().default_pqp_cache = std::make_shared<PqpCache>(1024);
+  Hyrise::Get().default_result_cache = std::make_shared<ResultCache>();
+
   auto config = ServerConfig{};
   config.port = port;
   config.restore_directory = snapshot_dir;
+  // HYRISE_LOG_STATEMENTS=1 prints one line per statement to stderr with
+  // plan-cache and result-cache reuse counters.
+  const auto* log_env = std::getenv("HYRISE_LOG_STATEMENTS");
+  config.log_statements = log_env && *log_env && *log_env != '0';
   auto server = Server{config};
   const auto started = server.Start();
   if (!started.ok()) {

@@ -1,0 +1,384 @@
+#include "cache/plan_fingerprint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "expression/expressions.hpp"
+#include "operators/abstract_join_operator.hpp"
+#include "operators/abstract_operator.hpp"
+#include "operators/aggregate.hpp"
+#include "operators/alias_operator.hpp"
+#include "operators/get_table.hpp"
+#include "operators/index_scan.hpp"
+#include "operators/insert.hpp"
+#include "operators/limit.hpp"
+#include "operators/maintenance_operators.hpp"
+#include "operators/persistence_operators.hpp"
+#include "operators/projection.hpp"
+#include "operators/sort.hpp"
+#include "operators/table_scan.hpp"
+#include "operators/update.hpp"
+
+namespace hyrise {
+
+namespace {
+
+/// FNV-1a, the same word-wise idiom the persistence checksums use.
+uint64_t Fnv1a(const std::string& data) {
+  auto hash = uint64_t{0xcbf29ce484222325ull};
+  for (const auto byte : data) {
+    hash ^= static_cast<unsigned char>(byte);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+/// Exact canonical form of a literal: the data type tag disambiguates 1 from
+/// '1'; floats are rendered as hex bit patterns so equal-looking values with
+/// different bits never alias.
+void AppendVariant(const AllTypeVariant& variant, std::string& out) {
+  out += 'v';
+  out += std::to_string(static_cast<int>(DataTypeOfVariant(variant)));
+  out += ':';
+  std::visit(
+      [&](const auto& value) {
+        using T = std::decay_t<decltype(value)>;
+        if constexpr (std::is_same_v<T, NullValue>) {
+          out += "NULL";
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          out += std::to_string(value.size());
+          out += '!';
+          out += value;
+        } else if constexpr (std::is_floating_point_v<T>) {
+          char buffer[64];
+          std::snprintf(buffer, sizeof(buffer), "%a", static_cast<double>(value));
+          out += buffer;
+        } else {
+          out += std::to_string(value);
+        }
+      },
+      variant);
+}
+
+/// Canonicalizes an expression tree. Unbound parameters and subqueries make
+/// the enclosing subtree uncacheable: a parameter has no value identity
+/// before binding, and a subquery's result depends on its own plan, which
+/// re-executes per evaluation.
+void AppendExpression(const AbstractExpression& expression, std::string& out, bool& cacheable) {
+  switch (expression.type) {
+    case ExpressionType::kValue:
+      AppendVariant(static_cast<const ValueExpression&>(expression).value, out);
+      break;
+    case ExpressionType::kPqpColumn:
+      out += 'c';
+      out += std::to_string(static_cast<const PqpColumnExpression&>(expression).column_id);
+      break;
+    case ExpressionType::kPredicate:
+      out += 'p';
+      out += std::to_string(static_cast<int>(static_cast<const PredicateExpression&>(expression).condition));
+      break;
+    case ExpressionType::kArithmetic:
+      out += 'a';
+      out += std::to_string(static_cast<int>(static_cast<const ArithmeticExpression&>(expression).arithmetic_operator));
+      break;
+    case ExpressionType::kLogical:
+      out += 'l';
+      out += std::to_string(static_cast<int>(static_cast<const LogicalExpression&>(expression).logical_operator));
+      break;
+    case ExpressionType::kAggregate:
+      out += 'g';
+      out += std::to_string(static_cast<int>(static_cast<const AggregateExpression&>(expression).function));
+      break;
+    case ExpressionType::kFunction:
+      out += 'f';
+      out += std::to_string(static_cast<int>(static_cast<const FunctionExpression&>(expression).function));
+      break;
+    case ExpressionType::kCase:
+      out += "case";
+      break;
+    case ExpressionType::kCast:
+      out += "cast";
+      out += std::to_string(static_cast<int>(static_cast<const CastExpression&>(expression).target_type));
+      break;
+    case ExpressionType::kList:
+      out += "list";
+      break;
+    case ExpressionType::kParameter:
+    case ExpressionType::kLqpColumn:
+    case ExpressionType::kLqpSubquery:
+    case ExpressionType::kPqpSubquery:
+    case ExpressionType::kExists:
+      cacheable = false;
+      out += '?';
+      break;
+  }
+  if (expression.arguments.empty()) {
+    return;
+  }
+  out += '(';
+  for (const auto& argument : expression.arguments) {
+    AppendExpression(*argument, out, cacheable);
+    out += ',';
+  }
+  out += ')';
+}
+
+void AppendChunkIds(const std::vector<ChunkID>& chunk_ids, std::string& out) {
+  for (const auto chunk_id : chunk_ids) {
+    out += std::to_string(chunk_id);
+    out += ',';
+  }
+}
+
+void AppendJoinPredicate(const JoinOperatorPredicate& predicate, std::string& out) {
+  out += std::to_string(predicate.left_column);
+  out += '~';
+  out += std::to_string(static_cast<int>(predicate.condition));
+  out += ':';
+  out += std::to_string(predicate.right_column);
+}
+
+void MergeTables(std::vector<std::string>& into, const std::vector<std::string>& from) {
+  into.insert(into.end(), from.begin(), from.end());
+}
+
+/// Canonicalizes `op`'s own configuration (not its inputs). Returns false
+/// for operator types the cache must never reason about.
+bool AppendOperator(const AbstractOperator& op, std::string& out, bool& cacheable, bool& leaves_validated,
+                    std::vector<std::string>& tables) {
+  switch (op.type()) {
+    case OperatorType::kGetTable: {
+      const auto& get_table = static_cast<const GetTable&>(op);
+      out += "GetTable[";
+      out += get_table.table_name();
+      out += ';';
+      AppendChunkIds(get_table.pruned_chunk_ids(), out);
+      out += ']';
+      tables.push_back(get_table.table_name());
+      leaves_validated = false;
+      return true;
+    }
+    case OperatorType::kIndexScan: {
+      const auto& index_scan = static_cast<const IndexScan&>(op);
+      out += "IndexScan[";
+      out += index_scan.table_name();
+      out += ';';
+      AppendChunkIds(index_scan.pruned_chunk_ids(), out);
+      out += ';';
+      out += std::to_string(index_scan.column_id());
+      out += ';';
+      out += std::to_string(static_cast<int>(index_scan.condition()));
+      out += ';';
+      AppendVariant(index_scan.value(), out);
+      if (index_scan.value2()) {
+        out += ';';
+        AppendVariant(*index_scan.value2(), out);
+      }
+      out += ']';
+      tables.push_back(index_scan.table_name());
+      leaves_validated = false;
+      return true;
+    }
+    case OperatorType::kTableScan: {
+      out += "TableScan[";
+      AppendExpression(*static_cast<const TableScan&>(op).predicate(), out, cacheable);
+      out += ']';
+      return true;
+    }
+    case OperatorType::kProjection: {
+      out += "Project[";
+      for (const auto& expression : static_cast<const Projection&>(op).expressions()) {
+        AppendExpression(*expression, out, cacheable);
+        out += ';';
+      }
+      out += ']';
+      return true;
+    }
+    case OperatorType::kAlias: {
+      const auto& alias = static_cast<const AliasOperator&>(op);
+      out += "Alias[";
+      for (auto index = size_t{0}; index < alias.column_ids().size(); ++index) {
+        out += std::to_string(alias.column_ids()[index]);
+        out += '=';
+        out += alias.aliases()[index];
+        out += ';';
+      }
+      out += ']';
+      return true;
+    }
+    case OperatorType::kAggregate: {
+      const auto& aggregate = static_cast<const Aggregate&>(op);
+      out += "Agg[g=";
+      for (const auto column_id : aggregate.group_by_columns()) {
+        out += std::to_string(column_id);
+        out += ',';
+      }
+      out += ";a=";
+      for (const auto& definition : aggregate.aggregates()) {
+        out += std::to_string(static_cast<int>(definition.function));
+        out += ':';
+        out += definition.column ? std::to_string(*definition.column) : "*";
+        out += ',';
+      }
+      out += ']';
+      return true;
+    }
+    case OperatorType::kSort: {
+      out += "Sort[";
+      for (const auto& definition : static_cast<const Sort&>(op).sort_definitions()) {
+        out += std::to_string(definition.column);
+        out += static_cast<const char*>(definition.sort_mode == SortMode::kAscending ? "a" : "d");
+        out += ';';
+      }
+      out += ']';
+      return true;
+    }
+    case OperatorType::kLimit: {
+      out += "Limit[";
+      out += std::to_string(static_cast<const Limit&>(op).row_count());
+      out += ']';
+      return true;
+    }
+    case OperatorType::kJoinHash:
+    case OperatorType::kJoinSortMerge:
+    case OperatorType::kJoinNestedLoop: {
+      // The algorithm is part of the identity: different join implementations
+      // emit the same rows in different orders, and cached results must be
+      // byte-identical to a fresh execution.
+      const auto& join = static_cast<const AbstractJoinOperator&>(op);
+      out += op.name();
+      out += '[';
+      out += std::to_string(static_cast<int>(join.mode()));
+      out += ';';
+      AppendJoinPredicate(join.primary_predicate(), out);
+      for (const auto& secondary : join.secondary_predicates()) {
+        out += ';';
+        AppendJoinPredicate(secondary, out);
+      }
+      out += ']';
+      return true;
+    }
+    case OperatorType::kProduct:
+      out += "Product";
+      return true;
+    case OperatorType::kUnionAll:
+      out += "UnionAll";
+      return true;
+    case OperatorType::kValidate:
+      // Validate itself is never a cache key, but subtrees above it are: its
+      // output is a pure function of (table state, snapshot CID), and the
+      // cache checks both via the per-table epochs at probe time.
+      out += "Validate";
+      leaves_validated = true;
+      return true;
+    default:
+      // Writes, DDL, persistence, TableWrapper, PipelineFusion: never cached.
+      return false;
+  }
+}
+
+PlanFingerprint ComputeFingerprint(const AbstractOperator& op) {
+  auto fingerprint = PlanFingerprint{};
+  fingerprint.cacheable = true;
+  fingerprint.leaves_validated = true;
+
+  auto own_validated = true;
+  if (!AppendOperator(op, fingerprint.canonical, fingerprint.cacheable, own_validated,
+                      fingerprint.referenced_tables)) {
+    fingerprint.cacheable = false;
+    fingerprint.canonical = op.name();
+  }
+
+  const auto append_input = [&](const AbstractOperator& input) {
+    const auto& child = GetPlanFingerprint(input);
+    fingerprint.canonical += child.canonical;
+    fingerprint.canonical += ',';
+    fingerprint.cacheable = fingerprint.cacheable && child.cacheable;
+    fingerprint.leaves_validated = fingerprint.leaves_validated && child.leaves_validated;
+    MergeTables(fingerprint.referenced_tables, child.referenced_tables);
+  };
+
+  if (op.left_input() || op.right_input()) {
+    fingerprint.canonical += '{';
+    if (op.left_input()) {
+      append_input(*op.left_input());
+    }
+    if (op.right_input()) {
+      append_input(*op.right_input());
+    }
+    fingerprint.canonical += '}';
+  }
+
+  // A Validate node blesses everything below it; a stored-table leaf reports
+  // itself unvalidated until one does.
+  if (own_validated) {
+    if (op.type() == OperatorType::kValidate) {
+      fingerprint.leaves_validated = true;
+    }
+  } else {
+    fingerprint.leaves_validated = false;
+  }
+
+  std::sort(fingerprint.referenced_tables.begin(), fingerprint.referenced_tables.end());
+  fingerprint.referenced_tables.erase(
+      std::unique(fingerprint.referenced_tables.begin(), fingerprint.referenced_tables.end()),
+      fingerprint.referenced_tables.end());
+  fingerprint.hash = Fnv1a(fingerprint.canonical);
+  return fingerprint;
+}
+
+void CollectTablesImpl(const AbstractOperator& op, std::vector<std::string>& tables) {
+  switch (op.type()) {
+    case OperatorType::kGetTable:
+      tables.push_back(static_cast<const GetTable&>(op).table_name());
+      break;
+    case OperatorType::kIndexScan:
+      tables.push_back(static_cast<const IndexScan&>(op).table_name());
+      break;
+    case OperatorType::kInsert:
+      tables.push_back(static_cast<const Insert&>(op).table_name());
+      break;
+    case OperatorType::kUpdate:
+      tables.push_back(static_cast<const Update&>(op).table_name());
+      break;
+    case OperatorType::kCreateTable:
+      tables.push_back(static_cast<const CreateTable&>(op).table_name());
+      break;
+    case OperatorType::kDropTable:
+      tables.push_back(static_cast<const DropTable&>(op).table_name());
+      break;
+    case OperatorType::kExportTable:
+      tables.push_back(static_cast<const ExportTable&>(op).table_name());
+      break;
+    case OperatorType::kImportTable:
+      tables.push_back(static_cast<const ImportTable&>(op).table_name());
+      break;
+    default:
+      break;
+  }
+  if (op.left_input()) {
+    CollectTablesImpl(*op.left_input(), tables);
+  }
+  if (op.right_input()) {
+    CollectTablesImpl(*op.right_input(), tables);
+  }
+}
+
+}  // namespace
+
+const PlanFingerprint& GetPlanFingerprint(const AbstractOperator& op) {
+  if (!op.plan_fingerprint_memo()) {
+    op.set_plan_fingerprint_memo(std::make_shared<const PlanFingerprint>(ComputeFingerprint(op)));
+  }
+  return *op.plan_fingerprint_memo();
+}
+
+std::vector<std::string> CollectReferencedTableNames(const AbstractOperator& op) {
+  auto tables = std::vector<std::string>{};
+  CollectTablesImpl(op, tables);
+  std::sort(tables.begin(), tables.end());
+  tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
+  return tables;
+}
+
+}  // namespace hyrise

@@ -1,0 +1,50 @@
+#ifndef HYRISE_SRC_CACHE_PLAN_FINGERPRINT_HPP_
+#define HYRISE_SRC_CACHE_PLAN_FINGERPRINT_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hyrise {
+
+class AbstractOperator;
+
+/// Canonical identity of a PQP subtree, computed recursively over the
+/// operator type, its predicates/expressions/column IDs, and the
+/// fingerprints of its inputs (DESIGN.md §5f). Two subtrees with equal
+/// canonical strings produce byte-identical outputs when executed against
+/// the same table state and MVCC snapshot — the foundation the result cache
+/// builds on. The 64-bit hash indexes the cache; the canonical string is
+/// compared on every probe, so a hash collision can never serve a wrong
+/// result.
+struct PlanFingerprint {
+  uint64_t hash{0};
+  std::string canonical;
+  /// False if any operator or expression in the subtree is non-deterministic
+  /// or transaction-bound in a way the cache cannot reason about: writes
+  /// (Insert/Delete/Update), DDL, persistence operators, TableWrapper
+  /// (anonymous input), subqueries, and unbound parameters.
+  bool cacheable{false};
+  /// True iff every stored-table leaf (GetTable/IndexScan) is covered by a
+  /// Validate on its path into this subtree. Only then is the subtree's
+  /// output a pure function of (table state at snapshot, plan) — raw,
+  /// unvalidated leaves additionally see uncommitted physical rows.
+  bool leaves_validated{false};
+  /// Sorted, unique names of the stored tables this subtree reads.
+  std::vector<std::string> referenced_tables;
+};
+
+/// Computes (and memoizes on each operator) the fingerprint of `op`'s
+/// subtree. Call only after parameters are bound — bound predicate values
+/// are part of the identity; unbound placeholders mark the subtree
+/// uncacheable instead.
+const PlanFingerprint& GetPlanFingerprint(const AbstractOperator& op);
+
+/// All stored-table names referenced anywhere in the plan, including by
+/// write/DDL operators (Insert/Update target tables). Used by the plan cache
+/// to detect stale entries after DROP/CREATE/ReplaceTable. Sorted, unique.
+std::vector<std::string> CollectReferencedTableNames(const AbstractOperator& op);
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_CACHE_PLAN_FINGERPRINT_HPP_

@@ -1,0 +1,128 @@
+#ifndef HYRISE_SRC_CACHE_RESULT_CACHE_HPP_
+#define HYRISE_SRC_CACHE_RESULT_CACHE_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/plan_fingerprint.hpp"
+#include "cache/table_epochs.hpp"
+#include "types/types.hpp"
+
+namespace hyrise {
+
+class Table;
+class TransactionContext;
+
+struct ResultCacheConfig {
+  /// Total bytes of materialized results the cache may hold. Eviction runs
+  /// until the cache is back under this budget.
+  size_t byte_budget{256ull * 1024 * 1024};
+  /// Subtrees cheaper than this are not worth the memory: a hit saves less
+  /// than a hash probe plus validity check costs.
+  int64_t min_rebuild_ns{100'000};
+  /// No single entry may exceed this fraction of the budget — one giant join
+  /// result must not flush the whole cache.
+  double max_entry_fraction{0.25};
+};
+
+/// Materialized-intermediate cache keyed by plan-subtree fingerprint with
+/// MVCC-aware invalidation and byte-budgeted GDFS eviction (DESIGN.md §5f).
+///
+/// Validity protocol, per entry:
+///  - the full canonical string must match (hash collisions never serve a
+///    wrong result),
+///  - every referenced table's data epoch must equal the epoch recorded at
+///    admission (any committed write or schema change bumps it),
+///  - the probing transaction's snapshot must be recent enough to see the
+///    last committed write (snapshot_cid >= last_write_cid) and must not
+///    itself hold pending writes (own uncommitted rows are invisible to the
+///    cached result),
+///  - entries whose leaves bypass Validate additionally pin the referenced
+///    tables' physical row/chunk counts, since raw scans see uncommitted
+///    appends that no epoch tracks.
+///
+/// Eviction is GDFS (greedy-dual frequency/size): each entry's priority is
+/// inflation + frequency * rebuild_ns / bytes, and the lowest-priority entry
+/// goes first; the evicted priority becomes the new inflation so long-lived
+/// entries must keep earning their bytes.
+class ResultCache {
+ public:
+  struct Stats {
+    uint64_t probes{0};
+    uint64_t hits{0};
+    uint64_t admissions{0};
+    uint64_t rejections{0};
+    uint64_t evictions{0};
+    uint64_t invalidated_on_probe{0};
+    size_t current_bytes{0};
+    int64_t saved_ns{0};
+    uint64_t saved_bytes{0};
+  };
+
+  explicit ResultCache(const ResultCacheConfig& config = {}) : config_(config) {}
+
+  /// Returns the cached output for `fingerprint` if present and valid under
+  /// `context`'s snapshot, bumping the entry's GDFS frequency. A stale entry
+  /// is erased on the spot. On a hit, `saved_ns`/`saved_bytes` (if given)
+  /// receive the entry's recorded rebuild cost and size.
+  std::shared_ptr<const Table> Probe(const PlanFingerprint& fingerprint,
+                                     const std::shared_ptr<TransactionContext>& context,
+                                     int64_t* saved_ns = nullptr, uint64_t* saved_bytes = nullptr);
+
+  /// Offers a freshly produced output for admission. `rebuild_ns` is the
+  /// subtree's measured execution time (inputs included) — the benefit side
+  /// of the benefit/cost score.
+  void Admit(const PlanFingerprint& fingerprint, const std::shared_ptr<const Table>& table, int64_t rebuild_ns,
+             const std::shared_ptr<TransactionContext>& context);
+
+  void Clear();
+
+  Stats stats() const;
+
+  const ResultCacheConfig& config() const {
+    return config_;
+  }
+
+  size_t size() const;
+
+ private:
+  struct TableDependency {
+    std::string table_name;
+    uint64_t data_epoch{0};
+    CommitID last_write_cid{0};
+    /// Physical guards for entries with unvalidated leaves (kMaxRowId when
+    /// validated and the epoch/snapshot checks are sufficient).
+    uint64_t row_count{0};
+    uint32_t chunk_count{0};
+    bool physical_guard{false};
+  };
+
+  struct Entry {
+    std::string canonical;
+    std::shared_ptr<const Table> table;
+    size_t bytes{0};
+    int64_t rebuild_ns{0};
+    double frequency{0.0};
+    double priority{0.0};
+    std::vector<TableDependency> dependencies;
+    bool leaves_validated{false};
+  };
+
+  bool IsValid(const Entry& entry, const std::shared_ptr<TransactionContext>& context) const;
+  void EvictUntilUnder(size_t budget);
+
+  const ResultCacheConfig config_;
+  mutable std::mutex mutex_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  size_t current_bytes_{0};
+  double inflation_{0.0};
+  Stats stats_;
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_CACHE_RESULT_CACHE_HPP_

@@ -1,7 +1,9 @@
 #include "concurrency/transaction_context.hpp"
 
+#include <algorithm>
 #include <mutex>
 
+#include "cache/table_epochs.hpp"
 #include "operators/abstract_operator.hpp"
 #include "utils/assert.hpp"
 #include "utils/failure_injection.hpp"
@@ -48,9 +50,27 @@ bool TransactionContext::Commit() {
   for (const auto& read_write_operator : read_write_operators_) {
     read_write_operator->CommitRecords(commit_id);
   }
+  // Invalidation epochs must bump BEFORE the commit ID is published: a
+  // transaction that begins after the store below has snapshot >= commit_id
+  // and sees our rows, so it must also see the new epoch — otherwise it
+  // could validate a cached result that predates this commit.
+  {
+    const auto written_lock = std::lock_guard{written_tables_mutex_};
+    for (const auto& table_name : written_tables_) {
+      TableEpochRegistry::Get().OnCommittedWrite(table_name, commit_id);
+    }
+  }
   manager_.last_commit_id_.store(commit_id, std::memory_order_release);
   phase_.store(TransactionPhase::kCommitted, std::memory_order_release);
   return true;
+}
+
+void TransactionContext::RegisterWrittenTable(const std::string& table_name) {
+  has_pending_writes_.store(true, std::memory_order_release);
+  const auto lock = std::lock_guard{written_tables_mutex_};
+  if (std::find(written_tables_.begin(), written_tables_.end(), table_name) == written_tables_.end()) {
+    written_tables_.push_back(table_name);
+  }
 }
 
 void TransactionContext::Rollback() {

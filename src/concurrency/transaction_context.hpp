@@ -4,6 +4,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "types/types.hpp"
@@ -53,6 +54,17 @@ class TransactionContext : public std::enable_shared_from_this<TransactionContex
     read_write_operators_.push_back(read_write_operator);
   }
 
+  /// Called by Insert/Delete with the stored table they touched. Drives the
+  /// per-table invalidation epochs on commit (cache/table_epochs.hpp) and
+  /// marks this transaction as holding pending writes, which bars it from
+  /// the result cache: its own uncommitted rows are invisible to any cached
+  /// result.
+  void RegisterWrittenTable(const std::string& table_name);
+
+  bool has_pending_writes() const {
+    return has_pending_writes_.load(std::memory_order_acquire);
+  }
+
   /// Marks the transaction as doomed after a write-write conflict; Commit()
   /// will refuse and roll back instead.
   void MarkAsConflicted() {
@@ -73,6 +85,9 @@ class TransactionContext : public std::enable_shared_from_this<TransactionContex
   TransactionManager& manager_;
   std::atomic<TransactionPhase> phase_{TransactionPhase::kActive};
   std::vector<std::shared_ptr<AbstractReadWriteOperator>> read_write_operators_;
+  std::atomic<bool> has_pending_writes_{false};
+  std::mutex written_tables_mutex_;
+  std::vector<std::string> written_tables_;
 };
 
 /// Issues transaction IDs and commit IDs (paper §2.8: begin/end commit IDs

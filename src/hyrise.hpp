@@ -2,6 +2,9 @@
 #define HYRISE_SRC_HYRISE_HPP_
 
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "concurrency/transaction_context.hpp"
 #include "storage/storage_manager.hpp"
@@ -14,8 +17,19 @@ template <typename Key, typename Value>
 class GdfsCache;
 class AbstractOperator;
 class AbstractLqpNode;
+class ResultCache;
 
-using PqpCache = GdfsCache<std::string, std::shared_ptr<AbstractOperator>>;
+/// A plan-cache entry: the translated PQP plus the schema epochs of every
+/// table it references, recorded at insertion. The SQL text key says nothing
+/// about whether a referenced table has since been dropped, recreated, or
+/// swapped (RESTORE FROM) — the epochs do, and a mismatch on lookup means
+/// the entry is stale and must be re-planned (cache/table_epochs.hpp).
+struct CachedPlan {
+  std::shared_ptr<AbstractOperator> pqp;
+  std::vector<std::pair<std::string, uint64_t>> table_schema_epochs;
+};
+
+using PqpCache = GdfsCache<std::string, CachedPlan>;
 using LqpCache = GdfsCache<std::string, std::shared_ptr<AbstractLqpNode>>;
 
 /// Process-wide singleton wiring the DBMS components together (storage
@@ -52,6 +66,11 @@ class Hyrise {
   /// tests; the benchmark runner enables them).
   std::shared_ptr<PqpCache> default_pqp_cache;
   std::shared_ptr<LqpCache> default_lqp_cache;
+
+  /// Materialized-intermediate cache (DESIGN.md §5f). Null = reuse disabled
+  /// (the default); SqlPipeline threads it through the operator tree when
+  /// set.
+  std::shared_ptr<ResultCache> default_result_cache;
 
  private:
   Hyrise();

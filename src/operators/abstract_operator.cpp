@@ -1,5 +1,7 @@
 #include "operators/abstract_operator.hpp"
 
+#include "cache/plan_fingerprint.hpp"
+#include "cache/result_cache.hpp"
 #include "concurrency/transaction_context.hpp"
 #include "storage/table.hpp"
 #include "utils/assert.hpp"
@@ -7,9 +9,27 @@
 
 namespace hyrise {
 
+namespace {
+
+/// Operators whose output the cache stores. GetTable is excluded (its output
+/// aliases the whole stored table: zero rebuild benefit, huge accounted
+/// size), Validate because its output is snapshot-specific by construction —
+/// subtrees *above* a Validate are the profitable unit.
+bool IsAdmissionCandidate(OperatorType type) {
+  return type != OperatorType::kGetTable && type != OperatorType::kValidate;
+}
+
+}  // namespace
+
 void AbstractOperator::Execute() {
   Assert(!performance_data.executed, "Operator executed twice: " + Description());
   cancellation_token_.ThrowIfCancelled();
+
+  // Probe before the inputs run: a hit skips the entire subtree.
+  if (result_cache_ && TryServeFromCache()) {
+    return;
+  }
+
   if (left_input_ && !left_input_->executed()) {
     left_input_->Execute();
   }
@@ -23,6 +43,71 @@ void AbstractOperator::Execute() {
   performance_data.walltime_ns = timer.Elapsed();
   performance_data.output_row_count = output_ ? output_->row_count() : 0;
   performance_data.executed = true;
+
+  if (result_cache_ && output_ && IsAdmissionCandidate(type_)) {
+    const auto& fingerprint = GetPlanFingerprint(*this);
+    if (fingerprint.cacheable) {
+      result_cache_->Admit(fingerprint, output_, SubtreeWalltime(), transaction_context_.lock());
+    }
+  }
+}
+
+bool AbstractOperator::TryServeFromCache() {
+  if (!IsAdmissionCandidate(type_)) {
+    return false;
+  }
+  const auto& fingerprint = GetPlanFingerprint(*this);
+  if (!fingerprint.cacheable) {
+    return false;
+  }
+  performance_data.result_cache_probed = true;
+  const auto cached = result_cache_->Probe(fingerprint, transaction_context_.lock(),
+                                           &performance_data.result_cache_saved_ns,
+                                           &performance_data.result_cache_saved_bytes);
+  if (!cached) {
+    return false;
+  }
+  output_ = cached;
+  performance_data.output_row_count = output_->row_count();
+  performance_data.from_result_cache = true;
+  performance_data.executed = true;
+  return true;
+}
+
+void AbstractOperator::ProbeResultCacheRecursively() {
+  if (!result_cache_ || performance_data.executed) {
+    return;
+  }
+  if (TryServeFromCache()) {
+    return;  // The whole subtree is satisfied; do not probe below it.
+  }
+  if (left_input_) {
+    left_input_->ProbeResultCacheRecursively();
+  }
+  if (right_input_) {
+    right_input_->ProbeResultCacheRecursively();
+  }
+}
+
+int64_t AbstractOperator::SubtreeWalltime() const {
+  auto total = performance_data.walltime_ns + performance_data.result_cache_saved_ns;
+  if (left_input_) {
+    total += left_input_->SubtreeWalltime();
+  }
+  if (right_input_) {
+    total += right_input_->SubtreeWalltime();
+  }
+  return total;
+}
+
+void AbstractOperator::SetResultCacheRecursively(const std::shared_ptr<ResultCache>& cache) {
+  result_cache_ = cache;
+  if (left_input_) {
+    left_input_->SetResultCacheRecursively(cache);
+  }
+  if (right_input_) {
+    right_input_->SetResultCacheRecursively(cache);
+  }
 }
 
 std::shared_ptr<const Table> AbstractOperator::get_output() const {

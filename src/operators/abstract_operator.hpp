@@ -13,6 +13,8 @@ namespace hyrise {
 
 class Table;
 class TransactionContext;
+class ResultCache;
+struct PlanFingerprint;
 
 enum class OperatorType {
   kGetTable,
@@ -50,6 +52,12 @@ struct OperatorPerformanceData {
   int64_t walltime_ns{0};
   uint64_t output_row_count{0};
   bool executed{false};
+  /// Result-cache interaction (DESIGN.md §5f): whether this operator probed
+  /// the cache, whether its output came from it, and what a hit saved.
+  bool result_cache_probed{false};
+  bool from_result_cache{false};
+  int64_t result_cache_saved_ns{0};
+  uint64_t result_cache_saved_bytes{0};
 };
 
 /// A physical operator of the PQP (paper §2.1): concrete implementation of a
@@ -100,6 +108,25 @@ class AbstractOperator : public std::enable_shared_from_this<AbstractOperator> {
     return transaction_context_.lock();
   }
 
+  /// Threads the result cache through this plan. Execute() then probes it
+  /// top-down before running a subtree and offers eligible outputs for
+  /// admission afterwards (DESIGN.md §5f).
+  void SetResultCacheRecursively(const std::shared_ptr<ResultCache>& cache);
+
+  /// Top-down pre-probe for the scheduler path: marks every cache-satisfied
+  /// subtree root as executed (output installed) without touching its inputs,
+  /// so MakeTasksFromOperator skips the whole subtree. Without this, the
+  /// bottom-up task DAG would execute leaves whose parent is already cached.
+  void ProbeResultCacheRecursively();
+
+  const std::shared_ptr<const PlanFingerprint>& plan_fingerprint_memo() const {
+    return plan_fingerprint_memo_;
+  }
+
+  void set_plan_fingerprint_memo(std::shared_ptr<const PlanFingerprint> fingerprint) const {
+    plan_fingerprint_memo_ = std::move(fingerprint);
+  }
+
   /// Installs a cooperative cancellation token on this operator and all
   /// inputs. Execute() checks it before running, and chunk-parallel operators
   /// re-check it at every chunk boundary, so a timed-out or abandoned query
@@ -140,12 +167,22 @@ class AbstractOperator : public std::enable_shared_from_this<AbstractOperator> {
                                                        std::shared_ptr<AbstractOperator> right,
                                                        DeepCopyMap& map) const = 0;
 
+  /// Probes the result cache for this subtree's output. On a hit, installs
+  /// it and marks the operator executed. Returns true on a hit.
+  bool TryServeFromCache();
+
+  /// Total measured walltime of this operator and everything below it — the
+  /// rebuild cost a cache hit would save.
+  int64_t SubtreeWalltime() const;
+
   const OperatorType type_;
   std::shared_ptr<AbstractOperator> left_input_;
   std::shared_ptr<AbstractOperator> right_input_;
   std::weak_ptr<TransactionContext> transaction_context_;
   CancellationToken cancellation_token_;
   std::shared_ptr<const Table> output_;
+  std::shared_ptr<ResultCache> result_cache_;
+  mutable std::shared_ptr<const PlanFingerprint> plan_fingerprint_memo_;
 };
 
 /// Base of operators that modify data under MVCC (Insert, Delete, Update).

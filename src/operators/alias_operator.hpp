@@ -27,6 +27,14 @@ class AliasOperator final : public AbstractOperator {
     return kName;
   }
 
+  const std::vector<ColumnID>& column_ids() const {
+    return column_ids_;
+  }
+
+  const std::vector<std::string>& aliases() const {
+    return aliases_;
+  }
+
  protected:
   std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& /*context*/) final {
     const auto input = left_input_->get_output();

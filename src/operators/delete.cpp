@@ -1,6 +1,7 @@
 #include "operators/delete.hpp"
 
 #include "concurrency/transaction_context.hpp"
+#include "hyrise.hpp"
 #include "storage/reference_segment.hpp"
 #include "storage/table.hpp"
 #include "utils/assert.hpp"
@@ -23,6 +24,12 @@ std::shared_ptr<const Table> Delete::OnExecute(const std::shared_ptr<Transaction
     if (!referenced_table_) {
       referenced_table_ = reference_segment->referenced_table();
       Assert(referenced_table_->uses_mvcc() == UseMvcc::kYes, "Delete requires an MVCC table");
+      // The reference segment only knows the table object; resolve its name
+      // so commit can bump the right invalidation epoch.
+      const auto table_name = Hyrise::Get().storage_manager.TableNameOf(referenced_table_);
+      if (table_name) {
+        context->RegisterWrittenTable(*table_name);
+      }
     }
     for (const auto row_id : *reference_segment->pos_list()) {
       const auto& mvcc = referenced_table_->GetChunk(row_id.chunk_id)->mvcc_data();

@@ -28,6 +28,30 @@ class IndexScan final : public AbstractOperator {
 
   std::string Description() const final;
 
+  const std::string& table_name() const {
+    return table_name_;
+  }
+
+  const std::vector<ChunkID>& pruned_chunk_ids() const {
+    return pruned_chunk_ids_;
+  }
+
+  ColumnID column_id() const {
+    return column_id_;
+  }
+
+  PredicateCondition condition() const {
+    return condition_;
+  }
+
+  const AllTypeVariant& value() const {
+    return value_;
+  }
+
+  const std::optional<AllTypeVariant>& value2() const {
+    return value2_;
+  }
+
  protected:
   std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& context) final;
 

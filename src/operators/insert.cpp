@@ -25,6 +25,7 @@ std::shared_ptr<const Table> Insert::OnExecute(const std::shared_ptr<Transaction
   // rollback must already know about this operator to undo the partial write.
   if (use_mvcc) {
     context->RegisterReadWriteOperator(std::static_pointer_cast<AbstractReadWriteOperator>(shared_from_this()));
+    context->RegisterWrittenTable(table_name_);
   }
 
   {

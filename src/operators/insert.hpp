@@ -28,6 +28,10 @@ class Insert final : public AbstractReadWriteOperator {
     return inserted_row_ids_;
   }
 
+  const std::string& table_name() const {
+    return table_name_;
+  }
+
  protected:
   std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& context) final;
 

@@ -21,6 +21,10 @@ class CreateTable final : public AbstractOperator {
     return kName;
   }
 
+  const std::string& table_name() const {
+    return table_name_;
+  }
+
  protected:
   std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& context) final;
 
@@ -43,6 +47,10 @@ class DropTable final : public AbstractOperator {
   const std::string& name() const final {
     static const auto kName = std::string{"DropTable"};
     return kName;
+  }
+
+  const std::string& table_name() const {
+    return table_name_;
   }
 
  protected:

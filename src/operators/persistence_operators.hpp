@@ -21,6 +21,10 @@ class ExportTable final : public AbstractOperator {
     return kName;
   }
 
+  const std::string& table_name() const {
+    return table_name_;
+  }
+
  protected:
   std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& context) final;
 
@@ -45,6 +49,10 @@ class ImportTable final : public AbstractOperator {
   const std::string& name() const final {
     static const auto kName = std::string{"ImportTable"};
     return kName;
+  }
+
+  const std::string& table_name() const {
+    return table_name_;
   }
 
  protected:

@@ -23,6 +23,10 @@ class Update final : public AbstractOperator {
     return kName;
   }
 
+  const std::string& table_name() const {
+    return table_name_;
+  }
+
  protected:
   std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& context) final;
 

@@ -18,6 +18,12 @@ std::shared_ptr<OperatorTask> OperatorTask::MakeTaskImpl(
   if (existing != task_by_operator.end()) {
     return existing->second;
   }
+  if (op->executed()) {
+    // The subtree was satisfied before scheduling (result-cache pre-probe):
+    // no task, no input tasks — consumers read the output directly.
+    task_by_operator.emplace(op.get(), nullptr);
+    return nullptr;
+  }
   auto left_task = std::shared_ptr<OperatorTask>{};
   auto right_task = std::shared_ptr<OperatorTask>{};
   if (op->left_input()) {

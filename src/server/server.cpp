@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <string>
@@ -145,6 +146,39 @@ std::string ErrorResponse(const std::string& message, const std::string& sqlstat
 /// `transaction_status`: 'I' idle, 'T' inside an open transaction block.
 std::string ReadyForQuery(char transaction_status = 'I') {
   return Message('Z', std::string(1, transaction_status));
+}
+
+const char* StatusName(SqlPipelineStatus status) {
+  switch (status) {
+    case SqlPipelineStatus::kSuccess:
+      return "success";
+    case SqlPipelineStatus::kFailure:
+      return "failure";
+    case SqlPipelineStatus::kRolledBack:
+      return "rolled_back";
+    case SqlPipelineStatus::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+/// One line per statement, machine-grepable: timing plus both cache layers'
+/// outcomes, so reuse behavior is observable in production without a profiler.
+void LogStatement(const std::string& query, SqlPipelineStatus status, const SqlPipelineMetrics& metrics) {
+  auto preview = query.substr(0, 120);
+  for (auto& character : preview) {
+    if (character == '\n' || character == '\r') {
+      character = ' ';
+    }
+  }
+  std::fprintf(stderr,
+               "[statement] status=%s execute_ms=%.3f pqp_cache_hit=%d result_cache_probes=%llu "
+               "result_cache_hits=%llu result_cache_bytes_saved=%llu retries=%u sql=\"%s\"\n",
+               StatusName(status), static_cast<double>(metrics.execute_ns) / 1e6,
+               metrics.pqp_cache_hit ? 1 : 0, static_cast<unsigned long long>(metrics.result_cache_probes),
+               static_cast<unsigned long long>(metrics.result_cache_hits),
+               static_cast<unsigned long long>(metrics.result_cache_bytes_saved), metrics.conflict_retries,
+               preview.c_str());
 }
 
 }  // namespace
@@ -419,6 +453,9 @@ void Server::HandleConnection(const std::shared_ptr<Session>& session, bool reje
       session_transaction = pipeline.transaction_context();
       error_message = pipeline.error_message();
       result_table = pipeline.result_table();
+      if (config_.log_statements) {
+        LogStatement(query, status, pipeline.metrics());
+      }
     } catch (const std::exception& exception) {
       status = SqlPipelineStatus::kFailure;
       error_message = std::string{"Internal error: "} + exception.what();

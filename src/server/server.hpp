@@ -37,6 +37,9 @@ struct ServerConfig {
   /// query. An empty or missing directory is not an error (cold start); a
   /// corrupt snapshot is.
   std::string restore_directory;
+  /// Per-statement log line on stderr: status, execution time, plan-cache
+  /// hit, and result-cache reuse counters (probes/hits/bytes saved).
+  bool log_statements{false};
 };
 
 /// TCP/IP server implementing the subset of the PostgreSQL v3 wire protocol

@@ -4,7 +4,11 @@
 #include <chrono>
 #include <random>
 #include <thread>
+#include <unordered_set>
 
+#include "cache/plan_fingerprint.hpp"
+#include "cache/result_cache.hpp"
+#include "cache/table_epochs.hpp"
 #include "concurrency/transaction_context.hpp"
 #include "hyrise.hpp"
 #include "logical_query_plan/lqp_translator.hpp"
@@ -33,18 +37,52 @@ void BackoffBeforeRetry(uint32_t attempt) {
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>{static_cast<double>(base_ms) * jitter(rng)});
 }
 
+/// The schema epochs of every table a plan references, recorded when the
+/// plan enters the cache and compared on lookup (satellite of DESIGN.md §5f:
+/// a dropped/recreated/swapped table silently invalidates the SQL-text key).
+std::vector<std::pair<std::string, uint64_t>> RecordSchemaEpochs(const AbstractOperator& pqp) {
+  auto epochs = std::vector<std::pair<std::string, uint64_t>>{};
+  for (const auto& table_name : CollectReferencedTableNames(pqp)) {
+    epochs.emplace_back(table_name, TableEpochRegistry::Get().StateOf(table_name).schema_epoch);
+  }
+  return epochs;
+}
+
+void AccumulateReuseMetrics(const AbstractOperator& op, std::unordered_set<const AbstractOperator*>& seen,
+                            SqlPipelineMetrics& metrics) {
+  if (!seen.insert(&op).second) {
+    return;
+  }
+  if (op.performance_data.result_cache_probed) {
+    ++metrics.result_cache_probes;
+  }
+  if (op.performance_data.from_result_cache) {
+    ++metrics.result_cache_hits;
+    metrics.result_cache_bytes_saved += op.performance_data.result_cache_saved_bytes;
+    metrics.result_cache_saved_ns += op.performance_data.result_cache_saved_ns;
+  }
+  if (op.left_input()) {
+    AccumulateReuseMetrics(*op.left_input(), seen, metrics);
+  }
+  if (op.right_input()) {
+    AccumulateReuseMetrics(*op.right_input(), seen, metrics);
+  }
+}
+
 }  // namespace
 
 SqlPipeline::SqlPipeline(std::string sql, std::shared_ptr<Optimizer> optimizer, UseMvcc use_mvcc,
                          bool use_scheduler, std::shared_ptr<TransactionContext> transaction_context,
-                         std::shared_ptr<PqpCache> pqp_cache, std::vector<AllTypeVariant> parameters,
-                         CancellationToken cancellation_token, uint32_t max_conflict_retries)
+                         std::shared_ptr<PqpCache> pqp_cache, std::shared_ptr<ResultCache> result_cache,
+                         std::vector<AllTypeVariant> parameters, CancellationToken cancellation_token,
+                         uint32_t max_conflict_retries)
     : sql_(std::move(sql)),
       optimizer_(std::move(optimizer)),
       use_mvcc_(use_mvcc),
       use_scheduler_(use_scheduler),
       transaction_context_(std::move(transaction_context)),
       pqp_cache_(std::move(pqp_cache)),
+      result_cache_(std::move(result_cache)),
       parameters_(std::move(parameters)),
       cancellation_token_(std::move(cancellation_token)),
       max_conflict_retries_(max_conflict_retries) {}
@@ -173,10 +211,17 @@ SqlPipeline::StatementOutcome SqlPipeline::ExecuteStatementOnce(const sql::State
 
   // Plan cache lookup (only sensible for single-statement strings; plans
   // are stored uninstantiated and deep-copied per execution, paper §2.6).
+  // The SQL-text key alone cannot notice a referenced table being dropped,
+  // recreated, or swapped (RESTORE FROM); the recorded schema epochs can —
+  // a mismatch drops the entry and re-plans.
   if (pqp_cache_ && single_statement) {
     if (const auto cached = pqp_cache_->TryGet(sql_)) {
-      pqp = (*cached)->DeepCopy();
-      metrics_.pqp_cache_hit = true;
+      if (TableEpochRegistry::Get().SchemaEpochsCurrent(cached->table_schema_epochs)) {
+        pqp = cached->pqp->DeepCopy();
+        metrics_.pqp_cache_hit = true;
+      } else {
+        pqp_cache_->Erase(sql_);
+      }
     }
   }
 
@@ -213,7 +258,7 @@ SqlPipeline::StatementOutcome SqlPipeline::ExecuteStatementOnce(const sql::State
     pqp = pqp_result.value();
 
     if (pqp_cache_ && single_statement) {
-      pqp_cache_->Set(sql_, pqp->DeepCopy());
+      pqp_cache_->Set(sql_, CachedPlan{pqp->DeepCopy(), RecordSchemaEpochs(*pqp)});
     }
   }
 
@@ -229,6 +274,10 @@ SqlPipeline::StatementOutcome SqlPipeline::ExecuteStatementOnce(const sql::State
     pqp->SetTransactionContextRecursively(statement_context);
   }
   pqp->SetCancellationTokenRecursively(cancellation_token_);
+  if (result_cache_) {
+    // After SetParameters: bound values are part of the subtree fingerprints.
+    pqp->SetResultCacheRecursively(result_cache_);
+  }
 
   // Execution. Exceptions are contained here: worker-thread exceptions are
   // captured per task and rethrown on this thread by ScheduleAndWaitForTasks,
@@ -236,8 +285,17 @@ SqlPipeline::StatementOutcome SqlPipeline::ExecuteStatementOnce(const sql::State
   timer.Lap();
   try {
     if (use_scheduler_) {
-      const auto tasks = OperatorTask::MakeTasksFromOperator(pqp);
-      Hyrise::Get().scheduler()->ScheduleAndWaitForTasks(tasks);
+      // The task DAG executes bottom-up, which would run every leaf before a
+      // mid-plan cache hit could skip it. Probe top-down first: satisfied
+      // subtree roots are marked executed and MakeTasksFromOperator prunes
+      // everything below them.
+      if (result_cache_) {
+        pqp->ProbeResultCacheRecursively();
+      }
+      if (!pqp->executed()) {
+        const auto tasks = OperatorTask::MakeTasksFromOperator(pqp);
+        Hyrise::Get().scheduler()->ScheduleAndWaitForTasks(tasks);
+      }
     } else {
       pqp->Execute();
     }
@@ -258,6 +316,11 @@ SqlPipeline::StatementOutcome SqlPipeline::ExecuteStatementOnce(const sql::State
     return StatementOutcome::kError;
   }
   metrics_.execute_ns += timer.Lap();
+
+  if (result_cache_) {
+    auto seen = std::unordered_set<const AbstractOperator*>{};
+    AccumulateReuseMetrics(*pqp, seen, metrics_);
+  }
 
   // Transaction outcome.
   if (statement_context && statement_context->phase() == TransactionPhase::kConflicted) {
@@ -289,8 +352,24 @@ SqlPipeline SqlPipeline::Builder::Build() {
   if (use_default_optimizer_) {
     optimizer = Optimizer::CreateDefault();
   }
-  return SqlPipeline{sql_,       std::move(optimizer), use_mvcc_,   use_scheduler_,       transaction_context_,
-                     pqp_cache_, parameters_,          cancellation_token_, max_conflict_retries_};
+  auto pqp_cache = pqp_cache_;
+  if (use_default_pqp_cache_ && !pqp_cache) {
+    pqp_cache = Hyrise::Get().default_pqp_cache;
+  }
+  auto result_cache = result_cache_;
+  if (use_default_result_cache_ && !result_cache) {
+    result_cache = Hyrise::Get().default_result_cache;
+  }
+  return SqlPipeline{sql_,
+                     std::move(optimizer),
+                     use_mvcc_,
+                     use_scheduler_,
+                     transaction_context_,
+                     std::move(pqp_cache),
+                     std::move(result_cache),
+                     parameters_,
+                     cancellation_token_,
+                     max_conflict_retries_};
 }
 
 std::shared_ptr<const Table> ExecuteSql(const std::string& sql, UseMvcc use_mvcc) {

@@ -16,6 +16,7 @@ namespace hyrise {
 
 class AbstractOperator;
 class Optimizer;
+class ResultCache;
 class Table;
 class TransactionContext;
 
@@ -35,6 +36,13 @@ struct SqlPipelineMetrics {
   /// How many statement attempts were retried after a write-write conflict or
   /// transient injected fault (auto-commit statements only).
   uint32_t conflict_retries{0};
+  /// Result-cache reuse (DESIGN.md §5f): operators that probed the cache,
+  /// operators served from it, and the materialized bytes / rebuild time a
+  /// fresh execution would have spent.
+  uint64_t result_cache_probes{0};
+  uint64_t result_cache_hits{0};
+  uint64_t result_cache_bytes_saved{0};
+  int64_t result_cache_saved_ns{0};
 };
 
 enum class SqlPipelineStatus {
@@ -93,8 +101,8 @@ class SqlPipeline {
 
   SqlPipeline(std::string sql, std::shared_ptr<Optimizer> optimizer, UseMvcc use_mvcc, bool use_scheduler,
               std::shared_ptr<TransactionContext> transaction_context, std::shared_ptr<PqpCache> pqp_cache,
-              std::vector<AllTypeVariant> parameters, CancellationToken cancellation_token,
-              uint32_t max_conflict_retries);
+              std::shared_ptr<ResultCache> result_cache, std::vector<AllTypeVariant> parameters,
+              CancellationToken cancellation_token, uint32_t max_conflict_retries);
 
   /// Outcome of one attempt at one statement.
   enum class StatementOutcome {
@@ -112,6 +120,7 @@ class SqlPipeline {
   bool use_scheduler_;
   std::shared_ptr<TransactionContext> transaction_context_;
   std::shared_ptr<PqpCache> pqp_cache_;
+  std::shared_ptr<ResultCache> result_cache_;
   std::vector<AllTypeVariant> parameters_;
   CancellationToken cancellation_token_;
   uint32_t max_conflict_retries_;
@@ -164,6 +173,16 @@ class SqlPipeline::Builder {
 
   Builder& WithPqpCache(std::shared_ptr<PqpCache> cache) {
     pqp_cache_ = std::move(cache);
+    use_default_pqp_cache_ = false;
+    return *this;
+  }
+
+  /// Threads a materialized-intermediate cache through the executed plans
+  /// (nullptr disables reuse). Without this call, Hyrise::default_result_cache
+  /// applies.
+  Builder& WithResultCache(std::shared_ptr<ResultCache> cache) {
+    result_cache_ = std::move(cache);
+    use_default_result_cache_ = false;
     return *this;
   }
 
@@ -202,6 +221,9 @@ class SqlPipeline::Builder {
   bool use_scheduler_{false};
   std::shared_ptr<TransactionContext> transaction_context_;
   std::shared_ptr<PqpCache> pqp_cache_;
+  bool use_default_pqp_cache_{true};
+  std::shared_ptr<ResultCache> result_cache_;
+  bool use_default_result_cache_{true};
   std::vector<AllTypeVariant> parameters_;
   CancellationToken cancellation_token_;
   uint32_t max_conflict_retries_{3};

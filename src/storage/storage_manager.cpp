@@ -1,22 +1,41 @@
 #include "storage/storage_manager.hpp"
 
+#include "cache/table_epochs.hpp"
+#include "hyrise.hpp"
 #include "persistence/snapshot_manager.hpp"
 #include "storage/table.hpp"
 #include "utils/assert.hpp"
 
 namespace hyrise {
 
+namespace {
+
+/// Catalog changes (create/drop/swap) invalidate both cached results and
+/// cached plans for the affected name. The current global commit ID is
+/// recorded so snapshots that predate the change stop matching.
+void BumpSchemaEpoch(const std::string& name) {
+  TableEpochRegistry::Get().OnSchemaChange(name, Hyrise::Get().transaction_manager.last_commit_id());
+}
+
+}  // namespace
+
 void StorageManager::AddTable(const std::string& name, std::shared_ptr<Table> table) {
-  const auto lock = std::lock_guard{mutex_};
-  Assert(!tables_.contains(name), "Table already exists: " + name);
-  Assert(!views_.contains(name), "A view with this name exists: " + name);
-  tables_.emplace(name, std::move(table));
+  {
+    const auto lock = std::lock_guard{mutex_};
+    Assert(!tables_.contains(name), "Table already exists: " + name);
+    Assert(!views_.contains(name), "A view with this name exists: " + name);
+    tables_.emplace(name, std::move(table));
+  }
+  BumpSchemaEpoch(name);
 }
 
 void StorageManager::DropTable(const std::string& name) {
-  const auto lock = std::lock_guard{mutex_};
-  const auto erased = tables_.erase(name);
-  Assert(erased == 1, "Table does not exist: " + name);
+  {
+    const auto lock = std::lock_guard{mutex_};
+    const auto erased = tables_.erase(name);
+    Assert(erased == 1, "Table does not exist: " + name);
+  }
+  BumpSchemaEpoch(name);
 }
 
 bool StorageManager::HasTable(const std::string& name) const {
@@ -42,9 +61,22 @@ std::vector<std::string> StorageManager::TableNames() const {
 }
 
 void StorageManager::ReplaceTable(const std::string& name, std::shared_ptr<Table> table) {
+  {
+    const auto lock = std::lock_guard{mutex_};
+    Assert(!views_.contains(name), "A view with this name exists: " + name);
+    tables_.insert_or_assign(name, std::move(table));
+  }
+  BumpSchemaEpoch(name);
+}
+
+std::optional<std::string> StorageManager::TableNameOf(const std::shared_ptr<const Table>& table) const {
   const auto lock = std::lock_guard{mutex_};
-  Assert(!views_.contains(name), "A view with this name exists: " + name);
-  tables_.insert_or_assign(name, std::move(table));
+  for (const auto& [name, candidate] : tables_) {
+    if (candidate == table) {
+      return name;
+    }
+  }
+  return std::nullopt;
 }
 
 Result<size_t> StorageManager::Snapshot(const std::string& directory) const {

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,12 @@ class StorageManager {
   bool HasTable(const std::string& name) const;
   std::shared_ptr<Table> GetTable(const std::string& name) const;
   std::vector<std::string> TableNames() const;
+
+  /// Reverse lookup: the name `table` is currently registered under, or
+  /// nullopt if it is not (e.g. already dropped or replaced). Operators that
+  /// only hold a table pointer (Delete via reference segments) use this to
+  /// report writes to the invalidation epochs.
+  std::optional<std::string> TableNameOf(const std::shared_ptr<const Table>& table) const;
 
   /// Atomically installs `table` under `name`, replacing any existing table
   /// of that name. Concurrent readers holding the old shared_ptr keep a

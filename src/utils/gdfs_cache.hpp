@@ -68,6 +68,12 @@ class GdfsCache {
     return miss_count_;
   }
 
+  /// Drops `key` if present (e.g. an entry detected stale on lookup).
+  void Erase(const Key& key) {
+    const auto lock = std::lock_guard{mutex_};
+    entries_.erase(key);
+  }
+
   void Clear() {
     const auto lock = std::lock_guard{mutex_};
     entries_.clear();

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include "cache/plan_fingerprint.hpp"
+#include "cache/result_cache.hpp"
+#include "cache/table_epochs.hpp"
+#include "hyrise.hpp"
+#include "sql/sql_pipeline.hpp"
+#include "storage/table.hpp"
+#include "test_utils.hpp"
+#include "utils/gdfs_cache.hpp"
+
+namespace hyrise {
+
+namespace {
+
+/// Admit everything a fingerprint allows: no minimum rebuild cost.
+ResultCacheConfig EagerConfig(size_t byte_budget = 256ull * 1024 * 1024) {
+  auto config = ResultCacheConfig{};
+  config.byte_budget = byte_budget;
+  config.min_rebuild_ns = 0;
+  return config;
+}
+
+}  // namespace
+
+class ResultCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Hyrise::Reset();
+    ExecuteSql("CREATE TABLE points (id INT NOT NULL, grp INT NOT NULL, score DOUBLE)");
+    ExecuteSql(
+        "INSERT INTO points VALUES (1, 1, 10.0), (2, 1, 20.0), (3, 2, 30.0), (4, 2, 40.0), (5, 3, 50.0),"
+        " (6, 3, 60.0), (7, 1, 70.0), (8, 2, 80.0)");
+    cache_ = std::make_shared<ResultCache>(EagerConfig());
+  }
+
+  SqlPipelineMetrics Run(const std::string& sql, std::shared_ptr<const Table>* result = nullptr) {
+    auto pipeline = SqlPipeline::Builder{sql}.WithResultCache(cache_).Build();
+    EXPECT_EQ(pipeline.Execute(), SqlPipelineStatus::kSuccess) << pipeline.error_message();
+    if (result) {
+      *result = pipeline.result_table();
+    }
+    return pipeline.metrics();
+  }
+
+  std::shared_ptr<ResultCache> cache_;
+};
+
+TEST_F(ResultCacheTest, FingerprintStableAcrossExecutionsAndSensitiveToValues) {
+  const auto fingerprint_of = [](const std::string& sql) {
+    auto pipeline = SqlPipeline::Builder{sql}.Build();
+    EXPECT_EQ(pipeline.Execute(), SqlPipelineStatus::kSuccess);
+    return GetPlanFingerprint(*pipeline.pqp());
+  };
+  const auto first = fingerprint_of("SELECT id FROM points WHERE grp = 1");
+  const auto second = fingerprint_of("SELECT id FROM points WHERE grp = 1");
+  EXPECT_EQ(first.canonical, second.canonical);
+  EXPECT_EQ(first.hash, second.hash);
+  EXPECT_TRUE(first.cacheable);
+  EXPECT_EQ(first.referenced_tables, std::vector<std::string>{"points"});
+
+  const auto different_value = fingerprint_of("SELECT id FROM points WHERE grp = 2");
+  EXPECT_NE(first.canonical, different_value.canonical);
+
+  // Same digits, different type and quoting must not alias.
+  const auto as_projection = fingerprint_of("SELECT grp FROM points WHERE id = 1");
+  EXPECT_NE(first.canonical, as_projection.canonical);
+}
+
+TEST_F(ResultCacheTest, WritePlansAreNotCacheable) {
+  auto pipeline = SqlPipeline::Builder{"INSERT INTO points VALUES (9, 9, 90.0)"}.Build();
+  ASSERT_EQ(pipeline.Execute(), SqlPipelineStatus::kSuccess);
+  EXPECT_FALSE(GetPlanFingerprint(*pipeline.pqp()).cacheable);
+}
+
+TEST_F(ResultCacheTest, RepeatedQueryHitsAndResultsMatch) {
+  auto cold = std::shared_ptr<const Table>{};
+  const auto cold_metrics = Run("SELECT grp, COUNT(*), SUM(score) FROM points GROUP BY grp", &cold);
+  EXPECT_GT(cold_metrics.result_cache_probes, 0u);
+  EXPECT_EQ(cold_metrics.result_cache_hits, 0u);
+  EXPECT_GT(cache_->stats().admissions, 0u);
+
+  auto warm = std::shared_ptr<const Table>{};
+  const auto warm_metrics = Run("SELECT grp, COUNT(*), SUM(score) FROM points GROUP BY grp", &warm);
+  EXPECT_GT(warm_metrics.result_cache_hits, 0u);
+  EXPECT_GT(warm_metrics.result_cache_bytes_saved, 0u);
+  ExpectTableContents(warm, cold->GetRows());
+}
+
+TEST_F(ResultCacheTest, CommittedInsertInvalidates) {
+  Run("SELECT COUNT(*) FROM points WHERE grp = 1");
+  auto warm = std::shared_ptr<const Table>{};
+  Run("SELECT COUNT(*) FROM points WHERE grp = 1", &warm);
+  ExpectTableContents(warm, {{int64_t{3}}});
+
+  ExecuteSql("INSERT INTO points VALUES (9, 1, 90.0)");
+
+  auto fresh = std::shared_ptr<const Table>{};
+  const auto metrics = Run("SELECT COUNT(*) FROM points WHERE grp = 1", &fresh);
+  EXPECT_EQ(metrics.result_cache_hits, 0u);
+  ExpectTableContents(fresh, {{int64_t{4}}});
+}
+
+TEST_F(ResultCacheTest, CommittedDeleteInvalidates) {
+  Run("SELECT COUNT(*) FROM points");
+  ExecuteSql("DELETE FROM points WHERE grp = 3");
+  auto fresh = std::shared_ptr<const Table>{};
+  Run("SELECT COUNT(*) FROM points", &fresh);
+  ExpectTableContents(fresh, {{int64_t{6}}});
+}
+
+TEST_F(ResultCacheTest, AbortedWriterDoesNotPoisonOrInvalidate) {
+  Run("SELECT COUNT(*) FROM points");  // Admit with 8 rows.
+
+  auto writer = SqlPipeline::Builder{"BEGIN; INSERT INTO points VALUES (9, 9, 90.0); ROLLBACK"}.Build();
+  ASSERT_EQ(writer.Execute(), SqlPipelineStatus::kSuccess);
+
+  // The abort changed nothing visible; the cached entry is still correct and
+  // may be served.
+  auto after = std::shared_ptr<const Table>{};
+  Run("SELECT COUNT(*) FROM points", &after);
+  ExpectTableContents(after, {{int64_t{8}}});
+}
+
+TEST_F(ResultCacheTest, OwnPendingWritesBypassCache) {
+  Run("SELECT COUNT(*) FROM points");  // Admit with 8 rows.
+
+  // Within one transaction: after our own (uncommitted) insert, the cached
+  // pre-insert count must not be served to us.
+  auto pipeline = SqlPipeline::Builder{"BEGIN; INSERT INTO points VALUES (9, 9, 90.0); SELECT COUNT(*) FROM points"}
+                      .WithResultCache(cache_)
+                      .Build();
+  ASSERT_EQ(pipeline.Execute(), SqlPipelineStatus::kSuccess) << pipeline.error_message();
+  ExpectTableContents(pipeline.result_table(), {{int64_t{9}}});
+  pipeline.transaction_context()->Rollback();
+}
+
+TEST_F(ResultCacheTest, DropAndRecreateInvalidates) {
+  Run("SELECT COUNT(*) FROM points");
+  Run("SELECT COUNT(*) FROM points");
+  EXPECT_GT(cache_->stats().hits, 0u);
+
+  ExecuteSql("DROP TABLE points");
+  ExecuteSql("CREATE TABLE points (id INT NOT NULL, grp INT NOT NULL, score DOUBLE)");
+  ExecuteSql("INSERT INTO points VALUES (1, 1, 10.0)");
+
+  auto fresh = std::shared_ptr<const Table>{};
+  Run("SELECT COUNT(*) FROM points", &fresh);
+  ExpectTableContents(fresh, {{int64_t{1}}});
+}
+
+TEST_F(ResultCacheTest, ReplaceTableInvalidates) {
+  Run("SELECT COUNT(*) FROM points");
+
+  // Simulate RESTORE FROM: atomically swap in a different table object.
+  auto replacement = MakeTable(
+      {{"id", DataType::kInt, false}, {"grp", DataType::kInt, false}, {"score", DataType::kDouble, true}},
+      {{1, 1, 1.5}, {2, 2, 2.5}}, ChunkOffset{7}, UseMvcc::kYes);
+  Hyrise::Get().storage_manager.ReplaceTable("points", replacement);
+
+  auto fresh = std::shared_ptr<const Table>{};
+  Run("SELECT COUNT(*) FROM points", &fresh);
+  ExpectTableContents(fresh, {{int64_t{2}}});
+}
+
+TEST_F(ResultCacheTest, ByteBudgetIsEnforced) {
+  // Widen the table so materialized outputs are non-trivial in size.
+  for (auto row = 10; row < 200; ++row) {
+    ExecuteSql("INSERT INTO points VALUES (" + std::to_string(row) + ", " + std::to_string(row % 5) + ", " +
+               std::to_string(row) + ".5)");
+  }
+  cache_ = std::make_shared<ResultCache>(EagerConfig(/*byte_budget=*/2048));
+  for (auto bound = 0; bound < 16; ++bound) {
+    for (auto repeat = 0; repeat < 2; ++repeat) {
+      Run("SELECT id, score FROM points WHERE id > " + std::to_string(bound * 10));
+    }
+  }
+  const auto stats = cache_->stats();
+  EXPECT_LE(stats.current_bytes, cache_->config().byte_budget);
+  // 16 distinct entries of hundreds of bytes each cannot all fit in a 2 KiB
+  // budget: either the per-entry cap rejected them or GDFS evicted — a zero
+  // on both counters means the accounting is broken.
+  EXPECT_GT(stats.evictions + stats.rejections, 0u);
+}
+
+TEST_F(ResultCacheTest, MinRebuildCostRejectsCheapSubtrees) {
+  auto config = ResultCacheConfig{};
+  config.min_rebuild_ns = int64_t{60} * 1000 * 1000 * 1000;  // Nothing is that slow.
+  cache_ = std::make_shared<ResultCache>(config);
+  Run("SELECT COUNT(*) FROM points");
+  EXPECT_EQ(cache_->stats().admissions, 0u);
+  EXPECT_GT(cache_->stats().rejections, 0u);
+}
+
+TEST_F(ResultCacheTest, SnapshotTooOldIsRejected) {
+  // Open a transaction BEFORE a write commits: its snapshot predates the
+  // write, so a cache entry admitted after the write must not serve it.
+  auto old_reader = Hyrise::Get().transaction_manager.NewTransactionContext();
+
+  ExecuteSql("INSERT INTO points VALUES (9, 1, 90.0)");
+  Run("SELECT COUNT(*) FROM points");  // Admitted at the new snapshot.
+
+  auto pipeline = SqlPipeline::Builder{"SELECT COUNT(*) FROM points"}
+                      .WithTransactionContext(old_reader)
+                      .WithResultCache(cache_)
+                      .Build();
+  ASSERT_EQ(pipeline.Execute(), SqlPipelineStatus::kSuccess);
+  EXPECT_EQ(pipeline.metrics().result_cache_hits, 0u);
+  ExpectTableContents(pipeline.result_table(), {{int64_t{8}}});
+}
+
+TEST_F(ResultCacheTest, PlanCacheEntriesGoStaleOnSchemaChange) {
+  const auto pqp_cache = std::make_shared<PqpCache>(16);
+  const auto run_with_plan_cache = [&](const std::string& sql) {
+    auto pipeline = SqlPipeline::Builder{sql}.WithPqpCache(pqp_cache).Build();
+    EXPECT_EQ(pipeline.Execute(), SqlPipelineStatus::kSuccess) << pipeline.error_message();
+    return std::pair{pipeline.metrics().pqp_cache_hit, pipeline.result_table()};
+  };
+
+  const auto query = std::string{"SELECT COUNT(*) FROM points"};
+  EXPECT_FALSE(run_with_plan_cache(query).first);
+  EXPECT_TRUE(run_with_plan_cache(query).first);
+
+  // Drop and recreate with a different shape: the cached plan (same SQL
+  // text!) references the old table and must be discarded, not replayed.
+  ExecuteSql("DROP TABLE points");
+  ExecuteSql("CREATE TABLE points (id INT NOT NULL)");
+  ExecuteSql("INSERT INTO points VALUES (42)");
+
+  const auto [hit, table] = run_with_plan_cache(query);
+  EXPECT_FALSE(hit);
+  ExpectTableContents(table, {{int64_t{1}}});
+
+  // And the re-planned entry is cached again.
+  EXPECT_TRUE(run_with_plan_cache(query).first);
+}
+
+TEST_F(ResultCacheTest, PlanCacheEntriesGoStaleOnReplaceTable) {
+  const auto pqp_cache = std::make_shared<PqpCache>(16);
+  auto first = SqlPipeline::Builder{"SELECT COUNT(*) FROM points"}.WithPqpCache(pqp_cache).Build();
+  ASSERT_EQ(first.Execute(), SqlPipelineStatus::kSuccess);
+
+  auto replacement = MakeTable(
+      {{"id", DataType::kInt, false}, {"grp", DataType::kInt, false}, {"score", DataType::kDouble, true}},
+      {{1, 1, 1.5}}, ChunkOffset{7}, UseMvcc::kYes);
+  Hyrise::Get().storage_manager.ReplaceTable("points", replacement);
+
+  auto second = SqlPipeline::Builder{"SELECT COUNT(*) FROM points"}.WithPqpCache(pqp_cache).Build();
+  ASSERT_EQ(second.Execute(), SqlPipelineStatus::kSuccess);
+  EXPECT_FALSE(second.metrics().pqp_cache_hit);
+  ExpectTableContents(second.result_table(), {{int64_t{1}}});
+}
+
+TEST_F(ResultCacheTest, SchedulerPathPrunesCachedSubtrees) {
+  const auto run_scheduled = [&](const std::string& sql) {
+    auto pipeline = SqlPipeline::Builder{sql}.UseScheduler(true).WithResultCache(cache_).Build();
+    EXPECT_EQ(pipeline.Execute(), SqlPipelineStatus::kSuccess) << pipeline.error_message();
+    return std::pair{pipeline.metrics(), pipeline.result_table()};
+  };
+  const auto query = std::string{"SELECT grp, SUM(score) FROM points GROUP BY grp"};
+  const auto [cold_metrics, cold] = run_scheduled(query);
+  EXPECT_EQ(cold_metrics.result_cache_hits, 0u);
+  const auto [warm_metrics, warm] = run_scheduled(query);
+  EXPECT_GT(warm_metrics.result_cache_hits, 0u);
+  ExpectTableContents(warm, cold->GetRows());
+}
+
+}  // namespace hyrise
