@@ -1,0 +1,149 @@
+/// WAL commit-throughput benchmark (DESIGN.md §5g): how much durability
+/// costs, and how much group commit buys back. Each config runs N client
+/// threads doing single-row auto-commit INSERTs:
+///
+///   - durability off (no log)      — the in-memory baseline,
+///   - async (log, background fsync) — pays serialization, not the disk,
+///   - sync (COMMIT waits for fsync) — the full guarantee; here the
+///     group-commit window is swept to show the batch effect: more committers
+///     share one fsync, so the batch factor (records per fsync) rises with
+///     concurrency and window size while per-commit latency stays bounded.
+///
+/// Emits BENCH_wal.json:
+///   { "configs": [ {mode, threads, group_commit_window_us, commits, wall_ms,
+///                   commits_per_sec, records_appended, fsync_count,
+///                   batch_factor}, ... ] }
+///
+/// Usage: wal_commit [commits_per_thread=200] [json=BENCH_wal.json]
+///   The CI smoke job runs a reduced commit count.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hyrise.hpp"
+#include "persistence/wal.hpp"
+#include "sql/sql_pipeline.hpp"
+#include "storage/table.hpp"
+#include "utils/assert.hpp"
+#include "utils/timer.hpp"
+
+namespace hyrise {
+
+namespace {
+
+struct BenchConfig {
+  const char* mode;  // "off" | "async" | "sync"
+  size_t threads;
+  uint32_t group_commit_window_us;
+};
+
+constexpr BenchConfig kConfigs[] = {
+    {"off", 1, 0},     {"off", 4, 0},      // No log: the ceiling.
+    {"async", 1, 100}, {"async", 4, 100},  // Logged, fsync off the commit path.
+    {"sync", 1, 0},    {"sync", 4, 0},     // Durable, no batching window.
+    {"sync", 4, 100},  {"sync", 4, 1000},  // Durable, group-commit batching.
+};
+
+struct BenchResult {
+  uint64_t commits{0};
+  int64_t wall_ns{0};
+  uint64_t records_appended{0};
+  uint64_t fsync_count{0};
+};
+
+BenchResult RunConfig(const BenchConfig& config, const std::string& wal_directory, size_t commits_per_thread) {
+  Hyrise::Reset();
+  std::filesystem::remove_all(wal_directory);
+  if (std::string{config.mode} != "off") {
+    auto wal_config = persistence::WalConfig{};
+    wal_config.directory = wal_directory;
+    wal_config.durability = std::string{config.mode} == "sync" ? persistence::DurabilityMode::kSync
+                                                               : persistence::DurabilityMode::kAsync;
+    wal_config.group_commit_window_us = config.group_commit_window_us;
+    const auto enabled = Hyrise::Get().wal_manager->Enable(wal_config);
+    Assert(enabled.ok(), "Cannot enable WAL: " + enabled.error());
+  }
+  ExecuteSql("CREATE TABLE wal_bench (n INT NOT NULL)");
+
+  auto timer = Timer{};
+  auto threads = std::vector<std::thread>{};
+  for (auto thread_index = size_t{0}; thread_index < config.threads; ++thread_index) {
+    threads.emplace_back([thread_index, commits_per_thread] {
+      for (auto commit = size_t{0}; commit < commits_per_thread; ++commit) {
+        const auto value = static_cast<int64_t>(thread_index * commits_per_thread + commit);
+        auto pipeline = SqlPipeline::Builder{"INSERT INTO wal_bench VALUES (" + std::to_string(value) + ")"}.Build();
+        const auto status = pipeline.Execute();
+        Assert(status == SqlPipelineStatus::kSuccess, "Benchmark commit failed: " + pipeline.error_message());
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+
+  auto result = BenchResult{};
+  result.commits = config.threads * commits_per_thread;
+  result.wall_ns = timer.Elapsed();
+  const auto metrics = Hyrise::Get().wal_manager->metrics();
+  result.records_appended = metrics.records_appended;
+  result.fsync_count = metrics.fsync_count;
+  Hyrise::Get().wal_manager->Shutdown();
+  std::filesystem::remove_all(wal_directory);
+  return result;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  const auto commits_per_thread = argc > 1 ? static_cast<size_t>(std::stoul(argv[1])) : size_t{200};
+  const auto json_path = argc > 2 ? std::string{argv[2]} : std::string{"BENCH_wal.json"};
+  const auto wal_directory = (std::filesystem::temp_directory_path() / "hyrise_wal_bench").string();
+
+  auto json = std::string{"{\n  \"commits_per_thread\": " + std::to_string(commits_per_thread) +
+                          ",\n  \"configs\": [\n"};
+  auto first_entry = true;
+
+  std::cout << "mode    threads  window_us    commits  wall_ms  commits_per_sec  fsyncs  batch_factor\n";
+  for (const auto& config : kConfigs) {
+    const auto result = RunConfig(config, wal_directory, commits_per_thread);
+    const auto wall_ms = static_cast<double>(result.wall_ns) / 1e6;
+    const auto commits_per_sec =
+        result.wall_ns > 0 ? static_cast<double>(result.commits) / (static_cast<double>(result.wall_ns) / 1e9) : 0.0;
+    // Group-commit effectiveness: how many commit records each fsync covered.
+    const auto batch_factor = result.fsync_count > 0
+                                  ? static_cast<double>(result.records_appended) / static_cast<double>(result.fsync_count)
+                                  : 0.0;
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-7s %7zu %10u %10llu %8.1f %16.0f %7llu %13.2f", config.mode, config.threads,
+                  config.group_commit_window_us, static_cast<unsigned long long>(result.commits), wall_ms,
+                  commits_per_sec, static_cast<unsigned long long>(result.fsync_count), batch_factor);
+    std::cout << line << "\n";
+
+    json += first_entry ? "    " : ",\n    ";
+    first_entry = false;
+    json += std::string{"{\"mode\": \""} + config.mode + "\", \"threads\": " + std::to_string(config.threads) +
+            ", \"group_commit_window_us\": " + std::to_string(config.group_commit_window_us) +
+            ", \"commits\": " + std::to_string(result.commits) + ", \"wall_ms\": " + std::to_string(wall_ms) +
+            ", \"commits_per_sec\": " + std::to_string(commits_per_sec) +
+            ", \"records_appended\": " + std::to_string(result.records_appended) +
+            ", \"fsync_count\": " + std::to_string(result.fsync_count) +
+            ", \"batch_factor\": " + std::to_string(batch_factor) + "}";
+  }
+  json += "\n  ]\n}\n";
+
+  auto file = std::ofstream{json_path};
+  file << json;
+  std::cout << "Wrote " << json_path << "\n";
+  return 0;
+}
+
+}  // namespace hyrise
+
+int main(int argc, char** argv) {
+  return hyrise::Main(argc, argv);
+}

@@ -1,12 +1,18 @@
 /// Network-server example (paper §2.5): starts the PostgreSQL-wire-protocol
 /// server so psql or any PostgreSQL driver can connect:
 ///
-///   ./sql_server [port=54321] [tpch_scale_factor] [snapshot_dir]
+///   ./sql_server [port=54321] [tpch_scale_factor] [snapshot_dir] [wal_dir]
 ///   psql -h 127.0.0.1 -p 54321
 ///
 /// With a snapshot_dir, the server warm-restarts from the snapshot published
 /// there (if any) and the SQL surface can write new ones:
 ///   SNAPSHOT TO '<snapshot_dir>';   -- from any client
+///
+/// With a wal_dir, every commit is additionally redo-logged there and startup
+/// replays commits the snapshot does not cover (crash recovery, DESIGN.md
+/// §5g); `CHECKPOINT` snapshots into snapshot_dir and truncates covered log
+/// segments. HYRISE_DURABILITY=off|async|sync (default sync) picks whether
+/// COMMIT waits for the group-commit fsync.
 ///
 /// Runs until EOF on stdin.
 
@@ -24,6 +30,7 @@ int main(int argc, char** argv) {
   using namespace hyrise;
   const auto port = argc > 1 ? static_cast<uint16_t>(std::stoi(argv[1])) : uint16_t{54321};
   const auto snapshot_dir = argc > 3 ? std::string{argv[3]} : std::string{};
+  const auto wal_dir = argc > 4 ? std::string{argv[4]} : std::string{};
 
   if (argc > 2 && std::stod(argv[2]) > 0.0) {
     auto config = TpchConfig{};
@@ -44,6 +51,20 @@ int main(int argc, char** argv) {
   auto config = ServerConfig{};
   config.port = port;
   config.restore_directory = snapshot_dir;
+  config.wal_directory = wal_dir;
+  if (const auto* durability_env = std::getenv("HYRISE_DURABILITY"); durability_env && *durability_env) {
+    const auto mode = std::string{durability_env};
+    if (mode == "off") {
+      config.durability = persistence::DurabilityMode::kOff;
+    } else if (mode == "async") {
+      config.durability = persistence::DurabilityMode::kAsync;
+    } else if (mode == "sync") {
+      config.durability = persistence::DurabilityMode::kSync;
+    } else {
+      std::cerr << "Unknown HYRISE_DURABILITY '" << mode << "' (expected off|async|sync)\n";
+      return 1;
+    }
+  }
   // HYRISE_LOG_STATEMENTS=1 prints one line per statement to stderr with
   // plan-cache and result-cache reuse counters.
   const auto* log_env = std::getenv("HYRISE_LOG_STATEMENTS");

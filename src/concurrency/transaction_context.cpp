@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <mutex>
+#include <stdexcept>
 
 #include "cache/table_epochs.hpp"
+#include "hyrise.hpp"
 #include "operators/abstract_operator.hpp"
+#include "persistence/wal.hpp"
 #include "utils/assert.hpp"
 #include "utils/failure_injection.hpp"
 
@@ -30,38 +33,79 @@ bool TransactionContext::Commit() {
     return false;
   }
 
+  auto& wal = *Hyrise::Get().wal_manager;
+  auto wal_lsn = uint64_t{0};
+
   // Commit IDs must become visible in order; serializing commits with a
   // mutex guarantees that (see class comment in the header). The mutex also
   // arbitrates racing Commit() calls on the same context: the phase is
   // re-checked under the lock, so only one caller performs the commit.
-  const auto lock = std::lock_guard{manager_.commit_mutex_};
-  if (phase() != TransactionPhase::kActive) {
-    // Double Commit() (or Commit() after Rollback()): loud in debug, a safe
-    // no-op in release reporting the transaction's actual outcome.
-    DebugAssert(false, "Commit() on finished transaction");
-    return phase() == TransactionPhase::kCommitted;
-  }
-
-  // May throw (armed in chaos tests): the phase is still kActive, no record
-  // has been touched, so the caller can cleanly roll back and retry.
-  FAILPOINT("commit/publish");
-
-  const auto commit_id = manager_.last_commit_id_.load(std::memory_order_acquire) + 1;
-  for (const auto& read_write_operator : read_write_operators_) {
-    read_write_operator->CommitRecords(commit_id);
-  }
-  // Invalidation epochs must bump BEFORE the commit ID is published: a
-  // transaction that begins after the store below has snapshot >= commit_id
-  // and sees our rows, so it must also see the new epoch — otherwise it
-  // could validate a cached result that predates this commit.
   {
-    const auto written_lock = std::lock_guard{written_tables_mutex_};
-    for (const auto& table_name : written_tables_) {
-      TableEpochRegistry::Get().OnCommittedWrite(table_name, commit_id);
+    const auto lock = std::lock_guard{manager_.commit_mutex_};
+    if (phase() != TransactionPhase::kActive) {
+      // Double Commit() (or Commit() after Rollback()): loud in debug, a safe
+      // no-op in release reporting the transaction's actual outcome.
+      DebugAssert(false, "Commit() on finished transaction");
+      return phase() == TransactionPhase::kCommitted;
     }
+
+    // May throw (armed in chaos tests): the phase is still kActive, no record
+    // has been touched, so the caller can cleanly roll back and retry.
+    FAILPOINT("commit/publish");
+
+    const auto commit_id = manager_.last_commit_id_.load(std::memory_order_acquire) + 1;
+
+    // Commit ordering contract (DESIGN.md §5g) — the steps below must stay in
+    // exactly this order:
+    //
+    //   (1) WAL append. Before anything is applied: a failed append (full
+    //       disk, injected fault) leaves the transaction kActive with no
+    //       visible effect, so the caller rolls back cleanly and the log
+    //       never describes a commit that did not happen.
+    //   (2) CommitRecords: begin/end CIDs are stamped, rows become visible
+    //       to snapshots >= commit_id.
+    //   (3) TableEpochRegistry bumps. BEFORE the commit ID is published: a
+    //       transaction that begins after step (4) has snapshot >= commit_id
+    //       and sees our rows, so it must also see the new epoch — otherwise
+    //       it could validate a cached result that predates this commit.
+    //   (4) last_commit_id_ publish + phase kCommitted.
+    //   (5) Outside the mutex: sync-durability wait. After the publish, so
+    //       concurrent committers batch into one fsync (group commit). A
+    //       crash between (4) and the fsync can only lose *in-memory* state —
+    //       the recovered process rebuilds from snapshot + durable log, and
+    //       both caches and epoch registry entries are rebuilt or only ever
+    //       grow, so no cache entry can resurrect for a vanished commit. A
+    //       wait failure throws: the commit exists in memory but was not
+    //       acknowledged, which is exactly the "unknown outcome" a client of
+    //       a crashed database must handle.
+    const auto appended = wal.AppendCommit(commit_id, read_write_operators_);
+    if (!appended.ok()) {
+      throw std::runtime_error{"Commit not logged: " + appended.error()};
+    }
+    wal_lsn = appended.value();
+
+    for (const auto& read_write_operator : read_write_operators_) {
+      read_write_operator->CommitRecords(commit_id);
+    }
+    {
+      const auto written_lock = std::lock_guard{written_tables_mutex_};
+      for (const auto& table_name : written_tables_) {
+        TableEpochRegistry::Get().OnCommittedWrite(table_name, commit_id);
+      }
+    }
+    manager_.last_commit_id_.store(commit_id, std::memory_order_release);
+    phase_.store(TransactionPhase::kCommitted, std::memory_order_release);
   }
-  manager_.last_commit_id_.store(commit_id, std::memory_order_release);
-  phase_.store(TransactionPhase::kCommitted, std::memory_order_release);
+
+  if (wal_lsn != 0 && wal.NeedsSynchronousWait()) {
+    const auto waited = wal.WaitDurable(wal_lsn);
+    if (!waited.ok()) {
+      // Step (5) above: committed in memory, durability unknown — the caller
+      // must report an error instead of acknowledging.
+      throw std::runtime_error{"Commit durability unknown: " + waited.error()};
+    }
+    wal_wait_ns_ = waited.value();
+  }
   return true;
 }
 

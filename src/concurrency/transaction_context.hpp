@@ -2,6 +2,7 @@
 #define HYRISE_SRC_CONCURRENCY_TRANSACTION_CONTEXT_HPP_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -73,11 +74,19 @@ class TransactionContext : public std::enable_shared_from_this<TransactionContex
   }
 
   /// Commits all registered operators. Returns false (after rolling back) if
-  /// the transaction had conflicted.
+  /// the transaction had conflicted. Throws std::runtime_error if the
+  /// write-ahead log could not make the commit durable — see the ordering
+  /// contract in transaction_context.cpp for what state that leaves behind.
   bool Commit();
 
   /// Undoes all registered operators. Idempotent.
   void Rollback();
+
+  /// Nanoseconds a successful sync-durability Commit() spent blocked on the
+  /// group-commit flusher (0 otherwise). Reported as a pipeline metric.
+  int64_t wal_wait_ns() const {
+    return wal_wait_ns_;
+  }
 
  private:
   const TransactionID transaction_id_;
@@ -88,6 +97,7 @@ class TransactionContext : public std::enable_shared_from_this<TransactionContex
   std::atomic<bool> has_pending_writes_{false};
   std::mutex written_tables_mutex_;
   std::vector<std::string> written_tables_;
+  int64_t wal_wait_ns_{0};
 };
 
 /// Issues transaction IDs and commit IDs (paper §2.8: begin/end commit IDs
@@ -103,6 +113,35 @@ class TransactionManager {
 
   CommitID last_commit_id() const {
     return last_commit_id_.load(std::memory_order_acquire);
+  }
+
+  /// Runs `action` inside the commit critical section with the next commit
+  /// ID, publishing that ID iff the action returns true. Used for catalog
+  /// changes (CREATE/DROP TABLE) so their WAL records interleave with DML
+  /// commits in one totally CID-ordered history: the catalog mutation inside
+  /// the action happens-before the ID publish, so a snapshot that captures
+  /// commit ID >= the action's ID also sees its catalog effect. The action
+  /// may throw; nothing is published then. Returns the published ID, or 0 if
+  /// the action declined.
+  CommitID CommitSerialized(const std::function<bool(CommitID)>& action) {
+    const auto lock = std::lock_guard{commit_mutex_};
+    const auto commit_id = last_commit_id_.load(std::memory_order_acquire) + 1;
+    if (!action(commit_id)) {
+      return CommitID{0};
+    }
+    last_commit_id_.store(commit_id, std::memory_order_release);
+    return commit_id;
+  }
+
+  /// Recovery only: fast-forwards the commit-ID clock to at least
+  /// `commit_id` (the snapshot's CID, then the highest replayed commit), so
+  /// new transactions see the recovered rows and new commits extend the
+  /// log's total order instead of reusing IDs.
+  void SetLastCommitIdForRecovery(CommitID commit_id) {
+    const auto lock = std::lock_guard{commit_mutex_};
+    if (last_commit_id_.load(std::memory_order_acquire) < commit_id) {
+      last_commit_id_.store(commit_id, std::memory_order_release);
+    }
   }
 
  private:

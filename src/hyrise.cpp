@@ -1,5 +1,6 @@
 #include "hyrise.hpp"
 
+#include "persistence/wal.hpp"
 #include "plugin/plugin_manager.hpp"
 #include "scheduler/abstract_scheduler.hpp"
 #include "utils/gdfs_cache.hpp"
@@ -32,7 +33,9 @@ void Hyrise::Reset() {
 }
 
 Hyrise::Hyrise()
-    : plugin_manager(std::make_unique<PluginManager>()), scheduler_(std::make_shared<ImmediateExecutionScheduler>()) {}
+    : plugin_manager(std::make_unique<PluginManager>()),
+      wal_manager(std::make_unique<persistence::WalManager>()),
+      scheduler_(std::make_shared<ImmediateExecutionScheduler>()) {}
 
 Hyrise::~Hyrise() = default;
 

@@ -19,6 +19,10 @@ class AbstractOperator;
 class AbstractLqpNode;
 class ResultCache;
 
+namespace persistence {
+class WalManager;
+}
+
 /// A plan-cache entry: the translated PQP plus the schema epochs of every
 /// table it references, recorded at insertion. The SQL text key says nothing
 /// about whether a referenced table has since been dropped, recreated, or
@@ -61,6 +65,11 @@ class Hyrise {
   StorageManager storage_manager;
   TransactionManager transaction_manager;
   std::unique_ptr<PluginManager> plugin_manager;
+
+  /// Write-ahead redo log (DESIGN.md §5g). Never null; disabled until
+  /// WalManager::Enable is called (normally by Server::Start after replaying
+  /// the log left by the previous incarnation).
+  std::unique_ptr<persistence::WalManager> wal_manager;
 
   /// Query plan caches (paper §2.6). Null = caching disabled (the default for
   /// tests; the benchmark runner enables them).

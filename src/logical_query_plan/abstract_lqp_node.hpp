@@ -35,6 +35,7 @@ enum class LqpNodeType {
   kImportTable,
   kSnapshot,
   kRestore,
+  kCheckpoint,
 };
 
 class AbstractLqpNode;

@@ -505,6 +505,10 @@ std::shared_ptr<AbstractOperator> LqpTranslator::TranslateNode(const LqpNodePtr&
       result = std::make_shared<Restore>(static_cast<const RestoreNode&>(*node).directory);
       break;
     }
+    case LqpNodeType::kCheckpoint: {
+      result = std::make_shared<Checkpoint>();
+      break;
+    }
   }
   if (result) {
     operator_cache_.emplace(node.get(), result);

@@ -14,6 +14,10 @@ std::shared_ptr<SnapshotNode> SnapshotNode::Make(std::string directory) {
   return std::make_shared<SnapshotNode>(std::move(directory));
 }
 
+std::shared_ptr<CheckpointNode> CheckpointNode::Make() {
+  return std::make_shared<CheckpointNode>();
+}
+
 std::shared_ptr<RestoreNode> RestoreNode::Make(std::string directory) {
   return std::make_shared<RestoreNode>(std::move(directory));
 }

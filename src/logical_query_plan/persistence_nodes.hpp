@@ -88,6 +88,28 @@ class SnapshotNode final : public AbstractLqpNode {
   }
 };
 
+/// CHECKPOINT — snapshot into the WAL's configured checkpoint directory and
+/// truncate covered log segments.
+class CheckpointNode final : public AbstractLqpNode {
+ public:
+  static std::shared_ptr<CheckpointNode> Make();
+
+  CheckpointNode() : AbstractLqpNode(LqpNodeType::kCheckpoint) {}
+
+  Expressions output_expressions() const final {
+    return {};
+  }
+
+  std::string Description() const final {
+    return "[Checkpoint]";
+  }
+
+ protected:
+  LqpNodePtr ShallowCopy() const final {
+    return std::make_shared<CheckpointNode>();
+  }
+};
+
 /// RESTORE FROM '<directory>' — installs every table of a published snapshot.
 class RestoreNode final : public AbstractLqpNode {
  public:

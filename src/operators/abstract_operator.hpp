@@ -44,6 +44,7 @@ enum class OperatorType {
   kImportTable,
   kSnapshot,
   kRestore,
+  kCheckpoint,
 };
 
 /// Basic runtime metrics, attached to every executed operator. Benchmark

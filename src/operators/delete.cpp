@@ -28,6 +28,7 @@ std::shared_ptr<const Table> Delete::OnExecute(const std::shared_ptr<Transaction
       // so commit can bump the right invalidation epoch.
       const auto table_name = Hyrise::Get().storage_manager.TableNameOf(referenced_table_);
       if (table_name) {
+        table_name_ = *table_name;
         context->RegisterWrittenTable(*table_name);
       }
     }

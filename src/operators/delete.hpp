@@ -2,6 +2,7 @@
 #define HYRISE_SRC_OPERATORS_DELETE_HPP_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "operators/abstract_operator.hpp"
@@ -31,6 +32,22 @@ class Delete final : public AbstractReadWriteOperator {
     return locked_rows_.size();
   }
 
+  /// The stored table whose rows were locked (set during OnExecute).
+  const std::shared_ptr<const Table>& referenced_table() const {
+    return referenced_table_;
+  }
+
+  const std::vector<RowID>& locked_rows() const {
+    return locked_rows_;
+  }
+
+  /// The catalog name of the referenced table, resolved during OnExecute.
+  /// Empty if the table was dropped/replaced concurrently — the WAL then
+  /// skips the delete group (the table will not exist after recovery).
+  const std::string& table_name() const {
+    return table_name_;
+  }
+
  protected:
   std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& context) final;
 
@@ -42,6 +59,7 @@ class Delete final : public AbstractReadWriteOperator {
 
  private:
   std::shared_ptr<const Table> referenced_table_;
+  std::string table_name_;
   std::vector<RowID> locked_rows_;
   bool rolled_back_{false};
 };

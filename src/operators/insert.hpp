@@ -32,6 +32,14 @@ class Insert final : public AbstractReadWriteOperator {
     return table_name_;
   }
 
+  /// The stored table the rows went into (set during OnExecute). The WAL
+  /// reads the inserted values back from it at commit time — safe because
+  /// mutable-chunk segments are Reserve()d to the target chunk size, so
+  /// concurrent appends never reallocate under the reader.
+  const std::shared_ptr<Table>& target_table() const {
+    return target_table_;
+  }
+
  protected:
   std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& context) final;
 

@@ -1,7 +1,11 @@
 #include "operators/maintenance_operators.hpp"
 
+#include <stdexcept>
+
+#include "concurrency/transaction_context.hpp"
 #include "hyrise.hpp"
 #include "logical_query_plan/ddl_nodes.hpp"
+#include "persistence/wal.hpp"
 #include "storage/table.hpp"
 
 namespace hyrise {
@@ -13,12 +17,36 @@ CreateTable::CreateTable(std::string table_name, TableColumnDefinitions definiti
       if_not_exists_(if_not_exists) {}
 
 std::shared_ptr<const Table> CreateTable::OnExecute(const std::shared_ptr<TransactionContext>& /*context*/) {
-  auto& storage_manager = Hyrise::Get().storage_manager;
+  auto& hyrise = Hyrise::Get();
+  auto& storage_manager = hyrise.storage_manager;
   if (if_not_exists_ && storage_manager.HasTable(table_name_)) {
     return nullptr;
   }
-  storage_manager.AddTable(table_name_,
-                           std::make_shared<Table>(definitions_, TableType::kData, kDefaultChunkSize, UseMvcc::kYes));
+  auto table = std::make_shared<Table>(definitions_, TableType::kData, kDefaultChunkSize, UseMvcc::kYes);
+  auto& wal = *hyrise.wal_manager;
+  if (!wal.enabled()) {
+    storage_manager.AddTable(table_name_, std::move(table));
+    return nullptr;
+  }
+  // With logging enabled, the catalog change consumes a commit ID and is
+  // logged like a commit: recovery must be able to recreate tables that were
+  // created after the last checkpoint (wal.hpp). The existence check happens
+  // *inside* the critical section and before the append, so a losing racer
+  // fails without leaving a create record for a table that was never added.
+  hyrise.transaction_manager.CommitSerialized([&](const CommitID commit_id) {
+    if (storage_manager.HasTable(table_name_)) {
+      if (if_not_exists_) {
+        return false;
+      }
+      throw std::runtime_error{"Table already exists: " + table_name_};
+    }
+    const auto appended = wal.AppendCreateTable(commit_id, table_name_, definitions_, kDefaultChunkSize);
+    if (!appended.ok()) {
+      throw std::runtime_error{"CREATE TABLE not logged: " + appended.error()};
+    }
+    storage_manager.AddTable(table_name_, std::move(table));
+    return true;
+  });
   return nullptr;
 }
 
@@ -26,11 +54,30 @@ DropTable::DropTable(std::string table_name, bool if_exists)
     : AbstractOperator(OperatorType::kDropTable), table_name_(std::move(table_name)), if_exists_(if_exists) {}
 
 std::shared_ptr<const Table> DropTable::OnExecute(const std::shared_ptr<TransactionContext>& /*context*/) {
-  auto& storage_manager = Hyrise::Get().storage_manager;
+  auto& hyrise = Hyrise::Get();
+  auto& storage_manager = hyrise.storage_manager;
   if (if_exists_ && !storage_manager.HasTable(table_name_)) {
     return nullptr;
   }
-  storage_manager.DropTable(table_name_);
+  auto& wal = *hyrise.wal_manager;
+  if (!wal.enabled()) {
+    storage_manager.DropTable(table_name_);
+    return nullptr;
+  }
+  hyrise.transaction_manager.CommitSerialized([&](const CommitID commit_id) {
+    if (!storage_manager.HasTable(table_name_)) {
+      if (if_exists_) {
+        return false;
+      }
+      throw std::runtime_error{"Table does not exist: " + table_name_};
+    }
+    const auto appended = wal.AppendDropTable(commit_id, table_name_);
+    if (!appended.ok()) {
+      throw std::runtime_error{"DROP TABLE not logged: " + appended.error()};
+    }
+    storage_manager.DropTable(table_name_);
+    return true;
+  });
   return nullptr;
 }
 

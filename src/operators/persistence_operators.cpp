@@ -5,6 +5,7 @@
 #include "concurrency/transaction_context.hpp"
 #include "hyrise.hpp"
 #include "persistence/table_serializer.hpp"
+#include "persistence/wal.hpp"
 #include "storage/table.hpp"
 
 namespace hyrise {
@@ -54,6 +55,27 @@ Snapshot::Snapshot(std::string directory)
 
 std::shared_ptr<const Table> Snapshot::OnExecute(const std::shared_ptr<TransactionContext>& /*context*/) {
   const auto result = Hyrise::Get().storage_manager.Snapshot(directory_);
+  if (!result.ok()) {
+    throw std::runtime_error{result.error()};
+  }
+  return nullptr;
+}
+
+Checkpoint::Checkpoint() : AbstractOperator(OperatorType::kCheckpoint) {}
+
+std::shared_ptr<const Table> Checkpoint::OnExecute(const std::shared_ptr<TransactionContext>& /*context*/) {
+  auto& wal = *Hyrise::Get().wal_manager;
+  if (!wal.enabled()) {
+    throw std::runtime_error{"CHECKPOINT requires write-ahead logging; start the server with a WAL directory"};
+  }
+  const auto directory = wal.config().checkpoint_directory;
+  if (directory.empty()) {
+    throw std::runtime_error{
+        "CHECKPOINT has no target: the server was started without a snapshot directory; use SNAPSHOT TO instead"};
+  }
+  // StorageManager::Snapshot already truncates covered WAL segments after a
+  // successful publish; CHECKPOINT is that, aimed at the configured directory.
+  const auto result = Hyrise::Get().storage_manager.Snapshot(directory);
   if (!result.ok()) {
     throw std::runtime_error{result.error()};
   }

@@ -93,6 +93,29 @@ class Snapshot final : public AbstractOperator {
   std::string directory_;
 };
 
+/// CHECKPOINT: snapshots the whole database into the write-ahead log's
+/// configured checkpoint directory and truncates log segments the snapshot
+/// covers (DESIGN.md §5g). Errors if the WAL is disabled or has no
+/// checkpoint directory configured.
+class Checkpoint final : public AbstractOperator {
+ public:
+  Checkpoint();
+
+  const std::string& name() const final {
+    static const auto kName = std::string{"Checkpoint"};
+    return kName;
+  }
+
+ protected:
+  std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& context) final;
+
+  std::shared_ptr<AbstractOperator> OnDeepCopy(std::shared_ptr<AbstractOperator> /*left*/,
+                                               std::shared_ptr<AbstractOperator> /*right*/,
+                                               DeepCopyMap& /*map*/) const final {
+    return std::make_shared<Checkpoint>();
+  }
+};
+
 /// RESTORE FROM '<directory>': installs every table of a published snapshot
 /// (StorageManager::Restore), all-or-nothing.
 class Restore final : public AbstractOperator {

@@ -15,7 +15,9 @@ namespace {
 /// Manifest magic ("HYRSMAN1" in little-endian byte order) — distinct from
 /// the table-file magic so the two can never be confused.
 constexpr uint64_t kManifestMagic = 0x314E414D'53525948ULL;
-constexpr uint32_t kManifestVersion = 1;
+/// v2 added snapshot_cid (the WAL replay cutoff); v1 manifests still parse
+/// with snapshot_cid = 0.
+constexpr uint32_t kManifestVersion = 2;
 
 std::string ManifestPath(const std::string& directory) {
   return directory + "/" + kManifestFileName;
@@ -38,12 +40,18 @@ Result<SnapshotManifest> ParseManifest(const std::string& path) {
   if (magic != kManifestMagic) {
     return fail("not a snapshot manifest");
   }
-  if (version != kManifestVersion) {
+  if (version != 1 && version != kManifestVersion) {
     return fail("unsupported version " + std::to_string(version));
   }
   auto manifest = SnapshotManifest{};
   auto entry_count = uint32_t{0};
-  if (!reader.ReadScalar(manifest.epoch) || !reader.ReadScalar(entry_count)) {
+  if (!reader.ReadScalar(manifest.epoch)) {
+    return fail(reader.ok() ? std::string{"truncated"} : reader.error());
+  }
+  if (version >= 2 && !reader.ReadScalar(manifest.snapshot_cid)) {
+    return fail(reader.ok() ? std::string{"truncated"} : reader.error());
+  }
+  if (!reader.ReadScalar(entry_count)) {
     return fail(reader.ok() ? std::string{"truncated"} : reader.error());
   }
   for (auto index = uint32_t{0}; index < entry_count; ++index) {
@@ -74,7 +82,7 @@ Result<SnapshotManifest> ReadManifest(const std::string& directory) {
 }
 
 Result<size_t> WriteSnapshot(const std::vector<std::pair<std::string, std::shared_ptr<const Table>>>& tables,
-                             const std::string& directory) {
+                             const std::string& directory, CommitID snapshot_cid) {
   using SnapshotResult = Result<size_t>;
   auto error_code = std::error_code{};
   std::filesystem::create_directories(directory, error_code);
@@ -99,11 +107,12 @@ Result<size_t> WriteSnapshot(const std::vector<std::pair<std::string, std::share
 
   auto manifest = SnapshotManifest{};
   manifest.epoch = epoch;
+  manifest.snapshot_cid = snapshot_cid;
   for (const auto& [name, table] : tables) {
     auto entry = SnapshotEntry{};
     entry.table_name = name;
     entry.file_name = name + "." + std::to_string(epoch) + ".bin";
-    const auto exported = ExportTableBinary(*table, directory + "/" + entry.file_name);
+    const auto exported = ExportTableBinary(*table, directory + "/" + entry.file_name, snapshot_cid);
     if (!exported.ok()) {
       return SnapshotResult::Error("Snapshot of table '" + name + "' failed: " + exported.error());
     }
@@ -118,6 +127,7 @@ Result<size_t> WriteSnapshot(const std::vector<std::pair<std::string, std::share
   writer.WriteScalar<uint64_t>(kManifestMagic);
   writer.WriteScalar<uint32_t>(kManifestVersion);
   writer.WriteScalar<uint64_t>(manifest.epoch);
+  writer.WriteScalar<CommitID>(manifest.snapshot_cid);
   writer.WriteScalar<uint32_t>(static_cast<uint32_t>(manifest.entries.size()));
   for (const auto& entry : manifest.entries) {
     writer.WriteString(entry.table_name);

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "types/types.hpp"
 #include "utils/result.hpp"
 
 namespace hyrise {
@@ -28,6 +29,11 @@ struct SnapshotEntry {
 /// Parsed snapshot manifest.
 struct SnapshotManifest {
   uint64_t epoch{0};
+  /// Visibility cutoff of the snapshot (manifest v2): every commit with ID
+  /// <= snapshot_cid is contained, everything newer lives only in the WAL.
+  /// Crash recovery replays log records with CID > snapshot_cid. 0 for
+  /// legacy v1 manifests (pre-WAL; nothing to replay).
+  CommitID snapshot_cid{0};
   std::vector<SnapshotEntry> entries;
 };
 
@@ -38,8 +44,10 @@ struct SnapshotManifest {
 /// a crash at any earlier moment (any FAILPOINT) leaves the previous
 /// manifest, and therefore the previous snapshot, fully restorable. Files of
 /// superseded epochs are garbage-collected after a successful publish.
+/// `snapshot_cid` fixes the exported visibility horizon and is recorded in
+/// the manifest as the WAL replay cutoff.
 Result<size_t> WriteSnapshot(const std::vector<std::pair<std::string, std::shared_ptr<const Table>>>& tables,
-                             const std::string& directory);
+                             const std::string& directory, CommitID snapshot_cid);
 
 /// Reads and validates the manifest published in `directory`.
 Result<SnapshotManifest> ReadManifest(const std::string& directory);

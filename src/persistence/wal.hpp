@@ -1,0 +1,249 @@
+#ifndef HYRISE_SRC_PERSISTENCE_WAL_HPP_
+#define HYRISE_SRC_PERSISTENCE_WAL_HPP_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storage/table_column_definition.hpp"
+#include "types/types.hpp"
+#include "utils/result.hpp"
+
+namespace hyrise {
+
+class AbstractReadWriteOperator;
+
+namespace persistence {
+
+/// When a COMMIT may be acknowledged relative to the redo log (DESIGN.md §5g).
+enum class DurabilityMode {
+  kOff,    // No logging. A crash loses everything since the last snapshot.
+  kAsync,  // Every commit is logged, but fsync happens in the background:
+           // a crash may lose the last group-commit window of commits.
+  kSync,   // COMMIT blocks until the group-commit flusher has fsynced past the
+           // transaction's log record: an acknowledged commit survives kill -9.
+};
+
+struct WalConfig {
+  /// Directory holding the log segments (wal_<index>.log). Created if missing.
+  std::string directory;
+  DurabilityMode durability{DurabilityMode::kSync};
+  /// How long the flusher collects additional committers before paying one
+  /// fsync for the whole batch. 0 = fsync as soon as anything is pending.
+  uint32_t group_commit_window_us{100};
+  /// Rotate the active segment once it exceeds this size, so checkpoints can
+  /// truncate covered segments at file granularity.
+  uint64_t segment_max_bytes{64ull << 20};
+  /// Snapshot directory the SQL CHECKPOINT statement writes to (normally the
+  /// server's restore_directory). Empty = CHECKPOINT reports an error.
+  std::string checkpoint_directory;
+};
+
+/// Counters for observability and the wal_commit benchmark. The ratio
+/// records_appended / fsync_count is the group-commit batch factor.
+struct WalMetrics {
+  uint64_t records_appended{0};
+  uint64_t bytes_appended{0};
+  uint64_t fsync_count{0};
+  uint64_t sync_waits{0};
+  uint64_t segments_rotated{0};
+  uint64_t segments_truncated{0};
+};
+
+/// Outcome of a crash-recovery replay.
+struct WalRecoveryStats {
+  uint64_t segments_scanned{0};
+  uint64_t records_applied{0};
+  /// Records covered by the snapshot (commit ID <= the snapshot's CID).
+  uint64_t records_skipped{0};
+  uint64_t rows_inserted{0};
+  uint64_t rows_deleted{0};
+  uint64_t tables_created{0};
+  uint64_t tables_dropped{0};
+  CommitID max_commit_id{0};
+  /// The final segment ended in a torn / checksum-failing record; replay
+  /// stopped cleanly at the last valid record (DESIGN.md §5g: a torn tail is
+  /// the expected signature of a crash mid-append, not corruption).
+  bool stopped_at_torn_record{false};
+  uint64_t discarded_bytes{0};
+};
+
+/// Write-ahead redo log (DESIGN.md §5g). The insert-only MVCC commit protocol
+/// (paper §2.5/§2.8) makes redo-only logging sufficient: a commit is fully
+/// described by its inserted row values and the values of the rows it
+/// invalidated, so replaying the log on top of the latest snapshot restores
+/// exactly the acknowledged-committed state.
+///
+/// Log format: segments `wal_<index>.log`, each starting with a magic/version
+/// header, followed by length-prefixed records:
+///
+///   [u32 payload_size][u64 FNV-1a payload digest][payload]
+///   payload = u64 LSN, u32 commit ID, u8 kind,
+///             kind 0 (DML commit): insert groups + delete groups, each group
+///               = table name, column types, row values,
+///             kind 1 (CREATE TABLE): name + column definitions,
+///             kind 2 (DROP TABLE): name.
+///
+/// Delete groups store row *values*, not RowIDs: a snapshot re-encodes
+/// partially visible chunks and drops invisible rows, so physical RowIDs are
+/// not stable across a restore. Value matching in deterministic chunk order
+/// replays the same deletes regardless of physical layout. Rows a transaction
+/// inserts and deletes itself are cancelled at record-build time (net effect
+/// zero, and their values would ambiguously match the insert during replay).
+///
+/// Concurrency: appends happen under the transaction manager's commit mutex
+/// (one totally CID-ordered history) and only buffer into stdio; a background
+/// flusher batches fflush+fsync across concurrent committers (group commit)
+/// and publishes the durable LSN. Lock order: fsync_mutex_ before wal_mutex_.
+/// Sync-mode committers wait on the durable LSN *after* releasing the commit
+/// mutex, so the next transaction can append while the disk works.
+class WalManager {
+ public:
+  WalManager() = default;
+  ~WalManager();
+
+  WalManager(const WalManager&) = delete;
+  WalManager& operator=(const WalManager&) = delete;
+
+  /// Creates/validates the directory, registers existing segments (so a later
+  /// checkpoint can truncate them), opens a fresh active segment — recovery
+  /// never appends to a possibly-torn tail — and starts the flusher thread.
+  /// A missing or uncreatable directory is a clean error, never an assert.
+  Result<bool> Enable(WalConfig config);
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_acquire);
+  }
+
+  const WalConfig& config() const {
+    return config_;
+  }
+
+  /// Flushes and fsyncs everything appended so far, then joins the flusher.
+  /// Idempotent; called by the destructor.
+  void Shutdown();
+
+  /// Serializes the transaction's registered Insert/Delete operators into one
+  /// checksummed record and appends it to the active segment. Must be called
+  /// under the commit mutex, *before* CommitRecords — while nothing has been
+  /// applied, a failure here still allows a clean rollback. Returns the
+  /// record's LSN, or 0 if the log is disabled or the record is empty (e.g.
+  /// all writes cancelled out). FAILPOINT "wal/append" fires before any byte
+  /// is written.
+  Result<uint64_t> AppendCommit(CommitID commit_id,
+                                const std::vector<std::shared_ptr<AbstractReadWriteOperator>>& operators);
+
+  /// DDL records, appended under the commit mutex via
+  /// TransactionManager::CommitSerialized so catalog changes interleave with
+  /// DML commits in commit-ID order and recovery can recreate tables that
+  /// were never snapshotted.
+  Result<uint64_t> AppendCreateTable(CommitID commit_id, const std::string& table_name,
+                                     const TableColumnDefinitions& definitions, ChunkOffset target_chunk_size);
+  Result<uint64_t> AppendDropTable(CommitID commit_id, const std::string& table_name);
+
+  /// True when commits must block on durability (enabled + kSync).
+  bool NeedsSynchronousWait() const {
+    return enabled() && config_.durability == DurabilityMode::kSync;
+  }
+
+  /// Blocks until the flusher has fsynced past `lsn` (FAILPOINT "wal/fsync"
+  /// delays this). Returns the nanoseconds waited, or an error if the log
+  /// failed or shut down first — the commit is then in memory but of unknown
+  /// durability, and must NOT be acknowledged to the client.
+  Result<int64_t> WaitDurable(uint64_t lsn);
+
+  /// Checkpoint hook (SNAPSHOT TO / CHECKPOINT): rotates the active segment
+  /// and deletes closed segments whose records are all covered by the
+  /// snapshot at `commit_id`. No-op while disabled.
+  void TruncateThrough(CommitID commit_id);
+
+  /// Crash recovery: replays every record with commit ID > `after_cid` (the
+  /// restored snapshot's CID) onto the current catalog, in order,
+  /// idempotently from a fresh snapshot restore. Stops cleanly at a torn tail
+  /// of the final segment; a corrupt record anywhere else, a missing segment
+  /// in the middle of the sequence, an unknown table, or a schema mismatch is
+  /// a clean error Result. Fast-forwards the commit-ID clock past the highest
+  /// replayed commit. FAILPOINT "wal/replay" fires per record; a crash during
+  /// recovery restarts recovery from the snapshot (replay is *not* resumable
+  /// against partially replayed in-memory state).
+  static Result<WalRecoveryStats> Replay(const std::string& directory, CommitID after_cid);
+
+  /// Test hook modeling kill -9: stops the flusher without a final flush,
+  /// closes the active segment, and truncates it to the last fsync-covered
+  /// byte — exactly the prefix a real crash is guaranteed to leave behind.
+  /// Every later append or durability wait fails. Closed segments (fsynced on
+  /// rotation) are untouched.
+  void SimulateCrash();
+
+  WalMetrics metrics() const;
+
+ private:
+  struct SegmentInfo {
+    uint64_t index{0};
+    std::string path;
+    CommitID max_commit_id{0};
+  };
+
+  /// Patches the LSN into the payload's first 8 bytes, checksums, appends.
+  /// Requires a payload built by the record builders (LSN slot reserved).
+  Result<uint64_t> AppendRecord(CommitID commit_id, std::vector<uint8_t>& payload);
+
+  /// wal_mutex_ held. Opens wal_<index>.log, writes + fsyncs the header.
+  bool OpenSegmentLocked(uint64_t index, std::string& error);
+
+  /// fsync_mutex_ + wal_mutex_ held. Fsyncs and closes the active segment,
+  /// registers it as closed, opens the next one.
+  bool RotateLocked(std::string& error);
+
+  void LatchIoErrorLocked(std::string message);
+
+  void FlusherLoop();
+
+  WalConfig config_;
+  std::atomic<bool> enabled_{false};
+
+  // --- Append side (wal_mutex_) --------------------------------------------
+  std::mutex wal_mutex_;
+  std::FILE* file_{nullptr};
+  std::string active_path_;
+  uint64_t active_index_{0};
+  uint64_t active_bytes_{0};
+  CommitID active_max_commit_id_{0};
+  uint64_t next_lsn_{1};
+  std::vector<SegmentInfo> closed_segments_;
+  std::string io_error_;
+
+  std::atomic<uint64_t> appended_lsn_{0};
+  std::atomic<bool> io_failed_{false};
+
+  // --- Durability side (fsync_mutex_; lock order: fsync before wal) --------
+  std::mutex fsync_mutex_;
+  std::condition_variable flusher_cv_;
+  std::condition_variable durable_cv_;
+  uint64_t durable_lsn_{0};
+  /// Bytes of the *active* segment covered by the last completed fsync; the
+  /// truncation point of SimulateCrash(). Reset on rotation.
+  uint64_t durable_bytes_{0};
+  bool stop_{false};
+  bool crashed_{false};
+  std::thread flusher_;
+
+  // --- Metrics --------------------------------------------------------------
+  std::atomic<uint64_t> records_appended_{0};
+  std::atomic<uint64_t> bytes_appended_{0};
+  std::atomic<uint64_t> fsync_count_{0};
+  std::atomic<uint64_t> sync_waits_{0};
+  std::atomic<uint64_t> segments_rotated_{0};
+  std::atomic<uint64_t> segments_truncated_{0};
+};
+
+}  // namespace persistence
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_PERSISTENCE_WAL_HPP_

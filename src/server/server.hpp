@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "persistence/wal.hpp"
 #include "scheduler/cancellation_token.hpp"
 #include "utils/result.hpp"
 
@@ -37,8 +38,22 @@ struct ServerConfig {
   /// query. An empty or missing directory is not an error (cold start); a
   /// corrupt snapshot is.
   std::string restore_directory;
+  /// Write-ahead logging (DESIGN.md §5g): if non-empty, Start() replays the
+  /// redo log on top of the restored snapshot (crash recovery) and then — for
+  /// durability != kOff — enables logging of every commit into this
+  /// directory. Empty disables the WAL entirely.
+  std::string wal_directory;
+  /// kSync: COMMIT blocks until the group-commit flusher has fsynced the
+  /// transaction's log record (no acknowledged commit can be lost). kAsync:
+  /// records are written but COMMIT does not wait for the fsync. kOff: no
+  /// logging even with a wal_directory (replay still runs on startup).
+  persistence::DurabilityMode durability{persistence::DurabilityMode::kSync};
+  /// How long the flusher gathers commits before each fsync (batching lever;
+  /// see bench/wal_commit.cpp).
+  uint32_t group_commit_window_us{100};
   /// Per-statement log line on stderr: status, execution time, plan-cache
-  /// hit, and result-cache reuse counters (probes/hits/bytes saved).
+  /// hit, result-cache reuse counters (probes/hits/bytes saved), and WAL
+  /// durability wait.
   bool log_statements{false};
 };
 

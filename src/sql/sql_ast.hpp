@@ -100,8 +100,9 @@ enum class StatementKind {
   kCommit,
   kRollback,
   kCopy,      // COPY <table> TO/FROM '<path>' BINARY
-  kSnapshot,  // SNAPSHOT TO '<directory>'
-  kRestore,   // RESTORE FROM '<directory>'
+  kSnapshot,    // SNAPSHOT TO '<directory>'
+  kRestore,     // RESTORE FROM '<directory>'
+  kCheckpoint,  // CHECKPOINT (snapshot into the WAL's checkpoint directory)
 };
 
 struct Statement {

@@ -16,7 +16,7 @@ const std::unordered_set<std::string>& Keywords() {
       "CROSS",  "ON",     "ASC",    "DESC",    "DISTINCT", "INSERT", "INTO",   "VALUES", "UPDATE", "SET",
       "DELETE", "CREATE", "TABLE",  "DROP",    "VIEW",     "IF",     "BEGIN",  "COMMIT", "ROLLBACK",
       "TRUE",   "FALSE",  "SUBSTRING", "EXTRACT", "FOR",   "UNION",  "ALL",    "YEAR",   "MONTH",  "DAY",
-      "COPY",   "TO",     "BINARY", "SNAPSHOT", "RESTORE",
+      "COPY",   "TO",     "BINARY", "SNAPSHOT", "RESTORE", "CHECKPOINT",
   };
   return kKeywords;
 }

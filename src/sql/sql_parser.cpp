@@ -166,6 +166,11 @@ class Parser {
     if (MatchKeyword("RESTORE")) {
       return ParseSnapshotOrRestore(StatementKind::kRestore);
     }
+    if (MatchKeyword("CHECKPOINT")) {
+      auto statement = std::make_unique<Statement>();
+      statement->kind = StatementKind::kCheckpoint;
+      return statement;
+    }
     ErrorAtCurrent("expected a statement");
     return nullptr;
   }

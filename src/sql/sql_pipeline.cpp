@@ -140,12 +140,24 @@ SqlPipelineStatus SqlPipeline::Execute() {
             committed = transaction_context_->Commit();
           } catch (const InjectedFault&) {
             transaction_context_->Rollback();
+          } catch (const std::exception& exception) {
+            // WAL append failure (still active → roll back cleanly) or a
+            // durability wait that could not confirm the fsync (already
+            // committed in memory → nothing to roll back, but the client must
+            // not treat the commit as durable). Never retried.
+            if (transaction_context_->IsActive()) {
+              transaction_context_->Rollback();
+            }
+            transaction_context_ = nullptr;
+            error_message_ = exception.what();
+            return SqlPipelineStatus::kFailure;
           }
           if (!committed) {
             transaction_context_ = nullptr;
             error_message_ = "Transaction conflict: rolled back";
             return SqlPipelineStatus::kRolledBack;
           }
+          metrics_.wal_wait_ns += transaction_context_->wal_wait_ns();
         } else {
           transaction_context_->Rollback();
         }
@@ -340,7 +352,18 @@ SqlPipeline::StatementOutcome SqlPipeline::ExecuteStatementOnce(const sql::State
       statement_context->Rollback();
       error_message_ = fault.what();
       return StatementOutcome::kTransient;
+    } catch (const std::exception& exception) {
+      // WAL failure. If the commit never made it into the log the context is
+      // still active and rolls back cleanly; if only the durability wait
+      // failed the commit is already published in memory and must not be
+      // rolled back (or retried — the outcome is unknown, not conflicted).
+      if (statement_context->IsActive()) {
+        statement_context->Rollback();
+      }
+      error_message_ = exception.what();
+      return StatementOutcome::kError;
     }
+    metrics_.wal_wait_ns += statement_context->wal_wait_ns();
   }
 
   result_tables_.push_back(pqp->get_output());

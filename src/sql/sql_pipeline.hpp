@@ -43,6 +43,9 @@ struct SqlPipelineMetrics {
   uint64_t result_cache_hits{0};
   uint64_t result_cache_bytes_saved{0};
   int64_t result_cache_saved_ns{0};
+  /// Time commits in this pipeline spent blocked on the WAL group-commit
+  /// flusher (durability=sync only; 0 otherwise). DESIGN.md §5g.
+  int64_t wal_wait_ns{0};
 };
 
 enum class SqlPipelineStatus {

@@ -120,6 +120,9 @@ Result<LqpNodePtr> SqlTranslator::Translate(const sql::Statement& statement) {
     case sql::StatementKind::kRestore:
       lqp = RestoreNode::Make(statement.file_path);
       break;
+    case sql::StatementKind::kCheckpoint:
+      lqp = CheckpointNode::Make();
+      break;
     default:
       return Result<LqpNodePtr>::Error("Statement kind handled by the pipeline, not the translator");
   }

@@ -3,6 +3,7 @@
 #include "cache/table_epochs.hpp"
 #include "hyrise.hpp"
 #include "persistence/snapshot_manager.hpp"
+#include "persistence/wal.hpp"
 #include "storage/table.hpp"
 #include "utils/assert.hpp"
 
@@ -80,8 +81,14 @@ std::optional<std::string> StorageManager::TableNameOf(const std::shared_ptr<con
 }
 
 Result<size_t> StorageManager::Snapshot(const std::string& directory) const {
-  // Capture a consistent catalog under the lock; the (long-running) export
-  // itself runs without it so queries and commits proceed concurrently.
+  // The snapshot CID is captured BEFORE the catalog: a commit (or logged
+  // CREATE/DROP) with CID <= snapshot_cid publishes its effects before
+  // publishing its CID, so the acquire-load here guarantees the catalog and
+  // row versions read below contain every such commit. Commits racing past
+  // the capture have CID > snapshot_cid: their rows fall outside the export's
+  // visibility horizon and their log records outside the truncation below —
+  // recovery replays them from the log.
+  const auto snapshot_cid = Hyrise::Get().transaction_manager.last_commit_id();
   auto tables = std::vector<std::pair<std::string, std::shared_ptr<const Table>>>{};
   {
     const auto lock = std::lock_guard{mutex_};
@@ -90,7 +97,13 @@ Result<size_t> StorageManager::Snapshot(const std::string& directory) const {
       tables.emplace_back(name, table);
     }
   }
-  return persistence::WriteSnapshot(tables, directory);
+  const auto written = persistence::WriteSnapshot(tables, directory, snapshot_cid);
+  if (written.ok()) {
+    // The snapshot is the new checkpoint: log segments fully covered by it
+    // are dead weight and can go (SNAPSHOT TO / CHECKPOINT truncation).
+    Hyrise::Get().wal_manager->TruncateThrough(snapshot_cid);
+  }
+  return written;
 }
 
 Result<size_t> StorageManager::Restore(const std::string& directory) {

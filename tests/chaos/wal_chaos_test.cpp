@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hyrise.hpp"
+#include "persistence/wal.hpp"
+#include "server/pg_client.hpp"
+#include "server/server.hpp"
+#include "sql/sql_pipeline.hpp"
+#include "storage/table.hpp"
+#include "test_utils.hpp"
+#include "utils/failure_injection.hpp"
+
+namespace hyrise {
+
+#if defined(HYRISE_ENABLE_FAULT_INJECTION)
+
+using testing::PgClient;
+
+namespace {
+
+/// One durability-chaos client: paired tagged inserts and account transfers
+/// over the wire, in sync-durability mode, while wal/append and wal/fsync
+/// faults fire underneath and the "process" is eventually killed. The client
+/// records exactly which transactions the server ACKNOWLEDGED — the contract
+/// under test is that recovery preserves every one of them and never exposes
+/// half of any other.
+class DurabilityClient {
+ public:
+  DurabilityClient(uint16_t port, uint32_t seed, int32_t tag_base)
+      : port_(port), rng_(seed), next_tag_(tag_base) {}
+
+  void Run(const std::atomic<bool>& stop) {
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!EnsureConnected()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds{2});
+        continue;
+      }
+      if (rng_() % 3 == 0) {
+        Transfer();
+      } else {
+        PairedInsert();
+      }
+    }
+  }
+
+  const std::vector<int32_t>& acked_tags() const {
+    return acked_tags_;
+  }
+
+ private:
+  bool EnsureConnected() {
+    if (client_ && client_->connected()) {
+      return true;
+    }
+    client_ = std::make_unique<PgClient>(port_);
+    if (!client_->Handshake()) {
+      client_.reset();
+      return false;
+    }
+    return true;
+  }
+
+  bool Statement(const std::string& sql) {
+    const auto response = client_->Query(sql);
+    if (!response.has_value()) {
+      client_.reset();
+      return false;
+    }
+    return PgClient::FindType(*response, 'E') == nullptr;
+  }
+
+  /// BEGIN; INSERT (tag, +v); INSERT (tag, -v); COMMIT. The tag is recorded
+  /// as acknowledged ONLY when the COMMIT response is a success — in sync
+  /// mode that means the server fsynced the record before answering.
+  void PairedInsert() {
+    const auto tag = next_tag_++;
+    const auto value = static_cast<int>(1 + rng_() % 100);
+    if (!Statement("BEGIN")) {
+      return;
+    }
+    const auto row = [&](int signed_value) {
+      return "INSERT INTO wal_ledger VALUES (" + std::to_string(tag) + ", " + std::to_string(signed_value) + ")";
+    };
+    if (Statement(row(value)) && Statement(row(-value))) {
+      if (Statement("COMMIT")) {
+        acked_tags_.push_back(tag);
+      }
+    } else if (client_) {
+      Statement("ROLLBACK");
+    }
+  }
+
+  void Transfer() {
+    const auto from = 1 + rng_() % 8;
+    auto to = 1 + rng_() % 8;
+    if (to == from) {
+      to = 1 + to % 8;
+    }
+    if (!Statement("BEGIN")) {
+      return;
+    }
+    const auto debit = "UPDATE wal_accounts SET balance = balance - 5 WHERE id = " + std::to_string(from);
+    const auto credit = "UPDATE wal_accounts SET balance = balance + 5 WHERE id = " + std::to_string(to);
+    if (Statement(debit) && Statement(credit)) {
+      Statement("COMMIT");
+    } else if (client_) {
+      Statement("ROLLBACK");
+    }
+  }
+
+  uint16_t port_;
+  std::mt19937 rng_;
+  int32_t next_tag_;
+  std::unique_ptr<PgClient> client_;
+  std::vector<int32_t> acked_tags_;
+};
+
+/// tag -> (row count, value sum) over the whole ledger.
+std::map<int32_t, std::pair<int64_t, int64_t>> LedgerByTag() {
+  auto by_tag = std::map<int32_t, std::pair<int64_t, int64_t>>{};
+  for (const auto& row : ExecuteSql("SELECT tag, x FROM wal_ledger")->GetRows()) {
+    auto& [count, sum] = by_tag[VariantCast<int32_t>(row[0])];
+    ++count;
+    sum += VariantCast<int64_t>(row[1]);
+  }
+  return by_tag;
+}
+
+}  // namespace
+
+class WalChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Hyrise::Reset();
+    const auto test_name = std::string{::testing::UnitTest::GetInstance()->current_test_info()->name()};
+    wal_directory_ = ::testing::TempDir() + "/walchaos_" + test_name;
+    snapshot_directory_ = ::testing::TempDir() + "/walchaossnap_" + test_name;
+    std::filesystem::remove_all(wal_directory_);
+    std::filesystem::remove_all(snapshot_directory_);
+  }
+
+  void TearDown() override {
+    FailureInjection::DisarmAll();
+    Hyrise::Get().wal_manager->Shutdown();
+    std::filesystem::remove_all(wal_directory_);
+    std::filesystem::remove_all(snapshot_directory_);
+  }
+
+  ServerConfig MakeConfig() const {
+    auto config = ServerConfig{};
+    config.restore_directory = snapshot_directory_;
+    config.wal_directory = wal_directory_;
+    config.durability = persistence::DurabilityMode::kSync;
+    config.group_commit_window_us = 50;
+    config.max_conflict_retries = 5;
+    return config;
+  }
+
+  /// Tables are created through SQL AFTER the WAL is enabled, so their CREATE
+  /// records are in the log and a cold-start recovery can rebuild them.
+  void CreateWorkloadTables() {
+    ExecuteSql("CREATE TABLE wal_ledger (tag INT NOT NULL, x INT NOT NULL)");
+    ExecuteSql("CREATE TABLE wal_accounts (id INT NOT NULL, balance INT NOT NULL)");
+    auto values = std::string{};
+    for (auto id = 1; id <= 8; ++id) {
+      values += (id == 1 ? "" : ", ") + ("(" + std::to_string(id) + ", 100)");
+    }
+    ExecuteSql("INSERT INTO wal_accounts VALUES " + values);  // Sum: 800.
+  }
+
+  /// The acceptance audit: every acknowledged paired insert is fully present
+  /// (2 rows, sum 0), NO tag is half-present, and the account total survived.
+  void AuditRecoveredState(const std::vector<int32_t>& acked) {
+    const auto by_tag = LedgerByTag();
+    auto missing_acked = int64_t{0};
+    for (const auto tag : acked) {
+      const auto iter = by_tag.find(tag);
+      if (iter == by_tag.end() || iter->second.first != 2) {
+        ++missing_acked;
+      }
+    }
+    EXPECT_EQ(missing_acked, 0) << "every acknowledged commit must survive recovery (sync durability)";
+    for (const auto& [tag, count_and_sum] : by_tag) {
+      EXPECT_EQ(count_and_sum.first, 2) << "tag " << tag << ": a commit must be all-or-nothing after recovery";
+      EXPECT_EQ(count_and_sum.second, 0) << "tag " << tag << ": paired values must cancel";
+    }
+    ExpectTableContents(ExecuteSql("SELECT SUM(balance) FROM wal_accounts"), {{int64_t{800}}});
+  }
+
+  std::string wal_directory_;
+  std::string snapshot_directory_;
+};
+
+/// The tentpole acceptance test: N wire clients commit under random
+/// wal/append and wal/fsync faults, the process is "killed" mid-traffic
+/// (SimulateCrash models kill -9: flusher dead, unsynced tail truncated), and
+/// after restart + recovery every acknowledged commit is present, no torn
+/// commit is visible, and the sum invariants hold.
+TEST_F(WalChaosTest, AckedCommitsSurviveCrashUnderFaults) {
+  auto server = std::make_unique<Server>(MakeConfig());
+  ASSERT_TRUE(server->Start().ok());
+  CreateWorkloadTables();
+
+  const auto arm = [](const char* point, double probability) {
+    auto spec = FailureSpec{};
+    spec.probability = probability;
+    FailureInjection::Arm(point, spec);
+  };
+  arm("wal/append", 0.05);
+  arm("commit/publish", 0.02);
+  // wal/fsync only delays the flusher (it retries); it must not break
+  // durability, only stretch the group-commit latency.
+  arm("wal/fsync", 0.10);
+
+  constexpr auto kClients = 4;
+  auto stop = std::atomic<bool>{false};
+  auto clients = std::vector<std::unique_ptr<DurabilityClient>>{};
+  auto threads = std::vector<std::thread>{};
+  for (auto index = 0; index < kClients; ++index) {
+    clients.push_back(std::make_unique<DurabilityClient>(server->port(), 7000 + index, (index + 1) * 1'000'000));
+  }
+  for (auto index = 0; index < kClients; ++index) {
+    threads.emplace_back([&, index] {
+      clients[index]->Run(stop);
+    });
+  }
+
+  // Let traffic build up, then pull the plug at an arbitrary commit point.
+  std::this_thread::sleep_for(std::chrono::milliseconds{400});
+  Hyrise::Get().wal_manager->SimulateCrash();
+  std::this_thread::sleep_for(std::chrono::milliseconds{50});
+  stop.store(true);
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  server->Stop();
+  server.reset();
+  // Read the counters BEFORE DisarmAll — disarming erases the points.
+  const auto append_hits = FailureInjection::HitCount("wal/append");
+  const auto fsync_hits = FailureInjection::HitCount("wal/fsync");
+  FailureInjection::DisarmAll();
+  EXPECT_GT(append_hits, 0);
+  EXPECT_GT(fsync_hits, 0);
+
+  auto acked = std::vector<int32_t>{};
+  for (const auto& client : clients) {
+    acked.insert(acked.end(), client->acked_tags().begin(), client->acked_tags().end());
+  }
+  ASSERT_GT(acked.size(), 0u) << "the workload must acknowledge commits before the crash";
+
+  // "Restart the process": wipe all in-memory state, then recover from the
+  // (empty) snapshot plus the log, exactly like a fresh server boot.
+  Hyrise::Reset();
+  auto recovered = Server{MakeConfig()};
+  ASSERT_TRUE(recovered.Start().ok());
+  AuditRecoveredState(acked);
+  recovered.Stop();
+}
+
+/// Same contract across a CHECKPOINT: traffic, checkpoint (snapshot + log
+/// truncation), more traffic, crash. Recovery = snapshot restore + replay of
+/// the post-checkpoint tail only.
+TEST_F(WalChaosTest, CheckpointMidTrafficPreservesAckedCommits) {
+  auto server = std::make_unique<Server>(MakeConfig());
+  ASSERT_TRUE(server->Start().ok());
+  CreateWorkloadTables();
+
+  constexpr auto kClients = 3;
+  auto stop = std::atomic<bool>{false};
+  auto clients = std::vector<std::unique_ptr<DurabilityClient>>{};
+  auto threads = std::vector<std::thread>{};
+  for (auto index = 0; index < kClients; ++index) {
+    clients.push_back(std::make_unique<DurabilityClient>(server->port(), 9000 + index, (index + 1) * 1'000'000));
+  }
+  for (auto index = 0; index < kClients; ++index) {
+    threads.emplace_back([&, index] {
+      clients[index]->Run(stop);
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds{150});
+  // Checkpoint while commits are racing the snapshot-CID fence.
+  {
+    auto checkpointer = PgClient{server->port()};
+    ASSERT_TRUE(checkpointer.Handshake());
+    const auto response = checkpointer.Query("CHECKPOINT");
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(PgClient::FindType(*response, 'E'), nullptr) << "CHECKPOINT must succeed under traffic";
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds{150});
+  Hyrise::Get().wal_manager->SimulateCrash();
+  stop.store(true);
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  server->Stop();
+  server.reset();
+
+  auto acked = std::vector<int32_t>{};
+  for (const auto& client : clients) {
+    acked.insert(acked.end(), client->acked_tags().begin(), client->acked_tags().end());
+  }
+  ASSERT_GT(acked.size(), 0u);
+
+  Hyrise::Reset();
+  auto recovered = Server{MakeConfig()};
+  ASSERT_TRUE(recovered.Start().ok());
+  AuditRecoveredState(acked);
+  recovered.Stop();
+}
+
+/// A crash DURING recovery restarts recovery from the snapshot: replay is not
+/// resumable against partially replayed in-memory state, so the retry wipes
+/// everything and replays the whole tail again — landing in the same state.
+TEST_F(WalChaosTest, CrashDuringRecoveryIsRetriedFromScratch) {
+  {
+    auto server = Server{MakeConfig()};
+    ASSERT_TRUE(server.Start().ok());
+    CreateWorkloadTables();
+    ExecuteSql("INSERT INTO wal_ledger VALUES (1, 5), (1, -5)");
+    ExecuteSql("INSERT INTO wal_ledger VALUES (2, 7), (2, -7)");
+    server.Stop();
+  }
+  Hyrise::Get().wal_manager->Shutdown();
+
+  // First recovery attempt dies mid-replay (after a few records).
+  Hyrise::Reset();
+  auto spec = FailureSpec{};
+  spec.skip_first = 2;
+  spec.max_triggers = 1;
+  FailureInjection::Arm("wal/replay", spec);
+  EXPECT_THROW(static_cast<void>(persistence::WalManager::Replay(wal_directory_, CommitID{0})), InjectedFault);
+  FailureInjection::DisarmAll();
+
+  // The retry starts from scratch (fresh Hyrise = fresh snapshot restore).
+  Hyrise::Reset();
+  const auto replayed = persistence::WalManager::Replay(wal_directory_, CommitID{0});
+  ASSERT_TRUE(replayed.ok()) << replayed.error();
+  ExpectTableContents(ExecuteSql("SELECT COUNT(*), SUM(x) FROM wal_ledger"), {{int64_t{4}, int64_t{0}}});
+  ExpectTableContents(ExecuteSql("SELECT SUM(balance) FROM wal_accounts"), {{int64_t{800}}});
+}
+
+#endif  // HYRISE_ENABLE_FAULT_INJECTION
+
+}  // namespace hyrise

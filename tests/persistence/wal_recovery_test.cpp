@@ -1,0 +1,457 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "hyrise.hpp"
+#include "persistence/snapshot_manager.hpp"
+#include "persistence/wal.hpp"
+#include "server/server.hpp"
+#include "sql/sql_pipeline.hpp"
+#include "storage/table.hpp"
+#include "test_utils.hpp"
+#include "utils/failure_injection.hpp"
+
+namespace hyrise {
+
+namespace {
+
+using persistence::DurabilityMode;
+using persistence::WalConfig;
+using persistence::WalManager;
+
+std::string TempDirectory(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<std::string> SegmentFiles(const std::string& directory) {
+  auto files = std::vector<std::string>{};
+  auto error_code = std::error_code{};
+  for (const auto& entry : std::filesystem::directory_iterator(directory, error_code)) {
+    if (entry.is_regular_file() && entry.path().filename().string().starts_with("wal_")) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  auto stream = std::ifstream{path, std::ios::binary};
+  return std::vector<uint8_t>{std::istreambuf_iterator<char>{stream}, std::istreambuf_iterator<char>{}};
+}
+
+void WriteFileBytes(const std::string& path, const std::vector<uint8_t>& bytes, size_t length) {
+  auto stream = std::ofstream{path, std::ios::binary | std::ios::trunc};
+  stream.write(reinterpret_cast<const char*>(bytes.data()), static_cast<std::streamsize>(length));
+}
+
+/// End offsets of every complete record in a segment file (the 12-byte file
+/// header counts as the first boundary), mirroring the on-disk framing:
+/// [u32 payload_size][u64 digest][payload].
+std::vector<size_t> RecordBoundaries(const std::vector<uint8_t>& bytes) {
+  constexpr auto kFileHeader = size_t{12};
+  constexpr auto kRecordHeader = size_t{12};
+  auto boundaries = std::vector<size_t>{kFileHeader};
+  auto offset = kFileHeader;
+  while (offset + kRecordHeader <= bytes.size()) {
+    auto payload_size = uint32_t{0};
+    std::memcpy(&payload_size, bytes.data() + offset, sizeof(payload_size));
+    const auto end = offset + kRecordHeader + payload_size;
+    if (end > bytes.size()) {
+      break;
+    }
+    boundaries.push_back(end);
+    offset = end;
+  }
+  return boundaries;
+}
+
+/// Rows plus physical layout of a table — two replays are only idempotent if
+/// both match (same rows in the same chunks at the same offsets, i.e. scans
+/// produce byte-identical PosLists).
+struct TableShape {
+  std::vector<std::vector<AllTypeVariant>> rows;
+  std::vector<size_t> chunk_sizes;
+
+  bool operator==(const TableShape& other) const {
+    if (chunk_sizes != other.chunk_sizes || rows.size() != other.rows.size()) {
+      return false;
+    }
+    for (auto index = size_t{0}; index < rows.size(); ++index) {
+      if (!RowsEqual(rows[index], other.rows[index])) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+TableShape ShapeOf(const std::string& table_name) {
+  auto shape = TableShape{};
+  const auto table = Hyrise::Get().storage_manager.GetTable(table_name);
+  shape.rows = ExecuteSql("SELECT * FROM " + table_name)->GetRows();
+  for (auto chunk_id = ChunkID{0}; chunk_id < table->chunk_count(); ++chunk_id) {
+    shape.chunk_sizes.push_back(table->GetChunk(chunk_id)->size());
+  }
+  return shape;
+}
+
+}  // namespace
+
+class WalRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Hyrise::Reset();
+    const auto test_name = std::string{::testing::UnitTest::GetInstance()->current_test_info()->name()};
+    wal_directory_ = TempDirectory("wal_" + test_name);
+    snapshot_directory_ = TempDirectory("walsnap_" + test_name);
+    std::filesystem::remove_all(wal_directory_);
+    std::filesystem::remove_all(snapshot_directory_);
+  }
+
+  void TearDown() override {
+#if defined(HYRISE_ENABLE_FAULT_INJECTION)
+    FailureInjection::DisarmAll();
+#endif
+    Hyrise::Get().wal_manager->Shutdown();
+    std::filesystem::remove_all(wal_directory_);
+    std::filesystem::remove_all(snapshot_directory_);
+  }
+
+  /// Enables logging into wal_directory_. Window 0: the flusher fsyncs as
+  /// soon as anything is pending, keeping sync commits fast in tests.
+  void EnableWal(DurabilityMode durability = DurabilityMode::kSync) {
+    auto config = WalConfig{};
+    config.directory = wal_directory_;
+    config.durability = durability;
+    config.group_commit_window_us = 0;
+    config.checkpoint_directory = snapshot_directory_;
+    const auto enabled = Hyrise::Get().wal_manager->Enable(config);
+    ASSERT_TRUE(enabled.ok()) << enabled.error();
+  }
+
+  std::string wal_directory_;
+  std::string snapshot_directory_;
+};
+
+/// Cold-start recovery: no snapshot at all — CREATE TABLE, inserts, and
+/// deletes are all reconstructed from the log alone.
+TEST_F(WalRecoveryTest, ReplayRebuildsTablesFromEmptyDatabase) {
+  EnableWal();
+  ExecuteSql("CREATE TABLE journal (id INT NOT NULL, note VARCHAR(20))");
+  ExecuteSql("INSERT INTO journal VALUES (1, 'alpha'), (2, 'beta')");
+  ExecuteSql("INSERT INTO journal VALUES (3, 'gamma')");
+  ExecuteSql("DELETE FROM journal WHERE id = 2");
+
+  Hyrise::Reset();
+  ASSERT_FALSE(Hyrise::Get().storage_manager.HasTable("journal"));
+  const auto replayed = WalManager::Replay(wal_directory_, CommitID{0});
+  ASSERT_TRUE(replayed.ok()) << replayed.error();
+  EXPECT_EQ(replayed.value().tables_created, 1u);
+  EXPECT_EQ(replayed.value().rows_inserted, 3u);
+  EXPECT_EQ(replayed.value().rows_deleted, 1u);
+  EXPECT_FALSE(replayed.value().stopped_at_torn_record);
+
+  ExpectTableContents(ExecuteSql("SELECT id, note FROM journal"),
+                      {{1, std::string{"alpha"}}, {3, std::string{"gamma"}}});
+  // The replayed database is live: MVCC writes keep working and the commit-ID
+  // clock was fast-forwarded past every replayed commit.
+  ExecuteSql("DELETE FROM journal WHERE id = 1");
+  ExpectTableContents(ExecuteSql("SELECT COUNT(*) FROM journal"), {{int64_t{1}}});
+}
+
+/// Satellite: replaying the same log twice (each time from scratch) yields
+/// byte-identical table shapes — same rows, same chunk layout, so scan
+/// PosLists are identical. Recovery is deterministic, not merely convergent.
+TEST_F(WalRecoveryTest, RecoveryIsIdempotent) {
+  EnableWal();
+  ExecuteSql("CREATE TABLE idem (k INT NOT NULL, v INT)");
+  ExecuteSql("INSERT INTO idem VALUES (1, 10), (2, 20), (3, 30), (4, 40)");
+  ExecuteSql("DELETE FROM idem WHERE k = 2");
+  ExecuteSql("INSERT INTO idem VALUES (5, NULL)");
+  ExecuteSql("DELETE FROM idem WHERE v > 25");
+
+  Hyrise::Reset();
+  const auto first = WalManager::Replay(wal_directory_, CommitID{0});
+  ASSERT_TRUE(first.ok()) << first.error();
+  const auto first_shape = ShapeOf("idem");
+
+  Hyrise::Reset();
+  const auto second = WalManager::Replay(wal_directory_, CommitID{0});
+  ASSERT_TRUE(second.ok()) << second.error();
+  const auto second_shape = ShapeOf("idem");
+
+  EXPECT_EQ(first.value().records_applied, second.value().records_applied);
+  EXPECT_EQ(first.value().rows_inserted, second.value().rows_inserted);
+  EXPECT_EQ(first.value().rows_deleted, second.value().rows_deleted);
+  EXPECT_TRUE(first_shape == second_shape) << "two replays of the same log must produce identical physical state";
+  ExpectTableContents(ExecuteSql("SELECT k FROM idem"), {{1}, {5}});
+}
+
+/// Satellite: a crash can tear the final record at ANY byte. Truncating the
+/// log at every offset of the last record (and exactly at its start) must
+/// yield a clean recovery of the longest valid prefix — never an error, never
+/// a partially applied record.
+TEST_F(WalRecoveryTest, TornTailIsTruncatedAtEveryByteOffset) {
+  EnableWal();
+  ExecuteSql("CREATE TABLE torn (n INT NOT NULL)");
+  constexpr auto kInserts = 3;
+  for (auto value = 1; value <= kInserts; ++value) {
+    ExecuteSql("INSERT INTO torn VALUES (" + std::to_string(value) + ")");
+  }
+  Hyrise::Get().wal_manager->Shutdown();
+
+  const auto segments = SegmentFiles(wal_directory_);
+  ASSERT_EQ(segments.size(), 1u);
+  const auto bytes = ReadFileBytes(segments[0]);
+  const auto boundaries = RecordBoundaries(bytes);
+  // File header + CREATE TABLE + kInserts commits.
+  ASSERT_EQ(boundaries.size(), 2u + kInserts);
+  ASSERT_EQ(boundaries.back(), bytes.size());
+  const auto last_record_start = boundaries[boundaries.size() - 2];
+
+  const auto replay_directory = wal_directory_ + "_replay";
+  const auto segment_name = std::filesystem::path{segments[0]}.filename().string();
+  for (auto cut = last_record_start; cut < bytes.size(); ++cut) {
+    std::filesystem::remove_all(replay_directory);
+    std::filesystem::create_directories(replay_directory);
+    WriteFileBytes(replay_directory + "/" + segment_name, bytes, cut);
+
+    Hyrise::Reset();
+    const auto replayed = WalManager::Replay(replay_directory, CommitID{0});
+    ASSERT_TRUE(replayed.ok()) << "cut at byte " << cut << ": " << replayed.error();
+    EXPECT_EQ(replayed.value().stopped_at_torn_record, cut != last_record_start) << "cut at byte " << cut;
+    EXPECT_EQ(replayed.value().discarded_bytes, cut - last_record_start) << "cut at byte " << cut;
+    // All inserts but the torn last one survive — and nothing of the torn one.
+    ExpectTableContents(ExecuteSql("SELECT COUNT(*), SUM(n) FROM torn"),
+                        {{int64_t{kInserts - 1}, int64_t{(kInserts - 1) * kInserts / 2}}});
+  }
+  std::filesystem::remove_all(replay_directory);
+}
+
+/// A checksum failure anywhere but the tail of the last segment is real
+/// corruption, not a torn write — recovery must refuse instead of silently
+/// serving a database with a hole in its history.
+TEST_F(WalRecoveryTest, CorruptRecordInNonLastSegmentIsError) {
+  EnableWal();
+  ExecuteSql("CREATE TABLE corrupt_me (n INT NOT NULL)");
+  ExecuteSql("INSERT INTO corrupt_me VALUES (1)");
+  // Force a rotation so the records above live in a closed, non-last segment.
+  Hyrise::Get().wal_manager->TruncateThrough(CommitID{0});
+  ExecuteSql("INSERT INTO corrupt_me VALUES (2)");
+  Hyrise::Get().wal_manager->Shutdown();
+
+  const auto segments = SegmentFiles(wal_directory_);
+  ASSERT_EQ(segments.size(), 2u);
+  auto bytes = ReadFileBytes(segments[0]);
+  ASSERT_GT(bytes.size(), 12u);
+  bytes.back() ^= 0xFF;  // Flip a payload byte of the segment's last record.
+  WriteFileBytes(segments[0], bytes, bytes.size());
+
+  Hyrise::Reset();
+  const auto replayed = WalManager::Replay(wal_directory_, CommitID{0});
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_NE(replayed.error().find("corrupt"), std::string::npos) << replayed.error();
+}
+
+/// A gap in the middle of the segment sequence means an entire chunk of
+/// history is gone — hard error. (Leading gaps are fine: checkpoints truncate
+/// old segments.)
+TEST_F(WalRecoveryTest, MissingMiddleSegmentIsError) {
+  EnableWal();
+  ExecuteSql("CREATE TABLE gap (n INT NOT NULL)");
+  Hyrise::Get().wal_manager->TruncateThrough(CommitID{0});
+  ExecuteSql("INSERT INTO gap VALUES (1)");
+  Hyrise::Get().wal_manager->TruncateThrough(CommitID{0});
+  ExecuteSql("INSERT INTO gap VALUES (2)");
+  Hyrise::Get().wal_manager->Shutdown();
+
+  const auto segments = SegmentFiles(wal_directory_);
+  ASSERT_GE(segments.size(), 3u);
+  std::filesystem::remove(segments[1]);
+
+  Hyrise::Reset();
+  const auto replayed = WalManager::Replay(wal_directory_, CommitID{0});
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_NE(replayed.error().find("missing"), std::string::npos) << replayed.error();
+}
+
+/// Satellite (error-path audit): an unusable WAL location is a clean error
+/// Result from Enable and a clean startup error from the server — never an
+/// assert, never a half-enabled log.
+TEST_F(WalRecoveryTest, UnwritableWalDirectoryIsCleanError) {
+  // The parent path is a FILE, so the directory cannot be created.
+  const auto blocker = TempDirectory("wal_blocker_file");
+  std::filesystem::remove_all(blocker);
+  {
+    auto stream = std::ofstream{blocker};
+    stream << "not a directory";
+  }
+  auto config = WalConfig{};
+  config.directory = blocker + "/wal";
+  const auto enabled = Hyrise::Get().wal_manager->Enable(config);
+  EXPECT_FALSE(enabled.ok());
+  EXPECT_FALSE(Hyrise::Get().wal_manager->enabled());
+
+  auto server_config = ServerConfig{};
+  server_config.wal_directory = blocker + "/wal";
+  auto server = Server{server_config};
+  const auto started = server.Start();
+  EXPECT_FALSE(started.ok());
+  std::filesystem::remove_all(blocker);
+}
+
+/// Satellite (error-path audit): a valid snapshot next to a corrupt log must
+/// fail server startup loudly — recovery cannot prove the acknowledged
+/// history is intact.
+TEST_F(WalRecoveryTest, ServerStartFailsOnCorruptWalSegment) {
+  EnableWal();
+  ExecuteSql("CREATE TABLE important (n INT NOT NULL)");
+  ExecuteSql("INSERT INTO important VALUES (1)");
+  ASSERT_TRUE(Hyrise::Get().storage_manager.Snapshot(snapshot_directory_).ok());
+  ExecuteSql("INSERT INTO important VALUES (2)");
+  // New segment after the checkpoint, then another commit and a rotation so
+  // the corruption lands in a non-last segment.
+  Hyrise::Get().wal_manager->TruncateThrough(CommitID{0});
+  ExecuteSql("INSERT INTO important VALUES (3)");
+  Hyrise::Get().wal_manager->Shutdown();
+
+  auto segments = SegmentFiles(wal_directory_);
+  ASSERT_GE(segments.size(), 2u);
+  auto bytes = ReadFileBytes(segments[0]);
+  ASSERT_GT(bytes.size(), 12u);
+  bytes[bytes.size() - 1] ^= 0xFF;
+  WriteFileBytes(segments[0], bytes, bytes.size());
+
+  Hyrise::Reset();
+  auto config = ServerConfig{};
+  config.restore_directory = snapshot_directory_;
+  config.wal_directory = wal_directory_;
+  auto server = Server{config};
+  const auto started = server.Start();
+  ASSERT_FALSE(started.ok());
+  EXPECT_NE(started.error().find("WAL recovery failed"), std::string::npos) << started.error();
+}
+
+/// Checkpoint cycle: SNAPSHOT TO the checkpoint directory (via the SQL
+/// CHECKPOINT statement) records the snapshot CID in the manifest, truncates
+/// covered segments, and a crash afterwards replays only the uncovered tail.
+TEST_F(WalRecoveryTest, CheckpointTruncatesLogAndBoundsReplay) {
+  EnableWal();
+  ExecuteSql("CREATE TABLE ledger (n INT NOT NULL)");
+  ExecuteSql("INSERT INTO ledger VALUES (1), (2)");
+  ExecuteSql("CHECKPOINT");
+
+  const auto manifest = persistence::ReadManifest(snapshot_directory_);
+  ASSERT_TRUE(manifest.ok()) << manifest.error();
+  EXPECT_GT(manifest.value().snapshot_cid, CommitID{0});
+  EXPECT_GE(Hyrise::Get().wal_manager->metrics().segments_truncated, 1u);
+
+  ExecuteSql("INSERT INTO ledger VALUES (3)");
+  Hyrise::Get().wal_manager->Shutdown();
+
+  // Restart: restore the checkpoint, then replay only commits past its CID.
+  Hyrise::Reset();
+  ASSERT_TRUE(Hyrise::Get().storage_manager.Restore(snapshot_directory_).ok());
+  Hyrise::Get().transaction_manager.SetLastCommitIdForRecovery(manifest.value().snapshot_cid);
+  const auto replayed = WalManager::Replay(wal_directory_, manifest.value().snapshot_cid);
+  ASSERT_TRUE(replayed.ok()) << replayed.error();
+  EXPECT_EQ(replayed.value().rows_inserted, 1u) << "only the post-checkpoint insert is replayed";
+  ExpectTableContents(ExecuteSql("SELECT n FROM ledger"), {{1}, {2}, {3}});
+}
+
+/// CHECKPOINT without a configured WAL is a clean SQL error, not an assert.
+TEST_F(WalRecoveryTest, CheckpointWithoutWalIsCleanSqlError) {
+  auto pipeline = SqlPipeline::Builder{"CHECKPOINT"}.Build();
+  EXPECT_EQ(pipeline.Execute(), SqlPipelineStatus::kFailure);
+  EXPECT_NE(pipeline.error_message().find("write-ahead logging"), std::string::npos) << pipeline.error_message();
+}
+
+/// The server-path variant of the full loop: Start() replays the log and
+/// re-enables logging; acknowledged synchronous commits survive a simulated
+/// kill -9 (flusher dead, unsynced tail truncated).
+TEST_F(WalRecoveryTest, SyncCommitSurvivesSimulatedCrash) {
+  EnableWal(DurabilityMode::kSync);
+  ExecuteSql("CREATE TABLE durable (n INT NOT NULL)");
+  ExecuteSql("INSERT INTO durable VALUES (41)");
+  ExecuteSql("INSERT INTO durable VALUES (1)");  // Acknowledged => fsynced.
+
+  Hyrise::Get().wal_manager->SimulateCrash();
+  // The log is gone; further commits must fail loudly, not silently succeed.
+  auto pipeline = SqlPipeline::Builder{"INSERT INTO durable VALUES (99)"}.Build();
+  EXPECT_NE(pipeline.Execute(), SqlPipelineStatus::kSuccess);
+
+  Hyrise::Reset();
+  auto config = ServerConfig{};
+  config.restore_directory = snapshot_directory_;  // No snapshot yet — cold start.
+  config.wal_directory = wal_directory_;
+  auto server = Server{config};
+  const auto started = server.Start();
+  ASSERT_TRUE(started.ok()) << started.error();
+  ExpectTableContents(ExecuteSql("SELECT SUM(n) FROM durable"), {{int64_t{42}}});
+  // Logging is live again after recovery: new commits land in the new log.
+  ExecuteSql("INSERT INTO durable VALUES (58)");
+  server.Stop();
+  Hyrise::Get().wal_manager->Shutdown();
+
+  Hyrise::Reset();
+  const auto replayed = WalManager::Replay(wal_directory_, CommitID{0});
+  ASSERT_TRUE(replayed.ok()) << replayed.error();
+  ExpectTableContents(ExecuteSql("SELECT SUM(n) FROM durable"), {{int64_t{100}}});
+}
+
+/// DDL interleaves with DML in commit-ID order: create, write, drop, recreate
+/// — replay ends with exactly the surviving catalog and rows.
+TEST_F(WalRecoveryTest, DdlReplayFollowsCommitOrder) {
+  EnableWal();
+  ExecuteSql("CREATE TABLE phoenix (n INT NOT NULL)");
+  ExecuteSql("INSERT INTO phoenix VALUES (1)");
+  ExecuteSql("DROP TABLE phoenix");
+  ExecuteSql("CREATE TABLE phoenix (s VARCHAR(8) NOT NULL)");
+  ExecuteSql("INSERT INTO phoenix VALUES ('reborn')");
+
+  Hyrise::Reset();
+  const auto replayed = WalManager::Replay(wal_directory_, CommitID{0});
+  ASSERT_TRUE(replayed.ok()) << replayed.error();
+  EXPECT_EQ(replayed.value().tables_created, 2u);
+  EXPECT_EQ(replayed.value().tables_dropped, 1u);
+  ExpectTableContents(ExecuteSql("SELECT s FROM phoenix"), {{std::string{"reborn"}}});
+}
+
+#if defined(HYRISE_ENABLE_FAULT_INJECTION)
+
+/// Satellite (commit-ordering fix): when the WAL append fails, the commit
+/// must not have published ANYTHING — no last_commit_id advance, no visible
+/// rows, no log record. A crash right after such a failure cannot resurrect
+/// state for a commit that never happened.
+TEST_F(WalRecoveryTest, FailedAppendPublishesNothing) {
+  EnableWal();
+  ExecuteSql("CREATE TABLE ordered (n INT NOT NULL)");
+  const auto cid_before = Hyrise::Get().transaction_manager.last_commit_id();
+
+  auto spec = FailureSpec{};
+  spec.probability = 1.0;
+  FailureInjection::Arm("wal/append", spec);
+  auto pipeline = SqlPipeline::Builder{"INSERT INTO ordered VALUES (7)"}.WithMaxConflictRetries(0).Build();
+  EXPECT_EQ(pipeline.Execute(), SqlPipelineStatus::kRolledBack);
+  FailureInjection::DisarmAll();
+
+  EXPECT_EQ(Hyrise::Get().transaction_manager.last_commit_id(), cid_before)
+      << "a commit that was never logged must not advance the commit clock";
+  ExpectTableContents(ExecuteSql("SELECT COUNT(*) FROM ordered"), {{int64_t{0}}});
+
+  Hyrise::Get().wal_manager->Shutdown();
+  Hyrise::Reset();
+  const auto replayed = WalManager::Replay(wal_directory_, CommitID{0});
+  ASSERT_TRUE(replayed.ok()) << replayed.error();
+  ExpectTableContents(ExecuteSql("SELECT COUNT(*) FROM ordered"), {{int64_t{0}}});
+}
+
+#endif  // HYRISE_ENABLE_FAULT_INJECTION
+
+}  // namespace hyrise
