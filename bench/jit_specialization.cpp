@@ -4,110 +4,195 @@
 /// a 22x performance improvement over the traditional, operator-based
 /// approach, for example when complex expressions have to be calculated".
 ///
-/// Our stand-in (DESIGN.md §4) compares the interpreting expression
-/// evaluator against the compile-time-fused pipeline for exactly such a
-/// complex-expression aggregation.
+/// Three-way sweep over the same complex-expression aggregation:
+///   1. interpreted     — the SQL pipeline on the generic ExpressionEvaluator
+///                        (one intermediate per expression node),
+///   2. template-fused  — the compile-time FusedScanAggregate baseline
+///                        (pipeline shape known at build time),
+///   3. runtime-compiled — the adaptive engine (src/jit/): the hot cached
+///                        plan is compiled out-of-process and hot-swapped.
+/// The interpreted and runtime-compiled runs execute the identical SQL
+/// statement and must produce byte-identical results.
+///
+/// Emits BENCH_jit.json.
+///
+/// Usage: jit_specialization [scale=1.0] [repetitions=5] [json=BENCH_jit.json]
+///   scale 1.0 = 1,000,000 rows.
 
-#include <benchmark/benchmark.h>
-
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <random>
+#include <string>
+#include <vector>
 
-#include "expression/expression_evaluator.hpp"
+#include "hyrise.hpp"
+#include "jit/jit_compiler.hpp"
+#include "jit/jit_engine.hpp"
 #include "operators/pipeline_fusion.hpp"
-#include "storage/chunk_encoder.hpp"
+#include "sql/sql_pipeline.hpp"
 #include "storage/table.hpp"
+#include "types/all_type_variant.hpp"
+#include "utils/assert.hpp"
+#include "utils/timer.hpp"
 
 namespace hyrise {
 
 namespace {
 
-constexpr size_t kRowCount = 1'000'000;
+const auto* kQuery = "SELECT SUM(a * b + a / c - (a + b) * (b - c)) FROM jit_bench WHERE a > 10.0";
 
-std::shared_ptr<Table> MakeTable() {
+std::shared_ptr<Table> BuildTable(size_t row_count) {
   auto table = std::make_shared<Table>(
       TableColumnDefinitions{{"a", DataType::kDouble}, {"b", DataType::kDouble}, {"c", DataType::kDouble}},
-      TableType::kData, 100'000);
+      TableType::kData, ChunkOffset{100'000});
   auto rng = std::mt19937{42};
-  for (auto row = size_t{0}; row < kRowCount; ++row) {
+  for (auto row = size_t{0}; row < row_count; ++row) {
     table->AppendRow({static_cast<double>(rng() % 1000) / 10.0, static_cast<double>(rng() % 1000) / 10.0,
                       static_cast<double>(rng() % 1000) / 10.0 + 1.0});
   }
-  ChunkEncoder::EncodeAllChunks(table, SegmentEncodingSpec{EncodingType::kUnencoded});
   return table;
 }
 
-/// The complex expression: ((a*b) + (a/c) - (a+b) * (b-c)) filtered by a > 10.
-ExpressionPtr BuildExpressionTree() {
-  const auto a = std::make_shared<PqpColumnExpression>(ColumnID{0}, DataType::kDouble, false, "a");
-  const auto b = std::make_shared<PqpColumnExpression>(ColumnID{1}, DataType::kDouble, false, "b");
-  const auto c = std::make_shared<PqpColumnExpression>(ColumnID{2}, DataType::kDouble, false, "c");
-  const auto mul = [](ExpressionPtr lhs, ExpressionPtr rhs) {
-    return std::make_shared<ArithmeticExpression>(ArithmeticOperator::kMultiplication, std::move(lhs),
-                                                  std::move(rhs));
-  };
-  const auto add = [](ExpressionPtr lhs, ExpressionPtr rhs) {
-    return std::make_shared<ArithmeticExpression>(ArithmeticOperator::kAddition, std::move(lhs), std::move(rhs));
-  };
-  const auto sub = [](ExpressionPtr lhs, ExpressionPtr rhs) {
-    return std::make_shared<ArithmeticExpression>(ArithmeticOperator::kSubtraction, std::move(lhs), std::move(rhs));
-  };
-  const auto div = [](ExpressionPtr lhs, ExpressionPtr rhs) {
-    return std::make_shared<ArithmeticExpression>(ArithmeticOperator::kDivision, std::move(lhs), std::move(rhs));
-  };
-  return sub(add(mul(a, b), div(a, c)), mul(add(a, b), sub(b, c)));
-}
+struct SqlRun {
+  int64_t best_execute_ns{0};
+  int64_t compile_ns{0};
+  bool jit_hit{false};
+  double result{0.0};
+};
 
-/// Interpreted: the generic expression evaluator with one intermediate
-/// result per expression node, preceded by an interpreted filter.
-void BM_InterpretedExpression(benchmark::State& state) {
-  const auto table = std::static_pointer_cast<const Table>(MakeTable());
-  const auto expression = BuildExpressionTree();
-  const auto filter = std::make_shared<PredicateExpression>(
-      PredicateCondition::kGreaterThan,
-      Expressions{std::make_shared<PqpColumnExpression>(ColumnID{0}, DataType::kDouble, false, "a"),
-                  std::make_shared<ValueExpression>(AllTypeVariant{10.0})});
-  for (auto _ : state) {
-    auto sum = 0.0;
-    const auto chunk_count = table->chunk_count();
-    for (auto chunk_id = ChunkID{0}; chunk_id < chunk_count; ++chunk_id) {
-      auto evaluator = ExpressionEvaluator{table, chunk_id};
-      const auto matches = evaluator.EvaluateToPositions(filter);
-      const auto values = evaluator.EvaluateTo<double>(expression);
-      for (const auto offset : matches) {
-        sum += values->Value(offset);
-      }
+/// Executes the query `repetitions` times through `cache` (MVCC off: all
+/// three contenders see the same raw chunks) and keeps the fastest
+/// execution.
+SqlRun MeasureSql(size_t repetitions, const std::shared_ptr<PqpCache>& cache) {
+  auto run = SqlRun{};
+  run.best_execute_ns = INT64_MAX;
+  for (auto repetition = size_t{0}; repetition < repetitions; ++repetition) {
+    auto pipeline = SqlPipeline::Builder{kQuery}.WithMvcc(UseMvcc::kNo).WithPqpCache(cache).Build();
+    const auto status = pipeline.Execute();
+    Assert(status == SqlPipelineStatus::kSuccess, pipeline.error_message());
+    const auto& metrics = pipeline.metrics();
+    if (metrics.execute_ns < run.best_execute_ns) {
+      run.best_execute_ns = metrics.execute_ns;
     }
-    benchmark::DoNotOptimize(sum);
+    run.jit_hit = metrics.jit_hit;
+    if (metrics.jit_compile_ns > 0) {
+      run.compile_ns = metrics.jit_compile_ns;
+    }
+    const auto rows = pipeline.result_table()->GetRows();
+    Assert(rows.size() == 1 && rows[0].size() == 1, "unexpected result shape");
+    run.result = VariantCast<double>(rows[0][0]);
   }
-  state.SetLabel("interpreted (operator-based)");
+  return run;
 }
 
-/// Specialized: the whole pipeline fused into one statically compiled loop.
-void BM_SpecializedExpression(benchmark::State& state) {
-  const auto table = MakeTable();
-  for (auto _ : state) {
+int64_t MeasureTemplateFused(size_t repetitions, const Table& table, double* result) {
+  const auto columns = std::array<ColumnID, 3>{ColumnID{0}, ColumnID{1}, ColumnID{2}};
+  const auto layout = ProbeFusedLayout<double, 3>(table, columns);
+  auto best = int64_t{INT64_MAX};
+  for (auto repetition = size_t{0}; repetition < repetitions; ++repetition) {
+    auto timer = Timer{};
     auto sum = 0.0;
     FusedScanAggregate<double, 3>(
-        *table, {ColumnID{0}, ColumnID{1}, ColumnID{2}},
-        [](const auto& row) {
+        table, columns, layout,
+        [](const std::array<double, 3>& row) {
           return row[0] > 10.0;
         },
-        [&](const auto& row) {
+        [&](const std::array<double, 3>& row) {
           const auto a = row[0];
           const auto b = row[1];
           const auto c = row[2];
-          sum += (a * b) + (a / c) - (a + b) * (b - c);
+          sum += a * b + a / c - (a + b) * (b - c);
         });
-    benchmark::DoNotOptimize(sum);
+    const auto elapsed = timer.Elapsed();
+    best = std::min(best, elapsed);
+    *result = sum;
   }
-  state.SetLabel("specialized (fused pipeline)");
+  return best;
 }
-
-BENCHMARK(BM_InterpretedExpression)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_SpecializedExpression)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
+int Main(int argc, char** argv) {
+  const auto scale = argc > 1 ? std::stod(argv[1]) : 1.0;
+  const auto repetitions = argc > 2 ? static_cast<size_t>(std::stoul(argv[2])) : size_t{5};
+  const auto json_path = argc > 3 ? std::string{argv[3]} : std::string{"BENCH_jit.json"};
+  const auto row_count = static_cast<size_t>(1'000'000 * scale);
+
+  Hyrise::Reset();
+  std::cout << "Building jit_bench (" << row_count << " rows)...\n";
+  const auto table = BuildTable(row_count);
+  Hyrise::Get().storage_manager.AddTable("jit_bench", table);
+
+  // 1. Interpreted: engine disabled (the post-Reset default), so the cached
+  // plan always runs on the ExpressionEvaluator-based operators.
+  const auto interpreted = MeasureSql(repetitions + 1, std::make_shared<PqpCache>(16));
+
+  // 2. Template-fused baseline.
+  auto fused_result = 0.0;
+  const auto fused_ns = MeasureTemplateFused(repetitions, *table, &fused_result);
+
+  // 3. Runtime-compiled: heat the plan, wait for the asynchronous compile,
+  // then measure the hot-swapped executions.
+  auto compiled = SqlRun{};
+  const auto compilation_available = jit::JitCompilationAvailable();
+  if (compilation_available) {
+    auto config = jit::JitConfig{};
+    config.enabled = true;
+    config.heat_threshold = 1;
+    config.scratch_directory = "/tmp/hyrise-jit-bench";
+    jit::JitEngine::Get().Configure(config);
+    const auto cache = std::make_shared<PqpCache>(16);
+    MeasureSql(2, cache);  // Insert + cross the heat threshold.
+    jit::JitEngine::Get().WaitForCompiles();
+    compiled = MeasureSql(repetitions, cache);
+    Assert(compiled.jit_hit, "hot plan was not specialized");
+    Assert(compiled.result == interpreted.result,
+           "runtime-compiled result is not byte-identical to the interpreter");
+  } else {
+    std::cout << "Runtime compilation unavailable (ENABLE_JIT=OFF or no toolchain); skipping contender 3.\n";
+  }
+
+  const auto to_ms = [](int64_t ns) {
+    return static_cast<double>(ns) / 1e6;
+  };
+  const auto speedup_fused = static_cast<double>(interpreted.best_execute_ns) / static_cast<double>(fused_ns);
+  const auto speedup_compiled = compilation_available
+                                    ? static_cast<double>(interpreted.best_execute_ns) /
+                                          static_cast<double>(compiled.best_execute_ns)
+                                    : 0.0;
+
+  std::printf("\n%-24s %12s %9s\n", "contender", "best_ms", "speedup");
+  std::printf("%-24s %12.3f %8.2fx\n", "interpreted", to_ms(interpreted.best_execute_ns), 1.0);
+  std::printf("%-24s %12.3f %8.2fx\n", "template-fused", to_ms(fused_ns), speedup_fused);
+  if (compilation_available) {
+    std::printf("%-24s %12.3f %8.2fx  (compile %.1f ms, async)\n", "runtime-compiled",
+                to_ms(compiled.best_execute_ns), speedup_compiled, to_ms(compiled.compile_ns));
+  }
+
+  auto json = std::string{"{\n"};
+  json += "  \"rows\": " + std::to_string(row_count) + ",\n";
+  json += "  \"repetitions\": " + std::to_string(repetitions) + ",\n";
+  json += "  \"query\": \"" + std::string{kQuery} + "\",\n";
+  json += "  \"interpreted_ns\": " + std::to_string(interpreted.best_execute_ns) + ",\n";
+  json += "  \"template_fused_ns\": " + std::to_string(fused_ns) + ",\n";
+  json += "  \"template_fused_speedup\": " + std::to_string(speedup_fused) + ",\n";
+  json += "  \"compiled_available\": " + std::string{compilation_available ? "true" : "false"} + ",\n";
+  json += "  \"compiled_ns\": " + std::to_string(compiled.best_execute_ns) + ",\n";
+  json += "  \"compiled_speedup\": " + std::to_string(speedup_compiled) + ",\n";
+  json += "  \"compile_ns\": " + std::to_string(compiled.compile_ns) + ",\n";
+  json += "  \"results_byte_identical\": " + std::string{compilation_available ? "true" : "null"} + "\n";
+  json += "}\n";
+
+  auto file = std::ofstream{json_path};
+  file << json;
+  std::cout << "Wrote " << json_path << "\n";
+  return 0;
+}
+
 }  // namespace hyrise
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return hyrise::Main(argc, argv);
+}

@@ -1,0 +1,533 @@
+#include "jit/codegen.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+#include "expression/expressions.hpp"
+#include "jit/jit_abi.hpp"
+#include "types/all_type_variant.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise::jit {
+
+namespace {
+
+const char* CType(DataType type) {
+  switch (type) {
+    case DataType::kInt:
+      return "int32_t";
+    case DataType::kLong:
+      return "int64_t";
+    case DataType::kFloat:
+      return "float";
+    case DataType::kDouble:
+      return "double";
+    default:
+      Fail("JIT codegen: unsupported data type");
+  }
+}
+
+std::string FormatLiteral(const AllTypeVariant& variant, DataType type) {
+  switch (type) {
+    case DataType::kInt:
+      return "static_cast<int32_t>(" + std::to_string(VariantCast<int32_t>(variant)) + "LL)";
+    case DataType::kLong: {
+      const auto value = VariantCast<int64_t>(variant);
+      if (value == std::numeric_limits<int64_t>::min()) {
+        return "(-9223372036854775807LL - 1)";
+      }
+      return "static_cast<int64_t>(" + std::to_string(value) + "LL)";
+    }
+    case DataType::kFloat: {
+      // Hexfloat round-trips the exact bit pattern through the generated TU.
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "%a", static_cast<double>(VariantCast<float>(variant)));
+      return "static_cast<float>(" + std::string{buffer} + ")";
+    }
+    case DataType::kDouble: {
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "%a", VariantCast<double>(variant));
+      return "(" + std::string{buffer} + ")";
+    }
+    default:
+      Fail("JIT codegen: unsupported literal type");
+  }
+}
+
+/// Emits the row-loop body. Every expression node becomes a typed local in the
+/// node's own data_type() plus an optional bool null flag; consumers cast the
+/// local exactly once — mirroring EvaluateTo<T>'s evaluate-own-type-then-
+/// convert contract. Column fetches are memoized per column (the evaluator's
+/// column_cache_), other nodes per expression object (projection expressions
+/// shared by several aggregates).
+class KernelEmitter {
+ public:
+  explicit KernelEmitter(const PipelineDescriptor& descriptor) : descriptor_(descriptor) {}
+
+  std::string Emit() {
+    std::ostringstream out;
+    out << "extern \"C\" unsigned int hyrise_jit_abi_version() {\n";
+    out << "  return " << kJitAbiVersion << "u;\n";
+    out << "}\n\n";
+    out << "extern \"C\" int hyrise_jit_run_chunk(const HyriseJitChunk* chunk, HyriseJitAggState* aggs,\n";
+    out << "                                     unsigned int* rows_matched) {\n";
+    out << "  const unsigned int row_count = chunk->row_count;\n";
+    out << "  const HyriseJitColumn* const cols = chunk->columns;\n";
+    out << "  const unsigned char* const vis = chunk->visibility;\n";
+    for (auto index = size_t{0}; index < descriptor_.aggregates.size(); ++index) {
+      const auto& spec = descriptor_.aggregates[index];
+      out << "  long long cnt" << index << " = 0;\n";
+      if (!spec.count_star) {
+        switch (spec.function) {
+          case AggregateFunction::kMin:
+          case AggregateFunction::kMax:
+            out << "  " << CType(spec.input_type) << " mm" << index << "{};\n";
+            break;
+          case AggregateFunction::kSum:
+          case AggregateFunction::kAvg:
+            if (spec.input_type == DataType::kInt || spec.input_type == DataType::kLong) {
+              out << "  long long sum" << index << " = 0;\n";
+            } else {
+              out << "  double sum" << index << " = 0.0;\n";
+            }
+            break;
+          default:
+            break;
+        }
+      }
+    }
+    out << "  unsigned int matched = 0;\n";
+    out << "  for (unsigned int row = 0; row < row_count; ++row) {\n";
+    out << "    if (vis && vis[row] == 0) {\n      continue;\n    }\n";
+
+    // Filter stages in bottom-up order; EvaluateToPositions keeps rows whose
+    // int32 predicate value is non-null and non-zero.
+    for (const auto& predicate : descriptor_.scan_predicates) {
+      const auto result = EmitExpression(predicate);
+      body_ << "    if (" << (result.null_flag.empty() ? std::string{"false"} : result.null_flag) << " || "
+            << Cast(result, DataType::kInt) << " == 0) {\n      continue;\n    }\n";
+    }
+    body_ << "    ++matched;\n";
+
+    for (auto index = size_t{0}; index < descriptor_.aggregates.size(); ++index) {
+      EmitAccumulation(index);
+    }
+    out << body_.str();
+    out << "  }\n";
+
+    for (auto index = size_t{0}; index < descriptor_.aggregates.size(); ++index) {
+      const auto& spec = descriptor_.aggregates[index];
+      out << "  aggs[" << index << "].count = cnt" << index << ";\n";
+      if (!spec.count_star &&
+          (spec.function == AggregateFunction::kMin || spec.function == AggregateFunction::kMax)) {
+        if (spec.input_type == DataType::kFloat || spec.input_type == DataType::kDouble) {
+          out << "  aggs[" << index << "].dval = static_cast<double>(mm" << index << ");\n";
+          out << "  aggs[" << index << "].ival = 0;\n";
+        } else {
+          out << "  aggs[" << index << "].ival = static_cast<long long>(mm" << index << ");\n";
+          out << "  aggs[" << index << "].dval = 0.0;\n";
+        }
+      } else if (!spec.count_star &&
+                 (spec.function == AggregateFunction::kSum || spec.function == AggregateFunction::kAvg)) {
+        if (spec.input_type == DataType::kInt || spec.input_type == DataType::kLong) {
+          out << "  aggs[" << index << "].ival = sum" << index << ";\n";
+          out << "  aggs[" << index << "].dval = 0.0;\n";
+        } else {
+          out << "  aggs[" << index << "].dval = sum" << index << ";\n";
+          out << "  aggs[" << index << "].ival = 0;\n";
+        }
+      } else {
+        out << "  aggs[" << index << "].ival = 0;\n  aggs[" << index << "].dval = 0.0;\n";
+      }
+    }
+    out << "  *rows_matched = matched;\n";
+    out << "  return 0;\n";
+    out << "}\n";
+    return out.str();
+  }
+
+ private:
+  struct Value {
+    std::string value;
+    std::string null_flag;  // Empty: statically never NULL.
+    DataType type{DataType::kInt};
+  };
+
+  std::string NewVar(const char* prefix) {
+    return std::string{prefix} + std::to_string(counter_++);
+  }
+
+  /// The single consumption-edge conversion (ConvertResult / EvaluateTo<T>).
+  std::string Cast(const Value& value, DataType target) const {
+    if (value.type == target) {
+      return value.value;
+    }
+    return std::string{"static_cast<"} + CType(target) + ">(" + value.value + ")";
+  }
+
+  std::string NullOf(const Value& value) const {
+    return value.null_flag.empty() ? std::string{"false"} : value.null_flag;
+  }
+
+  size_t SlotOf(ColumnID column_id) const {
+    for (auto slot = size_t{0}; slot < descriptor_.slots.size(); ++slot) {
+      if (descriptor_.slots[slot].column_id == column_id) {
+        return slot;
+      }
+    }
+    Fail("JIT codegen: column not bound to a slot");
+  }
+
+  Value EmitColumn(const PqpColumnExpression& column) {
+    const auto cached = column_memo_.find(static_cast<uint16_t>(column.column_id));
+    if (cached != column_memo_.end()) {
+      return cached->second;
+    }
+    const auto slot = SlotOf(column.column_id);
+    const auto& info = descriptor_.slots[slot];
+    const auto name = NewVar("c");
+    auto result = Value{name, info.nullable ? name + "_n" : std::string{}, info.type};
+    body_ << "    " << CType(info.type) << " " << name << "{};\n";
+    if (info.nullable) {
+      body_ << "    bool " << result.null_flag << " = false;\n";
+    }
+    body_ << "    {\n      const HyriseJitColumn& col = cols[" << slot << "];\n";
+    body_ << "      if (col.kind == 0u) {\n";
+    body_ << "        " << name << " = static_cast<const " << CType(info.type) << "*>(col.values)[row];\n";
+    if (info.nullable) {
+      body_ << "        " << result.null_flag << " = col.nulls != nullptr && col.nulls[row] != 0;\n";
+    }
+    body_ << "      } else {\n";
+    body_ << "        const unsigned int code = hyrise_jit_code_at(col, row);\n";
+    if (info.nullable) {
+      body_ << "        if (code == col.null_code) {\n          " << result.null_flag << " = true;\n";
+      body_ << "        } else {\n          " << name << " = static_cast<const " << CType(info.type)
+            << "*>(col.values)[code];\n        }\n";
+    } else {
+      body_ << "        " << name << " = static_cast<const " << CType(info.type) << "*>(col.values)[code];\n";
+    }
+    body_ << "      }\n    }\n";
+    column_memo_.emplace(static_cast<uint16_t>(column.column_id), result);
+    return result;
+  }
+
+  Value EmitArithmetic(const ArithmeticExpression& expression) {
+    const auto type = expression.data_type();
+    const auto lhs = EmitExpression(expression.arguments[0]);
+    const auto rhs = EmitExpression(expression.arguments[1]);
+    const auto name = NewVar("a");
+    const auto can_null_input = !lhs.null_flag.empty() || !rhs.null_flag.empty();
+    const auto op = expression.arithmetic_operator;
+    const auto can_null_self = op == ArithmeticOperator::kDivision || op == ArithmeticOperator::kModulo;
+    auto result = Value{name, (can_null_input || can_null_self) ? name + "_n" : std::string{}, type};
+    const auto lhs_cast = Cast(lhs, type);
+    const auto rhs_cast = Cast(rhs, type);
+    if (result.null_flag.empty()) {
+      body_ << "    const " << CType(type) << " " << name << " = ";
+      switch (op) {
+        case ArithmeticOperator::kAddition:
+          body_ << lhs_cast << " + " << rhs_cast;
+          break;
+        case ArithmeticOperator::kSubtraction:
+          body_ << lhs_cast << " - " << rhs_cast;
+          break;
+        case ArithmeticOperator::kMultiplication:
+          body_ << lhs_cast << " * " << rhs_cast;
+          break;
+        default:
+          Fail("JIT codegen: unreachable");
+      }
+      body_ << ";\n";
+      return result;
+    }
+    body_ << "    " << CType(type) << " " << name << "{};\n";
+    body_ << "    bool " << result.null_flag << " = " << NullOf(lhs) << " || " << NullOf(rhs) << ";\n";
+    body_ << "    if (!" << result.null_flag << ") {\n";
+    switch (op) {
+      case ArithmeticOperator::kAddition:
+        body_ << "      " << name << " = " << lhs_cast << " + " << rhs_cast << ";\n";
+        break;
+      case ArithmeticOperator::kSubtraction:
+        body_ << "      " << name << " = " << lhs_cast << " - " << rhs_cast << ";\n";
+        break;
+      case ArithmeticOperator::kMultiplication:
+        body_ << "      " << name << " = " << lhs_cast << " * " << rhs_cast << ";\n";
+        break;
+      case ArithmeticOperator::kDivision:
+        // SQL lenient mode: division by zero yields NULL (EvaluateArithmetic).
+        body_ << "      const " << CType(type) << " divisor = " << rhs_cast << ";\n";
+        body_ << "      if (divisor == " << CType(type) << "{}) {\n        " << result.null_flag
+              << " = true;\n      } else {\n        " << name << " = static_cast<" << CType(type) << ">("
+              << lhs_cast << " / divisor);\n      }\n";
+        break;
+      case ArithmeticOperator::kModulo:
+        body_ << "      const " << CType(type) << " divisor = " << rhs_cast << ";\n";
+        body_ << "      if (divisor == " << CType(type) << "{}) {\n        " << result.null_flag
+              << " = true;\n      } else {\n        " << name << " = static_cast<" << CType(type) << ">(";
+        if (type == DataType::kFloat || type == DataType::kDouble) {
+          body_ << "std::fmod(" << lhs_cast << ", divisor)";
+        } else {
+          body_ << lhs_cast << " % divisor";
+        }
+        body_ << ");\n      }\n";
+        break;
+    }
+    body_ << "    }\n";
+    return result;
+  }
+
+  Value EmitPredicate(const PredicateExpression& expression) {
+    const auto condition = expression.condition;
+    if (condition == PredicateCondition::kIsNull || condition == PredicateCondition::kIsNotNull) {
+      // Result is never NULL; only the argument's null flag matters.
+      const auto argument = EmitExpression(expression.arguments[0]);
+      const auto name = NewVar("p");
+      const auto want_null = condition == PredicateCondition::kIsNull;
+      body_ << "    const int32_t " << name << " = static_cast<int32_t>(" << (want_null ? "" : "!")
+            << "(" << NullOf(argument) << "));\n";
+      return Value{name, "", DataType::kInt};
+    }
+    if (condition == PredicateCondition::kBetweenInclusive) {
+      const auto common = PromoteDataTypes(
+          PromoteDataTypes(expression.arguments[0]->data_type(), expression.arguments[1]->data_type()),
+          expression.arguments[2]->data_type());
+      const auto value = EmitExpression(expression.arguments[0]);
+      const auto lower = EmitExpression(expression.arguments[1]);
+      const auto upper = EmitExpression(expression.arguments[2]);
+      const auto name = NewVar("p");
+      const auto nullable =
+          !value.null_flag.empty() || !lower.null_flag.empty() || !upper.null_flag.empty();
+      auto result = Value{name, nullable ? name + "_n" : std::string{}, DataType::kInt};
+      if (!nullable) {
+        body_ << "    const int32_t " << name << " = static_cast<int32_t>(" << Cast(value, common)
+              << " >= " << Cast(lower, common) << " && " << Cast(value, common) << " <= "
+              << Cast(upper, common) << ");\n";
+        return result;
+      }
+      body_ << "    int32_t " << name << " = 0;\n";
+      body_ << "    bool " << result.null_flag << " = " << NullOf(value) << " || " << NullOf(lower) << " || "
+            << NullOf(upper) << ";\n";
+      body_ << "    if (!" << result.null_flag << ") {\n      " << name << " = static_cast<int32_t>("
+            << Cast(value, common) << " >= " << Cast(lower, common) << " && " << Cast(value, common)
+            << " <= " << Cast(upper, common) << ");\n    }\n";
+      return result;
+    }
+    // Binary comparison in the promoted common type (EvaluatePredicate).
+    const auto common =
+        PromoteDataTypes(expression.arguments[0]->data_type(), expression.arguments[1]->data_type());
+    const auto lhs = EmitExpression(expression.arguments[0]);
+    const auto rhs = EmitExpression(expression.arguments[1]);
+    const char* op = nullptr;
+    switch (condition) {
+      case PredicateCondition::kEquals:
+        op = "==";
+        break;
+      case PredicateCondition::kNotEquals:
+        op = "!=";
+        break;
+      case PredicateCondition::kLessThan:
+        op = "<";
+        break;
+      case PredicateCondition::kLessThanEquals:
+        op = "<=";
+        break;
+      case PredicateCondition::kGreaterThan:
+        op = ">";
+        break;
+      case PredicateCondition::kGreaterThanEquals:
+        op = ">=";
+        break;
+      default:
+        Fail("JIT codegen: unsupported predicate condition");
+    }
+    const auto name = NewVar("p");
+    const auto nullable = !lhs.null_flag.empty() || !rhs.null_flag.empty();
+    auto result = Value{name, nullable ? name + "_n" : std::string{}, DataType::kInt};
+    if (!nullable) {
+      body_ << "    const int32_t " << name << " = static_cast<int32_t>(" << Cast(lhs, common) << " " << op
+            << " " << Cast(rhs, common) << ");\n";
+      return result;
+    }
+    body_ << "    int32_t " << name << " = 0;\n";
+    body_ << "    bool " << result.null_flag << " = " << NullOf(lhs) << " || " << NullOf(rhs) << ";\n";
+    body_ << "    if (!" << result.null_flag << ") {\n      " << name << " = static_cast<int32_t>("
+          << Cast(lhs, common) << " " << op << " " << Cast(rhs, common) << ");\n    }\n";
+    return result;
+  }
+
+  Value EmitLogical(const LogicalExpression& expression) {
+    const auto lhs = EmitExpression(expression.arguments[0]);
+    const auto rhs = EmitExpression(expression.arguments[1]);
+    const auto name = NewVar("l");
+    auto result = Value{name, name + "_n", DataType::kInt};
+    const auto is_and = expression.logical_operator == LogicalOperator::kAnd;
+    body_ << "    int32_t " << name << " = 0;\n";
+    body_ << "    bool " << result.null_flag << " = false;\n";
+    body_ << "    {\n";
+    body_ << "      const bool ln = " << NullOf(lhs) << ";\n";
+    body_ << "      const bool rn = " << NullOf(rhs) << ";\n";
+    body_ << "      const bool lt = !ln && " << Cast(lhs, DataType::kInt) << " != 0;\n";
+    body_ << "      const bool rt = !rn && " << Cast(rhs, DataType::kInt) << " != 0;\n";
+    if (is_and) {
+      body_ << "      const bool lf = !ln && !lt;\n      const bool rf = !rn && !rt;\n";
+      body_ << "      if (lf || rf) {\n        " << name << " = 0;\n      } else if (ln || rn) {\n        "
+            << result.null_flag << " = true;\n      } else {\n        " << name << " = 1;\n      }\n";
+    } else {
+      body_ << "      if (lt || rt) {\n        " << name << " = 1;\n      } else if (ln || rn) {\n        "
+            << result.null_flag << " = true;\n      } else {\n        " << name << " = 0;\n      }\n";
+    }
+    body_ << "    }\n";
+    return result;
+  }
+
+  Value EmitCase(const CaseExpression& expression) {
+    const auto type = expression.data_type();
+    const auto pair_count = (expression.arguments.size() - 1) / 2;
+    // The interpreter materializes every condition and branch for all rows
+    // before selecting — no short-circuiting, so emit all children first.
+    auto conditions = std::vector<Value>{};
+    auto branches = std::vector<Value>{};
+    for (auto pair = size_t{0}; pair < pair_count; ++pair) {
+      conditions.push_back(EmitExpression(expression.arguments[pair * 2]));
+      branches.push_back(EmitExpression(expression.arguments[pair * 2 + 1]));
+    }
+    const auto else_branch = EmitExpression(expression.arguments.back());
+    const auto name = NewVar("k");
+    auto result = Value{name, name + "_n", type};
+    body_ << "    " << CType(type) << " " << name << "{};\n";
+    body_ << "    bool " << result.null_flag << " = false;\n";
+    for (auto pair = size_t{0}; pair < pair_count; ++pair) {
+      body_ << "    " << (pair == 0 ? "if" : "} else if") << " (!" << NullOf(conditions[pair]) << " && "
+            << Cast(conditions[pair], DataType::kInt) << " != 0) {\n";
+      body_ << "      " << result.null_flag << " = " << NullOf(branches[pair]) << ";\n";
+      body_ << "      if (!" << result.null_flag << ") {\n        " << name << " = "
+            << Cast(branches[pair], type) << ";\n      }\n";
+    }
+    body_ << "    } else {\n";
+    body_ << "      " << result.null_flag << " = " << NullOf(else_branch) << ";\n";
+    body_ << "      if (!" << result.null_flag << ") {\n        " << name << " = " << Cast(else_branch, type)
+          << ";\n      }\n";
+    body_ << "    }\n";
+    return result;
+  }
+
+  Value EmitCast(const CastExpression& expression) {
+    const auto type = expression.target_type;
+    const auto source = EmitExpression(expression.arguments[0]);
+    const auto name = NewVar("t");
+    if (source.null_flag.empty()) {
+      body_ << "    const " << CType(type) << " " << name << " = " << Cast(source, type) << ";\n";
+      return Value{name, "", type};
+    }
+    auto result = Value{name, name + "_n", type};
+    body_ << "    " << CType(type) << " " << name << "{};\n";
+    body_ << "    const bool " << result.null_flag << " = " << source.null_flag << ";\n";
+    body_ << "    if (!" << result.null_flag << ") {\n      " << name << " = " << Cast(source, type)
+          << ";\n    }\n";
+    return result;
+  }
+
+  Value EmitExpression(const ExpressionPtr& expression) {
+    const auto memoized = memo_.find(expression.get());
+    if (memoized != memo_.end()) {
+      return memoized->second;
+    }
+    auto result = Value{};
+    switch (expression->type) {
+      case ExpressionType::kValue: {
+        const auto& value_expression = static_cast<const ValueExpression&>(*expression);
+        const auto type = value_expression.data_type();
+        const auto name = NewVar("v");
+        body_ << "    const " << CType(type) << " " << name << " = "
+              << FormatLiteral(value_expression.value, type) << ";\n";
+        result = Value{name, "", type};
+        break;
+      }
+      case ExpressionType::kPqpColumn:
+        result = EmitColumn(static_cast<const PqpColumnExpression&>(*expression));
+        break;
+      case ExpressionType::kArithmetic:
+        result = EmitArithmetic(static_cast<const ArithmeticExpression&>(*expression));
+        break;
+      case ExpressionType::kPredicate:
+        result = EmitPredicate(static_cast<const PredicateExpression&>(*expression));
+        break;
+      case ExpressionType::kLogical:
+        result = EmitLogical(static_cast<const LogicalExpression&>(*expression));
+        break;
+      case ExpressionType::kCase:
+        result = EmitCase(static_cast<const CaseExpression&>(*expression));
+        break;
+      case ExpressionType::kCast:
+        result = EmitCast(static_cast<const CastExpression&>(*expression));
+        break;
+      default:
+        Fail("JIT codegen: unsupported expression type");
+    }
+    memo_.emplace(expression.get(), result);
+    return result;
+  }
+
+  void EmitAccumulation(size_t index) {
+    const auto& spec = descriptor_.aggregates[index];
+    if (spec.count_star) {
+      body_ << "    ++cnt" << index << ";\n";
+      return;
+    }
+    const auto input = EmitExpression(spec.input);
+    const auto guard = NullOf(input);
+    body_ << "    if (!(" << guard << ")) {\n";
+    switch (spec.function) {
+      case AggregateFunction::kMin:
+      case AggregateFunction::kMax: {
+        // First non-NULL value wins ties (strict comparison, row order).
+        const auto compare = spec.function == AggregateFunction::kMin
+                                 ? input.value + " < mm" + std::to_string(index)
+                                 : "mm" + std::to_string(index) + " < " + input.value;
+        body_ << "      if (cnt" << index << " == 0 || (" << compare << ")) {\n        mm" << index << " = "
+              << input.value << ";\n      }\n";
+        body_ << "      ++cnt" << index << ";\n";
+        break;
+      }
+      case AggregateFunction::kSum:
+      case AggregateFunction::kAvg:
+        if (spec.input_type == DataType::kInt || spec.input_type == DataType::kLong) {
+          body_ << "      sum" << index << " += static_cast<long long>(" << input.value << ");\n";
+        } else {
+          body_ << "      sum" << index << " += static_cast<double>(" << input.value << ");\n";
+        }
+        body_ << "      ++cnt" << index << ";\n";
+        break;
+      case AggregateFunction::kCount:
+        body_ << "      ++cnt" << index << ";\n";
+        break;
+      default:
+        Fail("JIT codegen: unsupported aggregate function");
+    }
+    body_ << "    }\n";
+  }
+
+  const PipelineDescriptor& descriptor_;
+  std::ostringstream body_;
+  std::unordered_map<const AbstractExpression*, Value> memo_;
+  std::unordered_map<uint16_t, Value> column_memo_;
+  int counter_{0};
+};
+
+}  // namespace
+
+std::string GenerateSource(const PipelineDescriptor& descriptor) {
+  std::ostringstream out;
+  char fingerprint[32];
+  std::snprintf(fingerprint, sizeof(fingerprint), "%016" PRIx64, descriptor.fingerprint_hash);
+  out << "// Generated by the hyrise query specialization engine (DESIGN.md 5h).\n";
+  out << "// table: " << descriptor.table_name << "  fingerprint: " << fingerprint << "\n";
+  out << kJitAbiSource << "\n";
+  out << KernelEmitter{descriptor}.Emit();
+  return out.str();
+}
+
+}  // namespace hyrise::jit

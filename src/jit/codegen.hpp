@@ -1,0 +1,22 @@
+#ifndef HYRISE_SRC_JIT_CODEGEN_HPP_
+#define HYRISE_SRC_JIT_CODEGEN_HPP_
+
+#include <string>
+
+#include "jit/pipeline_descriptor.hpp"
+
+namespace hyrise::jit {
+
+/// Emits a self-contained C++ translation unit implementing the fused
+/// scan→filter→project→aggregate loop for `descriptor` against the kernel ABI
+/// (jit_abi.hpp). The generated code replicates the ExpressionEvaluator's
+/// semantics construct by construct — every expression node is computed in its
+/// own data_type() and static_cast exactly once at each consumption edge,
+/// division/modulo by zero yield NULL, logicals use three-valued logic — and
+/// the Aggregate's per-chunk partial accumulation, so a host that merges the
+/// partials in chunk order reproduces the interpreter's output bit for bit.
+std::string GenerateSource(const PipelineDescriptor& descriptor);
+
+}  // namespace hyrise::jit
+
+#endif  // HYRISE_SRC_JIT_CODEGEN_HPP_

@@ -1,0 +1,108 @@
+#ifndef HYRISE_SRC_JIT_JIT_ABI_HPP_
+#define HYRISE_SRC_JIT_JIT_ABI_HPP_
+
+#include <cstdint>
+
+/// The binary contract between the host and a runtime-compiled pipeline
+/// kernel (DESIGN.md §5h). The generated translation unit embeds its own copy
+/// of these declarations (kJitAbiSource below) so that compiling it needs no
+/// include path into the host tree — the scratch directory is self-contained.
+/// Both sides are built by the same system compiler on the same machine, so a
+/// plain-C struct layout is a stable contract; kJitAbiVersion is exported by
+/// every artifact and checked after dlopen so a stale .so from an older host
+/// build is rejected instead of trusted.
+///
+/// Column kinds:
+///  - RAW (0): `values` points at row_count elements of the slot's concrete
+///    type. `nulls` (optional) is one byte per row, non-zero = NULL. This is
+///    the zero-copy view of a ValueSegment and the scratch view of decoded
+///    RunLength/FrameOfReference segments.
+///  - DICT (1): `values` is the sorted dictionary, `codes` the attribute
+///    vector at `code_width` bytes per code (1/2/4; BitPacking128 vectors are
+///    block-decoded by the host via DecodeBlock(128) into 4-byte codes).
+///    A code equal to `null_code` means NULL; for non-nullable columns the
+///    generated kernel elides that comparison entirely.
+///
+/// `visibility` is an optional one-byte-per-row MVCC bitmap (non-zero =
+/// visible) that the host precomputes with its TSan-instrumented atomic
+/// accessors; generated code never touches an atomic.
+
+struct HyriseJitColumn {
+  const void* values;
+  const void* codes;
+  const unsigned char* nulls;
+  unsigned int code_width;
+  unsigned int null_code;
+  unsigned int kind;
+  unsigned int reserved;
+};
+
+struct HyriseJitChunk {
+  const struct HyriseJitColumn* columns;
+  const unsigned char* visibility;
+  unsigned int row_count;
+  unsigned int reserved;
+};
+
+/// One per-chunk partial accumulator per aggregate. Integer MIN/MAX/SUM/COUNT
+/// state lives in `ival`, floating-point state in `dval` (a double holds every
+/// float exactly, so widening is lossless); `count` is the number of non-NULL
+/// contributions (= matched rows for COUNT(*)) and doubles as the "seen"
+/// flag for MIN/MAX merging.
+struct HyriseJitAggState {
+  double dval;
+  long long ival;
+  long long count;
+};
+
+namespace hyrise::jit {
+
+inline constexpr uint32_t kJitAbiVersion = 1;
+
+using JitRunChunkFn = int32_t (*)(const HyriseJitChunk* chunk, HyriseJitAggState* aggregates,
+                                  uint32_t* rows_matched);
+
+/// Exact ABI text embedded at the top of every generated source file. Keep in
+/// byte-for-byte sync with the struct definitions above.
+inline constexpr const char* kJitAbiSource = R"JITABI(
+#include <cmath>
+#include <cstdint>
+
+struct HyriseJitColumn {
+  const void* values;
+  const void* codes;
+  const unsigned char* nulls;
+  unsigned int code_width;
+  unsigned int null_code;
+  unsigned int kind;
+  unsigned int reserved;
+};
+
+struct HyriseJitChunk {
+  const struct HyriseJitColumn* columns;
+  const unsigned char* visibility;
+  unsigned int row_count;
+  unsigned int reserved;
+};
+
+struct HyriseJitAggState {
+  double dval;
+  long long ival;
+  long long count;
+};
+
+static inline unsigned int hyrise_jit_code_at(const struct HyriseJitColumn& column, unsigned int row) {
+  switch (column.code_width) {
+    case 1:
+      return static_cast<const unsigned char*>(column.codes)[row];
+    case 2:
+      return reinterpret_cast<const unsigned short*>(column.codes)[row];
+    default:
+      return reinterpret_cast<const unsigned int*>(column.codes)[row];
+  }
+}
+)JITABI";
+
+}  // namespace hyrise::jit
+
+#endif  // HYRISE_SRC_JIT_JIT_ABI_HPP_

@@ -1,0 +1,211 @@
+#include "jit/jit_compiler.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "utils/failure_injection.hpp"
+
+#if defined(HYRISE_ENABLE_JIT) && HYRISE_ENABLE_JIT
+#include <dlfcn.h>
+#include <fcntl.h>
+#include <spawn.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+extern char** environ;
+#endif
+
+namespace hyrise::jit {
+
+JitArtifact::JitArtifact(void* handle, JitRunChunkFn run_chunk, std::string so_path, int64_t compile_ns)
+    : handle_(handle), run_chunk_(run_chunk), so_path_(std::move(so_path)), compile_ns_(compile_ns) {}
+
+JitArtifact::~JitArtifact() {
+#if defined(HYRISE_ENABLE_JIT) && HYRISE_ENABLE_JIT
+  if (handle_ != nullptr) {
+    dlclose(handle_);
+  }
+#endif
+}
+
+bool JitCompilationAvailable() {
+#if defined(HYRISE_ENABLE_JIT) && HYRISE_ENABLE_JIT
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::string DefaultCompilerPath() {
+#if defined(HYRISE_JIT_DEFAULT_COMPILER)
+  return HYRISE_JIT_DEFAULT_COMPILER;
+#else
+  return "c++";
+#endif
+}
+
+#if defined(HYRISE_ENABLE_JIT) && HYRISE_ENABLE_JIT
+
+namespace {
+
+/// First few lines of the captured compiler stderr, for error reporting.
+std::string ReadErrorExcerpt(const std::string& path) {
+  auto stream = std::ifstream{path};
+  if (!stream) {
+    return "";
+  }
+  auto excerpt = std::string{};
+  auto line = std::string{};
+  auto lines = 0;
+  while (lines < 5 && std::getline(stream, line)) {
+    if (!excerpt.empty()) {
+      excerpt += " | ";
+    }
+    excerpt += line;
+    ++lines;
+  }
+  return excerpt;
+}
+
+/// Runs `argv` (argv[0] looked up via PATH) with stderr redirected to
+/// `stderr_path`. Returns the process exit code, or -1 with `error` set when
+/// the process could not be spawned or waited on at all.
+int RunProcess(const std::vector<std::string>& argv, const std::string& stderr_path, std::string& error) {
+  auto argv_ptrs = std::vector<char*>{};
+  argv_ptrs.reserve(argv.size() + 1);
+  for (const auto& arg : argv) {
+    argv_ptrs.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv_ptrs.push_back(nullptr);
+
+  posix_spawn_file_actions_t file_actions;
+  posix_spawn_file_actions_init(&file_actions);
+  posix_spawn_file_actions_addopen(&file_actions, STDERR_FILENO, stderr_path.c_str(),
+                                   O_WRONLY | O_CREAT | O_TRUNC, 0644);
+
+  pid_t pid = -1;
+  const auto spawn_rc = posix_spawnp(&pid, argv_ptrs[0], &file_actions, nullptr, argv_ptrs.data(), environ);
+  posix_spawn_file_actions_destroy(&file_actions);
+  if (spawn_rc != 0) {
+    error = std::string{"spawn failed: "} + std::strerror(spawn_rc);
+    return -1;
+  }
+
+  auto status = 0;
+  if (waitpid(pid, &status, 0) != pid) {
+    error = std::string{"waitpid failed: "} + std::strerror(errno);
+    return -1;
+  }
+  if (!WIFEXITED(status)) {
+    error = "compiler terminated abnormally";
+    return -1;
+  }
+  return WEXITSTATUS(status);
+}
+
+}  // namespace
+
+Result<std::shared_ptr<JitArtifact>> CompileAndLoad(const std::string& source,
+                                                    const std::string& compiler_path,
+                                                    const std::string& scratch_directory,
+                                                    const std::string& key_hint) {
+  static std::atomic<uint64_t> sequence{0};
+  const auto started = std::chrono::steady_clock::now();
+
+  auto directory_error = std::error_code{};
+  std::filesystem::create_directories(scratch_directory, directory_error);
+  if (directory_error) {
+    return Result<std::shared_ptr<JitArtifact>>::Error("cannot create scratch directory " + scratch_directory +
+                                                       ": " + directory_error.message());
+  }
+
+  const auto stem = scratch_directory + "/pipeline_" + std::to_string(getpid()) + "_" +
+                    std::to_string(sequence.fetch_add(1, std::memory_order_relaxed)) + "_" + key_hint;
+  const auto source_path = stem + ".cpp";
+  const auto so_path = stem + ".so";
+  const auto stderr_path = stem + ".log";
+
+  {
+    auto out = std::ofstream{source_path, std::ios::trunc};
+    if (!out) {
+      return Result<std::shared_ptr<JitArtifact>>::Error("cannot write " + source_path);
+    }
+    out << source;
+    out.close();
+    if (!out) {
+      return Result<std::shared_ptr<JitArtifact>>::Error("short write to " + source_path);
+    }
+  }
+
+  FAILPOINT("jit/compile");
+
+  const auto argv = std::vector<std::string>{compiler_path, "-O2",        "-std=c++17", "-fPIC", "-shared",
+                                             "-x",          "c++",        source_path,  "-o",    so_path};
+  auto spawn_error = std::string{};
+  const auto exit_code = RunProcess(argv, stderr_path, spawn_error);
+  if (exit_code != 0) {
+    auto message = "compile failed (" + compiler_path + ")";
+    if (!spawn_error.empty()) {
+      message += ": " + spawn_error;
+    }
+    const auto excerpt = ReadErrorExcerpt(stderr_path);
+    if (!excerpt.empty()) {
+      message += ": " + excerpt;
+    }
+    return Result<std::shared_ptr<JitArtifact>>::Error(message);
+  }
+
+  FAILPOINT("jit/dlopen");
+
+  auto* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    const auto* dl_error = dlerror();
+    return Result<std::shared_ptr<JitArtifact>>::Error(
+        std::string{"dlopen failed: "} + (dl_error != nullptr ? dl_error : "unknown"));
+  }
+
+  auto* version_symbol = dlsym(handle, "hyrise_jit_abi_version");
+  if (version_symbol == nullptr) {
+    dlclose(handle);
+    return Result<std::shared_ptr<JitArtifact>>::Error("artifact lacks hyrise_jit_abi_version");
+  }
+  const auto version = reinterpret_cast<uint32_t (*)()>(version_symbol)();
+  if (version != kJitAbiVersion) {
+    dlclose(handle);
+    return Result<std::shared_ptr<JitArtifact>>::Error("ABI version mismatch: artifact " + std::to_string(version) +
+                                                       " vs host " + std::to_string(kJitAbiVersion));
+  }
+
+  auto* entry_symbol = dlsym(handle, "hyrise_jit_run_chunk");
+  if (entry_symbol == nullptr) {
+    dlclose(handle);
+    return Result<std::shared_ptr<JitArtifact>>::Error("artifact lacks hyrise_jit_run_chunk");
+  }
+
+  const auto compile_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() - started).count();
+  return std::make_shared<JitArtifact>(handle, reinterpret_cast<JitRunChunkFn>(entry_symbol), so_path,
+                                       compile_ns);
+}
+
+#else  // !HYRISE_ENABLE_JIT
+
+Result<std::shared_ptr<JitArtifact>> CompileAndLoad(const std::string& /*source*/,
+                                                    const std::string& /*compiler_path*/,
+                                                    const std::string& /*scratch_directory*/,
+                                                    const std::string& /*key_hint*/) {
+  return Result<std::shared_ptr<JitArtifact>>::Error("runtime compilation disabled in this build (ENABLE_JIT=OFF)");
+}
+
+#endif
+
+}  // namespace hyrise::jit

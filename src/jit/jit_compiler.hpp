@@ -1,0 +1,71 @@
+#ifndef HYRISE_SRC_JIT_JIT_COMPILER_HPP_
+#define HYRISE_SRC_JIT_JIT_COMPILER_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "jit/jit_abi.hpp"
+#include "utils/result.hpp"
+
+namespace hyrise::jit {
+
+/// A loaded pipeline kernel: the dlopen handle plus the resolved entry point.
+/// Owns the handle for its lifetime (dlclose in the destructor) — the engine
+/// keeps artifacts alive via shared_ptr for as long as any in-flight query
+/// might still call into them, so a registry Clear() never unmaps code that is
+/// executing.
+class JitArtifact {
+ public:
+  JitArtifact(void* handle, JitRunChunkFn run_chunk, std::string so_path, int64_t compile_ns);
+  ~JitArtifact();
+
+  JitArtifact(const JitArtifact&) = delete;
+  JitArtifact& operator=(const JitArtifact&) = delete;
+
+  JitRunChunkFn run_chunk() const {
+    return run_chunk_;
+  }
+
+  const std::string& so_path() const {
+    return so_path_;
+  }
+
+  /// Wall-clock nanoseconds spent in source write + compiler + dlopen.
+  int64_t compile_ns() const {
+    return compile_ns_;
+  }
+
+ private:
+  void* handle_;
+  JitRunChunkFn run_chunk_;
+  std::string so_path_;
+  int64_t compile_ns_;
+};
+
+/// True when this build can compile and load kernels at runtime (ENABLE_JIT
+/// was on and the configure-time probe found <dlfcn.h> and <spawn.h>). When
+/// false, CompileAndLoad always returns an error and the engine never marks
+/// plans hot — the interpreter simply serves everything.
+bool JitCompilationAvailable();
+
+/// Compiler binary used when JitConfig::compiler_path is empty: the compiler
+/// that built the host (baked in at configure time), falling back to "c++".
+std::string DefaultCompilerPath();
+
+/// Writes `source` into `scratch_directory` under a unique name derived from
+/// `key_hint`, compiles it out of process (-O2 -std=c++17 -fPIC -shared,
+/// stderr captured to a sidecar file), dlopens the result RTLD_NOW|RTLD_LOCAL,
+/// checks the embedded ABI version, and resolves the kernel entry point. Every
+/// failure — compiler missing, non-zero exit, dlopen error, version mismatch —
+/// comes back as an error string; nothing throws except an armed FAILPOINT
+/// ("jit/compile" before spawning the compiler, "jit/dlopen" before loading),
+/// which callers treat like any other compile failure.
+Result<std::shared_ptr<JitArtifact>> CompileAndLoad(const std::string& source,
+                                                    const std::string& compiler_path,
+                                                    const std::string& scratch_directory,
+                                                    const std::string& key_hint);
+
+}  // namespace hyrise::jit
+
+#endif  // HYRISE_SRC_JIT_JIT_COMPILER_HPP_

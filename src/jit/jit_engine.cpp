@@ -1,0 +1,299 @@
+#include "jit/jit_engine.hpp"
+
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "cache/plan_fingerprint.hpp"
+#include "cache/table_epochs.hpp"
+#include "hyrise.hpp"
+#include "jit/codegen.hpp"
+#include "jit/specialized_pipeline_operator.hpp"
+#include "operators/abstract_operator.hpp"
+#include "scheduler/abstract_scheduler.hpp"
+#include "scheduler/abstract_task.hpp"
+
+namespace hyrise::jit {
+
+namespace {
+
+std::string KeyHint(uint64_t fingerprint_hash) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%016" PRIx64, fingerprint_hash);
+  return buffer;
+}
+
+/// (parent, aggregate) edges of every Aggregate node in the plan; a null
+/// parent marks the root. DeepCopy preserves diamond shapes, so the same
+/// aggregate can appear under several parents and must be swapped under each.
+struct CandidateEdge {
+  std::shared_ptr<AbstractOperator> parent;
+  std::shared_ptr<AbstractOperator> aggregate;
+};
+
+void CollectAggregateEdges(const std::shared_ptr<AbstractOperator>& root, std::vector<CandidateEdge>& edges) {
+  auto visited = std::unordered_set<const AbstractOperator*>{};
+  auto stack = std::vector<std::shared_ptr<AbstractOperator>>{root};
+  if (root->type() == OperatorType::kAggregate) {
+    edges.push_back({nullptr, root});
+  }
+  while (!stack.empty()) {
+    const auto node = stack.back();
+    stack.pop_back();
+    if (!visited.insert(node.get()).second) {
+      continue;
+    }
+    for (const auto& input : {node->left_input(), node->right_input()}) {
+      if (!input) {
+        continue;
+      }
+      if (input->type() == OperatorType::kAggregate) {
+        edges.push_back({node, input});
+      }
+      stack.push_back(input);
+    }
+  }
+}
+
+}  // namespace
+
+JitEngine& JitEngine::Get() {
+  // Intentionally leaked: in-flight compile threads may touch the engine
+  // until process exit, so it must outlive static destruction.
+  static auto* engine = new JitEngine();
+  return *engine;
+}
+
+void JitEngine::Configure(JitConfig config) {
+  if (config.compiler_path.empty()) {
+    config.compiler_path = DefaultCompilerPath();
+  }
+  if (config.scratch_directory.empty()) {
+    config.scratch_directory = "/tmp/hyrise-jit-" + std::to_string(getpid());
+  }
+  if (!JitCompilationAvailable()) {
+    config.enabled = false;
+  }
+  {
+    const auto lock = std::lock_guard{config_mutex_};
+    config_ = config;
+  }
+  enabled_.store(config.enabled, std::memory_order_release);
+  heat_threshold_.store(config.heat_threshold, std::memory_order_release);
+}
+
+JitConfig JitEngine::config() const {
+  const auto lock = std::lock_guard{config_mutex_};
+  return config_;
+}
+
+std::shared_ptr<AbstractOperator> JitEngine::MaybeSpecialize(const std::shared_ptr<AbstractOperator>& root,
+                                                             PlanHeat& heat, bool* jit_hit,
+                                                             int64_t* jit_compile_ns) {
+  if (!enabled() || heat.rejected.load(std::memory_order_relaxed) || !root) {
+    return root;
+  }
+
+  auto edges = std::vector<CandidateEdge>{};
+  CollectAggregateEdges(root, edges);
+
+  auto result = root;
+  // True once any candidate is (or might become) specializable; only a plan
+  // with no such candidate is branded rejected, which stops future walks.
+  auto any_supported = false;
+
+  for (const auto& edge : edges) {
+    const auto& fingerprint = GetPlanFingerprint(*edge.aggregate);
+    if (!fingerprint.cacheable) {
+      continue;
+    }
+
+    auto entry = std::shared_ptr<ArtifactEntry>{};
+    {
+      const auto lock = std::lock_guard{registry_mutex_};
+      const auto it = registry_.find(fingerprint.canonical);
+      if (it != registry_.end()) {
+        entry = it->second;
+      }
+    }
+
+    if (!entry) {
+      auto descriptor = AnalyzePipeline(edge.aggregate);
+      if (!descriptor) {
+        continue;
+      }
+      any_supported = true;
+      entry = std::make_shared<ArtifactEntry>();
+      entry->descriptor = std::make_shared<const PipelineDescriptor>(*std::move(descriptor));
+      auto inserted = false;
+      {
+        const auto lock = std::lock_guard{registry_mutex_};
+        inserted = registry_.emplace(fingerprint.canonical, entry).second;
+      }
+      if (inserted) {
+        compiles_started_.fetch_add(1, std::memory_order_relaxed);
+        Dispatch(entry);
+      }
+      continue;
+    }
+
+    any_supported = true;
+
+    auto artifact = std::shared_ptr<JitArtifact>{};
+    {
+      const auto lock = std::lock_guard{entry->mutex};
+      if (entry->state != EntryState::kReady) {
+        continue;  // still compiling, or permanently failed → interpreter
+      }
+      artifact = entry->artifact;
+    }
+
+    // A ready artifact for a since-altered schema is dropped; the next hot
+    // execution re-analyzes and recompiles against the new layout.
+    if (!TableEpochRegistry::Get().SchemaEpochsCurrent(entry->descriptor->table_schema_epochs)) {
+      const auto lock = std::lock_guard{registry_mutex_};
+      const auto it = registry_.find(fingerprint.canonical);
+      if (it != registry_.end() && it->second == entry) {
+        registry_.erase(it);
+      }
+      continue;
+    }
+
+    auto specialized =
+        std::make_shared<SpecializedPipelineOperator>(entry->descriptor, std::move(artifact), edge.aggregate);
+    if (edge.parent) {
+      edge.parent->ReplaceInput(edge.aggregate, specialized);
+    } else {
+      result = specialized;
+    }
+    if (jit_hit != nullptr) {
+      *jit_hit = true;
+    }
+    if (jit_compile_ns != nullptr) {
+      *jit_compile_ns = specialized->artifact()->compile_ns();
+    }
+    specializations_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  if (!any_supported) {
+    // Nothing in this plan will ever specialize (under the current schema) —
+    // short-circuit future executions. Reset() clears the plan cache and with
+    // it this flag, so a schema change naturally re-opens the question.
+    if (!heat.rejected.exchange(true, std::memory_order_relaxed)) {
+      rejects_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return result;
+}
+
+void JitEngine::Dispatch(const std::shared_ptr<ArtifactEntry>& entry) {
+  const auto compile_config = config();
+  {
+    const auto lock = std::lock_guard{inflight_mutex_};
+    ++inflight_;
+  }
+
+  auto job = [this, entry, compile_config]() {
+    RunCompileJob(entry, compile_config);
+    FinishJob();
+  };
+
+  // Prefer the active multi-threaded scheduler; with the immediate-execution
+  // scheduler (which would run the job inline and make the query wait) use a
+  // dedicated thread instead.
+  const auto& scheduler = Hyrise::Get().scheduler();
+  if (scheduler && scheduler->worker_count() > 0) {
+    std::make_shared<JobTask>(std::move(job))->Schedule();
+    return;
+  }
+  const auto lock = std::lock_guard{inflight_mutex_};
+  compile_threads_.emplace_back(std::move(job));
+}
+
+void JitEngine::RunCompileJob(const std::shared_ptr<ArtifactEntry>& entry, const JitConfig& compile_config) {
+  auto state = EntryState::kFailed;
+  auto artifact = std::shared_ptr<JitArtifact>{};
+  auto error = std::string{};
+  try {
+    const auto source = GenerateSource(*entry->descriptor);
+    auto compiled = CompileAndLoad(source, compile_config.compiler_path, compile_config.scratch_directory,
+                                   KeyHint(entry->descriptor->fingerprint_hash));
+    if (compiled.ok()) {
+      state = EntryState::kReady;
+      artifact = std::move(compiled).value();
+    } else {
+      error = compiled.error();
+    }
+  } catch (const std::exception& e) {  // InjectedFault("jit/compile"), codegen bugs, ...
+    error = e.what();
+  } catch (...) {
+    error = "unknown compile failure";
+  }
+
+  {
+    const auto lock = std::lock_guard{entry->mutex};
+    entry->state = state;
+    entry->artifact = std::move(artifact);
+    entry->error = std::move(error);
+  }
+  if (state == EntryState::kReady) {
+    compiles_succeeded_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    compiles_failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void JitEngine::FinishJob() {
+  const auto lock = std::lock_guard{inflight_mutex_};
+  --inflight_;
+  inflight_condition_.notify_all();
+}
+
+void JitEngine::WaitForCompiles() {
+  auto threads = std::vector<std::thread>{};
+  {
+    auto lock = std::unique_lock{inflight_mutex_};
+    inflight_condition_.wait(lock, [&] { return inflight_ == 0; });
+    threads.swap(compile_threads_);
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+}
+
+void JitEngine::Clear() {
+  WaitForCompiles();
+  {
+    const auto lock = std::lock_guard{registry_mutex_};
+    registry_.clear();
+  }
+  {
+    const auto lock = std::lock_guard{config_mutex_};
+    config_ = JitConfig{};
+  }
+  enabled_.store(false, std::memory_order_release);
+  heat_threshold_.store(JitConfig{}.heat_threshold, std::memory_order_release);
+  compiles_started_.store(0, std::memory_order_relaxed);
+  compiles_succeeded_.store(0, std::memory_order_relaxed);
+  compiles_failed_.store(0, std::memory_order_relaxed);
+  specializations_.store(0, std::memory_order_relaxed);
+  rejects_.store(0, std::memory_order_relaxed);
+}
+
+JitStats JitEngine::stats() const {
+  auto stats = JitStats{};
+  stats.compiles_started = compiles_started_.load(std::memory_order_relaxed);
+  stats.compiles_succeeded = compiles_succeeded_.load(std::memory_order_relaxed);
+  stats.compiles_failed = compiles_failed_.load(std::memory_order_relaxed);
+  stats.specializations = specializations_.load(std::memory_order_relaxed);
+  stats.rejects = rejects_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace hyrise::jit

@@ -1,0 +1,152 @@
+#ifndef HYRISE_SRC_JIT_JIT_ENGINE_HPP_
+#define HYRISE_SRC_JIT_JIT_ENGINE_HPP_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "jit/jit_compiler.hpp"
+#include "jit/pipeline_descriptor.hpp"
+
+namespace hyrise {
+
+class AbstractOperator;
+
+namespace jit {
+
+/// Per-cached-plan heat state, owned by the plan cache entry (CachedPlan). The
+/// hit counter drives the compile trigger; `rejected` is a sticky fast-path
+/// flag set once the engine has walked the plan and found nothing it can
+/// specialize, so later executions skip the walk entirely.
+struct PlanHeat {
+  std::atomic<uint64_t> hits{0};
+  std::atomic<bool> rejected{false};
+};
+
+struct JitConfig {
+  /// Master switch. Off by default — tests and embedded users opt in
+  /// explicitly; the server turns it on via ServerConfig.
+  bool enabled{false};
+  /// Number of plan-cache hits after which a plan is considered hot. The
+  /// first `heat_threshold` executions (plus however long the async compile
+  /// takes) run interpreted; no query ever waits for the compiler.
+  uint32_t heat_threshold{3};
+  /// Compiler binary; empty = the compiler that built the host (or "c++").
+  std::string compiler_path;
+  /// Where sources, .so files, and compiler logs go; empty =
+  /// /tmp/hyrise-jit-<pid>.
+  std::string scratch_directory;
+};
+
+struct JitStats {
+  uint64_t compiles_started{0};
+  uint64_t compiles_succeeded{0};
+  uint64_t compiles_failed{0};
+  /// Executions that actually ran a specialized pipeline operator.
+  uint64_t specializations{0};
+  /// Hot plans the analyzer could not specialize (unsupported shape).
+  uint64_t rejects{0};
+};
+
+/// The adaptive specialization engine (DESIGN.md §5h): watches plan-cache heat
+/// (via SqlPipeline), analyzes hot PQP segments, generates + compiles fused
+/// kernels out of process, and hot-swaps SpecializedPipelineOperator nodes
+/// into later executions. Artifacts are deduplicated by the canonical plan
+/// fingerprint (cache/plan_fingerprint.hpp), so textually different SQL that
+/// canonicalizes to the same plan shares one compiled kernel. The vectorized
+/// interpreter is the instant default and the permanent fallback: compile
+/// failures park the fingerprint as kFailed and the plan simply keeps running
+/// interpreted — a JIT problem must never fail a query.
+class JitEngine {
+ public:
+  static JitEngine& Get();
+
+  JitEngine(const JitEngine&) = delete;
+  JitEngine& operator=(const JitEngine&) = delete;
+
+  /// Installs `config`, resolving empty compiler/scratch fields to their
+  /// defaults. Does not drop already-compiled artifacts.
+  void Configure(JitConfig config);
+
+  JitConfig config() const;
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_acquire);
+  }
+
+  uint32_t heat_threshold() const {
+    return heat_threshold_.load(std::memory_order_acquire);
+  }
+
+  /// Called by SqlPipeline once a cached plan's heat crosses the threshold,
+  /// with the freshly deep-copied PQP (no transaction context or parameters
+  /// set yet). Walks the plan for specializable Aggregate segments; for each,
+  /// either swaps in a ready artifact (sets *jit_hit, reports the artifact's
+  /// compile time in *jit_compile_ns, returns the possibly-new root) or kicks
+  /// off an async compile and returns the plan unchanged. Never blocks on
+  /// compilation.
+  std::shared_ptr<AbstractOperator> MaybeSpecialize(const std::shared_ptr<AbstractOperator>& root, PlanHeat& heat,
+                                                    bool* jit_hit, int64_t* jit_compile_ns);
+
+  /// Blocks until no compile job is in flight. Test/bench hook — production
+  /// code never waits on the compiler.
+  void WaitForCompiles();
+
+  /// Drops all artifacts and resets config + stats to defaults. Hooked into
+  /// Hyrise::Reset. In-flight compile jobs keep their entry alive via
+  /// shared_ptr and finish into the orphaned entry, harmlessly.
+  void Clear();
+
+  JitStats stats() const;
+
+ private:
+  JitEngine() = default;
+
+  enum class EntryState { kCompiling, kReady, kFailed };
+
+  /// One fingerprint's compile state. `descriptor` is immutable after
+  /// construction; `state`, `artifact`, and `error` are guarded by `mutex`.
+  struct ArtifactEntry {
+    std::shared_ptr<const PipelineDescriptor> descriptor;
+    std::mutex mutex;
+    EntryState state{EntryState::kCompiling};
+    std::shared_ptr<JitArtifact> artifact;
+    std::string error;
+  };
+
+  void Dispatch(const std::shared_ptr<ArtifactEntry>& entry);
+  void RunCompileJob(const std::shared_ptr<ArtifactEntry>& entry, const JitConfig& config);
+  void FinishJob();
+
+  mutable std::mutex config_mutex_;
+  JitConfig config_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint32_t> heat_threshold_{3};
+
+  mutable std::mutex registry_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<ArtifactEntry>> registry_;
+
+  std::mutex inflight_mutex_;
+  std::condition_variable inflight_condition_;
+  uint64_t inflight_{0};
+  /// Compile threads used when no multi-threaded scheduler is active; reaped
+  /// (joined) by WaitForCompiles/Clear once idle.
+  std::vector<std::thread> compile_threads_;
+
+  std::atomic<uint64_t> compiles_started_{0};
+  std::atomic<uint64_t> compiles_succeeded_{0};
+  std::atomic<uint64_t> compiles_failed_{0};
+  std::atomic<uint64_t> specializations_{0};
+  std::atomic<uint64_t> rejects_{0};
+};
+
+}  // namespace jit
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_JIT_JIT_ENGINE_HPP_

@@ -1,0 +1,256 @@
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/plan_fingerprint.hpp"
+#include "cache/table_epochs.hpp"
+#include "expression/expressions.hpp"
+#include "hyrise.hpp"
+#include "jit/pipeline_descriptor.hpp"
+#include "operators/aggregate.hpp"
+#include "operators/get_table.hpp"
+#include "operators/projection.hpp"
+#include "operators/table_scan.hpp"
+#include "storage/table.hpp"
+
+namespace hyrise::jit {
+
+namespace {
+
+bool IsNumeric(DataType type) {
+  return type == DataType::kInt || type == DataType::kLong || type == DataType::kFloat ||
+         type == DataType::kDouble;
+}
+
+/// Only constructs whose interpreter semantics the code generator replicates
+/// bit-for-bit are admitted: numeric literals and columns, arithmetic,
+/// comparisons/BETWEEN/IS [NOT] NULL, AND/OR, CASE, CAST. Strings, NULL
+/// literals, LIKE/IN, functions, parameters, and subqueries all bail out to
+/// the interpreter.
+bool IsSupportedExpression(const ExpressionPtr& expression) {
+  auto supported = true;
+  VisitExpression(expression, [&](const ExpressionPtr& node) {
+    switch (node->type) {
+      case ExpressionType::kValue:
+      case ExpressionType::kPqpColumn:
+      case ExpressionType::kArithmetic:
+      case ExpressionType::kLogical:
+      case ExpressionType::kCase:
+      case ExpressionType::kCast:
+        break;
+      case ExpressionType::kPredicate: {
+        switch (static_cast<const PredicateExpression&>(*node).condition) {
+          case PredicateCondition::kEquals:
+          case PredicateCondition::kNotEquals:
+          case PredicateCondition::kLessThan:
+          case PredicateCondition::kLessThanEquals:
+          case PredicateCondition::kGreaterThan:
+          case PredicateCondition::kGreaterThanEquals:
+          case PredicateCondition::kBetweenInclusive:
+          case PredicateCondition::kIsNull:
+          case PredicateCondition::kIsNotNull:
+            break;
+          default:
+            supported = false;
+        }
+        break;
+      }
+      default:
+        supported = false;
+    }
+    if (supported && !IsNumeric(node->data_type())) {
+      supported = false;
+    }
+    return supported;
+  });
+  return supported;
+}
+
+void CollectColumns(const ExpressionPtr& expression, std::vector<ColumnID>& columns) {
+  VisitExpression(expression, [&](const ExpressionPtr& node) {
+    if (node->type == ExpressionType::kPqpColumn) {
+      const auto column_id = static_cast<const PqpColumnExpression&>(*node).column_id;
+      if (std::find(columns.begin(), columns.end(), column_id) == columns.end()) {
+        columns.push_back(column_id);
+      }
+    }
+    return true;
+  });
+}
+
+/// The Aggregate names its outputs from its input table's column names. We
+/// replicate the schema the interpreter would see at that point: the
+/// Projection's definitions when one is present (column name for forwarded
+/// columns, Description() for computed ones), the base table's names
+/// otherwise.
+std::string AggregateInputColumnName(const Projection* projection, const Table& stored_table, ColumnID column) {
+  if (projection != nullptr) {
+    const auto& expression = projection->expressions()[column];
+    if (expression->type == ExpressionType::kPqpColumn) {
+      return static_cast<const PqpColumnExpression&>(*expression).name;
+    }
+    return expression->Description();
+  }
+  return stored_table.column_name(column);
+}
+
+}  // namespace
+
+std::optional<PipelineDescriptor> AnalyzePipeline(const std::shared_ptr<AbstractOperator>& op) {
+  if (!op || op->type() != OperatorType::kAggregate || op->right_input()) {
+    return std::nullopt;
+  }
+  const auto* aggregate = static_cast<const Aggregate*>(op.get());
+  if (!aggregate->group_by_columns().empty() || aggregate->aggregates().empty()) {
+    return std::nullopt;
+  }
+
+  // Walk the single-input chain below the Aggregate: optional Projection,
+  // then TableScans and at most one Validate in any order (the optimizer
+  // places Validate above or below scans depending on pushdown; predicate
+  // and visibility checks are an order-independent conjunction), GetTable
+  // leaf.
+  auto descriptor = PipelineDescriptor{};
+  const Projection* projection = nullptr;
+  auto current = op->left_input();
+  if (current && current->type() == OperatorType::kProjection && !current->right_input()) {
+    projection = static_cast<const Projection*>(current.get());
+    current = current->left_input();
+  }
+  while (current && !current->right_input() &&
+         (current->type() == OperatorType::kTableScan || current->type() == OperatorType::kValidate)) {
+    if (current->type() == OperatorType::kTableScan) {
+      descriptor.scan_predicates.push_back(static_cast<const TableScan*>(current.get())->predicate());
+    } else {
+      if (descriptor.has_validate) {
+        return std::nullopt;
+      }
+      descriptor.has_validate = true;
+    }
+    current = current->left_input();
+  }
+  // Predicates were collected top-down; execution applies them bottom-up.
+  std::reverse(descriptor.scan_predicates.begin(), descriptor.scan_predicates.end());
+  if (!current || current->type() != OperatorType::kGetTable || current->left_input()) {
+    return std::nullopt;
+  }
+  const auto* get_table = static_cast<const GetTable*>(current.get());
+  descriptor.table_name = get_table->table_name();
+  descriptor.pruned_chunk_ids = get_table->pruned_chunk_ids();
+  descriptor.has_filter = descriptor.has_validate || !descriptor.scan_predicates.empty();
+
+  auto& storage_manager = Hyrise::Get().storage_manager;
+  if (!storage_manager.HasTable(descriptor.table_name)) {
+    return std::nullopt;
+  }
+  const auto stored_table = storage_manager.GetTable(descriptor.table_name);
+
+  // Expressions and the columns they reference. Scans and Validate preserve
+  // the base-table layout, so every PqpColumn below the Projection (and the
+  // Projection's own inputs) indexes the stored table directly.
+  auto referenced_columns = std::vector<ColumnID>{};
+  for (const auto& predicate : descriptor.scan_predicates) {
+    if (!IsSupportedExpression(predicate)) {
+      return std::nullopt;
+    }
+    CollectColumns(predicate, referenced_columns);
+  }
+
+  for (const auto& definition : aggregate->aggregates()) {
+    auto spec = AggregateSpec{};
+    spec.function = definition.function;
+    if (spec.function == AggregateFunction::kCountDistinct) {
+      return std::nullopt;
+    }
+    if (!definition.column.has_value()) {
+      spec.count_star = true;
+      descriptor.aggregates.push_back(std::move(spec));
+      continue;
+    }
+    const auto column = *definition.column;
+    if (projection != nullptr) {
+      if (column >= projection->expressions().size()) {
+        return std::nullopt;
+      }
+      spec.input = projection->expressions()[column];
+    } else {
+      if (column >= stored_table->column_count()) {
+        return std::nullopt;
+      }
+      spec.input = std::make_shared<PqpColumnExpression>(column, stored_table->column_data_type(column),
+                                                         stored_table->column_is_nullable(column),
+                                                         stored_table->column_name(column));
+    }
+    if (!IsSupportedExpression(spec.input)) {
+      return std::nullopt;
+    }
+    spec.input_type = spec.input->data_type();
+    CollectColumns(spec.input, referenced_columns);
+    descriptor.aggregates.push_back(std::move(spec));
+  }
+
+  // Bind referenced columns to kernel slots, validated against the current
+  // stored schema (the recorded schema epoch guards against later changes).
+  for (const auto column_id : referenced_columns) {
+    if (column_id >= stored_table->column_count()) {
+      return std::nullopt;
+    }
+    auto slot = InputColumn{};
+    slot.column_id = column_id;
+    slot.type = stored_table->column_data_type(column_id);
+    slot.nullable = stored_table->column_is_nullable(column_id);
+    if (!IsNumeric(slot.type)) {
+      return std::nullopt;
+    }
+    descriptor.slots.push_back(slot);
+  }
+
+  // Replicate Aggregate's output schema (name, result type, nullable=true).
+  for (auto index = size_t{0}; index < descriptor.aggregates.size(); ++index) {
+    const auto& spec = descriptor.aggregates[index];
+    const auto& definition = aggregate->aggregates()[index];
+    auto name = std::string{AggregateFunctionToString(spec.function)};
+    if (spec.count_star) {
+      name += "(*)";
+    } else {
+      name += "(" + AggregateInputColumnName(projection, *stored_table, *definition.column) + ")";
+    }
+    auto output_type = DataType::kLong;
+    switch (spec.function) {
+      case AggregateFunction::kMin:
+      case AggregateFunction::kMax:
+        output_type = spec.input_type;
+        break;
+      case AggregateFunction::kSum:
+        output_type = (spec.input_type == DataType::kFloat || spec.input_type == DataType::kDouble)
+                          ? DataType::kDouble
+                          : DataType::kLong;
+        break;
+      case AggregateFunction::kAvg:
+        output_type = DataType::kDouble;
+        break;
+      case AggregateFunction::kCount:
+      case AggregateFunction::kCountDistinct:
+        output_type = DataType::kLong;
+        break;
+    }
+    descriptor.output_definitions.emplace_back(name, output_type, /*nullable=*/true);
+  }
+
+  const auto& fingerprint = GetPlanFingerprint(*op);
+  if (!fingerprint.cacheable) {
+    return std::nullopt;
+  }
+  descriptor.fingerprint_canonical = fingerprint.canonical;
+  descriptor.fingerprint_hash = fingerprint.hash;
+
+  auto& epochs = TableEpochRegistry::Get();
+  descriptor.table_schema_epochs.emplace_back(descriptor.table_name,
+                                              epochs.StateOf(descriptor.table_name).schema_epoch);
+  return descriptor;
+}
+
+}  // namespace hyrise::jit

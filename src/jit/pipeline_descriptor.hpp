@@ -1,0 +1,73 @@
+#ifndef HYRISE_SRC_JIT_PIPELINE_DESCRIPTOR_HPP_
+#define HYRISE_SRC_JIT_PIPELINE_DESCRIPTOR_HPP_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "expression/abstract_expression.hpp"
+#include "storage/table_column_definition.hpp"
+#include "types/types.hpp"
+
+namespace hyrise {
+
+class AbstractOperator;
+
+namespace jit {
+
+/// One base-table column the fused kernel reads, bound to a slot index in the
+/// HyriseJitChunk column array. Nullability is resolved at analysis time so
+/// codegen can elide every null check on non-nullable slots.
+struct InputColumn {
+  ColumnID column_id{0};
+  DataType type{DataType::kInt};
+  bool nullable{false};
+};
+
+/// One aggregate of the fused pipeline. `input` is the expression feeding the
+/// aggregate — the projection expression when a Projection sits below the
+/// Aggregate, a synthesized column reference otherwise, null for COUNT(*).
+struct AggregateSpec {
+  AggregateFunction function{AggregateFunction::kCount};
+  bool count_star{false};
+  ExpressionPtr input;
+  DataType input_type{DataType::kNull};
+};
+
+/// Everything the engine needs to (a) generate source for and (b) execute a
+/// specialized scan→filter→project→aggregate pipeline. Produced by
+/// AnalyzePipeline from the PQP segment between pipeline breakers; the
+/// expression pointers are only used for codegen — execution needs just the
+/// slots, aggregate specs, and output schema.
+struct PipelineDescriptor {
+  std::string table_name;
+  std::vector<ChunkID> pruned_chunk_ids;
+  bool has_validate{false};
+  /// True when any row filter exists (Validate or TableScan). Governs the
+  /// partial-inclusion rule: filtering operators drop chunks with zero
+  /// matches, an unfiltered Aggregate sees every chunk.
+  bool has_filter{false};
+  std::vector<InputColumn> slots;
+  /// Scan predicates in bottom-up execution order (ANDed).
+  std::vector<ExpressionPtr> scan_predicates;
+  std::vector<AggregateSpec> aggregates;
+  /// Output schema replicated from Aggregate's Phase 2 rules at analysis time.
+  TableColumnDefinitions output_definitions;
+  std::string fingerprint_canonical;
+  uint64_t fingerprint_hash{0};
+  std::vector<std::pair<std::string, uint64_t>> table_schema_epochs;
+};
+
+/// Matches the supported PQP shape rooted at `op` (Aggregate over optional
+/// Projection over zero or more TableScans over optional Validate over
+/// GetTable, single-input all the way down, numeric non-string expressions,
+/// cacheable fingerprint) and builds the descriptor. Returns nullopt when the
+/// subtree is unsupported — the caller falls back to the interpreter.
+std::optional<PipelineDescriptor> AnalyzePipeline(const std::shared_ptr<AbstractOperator>& op);
+
+}  // namespace jit
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_JIT_PIPELINE_DESCRIPTOR_HPP_

@@ -1,0 +1,390 @@
+#include "jit/specialized_pipeline_operator.hpp"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/table_epochs.hpp"
+#include "concurrency/transaction_context.hpp"
+#include "hyrise.hpp"
+#include "operators/validate.hpp"
+#include "scheduler/abstract_task.hpp"
+#include "scheduler/cancellation_token.hpp"
+#include "scheduler/job_helpers.hpp"
+#include "storage/dictionary_segment.hpp"
+#include "storage/segment_iterables/segment_iterate.hpp"
+#include "storage/table.hpp"
+#include "storage/value_segment.hpp"
+#include "storage/vector_compression/fixed_width_integer_vector.hpp"
+#include "utils/assert.hpp"
+
+namespace hyrise::jit {
+
+namespace {
+
+/// Binds one base-table segment to a kernel column slot. ValueSegments and
+/// fixed-width dictionary segments are zero-copy views; BitPacking128
+/// attribute vectors are block-decoded (DecodeBlock(128)) into a scratch code
+/// array; every other encoding (RunLength, FrameOfReference, ...) is scratch-
+/// materialized through SegmentIterate. Scratch buffers are parked in
+/// `keep_alive` so they outlive the kernel call.
+template <typename T>
+bool PrepareTypedColumn(const AbstractSegment& segment, ChunkOffset row_count, HyriseJitColumn& out,
+                        std::vector<std::shared_ptr<const void>>& keep_alive) {
+  if constexpr (!std::is_arithmetic_v<T>) {
+    return false;
+  } else {
+    out = HyriseJitColumn{};
+
+    if (const auto* value_segment = dynamic_cast<const ValueSegment<T>*>(&segment)) {
+      out.kind = 0;
+      out.values = value_segment->values().data();
+      out.nulls = value_segment->null_values().empty() ? nullptr : value_segment->null_values().data();
+      return true;
+    }
+
+    if (const auto* dictionary_segment = dynamic_cast<const DictionarySegment<T>*>(&segment)) {
+      out.kind = 1;
+      out.values = dictionary_segment->dictionary().data();
+      out.null_code = dictionary_segment->null_value_id();
+      const auto& attribute_vector = dictionary_segment->attribute_vector();
+      switch (attribute_vector.internal_type()) {
+        case CompressedVectorInternalType::kFixedWidth1Byte:
+          out.codes = static_cast<const FixedWidthIntegerVector<uint8_t>&>(attribute_vector).data().data();
+          out.code_width = 1;
+          return true;
+        case CompressedVectorInternalType::kFixedWidth2Byte:
+          out.codes = static_cast<const FixedWidthIntegerVector<uint16_t>&>(attribute_vector).data().data();
+          out.code_width = 2;
+          return true;
+        case CompressedVectorInternalType::kFixedWidth4Byte:
+          out.codes = static_cast<const FixedWidthIntegerVector<uint32_t>&>(attribute_vector).data().data();
+          out.code_width = 4;
+          return true;
+        case CompressedVectorInternalType::kBitPacking128: {
+          constexpr auto kBlock = BaseCompressedVector::kDecodeBlockSize;
+          const auto size = attribute_vector.size();
+          const auto block_count = (size + kBlock - 1) / kBlock;
+          auto codes = std::make_shared<std::vector<uint32_t>>(block_count * kBlock);
+          for (auto block = size_t{0}; block < block_count; ++block) {
+            attribute_vector.DecodeBlock(block, codes->data() + block * kBlock);
+          }
+          out.codes = codes->data();
+          out.code_width = 4;
+          keep_alive.push_back(std::move(codes));
+          return true;
+        }
+      }
+      return false;
+    }
+
+    auto values = std::make_shared<std::vector<T>>(row_count);
+    auto nulls = std::shared_ptr<std::vector<uint8_t>>{};
+    SegmentIterate<T>(segment, [&](const auto& position) {
+      const auto offset = position.chunk_offset();
+      if (offset >= row_count) {
+        return;
+      }
+      if (position.is_null()) {
+        if (!nulls) {
+          nulls = std::make_shared<std::vector<uint8_t>>(row_count, uint8_t{0});
+        }
+        (*nulls)[offset] = 1;
+      } else {
+        (*values)[offset] = position.value();
+      }
+    });
+    out.kind = 0;
+    out.values = values->data();
+    keep_alive.push_back(std::move(values));
+    if (nulls) {
+      out.nulls = nulls->data();
+      keep_alive.push_back(std::move(nulls));
+    }
+    return true;
+  }
+}
+
+/// One chunk's kernel result. `included` implements the partial-inclusion
+/// rule: the interpreter's scans and Validate drop zero-match chunks before
+/// the Aggregate, so with a filter only matched chunks contribute a partial —
+/// but an unfiltered Aggregate sees every chunk (and its zero partial, which
+/// matters for signed-zero sums).
+struct ChunkPartial {
+  std::vector<HyriseJitAggState> states;
+  uint32_t rows_matched{0};
+  bool included{false};
+  bool failed{false};
+};
+
+}  // namespace
+
+SpecializedPipelineOperator::SpecializedPipelineOperator(std::shared_ptr<const PipelineDescriptor> descriptor,
+                                                         std::shared_ptr<JitArtifact> artifact,
+                                                         std::shared_ptr<AbstractOperator> fallback)
+    : AbstractOperator(OperatorType::kSpecializedPipeline),
+      descriptor_(std::move(descriptor)),
+      artifact_(std::move(artifact)),
+      fallback_(std::move(fallback)) {}
+
+const std::string& SpecializedPipelineOperator::name() const {
+  static const auto kName = std::string{"SpecializedPipeline"};
+  return kName;
+}
+
+std::string SpecializedPipelineOperator::Description() const {
+  return "SpecializedPipeline (" + descriptor_->table_name + ", " + std::to_string(descriptor_->aggregates.size()) +
+         " aggregates)";
+}
+
+void SpecializedPipelineOperator::OnSetTransactionContext(const std::shared_ptr<TransactionContext>& context) {
+  // The fallback subtree is not an input, so the recursive setter never
+  // reaches it on its own.
+  fallback_->SetTransactionContextRecursively(context);
+}
+
+void SpecializedPipelineOperator::OnSetParameters(const std::unordered_map<ParameterID, AllTypeVariant>& parameters) {
+  fallback_->SetParameters(parameters);
+}
+
+std::shared_ptr<AbstractOperator> SpecializedPipelineOperator::OnDeepCopy(std::shared_ptr<AbstractOperator> /*left*/,
+                                                                          std::shared_ptr<AbstractOperator> /*right*/,
+                                                                          DeepCopyMap& map) const {
+  return std::make_shared<SpecializedPipelineOperator>(descriptor_, artifact_, fallback_->DeepCopy(map));
+}
+
+std::shared_ptr<const Table> SpecializedPipelineOperator::OnExecute(
+    const std::shared_ptr<TransactionContext>& context) {
+  try {
+    auto result = TryCompiledExecute(context);
+    if (result) {
+      used_compiled_path_ = true;
+      return result;
+    }
+  } catch (const QueryCancelled&) {
+    throw;  // Cooperative cancellation is not a JIT failure.
+  } catch (const std::exception&) {
+    // Fall through: the interpreter serves the query.
+  }
+  return ExecuteFallback();
+}
+
+std::shared_ptr<const Table> SpecializedPipelineOperator::TryCompiledExecute(
+    const std::shared_ptr<TransactionContext>& context) {
+  if (!artifact_ || artifact_->run_chunk() == nullptr) {
+    return nullptr;
+  }
+  // The artifact was generated against the schema recorded at analysis time;
+  // any epoch movement since (DROP/CREATE, RESTORE, ALTER-like swaps) makes
+  // the binary layout assumptions void.
+  if (!TableEpochRegistry::Get().SchemaEpochsCurrent(descriptor_->table_schema_epochs)) {
+    return nullptr;
+  }
+  auto& storage_manager = Hyrise::Get().storage_manager;
+  if (!storage_manager.HasTable(descriptor_->table_name)) {
+    return nullptr;
+  }
+  const auto table = storage_manager.GetTable(descriptor_->table_name);
+
+  auto our_tid = kInvalidTransactionId;
+  auto snapshot_cid = CommitID{0};
+  if (descriptor_->has_validate) {
+    if (!context) {
+      return nullptr;  // Validate asserts on a missing context; let it.
+    }
+    our_tid = context->transaction_id();
+    snapshot_cid = context->snapshot_commit_id();
+  }
+
+  const auto slot_count = descriptor_->slots.size();
+  const auto aggregate_count = descriptor_->aggregates.size();
+  const auto run_chunk = artifact_->run_chunk();
+
+  // Chunk admission mirrors GetTable: pruned chunks (sorted ids) and chunks
+  // whose rows are all deleted-and-committed never reach the pipeline.
+  const auto chunk_count = table->chunk_count();
+  auto chunks = std::vector<std::shared_ptr<Chunk>>{};
+  chunks.reserve(chunk_count);
+  auto pruned_iter = descriptor_->pruned_chunk_ids.begin();
+  for (auto chunk_id = ChunkID{0}; chunk_id < chunk_count; ++chunk_id) {
+    if (pruned_iter != descriptor_->pruned_chunk_ids.end() && *pruned_iter == chunk_id) {
+      ++pruned_iter;
+      continue;
+    }
+    const auto chunk = table->GetChunk(chunk_id);
+    if (chunk->size() > 0 && chunk->invalid_row_count() >= chunk->size()) {
+      continue;
+    }
+    chunks.push_back(chunk);
+  }
+
+  auto partials = std::vector<ChunkPartial>(chunks.size());
+  const auto& token = cancellation_token_;
+  const auto& descriptor = *descriptor_;
+
+  auto jobs = std::vector<std::shared_ptr<AbstractTask>>{};
+  jobs.reserve(chunks.size());
+  for (auto index = size_t{0}; index < chunks.size(); ++index) {
+    jobs.push_back(std::make_shared<JobTask>([&, index] {
+      token.ThrowIfCancelled();
+      const auto& chunk = *chunks[index];
+      auto& partial = partials[index];
+      const auto row_count = chunk.size();
+
+      auto keep_alive = std::vector<std::shared_ptr<const void>>{};
+      auto columns = std::vector<HyriseJitColumn>(slot_count);
+      for (auto slot = size_t{0}; slot < slot_count; ++slot) {
+        const auto& input_column = descriptor.slots[slot];
+        auto ok = false;
+        ResolveDataType(input_column.type, [&](auto type_tag) {
+          using T = decltype(type_tag);
+          ok = PrepareTypedColumn<T>(*chunk.GetSegment(input_column.column_id), row_count, columns[slot],
+                                     keep_alive);
+        });
+        if (!ok) {
+          partial.failed = true;
+          return;
+        }
+      }
+
+      // MVCC visibility, precomputed host-side with the instrumented atomic
+      // accessors — generated code only ever reads this plain byte array.
+      auto visibility = std::vector<uint8_t>{};
+      if (descriptor.has_validate && chunk.mvcc_data()) {
+        const auto& mvcc = *chunk.mvcc_data();
+        visibility.resize(row_count);
+        for (auto offset = ChunkOffset{0}; offset < row_count; ++offset) {
+          visibility[offset] = Validate::IsRowVisible(our_tid, snapshot_cid, mvcc.GetTid(offset),
+                                                      mvcc.GetBeginCid(offset), mvcc.GetEndCid(offset))
+                                   ? 1
+                                   : 0;
+        }
+      }
+
+      auto abi_chunk = HyriseJitChunk{};
+      abi_chunk.columns = columns.data();
+      abi_chunk.visibility = visibility.empty() ? nullptr : visibility.data();
+      abi_chunk.row_count = row_count;
+
+      partial.states.assign(aggregate_count, HyriseJitAggState{0.0, 0, 0});
+      if (run_chunk(&abi_chunk, partial.states.data(), &partial.rows_matched) != 0) {
+        partial.failed = true;
+        return;
+      }
+      partial.included = partial.rows_matched > 0 || !descriptor.has_filter;
+    }));
+  }
+  SpawnAndWaitForTasks(jobs);
+
+  for (const auto& partial : partials) {
+    if (partial.failed) {
+      return nullptr;
+    }
+  }
+
+  // Merge partials in chunk order and build the single-row output exactly the
+  // way the interpreter's Aggregate does (operators/aggregate.cpp, phase 4):
+  // same reduction order, same SumType widening, same NULL/any-null rules.
+  auto segments = Segments{};
+  for (auto index = size_t{0}; index < aggregate_count; ++index) {
+    const auto& spec = descriptor.aggregates[index];
+    const auto is_float_input = spec.input_type == DataType::kFloat || spec.input_type == DataType::kDouble;
+
+    switch (spec.function) {
+      case AggregateFunction::kCount: {
+        auto total = int64_t{0};
+        for (const auto& partial : partials) {
+          if (partial.included) {
+            total += partial.states[index].count;
+          }
+        }
+        segments.push_back(std::make_shared<ValueSegment<int64_t>>(std::vector<int64_t>{total}));
+        break;
+      }
+      case AggregateFunction::kMin:
+      case AggregateFunction::kMax: {
+        const auto is_min = spec.function == AggregateFunction::kMin;
+        ResolveDataType(spec.input_type, [&](auto type_tag) {
+          using T = decltype(type_tag);
+          if constexpr (std::is_arithmetic_v<T>) {
+            auto value = T{};
+            auto seen = false;
+            for (const auto& partial : partials) {
+              if (!partial.included || partial.states[index].count == 0) {
+                continue;
+              }
+              const auto candidate = std::is_floating_point_v<T>
+                                         ? static_cast<T>(partial.states[index].dval)
+                                         : static_cast<T>(partial.states[index].ival);
+              if (!seen || (is_min ? candidate < value : value < candidate)) {
+                value = candidate;
+                seen = true;
+              }
+            }
+            segments.push_back(std::make_shared<ValueSegment<T>>(
+                std::vector<T>{value}, seen ? std::vector<bool>{} : std::vector<bool>{true}));
+          } else {
+            Fail("MIN/MAX specialization over non-arithmetic column");
+          }
+        });
+        break;
+      }
+      case AggregateFunction::kSum:
+      case AggregateFunction::kAvg: {
+        auto count = int64_t{0};
+        auto int_sum = int64_t{0};
+        auto double_sum = 0.0;
+        for (const auto& partial : partials) {
+          if (!partial.included) {
+            continue;
+          }
+          count += partial.states[index].count;
+          if (is_float_input) {
+            double_sum += partial.states[index].dval;
+          } else {
+            int_sum += partial.states[index].ival;
+          }
+        }
+        const auto is_null = count == 0;
+        const auto nulls = is_null ? std::vector<bool>{true} : std::vector<bool>{};
+        if (spec.function == AggregateFunction::kSum) {
+          if (is_float_input) {
+            segments.push_back(
+                std::make_shared<ValueSegment<double>>(std::vector<double>{double_sum}, std::vector<bool>{nulls}));
+          } else {
+            segments.push_back(
+                std::make_shared<ValueSegment<int64_t>>(std::vector<int64_t>{int_sum}, std::vector<bool>{nulls}));
+          }
+        } else {
+          auto average = 0.0;
+          if (count > 0) {
+            average = (is_float_input ? double_sum : static_cast<double>(int_sum)) / static_cast<double>(count);
+          }
+          segments.push_back(
+              std::make_shared<ValueSegment<double>>(std::vector<double>{average}, std::vector<bool>{nulls}));
+        }
+        break;
+      }
+      case AggregateFunction::kCountDistinct:
+        Fail("COUNT(DISTINCT) is never admitted to specialization");
+    }
+  }
+
+  auto output = std::make_shared<Table>(descriptor.output_definitions, TableType::kData);
+  output->AppendChunk(std::move(segments));
+  return output;
+}
+
+std::shared_ptr<const Table> SpecializedPipelineOperator::ExecuteFallback() {
+  // Late-bound wiring: cancellation token and result cache are installed via
+  // non-virtual recursive setters that cannot see the fallback subtree.
+  fallback_->SetCancellationTokenRecursively(cancellation_token_);
+  if (result_cache_) {
+    fallback_->SetResultCacheRecursively(result_cache_);
+  }
+  fallback_->Execute();
+  return fallback_->get_output();
+}
+
+}  // namespace hyrise::jit

@@ -1,0 +1,76 @@
+#ifndef HYRISE_SRC_JIT_SPECIALIZED_PIPELINE_OPERATOR_HPP_
+#define HYRISE_SRC_JIT_SPECIALIZED_PIPELINE_OPERATOR_HPP_
+
+#include <memory>
+#include <string>
+
+#include "jit/jit_compiler.hpp"
+#include "jit/pipeline_descriptor.hpp"
+#include "operators/abstract_operator.hpp"
+
+namespace hyrise::jit {
+
+/// The hot-swapped replacement for a specializable Aggregate subtree
+/// (DESIGN.md §5h): a *leaf* operator that reads the stored table directly
+/// and runs the runtime-compiled fused kernel once per chunk (parallel via
+/// JobTasks, partials merged in chunk order so the result is bit-identical to
+/// the interpreter's). The original, unexecuted Aggregate subtree rides along
+/// as `fallback` — deliberately NOT an input, so the task DAG never executes
+/// it — and serves the query whenever the compiled path cannot: table gone,
+/// schema epoch moved since analysis, missing transaction context for a
+/// Validate-bearing pipeline, kernel error. A JIT problem must never fail a
+/// query; only QueryCancelled propagates.
+class SpecializedPipelineOperator final : public AbstractOperator {
+ public:
+  SpecializedPipelineOperator(std::shared_ptr<const PipelineDescriptor> descriptor,
+                              std::shared_ptr<JitArtifact> artifact, std::shared_ptr<AbstractOperator> fallback);
+
+  const std::string& name() const final;
+
+  std::string Description() const final;
+
+  const std::shared_ptr<const PipelineDescriptor>& descriptor() const {
+    return descriptor_;
+  }
+
+  const std::shared_ptr<JitArtifact>& artifact() const {
+    return artifact_;
+  }
+
+  const std::shared_ptr<AbstractOperator>& fallback() const {
+    return fallback_;
+  }
+
+  /// True once OnExecute served the query from the compiled kernel (tests
+  /// distinguish the compiled path from a silent fallback).
+  bool used_compiled_path() const {
+    return used_compiled_path_;
+  }
+
+ protected:
+  std::shared_ptr<const Table> OnExecute(const std::shared_ptr<TransactionContext>& context) final;
+
+  void OnSetTransactionContext(const std::shared_ptr<TransactionContext>& context) final;
+
+  void OnSetParameters(const std::unordered_map<ParameterID, AllTypeVariant>& parameters) final;
+
+  std::shared_ptr<AbstractOperator> OnDeepCopy(std::shared_ptr<AbstractOperator> left,
+                                               std::shared_ptr<AbstractOperator> right, DeepCopyMap& map) const final;
+
+ private:
+  /// Null when a precondition fails; throws only QueryCancelled (propagated)
+  /// — kernel-level errors surface as null or std::exception and both land in
+  /// the fallback.
+  std::shared_ptr<const Table> TryCompiledExecute(const std::shared_ptr<TransactionContext>& context);
+
+  std::shared_ptr<const Table> ExecuteFallback();
+
+  std::shared_ptr<const PipelineDescriptor> descriptor_;
+  std::shared_ptr<JitArtifact> artifact_;
+  std::shared_ptr<AbstractOperator> fallback_;
+  bool used_compiled_path_{false};
+};
+
+}  // namespace hyrise::jit
+
+#endif  // HYRISE_SRC_JIT_SPECIALIZED_PIPELINE_OPERATOR_HPP_

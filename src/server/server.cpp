@@ -15,6 +15,7 @@
 
 #include "concurrency/transaction_context.hpp"
 #include "hyrise.hpp"
+#include "jit/jit_engine.hpp"
 #include "persistence/snapshot_manager.hpp"
 #include "sql/sql_pipeline.hpp"
 #include "storage/storage_manager.hpp"
@@ -172,10 +173,12 @@ void LogStatement(const std::string& query, SqlPipelineStatus status, const SqlP
     }
   }
   std::fprintf(stderr,
-               "[statement] status=%s execute_ms=%.3f pqp_cache_hit=%d result_cache_probes=%llu "
+               "[statement] status=%s execute_ms=%.3f pqp_cache_hit=%d jit_hit=%d jit_compile_ms=%.3f "
+               "result_cache_probes=%llu "
                "result_cache_hits=%llu result_cache_bytes_saved=%llu retries=%u wal_wait_ms=%.3f sql=\"%s\"\n",
-               StatusName(status), static_cast<double>(metrics.execute_ns) / 1e6,
-               metrics.pqp_cache_hit ? 1 : 0, static_cast<unsigned long long>(metrics.result_cache_probes),
+               StatusName(status), static_cast<double>(metrics.execute_ns) / 1e6, metrics.pqp_cache_hit ? 1 : 0,
+               metrics.jit_hit ? 1 : 0, static_cast<double>(metrics.jit_compile_ns) / 1e6,
+               static_cast<unsigned long long>(metrics.result_cache_probes),
                static_cast<unsigned long long>(metrics.result_cache_hits),
                static_cast<unsigned long long>(metrics.result_cache_bytes_saved), metrics.conflict_retries,
                static_cast<double>(metrics.wal_wait_ns) / 1e6, preview.c_str());
@@ -246,6 +249,18 @@ Result<uint16_t> Server::Start() {
         return Result<uint16_t>::Error("Cannot enable write-ahead logging: " + enabled.error());
       }
     }
+  }
+
+  // Adaptive specialization (DESIGN.md §5h): configure the engine from this
+  // server's tunables. Configure itself forces the engine off when the build
+  // or the host cannot compile (ENABLE_JIT=OFF, no dlopen/posix_spawn).
+  {
+    auto jit_config = jit::JitConfig{};
+    jit_config.enabled = config_.jit;
+    jit_config.heat_threshold = config_.jit_heat_threshold;
+    jit_config.compiler_path = config_.jit_compiler_path;
+    jit_config.scratch_directory = config_.jit_scratch_directory;
+    jit::JitEngine::Get().Configure(jit_config);
   }
 
   const auto fd = socket(AF_INET, SOCK_STREAM, 0);

@@ -1,0 +1,361 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hyrise.hpp"
+#include "jit/jit_compiler.hpp"
+#include "jit/jit_engine.hpp"
+#include "scheduler/node_queue_scheduler.hpp"
+#include "sql/sql_pipeline.hpp"
+#include "storage/chunk_encoder.hpp"
+#include "test_utils.hpp"
+#include "utils/failure_injection.hpp"
+
+namespace hyrise {
+
+namespace {
+
+jit::JitConfig TestJitConfig(uint32_t heat_threshold = 1) {
+  auto config = jit::JitConfig{};
+  config.enabled = true;
+  config.heat_threshold = heat_threshold;
+  config.scratch_directory = "/tmp/hyrise-jit-test";
+  return config;
+}
+
+/// Exact (bitwise for numerics) cell comparison — the specialized pipeline
+/// must reproduce the interpreter's results down to floating-point merge
+/// order, so no tolerance is allowed here.
+bool CellExactlyEqual(const AllTypeVariant& lhs, const AllTypeVariant& rhs) {
+  if (lhs.index() != rhs.index()) {
+    return false;
+  }
+  return std::visit(
+      [](const auto& left, const auto& right) -> bool {
+        using Left = std::decay_t<decltype(left)>;
+        using Right = std::decay_t<decltype(right)>;
+        if constexpr (!std::is_same_v<Left, Right>) {
+          return false;
+        } else if constexpr (std::is_same_v<Left, NullValue>) {
+          return true;
+        } else {
+          return left == right;
+        }
+      },
+      lhs, rhs);
+}
+
+void ExpectTablesBitwiseEqual(const std::shared_ptr<const Table>& actual, const std::shared_ptr<const Table>& expected,
+                              const std::string& context) {
+  ASSERT_NE(actual, nullptr) << context;
+  ASSERT_NE(expected, nullptr) << context;
+  const auto actual_rows = actual->GetRows();
+  const auto expected_rows = expected->GetRows();
+  ASSERT_EQ(actual_rows.size(), expected_rows.size()) << context;
+  for (auto row = size_t{0}; row < expected_rows.size(); ++row) {
+    ASSERT_EQ(actual_rows[row].size(), expected_rows[row].size()) << context;
+    for (auto column = size_t{0}; column < expected_rows[row].size(); ++column) {
+      EXPECT_TRUE(CellExactlyEqual(actual_rows[row][column], expected_rows[row][column]))
+          << context << ": row " << row << " column " << column << " differs: got "
+          << VariantToString(actual_rows[row][column]) << ", expected " << VariantToString(expected_rows[row][column]);
+    }
+  }
+}
+
+}  // namespace
+
+class JitSpecializationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Hyrise::Reset();
+    jit::JitEngine::Get().Configure(TestJitConfig());
+  }
+
+  void TearDown() override {
+    FailureInjection::DisarmAll();
+    Hyrise::Reset();
+  }
+
+  /// One pipeline execution through `cache`; asserts success.
+  std::pair<SqlPipelineMetrics, std::shared_ptr<const Table>> Run(const std::string& query,
+                                                                  const std::shared_ptr<PqpCache>& cache,
+                                                                  bool use_scheduler = false) {
+    auto builder = SqlPipeline::Builder{query};
+    if (cache) {
+      builder.WithPqpCache(cache);
+    }
+    builder.UseScheduler(use_scheduler);
+    auto pipeline = builder.Build();
+    const auto status = pipeline.Execute();
+    EXPECT_EQ(status, SqlPipelineStatus::kSuccess) << query << ": " << pipeline.error_message();
+    return {pipeline.metrics(), pipeline.result_table()};
+  }
+
+  /// Interpreter baseline: no plan cache, so no heat, so never specialized.
+  std::shared_ptr<const Table> Interpret(const std::string& query) {
+    return Run(query, nullptr).second;
+  }
+
+  /// Executes until the statement reports a specialized execution (waiting
+  /// for the asynchronous compile between attempts) or attempts run out.
+  std::pair<SqlPipelineMetrics, std::shared_ptr<const Table>> RunUntilSpecialized(
+      const std::string& query, const std::shared_ptr<PqpCache>& cache, bool use_scheduler = false,
+      int max_attempts = 8) {
+    auto last = Run(query, cache, use_scheduler);
+    for (auto attempt = 0; attempt < max_attempts && !last.first.jit_hit; ++attempt) {
+      jit::JitEngine::Get().WaitForCompiles();
+      last = Run(query, cache, use_scheduler);
+    }
+    return last;
+  }
+
+  void CreateStudentsTable() {
+    ExecuteSql("CREATE TABLE students (id INT NOT NULL, semester INT, grade DOUBLE)");
+    ExecuteSql(
+        "INSERT INTO students VALUES (1, 2, 1.3), (2, 4, 2.7), (3, 2, 1.0), (4, 6, 3.3), (5, 4, NULL),"
+        " (6, NULL, 2.0), (7, 8, 0.7), (8, 2, NULL)");
+  }
+};
+
+TEST_F(JitSpecializationTest, HotPlanGetsSpecializedAndMatchesInterpreter) {
+  if (!jit::JitCompilationAvailable()) {
+    GTEST_SKIP() << "runtime compilation unavailable in this build";
+  }
+  CreateStudentsTable();
+  const auto query =
+      "SELECT COUNT(*), COUNT(grade), SUM(grade * 2.0 + semester), AVG(grade), MIN(grade), MAX(semester) "
+      "FROM students WHERE semester >= 2";
+  const auto expected = Interpret(query);
+
+  const auto cache = std::make_shared<PqpCache>(16);
+  const auto [metrics, table] = RunUntilSpecialized(query, cache);
+  EXPECT_TRUE(metrics.jit_hit);
+  EXPECT_GT(metrics.jit_compile_ns, 0);
+  EXPECT_GE(jit::JitEngine::Get().stats().specializations, 1u);
+  ExpectTablesBitwiseEqual(table, expected, "specialized vs interpreted");
+}
+
+TEST_F(JitSpecializationTest, ColdExecutionsNeverWaitForTheCompiler) {
+  CreateStudentsTable();
+  const auto query = "SELECT SUM(grade) FROM students WHERE semester = 2";
+  const auto expected = Interpret(query);
+
+  const auto cache = std::make_shared<PqpCache>(16);
+  // First execution inserts into the plan cache; the second crosses the heat
+  // threshold and *kicks off* compilation — both must run on the interpreter
+  // (jit_hit=false) and return full results immediately.
+  const auto first = Run(query, cache);
+  EXPECT_FALSE(first.first.jit_hit);
+  ExpectTablesBitwiseEqual(first.second, expected, "cold run 1");
+  const auto second = Run(query, cache);
+  EXPECT_FALSE(second.first.jit_hit);
+  ExpectTablesBitwiseEqual(second.second, expected, "cold run 2");
+}
+
+TEST_F(JitSpecializationTest, UnsupportedPlansAreRejectedOnceAndStayInterpreted) {
+  CreateStudentsTable();
+  // GROUP BY is outside the supported pipeline shape (no-group-by aggregate
+  // segment); the engine must reject the plan once and stop re-analyzing.
+  const auto query = "SELECT semester, COUNT(*) FROM students GROUP BY semester";
+  const auto expected = Interpret(query);
+
+  const auto cache = std::make_shared<PqpCache>(16);
+  for (auto attempt = 0; attempt < 5; ++attempt) {
+    const auto [metrics, table] = Run(query, cache);
+    EXPECT_FALSE(metrics.jit_hit);
+    ExpectTablesBitwiseEqual(table, expected, "rejected plan");
+  }
+  jit::JitEngine::Get().WaitForCompiles();
+  EXPECT_GE(jit::JitEngine::Get().stats().rejects, 1u);
+  EXPECT_EQ(jit::JitEngine::Get().stats().compiles_started, 0u);
+}
+
+TEST_F(JitSpecializationTest, RandomizedCrossCheckAcrossEncodings) {
+  if (!jit::JitCompilationAvailable()) {
+    GTEST_SKIP() << "runtime compilation unavailable in this build";
+  }
+  const auto specs = std::vector<SegmentEncodingSpec>{
+      SegmentEncodingSpec{EncodingType::kUnencoded},
+      SegmentEncodingSpec{EncodingType::kDictionary, VectorCompressionType::kFixedWidthInteger},
+      SegmentEncodingSpec{EncodingType::kDictionary, VectorCompressionType::kBitPacking128},
+      SegmentEncodingSpec{EncodingType::kRunLength},
+      // Frame-of-reference for the int columns; the double column falls back
+      // to dictionary inside the encoder.
+      SegmentEncodingSpec{EncodingType::kFrameOfReference},
+  };
+  const auto queries = std::vector<std::string>{
+      "SELECT SUM(a * b + c), MIN(b), MAX(a), COUNT(*), COUNT(b), AVG(b) FROM cross_check WHERE a > 500",
+      "SELECT SUM(b / (a - 250)), COUNT(*) FROM cross_check WHERE b IS NOT NULL AND c BETWEEN 10 AND 70",
+      "SELECT SUM(CASE WHEN a > 800 THEN b ELSE b * -1.0 END), MIN(a + c) FROM cross_check",
+  };
+
+  auto rng = std::mt19937{42};
+  for (const auto& spec : specs) {
+    for (const auto use_scheduler : {false, true}) {
+      Hyrise::Reset();
+      jit::JitEngine::Get().Configure(TestJitConfig());
+      if (use_scheduler) {
+        Hyrise::Get().SetScheduler(std::make_shared<NodeQueueScheduler>());
+      }
+
+      auto rows = std::vector<std::vector<AllTypeVariant>>{};
+      auto value_dist = std::uniform_int_distribution<int32_t>{0, 1000};
+      auto null_dist = std::uniform_int_distribution<int32_t>{0, 9};
+      for (auto row = 0; row < 1500; ++row) {
+        const auto a = value_dist(rng);
+        const auto b = null_dist(rng) == 0 ? AllTypeVariant{NullValue{}} : AllTypeVariant{a * 0.25 - 100.0};
+        rows.push_back({a, b, value_dist(rng) % 100});
+      }
+      const auto table = MakeTable(
+          TableColumnDefinitions{{"a", DataType::kInt}, {"b", DataType::kDouble, true}, {"c", DataType::kInt}}, rows,
+          ChunkOffset{97}, UseMvcc::kYes);
+      Hyrise::Get().storage_manager.AddTable("cross_check", table);
+      ChunkEncoder::EncodeAllChunks(table, spec);
+
+      const auto context = std::string{EncodingTypeToString(spec.encoding_type)} +
+                           (use_scheduler ? "+scheduler" : "+serial");
+      for (const auto& query : queries) {
+        const auto expected = Interpret(query);
+        const auto cache = std::make_shared<PqpCache>(16);
+        const auto [metrics, actual] = RunUntilSpecialized(query, cache, use_scheduler);
+        EXPECT_TRUE(metrics.jit_hit) << context << ": " << query;
+        ExpectTablesBitwiseEqual(actual, expected, context + ": " + query);
+      }
+    }
+  }
+}
+
+TEST_F(JitSpecializationTest, MissingCompilerFallsBackToInterpreter) {
+  CreateStudentsTable();
+  auto config = TestJitConfig();
+  config.compiler_path = "/nonexistent/jit-compiler";
+  jit::JitEngine::Get().Configure(config);
+
+  const auto query = "SELECT SUM(grade), COUNT(*) FROM students WHERE semester >= 2";
+  const auto expected = Interpret(query);
+  const auto cache = std::make_shared<PqpCache>(16);
+  for (auto attempt = 0; attempt < 4; ++attempt) {
+    const auto [metrics, table] = Run(query, cache);
+    EXPECT_FALSE(metrics.jit_hit);
+    ExpectTablesBitwiseEqual(table, expected, "missing compiler");
+    jit::JitEngine::Get().WaitForCompiles();
+  }
+  if (jit::JitCompilationAvailable()) {
+    EXPECT_GE(jit::JitEngine::Get().stats().compiles_failed, 1u);
+    EXPECT_EQ(jit::JitEngine::Get().stats().compiles_succeeded, 0u);
+  }
+}
+
+TEST_F(JitSpecializationTest, InjectedCompileFailureFallsBackToInterpreter) {
+#if !defined(HYRISE_ENABLE_FAULT_INJECTION)
+  GTEST_SKIP() << "fault injection compiled out";
+#else
+  if (!jit::JitCompilationAvailable()) {
+    GTEST_SKIP() << "runtime compilation unavailable in this build";
+  }
+  CreateStudentsTable();
+  FailureInjection::Arm("jit/compile", FailureSpec{});
+
+  const auto query = "SELECT SUM(grade) FROM students WHERE semester >= 2";
+  const auto expected = Interpret(query);
+  const auto cache = std::make_shared<PqpCache>(16);
+  for (auto attempt = 0; attempt < 4; ++attempt) {
+    const auto [metrics, table] = Run(query, cache);
+    EXPECT_FALSE(metrics.jit_hit);
+    ExpectTablesBitwiseEqual(table, expected, "injected compile failure");
+    jit::JitEngine::Get().WaitForCompiles();
+  }
+  EXPECT_GE(jit::JitEngine::Get().stats().compiles_failed, 1u);
+#endif
+}
+
+TEST_F(JitSpecializationTest, InjectedDlopenFailureFallsBackToInterpreter) {
+#if !defined(HYRISE_ENABLE_FAULT_INJECTION)
+  GTEST_SKIP() << "fault injection compiled out";
+#else
+  if (!jit::JitCompilationAvailable()) {
+    GTEST_SKIP() << "runtime compilation unavailable in this build";
+  }
+  CreateStudentsTable();
+  FailureInjection::Arm("jit/dlopen", FailureSpec{});
+
+  const auto query = "SELECT MIN(grade), MAX(grade) FROM students WHERE semester >= 2";
+  const auto expected = Interpret(query);
+  const auto cache = std::make_shared<PqpCache>(16);
+  for (auto attempt = 0; attempt < 4; ++attempt) {
+    const auto [metrics, table] = Run(query, cache);
+    EXPECT_FALSE(metrics.jit_hit);
+    ExpectTablesBitwiseEqual(table, expected, "injected dlopen failure");
+    jit::JitEngine::Get().WaitForCompiles();
+  }
+  EXPECT_GE(jit::JitEngine::Get().stats().compiles_failed, 1u);
+#endif
+}
+
+TEST_F(JitSpecializationTest, SchemaChangeInvalidatesSpecializedPlan) {
+  if (!jit::JitCompilationAvailable()) {
+    GTEST_SKIP() << "runtime compilation unavailable in this build";
+  }
+  CreateStudentsTable();
+  const auto query = "SELECT SUM(grade), COUNT(*) FROM students";
+  const auto cache = std::make_shared<PqpCache>(16);
+  const auto hot = RunUntilSpecialized(query, cache);
+  ASSERT_TRUE(hot.first.jit_hit);
+
+  // Drop and recreate the table: the schema epoch moves, so neither the
+  // cached plan nor the compiled artifact may serve the new incarnation.
+  ExecuteSql("DROP TABLE students");
+  ExecuteSql("CREATE TABLE students (id INT NOT NULL, semester INT, grade DOUBLE)");
+  ExecuteSql("INSERT INTO students VALUES (1, 1, 10.0), (2, 2, 20.0), (3, 3, NULL)");
+
+  const auto expected = Interpret(query);
+  const auto after = Run(query, cache);
+  ExpectTablesBitwiseEqual(after.second, expected, "first run after schema change");
+
+  // Re-heating specializes against the new incarnation and must agree too.
+  const auto rehot = RunUntilSpecialized(query, cache);
+  EXPECT_TRUE(rehot.first.jit_hit);
+  ExpectTablesBitwiseEqual(rehot.second, expected, "re-specialized after schema change");
+}
+
+TEST_F(JitSpecializationTest, SpecializedPlanSeesCommittedWritesAndMvccVisibility) {
+  if (!jit::JitCompilationAvailable()) {
+    GTEST_SKIP() << "runtime compilation unavailable in this build";
+  }
+  CreateStudentsTable();
+  const auto query = "SELECT SUM(grade), COUNT(*), COUNT(grade) FROM students WHERE semester >= 2";
+  const auto cache = std::make_shared<PqpCache>(16);
+  const auto hot = RunUntilSpecialized(query, cache);
+  ASSERT_TRUE(hot.first.jit_hit);
+
+  // Committed DML leaves the plan (and artifact) valid — the specialized
+  // execution runs against current chunks and MVCC state every time.
+  ExecuteSql("DELETE FROM students WHERE id = 4");
+  ExecuteSql("INSERT INTO students VALUES (9, 5, 4.0), (10, 2, NULL)");
+  const auto expected = Interpret(query);
+  const auto after = Run(query, cache);
+  EXPECT_TRUE(after.first.jit_hit);
+  ExpectTablesBitwiseEqual(after.second, expected, "after committed writes");
+
+  // An uncommitted insert from another transaction must stay invisible to
+  // the specialized plan (visibility bitmap), then become visible on commit.
+  auto other = Hyrise::Get().transaction_manager.NewTransactionContext();
+  {
+    auto pipeline = SqlPipeline::Builder{"INSERT INTO students VALUES (11, 2, 100.0)"}
+                        .WithTransactionContext(other)
+                        .Build();
+    ASSERT_EQ(pipeline.Execute(), SqlPipelineStatus::kSuccess);
+  }
+  const auto while_uncommitted = Run(query, cache);
+  ExpectTablesBitwiseEqual(while_uncommitted.second, expected, "uncommitted insert invisible");
+  other->Commit();
+  const auto committed_expected = Interpret(query);
+  const auto after_commit = Run(query, cache);
+  ExpectTablesBitwiseEqual(after_commit.second, committed_expected, "committed insert visible");
+}
+
+}  // namespace hyrise

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+
+#include "operators/pipeline_fusion.hpp"
+#include "storage/chunk_encoder.hpp"
+#include "test_utils.hpp"
+
+namespace hyrise {
+
+class PipelineFusionTest : public ::testing::Test {
+ protected:
+  /// Two doubles, `a` nullable with NULLs placed so the old NULL-as-zero
+  /// behavior would have satisfied the `a < 1.0` filter below.
+  std::shared_ptr<Table> MakeFusionTable() {
+    return MakeTable(TableColumnDefinitions{{"a", DataType::kDouble, true}, {"b", DataType::kDouble}},
+                     {{NullValue{}, 1.0},
+                      {0.5, 2.0},
+                      {-1.0, 3.0},
+                      {NullValue{}, 4.0},
+                      {2.0, 5.0},
+                      {0.0, 6.0},
+                      {NullValue{}, 7.0}},
+                     ChunkOffset{3});
+  }
+};
+
+TEST_F(PipelineFusionTest, NullRowsNeverSatisfyFilterOrReachConsume) {
+  const auto table = MakeFusionTable();
+  const auto columns = std::array<ColumnID, 2>{ColumnID{0}, ColumnID{1}};
+
+  // Regression: NULL in `a` used to read as 0.0 and pass `a < 1.0`. Under
+  // three-valued logic the predicate is unknown for those rows, so only the
+  // rows with a = 0.5, -1.0, 0.0 qualify.
+  auto consumed = 0;
+  auto sum_b = 0.0;
+  FusedScanAggregate<double, 2>(
+      *table, columns,
+      [](const std::array<double, 2>& row) {
+        return row[0] < 1.0;
+      },
+      [&](const std::array<double, 2>& row) {
+        ++consumed;
+        sum_b += row[1];
+      });
+  EXPECT_EQ(consumed, 3);
+  EXPECT_DOUBLE_EQ(sum_b, 2.0 + 3.0 + 6.0);
+}
+
+TEST_F(PipelineFusionTest, NullRowsSkippedEvenWithoutFilterSelectivity) {
+  const auto table = MakeFusionTable();
+  const auto columns = std::array<ColumnID, 2>{ColumnID{0}, ColumnID{1}};
+
+  // A pass-everything filter still must not consume NULL rows: aggregates
+  // ignore NULL inputs, and the fused row has no way to carry the mask.
+  auto consumed = 0;
+  FusedScanAggregate<double, 2>(
+      *table, columns,
+      [](const std::array<double, 2>&) {
+        return true;
+      },
+      [&](const std::array<double, 2>&) {
+        ++consumed;
+      });
+  EXPECT_EQ(consumed, 4);
+}
+
+TEST_F(PipelineFusionTest, ProbedLayoutReportsAccessKindsAndMatchesPerCallProbe) {
+  const auto table = MakeFusionTable();
+  const auto columns = std::array<ColumnID, 2>{ColumnID{0}, ColumnID{1}};
+
+  auto layout = ProbeFusedLayout<double, 2>(*table, columns);
+  ASSERT_EQ(layout.access.size(), table->chunk_count());
+  EXPECT_TRUE(layout.nullable[0]);
+  EXPECT_FALSE(layout.nullable[1]);
+  EXPECT_TRUE(layout.any_nullable);
+  for (const auto& chunk_access : layout.access) {
+    // Nullable column always decodes; non-nullable unencoded column is
+    // zero-copy.
+    EXPECT_EQ(chunk_access[0], FusedSegmentAccess::kDecode);
+    EXPECT_EQ(chunk_access[1], FusedSegmentAccess::kZeroCopy);
+  }
+
+  const auto run = [&](const FusedPipelineLayout<2>& probed) {
+    auto sum = 0.0;
+    FusedScanAggregate<double, 2>(
+        *table, columns, probed,
+        [](const std::array<double, 2>& row) {
+          return row[0] >= 0.0;
+        },
+        [&](const std::array<double, 2>& row) {
+          sum += row[0] + row[1];
+        });
+    return sum;
+  };
+  const auto reused_layout_sum = run(layout);
+
+  // The convenience overload probes internally; both paths must agree.
+  auto per_call_sum = 0.0;
+  FusedScanAggregate<double, 2>(
+      *table, columns,
+      [](const std::array<double, 2>& row) {
+        return row[0] >= 0.0;
+      },
+      [&](const std::array<double, 2>& row) {
+        per_call_sum += row[0] + row[1];
+      });
+  EXPECT_DOUBLE_EQ(reused_layout_sum, per_call_sum);
+
+  // Encoding the table flips the non-nullable column to the decode path and
+  // must not change results with a fresh probe.
+  ChunkEncoder::EncodeAllChunks(table, SegmentEncodingSpec{EncodingType::kDictionary});
+  const auto encoded_layout = ProbeFusedLayout<double, 2>(*table, columns);
+  for (const auto& chunk_access : encoded_layout.access) {
+    EXPECT_EQ(chunk_access[1], FusedSegmentAccess::kDecode);
+  }
+  EXPECT_DOUBLE_EQ(run(encoded_layout), reused_layout_sum);
+}
+
+}  // namespace hyrise
