@@ -14,6 +14,18 @@
 /// segments. HYRISE_DURABILITY=off|async|sync (default sync) picks whether
 /// COMMIT waits for the group-commit fsync.
 ///
+/// Front-end tuning (DESIGN.md §5i) via environment variables:
+///   HYRISE_IO_MODEL=epoll|threaded   I/O layer (default epoll)
+///   HYRISE_IO_THREADS=N              epoll I/O threads (default 2)
+///   HYRISE_EXECUTOR_WORKERS=N        scheduler workers (default: hardware)
+///   HYRISE_MAX_CONNECTIONS=N         connection cap (default 64)
+///   HYRISE_ADMISSION_CAPACITY=N      concurrent-statement cap, 0 = off
+///   HYRISE_IDLE_TIMEOUT_S=N          reap idle connections, 0 = off
+///   HYRISE_STATEMENT_TIMEOUT_MS=N    per-statement timeout, 0 = off
+///   HYRISE_QUERY_MEMORY_BUDGET=N     bytes per result set, 0 = off
+///   HYRISE_LOG_STATEMENTS=1          one stderr line per statement
+/// `SHOW SERVER STATS` from any client reports the live counters.
+///
 /// Runs until EOF on stdin.
 
 #include <cstdlib>
@@ -69,6 +81,29 @@ int main(int argc, char** argv) {
   // plan-cache and result-cache reuse counters.
   const auto* log_env = std::getenv("HYRISE_LOG_STATEMENTS");
   config.log_statements = log_env && *log_env && *log_env != '0';
+
+  if (const auto* io_model_env = std::getenv("HYRISE_IO_MODEL"); io_model_env && *io_model_env) {
+    const auto model = std::string{io_model_env};
+    if (model == "epoll") {
+      config.io_model = ServerIoModel::kEpoll;
+    } else if (model == "threaded") {
+      config.io_model = ServerIoModel::kThreadPerConnection;
+    } else {
+      std::cerr << "Unknown HYRISE_IO_MODEL '" << model << "' (expected epoll|threaded)\n";
+      return 1;
+    }
+  }
+  const auto env_number = [](const char* name, uint64_t fallback) {
+    const auto* value = std::getenv(name);
+    return value && *value ? std::strtoull(value, nullptr, 10) : fallback;
+  };
+  config.io_threads = static_cast<size_t>(env_number("HYRISE_IO_THREADS", config.io_threads));
+  config.executor_workers = static_cast<uint32_t>(env_number("HYRISE_EXECUTOR_WORKERS", config.executor_workers));
+  config.max_connections = static_cast<size_t>(env_number("HYRISE_MAX_CONNECTIONS", config.max_connections));
+  config.admission_capacity = env_number("HYRISE_ADMISSION_CAPACITY", config.admission_capacity);
+  config.idle_timeout = std::chrono::seconds{env_number("HYRISE_IDLE_TIMEOUT_S", 0)};
+  config.statement_timeout = std::chrono::milliseconds{env_number("HYRISE_STATEMENT_TIMEOUT_MS", 0)};
+  config.per_query_memory_budget = env_number("HYRISE_QUERY_MEMORY_BUDGET", config.per_query_memory_budget);
   auto server = Server{config};
   const auto started = server.Start();
   if (!started.ok()) {

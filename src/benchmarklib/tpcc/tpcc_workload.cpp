@@ -1,0 +1,125 @@
+#include "benchmarklib/tpcc/tpcc_workload.hpp"
+
+#include <memory>
+
+#include "hyrise.hpp"
+
+namespace hyrise {
+
+namespace {
+
+/// Initial per-district year-to-date balance. The warehouse total is the sum
+/// of its districts', so SUM(w_ytd) == SUM(d_ytd) holds from the first row.
+constexpr auto kInitialDistrictYtd = int64_t{3000};
+
+}  // namespace
+
+void GenerateTpccTables(const TpccConfig& config) {
+  auto& storage_manager = Hyrise::Get().storage_manager;
+  for (const auto* name : {"tpcc_warehouse", "tpcc_district", "tpcc_customer", "tpcc_orders"}) {
+    if (storage_manager.HasTable(name)) {
+      storage_manager.DropTable(name);
+    }
+  }
+
+  auto warehouse = std::make_shared<Table>(
+      TableColumnDefinitions{{"w_id", DataType::kInt}, {"w_ytd", DataType::kLong}}, TableType::kData,
+      config.chunk_size, UseMvcc::kYes);
+  auto district = std::make_shared<Table>(
+      TableColumnDefinitions{{"d_w_id", DataType::kInt},
+                             {"d_id", DataType::kInt},
+                             {"d_ytd", DataType::kLong},
+                             {"d_next_o_id", DataType::kInt}},
+      TableType::kData, config.chunk_size, UseMvcc::kYes);
+  auto customer = std::make_shared<Table>(
+      TableColumnDefinitions{{"c_w_id", DataType::kInt},
+                             {"c_d_id", DataType::kInt},
+                             {"c_id", DataType::kInt},
+                             {"c_balance", DataType::kLong},
+                             {"c_payment_cnt", DataType::kInt}},
+      TableType::kData, config.chunk_size, UseMvcc::kYes);
+  auto orders = std::make_shared<Table>(
+      TableColumnDefinitions{{"o_id", DataType::kInt},
+                             {"o_w_id", DataType::kInt},
+                             {"o_d_id", DataType::kInt},
+                             {"o_c_id", DataType::kInt}},
+      TableType::kData, config.chunk_size, UseMvcc::kYes);
+
+  for (auto w = int32_t{1}; w <= config.warehouses; ++w) {
+    warehouse->AppendRow({w, kInitialDistrictYtd * config.districts_per_warehouse});
+    for (auto d = int32_t{1}; d <= config.districts_per_warehouse; ++d) {
+      district->AppendRow({w, d, kInitialDistrictYtd, int32_t{1}});
+      for (auto c = int32_t{1}; c <= config.customers_per_district; ++c) {
+        customer->AppendRow({w, d, c, int64_t{0}, int32_t{0}});
+      }
+    }
+  }
+
+  storage_manager.AddTable("tpcc_warehouse", warehouse);
+  storage_manager.AddTable("tpcc_district", district);
+  storage_manager.AddTable("tpcc_customer", customer);
+  storage_manager.AddTable("tpcc_orders", orders);
+}
+
+TpccTransactionGenerator::TpccTransactionGenerator(const TpccConfig& config, uint32_t seed)
+    : config_(config), state_(static_cast<uint64_t>(seed) * 2654435761u + 1) {}
+
+uint64_t TpccTransactionGenerator::Next() {
+  state_ ^= state_ << 13;
+  state_ ^= state_ >> 7;
+  state_ ^= state_ << 17;
+  return state_;
+}
+
+int64_t TpccTransactionGenerator::Uniform(int64_t low, int64_t high) {
+  return low + static_cast<int64_t>(Next() % static_cast<uint64_t>(high - low + 1));
+}
+
+std::vector<std::string> TpccTransactionGenerator::NextPayment() {
+  const auto w = Uniform(1, config_.warehouses);
+  const auto d = Uniform(1, config_.districts_per_warehouse);
+  const auto c = Uniform(1, config_.customers_per_district);
+  const auto amount = Uniform(1, 50);
+  const auto ws = std::to_string(w);
+  const auto ds = std::to_string(d);
+  const auto cs = std::to_string(c);
+  const auto amounts = std::to_string(amount);
+  return {
+      "BEGIN",
+      "UPDATE tpcc_warehouse SET w_ytd = w_ytd + " + amounts + " WHERE w_id = " + ws,
+      "UPDATE tpcc_district SET d_ytd = d_ytd + " + amounts + " WHERE d_w_id = " + ws + " AND d_id = " + ds,
+      "UPDATE tpcc_customer SET c_balance = c_balance - " + amounts + ", c_payment_cnt = c_payment_cnt + 1 WHERE "
+      "c_w_id = " + ws + " AND c_d_id = " + ds + " AND c_id = " + cs,
+      "COMMIT",
+  };
+}
+
+std::vector<std::string> TpccTransactionGenerator::NextNewOrder() {
+  const auto w = Uniform(1, config_.warehouses);
+  const auto d = Uniform(1, config_.districts_per_warehouse);
+  const auto c = Uniform(1, config_.customers_per_district);
+  const auto order = next_order_id_++;
+  const auto ws = std::to_string(w);
+  const auto ds = std::to_string(d);
+  return {
+      "BEGIN",
+      "UPDATE tpcc_district SET d_next_o_id = d_next_o_id + 1 WHERE d_w_id = " + ws + " AND d_id = " + ds,
+      "INSERT INTO tpcc_orders VALUES (" + std::to_string(order) + ", " + ws + ", " + ds + ", " +
+          std::to_string(c) + ")",
+      "COMMIT",
+  };
+}
+
+std::string TpccTransactionGenerator::NextAnalyticQuery() {
+  switch (Next() % 3) {
+    case 0:
+      return "SELECT d_w_id, SUM(d_ytd), COUNT(*) FROM tpcc_district GROUP BY d_w_id";
+    case 1:
+      return "SELECT SUM(c_balance) FROM tpcc_customer WHERE c_w_id = " +
+             std::to_string(Uniform(1, config_.warehouses));
+    default:
+      return "SELECT COUNT(*) FROM tpcc_orders";
+  }
+}
+
+}  // namespace hyrise

@@ -1,0 +1,73 @@
+#ifndef HYRISE_SRC_BENCHMARKLIB_TPCC_TPCC_WORKLOAD_HPP_
+#define HYRISE_SRC_BENCHMARKLIB_TPCC_TPCC_WORKLOAD_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/table.hpp"
+#include "types/types.hpp"
+
+namespace hyrise {
+
+/// Configuration of the TPC-C-style HTAP mix (DESIGN.md §5i: the server load
+/// harness drives this over the wire). Deliberately a small subset of the
+/// spec — enough schema and transaction structure to exercise cross-table
+/// read-modify-write contention, not a compliant implementation.
+struct TpccConfig {
+  int32_t warehouses{2};
+  int32_t districts_per_warehouse{10};
+  int32_t customers_per_district{30};
+  ChunkOffset chunk_size{kDefaultChunkSize};
+};
+
+/// Builds and registers tpcc_warehouse, tpcc_district, tpcc_customer, and
+/// tpcc_orders (MVCC on — the workload is transactional). Initial year-to-date
+/// balances satisfy the audit invariant below by construction.
+void GenerateTpccTables(const TpccConfig& config);
+
+/// Produces the SQL statement sequences of the two write transactions plus an
+/// analytic probe. Statement lists are plain text so the same generator
+/// drives in-process pipelines and wire-protocol clients alike.
+///
+/// Simplification vs the spec: NewOrder assigns order numbers from a
+/// generator-side counter instead of reading d_next_o_id back, so every
+/// transaction is a fixed statement list (no client-side data dependency).
+class TpccTransactionGenerator {
+ public:
+  TpccTransactionGenerator(const TpccConfig& config, uint32_t seed);
+
+  /// Payment: adds the same amount to one warehouse's and one of its
+  /// districts' year-to-date totals, and to a customer's payment history.
+  /// Wrapped in BEGIN/COMMIT: partial application would break the audit.
+  std::vector<std::string> NextPayment();
+
+  /// NewOrder: bumps the district's order counter and inserts the order row.
+  std::vector<std::string> NextNewOrder();
+
+  /// Analytic probe: warehouse-level YTD rollup — the "A" in HTAP.
+  std::string NextAnalyticQuery();
+
+  /// The invariant the mix preserves: every Payment adds its amount to
+  /// exactly one warehouse AND one district, so these two sums stay equal
+  /// in every committed snapshot.
+  static std::string WarehouseYtdSumQuery() {
+    return "SELECT SUM(w_ytd) FROM tpcc_warehouse";
+  }
+
+  static std::string DistrictYtdSumQuery() {
+    return "SELECT SUM(d_ytd) FROM tpcc_district";
+  }
+
+ private:
+  uint64_t Next();
+  int64_t Uniform(int64_t low, int64_t high);
+
+  TpccConfig config_;
+  uint64_t state_;
+  int64_t next_order_id_{1};
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_BENCHMARKLIB_TPCC_TPCC_WORKLOAD_HPP_

@@ -135,8 +135,9 @@ class JitEngine {
   std::mutex inflight_mutex_;
   std::condition_variable inflight_condition_;
   uint64_t inflight_{0};
-  /// Compile threads used when no multi-threaded scheduler is active; reaped
-  /// (joined) by WaitForCompiles/Clear once idle.
+  /// Every compile job runs on its own thread here (the job is a blocking
+  /// wait on the external compiler — it must never occupy a scheduler
+  /// worker); reaped (joined) by WaitForCompiles/Clear once idle.
   std::vector<std::thread> compile_threads_;
 
   std::atomic<uint64_t> compiles_started_{0};

@@ -1,0 +1,78 @@
+#ifndef HYRISE_SRC_SERVER_ADMISSION_CONTROLLER_HPP_
+#define HYRISE_SRC_SERVER_ADMISSION_CONTROLLER_HPP_
+
+#include <atomic>
+#include <cstdint>
+
+#include "server/server_stats.hpp"
+
+namespace hyrise {
+
+/// Statement-level backpressure (DESIGN.md §5i): a counting gate over the
+/// dispatch queue. Every executable wire message ('Q' simple query, 'E'
+/// extended-protocol Execute) must acquire a slot *at frame-decode time* —
+/// before its session job is even scheduled — and holds it until the
+/// statement finished. The gate therefore bounds queued + running statements
+/// together: when the executor pool falls behind the arrival rate, the
+/// backlog hits `capacity` and further statements are rejected with a clean
+/// SQLSTATE 53300 error instead of growing an unbounded queue until memory or
+/// latency collapses. The connection survives a rejection — overload degrades
+/// per-statement, not per-connection.
+///
+/// Why acquire at decode time rather than inside the executor job: with a
+/// worker pool of W threads, at most W statements ever *run* concurrently, so
+/// a gate checked only at execution start could never observe more than W in
+/// flight — the backlog would hide in the scheduler queue, unbounded. The
+/// decode-time acquire counts that backlog.
+class AdmissionController {
+ public:
+  /// `capacity` = maximum queued + running statements; 0 = unlimited.
+  AdmissionController(uint64_t capacity, ServerStats* stats) : capacity_(capacity), stats_(stats) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// True = slot acquired (caller must Release exactly once). False = reject
+  /// the statement with 53300.
+  bool TryAdmit() {
+    if (capacity_ == 0) {
+      stats_->statements_admitted.fetch_add(1, std::memory_order_relaxed);
+      stats_->admission_queue_depth.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    auto current = in_flight_.load(std::memory_order_relaxed);
+    while (current < capacity_) {
+      if (in_flight_.compare_exchange_weak(current, current + 1, std::memory_order_acq_rel)) {
+        stats_->statements_admitted.fetch_add(1, std::memory_order_relaxed);
+        stats_->admission_queue_depth.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    stats_->statements_rejected.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  void Release() {
+    if (capacity_ != 0) {
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    stats_->admission_queue_depth.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  uint64_t capacity() const {
+    return capacity_;
+  }
+
+  uint64_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const uint64_t capacity_;
+  ServerStats* stats_;
+  std::atomic<uint64_t> in_flight_{0};
+};
+
+}  // namespace hyrise
+
+#endif  // HYRISE_SRC_SERVER_ADMISSION_CONTROLLER_HPP_

@@ -1,10 +1,16 @@
 #include "server/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <array>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -13,47 +19,38 @@
 #include <system_error>
 #include <vector>
 
-#include "concurrency/transaction_context.hpp"
 #include "hyrise.hpp"
 #include "jit/jit_engine.hpp"
 #include "persistence/snapshot_manager.hpp"
-#include "sql/sql_pipeline.hpp"
+#include "scheduler/abstract_scheduler.hpp"
+#include "scheduler/abstract_task.hpp"
+#include "scheduler/node_queue_scheduler.hpp"
+#include "server/wire_format.hpp"
 #include "storage/storage_manager.hpp"
-#include "storage/table.hpp"
 #include "utils/failure_injection.hpp"
 
 namespace hyrise {
 
 namespace {
 
-/// Upper bound for a single wire message; anything larger is treated as a
-/// malformed frame (we could never resync after it anyway).
-constexpr int32_t kMaxMessageLength = 1 << 26;  // 64 MiB.
-constexpr int32_t kMaxStartupLength = 1 << 14;  // 16 KiB.
+/// epoll_event user-data tags below the first connection id.
+constexpr uint64_t kWakeTag = 0;
+constexpr uint64_t kListenTag = 1;
 
-// --- Wire helpers (PostgreSQL protocol v3: big-endian framing) ---------------
+/// Input throttle: stop reading from a connection once this many decoded
+/// frames wait for the executor — a pipelining client cannot queue unbounded
+/// work (the admission controller additionally bounds statements globally).
+constexpr size_t kMaxPendingFrames = 128;
 
-void AppendInt32(std::string& buffer, int32_t value) {
-  const auto network = htonl(static_cast<uint32_t>(value));
-  buffer.append(reinterpret_cast<const char*>(&network), 4);
-}
+/// How long Stop() lets busy connections finish and flush before
+/// force-closing them. Statements are cancelled at drain start, so this only
+/// triggers for peers that stop reading their final response.
+constexpr auto kDrainGrace = std::chrono::seconds{5};
 
-void AppendInt16(std::string& buffer, int16_t value) {
-  const auto network = htons(static_cast<uint16_t>(value));
-  buffer.append(reinterpret_cast<const char*>(&network), 2);
-}
-
-/// Frames a message: type byte + length (including itself) + payload.
-std::string Message(char type, const std::string& payload) {
-  auto message = std::string(1, type);
-  AppendInt32(message, static_cast<int32_t>(payload.size() + 4));
-  message += payload;
-  return message;
-}
-
-/// Writes the whole buffer, retrying on EINTR and short writes. Returns false
-/// on a real socket error (peer gone); callers treat that as end-of-session,
-/// never as a fatal process error.
+/// Writes the whole buffer, retrying on EINTR and short writes (blocking
+/// sockets — thread-per-connection mode and best-effort teardown messages).
+/// Returns false on a real socket error (peer gone); callers treat that as
+/// end-of-session, never as a fatal process error.
 bool SendAll(int fd, const std::string& data) {
   try {
     FAILPOINT("server/write");
@@ -74,114 +71,15 @@ bool SendAll(int fd, const std::string& data) {
   return true;
 }
 
-/// Reads exactly `size` bytes, retrying on EINTR and short reads. Returns
-/// false on EOF or error.
-bool ReceiveExactly(int fd, char* buffer, size_t size) {
-  auto received = size_t{0};
-  while (received < size) {
-    const auto result = recv(fd, buffer + received, size - received, 0);
-    if (result < 0 && errno == EINTR) {
-      continue;
-    }
-    if (result <= 0) {
-      return false;
-    }
-    received += static_cast<size_t>(result);
-  }
-  return true;
-}
-
-int32_t ReadInt32(const char* buffer) {
-  uint32_t network;
-  std::memcpy(&network, buffer, 4);
-  return static_cast<int32_t>(ntohl(network));
-}
-
-/// PostgreSQL type OIDs for RowDescription.
-int32_t TypeOid(DataType data_type) {
-  switch (data_type) {
-    case DataType::kInt:
-      return 23;  // int4
-    case DataType::kLong:
-      return 20;  // int8
-    case DataType::kFloat:
-      return 700;  // float4
-    case DataType::kDouble:
-      return 701;  // float8
-    default:
-      return 25;  // text
+void DrainEventFd(int fd) {
+  auto value = uint64_t{0};
+  while (read(fd, &value, sizeof(value)) > 0) {
   }
 }
 
-std::string RowDescription(const Table& table) {
-  auto payload = std::string{};
-  AppendInt16(payload, static_cast<int16_t>(static_cast<uint16_t>(table.column_count())));
-  for (auto column = ColumnID{0}; column < table.column_count(); ++column) {
-    payload += table.column_name(column);
-    payload.push_back('\0');
-    AppendInt32(payload, 0);   // Table OID.
-    AppendInt16(payload, 0);   // Attribute number.
-    AppendInt32(payload, TypeOid(table.column_data_type(column)));
-    AppendInt16(payload, -1);  // Type size (variable).
-    AppendInt32(payload, -1);  // Type modifier.
-    AppendInt16(payload, 0);   // Text format.
-  }
-  return Message('T', payload);
-}
-
-/// SQLSTATE classes used: 42601 syntax/semantic error, 40001 serialization
-/// failure (conflict, retries exhausted), 57014 query_canceled (timeout /
-/// shutdown), 53300 too_many_connections, 08P01 protocol violation.
-std::string ErrorResponse(const std::string& message, const std::string& sqlstate = "42601") {
-  auto payload = std::string{};
-  payload += "SERROR";
-  payload.push_back('\0');
-  payload += "C" + sqlstate;
-  payload.push_back('\0');
-  payload += "M" + message;
-  payload.push_back('\0');
-  payload.push_back('\0');
-  return Message('E', payload);
-}
-
-/// `transaction_status`: 'I' idle, 'T' inside an open transaction block.
-std::string ReadyForQuery(char transaction_status = 'I') {
-  return Message('Z', std::string(1, transaction_status));
-}
-
-const char* StatusName(SqlPipelineStatus status) {
-  switch (status) {
-    case SqlPipelineStatus::kSuccess:
-      return "success";
-    case SqlPipelineStatus::kFailure:
-      return "failure";
-    case SqlPipelineStatus::kRolledBack:
-      return "rolled_back";
-    case SqlPipelineStatus::kCancelled:
-      return "cancelled";
-  }
-  return "unknown";
-}
-
-/// One line per statement, machine-grepable: timing plus both cache layers'
-/// outcomes, so reuse behavior is observable in production without a profiler.
-void LogStatement(const std::string& query, SqlPipelineStatus status, const SqlPipelineMetrics& metrics) {
-  auto preview = query.substr(0, 120);
-  for (auto& character : preview) {
-    if (character == '\n' || character == '\r') {
-      character = ' ';
-    }
-  }
-  std::fprintf(stderr,
-               "[statement] status=%s execute_ms=%.3f pqp_cache_hit=%d jit_hit=%d jit_compile_ms=%.3f "
-               "result_cache_probes=%llu "
-               "result_cache_hits=%llu result_cache_bytes_saved=%llu retries=%u wal_wait_ms=%.3f sql=\"%s\"\n",
-               StatusName(status), static_cast<double>(metrics.execute_ns) / 1e6, metrics.pqp_cache_hit ? 1 : 0,
-               metrics.jit_hit ? 1 : 0, static_cast<double>(metrics.jit_compile_ns) / 1e6,
-               static_cast<unsigned long long>(metrics.result_cache_probes),
-               static_cast<unsigned long long>(metrics.result_cache_hits),
-               static_cast<unsigned long long>(metrics.result_cache_bytes_saved), metrics.conflict_retries,
-               static_cast<double>(metrics.wal_wait_ns) / 1e6, preview.c_str());
+void WakeEventFd(int fd) {
+  const auto one = uint64_t{1};
+  [[maybe_unused]] const auto written = write(fd, &one, sizeof(one));
 }
 
 }  // namespace
@@ -190,7 +88,18 @@ Server::~Server() {
   Stop();
 }
 
-Result<uint16_t> Server::Start() {
+SessionConfig Server::MakeSessionConfig(bool reject_over_capacity, uint64_t session_id) const {
+  auto session_config = SessionConfig{};
+  session_config.statement_timeout = config_.statement_timeout;
+  session_config.max_conflict_retries = config_.max_conflict_retries;
+  session_config.log_statements = config_.log_statements;
+  session_config.per_query_memory_budget = config_.per_query_memory_budget;
+  session_config.reject_over_capacity = reject_over_capacity;
+  session_config.session_id = session_id;
+  return session_config;
+}
+
+Result<uint16_t> Server::Bootstrap() {
   // Warm restart before the first connection can arrive: restore the last
   // published snapshot (tables + statistics). A missing manifest means there
   // is nothing to restore yet (first boot) — that is a cold start, not an
@@ -292,11 +201,80 @@ Result<uint16_t> Server::Start() {
   getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_size);
   port_ = ntohs(bound.sin_port);
   listen_fd_.store(fd);
+  return port_;
+}
 
+Result<uint16_t> Server::Start() {
+  const auto bootstrapped = Bootstrap();
+  if (!bootstrapped.ok()) {
+    return bootstrapped;
+  }
+  admission_ = std::make_unique<AdmissionController>(config_.admission_capacity, &stats_);
+  draining_.store(false);
+  stopping_.store(false);
   running_.store(true);
-  accept_thread_ = std::thread([this] {
-    AcceptLoop();
-  });
+
+  if (config_.io_model == ServerIoModel::kThreadPerConnection) {
+    accept_thread_ = std::thread([this] {
+      AcceptLoop();
+    });
+    return port_;
+  }
+
+  // Epoll mode executes statements as scheduler jobs; an immediate-execution
+  // scheduler would run them inline on the I/O threads and serialize the
+  // server, so install a worker pool if none is present. A scheduler the
+  // embedder already installed (with workers) is used as-is.
+  if (Hyrise::Get().scheduler()->worker_count() == 0) {
+    auto workers = config_.executor_workers;
+    if (workers == 0) {
+      workers = std::clamp(std::thread::hardware_concurrency(), 2u, 16u);
+    }
+    Hyrise::Get().SetScheduler(std::make_shared<NodeQueueScheduler>(1, workers));
+    installed_scheduler_ = true;
+  }
+
+  const auto io_thread_count = std::max<size_t>(1, config_.io_threads);
+  io_threads_.clear();
+  for (auto index = size_t{0}; index < io_thread_count; ++index) {
+    auto io = std::make_unique<IoThread>();
+    io->epoll_fd = epoll_create1(0);
+    io->event_fd = eventfd(0, EFD_NONBLOCK);
+    if (io->epoll_fd < 0 || io->event_fd < 0) {
+      const auto error = std::string{"Cannot create epoll/eventfd: "} + std::strerror(errno);
+      for (auto& created : io_threads_) {
+        close(created->epoll_fd);
+        close(created->event_fd);
+      }
+      io_threads_.clear();
+      close(listen_fd_.exchange(-1));
+      running_.store(false);
+      return Result<uint16_t>::Error(error);
+    }
+    auto wake_event = epoll_event{};
+    wake_event.events = EPOLLIN;
+    wake_event.data.u64 = kWakeTag;
+    epoll_ctl(io->epoll_fd, EPOLL_CTL_ADD, io->event_fd, &wake_event);
+    io_threads_.push_back(std::move(io));
+  }
+
+  // The listen socket lives in thread 0's epoll; accepted connections are
+  // assigned round-robin across all I/O threads.
+  {
+    const auto listen_fd = listen_fd_.load();
+    const auto flags = fcntl(listen_fd, F_GETFL, 0);
+    fcntl(listen_fd, F_SETFL, flags | O_NONBLOCK);
+    auto listen_event = epoll_event{};
+    listen_event.events = EPOLLIN;
+    listen_event.data.u64 = kListenTag;
+    epoll_ctl(io_threads_[0]->epoll_fd, EPOLL_CTL_ADD, listen_fd, &listen_event);
+  }
+
+  for (auto index = size_t{0}; index < io_threads_.size(); ++index) {
+    io_threads_[index]->thread = std::thread([this, index] {
+      IoLoop(index);
+    });
+  }
   return port_;
 }
 
@@ -304,51 +282,471 @@ void Server::Stop() {
   if (!running_.exchange(false)) {
     return;
   }
-  // 1. Stop accepting: unblocks accept(2) in the accept thread.
-  const auto fd = listen_fd_.exchange(-1);
-  shutdown(fd, SHUT_RDWR);
-  close(fd);
-  if (accept_thread_.joinable()) {
-    accept_thread_.join();
-  }
+  // Draining first, cancellation sweep second: a statement that arms its
+  // CancellationSource after the sweep ran still observes draining_ and is
+  // born cancelled — without this order, it could slip between the two and
+  // run to completion against a shutting-down server.
+  draining_.store(true, std::memory_order_release);
 
-  // 2. Drain sessions: cancel whatever statement is running (it will finish
-  //    at its next chunk boundary and the session still sends the final
-  //    ErrorResponse), and shut down the read side so idle sessions blocked
-  //    in recv(2) wake up. The write side stays open for the flush.
-  {
-    const auto lock = std::lock_guard{sessions_mutex_};
-    for (const auto& session : sessions_) {
-      if (session->active_statement) {
-        session->active_statement->RequestCancellation(CancellationReason::kShutdown);
-      }
-      if (!session->finished.load()) {
-        shutdown(session->fd, SHUT_RD);
+  if (config_.io_model == ServerIoModel::kThreadPerConnection) {
+    // 1. Stop accepting: unblocks accept(2) in the accept thread.
+    const auto fd = listen_fd_.exchange(-1);
+    shutdown(fd, SHUT_RDWR);
+    close(fd);
+    if (accept_thread_.joinable()) {
+      accept_thread_.join();
+    }
+    // 2. Drain sessions: cancel whatever statement is running (it will finish
+    //    at its next chunk boundary and the session still sends the final
+    //    ErrorResponse), and shut down the read side so idle sessions blocked
+    //    in recv(2) wake up. The write side stays open for the flush.
+    {
+      const auto lock = std::lock_guard{threaded_mutex_};
+      for (const auto& connection : threaded_connections_) {
+        connection->session->CancelActiveStatement(CancellationReason::kShutdown);
+        if (!connection->finished.load()) {
+          shutdown(connection->fd, SHUT_RD);
+        }
       }
     }
+    // 3. Join outside the lock — session threads take threaded_mutex_ on exit.
+    auto connections = std::vector<std::shared_ptr<ThreadedConnection>>{};
+    {
+      const auto lock = std::lock_guard{threaded_mutex_};
+      connections.swap(threaded_connections_);
+    }
+    for (const auto& connection : connections) {
+      if (connection->thread.joinable()) {
+        connection->thread.join();
+      }
+    }
+    return;
   }
 
-  // 3. Join outside the lock — session threads take sessions_mutex_ on exit.
-  auto sessions = std::vector<std::shared_ptr<Session>>{};
-  {
-    const auto lock = std::lock_guard{sessions_mutex_};
-    sessions.swap(sessions_);
-  }
-  for (const auto& session : sessions) {
-    if (session->thread.joinable()) {
-      session->thread.join();
+  // Epoll mode. Cancel every running statement, then tell the I/O threads to
+  // drain: they stop reading, close the listener, flush remaining output,
+  // close connections as they quiesce, and exit once none remain.
+  for (const auto& io : io_threads_) {
+    auto connections = std::vector<std::shared_ptr<Connection>>{};
+    {
+      const auto lock = std::lock_guard{io->mutex};
+      connections.reserve(io->connections.size());
+      for (const auto& [id, connection] : io->connections) {
+        connections.push_back(connection);
+      }
     }
+    for (const auto& connection : connections) {
+      connection->session->CancelActiveStatement(CancellationReason::kShutdown);
+    }
+  }
+  stopping_.store(true, std::memory_order_release);
+  for (const auto& io : io_threads_) {
+    WakeEventFd(io->event_fd);
+  }
+  for (const auto& io : io_threads_) {
+    if (io->thread.joinable()) {
+      io->thread.join();
+    }
+  }
+  {
+    const auto fd = listen_fd_.exchange(-1);
+    if (fd >= 0) {
+      close(fd);
+    }
+  }
+  // Executor jobs of force-closed connections may still be finishing; their
+  // completion callbacks touch the IoThread structures, so wait before
+  // releasing anything (the jobs were cancelled — this is bounded).
+  while (jobs_in_flight_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{1});
+  }
+  for (const auto& io : io_threads_) {
+    close(io->epoll_fd);
+    close(io->event_fd);
+  }
+  io_threads_.clear();
+  if (installed_scheduler_) {
+    Hyrise::Get().SetScheduler(std::make_shared<ImmediateExecutionScheduler>());
+    installed_scheduler_ = false;
   }
 }
 
 size_t Server::active_connection_count() const {
-  const auto lock = std::lock_guard{sessions_mutex_};
-  auto count = size_t{0};
-  for (const auto& session : sessions_) {
-    count += session->finished.load() ? 0 : 1;
-  }
-  return count;
+  return static_cast<size_t>(stats_.active_connections.load(std::memory_order_relaxed));
 }
+
+// --- Epoll front-end ----------------------------------------------------------
+
+std::shared_ptr<Server::Connection> Server::FindConnection(IoThread& io, uint64_t id) {
+  const auto lock = std::lock_guard{io.mutex};
+  const auto iterator = io.connections.find(id);
+  return iterator == io.connections.end() ? nullptr : iterator->second;
+}
+
+void Server::IoLoop(size_t io_index) {
+  auto& io = *io_threads_[io_index];
+  auto events = std::array<epoll_event, 64>{};
+  auto drain_started = false;
+  auto drain_deadline = std::chrono::steady_clock::time_point{};
+
+  while (true) {
+    auto timeout_ms = 200;
+    if (stopping_.load(std::memory_order_acquire)) {
+      timeout_ms = 20;
+    } else if (config_.idle_timeout.count() > 0) {
+      timeout_ms = static_cast<int>(std::clamp<int64_t>(config_.idle_timeout.count() / 4, 10, 200));
+    }
+    const auto ready = epoll_wait(io.epoll_fd, events.data(), static_cast<int>(events.size()), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    for (auto index = 0; index < ready; ++index) {
+      const auto tag = events[static_cast<size_t>(index)].data.u64;
+      const auto mask = events[static_cast<size_t>(index)].events;
+      if (tag == kWakeTag) {
+        DrainEventFd(io.event_fd);
+        continue;
+      }
+      if (tag == kListenTag) {
+        if (!stopping_.load(std::memory_order_acquire)) {
+          AcceptReady();
+        }
+        continue;
+      }
+      const auto connection = FindConnection(io, tag);
+      if (!connection || connection->closed) {
+        continue;
+      }
+      if (mask & (EPOLLERR | EPOLLHUP)) {
+        Teardown(io, connection);
+        continue;
+      }
+      if (mask & EPOLLIN) {
+        HandleReadable(io, connection);
+      }
+      if (!connection->closed && (mask & EPOLLOUT)) {
+        FlushConnection(io, connection);
+      }
+    }
+    ProcessCompletions(io);
+
+    if (stopping_.load(std::memory_order_acquire)) {
+      if (!drain_started) {
+        drain_started = true;
+        drain_deadline = std::chrono::steady_clock::now() + kDrainGrace;
+        if (io_index == 0) {
+          const auto fd = listen_fd_.exchange(-1);
+          if (fd >= 0) {
+            close(fd);  // epoll drops the registration with the fd.
+          }
+        }
+      }
+      const auto force = std::chrono::steady_clock::now() >= drain_deadline;
+      SweepConnections(io, force);
+      const auto lock = std::lock_guard{io.mutex};
+      if (io.connections.empty()) {
+        break;
+      }
+    } else {
+      SweepConnections(io, /*force_teardown=*/false);
+    }
+  }
+}
+
+void Server::AcceptReady() {
+  while (true) {
+    const auto listen_fd = listen_fd_.load();
+    if (listen_fd < 0) {
+      return;
+    }
+    const auto fd = accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // EAGAIN: all pending connections accepted.
+    }
+    // Responses are built in full before sending, so Nagle only adds delayed-
+    // ACK latency to the extended protocol's multi-frame exchanges.
+    const auto no_delay = int{1};
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &no_delay, sizeof(no_delay));
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    const auto active_before = stats_.active_connections.fetch_add(1, std::memory_order_relaxed);
+    const auto reject = active_before >= config_.max_connections;
+
+    auto connection = std::make_shared<Connection>();
+    connection->fd = fd;
+    connection->id = next_connection_id_.fetch_add(1, std::memory_order_relaxed);
+    connection->io_index = next_io_index_.fetch_add(1, std::memory_order_relaxed) % io_threads_.size();
+    connection->last_activity = std::chrono::steady_clock::now();
+    connection->session =
+        std::make_unique<Session>(MakeSessionConfig(reject, connection->id), &stats_, admission_.get(), &draining_);
+    connection->session->set_on_work_done([this, io_index = connection->io_index, id = connection->id] {
+      OnJobDone(io_index, id);
+    });
+
+    auto& target = *io_threads_[connection->io_index];
+    {
+      const auto lock = std::lock_guard{target.mutex};
+      target.connections.emplace(connection->id, connection);
+    }
+    auto event = epoll_event{};
+    event.events = EPOLLIN;
+    event.data.u64 = connection->id;
+    if (epoll_ctl(target.epoll_fd, EPOLL_CTL_ADD, fd, &event) != 0) {
+      const auto lock = std::lock_guard{target.mutex};
+      target.connections.erase(connection->id);
+      close(fd);
+      stats_.active_connections.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Server::UpdateEpollInterest(IoThread& io, const std::shared_ptr<Connection>& connection) {
+  auto event = epoll_event{};
+  event.events = (connection->reading ? EPOLLIN : 0u) | (connection->want_write ? EPOLLOUT : 0u);
+  event.data.u64 = connection->id;
+  epoll_ctl(io.epoll_fd, EPOLL_CTL_MOD, connection->fd, &event);
+}
+
+void Server::HandleReadable(IoThread& io, const std::shared_ptr<Connection>& connection) {
+  auto buffer = std::array<char, 16384>{};
+  while (true) {
+    const auto received = recv(connection->fd, buffer.data(), buffer.size(), 0);
+    if (received > 0) {
+      connection->last_activity = std::chrono::steady_clock::now();
+      connection->session->Ingest(buffer.data(), static_cast<size_t>(received));
+      // Input throttle (slow-executor backpressure): stop reading while this
+      // connection's decoded-frame backlog is deep; reading resumes when the
+      // executor catches up (ProcessCompletions).
+      if (connection->session->pending_frame_count() >= kMaxPendingFrames) {
+        connection->reading = false;
+        UpdateEpollInterest(io, connection);
+        break;
+      }
+      if (static_cast<size_t>(received) < buffer.size()) {
+        break;  // Socket very likely drained; EPOLLIN is level-triggered anyway.
+      }
+      continue;
+    }
+    if (received == 0) {  // Peer closed without Terminate.
+      Teardown(io, connection);
+      return;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    Teardown(io, connection);
+    return;
+  }
+  MaybeScheduleJob(connection);
+  FlushConnection(io, connection);  // Greeting / decode-time errors.
+}
+
+void Server::FlushConnection(IoThread& io, const std::shared_ptr<Connection>& connection) {
+  if (connection->closed) {
+    return;
+  }
+  if (connection->write_offset == connection->write_buffer.size()) {
+    connection->write_buffer.clear();
+    connection->write_offset = 0;
+  }
+  connection->session->TakeOutput(connection->write_buffer);
+
+  // Slow-reader protection: a peer that stops reading while responses keep
+  // accumulating gets dropped instead of buffering without bound.
+  if (config_.max_output_buffer != 0 &&
+      connection->write_buffer.size() - connection->write_offset > config_.max_output_buffer) {
+    stats_.slow_reader_kills.fetch_add(1, std::memory_order_relaxed);
+    Teardown(io, connection);
+    return;
+  }
+
+  if (connection->write_offset < connection->write_buffer.size()) {
+    try {
+      FAILPOINT("server/write");
+    } catch (const InjectedFault&) {
+      Teardown(io, connection);  // Simulated broken pipe.
+      return;
+    }
+  }
+  while (connection->write_offset < connection->write_buffer.size()) {
+    const auto remaining = connection->write_buffer.size() - connection->write_offset;
+    const auto sent =
+        send(connection->fd, connection->write_buffer.data() + connection->write_offset, remaining, MSG_NOSIGNAL);
+    if (sent > 0) {
+      connection->write_offset += static_cast<size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && errno == EINTR) {
+      continue;
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Kernel buffer full: arm EPOLLOUT and resume when writable.
+      if (!connection->want_write) {
+        connection->want_write = true;
+        UpdateEpollInterest(io, connection);
+      }
+      return;
+    }
+    Teardown(io, connection);
+    return;
+  }
+  connection->write_buffer.clear();
+  connection->write_offset = 0;
+  if (connection->want_write) {
+    connection->want_write = false;
+    UpdateEpollInterest(io, connection);
+  }
+  // Everything flushed: honor a requested close (Terminate, protocol error,
+  // startup rejection) once no work is in flight.
+  if (connection->session->close_requested() && !connection->session->job_active() &&
+      connection->session->pending_frame_count() == 0 && connection->session->output_size() == 0) {
+    Teardown(io, connection);
+  }
+}
+
+void Server::MaybeScheduleJob(const std::shared_ptr<Connection>& connection) {
+  if (!connection->session->TryBeginJob()) {
+    return;
+  }
+  jobs_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  auto task = std::make_shared<JobTask>([this, connection] {
+    connection->session->RunJob();  // Never throws (frame errors are contained per connection).
+    jobs_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  });
+  connection->active_task = task;
+  task->Schedule();
+}
+
+void Server::RecoverFailedJob(IoThread& io, const std::shared_ptr<Connection>& connection) {
+  if (!connection->active_task || !connection->active_task->IsDone()) {
+    return;
+  }
+  const auto failed = connection->active_task->failed();
+  connection->active_task.reset();
+  if (!failed || !connection->session->job_active()) {
+    return;
+  }
+  // The scheduler dropped the task before its body ran (injected dispatch
+  // fault): the job claim is stale and the in-flight count was never
+  // decremented. Release both and reschedule — the frames were not executed,
+  // so re-running them is safe.
+  connection->session->AbandonJobClaim();
+  jobs_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  MaybeScheduleJob(connection);
+  FlushConnection(io, connection);
+}
+
+void Server::OnJobDone(size_t io_index, uint64_t id) {
+  auto& io = *io_threads_[io_index];
+  {
+    const auto lock = std::lock_guard{io.mutex};
+    io.completions.push_back(id);
+  }
+  WakeEventFd(io.event_fd);
+}
+
+void Server::ProcessCompletions(IoThread& io) {
+  auto completions = std::vector<uint64_t>{};
+  {
+    const auto lock = std::lock_guard{io.mutex};
+    completions.swap(io.completions);
+  }
+  for (const auto id : completions) {
+    const auto connection = FindConnection(io, id);
+    if (!connection || connection->closed) {
+      continue;
+    }
+    connection->last_activity = std::chrono::steady_clock::now();
+    RecoverFailedJob(io, connection);
+    if (connection->closed) {
+      continue;
+    }
+    // Resume reading if the frame backlog shrank below half the throttle.
+    if (!connection->reading && !stopping_.load(std::memory_order_acquire) &&
+        connection->session->pending_frame_count() < kMaxPendingFrames / 2) {
+      connection->reading = true;
+      UpdateEpollInterest(io, connection);
+    }
+    MaybeScheduleJob(connection);  // Frames may have queued while the job drained.
+    FlushConnection(io, connection);
+  }
+}
+
+void Server::SweepConnections(IoThread& io, bool force_teardown) {
+  auto connections = std::vector<std::shared_ptr<Connection>>{};
+  {
+    const auto lock = std::lock_guard{io.mutex};
+    connections.reserve(io.connections.size());
+    for (const auto& [id, connection] : io.connections) {
+      connections.push_back(connection);
+    }
+  }
+  const auto now = std::chrono::steady_clock::now();
+  const auto stopping = stopping_.load(std::memory_order_acquire);
+  for (const auto& connection : connections) {
+    if (connection->closed) {
+      continue;
+    }
+    RecoverFailedJob(io, connection);
+    if (connection->closed) {
+      continue;
+    }
+    if (stopping) {
+      if (connection->reading) {  // Drain: no new input.
+        connection->reading = false;
+        UpdateEpollInterest(io, connection);
+      }
+      FlushConnection(io, connection);
+      if (connection->closed) {
+        continue;
+      }
+      const auto quiesced = !connection->session->job_active() &&
+                            connection->session->pending_frame_count() == 0 &&
+                            connection->session->output_size() == 0 &&
+                            connection->write_offset == connection->write_buffer.size();
+      if (quiesced || force_teardown) {
+        Teardown(io, connection);
+      }
+      continue;
+    }
+    // Idle reaping: only truly quiet connections (no queued frames, no
+    // running statement, nothing left to flush) time out.
+    if (config_.idle_timeout.count() > 0 && now - connection->last_activity > config_.idle_timeout &&
+        !connection->session->job_active() && connection->session->pending_frame_count() == 0 &&
+        connection->session->output_size() == 0 && connection->write_offset == connection->write_buffer.size()) {
+      stats_.idle_timeouts.fetch_add(1, std::memory_order_relaxed);
+      // Best-effort notification; the socket buffer is empty, so this will
+      // not block for a connected peer.
+      SendAll(connection->fd, wire::ErrorResponse("terminating connection due to idle timeout", "57P05"));
+      Teardown(io, connection);
+    }
+  }
+}
+
+void Server::Teardown(IoThread& io, const std::shared_ptr<Connection>& connection) {
+  if (connection->closed) {
+    return;
+  }
+  connection->closed = true;
+  epoll_ctl(io.epoll_fd, EPOLL_CTL_DEL, connection->fd, nullptr);
+  close(connection->fd);
+  stats_.active_connections.fetch_sub(1, std::memory_order_relaxed);
+  const auto lock = std::lock_guard{io.mutex};
+  io.connections.erase(connection->id);
+  // The Session (open-transaction rollback, admission-slot release for
+  // undrained frames) is destroyed with the last shared_ptr — immediately
+  // here, or at the end of a still-running executor job.
+}
+
+// --- Thread-per-connection front-end ------------------------------------------
 
 void Server::AcceptLoop() {
   while (running_.load()) {
@@ -359,244 +757,88 @@ void Server::AcceptLoop() {
       }
       break;  // Socket closed by Stop().
     }
-    auto session = std::make_shared<Session>();
-    session->fd = connection_fd;
-    auto reject = false;
+    const auto no_delay = int{1};
+    setsockopt(connection_fd, IPPROTO_TCP, TCP_NODELAY, &no_delay, sizeof(no_delay));
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    const auto active_before = stats_.active_connections.fetch_add(1, std::memory_order_relaxed);
+    const auto reject = active_before >= config_.max_connections;
+
+    auto connection = std::make_shared<ThreadedConnection>();
+    connection->fd = connection_fd;
+    connection->session = std::make_shared<Session>(
+        MakeSessionConfig(reject, next_connection_id_.fetch_add(1, std::memory_order_relaxed)), &stats_,
+        admission_.get(), &draining_);
     {
-      const auto lock = std::lock_guard{sessions_mutex_};
+      const auto lock = std::lock_guard{threaded_mutex_};
       // Reap finished sessions so a long-running server does not accumulate
       // dead threads.
-      for (auto iterator = sessions_.begin(); iterator != sessions_.end();) {
+      for (auto iterator = threaded_connections_.begin(); iterator != threaded_connections_.end();) {
         if ((*iterator)->finished.load() && (*iterator)->thread.joinable()) {
           (*iterator)->thread.join();
-          iterator = sessions_.erase(iterator);
+          iterator = threaded_connections_.erase(iterator);
         } else {
           ++iterator;
         }
       }
-      auto active = size_t{0};
-      for (const auto& other : sessions_) {
-        active += other->finished.load() ? 0 : 1;
-      }
-      reject = active >= config_.max_connections;
-      sessions_.push_back(session);
+      threaded_connections_.push_back(connection);
     }
-    session->thread = std::thread([this, session, reject] {
-      HandleConnection(session, reject);
+    connection->thread = std::thread([this, connection] {
+      HandleThreadedConnection(connection);
     });
   }
 }
 
-void Server::HandleConnection(const std::shared_ptr<Session>& session, bool reject_over_capacity) {
-  const auto connection_fd = session->fd;
-  const auto finish = [&] {
-    close(connection_fd);
-    session->finished.store(true);
+void Server::HandleThreadedConnection(const std::shared_ptr<ThreadedConnection>& connection) {
+  const auto connection_fd = connection->fd;
+  const auto& session = connection->session;
+
+  // Idle timeout via receive timeout: recv wakes with EAGAIN when the
+  // connection has been quiet for too long.
+  if (config_.idle_timeout.count() > 0) {
+    auto timeout = timeval{};
+    timeout.tv_sec = static_cast<time_t>(config_.idle_timeout.count() / 1000);
+    timeout.tv_usec = static_cast<suseconds_t>((config_.idle_timeout.count() % 1000) * 1000);
+    setsockopt(connection_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  }
+
+  auto output = std::string{};
+  const auto flush = [&] {
+    output.clear();
+    session->TakeOutput(output);
+    return output.empty() || SendAll(connection_fd, output);
   };
 
-  // Startup: length + protocol version + parameters. SSLRequest (80877103)
-  // is answered with 'N' (not supported), after which the client retries the
-  // plain startup.
-  while (true) {
-    char header[8];
-    if (!ReceiveExactly(connection_fd, header, 8)) {
-      finish();
-      return;
-    }
-    const auto length = ReadInt32(header);
-    const auto protocol = ReadInt32(header + 4);
-    if (length < 8 || length > kMaxStartupLength) {
-      // Malformed startup — not a PostgreSQL client. Drop silently.
-      finish();
-      return;
-    }
-    auto rest = std::vector<char>(static_cast<size_t>(length) - 8);
-    if (!rest.empty() && !ReceiveExactly(connection_fd, rest.data(), rest.size())) {
-      finish();
-      return;
-    }
-    if (protocol == 80877103) {  // SSLRequest.
-      if (!SendAll(connection_fd, "N")) {
-        finish();
-        return;
-      }
-      continue;
-    }
-    break;  // StartupMessage consumed (parameters ignored; no authentication, paper §2.5).
-  }
-
-  // Backpressure: over-cap clients get a proper protocol-level refusal
-  // instead of a hung or reset connection.
-  if (reject_over_capacity) {
-    SendAll(connection_fd, ErrorResponse("sorry, too many clients already", "53300"));
-    finish();
-    return;
-  }
-
-  auto greeting = Message('R', [] {
-    auto payload = std::string{};
-    AppendInt32(payload, 0);  // AuthenticationOk.
-    return payload;
-  }());
-  {
-    auto status = std::string{"server_version"};
-    status.push_back('\0');
-    status += "14.0 (hyrise-repro)";
-    status.push_back('\0');
-    greeting += Message('S', status);
-  }
-  greeting += ReadyForQuery();
-  if (!SendAll(connection_fd, greeting)) {
-    finish();
-    return;
-  }
-
-  // Per-session transaction context (BEGIN/COMMIT across messages).
-  auto session_transaction = std::shared_ptr<TransactionContext>{};
-  const auto transaction_status = [&] {
-    return session_transaction && session_transaction->IsActive() ? 'T' : 'I';
-  };
-
+  auto buffer = std::array<char, 16384>{};
   while (running_.load()) {
-    char header[5];
-    if (!ReceiveExactly(connection_fd, header, 5)) {
-      break;
-    }
-    const auto type = header[0];
-    const auto length = ReadInt32(header + 1);
-    if (length < 4 || length > kMaxMessageLength) {
-      // Framing is broken; no way to find the next message boundary.
-      SendAll(connection_fd, ErrorResponse("malformed message: invalid length", "08P01"));
-      break;
-    }
-    auto payload = std::vector<char>(static_cast<size_t>(length) - 4);
-    if (!payload.empty() && !ReceiveExactly(connection_fd, payload.data(), payload.size())) {
-      break;
-    }
-    if (type == 'X') {  // Terminate.
-      break;
-    }
-    if (type != 'Q') {  // Only the simple-query protocol is supported.
-      if (!SendAll(connection_fd, ErrorResponse("Unsupported message type", "08P01") +
-                                      ReadyForQuery(transaction_status()))) {
-        break;
-      }
+    const auto received = recv(connection_fd, buffer.data(), buffer.size(), 0);
+    if (received < 0 && errno == EINTR) {
       continue;
     }
-
-    const auto query = std::string{payload.data(), payload.size() > 0 ? payload.size() - 1 : 0};
-
-    // Arm per-statement cooperative cancellation: timeout-driven if
-    // configured, and always cancellable by Stop()'s shutdown drain.
-    auto statement_cancellation = std::make_shared<CancellationSource>(
-        config_.statement_timeout.count() > 0 ? CancellationSource::WithTimeout(config_.statement_timeout)
-                                              : CancellationSource{});
-    {
-      const auto lock = std::lock_guard{sessions_mutex_};
-      session->active_statement = statement_cancellation;
+    if (received < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      stats_.idle_timeouts.fetch_add(1, std::memory_order_relaxed);
+      SendAll(connection_fd, wire::ErrorResponse("terminating connection due to idle timeout", "57P05"));
+      break;
     }
-
-    // Per-connection isolation: whatever a statement does — parse error,
-    // conflict, injected fault, even an unexpected exception — the damage is
-    // an ErrorResponse on this connection, never a dead process.
-    auto status = SqlPipelineStatus::kFailure;
-    auto error_message = std::string{};
-    auto result_table = std::shared_ptr<const Table>{};
-    try {
-      auto pipeline = SqlPipeline::Builder{query}
-                          .WithTransactionContext(session_transaction)
-                          .WithCancellationToken(statement_cancellation->token())
-                          .WithMaxConflictRetries(config_.max_conflict_retries)
-                          .Build();
-      status = pipeline.Execute();
-      session_transaction = pipeline.transaction_context();
-      error_message = pipeline.error_message();
-      result_table = pipeline.result_table();
-      if (config_.log_statements) {
-        LogStatement(query, status, pipeline.metrics());
-      }
-    } catch (const std::exception& exception) {
-      status = SqlPipelineStatus::kFailure;
-      error_message = std::string{"Internal error: "} + exception.what();
-      if (session_transaction && session_transaction->IsActive()) {
-        session_transaction->Rollback();
-      }
-      session_transaction = nullptr;
+    if (received <= 0) {
+      break;  // Peer gone (or Stop()'s SHUT_RD).
     }
-    {
-      const auto lock = std::lock_guard{sessions_mutex_};
-      session->active_statement = nullptr;
+    session->Ingest(buffer.data(), static_cast<size_t>(received));
+    // Inline execution: in this model the connection thread is the executor.
+    while (session->TryBeginJob()) {
+      session->RunJob();
     }
-
-    if (status == SqlPipelineStatus::kFailure) {
-      if (!SendAll(connection_fd, ErrorResponse(error_message) + ReadyForQuery(transaction_status()))) {
-        break;
-      }
-      continue;
+    if (!flush()) {
+      break;
     }
-    if (status == SqlPipelineStatus::kRolledBack) {
-      if (!SendAll(connection_fd, ErrorResponse("transaction conflict, rolled back", "40001") +
-                                      ReadyForQuery(transaction_status()))) {
-        break;
-      }
-      continue;
-    }
-    if (status == SqlPipelineStatus::kCancelled) {
-      if (!SendAll(connection_fd,
-                   ErrorResponse(error_message.empty() ? "query cancelled" : error_message, "57014") +
-                       ReadyForQuery(transaction_status()))) {
-        break;
-      }
-      continue;
-    }
-
-    auto response = std::string{};
-    if (result_table) {
-      response += RowDescription(*result_table);
-      const auto rows = result_table->GetRows();
-      for (const auto& row : rows) {
-        auto payload_row = std::string{};
-        AppendInt16(payload_row, static_cast<int16_t>(row.size()));
-        for (const auto& cell : row) {
-          if (VariantIsNull(cell)) {
-            AppendInt32(payload_row, -1);
-            continue;
-          }
-          const auto text = VariantToString(cell);
-          AppendInt32(payload_row, static_cast<int32_t>(text.size()));
-          payload_row += text;
-        }
-        response += Message('D', payload_row);
-      }
-      response += Message('C', [&] {
-        auto complete = "SELECT " + std::to_string(rows.size());
-        complete.push_back('\0');
-        return complete;
-      }());
-    } else {
-      response += Message('C', [] {
-        auto complete = std::string{"OK"};
-        complete.push_back('\0');
-        return complete;
-      }());
-    }
-    response += ReadyForQuery(transaction_status());
-    if (!SendAll(connection_fd, response)) {
+    if (session->close_requested() && session->pending_frame_count() == 0) {
       break;
     }
   }
 
-  // A dropped connection must not leak its transaction: release all row
-  // locks and undo partial effects (also keeps the TransactionContext
-  // destructor's misuse guard quiet).
-  if (session_transaction && session_transaction->IsActive()) {
-    session_transaction->Rollback();
-  }
-  {
-    const auto lock = std::lock_guard{sessions_mutex_};
-    session->active_statement = nullptr;
-  }
-  finish();
+  session->OnDisconnect();
+  close(connection_fd);
+  stats_.active_connections.fetch_sub(1, std::memory_order_relaxed);
+  connection->finished.store(true);
 }
 
 }  // namespace hyrise

@@ -7,13 +7,30 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "persistence/wal.hpp"
+#include "scheduler/abstract_task.hpp"
 #include "scheduler/cancellation_token.hpp"
+#include "server/admission_controller.hpp"
+#include "server/server_stats.hpp"
+#include "server/session.hpp"
 #include "utils/result.hpp"
 
 namespace hyrise {
+
+/// Connection-handling architecture (DESIGN.md §5i).
+enum class ServerIoModel {
+  /// A small fixed pool of I/O threads drives all sockets through epoll:
+  /// non-blocking reads feed per-connection state machines, query execution
+  /// runs as scheduler jobs, responses flush with EPOLLOUT backpressure.
+  /// Thousands of mostly-idle connections cost file descriptors, not threads.
+  kEpoll,
+  /// One blocking thread per connection (the pre-epoll architecture, kept as
+  /// the measurable baseline for bench/server_load.cpp).
+  kThreadPerConnection,
+};
 
 /// Tunables for the wire-protocol server. Defaults match a test-friendly
 /// local deployment; production embedders override per field.
@@ -27,6 +44,31 @@ struct ServerConfig {
   /// connections") and are closed — backpressure instead of resource
   /// exhaustion.
   size_t max_connections{64};
+  /// Connection-handling architecture; kEpoll is the default.
+  ServerIoModel io_model{ServerIoModel::kEpoll};
+  /// Size of the epoll I/O thread pool (kEpoll only). These threads do no
+  /// query work — just framing and socket I/O — so a handful suffices for
+  /// thousands of connections.
+  size_t io_threads{2};
+  /// Workers for the executor pool that Start() installs when the current
+  /// scheduler has none (kEpoll only; 0 = one per hardware thread). An
+  /// already-installed worker-backed scheduler is used as-is.
+  uint32_t executor_workers{0};
+  /// Statement-level admission control: maximum statements queued + running
+  /// across all connections. Statements beyond it are rejected with SQLSTATE
+  /// 53300 (the connection survives). 0 = unlimited.
+  uint64_t admission_capacity{256};
+  /// Serialized-response byte budget per statement; a result that would
+  /// exceed it becomes a SQLSTATE 53200 error. 0 = unlimited.
+  uint64_t per_query_memory_budget{0};
+  /// Connections idle (no in-flight work) longer than this are closed with
+  /// SQLSTATE 57P05; 0 disables. Enforcement granularity is the I/O sweep
+  /// interval (epoll) / SO_RCVTIMEO (thread-per-connection).
+  std::chrono::milliseconds idle_timeout{0};
+  /// Slow-reader protection (kEpoll only): a connection whose unflushed
+  /// output exceeds this bound is dropped instead of buffering unboundedly.
+  /// 0 = unlimited.
+  size_t max_output_buffer{64u << 20};
   /// Per-statement cooperative timeout; 0 disables. Statements poll the
   /// deadline at chunk boundaries, so enforcement lags by at most one chunk.
   std::chrono::milliseconds statement_timeout{0};
@@ -53,7 +95,8 @@ struct ServerConfig {
   uint32_t group_commit_window_us{100};
   /// Per-statement log line on stderr: status, execution time, plan-cache
   /// hit, result-cache reuse counters (probes/hits/bytes saved), WAL
-  /// durability wait, and JIT specialization outcome.
+  /// durability wait, JIT specialization outcome, and the connection/admission
+  /// gauges of the whole server.
   bool log_statements{false};
   /// Adaptive query specialization (DESIGN.md §5h): when true, Start()
   /// enables the JIT engine — hot cached plans are compiled into fused
@@ -75,8 +118,10 @@ struct ServerConfig {
 /// TCP/IP server implementing the subset of the PostgreSQL v3 wire protocol
 /// needed to receive SQL queries and return results (paper §2.5: existing
 /// psql clients and drivers can connect; authentication/SSL are deliberately
-/// not implemented to keep the server lean). Implemented on plain POSIX
-/// sockets (the original uses Boost.Asio; see DESIGN.md §4).
+/// not implemented to keep the server lean). Simple queries and the extended
+/// protocol (Parse/Bind/Describe/Execute — wire-level prepared statements
+/// binding into the SqlPipeline placeholder machinery) are supported; see
+/// Session for the per-connection state machine shared by both I/O models.
 ///
 /// Fault containment: socket errors are returned (never Assert-aborted), a
 /// failing statement yields an ErrorResponse followed by ReadyForQuery on
@@ -87,7 +132,9 @@ class Server {
   explicit Server(ServerConfig config) : config_(config) {}
 
   /// Convenience: binds 127.0.0.1:`port` with default config (0 = free port).
-  explicit Server(uint16_t port) : config_(ServerConfig{.port = port}) {}
+  explicit Server(uint16_t port) {
+    config_.port = port;
+  }
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -99,41 +146,124 @@ class Server {
   }
 
   /// Creates, binds (SO_REUSEADDR), and listens on the socket, then starts
-  /// accepting connections (one thread per connection). Bind/listen failures
-  /// — e.g. the port is taken — are returned as errors so callers can retry
-  /// on another port instead of aborting the process.
+  /// the configured front-end (epoll I/O threads or one thread per
+  /// connection). Bind/listen failures — e.g. the port is taken — are
+  /// returned as errors so callers can retry on another port instead of
+  /// aborting the process.
   Result<uint16_t> Start();
 
-  /// Graceful drain: stops accepting, cooperatively cancels running
-  /// statements (reason kShutdown), unblocks sessions waiting in recv(2) via
-  /// SHUT_RD (their write side stays open so final responses still flush),
-  /// and joins all session threads.
+  /// Graceful drain: marks the server draining (statements arriving from now
+  /// on are born cancelled), cooperatively cancels running statements (reason
+  /// kShutdown), stops accepting, lets sessions flush their final responses,
+  /// and joins all I/O / session threads.
   void Stop();
 
   /// Sessions currently being served (for tests and monitoring).
   size_t active_connection_count() const;
 
+  /// Aggregate observability counters (also served via SHOW SERVER STATS).
+  const ServerStats& stats() const {
+    return stats_;
+  }
+
  private:
-  struct Session {
+  /// Epoll-mode per-connection state, owned by one I/O thread. Executor jobs
+  /// hold a shared_ptr, so teardown can close the socket while a statement is
+  /// still finishing; the Session (and its transaction rollback) dies with
+  /// the last reference.
+  struct Connection {
+    int fd{-1};
+    uint64_t id{0};
+    size_t io_index{0};
+    std::unique_ptr<Session> session;
+    /// The currently scheduled executor job, if any. The scheduler can drop a
+    /// task without running it (injected dispatch fault) — the I/O sweep
+    /// watches for done-but-failed tasks and reschedules (see
+    /// RecoverFailedJob).
+    std::shared_ptr<AbstractTask> active_task;
+    /// Bytes taken from the session but not yet written (partial sends).
+    std::string write_buffer;
+    size_t write_offset{0};
+    bool want_write{false};   // EPOLLOUT armed.
+    bool reading{true};       // EPOLLIN armed (input throttle / drain).
+    bool closed{false};
+    std::chrono::steady_clock::time_point last_activity;
+  };
+
+  struct IoThread {
+    int epoll_fd{-1};
+    int event_fd{-1};  // Wakeups: executor-job completions, Stop().
+    std::thread thread;
+    /// Guards `connections` and `completions` (the accept thread inserts, the
+    /// executor posts completions, Stop() sweeps).
+    std::mutex mutex;
+    std::unordered_map<uint64_t, std::shared_ptr<Connection>> connections;
+    std::vector<uint64_t> completions;
+  };
+
+  /// Thread-per-connection-mode state (baseline I/O model).
+  struct ThreadedConnection {
     int fd{-1};
     std::thread thread;
-    /// Cancellation handle of the statement currently executing on this
-    /// session, if any. Guarded by sessions_mutex_.
-    std::shared_ptr<CancellationSource> active_statement;
+    std::shared_ptr<Session> session;
     std::atomic<bool> finished{false};
   };
 
+  /// Snapshot restore, WAL replay/enable, JIT configuration, socket setup —
+  /// shared by both I/O models.
+  Result<uint16_t> Bootstrap();
+
+  SessionConfig MakeSessionConfig(bool reject_over_capacity, uint64_t session_id) const;
+
+  // --- Epoll front-end --------------------------------------------------------
+  void IoLoop(size_t io_index);
+  void AcceptReady();
+  std::shared_ptr<Connection> FindConnection(IoThread& io, uint64_t id);
+  void HandleReadable(IoThread& io, const std::shared_ptr<Connection>& connection);
+  void FlushConnection(IoThread& io, const std::shared_ptr<Connection>& connection);
+  void MaybeScheduleJob(const std::shared_ptr<Connection>& connection);
+  void RecoverFailedJob(IoThread& io, const std::shared_ptr<Connection>& connection);
+  void OnJobDone(size_t io_index, uint64_t id);
+  void ProcessCompletions(IoThread& io);
+  void SweepConnections(IoThread& io, bool force_teardown);
+  void UpdateEpollInterest(IoThread& io, const std::shared_ptr<Connection>& connection);
+  void Teardown(IoThread& io, const std::shared_ptr<Connection>& connection);
+
+  // --- Thread-per-connection front-end ----------------------------------------
   void AcceptLoop();
-  void HandleConnection(const std::shared_ptr<Session>& session, bool reject_over_capacity);
+  void HandleThreadedConnection(const std::shared_ptr<ThreadedConnection>& connection);
 
   ServerConfig config_;
-  /// Atomic: AcceptLoop reads it concurrently with Stop()'s close/reset.
+  /// Atomic: the accept path reads it concurrently with Stop()'s close/reset.
   std::atomic<int> listen_fd_{-1};
   uint16_t port_{0};
   std::atomic<bool> running_{false};
+  /// Set (before the cancellation sweep) when Stop() begins: statements that
+  /// arm after the sweep see it and are born cancelled — closes the window
+  /// where a statement could slip past the sweep and run against a draining
+  /// server.
+  std::atomic<bool> draining_{false};
+  /// Tells the I/O threads to drain and exit.
+  std::atomic<bool> stopping_{false};
+
+  ServerStats stats_;
+  std::unique_ptr<AdmissionController> admission_;
+
+  // Epoll mode.
+  std::vector<std::unique_ptr<IoThread>> io_threads_;
+  std::atomic<uint64_t> next_connection_id_{2};  // 0 = eventfd tag, 1 = listen tag.
+  std::atomic<uint64_t> next_io_index_{0};
+  /// Executor jobs not yet finished; Stop() waits for zero before releasing
+  /// the I/O structures the jobs' completion callbacks touch.
+  std::atomic<uint64_t> jobs_in_flight_{0};
+  /// Whether Start() installed the executor scheduler (and Stop() must
+  /// restore the immediate one).
+  bool installed_scheduler_{false};
+
+  // Thread-per-connection mode.
   std::thread accept_thread_;
-  mutable std::mutex sessions_mutex_;
-  std::vector<std::shared_ptr<Session>> sessions_;
+  mutable std::mutex threaded_mutex_;
+  std::vector<std::shared_ptr<ThreadedConnection>> threaded_connections_;
 };
 
 }  // namespace hyrise

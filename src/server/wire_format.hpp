@@ -1,0 +1,181 @@
+#ifndef HYRISE_SRC_SERVER_WIRE_FORMAT_HPP_
+#define HYRISE_SRC_SERVER_WIRE_FORMAT_HPP_
+
+#include <arpa/inet.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "storage/table.hpp"
+#include "types/all_type_variant.hpp"
+
+namespace hyrise::wire {
+
+/// Upper bound for a single wire message; anything larger is treated as a
+/// malformed frame (we could never resync after it anyway).
+constexpr int32_t kMaxMessageLength = 1 << 26;  // 64 MiB.
+constexpr int32_t kMaxStartupLength = 1 << 14;  // 16 KiB.
+
+/// PostgreSQL v3 special startup protocol codes.
+constexpr int32_t kSslRequestCode = 80877103;
+
+// --- Primitive big-endian encoders (PostgreSQL protocol v3 framing) ----------
+
+inline void AppendInt32(std::string& buffer, int32_t value) {
+  const auto network = htonl(static_cast<uint32_t>(value));
+  buffer.append(reinterpret_cast<const char*>(&network), 4);
+}
+
+inline void AppendInt16(std::string& buffer, int16_t value) {
+  const auto network = htons(static_cast<uint16_t>(value));
+  buffer.append(reinterpret_cast<const char*>(&network), 2);
+}
+
+inline int32_t ReadInt32(const char* buffer) {
+  uint32_t network;
+  std::memcpy(&network, buffer, 4);
+  return static_cast<int32_t>(ntohl(network));
+}
+
+inline int16_t ReadInt16(const char* buffer) {
+  uint16_t network;
+  std::memcpy(&network, buffer, 2);
+  return static_cast<int16_t>(ntohs(network));
+}
+
+/// Frames a message: type byte + length (including itself) + payload.
+inline std::string Message(char type, const std::string& payload) {
+  auto message = std::string(1, type);
+  AppendInt32(message, static_cast<int32_t>(payload.size() + 4));
+  message += payload;
+  return message;
+}
+
+// --- Response builders --------------------------------------------------------
+
+/// PostgreSQL type OIDs for RowDescription / ParameterDescription.
+inline int32_t TypeOid(DataType data_type) {
+  switch (data_type) {
+    case DataType::kInt:
+      return 23;  // int4
+    case DataType::kLong:
+      return 20;  // int8
+    case DataType::kFloat:
+      return 700;  // float4
+    case DataType::kDouble:
+      return 701;  // float8
+    default:
+      return 25;  // text
+  }
+}
+
+/// The inverse: which column type a client-declared parameter OID binds to.
+/// Unknown OIDs fall back to text — the engine compares strings lexically,
+/// which is the PostgreSQL behavior for unknown-typed parameters too.
+inline DataType DataTypeForOid(int32_t oid) {
+  switch (oid) {
+    case 21:  // int2
+    case 23:  // int4
+      return DataType::kInt;
+    case 20:  // int8
+      return DataType::kLong;
+    case 700:  // float4
+      return DataType::kFloat;
+    case 701:  // float8
+    case 1700:  // numeric
+      return DataType::kDouble;
+    default:
+      return DataType::kString;
+  }
+}
+
+inline std::string RowDescription(const Table& table) {
+  auto payload = std::string{};
+  AppendInt16(payload, static_cast<int16_t>(static_cast<uint16_t>(table.column_count())));
+  for (auto column = ColumnID{0}; column < table.column_count(); ++column) {
+    payload += table.column_name(column);
+    payload.push_back('\0');
+    AppendInt32(payload, 0);   // Table OID.
+    AppendInt16(payload, 0);   // Attribute number.
+    AppendInt32(payload, TypeOid(table.column_data_type(column)));
+    AppendInt16(payload, -1);  // Type size (variable).
+    AppendInt32(payload, -1);  // Type modifier.
+    AppendInt16(payload, 0);   // Text format.
+  }
+  return Message('T', payload);
+}
+
+/// SQLSTATE classes used: 42601 syntax/semantic error, 40001 serialization
+/// failure (conflict, retries exhausted), 57014 query_canceled (timeout /
+/// shutdown), 53300 too_many_connections (connection cap AND admission-queue
+/// overflow — both are "come back later" backpressure), 53200 out_of_memory
+/// (per-query memory budget exceeded), 08P01 protocol violation, 0A000
+/// feature not supported.
+inline std::string ErrorResponse(const std::string& message, const std::string& sqlstate = "42601") {
+  auto payload = std::string{};
+  payload += "SERROR";
+  payload.push_back('\0');
+  payload += "C" + sqlstate;
+  payload.push_back('\0');
+  payload += "M" + message;
+  payload.push_back('\0');
+  payload.push_back('\0');
+  return Message('E', payload);
+}
+
+/// `transaction_status`: 'I' idle, 'T' inside an open transaction block.
+inline std::string ReadyForQuery(char transaction_status = 'I') {
+  return Message('Z', std::string(1, transaction_status));
+}
+
+inline std::string CommandComplete(const std::string& tag) {
+  auto payload = tag;
+  payload.push_back('\0');
+  return Message('C', payload);
+}
+
+inline std::string ParseComplete() {
+  return Message('1', "");
+}
+
+inline std::string BindComplete() {
+  return Message('2', "");
+}
+
+inline std::string CloseComplete() {
+  return Message('3', "");
+}
+
+inline std::string NoData() {
+  return Message('n', "");
+}
+
+inline std::string ParameterDescription(const std::vector<int32_t>& type_oids) {
+  auto payload = std::string{};
+  AppendInt16(payload, static_cast<int16_t>(type_oids.size()));
+  for (const auto oid : type_oids) {
+    AppendInt32(payload, oid);
+  }
+  return Message('t', payload);
+}
+
+/// One result row in text format; NULL cells use length -1.
+inline std::string DataRow(const std::vector<AllTypeVariant>& row) {
+  auto payload = std::string{};
+  AppendInt16(payload, static_cast<int16_t>(row.size()));
+  for (const auto& cell : row) {
+    if (VariantIsNull(cell)) {
+      AppendInt32(payload, -1);
+      continue;
+    }
+    const auto text = VariantToString(cell);
+    AppendInt32(payload, static_cast<int32_t>(text.size()));
+    payload += text;
+  }
+  return Message('D', payload);
+}
+
+}  // namespace hyrise::wire
+
+#endif  // HYRISE_SRC_SERVER_WIRE_FORMAT_HPP_

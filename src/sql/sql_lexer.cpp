@@ -137,6 +137,17 @@ bool Tokenize(const std::string& query, std::vector<Token>& tokens, std::string&
         continue;
       }
     }
+    // PostgreSQL-style positional parameter: $1, $2, ... (extended wire
+    // protocol; '?' placeholders are the ordinal-implicit equivalent).
+    if (character == '$' && position + 1 < size && std::isdigit(static_cast<unsigned char>(query[position + 1]))) {
+      auto cursor = position + 1;
+      while (cursor < size && std::isdigit(static_cast<unsigned char>(query[cursor]))) {
+        ++cursor;
+      }
+      tokens.push_back({TokenType::kOperator, query.substr(position, cursor - position), position});
+      position = cursor;
+      continue;
+    }
     // Single-character operators.
     if (std::string{"=<>+-*/%(),.;?"}.find(character) != std::string::npos) {
       tokens.push_back({TokenType::kOperator, std::string(1, character), position});

@@ -12,7 +12,7 @@ enum class TokenType {
   kString,       // 'text' (value without quotes)
   kInteger,      // 123
   kFloat,        // 1.5
-  kOperator,     // = <> < <= > >= + - * / % ( ) , . ; ?
+  kOperator,     // = <> < <= > >= + - * / % ( ) , . ; ? $1 $2 ...
   kEnd,
 };
 

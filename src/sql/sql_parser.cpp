@@ -1,5 +1,9 @@
 #include "sql/sql_parser.hpp"
 
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+
 #include "sql/sql_lexer.hpp"
 #include "utils/assert.hpp"
 
@@ -820,11 +824,27 @@ class Parser {
     if (MatchKeyword("FALSE")) {
       return MakeLiteral(AllTypeVariant{int32_t{0}});
     }
-    // Parameter placeholder.
+    // Parameter placeholder: '?' assigns ordinals left to right; '$n' (the
+    // PostgreSQL extended-protocol spelling) names its ordinal explicitly
+    // (1-based on the wire, 0-based internally).
     if (MatchOperator("?")) {
       auto expression = std::make_unique<AstExpr>();
       expression->type = AstExprType::kParameter;
       expression->parameter_ordinal = next_parameter_ordinal_++;
+      return expression;
+    }
+    if (Current().type == TokenType::kOperator && Current().value.size() > 1 && Current().value[0] == '$') {
+      const auto ordinal = std::atoi(Current().value.c_str() + 1);
+      if (ordinal < 1 || ordinal > UINT16_MAX) {
+        ErrorAtCurrent("parameter number out of range");
+        return nullptr;
+      }
+      Advance();
+      auto expression = std::make_unique<AstExpr>();
+      expression->type = AstExprType::kParameter;
+      expression->parameter_ordinal = ordinal - 1;
+      // Keep '?' ordinals consistent when both spellings are mixed.
+      next_parameter_ordinal_ = std::max(next_parameter_ordinal_, ordinal);
       return expression;
     }
     // Parenthesized expression or scalar subquery.

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchmarklib/tpcc/tpcc_workload.hpp"
+#include "hyrise.hpp"
+#include "server/pg_client.hpp"
+#include "server/server.hpp"
+#include "sql/sql_pipeline.hpp"
+
+namespace hyrise {
+
+using testing::PgClient;
+
+/// The TPC-C-style mix end to end: generated transactions driven over the
+/// wire by concurrent clients must preserve the warehouse/district YTD
+/// equality — the sum-preserving audit the server load harness reuses.
+TEST(TpccWorkloadTest, ConcurrentPaymentMixPreservesYtdInvariant) {
+  Hyrise::Reset();
+  auto config = TpccConfig{};
+  GenerateTpccTables(config);
+
+  auto server = Server{uint16_t{0}};
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr auto kClients = 4;
+  constexpr auto kTransactionsPerClient = 20;
+  auto threads = std::vector<std::thread>{};
+  for (auto index = 0; index < kClients; ++index) {
+    threads.emplace_back([&, index] {
+      auto generator = TpccTransactionGenerator{config, static_cast<uint32_t>(100 + index)};
+      auto client = PgClient{server.port()};
+      if (!client.Handshake()) {
+        return;
+      }
+      for (auto iteration = 0; iteration < kTransactionsPerClient; ++iteration) {
+        const auto statements = (iteration % 3 == 2) ? generator.NextNewOrder() : generator.NextPayment();
+        auto failed = false;
+        for (const auto& sql : statements) {
+          const auto response = client.Query(sql);
+          if (!response.has_value()) {
+            return;
+          }
+          if (PgClient::FindType(*response, 'E') != nullptr) {
+            failed = true;
+            break;  // Conflict after retries: roll back, never half-apply.
+          }
+        }
+        if (failed) {
+          client.Query("ROLLBACK");
+        }
+        // Interleave analytic probes: they must see consistent snapshots.
+        if (iteration % 5 == 0) {
+          client.Query(generator.NextAnalyticQuery());
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+
+  auto auditor = PgClient{server.port()};
+  ASSERT_TRUE(auditor.Handshake());
+  const auto warehouse_sum = auditor.Query(TpccTransactionGenerator::WarehouseYtdSumQuery());
+  const auto district_sum = auditor.Query(TpccTransactionGenerator::DistrictYtdSumQuery());
+  ASSERT_TRUE(warehouse_sum.has_value());
+  ASSERT_TRUE(district_sum.has_value());
+  const auto warehouse_rows = PgClient::DataRows(*warehouse_sum);
+  const auto district_rows = PgClient::DataRows(*district_sum);
+  ASSERT_EQ(warehouse_rows.size(), 1u);
+  ASSERT_EQ(district_rows.size(), 1u);
+  EXPECT_EQ(warehouse_rows[0][0], district_rows[0][0])
+      << "every Payment must hit warehouse and district atomically";
+  server.Stop();
+}
+
+}  // namespace hyrise

@@ -270,6 +270,66 @@ TEST_F(ChaosTest, ServerSurvivesProbabilisticFaultsWithoutPartialCommits) {
   server.Stop();
 }
 
+/// The same invariants at front-end scale: 64 concurrent wire clients over
+/// the epoll I/O layer (16x the thread-per-connection-era suite). Fault
+/// probabilities are scaled down so the total fault volume stays comparable;
+/// what this run adds is contention — on the admission controller, the
+/// scheduler queues, and per-connection state machines.
+TEST_F(ChaosTest, SixtyFourClientsPreserveSumsUnderFaults) {
+  auto config = ServerConfig{};
+  config.max_connections = 128;  // All chaos clients plus the auditor fit.
+  config.max_conflict_retries = 5;
+  auto server = Server{config};
+  ASSERT_TRUE(server.Start().ok());
+
+  const auto arm = [](const char* point, double probability) {
+    auto spec = FailureSpec{};
+    spec.probability = probability;
+    FailureInjection::Arm(point, spec);
+  };
+  arm("insert/row", 0.01);
+  arm("commit/publish", 0.01);
+  arm("scheduler/execute", 0.005);
+  arm("server/write", 0.002);
+
+  constexpr auto kClients = 64;
+  constexpr auto kIterations = 25;
+  auto clients = std::vector<std::unique_ptr<ChaosClient>>{};
+  for (auto index = 0; index < kClients; ++index) {
+    clients.push_back(std::make_unique<ChaosClient>(server.port(), 9000 + index));
+  }
+  auto threads = std::vector<std::thread>{};
+  for (auto index = 0; index < kClients; ++index) {
+    threads.emplace_back([&, index] {
+      clients[index]->Run(kIterations);
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+
+  auto completed = int64_t{0};
+  auto bad_sums = int64_t{0};
+  for (const auto& client : clients) {
+    completed += client->completed_operations();
+    bad_sums += client->observed_bad_sums();
+  }
+  EXPECT_GT(completed, kClients) << "the scaled workload must make progress";
+  EXPECT_EQ(bad_sums, 0) << "no reader may ever observe a torn transfer at scale";
+
+  FailureInjection::DisarmAll();
+  auto auditor = PgClient{server.port()};
+  ASSERT_TRUE(auditor.Handshake());
+  const auto account_sum = auditor.Query("SELECT SUM(balance) FROM chaos_accounts");
+  ASSERT_TRUE(account_sum.has_value());
+  ASSERT_NE(PgClient::FindType(*account_sum, 'D'), nullptr);
+  EXPECT_NE(PgClient::FindType(*account_sum, 'D')->payload.find("800"), std::string::npos);
+  ExpectTableContents(ExecuteSql("SELECT SUM(balance) FROM chaos_accounts"), {{int64_t{800}}});
+  ExpectTableContents(ExecuteSql("SELECT SUM(x) FROM chaos_ledger"), {{int64_t{0}}});
+
+  server.Stop();
+}
+
 /// Stop() during active traffic: a graceful drain, not a crash — running
 /// statements are cancelled cooperatively and sessions wind down.
 TEST_F(ChaosTest, GracefulShutdownUnderLoad) {

@@ -3,6 +3,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -33,6 +34,10 @@ class PgClient {
     if (fd_ < 0) {
       return;
     }
+    // The extended protocol sends several small frames per request; without
+    // TCP_NODELAY the Nagle/delayed-ACK interaction adds tens of ms of tail.
+    const auto no_delay = int{1};
+    setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &no_delay, sizeof(no_delay));
     auto address = sockaddr_in{};
     address.sin_family = AF_INET;
     address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -83,6 +88,87 @@ class PgClient {
   /// Sends arbitrary bytes — for protocol-violation tests.
   bool SendRaw(const std::string& bytes) {
     return Send(bytes);
+  }
+
+  // --- Extended-protocol messages (Parse/Bind/Execute/Describe/Close/Sync) ---
+
+  bool SendParse(const std::string& statement_name, const std::string& sql,
+                 const std::vector<int32_t>& parameter_type_oids = {}) {
+    auto payload = std::string{};
+    payload += statement_name;
+    payload.push_back('\0');
+    payload += sql;
+    payload.push_back('\0');
+    AppendInt16(payload, static_cast<int16_t>(parameter_type_oids.size()));
+    for (const auto oid : parameter_type_oids) {
+      AppendInt32(payload, oid);
+    }
+    return SendTyped('P', payload);
+  }
+
+  /// Binds text-format parameters; nullopt encodes SQL NULL (length -1).
+  bool SendBind(const std::string& portal_name, const std::string& statement_name,
+                const std::vector<std::optional<std::string>>& parameters = {}) {
+    auto payload = std::string{};
+    payload += portal_name;
+    payload.push_back('\0');
+    payload += statement_name;
+    payload.push_back('\0');
+    AppendInt16(payload, 0);  // Parameter format codes: all default (text).
+    AppendInt16(payload, static_cast<int16_t>(parameters.size()));
+    for (const auto& parameter : parameters) {
+      if (!parameter) {
+        AppendInt32(payload, -1);
+        continue;
+      }
+      AppendInt32(payload, static_cast<int32_t>(parameter->size()));
+      payload += *parameter;
+    }
+    AppendInt16(payload, 0);  // Result format codes: all default (text).
+    return SendTyped('B', payload);
+  }
+
+  /// `kind` is 'S' (prepared statement) or 'P' (portal).
+  bool SendDescribe(char kind, const std::string& name) {
+    auto payload = std::string(1, kind);
+    payload += name;
+    payload.push_back('\0');
+    return SendTyped('D', payload);
+  }
+
+  bool SendExecute(const std::string& portal_name, int32_t row_limit = 0) {
+    auto payload = std::string{};
+    payload += portal_name;
+    payload.push_back('\0');
+    AppendInt32(payload, row_limit);
+    return SendTyped('E', payload);
+  }
+
+  /// `kind` is 'S' (prepared statement) or 'P' (portal).
+  bool SendClose(char kind, const std::string& name) {
+    auto payload = std::string(1, kind);
+    payload += name;
+    payload.push_back('\0');
+    return SendTyped('C', payload);
+  }
+
+  bool SendSync() {
+    return SendTyped('S', {});
+  }
+
+  bool SendFlush() {
+    return SendTyped('H', {});
+  }
+
+  /// Parse + Bind + Execute + Sync for an unnamed one-shot statement, returning
+  /// the full response stream (ends with ReadyForQuery).
+  std::optional<std::vector<WireMessage>> ExtendedQuery(const std::string& sql,
+                                                        const std::vector<std::optional<std::string>>& parameters = {},
+                                                        const std::vector<int32_t>& parameter_type_oids = {}) {
+    if (!SendParse("", sql, parameter_type_oids) || !SendBind("", "", parameters) || !SendExecute("") || !SendSync()) {
+      return std::nullopt;
+    }
+    return ReadUntilReady();
   }
 
   std::optional<WireMessage> ReadMessage() {
@@ -140,10 +226,73 @@ class PgClient {
     return nullptr;
   }
 
+  /// Decodes a DataRow payload (int16 field count, then per-field int32
+  /// length + bytes; -1 = NULL) into text cells.
+  static std::vector<std::optional<std::string>> DecodeDataRow(const std::string& payload) {
+    auto cells = std::vector<std::optional<std::string>>{};
+    if (payload.size() < 2) {
+      return cells;
+    }
+    uint16_t count_network;
+    std::memcpy(&count_network, payload.data(), 2);
+    const auto count = ntohs(count_network);
+    auto offset = size_t{2};
+    for (auto field = uint16_t{0}; field < count; ++field) {
+      if (offset + 4 > payload.size()) {
+        return cells;
+      }
+      uint32_t length_network;
+      std::memcpy(&length_network, payload.data() + offset, 4);
+      const auto length = static_cast<int32_t>(ntohl(length_network));
+      offset += 4;
+      if (length < 0) {
+        cells.emplace_back(std::nullopt);
+        continue;
+      }
+      cells.emplace_back(payload.substr(offset, static_cast<size_t>(length)));
+      offset += static_cast<size_t>(length);
+    }
+    return cells;
+  }
+
+  /// All DataRow cells from a response stream.
+  static std::vector<std::vector<std::optional<std::string>>> DataRows(const std::vector<WireMessage>& messages) {
+    auto rows = std::vector<std::vector<std::optional<std::string>>>{};
+    for (const auto& message : messages) {
+      if (message.type == 'D') {
+        rows.push_back(DecodeDataRow(message.payload));
+      }
+    }
+    return rows;
+  }
+
+  /// Looks up a counter from a SHOW SERVER STATS response (rows of
+  /// stat-name/value pairs); nullopt when the stat is absent.
+  static std::optional<int64_t> StatValue(const std::vector<WireMessage>& messages, const std::string& name) {
+    for (const auto& row : DataRows(messages)) {
+      if (row.size() == 2 && row[0] && *row[0] == name && row[1]) {
+        return std::stoll(*row[1]);
+      }
+    }
+    return std::nullopt;
+  }
+
  private:
   static void AppendInt32(std::string& buffer, int32_t value) {
     const auto network = htonl(static_cast<uint32_t>(value));
     buffer.append(reinterpret_cast<const char*>(&network), 4);
+  }
+
+  static void AppendInt16(std::string& buffer, int16_t value) {
+    const auto network = htons(static_cast<uint16_t>(value));
+    buffer.append(reinterpret_cast<const char*>(&network), 2);
+  }
+
+  bool SendTyped(char type, const std::string& payload) {
+    auto message = std::string(1, type);
+    AppendInt32(message, static_cast<int32_t>(payload.size() + 4));
+    message += payload;
+    return Send(message);
   }
 
   bool Send(const std::string& data) {

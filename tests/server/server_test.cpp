@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <memory>
@@ -205,6 +206,116 @@ TEST(ServerCapacityTest, OverCapConnectionsAreRefusedWithBackpressure) {
   server.Stop();
 }
 
+// --- Observability: SHOW SERVER STATS ---------------------------------------
+
+TEST_F(ServerTest, ShowServerStatsExposesCounters) {
+  auto client = PgClient{server_->port()};
+  ASSERT_TRUE(client.Handshake());
+  ASSERT_TRUE(client.Query("SELECT COUNT(*) FROM t").has_value());
+
+  const auto stats = client.Query("SHOW SERVER STATS");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ((*stats)[0].type, 'T') << "stats arrive as a regular result set";
+  const auto accepted = PgClient::StatValue(*stats, "connections_accepted");
+  const auto active = PgClient::StatValue(*stats, "active_connections");
+  const auto completed = PgClient::StatValue(*stats, "statements_completed");
+  ASSERT_TRUE(accepted.has_value());
+  ASSERT_TRUE(active.has_value());
+  ASSERT_TRUE(completed.has_value());
+  EXPECT_GE(*accepted, 1);
+  EXPECT_GE(*active, 1);
+  EXPECT_GE(*completed, 1) << "the COUNT(*) above already completed";
+}
+
+// --- Per-connection idle timeout ---------------------------------------------
+
+class ServerIdleTimeoutTest : public ::testing::TestWithParam<ServerIoModel> {};
+
+TEST_P(ServerIdleTimeoutTest, QuietConnectionsAreReapedWithNotice) {
+  Hyrise::Reset();
+  auto config = ServerConfig{};
+  config.io_model = GetParam();
+  config.idle_timeout = std::chrono::milliseconds{200};
+  auto server = Server{config};
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = PgClient{server.port()};
+  ASSERT_TRUE(client.Handshake());
+  ASSERT_TRUE(client.Query("SELECT 1").has_value()) << "activity resets the idle clock";
+
+  // Go quiet past the timeout: the server must send a 57P05 notice and close.
+  const auto farewell = client.ReadMessage();
+  ASSERT_TRUE(farewell.has_value()) << "server announces the idle disconnect before closing";
+  EXPECT_EQ(farewell->type, 'E');
+  EXPECT_NE(farewell->payload.find("57P05"), std::string::npos);
+  EXPECT_FALSE(client.ReadMessage().has_value()) << "connection is closed after the notice";
+  EXPECT_GE(server.stats().idle_timeouts.load(), uint64_t{1});
+  server.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(BothIoModels, ServerIdleTimeoutTest,
+                         ::testing::Values(ServerIoModel::kEpoll, ServerIoModel::kThreadPerConnection),
+                         [](const ::testing::TestParamInfo<ServerIoModel>& info) {
+                           return info.param == ServerIoModel::kEpoll ? "Epoll" : "ThreadPerConnection";
+                         });
+
+// --- Bounded output buffer (slow-reader protection) --------------------------
+
+TEST(ServerSlowReaderTest, ResponseExceedingOutputBoundKillsOnlyThatConnection) {
+  Hyrise::Reset();
+  auto table = std::make_shared<Table>(TableColumnDefinitions{{"a", DataType::kInt}}, TableType::kData,
+                                       ChunkOffset{1024}, UseMvcc::kYes);
+  for (auto value = int32_t{0}; value < 8192; ++value) {
+    table->AppendRow({value});
+  }
+  Hyrise::Get().storage_manager.AddTable("wide", table);
+
+  auto config = ServerConfig{};
+  config.max_output_buffer = 32 * 1024;  // ~8k rows serialize to ~4x this.
+  auto server = Server{config};
+  ASSERT_TRUE(server.Start().ok());
+
+  auto greedy = PgClient{server.port()};
+  ASSERT_TRUE(greedy.Handshake());
+  auto modest = PgClient{server.port()};
+  ASSERT_TRUE(modest.Handshake());
+
+  ASSERT_TRUE(greedy.SendQuery("SELECT a FROM wide"));
+  EXPECT_FALSE(greedy.ReadUntilReady().has_value()) << "over-bound response drops the connection";
+  EXPECT_GE(server.stats().slow_reader_kills.load(), uint64_t{1});
+
+  // Small responses on other connections are unaffected.
+  const auto fine = modest.Query("SELECT COUNT(*) FROM wide");
+  ASSERT_TRUE(fine.has_value());
+  const auto rows = PgClient::DataRows(*fine);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "8192");
+  server.Stop();
+}
+
+// --- Thread-per-connection baseline stays fully functional -------------------
+
+TEST(ServerThreadedModelTest, SimpleAndPreparedQueriesWork) {
+  Hyrise::Reset();
+  ExecuteSql("CREATE TABLE legacy (a INT NOT NULL)");
+  ExecuteSql("INSERT INTO legacy VALUES (1), (2), (3)");
+  auto config = ServerConfig{};
+  config.io_model = ServerIoModel::kThreadPerConnection;
+  auto server = Server{config};
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = PgClient{server.port()};
+  ASSERT_TRUE(client.Handshake());
+  const auto simple = client.Query("SELECT COUNT(*) FROM legacy");
+  ASSERT_TRUE(simple.has_value());
+  EXPECT_EQ(PgClient::DataRows(*simple)[0][0], "3");
+
+  const auto prepared = client.ExtendedQuery("SELECT a FROM legacy WHERE a > $1", {std::string{"1"}}, {23});
+  ASSERT_TRUE(prepared.has_value());
+  EXPECT_EQ(PgClient::DataRows(*prepared).size(), 2u);
+  server.Stop();
+}
+
 #if defined(HYRISE_ENABLE_FAULT_INJECTION)
 
 // --- Statement timeout (cooperative cancellation) ----------------------------
@@ -275,6 +386,72 @@ TEST_F(ServerTimeoutTest, TimedOutStatementIsCancelledCooperativelyAndOthersStay
   const auto next = slow_client.Query("SELECT 2 + 2");
   ASSERT_TRUE(next.has_value());
   EXPECT_EQ((*next)[0].type, 'T');
+}
+
+// --- Admission control: graceful shedding at 4x capacity ---------------------
+
+TEST(ServerAdmissionTest, OverloadAtFourTimesCapacityShedsCleanlyAndRecovers) {
+  Hyrise::Reset();
+  // Many small chunks + injected per-chunk latency: each admitted statement
+  // holds its slot for ~1s, so the overload window is wide and deterministic.
+  auto table = std::make_shared<Table>(TableColumnDefinitions{{"a", DataType::kInt}}, TableType::kData,
+                                       ChunkOffset{10}, UseMvcc::kYes);
+  for (auto value = int32_t{0}; value < 400; ++value) {
+    table->AppendRow({value});
+  }
+  Hyrise::Get().storage_manager.AddTable("slow", table);
+  auto spec = FailureSpec{};
+  spec.mode = FailureMode::kLatency;
+  spec.latency = std::chrono::milliseconds{25};
+  FailureInjection::Arm("scan/chunk", spec);
+
+  auto config = ServerConfig{};
+  config.admission_capacity = 2;
+  auto server = Server{config};
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr auto kClients = 8;  // 4x the admission capacity.
+  auto successes = std::atomic<int>{0};
+  auto rejections = std::atomic<int>{0};
+  auto clients = std::vector<std::unique_ptr<PgClient>>{};
+  for (auto index = 0; index < kClients; ++index) {
+    clients.push_back(std::make_unique<PgClient>(server.port()));
+    ASSERT_TRUE(clients.back()->Handshake());
+  }
+  auto threads = std::vector<std::thread>{};
+  for (auto index = 0; index < kClients; ++index) {
+    threads.emplace_back([&, index] {
+      const auto response = clients[index]->Query("SELECT COUNT(*) FROM slow WHERE a >= 0");
+      if (!response.has_value()) {
+        return;  // Dropped connection would fail the post-checks below.
+      }
+      const auto* error = PgClient::FindType(*response, 'E');
+      if (error == nullptr) {
+        ++successes;
+      } else if (error->payload.find("53300") != std::string::npos) {
+        ++rejections;
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+
+  // Every client got a definite answer: admitted work completed, excess was
+  // refused with SQLSTATE 53300 — nobody hung, nobody was disconnected.
+  EXPECT_EQ(successes.load() + rejections.load(), kClients);
+  EXPECT_GE(successes.load(), 2) << "capacity worth of statements must complete";
+  EXPECT_GE(rejections.load(), 1) << "the overload must be shed, not queued unboundedly";
+  EXPECT_GE(server.stats().statements_rejected.load(), uint64_t{1});
+
+  // Rejected connections survive and recover once load subsides.
+  FailureInjection::DisarmAll();
+  for (auto& client : clients) {
+    const auto retry = client->Query("SELECT 1 + 1");
+    ASSERT_TRUE(retry.has_value());
+    EXPECT_EQ(PgClient::FindType(*retry, 'E'), nullptr);
+  }
+  server.Stop();
 }
 
 // --- Fault-injected writes: transparent retry over the wire ------------------
