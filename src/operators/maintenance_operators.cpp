@@ -25,6 +25,13 @@ std::shared_ptr<const Table> CreateTable::OnExecute(const std::shared_ptr<Transa
   auto table = std::make_shared<Table>(definitions_, TableType::kData, kDefaultChunkSize, UseMvcc::kYes);
   auto& wal = *hyrise.wal_manager;
   if (!wal.enabled()) {
+    // Throw (caught per statement) instead of hitting AddTable's Assert: a
+    // duplicate CREATE TABLE arrives over the wire and must not abort the
+    // process. The WAL path below makes the same check inside its critical
+    // section.
+    if (storage_manager.HasTable(table_name_)) {
+      throw std::runtime_error{"Table already exists: " + table_name_};
+    }
     storage_manager.AddTable(table_name_, std::move(table));
     return nullptr;
   }
@@ -61,6 +68,11 @@ std::shared_ptr<const Table> DropTable::OnExecute(const std::shared_ptr<Transact
   }
   auto& wal = *hyrise.wal_manager;
   if (!wal.enabled()) {
+    // Mirror of the CreateTable check: DROP of a missing table is a statement
+    // error, not a process abort.
+    if (!storage_manager.HasTable(table_name_)) {
+      throw std::runtime_error{"Table does not exist: " + table_name_};
+    }
     storage_manager.DropTable(table_name_);
     return nullptr;
   }

@@ -617,9 +617,16 @@ void Server::MaybeScheduleJob(const std::shared_ptr<Connection>& connection) {
     return;
   }
   jobs_in_flight_.fetch_add(1, std::memory_order_acq_rel);
-  auto task = std::make_shared<JobTask>([this, connection] {
-    connection->session->RunJob();  // Never throws (frame errors are contained per connection).
+  // The in-flight count drops when the task object is destroyed, not when its
+  // body returns: a task the scheduler drops without running (injected
+  // dispatch fault) after its connection was torn down is unreachable for
+  // RecoverFailedJob, and counting by destruction keeps Stop()'s drain wait
+  // from hanging on it.
+  auto in_flight_guard = std::shared_ptr<void>(nullptr, [this](void*) {
     jobs_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  });
+  auto task = std::make_shared<JobTask>([connection, guard = std::move(in_flight_guard)] {
+    connection->session->RunJob();  // Never throws (frame errors are contained per connection).
   });
   connection->active_task = task;
   task->Schedule();
@@ -635,11 +642,10 @@ void Server::RecoverFailedJob(IoThread& io, const std::shared_ptr<Connection>& c
     return;
   }
   // The scheduler dropped the task before its body ran (injected dispatch
-  // fault): the job claim is stale and the in-flight count was never
-  // decremented. Release both and reschedule — the frames were not executed,
-  // so re-running them is safe.
+  // fault): the job claim is stale. Release it and reschedule — the frames
+  // were not executed, so re-running them is safe. The in-flight count needs
+  // no adjustment: it is tied to task destruction.
   connection->session->AbandonJobClaim();
-  jobs_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
   MaybeScheduleJob(connection);
   FlushConnection(io, connection);
 }
@@ -736,6 +742,13 @@ void Server::Teardown(IoThread& io, const std::shared_ptr<Connection>& connectio
     return;
   }
   connection->closed = true;
+  // Break the Connection -> active_task -> lambda -> Connection shared_ptr
+  // cycle: after the map erase below, RecoverFailedJob can never find this
+  // connection to reset the task, and the cycle would leak Connection +
+  // Session forever (open transactions never rolled back, admission slots of
+  // undrained frames never released). The scheduler holds its own reference
+  // while the task is pending/running, so a still-executing job is unaffected.
+  connection->active_task.reset();
   epoll_ctl(io.epoll_fd, EPOLL_CTL_DEL, connection->fd, nullptr);
   close(connection->fd);
   stats_.active_connections.fetch_sub(1, std::memory_order_relaxed);

@@ -253,8 +253,10 @@ class Server {
   std::vector<std::unique_ptr<IoThread>> io_threads_;
   std::atomic<uint64_t> next_connection_id_{2};  // 0 = eventfd tag, 1 = listen tag.
   std::atomic<uint64_t> next_io_index_{0};
-  /// Executor jobs not yet finished; Stop() waits for zero before releasing
-  /// the I/O structures the jobs' completion callbacks touch.
+  /// Executor job tasks not yet destroyed (counted per task object, so even a
+  /// task the scheduler drops without running is accounted for); Stop() waits
+  /// for zero before releasing the I/O structures the jobs' completion
+  /// callbacks touch.
   std::atomic<uint64_t> jobs_in_flight_{0};
   /// Whether Start() installed the executor scheduler (and Stop() must
   /// restore the immediate one).

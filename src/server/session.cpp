@@ -1,5 +1,6 @@
 #include "server/session.hpp"
 
+#include <cctype>
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>

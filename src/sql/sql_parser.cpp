@@ -1,6 +1,7 @@
 #include "sql/sql_parser.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdint>
 #include <cstdlib>
 
@@ -834,8 +835,14 @@ class Parser {
       return expression;
     }
     if (Current().type == TokenType::kOperator && Current().value.size() > 1 && Current().value[0] == '$') {
-      const auto ordinal = std::atoi(Current().value.c_str() + 1);
-      if (ordinal < 1 || ordinal > UINT16_MAX) {
+      // The lexer accepts arbitrarily many digits, so the ordinal must be
+      // parsed overflow-safely; out-of-range (including overflow) is a clean
+      // parse error, never undefined behavior.
+      auto ordinal = int{0};
+      const auto* const first = Current().value.data() + 1;
+      const auto* const last = Current().value.data() + Current().value.size();
+      const auto [parse_end, parse_error] = std::from_chars(first, last, ordinal);
+      if (parse_error != std::errc{} || parse_end != last || ordinal < 1 || ordinal > UINT16_MAX) {
         ErrorAtCurrent("parameter number out of range");
         return nullptr;
       }

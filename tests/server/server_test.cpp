@@ -454,6 +454,64 @@ TEST(ServerAdmissionTest, OverloadAtFourTimesCapacityShedsCleanlyAndRecovers) {
   server.Stop();
 }
 
+// --- Client abort mid-statement: session resources are reclaimed -------------
+
+// Regression test: tearing down a connection while its executor job was still
+// scheduled/running used to leave the Connection -> active_task -> job-lambda
+// -> Connection shared_ptr cycle intact, leaking Connection + Session — the
+// abandoned transaction was never rolled back, so its row locks were held
+// forever and later writers could never succeed.
+TEST(ServerAbortTest, AbortedConnectionMidStatementRollsBackItsTransaction) {
+  Hyrise::Reset();
+  ExecuteSql("CREATE TABLE account (balance INT NOT NULL)");
+  ExecuteSql("INSERT INTO account VALUES (100)");
+  // Many small chunks + injected per-chunk latency: the doomed connection's
+  // final statement reliably outlives the client that sent it.
+  auto table = std::make_shared<Table>(TableColumnDefinitions{{"a", DataType::kInt}}, TableType::kData,
+                                       ChunkOffset{10}, UseMvcc::kYes);
+  for (auto value = int32_t{0}; value < 400; ++value) {
+    table->AppendRow({value});
+  }
+  Hyrise::Get().storage_manager.AddTable("slow", table);
+  auto spec = FailureSpec{};
+  spec.mode = FailureMode::kLatency;
+  spec.latency = std::chrono::milliseconds{25};
+  FailureInjection::Arm("scan/chunk", spec);
+
+  auto server = Server{ServerConfig{}};
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    auto doomed = PgClient{server.port()};
+    ASSERT_TRUE(doomed.Handshake());
+    ASSERT_TRUE(doomed.Query("BEGIN").has_value());
+    // Row lock on the only account row, held until commit/rollback.
+    ASSERT_TRUE(doomed.Query("UPDATE account SET balance = 0").has_value());
+    // ~1s of injected scan latency; the client vanishes mid-execution.
+    ASSERT_TRUE(doomed.SendQuery("SELECT COUNT(*) FROM slow WHERE a >= 0"));
+    std::this_thread::sleep_for(std::chrono::milliseconds{150});
+  }  // close(fd): the server sees EOF and tears down while the job runs.
+
+  FailureInjection::DisarmAll();
+  // Once the in-flight job finishes, the last reference to the doomed
+  // connection dies and the Session rollback must release the row lock.
+  auto client = PgClient{server.port()};
+  ASSERT_TRUE(client.Handshake());
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds{10};
+  auto updated = false;
+  while (!updated && std::chrono::steady_clock::now() < deadline) {
+    const auto response = client.Query("UPDATE account SET balance = 1");
+    ASSERT_TRUE(response.has_value());
+    updated = PgClient::FindType(*response, 'E') == nullptr;
+    if (!updated) {
+      std::this_thread::sleep_for(std::chrono::milliseconds{50});
+    }
+  }
+  EXPECT_TRUE(updated) << "the aborted connection's transaction must roll back and release its row locks";
+  EXPECT_EQ(server.active_connection_count(), 1u) << "only the live client remains";
+  server.Stop();
+}
+
 // --- Fault-injected writes: transparent retry over the wire ------------------
 
 TEST_F(ServerTest, InjectedTransientCommitFaultIsRetriedTransparently) {

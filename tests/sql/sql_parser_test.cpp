@@ -124,6 +124,22 @@ TEST(SqlParserTest, ParameterPlaceholders) {
   EXPECT_EQ(where.children[1]->children[1]->parameter_ordinal, 1);
 }
 
+TEST(SqlParserTest, PositionalParameterOrdinalRange) {
+  auto result = ParseSql("SELECT * FROM t WHERE a = $2 AND b < $1");
+  ASSERT_TRUE(result.ok()) << result.error();
+  const auto& where = *result.value().at(0)->select->where;
+  EXPECT_EQ(where.children[0]->children[1]->parameter_ordinal, 1);
+  EXPECT_EQ(where.children[1]->children[1]->parameter_ordinal, 0);
+
+  // Out-of-range ordinals — including ones that overflow int — are clean
+  // parse errors, never undefined behavior.
+  for (const auto* query : {"SELECT $0", "SELECT $65536", "SELECT $99999999999999999999"}) {
+    const auto rejected = ParseSql(query);
+    ASSERT_FALSE(rejected.ok()) << query;
+    EXPECT_NE(rejected.error().find("parameter number out of range"), std::string::npos) << rejected.error();
+  }
+}
+
 TEST(SqlParserTest, ReportsErrorsWithLocation) {
   const auto result = ParseSql("SELECT FROM");
   ASSERT_FALSE(result.ok());

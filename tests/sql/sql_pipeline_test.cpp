@@ -195,6 +195,24 @@ TEST_F(SqlTest, UnknownTableAndColumnErrors) {
   EXPECT_NE(column_pipeline.error_message().find("Unknown column"), std::string::npos);
 }
 
+TEST_F(SqlTest, DdlOnExistingOrMissingTableFailsCleanly) {
+  // Statement errors, not process aborts (these are reachable over the wire).
+  auto duplicate = SqlPipeline::Builder{"CREATE TABLE students (x INT NOT NULL)"}.Build();
+  EXPECT_EQ(duplicate.Execute(), SqlPipelineStatus::kFailure);
+  EXPECT_NE(duplicate.error_message().find("already exists"), std::string::npos);
+
+  auto missing = SqlPipeline::Builder{"DROP TABLE nothing"}.Build();
+  EXPECT_EQ(missing.Execute(), SqlPipelineStatus::kFailure);
+  EXPECT_NE(missing.error_message().find("does not exist"), std::string::npos);
+
+  // IF NOT EXISTS / IF EXISTS stay no-ops.
+  auto tolerant = SqlPipeline::Builder{"CREATE TABLE IF NOT EXISTS students (x INT NOT NULL); "
+                                       "DROP TABLE IF EXISTS nothing; SELECT COUNT(*) FROM students"}
+                      .Build();
+  ASSERT_EQ(tolerant.Execute(), SqlPipelineStatus::kSuccess) << tolerant.error_message();
+  ExpectTableContents(tolerant.result_table(), {{int64_t{5}}});
+}
+
 TEST_F(SqlTest, PqpCacheHitSkipsPlanning) {
   const auto cache = std::make_shared<PqpCache>(16);
   const auto* query = "SELECT id FROM students WHERE semester = 2";
